@@ -1,0 +1,848 @@
+//! The [`Assembler`] builder: mnemonics, labels, pseudo-instructions.
+
+use std::error::Error;
+use std::fmt;
+
+use vortex_isa::{
+    encode, AluImmOp, AluOp, BranchOp, Csr, CsrOp, CsrSrc, EncodeError, FReg, FmaOp, FpBinOp,
+    FpCmpOp, Instr, LoadWidth, Reg, StoreWidth, VoteOp, INSTR_BYTES,
+};
+
+use crate::program::{Program, Section, Symbol};
+
+/// A code label, created with [`Assembler::label`] and placed with
+/// [`Assembler::bind`]. Labels may be referenced before they are bound;
+/// offsets are fixed up when [`Assembler::assemble`] runs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+#[derive(Debug)]
+struct LabelState {
+    name: String,
+    addr: Option<u32>,
+}
+
+/// How a recorded label reference patches instructions at resolution time.
+#[derive(Copy, Clone, Debug)]
+enum RefKind {
+    /// Patch the PC-relative offset of a branch/jal/split at the index.
+    PcRel(usize),
+    /// Patch a `lui`+`addi` pair with the label's absolute address.
+    AbsPair {
+        lui: usize,
+        addi: usize,
+    },
+}
+
+/// An error raised while assembling a program.
+#[derive(Debug)]
+pub enum AsmError {
+    /// A referenced label was never bound to an address.
+    UnboundLabel {
+        /// The label's name.
+        name: String,
+    },
+    /// A label was bound twice.
+    LabelRebound {
+        /// The label's name.
+        name: String,
+    },
+    /// An instruction could not be encoded (immediate/offset out of range).
+    Encode {
+        /// Address of the offending instruction.
+        addr: u32,
+        /// The encoding failure.
+        source: EncodeError,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { name } => write!(f, "label `{name}` was never bound"),
+            AsmError::LabelRebound { name } => write!(f, "label `{name}` bound twice"),
+            AsmError::Encode { addr, source } => {
+                write!(f, "cannot encode instruction at {addr:#010x}: {source}")
+            }
+        }
+    }
+}
+
+impl Error for AsmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AsmError::Encode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A two-pass assembler producing a [`Program`].
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug)]
+pub struct Assembler {
+    base: u32,
+    instrs: Vec<Instr>,
+    labels: Vec<LabelState>,
+    refs: Vec<(RefKind, Label)>,
+    sections: Vec<(u32, String)>,
+}
+
+impl Assembler {
+    /// Creates an assembler whose first instruction will live at `base`.
+    pub fn new(base: u32) -> Self {
+        Assembler {
+            base,
+            instrs: Vec::new(),
+            labels: Vec::new(),
+            refs: Vec::new(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// The address the next emitted instruction will occupy.
+    pub fn pc(&self) -> u32 {
+        self.base + (self.instrs.len() as u32) * INSTR_BYTES
+    }
+
+    /// Creates a new (unbound) label. The name is used for symbols and
+    /// error messages; it does not need to be unique.
+    pub fn label(&mut self, name: &str) -> Label {
+        self.labels.push(LabelState { name: name.to_owned(), addr: None });
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current [`pc`](Self::pc), making it a symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::LabelRebound`] if the label is already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), AsmError> {
+        let pc = self.pc();
+        let state = &mut self.labels[label.0];
+        if state.addr.is_some() {
+            return Err(AsmError::LabelRebound { name: state.name.clone() });
+        }
+        state.addr = Some(pc);
+        Ok(())
+    }
+
+    /// Creates a label and immediately binds it at the current position.
+    pub fn here(&mut self, name: &str) -> Label {
+        let l = self.label(name);
+        self.bind(l).expect("fresh label cannot be rebound");
+        l
+    }
+
+    /// Starts a named semantic section at the current position. The section
+    /// extends until the next `section` call (or the end of the program).
+    pub fn section(&mut self, name: &str) {
+        self.sections.push((self.pc(), name.to_owned()));
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, instr: Instr) {
+        self.instrs.push(instr);
+    }
+
+    fn emit_ref(&mut self, instr: Instr, label: Label) {
+        self.refs.push((RefKind::PcRel(self.instrs.len()), label));
+        self.instrs.push(instr);
+    }
+
+    /// `la rd, label` — loads a label's **absolute** address with a
+    /// `lui`+`addi` pair, patched when the label resolves.
+    pub fn la_label(&mut self, rd: Reg, label: Label) {
+        let lui = self.instrs.len();
+        self.instrs.push(Instr::Lui { rd, imm: 0 });
+        let addi = self.instrs.len();
+        self.instrs.push(Instr::OpImm { op: AluImmOp::Add, rd, rs1: rd, imm: 0 });
+        self.refs.push((RefKind::AbsPair { lui, addi }, label));
+    }
+
+    /// Resolves label references, validates every encoding and produces the
+    /// final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label has no
+    /// address, or [`AsmError::Encode`] if an instruction's immediate or
+    /// offset does not fit its encoding (e.g. a branch spanning > ±4 KiB).
+    pub fn assemble(self) -> Result<Program, AsmError> {
+        let Assembler { base, mut instrs, labels, refs, sections } = self;
+        for (kind, label) in refs {
+            let state = &labels[label.0];
+            let target = state
+                .addr
+                .ok_or_else(|| AsmError::UnboundLabel { name: state.name.clone() })?;
+            match kind {
+                RefKind::PcRel(idx) => {
+                    let pc = base + (idx as u32) * INSTR_BYTES;
+                    let offset = target.wrapping_sub(pc) as i32;
+                    match &mut instrs[idx] {
+                        Instr::Branch { offset: o, .. }
+                        | Instr::Jal { offset: o, .. }
+                        | Instr::Split { offset: o, .. } => *o = offset,
+                        other => {
+                            unreachable!("label reference on non-control instruction {other}")
+                        }
+                    }
+                }
+                RefKind::AbsPair { lui, addi } => {
+                    let value = target as i32;
+                    let hi = value.wrapping_add(0x800) & !0xFFF;
+                    let lo = value.wrapping_sub(hi);
+                    match &mut instrs[lui] {
+                        Instr::Lui { imm, .. } => *imm = hi,
+                        other => unreachable!("AbsPair hi patch on {other}"),
+                    }
+                    match &mut instrs[addi] {
+                        Instr::OpImm { imm, .. } => *imm = lo,
+                        other => unreachable!("AbsPair lo patch on {other}"),
+                    }
+                }
+            }
+        }
+        let mut words = Vec::with_capacity(instrs.len());
+        for (i, &instr) in instrs.iter().enumerate() {
+            let addr = base + (i as u32) * INSTR_BYTES;
+            let word =
+                encode(instr).map_err(|source| AsmError::Encode { addr, source })?;
+            words.push(word);
+        }
+        let end = base + (instrs.len() as u32) * INSTR_BYTES;
+        let mut symbols: Vec<Symbol> = labels
+            .into_iter()
+            .filter_map(|l| l.addr.map(|addr| Symbol { name: l.name, addr }))
+            .collect();
+        symbols.sort_by_key(|s| s.addr);
+        let mut secs = Vec::with_capacity(sections.len());
+        for (i, (start, name)) in sections.iter().enumerate() {
+            let sec_end = sections.get(i + 1).map_or(end, |(s, _)| *s);
+            secs.push(Section { name: name.clone(), start: *start, end: sec_end });
+        }
+        Ok(Program::new(base, words, instrs, symbols, secs))
+    }
+
+    // ---- RV32I register-register ----------------------------------------
+
+    /// `add rd, rs1, rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Add, rd, rs1, rs2 });
+    }
+    /// `sub rd, rs1, rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Sub, rd, rs1, rs2 });
+    }
+    /// `sll rd, rs1, rs2`
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Sll, rd, rs1, rs2 });
+    }
+    /// `slt rd, rs1, rs2`
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Slt, rd, rs1, rs2 });
+    }
+    /// `sltu rd, rs1, rs2`
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Sltu, rd, rs1, rs2 });
+    }
+    /// `xor rd, rs1, rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Xor, rd, rs1, rs2 });
+    }
+    /// `srl rd, rs1, rs2`
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Srl, rd, rs1, rs2 });
+    }
+    /// `sra rd, rs1, rs2`
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Sra, rd, rs1, rs2 });
+    }
+    /// `or rd, rs1, rs2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Or, rd, rs1, rs2 });
+    }
+    /// `and rd, rs1, rs2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::And, rd, rs1, rs2 });
+    }
+
+    // ---- M extension -----------------------------------------------------
+
+    /// `mul rd, rs1, rs2`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Mul, rd, rs1, rs2 });
+    }
+    /// `mulh rd, rs1, rs2`
+    pub fn mulh(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Mulh, rd, rs1, rs2 });
+    }
+    /// `mulhsu rd, rs1, rs2`
+    pub fn mulhsu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Mulhsu, rd, rs1, rs2 });
+    }
+    /// `mulhu rd, rs1, rs2`
+    pub fn mulhu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Mulhu, rd, rs1, rs2 });
+    }
+    /// `div rd, rs1, rs2`
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Div, rd, rs1, rs2 });
+    }
+    /// `divu rd, rs1, rs2`
+    pub fn divu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Divu, rd, rs1, rs2 });
+    }
+    /// `rem rd, rs1, rs2`
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Rem, rd, rs1, rs2 });
+    }
+    /// `remu rd, rs1, rs2`
+    pub fn remu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Op { op: AluOp::Remu, rd, rs1, rs2 });
+    }
+
+    // ---- RV32I register-immediate ----------------------------------------
+
+    /// `addi rd, rs1, imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::OpImm { op: AluImmOp::Add, rd, rs1, imm });
+    }
+    /// `slti rd, rs1, imm`
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::OpImm { op: AluImmOp::Slt, rd, rs1, imm });
+    }
+    /// `sltiu rd, rs1, imm`
+    pub fn sltiu(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::OpImm { op: AluImmOp::Sltu, rd, rs1, imm });
+    }
+    /// `xori rd, rs1, imm`
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::OpImm { op: AluImmOp::Xor, rd, rs1, imm });
+    }
+    /// `ori rd, rs1, imm`
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::OpImm { op: AluImmOp::Or, rd, rs1, imm });
+    }
+    /// `andi rd, rs1, imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.emit(Instr::OpImm { op: AluImmOp::And, rd, rs1, imm });
+    }
+    /// `slli rd, rs1, shamt`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: i32) {
+        self.emit(Instr::OpImm { op: AluImmOp::Sll, rd, rs1, imm: shamt });
+    }
+    /// `srli rd, rs1, shamt`
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: i32) {
+        self.emit(Instr::OpImm { op: AluImmOp::Srl, rd, rs1, imm: shamt });
+    }
+    /// `srai rd, rs1, shamt`
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, shamt: i32) {
+        self.emit(Instr::OpImm { op: AluImmOp::Sra, rd, rs1, imm: shamt });
+    }
+
+    // ---- Upper immediates --------------------------------------------------
+
+    /// `lui rd, imm` (`imm` is the already-shifted 32-bit value).
+    pub fn lui(&mut self, rd: Reg, imm: i32) {
+        self.emit(Instr::Lui { rd, imm });
+    }
+    /// `auipc rd, imm`
+    pub fn auipc(&mut self, rd: Reg, imm: i32) {
+        self.emit(Instr::Auipc { rd, imm });
+    }
+
+    // ---- Memory ------------------------------------------------------------
+
+    /// `lb rd, offset(rs1)`
+    pub fn lb(&mut self, rd: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Load { width: LoadWidth::Byte, rd, rs1, offset });
+    }
+    /// `lh rd, offset(rs1)`
+    pub fn lh(&mut self, rd: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Load { width: LoadWidth::Half, rd, rs1, offset });
+    }
+    /// `lw rd, offset(rs1)`
+    pub fn lw(&mut self, rd: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Load { width: LoadWidth::Word, rd, rs1, offset });
+    }
+    /// `lbu rd, offset(rs1)`
+    pub fn lbu(&mut self, rd: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Load { width: LoadWidth::ByteU, rd, rs1, offset });
+    }
+    /// `lhu rd, offset(rs1)`
+    pub fn lhu(&mut self, rd: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Load { width: LoadWidth::HalfU, rd, rs1, offset });
+    }
+    /// `sb rs2, offset(rs1)`
+    pub fn sb(&mut self, rs2: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Store { width: StoreWidth::Byte, rs2, rs1, offset });
+    }
+    /// `sh rs2, offset(rs1)`
+    pub fn sh(&mut self, rs2: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Store { width: StoreWidth::Half, rs2, rs1, offset });
+    }
+    /// `sw rs2, offset(rs1)`
+    pub fn sw(&mut self, rs2: Reg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Store { width: StoreWidth::Word, rs2, rs1, offset });
+    }
+
+    // ---- Control flow --------------------------------------------------------
+
+    /// `jal rd, label`
+    pub fn jal(&mut self, rd: Reg, label: Label) {
+        self.emit_ref(Instr::Jal { rd, offset: 0 }, label);
+    }
+    /// `jalr rd, offset(rs1)`
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg, offset: i32) {
+        self.emit(Instr::Jalr { rd, rs1, offset });
+    }
+
+    fn branch(&mut self, op: BranchOp, rs1: Reg, rs2: Reg, label: Label) {
+        self.emit_ref(Instr::Branch { op, rs1, rs2, offset: 0 }, label);
+    }
+
+    /// `beq rs1, rs2, label`
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch(BranchOp::Eq, rs1, rs2, label);
+    }
+    /// `bne rs1, rs2, label`
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch(BranchOp::Ne, rs1, rs2, label);
+    }
+    /// `blt rs1, rs2, label`
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch(BranchOp::Lt, rs1, rs2, label);
+    }
+    /// `bge rs1, rs2, label`
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch(BranchOp::Ge, rs1, rs2, label);
+    }
+    /// `bltu rs1, rs2, label`
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch(BranchOp::Ltu, rs1, rs2, label);
+    }
+    /// `bgeu rs1, rs2, label`
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch(BranchOp::Geu, rs1, rs2, label);
+    }
+
+    // ---- System ---------------------------------------------------------------
+
+    /// `fence` (no-op in the in-order simulator).
+    pub fn fence(&mut self) {
+        self.emit(Instr::Fence);
+    }
+    /// `ecall`
+    pub fn ecall(&mut self) {
+        self.emit(Instr::Ecall);
+    }
+    /// `ebreak`
+    pub fn ebreak(&mut self) {
+        self.emit(Instr::Ebreak);
+    }
+
+    /// `csrrw rd, csr, rs1`
+    pub fn csrrw(&mut self, rd: Reg, csr: Csr, rs1: Reg) {
+        self.emit(Instr::Csr { op: CsrOp::ReadWrite, rd, src: CsrSrc::Reg(rs1), csr });
+    }
+    /// `csrrs rd, csr, rs1`
+    pub fn csrrs(&mut self, rd: Reg, csr: Csr, rs1: Reg) {
+        self.emit(Instr::Csr { op: CsrOp::ReadSet, rd, src: CsrSrc::Reg(rs1), csr });
+    }
+    /// `csrrc rd, csr, rs1`
+    pub fn csrrc(&mut self, rd: Reg, csr: Csr, rs1: Reg) {
+        self.emit(Instr::Csr { op: CsrOp::ReadClear, rd, src: CsrSrc::Reg(rs1), csr });
+    }
+    /// `csrr rd, csr` — pseudo for `csrrs rd, csr, zero`.
+    pub fn csrr(&mut self, rd: Reg, csr: Csr) {
+        self.csrrs(rd, csr, vortex_isa::reg::ZERO);
+    }
+
+    // ---- F extension -------------------------------------------------------------
+
+    /// `flw rd, offset(rs1)`
+    pub fn flw(&mut self, rd: FReg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Flw { rd, rs1, offset });
+    }
+    /// `fsw rs2, offset(rs1)`
+    pub fn fsw(&mut self, rs2: FReg, offset: i32, rs1: Reg) {
+        self.emit(Instr::Fsw { rs2, rs1, offset });
+    }
+    /// `fadd.s rd, rs1, rs2`
+    pub fn fadd_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::FpOp { op: FpBinOp::Add, rd, rs1, rs2 });
+    }
+    /// `fsub.s rd, rs1, rs2`
+    pub fn fsub_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::FpOp { op: FpBinOp::Sub, rd, rs1, rs2 });
+    }
+    /// `fmul.s rd, rs1, rs2`
+    pub fn fmul_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::FpOp { op: FpBinOp::Mul, rd, rs1, rs2 });
+    }
+    /// `fdiv.s rd, rs1, rs2`
+    pub fn fdiv_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::FpOp { op: FpBinOp::Div, rd, rs1, rs2 });
+    }
+    /// `fsqrt.s rd, rs1`
+    pub fn fsqrt_s(&mut self, rd: FReg, rs1: FReg) {
+        self.emit(Instr::FpSqrt { rd, rs1 });
+    }
+    /// `fsgnj.s rd, rs1, rs2`
+    pub fn fsgnj_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::FpOp { op: FpBinOp::SgnJ, rd, rs1, rs2 });
+    }
+    /// `fsgnjn.s rd, rs1, rs2`
+    pub fn fsgnjn_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::FpOp { op: FpBinOp::SgnJN, rd, rs1, rs2 });
+    }
+    /// `fsgnjx.s rd, rs1, rs2`
+    pub fn fsgnjx_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::FpOp { op: FpBinOp::SgnJX, rd, rs1, rs2 });
+    }
+    /// `fmin.s rd, rs1, rs2`
+    pub fn fmin_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::FpOp { op: FpBinOp::Min, rd, rs1, rs2 });
+    }
+    /// `fmax.s rd, rs1, rs2`
+    pub fn fmax_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::FpOp { op: FpBinOp::Max, rd, rs1, rs2 });
+    }
+    /// `fmadd.s rd, rs1, rs2, rs3` — `rd = rs1*rs2 + rs3`
+    pub fn fmadd_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg) {
+        self.emit(Instr::FpFma { op: FmaOp::MAdd, rd, rs1, rs2, rs3 });
+    }
+    /// `fmsub.s rd, rs1, rs2, rs3` — `rd = rs1*rs2 - rs3`
+    pub fn fmsub_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg) {
+        self.emit(Instr::FpFma { op: FmaOp::MSub, rd, rs1, rs2, rs3 });
+    }
+    /// `fnmsub.s rd, rs1, rs2, rs3` — `rd = -(rs1*rs2) + rs3`
+    pub fn fnmsub_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg) {
+        self.emit(Instr::FpFma { op: FmaOp::NMSub, rd, rs1, rs2, rs3 });
+    }
+    /// `fnmadd.s rd, rs1, rs2, rs3` — `rd = -(rs1*rs2) - rs3`
+    pub fn fnmadd_s(&mut self, rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg) {
+        self.emit(Instr::FpFma { op: FmaOp::NMAdd, rd, rs1, rs2, rs3 });
+    }
+    /// `feq.s rd, rs1, rs2`
+    pub fn feq_s(&mut self, rd: Reg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::FpCmp { op: FpCmpOp::Eq, rd, rs1, rs2 });
+    }
+    /// `flt.s rd, rs1, rs2`
+    pub fn flt_s(&mut self, rd: Reg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::FpCmp { op: FpCmpOp::Lt, rd, rs1, rs2 });
+    }
+    /// `fle.s rd, rs1, rs2`
+    pub fn fle_s(&mut self, rd: Reg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::FpCmp { op: FpCmpOp::Le, rd, rs1, rs2 });
+    }
+    /// `fcvt.w.s rd, rs1` (float → signed int)
+    pub fn fcvt_w_s(&mut self, rd: Reg, rs1: FReg) {
+        self.emit(Instr::FpCvtToInt { signed: true, rd, rs1 });
+    }
+    /// `fcvt.wu.s rd, rs1` (float → unsigned int)
+    pub fn fcvt_wu_s(&mut self, rd: Reg, rs1: FReg) {
+        self.emit(Instr::FpCvtToInt { signed: false, rd, rs1 });
+    }
+    /// `fcvt.s.w rd, rs1` (signed int → float)
+    pub fn fcvt_s_w(&mut self, rd: FReg, rs1: Reg) {
+        self.emit(Instr::FpCvtFromInt { signed: true, rd, rs1 });
+    }
+    /// `fcvt.s.wu rd, rs1` (unsigned int → float)
+    pub fn fcvt_s_wu(&mut self, rd: FReg, rs1: Reg) {
+        self.emit(Instr::FpCvtFromInt { signed: false, rd, rs1 });
+    }
+    /// `fmv.x.w rd, rs1` (raw bits FP → int)
+    pub fn fmv_x_w(&mut self, rd: Reg, rs1: FReg) {
+        self.emit(Instr::FpMvToInt { rd, rs1 });
+    }
+    /// `fmv.w.x rd, rs1` (raw bits int → FP)
+    pub fn fmv_w_x(&mut self, rd: FReg, rs1: Reg) {
+        self.emit(Instr::FpMvFromInt { rd, rs1 });
+    }
+    /// `fclass.s rd, rs1`
+    pub fn fclass_s(&mut self, rd: Reg, rs1: FReg) {
+        self.emit(Instr::FpClass { rd, rs1 });
+    }
+
+    // ---- Vortex SIMT extensions -----------------------------------------------
+
+    /// `vx_tmc rs1` — set the warp's thread mask (0 halts the warp).
+    pub fn vx_tmc(&mut self, rs1: Reg) {
+        self.emit(Instr::Tmc { rs1 });
+    }
+    /// `vx_wspawn rs1, rs2` — activate `rs1` warps at the PC in `rs2`.
+    pub fn vx_wspawn(&mut self, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Wspawn { rs1, rs2 });
+    }
+    /// `vx_split rs1, label` — diverge; zero-predicate lanes resume at `label`.
+    pub fn vx_split(&mut self, rs1: Reg, label: Label) {
+        self.emit_ref(Instr::Split { rs1, offset: 0 }, label);
+    }
+    /// `vx_join` — reconverge the youngest split.
+    pub fn vx_join(&mut self) {
+        self.emit(Instr::Join);
+    }
+    /// `vx_bar rs1, rs2` — barrier `rs1` over `rs2` warps.
+    pub fn vx_bar(&mut self, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Bar { rs1, rs2 });
+    }
+    /// `vx_vote.any rd, rs1`
+    pub fn vx_vote_any(&mut self, rd: Reg, rs1: Reg) {
+        self.emit(Instr::Vote { op: VoteOp::Any, rd, rs1 });
+    }
+    /// `vx_vote.all rd, rs1`
+    pub fn vx_vote_all(&mut self, rd: Reg, rs1: Reg) {
+        self.emit(Instr::Vote { op: VoteOp::All, rd, rs1 });
+    }
+    /// `vx_vote.ballot rd, rs1`
+    pub fn vx_vote_ballot(&mut self, rd: Reg, rs1: Reg) {
+        self.emit(Instr::Vote { op: VoteOp::Ballot, rd, rs1 });
+    }
+
+    // ---- Pseudo-instructions -----------------------------------------------------
+
+    /// `li rd, imm` — load a 32-bit constant (1–2 instructions).
+    pub fn li(&mut self, rd: Reg, imm: i32) {
+        if (-2048..=2047).contains(&imm) {
+            self.addi(rd, vortex_isa::reg::ZERO, imm);
+        } else {
+            let hi = imm.wrapping_add(0x800) & !0xFFF;
+            let lo = imm.wrapping_sub(hi);
+            self.lui(rd, hi);
+            if lo != 0 {
+                self.addi(rd, rd, lo);
+            }
+        }
+    }
+
+    /// `li rd, value` for an unsigned 32-bit value (e.g. an address).
+    pub fn li_u32(&mut self, rd: Reg, value: u32) {
+        self.li(rd, value as i32);
+    }
+
+    /// `la rd, addr` — load an absolute address (alias of [`li_u32`](Self::li_u32)).
+    pub fn la(&mut self, rd: Reg, addr: u32) {
+        self.li_u32(rd, addr);
+    }
+
+    /// `mv rd, rs` — copy a register.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+    /// `not rd, rs`
+    pub fn not(&mut self, rd: Reg, rs: Reg) {
+        self.xori(rd, rs, -1);
+    }
+    /// `neg rd, rs`
+    pub fn neg(&mut self, rd: Reg, rs: Reg) {
+        self.sub(rd, vortex_isa::reg::ZERO, rs);
+    }
+    /// `seqz rd, rs` — set if zero.
+    pub fn seqz(&mut self, rd: Reg, rs: Reg) {
+        self.sltiu(rd, rs, 1);
+    }
+    /// `snez rd, rs` — set if non-zero.
+    pub fn snez(&mut self, rd: Reg, rs: Reg) {
+        self.sltu(rd, vortex_isa::reg::ZERO, rs);
+    }
+    /// `nop`
+    pub fn nop(&mut self) {
+        self.addi(vortex_isa::reg::ZERO, vortex_isa::reg::ZERO, 0);
+    }
+    /// `j label` — unconditional jump.
+    pub fn j(&mut self, label: Label) {
+        self.jal(vortex_isa::reg::ZERO, label);
+    }
+    /// `jr rs1` — indirect jump.
+    pub fn jr(&mut self, rs1: Reg) {
+        self.jalr(vortex_isa::reg::ZERO, rs1, 0);
+    }
+    /// `ret` — return via `ra`.
+    pub fn ret(&mut self) {
+        self.jalr(vortex_isa::reg::ZERO, vortex_isa::reg::RA, 0);
+    }
+    /// `beqz rs1, label`
+    pub fn beqz(&mut self, rs1: Reg, label: Label) {
+        self.beq(rs1, vortex_isa::reg::ZERO, label);
+    }
+    /// `bnez rs1, label`
+    pub fn bnez(&mut self, rs1: Reg, label: Label) {
+        self.bne(rs1, vortex_isa::reg::ZERO, label);
+    }
+    /// `bltz rs1, label`
+    pub fn bltz(&mut self, rs1: Reg, label: Label) {
+        self.blt(rs1, vortex_isa::reg::ZERO, label);
+    }
+    /// `bgez rs1, label`
+    pub fn bgez(&mut self, rs1: Reg, label: Label) {
+        self.bge(rs1, vortex_isa::reg::ZERO, label);
+    }
+    /// `ble rs1, rs2, label` — pseudo via `bge rs2, rs1`.
+    pub fn ble(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.bge(rs2, rs1, label);
+    }
+    /// `bgt rs1, rs2, label` — pseudo via `blt rs2, rs1`.
+    pub fn bgt(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.blt(rs2, rs1, label);
+    }
+    /// `bleu rs1, rs2, label` — pseudo via `bgeu rs2, rs1`.
+    pub fn bleu(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.bgeu(rs2, rs1, label);
+    }
+    /// `bgtu rs1, rs2, label` — pseudo via `bltu rs2, rs1`.
+    pub fn bgtu(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.bltu(rs2, rs1, label);
+    }
+    /// `fmv.s rd, rs` — copy an FP register.
+    pub fn fmv_s(&mut self, rd: FReg, rs: FReg) {
+        self.fsgnj_s(rd, rs, rs);
+    }
+    /// `fneg.s rd, rs`
+    pub fn fneg_s(&mut self, rd: FReg, rs: FReg) {
+        self.fsgnjn_s(rd, rs, rs);
+    }
+    /// `fabs.s rd, rs`
+    pub fn fabs_s(&mut self, rd: FReg, rs: FReg) {
+        self.fsgnjx_s(rd, rs, rs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_isa::reg;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Assembler::new(0x1000);
+        let fwd = a.label("fwd");
+        let back = a.here("back");
+        a.nop(); // 0x1000 (back)
+        a.j(fwd); // 0x1004 -> 0x100C: offset +8
+        a.nop(); // 0x1008
+        a.bind(fwd).unwrap(); // 0x100C
+        a.bnez(reg::T0, back); // 0x100C -> 0x1000: offset -12
+        let p = a.assemble().unwrap();
+        match p.instrs()[1] {
+            Instr::Jal { offset, .. } => assert_eq!(offset, 8),
+            other => panic!("expected jal, got {other}"),
+        }
+        match p.instrs()[3] {
+            Instr::Branch { offset, .. } => assert_eq!(offset, -12),
+            other => panic!("expected branch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Assembler::new(0);
+        let l = a.label("nowhere");
+        a.j(l);
+        match a.assemble() {
+            Err(AsmError::UnboundLabel { name }) => assert_eq!(name, "nowhere"),
+            other => panic!("expected unbound label error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rebound_label_is_an_error() {
+        let mut a = Assembler::new(0);
+        let l = a.here("twice");
+        a.nop();
+        assert!(matches!(a.bind(l), Err(AsmError::LabelRebound { .. })));
+    }
+
+    #[test]
+    fn li_expands_by_magnitude() {
+        let mut a = Assembler::new(0);
+        a.li(reg::T0, 5); // 1 instr
+        a.li(reg::T0, 0x12345); // 2 instrs
+        a.li(reg::T0, -4096); // 2 instrs (lui only? -4096 = 0xFFFFF000)
+        let p = a.assemble().unwrap();
+        assert_eq!(p.instrs()[0], Instr::OpImm {
+            op: vortex_isa::AluImmOp::Add,
+            rd: reg::T0,
+            rs1: reg::ZERO,
+            imm: 5
+        });
+        assert!(p.len() >= 4);
+    }
+
+    #[test]
+    fn li_roundtrips_arbitrary_constants() {
+        // Simulate the li expansion arithmetic for tricky values.
+        for imm in
+            [0i32, 1, -1, 2047, -2048, 2048, -2049, 0x7FFF_FFFF, -0x8000_0000, 0x1234_5678]
+        {
+            let hi = if (-2048..=2047).contains(&imm) { 0 } else { imm.wrapping_add(0x800) & !0xFFF };
+            let lo = imm.wrapping_sub(hi);
+            assert_eq!(hi.wrapping_add(lo), imm, "imm {imm}");
+            assert!((-2048..=2047).contains(&lo), "low part of {imm} fits addi");
+            assert_eq!(hi & 0xFFF, 0, "high part of {imm} is clean");
+        }
+    }
+
+    #[test]
+    fn branch_out_of_range_reports_encode_error() {
+        let mut a = Assembler::new(0);
+        let far = a.label("far");
+        a.beqz(reg::T0, far);
+        for _ in 0..2000 {
+            a.nop();
+        }
+        a.bind(far).unwrap();
+        match a.assemble() {
+            Err(AsmError::Encode { addr, .. }) => assert_eq!(addr, 0),
+            other => panic!("expected encode error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sections_cover_code_in_order() {
+        let mut a = Assembler::new(0x100);
+        a.section("head");
+        a.nop();
+        a.nop();
+        a.section("tail");
+        a.nop();
+        let p = a.assemble().unwrap();
+        let sections = p.sections();
+        assert_eq!(sections.len(), 2);
+        assert_eq!((sections[0].start, sections[0].end), (0x100, 0x108));
+        assert_eq!((sections[1].start, sections[1].end), (0x108, 0x10C));
+        assert_eq!(p.section_at(0x104).unwrap().name, "head");
+        assert_eq!(p.section_at(0x108).unwrap().name, "tail");
+    }
+
+    #[test]
+    fn split_references_resolve() {
+        let mut a = Assembler::new(0);
+        let merge = a.label("merge");
+        a.vx_split(reg::T0, merge);
+        a.nop();
+        a.bind(merge).unwrap();
+        a.vx_join();
+        let p = a.assemble().unwrap();
+        match p.instrs()[0] {
+            Instr::Split { offset, .. } => assert_eq!(offset, 8),
+            other => panic!("expected split, got {other}"),
+        }
+    }
+
+    #[test]
+    fn pseudo_expansions() {
+        let mut a = Assembler::new(0);
+        a.mv(reg::A0, reg::A1);
+        a.seqz(reg::A0, reg::A1);
+        a.snez(reg::A0, reg::A1);
+        a.not(reg::A0, reg::A1);
+        a.neg(reg::A0, reg::A1);
+        let p = a.assemble().unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.instrs()[0].to_string(), "addi a0, a1, 0");
+        assert_eq!(p.instrs()[1].to_string(), "sltiu a0, a1, 1");
+    }
+}

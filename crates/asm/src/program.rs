@@ -1,0 +1,187 @@
+//! The assembled program image with symbol and section metadata.
+
+use std::fmt;
+
+use vortex_isa::{Instr, INSTR_BYTES};
+
+/// A named address in the program (bound label).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Absolute address.
+    pub addr: u32,
+}
+
+/// A semantic code section: a contiguous, named address range.
+///
+/// Sections are purely metadata — the paper's Figure 1 tags instruction
+/// addresses "with different semantic sections of the code" to make the
+/// execution phases visible; this is that tag.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Section {
+    /// Section name (e.g. `"dispatch"`, `"body"`, `"exit"`).
+    pub name: String,
+    /// First address of the section (inclusive).
+    pub start: u32,
+    /// One past the last address of the section (exclusive).
+    pub end: u32,
+}
+
+/// An assembled, relocated code image.
+///
+/// Produced by [`Assembler::assemble`](crate::Assembler::assemble). The
+/// image stores both the raw little-endian words and the predecoded
+/// [`Instr`]s (the simulator executes the latter; they are guaranteed to
+/// agree).
+#[derive(Clone, Debug)]
+pub struct Program {
+    base: u32,
+    words: Vec<u32>,
+    instrs: Vec<Instr>,
+    symbols: Vec<Symbol>,
+    sections: Vec<Section>,
+}
+
+impl Program {
+    pub(crate) fn new(
+        base: u32,
+        words: Vec<u32>,
+        instrs: Vec<Instr>,
+        symbols: Vec<Symbol>,
+        sections: Vec<Section>,
+    ) -> Self {
+        debug_assert_eq!(words.len(), instrs.len());
+        Program { base, words, instrs, symbols, sections }
+    }
+
+    /// The load/entry address of the program (execution starts here).
+    pub fn entry(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// One past the last code address.
+    pub fn end(&self) -> u32 {
+        self.base + (self.words.len() as u32) * INSTR_BYTES
+    }
+
+    /// The raw instruction words, in program order.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// The predecoded instructions, in program order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// The instruction at an absolute address, if it lies inside the image
+    /// and is word-aligned.
+    pub fn instr_at(&self, addr: u32) -> Option<Instr> {
+        if addr < self.base || addr % INSTR_BYTES != 0 {
+            return None;
+        }
+        self.instrs.get(((addr - self.base) / INSTR_BYTES) as usize).copied()
+    }
+
+    /// All bound symbols, sorted by address.
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.symbols
+    }
+
+    /// Resolves a symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.iter().find(|s| s.name == name).map(|s| s.addr)
+    }
+
+    /// All semantic sections, sorted by start address.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// The semantic section covering an address, if any.
+    pub fn section_at(&self, addr: u32) -> Option<&Section> {
+        self.sections.iter().find(|s| s.start <= addr && addr < s.end)
+    }
+
+    /// Renders a full disassembly listing with symbols and section headers.
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for (i, instr) in self.instrs.iter().enumerate() {
+            let addr = self.base + (i as u32) * INSTR_BYTES;
+            if let Some(sec) = self.sections.iter().find(|s| s.start == addr) {
+                out.push_str(&format!("; section {}\n", sec.name));
+            }
+            for sym in self.symbols.iter().filter(|s| s.addr == addr) {
+                out.push_str(&format!("{}:\n", sym.name));
+            }
+            out.push_str(&format!("  {addr:#010x}:  {:08x}  {instr}\n", self.words[i]));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.listing())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_isa::{reg, AluImmOp};
+
+    fn sample() -> Program {
+        let instrs = vec![
+            Instr::OpImm { op: AluImmOp::Add, rd: reg::T0, rs1: reg::ZERO, imm: 1 },
+            Instr::Tmc { rs1: reg::ZERO },
+        ];
+        let words = instrs.iter().map(|&i| vortex_isa::encode(i).unwrap()).collect();
+        Program::new(
+            0x8000_0000,
+            words,
+            instrs,
+            vec![Symbol { name: "entry".into(), addr: 0x8000_0000 }],
+            vec![Section { name: "body".into(), start: 0x8000_0000, end: 0x8000_0008 }],
+        )
+    }
+
+    #[test]
+    fn address_lookup() {
+        let p = sample();
+        assert!(p.instr_at(0x8000_0000).is_some());
+        assert!(p.instr_at(0x8000_0004).is_some());
+        assert!(p.instr_at(0x8000_0008).is_none());
+        assert!(p.instr_at(0x8000_0002).is_none()); // misaligned
+        assert!(p.instr_at(0x7FFF_FFFC).is_none()); // below base
+        assert_eq!(p.end(), 0x8000_0008);
+    }
+
+    #[test]
+    fn symbol_and_section_lookup() {
+        let p = sample();
+        assert_eq!(p.symbol("entry"), Some(0x8000_0000));
+        assert_eq!(p.symbol("missing"), None);
+        assert_eq!(p.section_at(0x8000_0004).unwrap().name, "body");
+        assert!(p.section_at(0x8000_0008).is_none());
+    }
+
+    #[test]
+    fn listing_contains_disassembly() {
+        let listing = sample().listing();
+        assert!(listing.contains("addi t0, zero, 1"));
+        assert!(listing.contains("entry:"));
+        assert!(listing.contains("; section body"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Criterion benchmarks over the nine paper kernels (reduced sizes): one
+//! simulated run per iteration under the paper's auto-tuned mapping. A
+//! regression here means the reproduction pipeline itself got slower.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vortex_core::LwsPolicy;
+use vortex_kernels::{
+    run_kernel, Gauss, GcnAggr, GcnLayer, Kernel, Knn, Relu, ResnetLayer, Saxpy, Sgemm, VecAdd,
+};
+use vortex_sim::DeviceConfig;
+
+fn tiny_kernels() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(VecAdd::new(512)),
+        Box::new(Relu::new(512)),
+        Box::new(Saxpy::new(512)),
+        Box::new(Sgemm::new(16, 8, 12)),
+        Box::new(Gauss::new(16, 16)),
+        Box::new(Knn::new(512)),
+        Box::new(GcnAggr::new(64, 256, 8)),
+        Box::new(GcnLayer::new(64, 256, 8)),
+        Box::new(ResnetLayer::new(8, 8, 4, 4)),
+    ]
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_kernels_tiny");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let config = DeviceConfig::with_topology(2, 4, 8);
+    for mut kernel in tiny_kernels() {
+        let name = kernel.name();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| run_kernel(kernel.as_mut(), &config, LwsPolicy::Auto).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

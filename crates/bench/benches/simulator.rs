@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks of the simulator substrate itself:
+//! wall-clock cost per simulated kernel run, across device topologies and
+//! mapping policies. These guard the event-driven scheduler's performance
+//! (the property that makes the 450-configuration campaign tractable).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vortex_core::LwsPolicy;
+use vortex_kernels::{run_kernel, VecAdd};
+use vortex_sim::DeviceConfig;
+
+fn bench_topologies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vecadd_by_topology");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for topo in ["1c2w4t", "4c4w8t", "16c8w16t", "64c32w32t"] {
+        let config: DeviceConfig = topo.parse().expect("valid topology");
+        group.bench_with_input(BenchmarkId::from_parameter(topo), &config, |b, config| {
+            b.iter(|| {
+                let mut kernel = VecAdd::new(1024);
+                run_kernel(&mut kernel, config, LwsPolicy::Auto).expect("runs")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vecadd_by_policy");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let config = DeviceConfig::with_topology(4, 8, 8);
+    for (name, policy) in [
+        ("lws1", LwsPolicy::Naive1),
+        ("lws32", LwsPolicy::Fixed32),
+        ("auto", LwsPolicy::Auto),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut kernel = VecAdd::new(1024);
+                run_kernel(&mut kernel, &config, policy).expect("runs")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topologies, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Quick calibration probe: wall-clock cost of one kernel's full
+//! 450-configuration campaign (not a paper artefact; used to size the
+//! default sweep parameters honestly).
+
+use std::time::Instant;
+
+use vortex_bench::{kernel_factories, paper_sweep, run_campaign, Scale};
+use vortex_bench::cli::{default_jobs, Flags};
+
+fn main() {
+    let flags = Flags::from_env();
+    let jobs = flags.get_usize("jobs", default_jobs());
+    let n = flags.get_usize("configs", 450);
+    let configs = vortex_bench::subsample(&paper_sweep(), n);
+    let scale = if flags.has("paper-scale") { Scale::Paper } else { Scale::Sweep };
+    let wanted = flags.get_list("kernels");
+    for factory in kernel_factories(scale) {
+        if let Some(ws) = &wanted {
+            if !ws.iter().any(|w| w == factory.name) {
+                continue;
+            }
+        }
+        let start = Instant::now();
+        let result = run_campaign(&factory, &configs, jobs).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", factory.name);
+            std::process::exit(1);
+        });
+        let dt = start.elapsed();
+        println!(
+            "{:<13} {:>4} configs x3 policies: {:>8.2?}  (mean dram util {:.2})",
+            factory.name,
+            result.rows.len(),
+            dt,
+            result.mean_dram_utilization(),
+        );
+    }
+}

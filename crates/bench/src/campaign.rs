@@ -1,0 +1,223 @@
+//! Running kernels across configurations and policies, collecting the
+//! cycle ratios of the paper's Fig. 2.
+
+use std::sync::Mutex;
+
+use vortex_core::LwsPolicy;
+use vortex_kernels::{
+    run_kernel, Gauss, GcnAggr, GcnLayer, Kernel, KernelError, Knn, Relu, ResnetLayer, Saxpy,
+    Sgemm, VecAdd,
+};
+use vortex_sim::DeviceConfig;
+
+/// Workload sizing: the paper's exact sizes or the reduced sweep sizes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Fig. 2 sizes (sgemm 256×16×144, gauss 360×360, knn 42 764, …).
+    Paper,
+    /// Reduced sizes for the full 450-configuration campaign.
+    Sweep,
+}
+
+/// A named constructor for fresh kernel instances (each worker thread
+/// builds its own, so runs stay independent and deterministic).
+pub struct KernelFactory {
+    /// Kernel name (matches the paper's figure labels).
+    pub name: &'static str,
+    /// Builds a fresh instance.
+    pub make: Box<dyn Fn() -> Box<dyn Kernel> + Send + Sync>,
+}
+
+/// The nine paper kernels at the chosen scale.
+pub fn kernel_factories(scale: Scale) -> Vec<KernelFactory> {
+    fn f(
+        name: &'static str,
+        make: impl Fn() -> Box<dyn Kernel> + Send + Sync + 'static,
+    ) -> KernelFactory {
+        KernelFactory { name, make: Box::new(make) }
+    }
+    match scale {
+        Scale::Paper => vec![
+            f("vecadd", || Box::new(VecAdd::paper())),
+            f("relu", || Box::new(Relu::paper())),
+            f("saxpy", || Box::new(Saxpy::paper())),
+            f("sgemm", || Box::new(Sgemm::paper())),
+            f("gauss", || Box::new(Gauss::paper())),
+            f("knn", || Box::new(Knn::paper())),
+            f("gcn_aggr", || Box::new(GcnAggr::paper())),
+            f("gcn_layer", || Box::new(GcnLayer::paper())),
+            f("resnet_layer", || Box::new(ResnetLayer::paper())),
+        ],
+        Scale::Sweep => vec![
+            f("vecadd", || Box::new(VecAdd::paper())),
+            f("relu", || Box::new(Relu::paper())),
+            f("saxpy", || Box::new(Saxpy::paper())),
+            f("sgemm", || Box::new(Sgemm::sweep())),
+            f("gauss", || Box::new(Gauss::sweep())),
+            f("knn", || Box::new(Knn::sweep())),
+            f("gcn_aggr", || Box::new(GcnAggr::sweep())),
+            f("gcn_layer", || Box::new(GcnLayer::sweep())),
+            f("resnet_layer", || Box::new(ResnetLayer::sweep())),
+        ],
+    }
+}
+
+/// Measurements of one kernel on one configuration under the three
+/// mapping policies of the paper.
+#[derive(Clone, Debug)]
+pub struct ConfigRow {
+    /// The hardware configuration.
+    pub config: DeviceConfig,
+    /// Cycles under `lws = 1`.
+    pub cycles_naive: u64,
+    /// Cycles under `lws = 32`.
+    pub cycles_fixed: u64,
+    /// Cycles under the paper's Eq. 1 policy.
+    pub cycles_auto: u64,
+    /// The lws Eq. 1 resolved to.
+    pub lws_auto: u32,
+    /// DRAM utilisation of the auto run (memory-boundedness marker).
+    pub dram_utilization: f64,
+}
+
+impl ConfigRow {
+    /// `lws=1 cycles ÷ ours cycles` (left/yellow side of a Fig. 2 violin).
+    pub fn ratio_naive(&self) -> f64 {
+        self.cycles_naive as f64 / self.cycles_auto as f64
+    }
+
+    /// `lws=32 cycles ÷ ours cycles` (right/blue side of a Fig. 2 violin).
+    pub fn ratio_fixed(&self) -> f64 {
+        self.cycles_fixed as f64 / self.cycles_auto as f64
+    }
+}
+
+/// All measurements of one kernel across a configuration sweep.
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// One row per configuration, in sweep order.
+    pub rows: Vec<ConfigRow>,
+}
+
+impl CampaignResult {
+    /// The `lws=1/ours` ratio across configurations.
+    pub fn naive_ratios(&self) -> Vec<f64> {
+        self.rows.iter().map(ConfigRow::ratio_naive).collect()
+    }
+
+    /// The `lws=32/ours` ratio across configurations.
+    pub fn fixed_ratios(&self) -> Vec<f64> {
+        self.rows.iter().map(ConfigRow::ratio_fixed).collect()
+    }
+
+    /// Mean DRAM utilisation across configurations (≥ ~0.5 marks the
+    /// paper's *memory bound* kernels).
+    pub fn mean_dram_utilization(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.dram_utilization).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+/// Runs one kernel over `configs` under the three policies, in parallel
+/// across `jobs` worker threads. Results are returned in sweep order and
+/// every run is verified against the host reference.
+///
+/// # Errors
+///
+/// Propagates the first kernel failure (assembly, launch, wrong results).
+pub fn run_campaign(
+    factory: &KernelFactory,
+    configs: &[DeviceConfig],
+    jobs: usize,
+) -> Result<CampaignResult, KernelError> {
+    let jobs = jobs.max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let rows: Mutex<Vec<Option<ConfigRow>>> = Mutex::new(vec![None; configs.len()]);
+    let failure: Mutex<Option<KernelError>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                let mut kernel = (factory.make)();
+                loop {
+                    if failure.lock().expect("failure lock").is_some() {
+                        return;
+                    }
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(config) = configs.get(idx) else { return };
+                    match measure_config(kernel.as_mut(), config) {
+                        Ok(row) => {
+                            rows.lock().expect("rows lock")[idx] = Some(row);
+                        }
+                        Err(e) => {
+                            *failure.lock().expect("failure lock") = Some(e);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = failure.into_inner().expect("failure lock") {
+        return Err(e);
+    }
+    let rows = rows
+        .into_inner()
+        .expect("rows lock")
+        .into_iter()
+        .map(|r| r.expect("all configs measured"))
+        .collect();
+    Ok(CampaignResult { kernel: factory.name, rows })
+}
+
+/// Measures one kernel on one configuration under all three policies.
+fn measure_config(
+    kernel: &mut dyn Kernel,
+    config: &DeviceConfig,
+) -> Result<ConfigRow, KernelError> {
+    let naive = run_kernel(kernel, config, LwsPolicy::Naive1)?;
+    let fixed = run_kernel(kernel, config, LwsPolicy::Fixed32)?;
+    let auto = run_kernel(kernel, config, LwsPolicy::Auto)?;
+    Ok(ConfigRow {
+        config: *config,
+        cycles_naive: naive.cycles,
+        cycles_fixed: fixed.cycles,
+        cycles_auto: auto.cycles,
+        lws_auto: auto.reports.first().map_or(1, |r| r.lws),
+        dram_utilization: auto.dram_utilization,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{paper_sweep, subsample};
+
+    #[test]
+    fn tiny_campaign_produces_ordered_rows() {
+        let configs = subsample(&paper_sweep(), 4);
+        let factories = kernel_factories(Scale::Sweep);
+        let vecadd = &factories[0];
+        let result = run_campaign(vecadd, &configs, 2).unwrap();
+        assert_eq!(result.kernel, "vecadd");
+        assert_eq!(result.rows.len(), configs.len());
+        for (row, config) in result.rows.iter().zip(&configs) {
+            assert_eq!(row.config.topology_name(), config.topology_name());
+            assert!(row.cycles_auto > 0);
+        }
+    }
+
+    #[test]
+    fn ratios_are_positive() {
+        let configs = vec![DeviceConfig::with_topology(1, 2, 4)];
+        let factories = kernel_factories(Scale::Sweep);
+        let result = run_campaign(&factories[0], &configs, 1).unwrap();
+        assert!(result.naive_ratios()[0] > 0.0);
+        assert!(result.fixed_ratios()[0] > 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! | Paper artefact | Binary |
+//! |---|---|
+//! | Fig. 1 (vecadd traces under 4 lws values) | `fig1_traces` |
+//! | Fig. 2 (violin plots over 450 configurations, 9 kernels) | `fig2_violins` |
+//! | §3 headline (1.3× / 3.7× for the math kernels) | `headline` |
+//! | §2 scenario analysis (three mapping regimes) | `scenarios_table` |
+//! | Ablations (tuner variants, dispatch-overhead sensitivity) | `ablations` |
+//!
+//! The library half of this crate (the [`sweep`] generator and the
+//! [`campaign`] runner) is shared by the binaries, the Criterion benches
+//! and the integration tests.
+
+#![forbid(unsafe_code)]
+
+pub mod campaign;
+pub mod cli;
+pub mod sweep;
+
+pub use campaign::{
+    kernel_factories, run_campaign, CampaignResult, ConfigRow, KernelFactory, Scale,
+};
+pub use sweep::{paper_sweep, subsample};

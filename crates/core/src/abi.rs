@@ -1,0 +1,76 @@
+//! The kernel ABI: the memory-map contract between the host runtime and
+//! device kernels.
+//!
+//! Kernels are position-dependent images loaded at [`CODE_BASE`]. Before a
+//! launch the runtime writes one **dispatch block** per core at
+//! [`DISPATCH_BASE`]; the kernel prologue (see `vortex-kernels`) reads its
+//! core's block to learn its task range, the `lws` iteration count, the
+//! global size and the argument-block pointer.
+
+/// Load/entry address of kernel code.
+pub const CODE_BASE: u32 = 0x8000_0000;
+
+/// Base address of the kernel argument block (32-bit words, laid out by
+/// convention per kernel).
+pub const ARGS_BASE: u32 = 0x9000_0000;
+
+/// Base address of the per-core dispatch blocks.
+pub const DISPATCH_BASE: u32 = 0x9F00_0000;
+
+/// Bytes between consecutive cores' dispatch blocks.
+pub const DISPATCH_STRIDE: u32 = 32;
+
+/// First address of the device heap used for buffers.
+pub const HEAP_BASE: u32 = 0xA000_0000;
+
+/// Byte offsets of the dispatch-block fields.
+pub mod dispatch {
+    /// First task id owned by this core (inclusive).
+    pub const TASK_BASE: u32 = 0;
+    /// One past the last task id owned by this core.
+    pub const TASK_END: u32 = 4;
+    /// Kernel iterations per task (`local_work_size`).
+    pub const LWS: u32 = 8;
+    /// Global work size (total kernel iterations).
+    pub const GWS: u32 = 12;
+    /// Address of the argument block.
+    pub const ARG_PTR: u32 = 16;
+    /// Software mailbox: first task id of the *current* in-kernel round
+    /// (written by warp 0's dispatch loop, read by spawned warps).
+    pub const CURSOR: u32 = 20;
+    /// Software mailbox: warps participating in the current round (for the
+    /// round barrier).
+    pub const ROUND_WARPS: u32 = 24;
+}
+
+/// The dispatch-block address for a core.
+///
+/// # Examples
+///
+/// ```
+/// use vortex_core::abi;
+/// assert_eq!(abi::dispatch_block_addr(0), abi::DISPATCH_BASE);
+/// assert_eq!(abi::dispatch_block_addr(3), abi::DISPATCH_BASE + 96);
+/// ```
+pub fn dispatch_block_addr(core: usize) -> u32 {
+    DISPATCH_BASE + (core as u32) * DISPATCH_STRIDE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        // 1024 cores of dispatch blocks stay below the heap.
+        assert!(dispatch_block_addr(1024) < HEAP_BASE);
+        assert!(CODE_BASE < ARGS_BASE);
+        assert!(ARGS_BASE < DISPATCH_BASE);
+        assert!(DISPATCH_BASE < HEAP_BASE);
+    }
+
+    #[test]
+    fn dispatch_fields_fit_the_stride() {
+        assert!(dispatch::ROUND_WARPS + 4 <= DISPATCH_STRIDE);
+    }
+}

@@ -1,0 +1,53 @@
+//! The paper's contribution: an OpenCL-style host runtime with
+//! **hardware-aware, runtime `local_work_size` selection** for a
+//! Vortex-like RISC-V GPGPU.
+//!
+//! The runtime mirrors the POCL + Vortex software stack analysed in the
+//! paper:
+//!
+//! * a kernel is launched over a 1-D global work size (`gws`);
+//! * the `local_work_size` (**lws**) decides how many kernel iterations
+//!   each *task* executes sequentially (`n_tasks = ⌈gws / lws⌉`);
+//! * tasks are split evenly across cores, then within a core threads-first
+//!   across `warps × threads` hardware slots;
+//! * when a core has more tasks than slots, warp 0 runs a **software
+//!   dispatch loop** (spawn → work → barrier → respawn), which is the
+//!   "multiple kernel calls at different timesteps" regime of the paper;
+//! * when there are fewer tasks than slots the hardware is under-filled.
+//!
+//! [`LwsPolicy::Auto`] implements Eq. 1 of the paper,
+//!
+//! ```text
+//! lws = gws / hp,    hp = cores × warps × threads
+//! ```
+//!
+//! evaluated **at runtime** from the device's micro-architecture
+//! parameters, so the programmer never specifies a mapping.
+//!
+//! # Examples
+//!
+//! Plan a mapping and inspect which regime it lands in:
+//!
+//! ```
+//! use vortex_core::{LwsPolicy, MappingScenario, WorkMapping};
+//! use vortex_sim::DeviceConfig;
+//!
+//! let cfg = DeviceConfig::with_topology(1, 2, 4); // hp = 8
+//! let lws = LwsPolicy::Auto.lws_for(128, &cfg);
+//! assert_eq!(lws, 16); // Eq. 1: 128 / 8
+//! let plan = WorkMapping::plan(128, lws, &cfg);
+//! assert_eq!(plan.scenario(), MappingScenario::ExactFit);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod abi;
+mod mapping;
+mod oracle;
+mod runtime;
+mod tuner;
+
+pub use mapping::{CoreRange, WorkMapping};
+pub use oracle::{oracle_candidates, oracle_search, OracleResult};
+pub use runtime::{Buffer, LaunchError, LaunchParams, LaunchReport, Runtime};
+pub use tuner::{optimal_lws, LwsPolicy, MappingScenario};

@@ -1,0 +1,221 @@
+//! POCL-style workload mapping: tasks → cores → warps → threads.
+
+use vortex_sim::DeviceConfig;
+
+use crate::tuner::MappingScenario;
+
+/// The contiguous task range assigned to one core.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CoreRange {
+    /// Core index.
+    pub core: usize,
+    /// First task id (inclusive).
+    pub task_base: u32,
+    /// One past the last task id.
+    pub task_end: u32,
+}
+
+impl CoreRange {
+    /// Number of tasks assigned to this core.
+    pub fn len(&self) -> u32 {
+        self.task_end - self.task_base
+    }
+
+    /// Whether the core received no work.
+    pub fn is_empty(&self) -> bool {
+        self.task_end == self.task_base
+    }
+}
+
+/// A fully resolved launch plan for one kernel call.
+///
+/// Mirrors the mapping performed by the Vortex runtime: `n_tasks =
+/// ⌈gws/lws⌉` tasks are distributed evenly and contiguously across cores;
+/// within a core, tasks fill threads first, then warps; surplus tasks are
+/// processed by the in-kernel dispatch loop in successive *rounds*.
+///
+/// # Examples
+///
+/// ```
+/// use vortex_core::WorkMapping;
+/// use vortex_sim::DeviceConfig;
+///
+/// let cfg = DeviceConfig::with_topology(2, 2, 4); // 16 slots
+/// let plan = WorkMapping::plan(128, 4, &cfg);     // 32 tasks
+/// assert_eq!(plan.n_tasks(), 32);
+/// assert_eq!(plan.core_ranges().len(), 2);
+/// assert_eq!(plan.rounds(), 2); // 16 tasks/core on 8 slots/core
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkMapping {
+    gws: u32,
+    lws: u32,
+    n_tasks: u32,
+    hp: u64,
+    threads: u32,
+    slots_per_core: u32,
+    ranges: Vec<CoreRange>,
+}
+
+impl WorkMapping {
+    /// Plans the mapping of `gws` kernel iterations with the given `lws`
+    /// onto `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gws` or `lws` is zero.
+    pub fn plan(gws: u32, lws: u32, config: &DeviceConfig) -> Self {
+        assert!(gws > 0, "gws must be positive");
+        assert!(lws > 0, "lws must be positive");
+        let n_tasks = gws.div_ceil(lws);
+        let cores = config.cores as u32;
+        let tasks_per_core = n_tasks.div_ceil(cores);
+        let mut ranges = Vec::with_capacity(config.cores);
+        for c in 0..cores {
+            let base = (c * tasks_per_core).min(n_tasks);
+            let end = ((c + 1) * tasks_per_core).min(n_tasks);
+            if end > base {
+                ranges.push(CoreRange { core: c as usize, task_base: base, task_end: end });
+            }
+        }
+        WorkMapping {
+            gws,
+            lws,
+            n_tasks,
+            hp: config.hardware_parallelism(),
+            threads: config.threads as u32,
+            slots_per_core: (config.warps * config.threads) as u32,
+            ranges,
+        }
+    }
+
+    /// Global work size.
+    pub fn gws(&self) -> u32 {
+        self.gws
+    }
+
+    /// Local work size (iterations per task).
+    pub fn lws(&self) -> u32 {
+        self.lws
+    }
+
+    /// Total tasks (`⌈gws/lws⌉`).
+    pub fn n_tasks(&self) -> u32 {
+        self.n_tasks
+    }
+
+    /// Task ranges of the cores that received work.
+    pub fn core_ranges(&self) -> &[CoreRange] {
+        &self.ranges
+    }
+
+    /// Cores that participate in the launch.
+    pub fn active_cores(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// In-kernel dispatch rounds needed by the busiest core.
+    pub fn rounds(&self) -> u32 {
+        self.ranges
+            .iter()
+            .map(|r| r.len().div_ceil(self.slots_per_core))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Warps the busiest core activates in its first round.
+    pub fn peak_warps(&self) -> u32 {
+        self.ranges
+            .iter()
+            .map(|r| r.len().min(self.slots_per_core).div_ceil(self.threads))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The paper's mapping regime for this plan.
+    pub fn scenario(&self) -> MappingScenario {
+        MappingScenario::classify(self.gws, self.lws, self.hp)
+    }
+
+    /// Fraction of hardware task slots that are busy in the last round of
+    /// the busiest core — 1.0 means perfectly filled rounds.
+    pub fn tail_utilization(&self) -> f64 {
+        let Some(busiest) = self.ranges.iter().max_by_key(|r| r.len()) else {
+            return 0.0;
+        };
+        let rem = busiest.len() % self.slots_per_core;
+        let tail = if rem == 0 { self.slots_per_core } else { rem };
+        f64::from(tail) / f64::from(self.slots_per_core)
+    }
+
+    /// Checks that every task id in `0..n_tasks` is covered by exactly one
+    /// core range (a planning invariant, used by property tests).
+    pub fn verify_coverage(&self) -> bool {
+        let mut next = 0u32;
+        for r in &self.ranges {
+            if r.task_base != next || r.task_end < r.task_base {
+                return false;
+            }
+            next = r.task_end;
+        }
+        next == self.n_tasks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_plan_has_one_round() {
+        let cfg = DeviceConfig::with_topology(1, 2, 4); // hp = 8
+        let plan = WorkMapping::plan(128, 16, &cfg); // 8 tasks
+        assert_eq!(plan.n_tasks(), 8);
+        assert_eq!(plan.rounds(), 1);
+        assert_eq!(plan.scenario(), MappingScenario::ExactFit);
+        assert!(plan.verify_coverage());
+    }
+
+    #[test]
+    fn naive_mapping_multiplies_rounds() {
+        let cfg = DeviceConfig::with_topology(1, 2, 4);
+        let plan = WorkMapping::plan(128, 1, &cfg); // 128 tasks on 8 slots
+        assert_eq!(plan.rounds(), 16);
+        assert_eq!(plan.scenario(), MappingScenario::MultiCall);
+    }
+
+    #[test]
+    fn oversized_lws_underfills() {
+        let cfg = DeviceConfig::with_topology(1, 2, 4);
+        let plan = WorkMapping::plan(128, 64, &cfg); // 2 tasks on 8 slots
+        assert_eq!(plan.rounds(), 1);
+        assert_eq!(plan.scenario(), MappingScenario::Underfilled);
+        assert!(plan.tail_utilization() < 0.5);
+    }
+
+    #[test]
+    fn cores_without_work_are_dropped() {
+        let cfg = DeviceConfig::with_topology(8, 2, 4);
+        let plan = WorkMapping::plan(6, 2, &cfg); // 3 tasks over 8 cores
+        assert_eq!(plan.active_cores(), 3);
+        assert!(plan.verify_coverage());
+    }
+
+    #[test]
+    fn uneven_distribution_covers_everything() {
+        let cfg = DeviceConfig::with_topology(3, 2, 2);
+        let plan = WorkMapping::plan(1000, 7, &cfg); // 143 tasks over 3 cores
+        assert_eq!(plan.n_tasks(), 143);
+        assert!(plan.verify_coverage());
+        let total: u32 = plan.core_ranges().iter().map(|r| r.len()).sum();
+        assert_eq!(total, 143);
+    }
+
+    #[test]
+    fn non_power_of_two_cores() {
+        let cfg = DeviceConfig::with_topology(5, 4, 8);
+        let plan = WorkMapping::plan(4096, 8, &cfg);
+        assert!(plan.verify_coverage());
+        assert_eq!(plan.active_cores(), 5);
+    }
+}

@@ -1,0 +1,125 @@
+//! Exhaustive lws search — the oracle the runtime policy is measured
+//! against.
+//!
+//! The paper's contribution is that Eq. 1 needs *no* search; this module
+//! provides the search anyway, so the gap between the runtime policy and
+//! the best achievable mapping can be quantified (see the
+//! `autotune_sweep` example and the ablation benches).
+
+use vortex_sim::DeviceConfig;
+
+/// The candidate lws values an exhaustive search should try for a launch
+/// of `gws` items: 1, all powers of two up to `gws`, `gws` itself, and
+/// the two Eq. 1 variants — deduplicated and sorted.
+///
+/// # Examples
+///
+/// ```
+/// use vortex_core::oracle_candidates;
+/// use vortex_sim::DeviceConfig;
+/// let cfg = DeviceConfig::with_topology(1, 2, 4);
+/// let c = oracle_candidates(100, &cfg);
+/// assert!(c.contains(&1) && c.contains(&64) && c.contains(&100));
+/// assert!(c.contains(&12)); // Eq.1 floor: 100/8
+/// assert!(c.windows(2).all(|w| w[0] < w[1]), "sorted, deduplicated");
+/// ```
+pub fn oracle_candidates(gws: u32, config: &DeviceConfig) -> Vec<u32> {
+    let mut candidates = vec![1u32];
+    let mut p = 2u32;
+    while p < gws {
+        candidates.push(p);
+        p = p.saturating_mul(2);
+    }
+    candidates.push(gws.max(1));
+    let hp = config.hardware_parallelism();
+    candidates.push(crate::tuner::optimal_lws(gws, hp));
+    candidates.push((u64::from(gws).div_ceil(hp.max(1)).max(1) as u32).min(gws.max(1)));
+    candidates.sort_unstable();
+    candidates.dedup();
+    candidates
+}
+
+/// Result of an exhaustive lws search.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct OracleResult {
+    /// The best lws found.
+    pub lws: u32,
+    /// Its cost in cycles.
+    pub cycles: u64,
+    /// Number of candidates evaluated.
+    pub evaluated: usize,
+}
+
+/// Finds the best lws by measuring every candidate with a caller-supplied
+/// cost function (typically a full simulated run). Ties resolve to the
+/// smaller lws.
+///
+/// # Panics
+///
+/// Panics if `gws == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use vortex_core::{oracle_search, optimal_lws};
+/// use vortex_sim::DeviceConfig;
+/// let cfg = DeviceConfig::with_topology(1, 2, 4);
+/// // A synthetic cost with its minimum at Eq.1's choice (16).
+/// let result = oracle_search(128, &cfg, |lws| (lws as i64 - 16).unsigned_abs() + 1);
+/// assert_eq!(result.lws, 16);
+/// ```
+pub fn oracle_search(
+    gws: u32,
+    config: &DeviceConfig,
+    mut cost: impl FnMut(u32) -> u64,
+) -> OracleResult {
+    assert!(gws > 0, "gws must be positive");
+    let candidates = oracle_candidates(gws, config);
+    let mut best = OracleResult { lws: 1, cycles: u64::MAX, evaluated: 0 };
+    for lws in candidates {
+        let cycles = cost(lws);
+        best.evaluated += 1;
+        if cycles < best.cycles {
+            best.lws = lws;
+            best.cycles = cycles;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_cover_the_extremes() {
+        let cfg = DeviceConfig::with_topology(2, 4, 8); // hp = 64
+        let c = oracle_candidates(4096, &cfg);
+        assert_eq!(*c.first().unwrap(), 1);
+        assert_eq!(*c.last().unwrap(), 4096);
+        assert!(c.contains(&64)); // Eq.1
+    }
+
+    #[test]
+    fn search_finds_global_minimum_of_candidates() {
+        let cfg = DeviceConfig::with_topology(1, 2, 2);
+        let result = oracle_search(64, &cfg, |lws| u64::from(lws ^ 8));
+        assert_eq!(result.lws, 8);
+        assert_eq!(result.cycles, 0);
+        assert!(result.evaluated >= 7);
+    }
+
+    #[test]
+    fn ties_resolve_to_smaller_lws() {
+        let cfg = DeviceConfig::with_topology(1, 1, 1);
+        let result = oracle_search(16, &cfg, |_| 42);
+        assert_eq!(result.lws, 1);
+    }
+
+    #[test]
+    fn gws_one_is_legal() {
+        let cfg = DeviceConfig::with_topology(1, 1, 1);
+        let c = oracle_candidates(1, &cfg);
+        assert_eq!(c, vec![1]);
+    }
+}

@@ -1,0 +1,414 @@
+//! The host-side runtime: buffers, argument blocks, kernel launches.
+
+use std::error::Error;
+use std::fmt;
+
+use vortex_asm::Program;
+use vortex_mem::Cycle;
+use vortex_sim::{Device, DeviceConfig, SimError, TraceSink};
+
+use crate::abi;
+use crate::mapping::WorkMapping;
+use crate::tuner::{LwsPolicy, MappingScenario};
+
+/// A device-memory allocation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Buffer {
+    /// Device address of the first byte.
+    pub addr: u32,
+    /// Size in bytes.
+    pub bytes: u32,
+}
+
+impl Buffer {
+    /// Number of 32-bit elements that fit in the buffer.
+    pub fn len_words(&self) -> usize {
+        (self.bytes / 4) as usize
+    }
+}
+
+/// Parameters of one kernel launch.
+#[derive(Copy, Clone, Debug)]
+pub struct LaunchParams {
+    /// Global work size (total kernel iterations). Must be positive.
+    pub gws: u32,
+    /// The `local_work_size` policy (the paper's tunable).
+    pub policy: LwsPolicy,
+    /// Simulation budget for this launch.
+    pub max_cycles: Cycle,
+    /// Entry address override for multi-phase programs (`None` = the
+    /// loaded program's entry).
+    pub entry: Option<u32>,
+}
+
+impl LaunchParams {
+    /// A launch of `gws` items with the hardware-aware [`LwsPolicy::Auto`].
+    pub fn new(gws: u32) -> Self {
+        LaunchParams { gws, policy: LwsPolicy::Auto, max_cycles: 2_000_000_000, entry: None }
+    }
+
+    /// Starts execution at an explicit entry address (for programs holding
+    /// several kernels).
+    pub fn entry(mut self, addr: u32) -> Self {
+        self.entry = Some(addr);
+        self
+    }
+
+    /// Sets the lws policy.
+    pub fn policy(mut self, policy: LwsPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the cycle budget.
+    pub fn max_cycles(mut self, budget: Cycle) -> Self {
+        self.max_cycles = budget;
+        self
+    }
+}
+
+/// What a launch did and what it cost.
+#[derive(Clone, Debug)]
+pub struct LaunchReport {
+    /// The `lws` value the policy resolved to.
+    pub lws: u32,
+    /// Tasks created (`⌈gws/lws⌉`).
+    pub n_tasks: u32,
+    /// The paper's mapping regime for this launch.
+    pub scenario: MappingScenario,
+    /// In-kernel dispatch rounds of the busiest core.
+    pub rounds: u32,
+    /// Cores that received work.
+    pub active_cores: usize,
+    /// Elapsed device cycles, including dispatch overhead and drain.
+    pub cycles: Cycle,
+    /// Instructions issued during the launch.
+    pub instructions: u64,
+}
+
+/// An error raised by [`Runtime::launch`].
+#[derive(Debug)]
+pub enum LaunchError {
+    /// The launch parameters are unusable.
+    InvalidParams {
+        /// Explanation.
+        reason: String,
+    },
+    /// No program is loaded.
+    NoProgram,
+    /// The device reported an execution error.
+    Sim(SimError),
+    /// The device heap is exhausted.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u32,
+    },
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::InvalidParams { reason } => write!(f, "invalid launch: {reason}"),
+            LaunchError::NoProgram => f.write_str("no kernel program loaded"),
+            LaunchError::Sim(e) => write!(f, "device error: {e}"),
+            LaunchError::OutOfMemory { requested } => {
+                write!(f, "device heap exhausted allocating {requested} bytes")
+            }
+        }
+    }
+}
+
+impl Error for LaunchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LaunchError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for LaunchError {
+    fn from(e: SimError) -> Self {
+        LaunchError::Sim(e)
+    }
+}
+
+/// The OpenCL-style host runtime.
+///
+/// Owns a [`Device`], a bump allocator over the device heap, and the launch
+/// machinery that writes per-core dispatch blocks and starts warp 0 of each
+/// participating core (the in-kernel dispatch loop does the rest — see
+/// `vortex-kernels`).
+///
+/// # Examples
+///
+/// See the crate-level example of `vortex-kernels`, which builds a real
+/// kernel; at the runtime level a launch looks like:
+///
+/// ```no_run
+/// use vortex_core::{LaunchParams, LwsPolicy, Runtime};
+/// use vortex_sim::DeviceConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rt = Runtime::new(DeviceConfig::with_topology(2, 4, 8));
+/// # let program = vortex_asm::Assembler::new(0x8000_0000).assemble()?;
+/// rt.load_program(&program);
+/// let report = rt.launch(&LaunchParams::new(4096).policy(LwsPolicy::Auto), None)?;
+/// println!("{} cycles with lws={}", report.cycles, report.lws);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Runtime {
+    device: Device,
+    heap_next: u32,
+    entry: Option<u32>,
+    dispatch_overhead: Cycle,
+}
+
+impl Runtime {
+    /// Creates a runtime around a fresh device with the default host
+    /// dispatch overhead (256 cycles per launch).
+    pub fn new(config: DeviceConfig) -> Self {
+        Runtime {
+            device: Device::new(config),
+            heap_next: abi::HEAP_BASE,
+            entry: None,
+            dispatch_overhead: 256,
+        }
+    }
+
+    /// Overrides the host-side per-launch dispatch overhead.
+    pub fn with_dispatch_overhead(mut self, cycles: Cycle) -> Self {
+        self.dispatch_overhead = cycles;
+        self
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Mutable access to the underlying device.
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.device
+    }
+
+    /// Loads the kernel image and records its entry point.
+    pub fn load_program(&mut self, program: &Program) {
+        self.device.load_program(program);
+        self.entry = Some(program.entry());
+    }
+
+    /// Allocates `bytes` of device memory (64-byte aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaunchError::OutOfMemory`] when the 32-bit heap would
+    /// overflow.
+    pub fn alloc(&mut self, bytes: u32) -> Result<Buffer, LaunchError> {
+        let aligned = bytes.div_ceil(64) * 64;
+        let addr = self.heap_next;
+        let next = addr
+            .checked_add(aligned)
+            .ok_or(LaunchError::OutOfMemory { requested: bytes })?;
+        self.heap_next = next;
+        Ok(Buffer { addr, bytes })
+    }
+
+    /// Allocates and fills a buffer of `f32` values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LaunchError::OutOfMemory`].
+    pub fn alloc_f32(&mut self, data: &[f32]) -> Result<Buffer, LaunchError> {
+        let buf = self.alloc((data.len() * 4) as u32)?;
+        self.device.memory_mut().write_f32_slice(buf.addr, data);
+        Ok(buf)
+    }
+
+    /// Allocates and fills a buffer of `u32` values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LaunchError::OutOfMemory`].
+    pub fn alloc_u32(&mut self, data: &[u32]) -> Result<Buffer, LaunchError> {
+        let buf = self.alloc((data.len() * 4) as u32)?;
+        self.device.memory_mut().write_u32_slice(buf.addr, data);
+        Ok(buf)
+    }
+
+    /// Reads a buffer back as `f32` values.
+    pub fn read_f32(&self, buf: Buffer) -> Vec<f32> {
+        self.device.memory().read_f32_vec(buf.addr, (buf.bytes / 4) as usize)
+    }
+
+    /// Reads a buffer back as `u32` values.
+    pub fn read_u32(&self, buf: Buffer) -> Vec<u32> {
+        self.device.memory().read_u32_vec(buf.addr, (buf.bytes / 4) as usize)
+    }
+
+    /// Writes the kernel argument block (32-bit words at
+    /// [`abi::ARGS_BASE`]).
+    pub fn set_args(&mut self, words: &[u32]) {
+        self.device.memory_mut().write_u32_slice(abi::ARGS_BASE, words);
+    }
+
+    /// Launches the loaded kernel over `params.gws` iterations.
+    ///
+    /// Resolves the lws policy against the device's micro-architecture
+    /// parameters (Eq. 1 for [`LwsPolicy::Auto`]), plans the task mapping,
+    /// writes each participating core's dispatch block, pays the host
+    /// dispatch overhead once, starts warp 0 everywhere and runs the device
+    /// to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`LaunchError::NoProgram`] before [`Runtime::load_program`],
+    /// [`LaunchError::InvalidParams`] for a zero
+    /// `gws`, or [`LaunchError::Sim`] if the device faults.
+    pub fn launch<'a, 'b>(
+        &mut self,
+        params: &LaunchParams,
+        trace: Option<&'a mut (dyn TraceSink + 'b)>,
+    ) -> Result<LaunchReport, LaunchError> {
+        let entry = match params.entry {
+            Some(addr) => {
+                if self.entry.is_none() {
+                    return Err(LaunchError::NoProgram);
+                }
+                addr
+            }
+            None => self.entry.ok_or(LaunchError::NoProgram)?,
+        };
+        if params.gws == 0 {
+            return Err(LaunchError::InvalidParams { reason: "gws must be positive".into() });
+        }
+        let config = *self.device.config();
+        let lws = params.policy.lws_for(params.gws, &config);
+        let plan = WorkMapping::plan(params.gws, lws, &config);
+
+        let start_cycle = self.device.now();
+        let start_instr = self.device.counters().instructions;
+
+        // Host writes the dispatch blocks, then pays the dispatch latency.
+        for range in plan.core_ranges() {
+            let block = abi::dispatch_block_addr(range.core);
+            let mem = self.device.memory_mut();
+            mem.write_u32(block + abi::dispatch::TASK_BASE, range.task_base);
+            mem.write_u32(block + abi::dispatch::TASK_END, range.task_end);
+            mem.write_u32(block + abi::dispatch::LWS, lws);
+            mem.write_u32(block + abi::dispatch::GWS, params.gws);
+            mem.write_u32(block + abi::dispatch::ARG_PTR, abi::ARGS_BASE);
+            mem.write_u32(block + abi::dispatch::CURSOR, range.task_base);
+        }
+        self.device.advance_time(self.dispatch_overhead);
+
+        for range in plan.core_ranges() {
+            self.device.start_warp(range.core, entry);
+        }
+        let limit = start_cycle + params.max_cycles;
+        self.device.run(limit, trace)?;
+
+        Ok(LaunchReport {
+            lws,
+            n_tasks: plan.n_tasks(),
+            scenario: plan.scenario(),
+            rounds: plan.rounds(),
+            active_cores: plan.active_cores(),
+            cycles: self.device.now() - start_cycle,
+            instructions: self.device.counters().instructions - start_instr,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_asm::Assembler;
+    use vortex_isa::reg;
+
+    fn trivial_program() -> Program {
+        // Every started warp halts immediately.
+        let mut a = Assembler::new(abi::CODE_BASE);
+        a.vx_tmc(reg::ZERO);
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn launch_without_program_fails() {
+        let mut rt = Runtime::new(DeviceConfig::default());
+        let err = rt.launch(&LaunchParams::new(16), None).unwrap_err();
+        assert!(matches!(err, LaunchError::NoProgram));
+    }
+
+    #[test]
+    fn zero_gws_is_rejected() {
+        let mut rt = Runtime::new(DeviceConfig::default());
+        rt.load_program(&trivial_program());
+        let err = rt.launch(&LaunchParams::new(0), None).unwrap_err();
+        assert!(matches!(err, LaunchError::InvalidParams { .. }));
+    }
+
+    #[test]
+    fn trivial_launch_reports_costs() {
+        let mut rt = Runtime::new(DeviceConfig::with_topology(2, 2, 4));
+        rt.load_program(&trivial_program());
+        let report = rt.launch(&LaunchParams::new(16), None).unwrap();
+        assert_eq!(report.lws, 1); // 16 items / hp 16
+        assert_eq!(report.n_tasks, 16);
+        assert_eq!(report.active_cores, 2);
+        assert!(report.cycles >= 256, "includes dispatch overhead");
+        assert!(report.instructions >= 2); // one tmc per core's warp 0
+    }
+
+    #[test]
+    fn allocator_aligns_and_advances() {
+        let mut rt = Runtime::new(DeviceConfig::default());
+        let a = rt.alloc(10).unwrap();
+        let b = rt.alloc(100).unwrap();
+        assert_eq!(a.addr % 64, 0);
+        assert_eq!(b.addr, a.addr + 64);
+        assert_eq!(b.addr % 64, 0);
+    }
+
+    #[test]
+    fn buffers_roundtrip_data() {
+        let mut rt = Runtime::new(DeviceConfig::default());
+        let data = vec![1.0f32, -2.5, 3.25];
+        let buf = rt.alloc_f32(&data).unwrap();
+        assert_eq!(rt.read_f32(buf), data);
+        let words = vec![7u32, 9];
+        let buf = rt.alloc_u32(&words).unwrap();
+        assert_eq!(rt.read_u32(buf), words);
+    }
+
+    #[test]
+    fn dispatch_blocks_are_written() {
+        let mut rt = Runtime::new(DeviceConfig::with_topology(2, 2, 2));
+        rt.load_program(&trivial_program());
+        rt.launch(&LaunchParams::new(64).policy(LwsPolicy::Explicit(4)), None).unwrap();
+        // 16 tasks over 2 cores: core 0 gets 0..8, core 1 gets 8..16.
+        let mem = rt.device().memory();
+        let b0 = abi::dispatch_block_addr(0);
+        let b1 = abi::dispatch_block_addr(1);
+        assert_eq!(mem.read_u32(b0 + abi::dispatch::TASK_BASE), 0);
+        assert_eq!(mem.read_u32(b0 + abi::dispatch::TASK_END), 8);
+        assert_eq!(mem.read_u32(b1 + abi::dispatch::TASK_BASE), 8);
+        assert_eq!(mem.read_u32(b1 + abi::dispatch::TASK_END), 16);
+        assert_eq!(mem.read_u32(b0 + abi::dispatch::LWS), 4);
+        assert_eq!(mem.read_u32(b0 + abi::dispatch::GWS), 64);
+    }
+
+    #[test]
+    fn policy_changes_reported_lws() {
+        let mut rt = Runtime::new(DeviceConfig::with_topology(1, 2, 4)); // hp=8
+        rt.load_program(&trivial_program());
+        let r = rt.launch(&LaunchParams::new(128).policy(LwsPolicy::Auto), None).unwrap();
+        assert_eq!(r.lws, 16);
+        assert_eq!(r.scenario, MappingScenario::ExactFit);
+        let r = rt.launch(&LaunchParams::new(128).policy(LwsPolicy::Fixed32), None).unwrap();
+        assert_eq!(r.lws, 32);
+        assert_eq!(r.scenario, MappingScenario::Underfilled);
+    }
+}

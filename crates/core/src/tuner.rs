@@ -1,0 +1,179 @@
+//! Runtime `local_work_size` selection — Eq. 1 of the paper.
+
+use std::fmt;
+
+use vortex_sim::DeviceConfig;
+
+/// Computes the paper's optimal `local_work_size`:
+///
+/// ```text
+/// lws = gws / hp,    hp = cores × warps × threads      (Eq. 1)
+/// ```
+///
+/// Integer division, clamped to at least 1 — which makes the policy
+/// resolve to `lws = 1` whenever the hardware parallelism exceeds the
+/// global work size, exactly as §3 of the paper observes.
+///
+/// # Examples
+///
+/// ```
+/// use vortex_core::optimal_lws;
+/// assert_eq!(optimal_lws(4096, 8), 512);
+/// assert_eq!(optimal_lws(128, 65536), 1); // hp > gws ⇒ naive mapping
+/// ```
+pub fn optimal_lws(gws: u32, hp: u64) -> u32 {
+    debug_assert!(gws > 0, "gws must be positive");
+    ((u64::from(gws) / hp.max(1)).max(1)) as u32
+}
+
+/// How the host chooses `local_work_size` for a launch.
+///
+/// `Naive1` and `Fixed32` are the two baselines the paper compares
+/// against; `Auto` is the paper's hardware-aware runtime policy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum LwsPolicy {
+    /// `lws = 1`: never unroll the kernel over one thread (paper baseline).
+    Naive1,
+    /// `lws = 32`: a fixed, hardware-agnostic choice (paper baseline).
+    Fixed32,
+    /// Eq. 1: `lws = max(1, gws / hp)`, evaluated at runtime from the
+    /// device configuration (the paper's contribution).
+    Auto,
+    /// Ceiling variant of Eq. 1 (`⌈gws / hp⌉`), for ablation studies.
+    AutoCeil,
+    /// A programmer-specified value.
+    Explicit(u32),
+}
+
+impl LwsPolicy {
+    /// Resolves the policy for a launch of `gws` items on `config`.
+    ///
+    /// The result is clamped to `1..=gws`.
+    pub fn lws_for(self, gws: u32, config: &DeviceConfig) -> u32 {
+        let hp = config.hardware_parallelism();
+        let raw = match self {
+            LwsPolicy::Naive1 => 1,
+            LwsPolicy::Fixed32 => 32,
+            LwsPolicy::Auto => optimal_lws(gws, hp),
+            LwsPolicy::AutoCeil => {
+                (u64::from(gws).div_ceil(hp.max(1)).max(1)) as u32
+            }
+            LwsPolicy::Explicit(n) => n.max(1),
+        };
+        raw.min(gws.max(1))
+    }
+
+    /// Short label used in experiment tables (`lws=1`, `lws=32`, `ours`).
+    pub fn label(self) -> String {
+        match self {
+            LwsPolicy::Naive1 => "lws=1".to_owned(),
+            LwsPolicy::Fixed32 => "lws=32".to_owned(),
+            LwsPolicy::Auto => "ours".to_owned(),
+            LwsPolicy::AutoCeil => "ours-ceil".to_owned(),
+            LwsPolicy::Explicit(n) => format!("lws={n}"),
+        }
+    }
+}
+
+impl fmt::Display for LwsPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The three mapping regimes of §2 of the paper, determined by the
+/// relation between `lws` and `gws / hp`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum MappingScenario {
+    /// `lws < gws/hp`: more software warps than hardware — execution is
+    /// serialised over multiple in-kernel dispatch rounds.
+    MultiCall,
+    /// `lws = gws/hp`: every hardware slot gets exactly one task in a
+    /// single round.
+    ExactFit,
+    /// `lws > gws/hp`: a single round that leaves hardware slots idle.
+    Underfilled,
+}
+
+impl MappingScenario {
+    /// Classifies a launch.
+    pub fn classify(gws: u32, lws: u32, hp: u64) -> Self {
+        let n_tasks = u64::from(gws).div_ceil(u64::from(lws.max(1)));
+        match n_tasks.cmp(&hp) {
+            std::cmp::Ordering::Greater => MappingScenario::MultiCall,
+            std::cmp::Ordering::Equal => MappingScenario::ExactFit,
+            std::cmp::Ordering::Less => MappingScenario::Underfilled,
+        }
+    }
+}
+
+impl fmt::Display for MappingScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MappingScenario::MultiCall => "multi-call (lws < gws/hp)",
+            MappingScenario::ExactFit => "exact fit (lws = gws/hp)",
+            MappingScenario::Underfilled => "under-filled (lws > gws/hp)",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_examples_from_the_paper() {
+        // Fig. 1: vecadd gws=128 on 1c2w4t (hp=8) -> optimal lws=16.
+        assert_eq!(optimal_lws(128, 8), 16);
+        // §3: hp > gws resolves to lws=1.
+        assert_eq!(optimal_lws(128, 256), 1);
+    }
+
+    #[test]
+    fn policies_resolve() {
+        let cfg = DeviceConfig::with_topology(1, 2, 4);
+        assert_eq!(LwsPolicy::Naive1.lws_for(128, &cfg), 1);
+        assert_eq!(LwsPolicy::Fixed32.lws_for(128, &cfg), 32);
+        assert_eq!(LwsPolicy::Auto.lws_for(128, &cfg), 16);
+        assert_eq!(LwsPolicy::Explicit(64).lws_for(128, &cfg), 64);
+        // lws never exceeds gws
+        assert_eq!(LwsPolicy::Fixed32.lws_for(8, &cfg), 8);
+        assert_eq!(LwsPolicy::Explicit(0).lws_for(8, &cfg), 1);
+    }
+
+    #[test]
+    fn auto_ceil_rounds_up() {
+        let cfg = DeviceConfig::with_topology(1, 2, 4); // hp=8
+        assert_eq!(LwsPolicy::Auto.lws_for(100, &cfg), 12); // floor(100/8)
+        assert_eq!(LwsPolicy::AutoCeil.lws_for(100, &cfg), 13); // ceil
+    }
+
+    #[test]
+    fn scenario_classification_matches_paper() {
+        // gws=128, hp=8 (Fig. 1's example).
+        assert_eq!(MappingScenario::classify(128, 1, 8), MappingScenario::MultiCall);
+        assert_eq!(MappingScenario::classify(128, 16, 8), MappingScenario::ExactFit);
+        assert_eq!(MappingScenario::classify(128, 32, 8), MappingScenario::Underfilled);
+        assert_eq!(MappingScenario::classify(128, 64, 8), MappingScenario::Underfilled);
+    }
+
+    #[test]
+    fn auto_policy_yields_exact_fit_when_divisible() {
+        for (gws, topo) in [(4096u32, (2usize, 4usize, 8usize)), (1024, (1, 2, 2))] {
+            let cfg = DeviceConfig::with_topology(topo.0, topo.1, topo.2);
+            let lws = LwsPolicy::Auto.lws_for(gws, &cfg);
+            assert_eq!(
+                MappingScenario::classify(gws, lws, cfg.hardware_parallelism()),
+                MappingScenario::ExactFit
+            );
+        }
+    }
+
+    #[test]
+    fn labels_match_figure_legend() {
+        assert_eq!(LwsPolicy::Naive1.label(), "lws=1");
+        assert_eq!(LwsPolicy::Fixed32.label(), "lws=32");
+        assert_eq!(LwsPolicy::Auto.label(), "ours");
+    }
+}

@@ -1,0 +1,141 @@
+//! Control and status registers, including the Vortex SIMT identity CSRs.
+
+use std::fmt;
+
+/// A control/status register address (12 bits).
+///
+/// The SIMT programming model exposes the executing thread's identity and
+/// the machine's parallelism through the read-only CSRs in [`csrs`]; they
+/// are what lets a kernel compute *which* work-items it owns.
+///
+/// # Examples
+///
+/// ```
+/// use vortex_isa::{csrs, Csr};
+/// assert_eq!(Csr::new(0xCC0), Some(csrs::THREAD_ID));
+/// assert_eq!(csrs::THREAD_ID.to_string(), "thread_id");
+/// assert_eq!(Csr::new(0x123).unwrap().to_string(), "csr(0x123)");
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Csr(u16);
+
+impl Csr {
+    /// Creates a CSR address, returning `None` if it does not fit in 12 bits.
+    pub const fn new(addr: u16) -> Option<Self> {
+        if addr < 0x1000 {
+            Some(Csr(addr))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a CSR address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr >= 0x1000`.
+    pub const fn at(addr: u16) -> Self {
+        assert!(addr < 0x1000, "CSR address out of range");
+        Csr(addr)
+    }
+
+    /// The 12-bit CSR address.
+    pub const fn addr(self) -> u16 {
+        self.0
+    }
+
+    /// A human-readable name if this is a well-known CSR.
+    pub fn name(self) -> Option<&'static str> {
+        Some(match self {
+            csrs::THREAD_ID => "thread_id",
+            csrs::WARP_ID => "warp_id",
+            csrs::CORE_ID => "core_id",
+            csrs::THREAD_MASK => "thread_mask",
+            csrs::ACTIVE_WARPS => "active_warps",
+            csrs::NUM_THREADS => "num_threads",
+            csrs::NUM_WARPS => "num_warps",
+            csrs::NUM_CORES => "num_cores",
+            csrs::MCYCLE => "mcycle",
+            csrs::MCYCLE_H => "mcycleh",
+            csrs::MINSTRET => "minstret",
+            csrs::MINSTRET_H => "minstreth",
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name() {
+            Some(name) => f.write_str(name),
+            None => write!(f, "csr({:#x})", self.0),
+        }
+    }
+}
+
+/// Well-known CSR addresses (Vortex SIMT identity registers and counters).
+pub mod csrs {
+    use super::Csr;
+
+    /// Lane index of the executing thread within its warp (read-only).
+    pub const THREAD_ID: Csr = Csr::at(0xCC0);
+    /// Index of the executing warp within its core (read-only).
+    pub const WARP_ID: Csr = Csr::at(0xCC1);
+    /// Index of the executing core within the device (read-only).
+    pub const CORE_ID: Csr = Csr::at(0xCC2);
+    /// Current thread mask of the executing warp (read-only).
+    pub const THREAD_MASK: Csr = Csr::at(0xCC3);
+    /// Bit mask of currently active warps on the core (read-only).
+    pub const ACTIVE_WARPS: Csr = Csr::at(0xCC4);
+    /// Hardware threads (lanes) per warp (read-only).
+    pub const NUM_THREADS: Csr = Csr::at(0xFC0);
+    /// Hardware warps per core (read-only).
+    pub const NUM_WARPS: Csr = Csr::at(0xFC1);
+    /// Cores in the device (read-only).
+    pub const NUM_CORES: Csr = Csr::at(0xFC2);
+    /// Cycle counter, low 32 bits.
+    pub const MCYCLE: Csr = Csr::at(0xC00);
+    /// Cycle counter, high 32 bits.
+    pub const MCYCLE_H: Csr = Csr::at(0xC80);
+    /// Retired-instruction counter, low 32 bits.
+    pub const MINSTRET: Csr = Csr::at(0xC02);
+    /// Retired-instruction counter, high 32 bits.
+    pub const MINSTRET_H: Csr = Csr::at(0xC82);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_bounds() {
+        assert!(Csr::new(0xFFF).is_some());
+        assert!(Csr::new(0x1000).is_none());
+    }
+
+    #[test]
+    fn known_names() {
+        assert_eq!(csrs::NUM_CORES.name(), Some("num_cores"));
+        assert_eq!(Csr::at(0x7C0).name(), None);
+        assert_eq!(csrs::MCYCLE.to_string(), "mcycle");
+    }
+
+    #[test]
+    fn identity_csrs_are_distinct() {
+        let all = [
+            csrs::THREAD_ID,
+            csrs::WARP_ID,
+            csrs::CORE_ID,
+            csrs::THREAD_MASK,
+            csrs::ACTIVE_WARPS,
+            csrs::NUM_THREADS,
+            csrs::NUM_WARPS,
+            csrs::NUM_CORES,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

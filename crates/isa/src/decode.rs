@@ -1,0 +1,394 @@
+//! Binary decoding of 32-bit words into [`Instr`].
+
+use std::error::Error;
+use std::fmt;
+
+use crate::encode::opcodes;
+use crate::instr::{
+    AluImmOp, AluOp, BranchOp, CsrOp, CsrSrc, FmaOp, FpBinOp, FpCmpOp, Instr, LoadWidth,
+    StoreWidth, VoteOp,
+};
+use crate::{Csr, FReg, Reg};
+
+/// An error produced when a 32-bit word is not a valid instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction word {:#010x}", self.word)
+    }
+}
+
+impl Error for DecodeError {}
+
+fn rd(w: u32) -> Reg {
+    Reg::new(((w >> 7) & 0x1F) as u8).expect("5-bit field")
+}
+fn rs1(w: u32) -> Reg {
+    Reg::new(((w >> 15) & 0x1F) as u8).expect("5-bit field")
+}
+fn rs2(w: u32) -> Reg {
+    Reg::new(((w >> 20) & 0x1F) as u8).expect("5-bit field")
+}
+fn frd(w: u32) -> FReg {
+    FReg::new(((w >> 7) & 0x1F) as u8).expect("5-bit field")
+}
+fn frs1(w: u32) -> FReg {
+    FReg::new(((w >> 15) & 0x1F) as u8).expect("5-bit field")
+}
+fn frs2(w: u32) -> FReg {
+    FReg::new(((w >> 20) & 0x1F) as u8).expect("5-bit field")
+}
+fn frs3(w: u32) -> FReg {
+    FReg::new(((w >> 27) & 0x1F) as u8).expect("5-bit field")
+}
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+
+fn i_imm(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+fn s_imm(w: u32) -> i32 {
+    let hi = ((w as i32) >> 25) << 5;
+    let lo = ((w >> 7) & 0x1F) as i32;
+    hi | lo
+}
+
+fn b_imm(w: u32) -> i32 {
+    let bit12 = ((w as i32) >> 31) << 12;
+    let bit11 = (((w >> 7) & 1) as i32) << 11;
+    let bits10_5 = (((w >> 25) & 0x3F) as i32) << 5;
+    let bits4_1 = (((w >> 8) & 0xF) as i32) << 1;
+    bit12 | bit11 | bits10_5 | bits4_1
+}
+
+fn u_imm(w: u32) -> i32 {
+    (w & 0xFFFF_F000) as i32
+}
+
+fn j_imm(w: u32) -> i32 {
+    let bit20 = ((w as i32) >> 31) << 20;
+    let bits19_12 = (((w >> 12) & 0xFF) as i32) << 12;
+    let bit11 = (((w >> 20) & 1) as i32) << 11;
+    let bits10_1 = (((w >> 21) & 0x3FF) as i32) << 1;
+    bit20 | bits19_12 | bit11 | bits10_1
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for words that are not produced by [`encode`]
+/// (unknown opcode, funct field or register-class combination).
+///
+/// [`encode`]: crate::encode
+///
+/// # Examples
+///
+/// ```
+/// use vortex_isa::{decode, Instr, AluImmOp, reg};
+/// let instr = decode(0x0015_0513)?; // addi a0, a0, 1
+/// assert_eq!(
+///     instr,
+///     Instr::OpImm { op: AluImmOp::Add, rd: reg::A0, rs1: reg::A0, imm: 1 }
+/// );
+/// # Ok::<(), vortex_isa::DecodeError>(())
+/// ```
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    use opcodes::*;
+    let err = Err(DecodeError { word });
+    let w = word;
+    let instr = match w & 0x7F {
+        LUI => Instr::Lui { rd: rd(w), imm: u_imm(w) },
+        AUIPC => Instr::Auipc { rd: rd(w), imm: u_imm(w) },
+        JAL => Instr::Jal { rd: rd(w), offset: j_imm(w) },
+        JALR => {
+            if funct3(w) != 0 {
+                return err;
+            }
+            Instr::Jalr { rd: rd(w), rs1: rs1(w), offset: i_imm(w) }
+        }
+        BRANCH => {
+            let op = match funct3(w) {
+                0 => BranchOp::Eq,
+                1 => BranchOp::Ne,
+                4 => BranchOp::Lt,
+                5 => BranchOp::Ge,
+                6 => BranchOp::Ltu,
+                7 => BranchOp::Geu,
+                _ => return err,
+            };
+            Instr::Branch { op, rs1: rs1(w), rs2: rs2(w), offset: b_imm(w) }
+        }
+        LOAD => {
+            let width = match funct3(w) {
+                0 => LoadWidth::Byte,
+                1 => LoadWidth::Half,
+                2 => LoadWidth::Word,
+                4 => LoadWidth::ByteU,
+                5 => LoadWidth::HalfU,
+                _ => return err,
+            };
+            Instr::Load { width, rd: rd(w), rs1: rs1(w), offset: i_imm(w) }
+        }
+        STORE => {
+            let width = match funct3(w) {
+                0 => StoreWidth::Byte,
+                1 => StoreWidth::Half,
+                2 => StoreWidth::Word,
+                _ => return err,
+            };
+            Instr::Store { width, rs2: rs2(w), rs1: rs1(w), offset: s_imm(w) }
+        }
+        OP_IMM => {
+            let op = match funct3(w) {
+                0 => AluImmOp::Add,
+                2 => AluImmOp::Slt,
+                3 => AluImmOp::Sltu,
+                4 => AluImmOp::Xor,
+                6 => AluImmOp::Or,
+                7 => AluImmOp::And,
+                1 => {
+                    if funct7(w) != 0 {
+                        return err;
+                    }
+                    AluImmOp::Sll
+                }
+                5 => match funct7(w) {
+                    0x00 => AluImmOp::Srl,
+                    0x20 => AluImmOp::Sra,
+                    _ => return err,
+                },
+                _ => unreachable!("funct3 is 3 bits"),
+            };
+            let imm = match op {
+                AluImmOp::Sll | AluImmOp::Srl | AluImmOp::Sra => ((w >> 20) & 0x1F) as i32,
+                _ => i_imm(w),
+            };
+            Instr::OpImm { op, rd: rd(w), rs1: rs1(w), imm }
+        }
+        OP => {
+            let op = match (funct7(w), funct3(w)) {
+                (0x00, 0) => AluOp::Add,
+                (0x20, 0) => AluOp::Sub,
+                (0x00, 1) => AluOp::Sll,
+                (0x00, 2) => AluOp::Slt,
+                (0x00, 3) => AluOp::Sltu,
+                (0x00, 4) => AluOp::Xor,
+                (0x00, 5) => AluOp::Srl,
+                (0x20, 5) => AluOp::Sra,
+                (0x00, 6) => AluOp::Or,
+                (0x00, 7) => AluOp::And,
+                (0x01, 0) => AluOp::Mul,
+                (0x01, 1) => AluOp::Mulh,
+                (0x01, 2) => AluOp::Mulhsu,
+                (0x01, 3) => AluOp::Mulhu,
+                (0x01, 4) => AluOp::Div,
+                (0x01, 5) => AluOp::Divu,
+                (0x01, 6) => AluOp::Rem,
+                (0x01, 7) => AluOp::Remu,
+                _ => return err,
+            };
+            Instr::Op { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+        }
+        MISC_MEM => Instr::Fence,
+        SYSTEM => match funct3(w) {
+            0 => match w >> 20 {
+                0 => Instr::Ecall,
+                1 => Instr::Ebreak,
+                _ => return err,
+            },
+            f3 => {
+                let op = match f3 & 0x3 {
+                    1 => CsrOp::ReadWrite,
+                    2 => CsrOp::ReadSet,
+                    3 => CsrOp::ReadClear,
+                    _ => return err,
+                };
+                let field = ((w >> 15) & 0x1F) as u8;
+                let src = if f3 >= 4 {
+                    CsrSrc::Imm(field)
+                } else {
+                    CsrSrc::Reg(Reg::new(field).expect("5-bit field"))
+                };
+                let csr = Csr::new((w >> 20) as u16).expect("12-bit field");
+                Instr::Csr { op, rd: rd(w), src, csr }
+            }
+        },
+        LOAD_FP => {
+            if funct3(w) != 2 {
+                return err;
+            }
+            Instr::Flw { rd: frd(w), rs1: rs1(w), offset: i_imm(w) }
+        }
+        STORE_FP => {
+            if funct3(w) != 2 {
+                return err;
+            }
+            Instr::Fsw { rs2: frs2(w), rs1: rs1(w), offset: s_imm(w) }
+        }
+        OP_FP => match funct7(w) {
+            0x00 => Instr::FpOp { op: FpBinOp::Add, rd: frd(w), rs1: frs1(w), rs2: frs2(w) },
+            0x04 => Instr::FpOp { op: FpBinOp::Sub, rd: frd(w), rs1: frs1(w), rs2: frs2(w) },
+            0x08 => Instr::FpOp { op: FpBinOp::Mul, rd: frd(w), rs1: frs1(w), rs2: frs2(w) },
+            0x0C => Instr::FpOp { op: FpBinOp::Div, rd: frd(w), rs1: frs1(w), rs2: frs2(w) },
+            0x10 => {
+                let op = match funct3(w) {
+                    0 => FpBinOp::SgnJ,
+                    1 => FpBinOp::SgnJN,
+                    2 => FpBinOp::SgnJX,
+                    _ => return err,
+                };
+                Instr::FpOp { op, rd: frd(w), rs1: frs1(w), rs2: frs2(w) }
+            }
+            0x14 => {
+                let op = match funct3(w) {
+                    0 => FpBinOp::Min,
+                    1 => FpBinOp::Max,
+                    _ => return err,
+                };
+                Instr::FpOp { op, rd: frd(w), rs1: frs1(w), rs2: frs2(w) }
+            }
+            0x2C => {
+                if (w >> 20) & 0x1F != 0 {
+                    return err;
+                }
+                Instr::FpSqrt { rd: frd(w), rs1: frs1(w) }
+            }
+            0x50 => {
+                let op = match funct3(w) {
+                    0 => FpCmpOp::Le,
+                    1 => FpCmpOp::Lt,
+                    2 => FpCmpOp::Eq,
+                    _ => return err,
+                };
+                Instr::FpCmp { op, rd: rd(w), rs1: frs1(w), rs2: frs2(w) }
+            }
+            0x60 => match (w >> 20) & 0x1F {
+                0 => Instr::FpCvtToInt { signed: true, rd: rd(w), rs1: frs1(w) },
+                1 => Instr::FpCvtToInt { signed: false, rd: rd(w), rs1: frs1(w) },
+                _ => return err,
+            },
+            0x68 => match (w >> 20) & 0x1F {
+                0 => Instr::FpCvtFromInt { signed: true, rd: frd(w), rs1: rs1(w) },
+                1 => Instr::FpCvtFromInt { signed: false, rd: frd(w), rs1: rs1(w) },
+                _ => return err,
+            },
+            0x70 => match funct3(w) {
+                0 if (w >> 20) & 0x1F == 0 => Instr::FpMvToInt { rd: rd(w), rs1: frs1(w) },
+                1 => Instr::FpClass { rd: rd(w), rs1: frs1(w) },
+                _ => return err,
+            },
+            0x78 => {
+                if funct3(w) != 0 || (w >> 20) & 0x1F != 0 {
+                    return err;
+                }
+                Instr::FpMvFromInt { rd: frd(w), rs1: rs1(w) }
+            }
+            _ => return err,
+        },
+        FMADD | FMSUB | FNMSUB | FNMADD => {
+            if (w >> 25) & 0x3 != 0 {
+                return err; // only fmt=S supported
+            }
+            let op = match w & 0x7F {
+                FMADD => FmaOp::MAdd,
+                FMSUB => FmaOp::MSub,
+                FNMSUB => FmaOp::NMSub,
+                _ => FmaOp::NMAdd,
+            };
+            Instr::FpFma { op, rd: frd(w), rs1: frs1(w), rs2: frs2(w), rs3: frs3(w) }
+        }
+        CUSTOM0 => match funct3(w) {
+            0 => Instr::Tmc { rs1: rs1(w) },
+            1 => Instr::Wspawn { rs1: rs1(w), rs2: rs2(w) },
+            3 => Instr::Join,
+            4 => Instr::Bar { rs1: rs1(w), rs2: rs2(w) },
+            6 => {
+                let op = match funct7(w) {
+                    0 => VoteOp::Any,
+                    1 => VoteOp::All,
+                    2 => VoteOp::Ballot,
+                    _ => return err,
+                };
+                Instr::Vote { op, rd: rd(w), rs1: rs1(w) }
+            }
+            _ => return err,
+        },
+        CUSTOM1 => {
+            if funct3(w) != 0 {
+                return err;
+            }
+            Instr::Split { rs1: rs1(w), offset: b_imm(w) }
+        }
+        _ => return err,
+    };
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{encode, reg};
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(0).is_err());
+        assert!(decode(0xFFFF_FFFF).is_err());
+        assert!(decode(0x7F).is_err()); // unknown major opcode
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        // addi a0, a0, -1
+        let w = encode(Instr::OpImm { op: AluImmOp::Add, rd: reg::A0, rs1: reg::A0, imm: -1 })
+            .unwrap();
+        assert_eq!(
+            decode(w).unwrap(),
+            Instr::OpImm { op: AluImmOp::Add, rd: reg::A0, rs1: reg::A0, imm: -1 }
+        );
+        // backwards branch
+        let b = Instr::Branch { op: BranchOp::Ne, rs1: reg::A0, rs2: reg::ZERO, offset: -64 };
+        assert_eq!(decode(encode(b).unwrap()).unwrap(), b);
+        // backwards jump
+        let j = Instr::Jal { rd: reg::ZERO, offset: -1048576 };
+        assert_eq!(decode(encode(j).unwrap()).unwrap(), j);
+    }
+
+    #[test]
+    fn store_immediate_splitting() {
+        for offset in [-2048, -1, 0, 1, 7, 2047] {
+            let s = Instr::Store {
+                width: StoreWidth::Word,
+                rs2: reg::A0,
+                rs1: reg::A1,
+                offset,
+            };
+            assert_eq!(decode(encode(s).unwrap()).unwrap(), s, "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn split_roundtrip_with_negative_offset() {
+        let s = Instr::Split { rs1: reg::A5, offset: -128 };
+        assert_eq!(decode(encode(s).unwrap()).unwrap(), s);
+    }
+
+    #[test]
+    fn fp_decode_distinguishes_cmp_ops() {
+        use crate::fregs;
+        for op in [FpCmpOp::Eq, FpCmpOp::Lt, FpCmpOp::Le] {
+            let i = Instr::FpCmp { op, rd: reg::A0, rs1: fregs::FA0, rs2: fregs::FA1 };
+            assert_eq!(decode(encode(i).unwrap()).unwrap(), i);
+        }
+    }
+}

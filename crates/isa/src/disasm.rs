@@ -1,0 +1,193 @@
+//! Textual disassembly: `Display` for [`Instr`].
+
+use std::fmt;
+
+use crate::instr::{
+    AluImmOp, AluOp, BranchOp, CsrOp, CsrSrc, FmaOp, FpBinOp, FpCmpOp, Instr, LoadWidth,
+    StoreWidth, VoteOp,
+};
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Lui { rd, imm } => write!(f, "lui {rd}, {:#x}", (imm as u32) >> 12),
+            Instr::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", (imm as u32) >> 12),
+            Instr::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Instr::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Instr::Branch { op, rs1, rs2, offset } => {
+                let name = match op {
+                    BranchOp::Eq => "beq",
+                    BranchOp::Ne => "bne",
+                    BranchOp::Lt => "blt",
+                    BranchOp::Ge => "bge",
+                    BranchOp::Ltu => "bltu",
+                    BranchOp::Geu => "bgeu",
+                };
+                write!(f, "{name} {rs1}, {rs2}, {offset}")
+            }
+            Instr::Load { width, rd, rs1, offset } => {
+                let name = match width {
+                    LoadWidth::Byte => "lb",
+                    LoadWidth::Half => "lh",
+                    LoadWidth::Word => "lw",
+                    LoadWidth::ByteU => "lbu",
+                    LoadWidth::HalfU => "lhu",
+                };
+                write!(f, "{name} {rd}, {offset}({rs1})")
+            }
+            Instr::Store { width, rs2, rs1, offset } => {
+                let name = match width {
+                    StoreWidth::Byte => "sb",
+                    StoreWidth::Half => "sh",
+                    StoreWidth::Word => "sw",
+                };
+                write!(f, "{name} {rs2}, {offset}({rs1})")
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                let name = match op {
+                    AluImmOp::Add => "addi",
+                    AluImmOp::Slt => "slti",
+                    AluImmOp::Sltu => "sltiu",
+                    AluImmOp::Xor => "xori",
+                    AluImmOp::Or => "ori",
+                    AluImmOp::And => "andi",
+                    AluImmOp::Sll => "slli",
+                    AluImmOp::Srl => "srli",
+                    AluImmOp::Sra => "srai",
+                };
+                write!(f, "{name} {rd}, {rs1}, {imm}")
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                let name = match op {
+                    AluOp::Add => "add",
+                    AluOp::Sub => "sub",
+                    AluOp::Sll => "sll",
+                    AluOp::Slt => "slt",
+                    AluOp::Sltu => "sltu",
+                    AluOp::Xor => "xor",
+                    AluOp::Srl => "srl",
+                    AluOp::Sra => "sra",
+                    AluOp::Or => "or",
+                    AluOp::And => "and",
+                    AluOp::Mul => "mul",
+                    AluOp::Mulh => "mulh",
+                    AluOp::Mulhsu => "mulhsu",
+                    AluOp::Mulhu => "mulhu",
+                    AluOp::Div => "div",
+                    AluOp::Divu => "divu",
+                    AluOp::Rem => "rem",
+                    AluOp::Remu => "remu",
+                };
+                write!(f, "{name} {rd}, {rs1}, {rs2}")
+            }
+            Instr::Fence => f.write_str("fence"),
+            Instr::Ecall => f.write_str("ecall"),
+            Instr::Ebreak => f.write_str("ebreak"),
+            Instr::Csr { op, rd, src, csr } => {
+                let (reg_name, imm_name) = match op {
+                    CsrOp::ReadWrite => ("csrrw", "csrrwi"),
+                    CsrOp::ReadSet => ("csrrs", "csrrsi"),
+                    CsrOp::ReadClear => ("csrrc", "csrrci"),
+                };
+                match src {
+                    CsrSrc::Reg(rs1) => write!(f, "{reg_name} {rd}, {csr}, {rs1}"),
+                    CsrSrc::Imm(imm) => write!(f, "{imm_name} {rd}, {csr}, {imm}"),
+                }
+            }
+            Instr::Flw { rd, rs1, offset } => write!(f, "flw {rd}, {offset}({rs1})"),
+            Instr::Fsw { rs2, rs1, offset } => write!(f, "fsw {rs2}, {offset}({rs1})"),
+            Instr::FpOp { op, rd, rs1, rs2 } => {
+                let name = match op {
+                    FpBinOp::Add => "fadd.s",
+                    FpBinOp::Sub => "fsub.s",
+                    FpBinOp::Mul => "fmul.s",
+                    FpBinOp::Div => "fdiv.s",
+                    FpBinOp::SgnJ => "fsgnj.s",
+                    FpBinOp::SgnJN => "fsgnjn.s",
+                    FpBinOp::SgnJX => "fsgnjx.s",
+                    FpBinOp::Min => "fmin.s",
+                    FpBinOp::Max => "fmax.s",
+                };
+                write!(f, "{name} {rd}, {rs1}, {rs2}")
+            }
+            Instr::FpFma { op, rd, rs1, rs2, rs3 } => {
+                let name = match op {
+                    FmaOp::MAdd => "fmadd.s",
+                    FmaOp::MSub => "fmsub.s",
+                    FmaOp::NMSub => "fnmsub.s",
+                    FmaOp::NMAdd => "fnmadd.s",
+                };
+                write!(f, "{name} {rd}, {rs1}, {rs2}, {rs3}")
+            }
+            Instr::FpSqrt { rd, rs1 } => write!(f, "fsqrt.s {rd}, {rs1}"),
+            Instr::FpCmp { op, rd, rs1, rs2 } => {
+                let name = match op {
+                    FpCmpOp::Eq => "feq.s",
+                    FpCmpOp::Lt => "flt.s",
+                    FpCmpOp::Le => "fle.s",
+                };
+                write!(f, "{name} {rd}, {rs1}, {rs2}")
+            }
+            Instr::FpCvtToInt { signed, rd, rs1 } => {
+                let name = if signed { "fcvt.w.s" } else { "fcvt.wu.s" };
+                write!(f, "{name} {rd}, {rs1}")
+            }
+            Instr::FpCvtFromInt { signed, rd, rs1 } => {
+                let name = if signed { "fcvt.s.w" } else { "fcvt.s.wu" };
+                write!(f, "{name} {rd}, {rs1}")
+            }
+            Instr::FpMvToInt { rd, rs1 } => write!(f, "fmv.x.w {rd}, {rs1}"),
+            Instr::FpMvFromInt { rd, rs1 } => write!(f, "fmv.w.x {rd}, {rs1}"),
+            Instr::FpClass { rd, rs1 } => write!(f, "fclass.s {rd}, {rs1}"),
+            Instr::Tmc { rs1 } => write!(f, "vx_tmc {rs1}"),
+            Instr::Wspawn { rs1, rs2 } => write!(f, "vx_wspawn {rs1}, {rs2}"),
+            Instr::Split { rs1, offset } => write!(f, "vx_split {rs1}, {offset}"),
+            Instr::Join => f.write_str("vx_join"),
+            Instr::Bar { rs1, rs2 } => write!(f, "vx_bar {rs1}, {rs2}"),
+            Instr::Vote { op, rd, rs1 } => {
+                let name = match op {
+                    VoteOp::Any => "vx_vote.any",
+                    VoteOp::All => "vx_vote.all",
+                    VoteOp::Ballot => "vx_vote.ballot",
+                };
+                write!(f, "{name} {rd}, {rs1}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fregs, reg};
+
+    #[test]
+    fn renders_common_forms() {
+        let i = Instr::Load { width: LoadWidth::Word, rd: reg::A0, rs1: reg::SP, offset: -4 };
+        assert_eq!(i.to_string(), "lw a0, -4(sp)");
+        let i = Instr::Lui { rd: reg::T0, imm: 0x10000 };
+        assert_eq!(i.to_string(), "lui t0, 0x10");
+        let i = Instr::FpFma {
+            op: FmaOp::MAdd,
+            rd: fregs::FT0,
+            rs1: fregs::FA0,
+            rs2: fregs::FA1,
+            rs3: fregs::FT0,
+        };
+        assert_eq!(i.to_string(), "fmadd.s ft0, fa0, fa1, ft0");
+        let i = Instr::Vote { op: VoteOp::Any, rd: reg::T1, rs1: reg::T2 };
+        assert_eq!(i.to_string(), "vx_vote.any t1, t2");
+    }
+
+    #[test]
+    fn csr_immediate_form() {
+        use crate::csrs;
+        let i = Instr::Csr {
+            op: CsrOp::ReadSet,
+            rd: reg::A0,
+            src: CsrSrc::Imm(0),
+            csr: csrs::THREAD_ID,
+        };
+        assert_eq!(i.to_string(), "csrrsi a0, thread_id, 0");
+    }
+}

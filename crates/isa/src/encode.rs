@@ -1,0 +1,428 @@
+//! Binary encoding of [`Instr`] into 32-bit RISC-V words.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::{
+    AluImmOp, AluOp, BranchOp, CsrOp, CsrSrc, FmaOp, FpBinOp, FpCmpOp, Instr, LoadWidth,
+    StoreWidth, VoteOp,
+};
+
+pub(crate) mod opcodes {
+    pub const LUI: u32 = 0x37;
+    pub const AUIPC: u32 = 0x17;
+    pub const JAL: u32 = 0x6F;
+    pub const JALR: u32 = 0x67;
+    pub const BRANCH: u32 = 0x63;
+    pub const LOAD: u32 = 0x03;
+    pub const STORE: u32 = 0x23;
+    pub const OP_IMM: u32 = 0x13;
+    pub const OP: u32 = 0x33;
+    pub const MISC_MEM: u32 = 0x0F;
+    pub const SYSTEM: u32 = 0x73;
+    pub const LOAD_FP: u32 = 0x07;
+    pub const STORE_FP: u32 = 0x27;
+    pub const OP_FP: u32 = 0x53;
+    pub const FMADD: u32 = 0x43;
+    pub const FMSUB: u32 = 0x47;
+    pub const FNMSUB: u32 = 0x4B;
+    pub const FNMADD: u32 = 0x4F;
+    /// Vortex SIMT extension: tmc/wspawn/join/bar/vote.
+    pub const CUSTOM0: u32 = 0x0B;
+    /// Vortex SIMT extension: fused split (B-type).
+    pub const CUSTOM1: u32 = 0x2B;
+}
+
+/// Dynamic rounding-mode encoding used for FP arithmetic `funct3`.
+pub(crate) const RM_DYN: u32 = 0b111;
+
+/// An error produced when an [`Instr`] cannot be represented in 32 bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A signed immediate does not fit the field.
+    ImmOutOfRange {
+        /// The offending immediate.
+        imm: i64,
+        /// Width of the destination field in bits.
+        bits: u8,
+    },
+    /// A branch/jump byte offset is not 2-byte aligned.
+    Misaligned {
+        /// The offending offset.
+        offset: i32,
+    },
+    /// An upper immediate has non-zero low 12 bits.
+    DirtyUpperImm {
+        /// The offending immediate.
+        imm: i32,
+    },
+    /// A shift amount is outside 0..32.
+    ShamtOutOfRange {
+        /// The offending shift amount.
+        shamt: i32,
+    },
+    /// A CSR immediate is outside 0..32.
+    CsrImmOutOfRange {
+        /// The offending immediate.
+        imm: u8,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange { imm, bits } => {
+                write!(f, "immediate {imm} does not fit in {bits} signed bits")
+            }
+            EncodeError::Misaligned { offset } => {
+                write!(f, "control-flow offset {offset} is not 2-byte aligned")
+            }
+            EncodeError::DirtyUpperImm { imm } => {
+                write!(f, "upper immediate {imm:#x} has non-zero low 12 bits")
+            }
+            EncodeError::ShamtOutOfRange { shamt } => {
+                write!(f, "shift amount {shamt} is outside 0..32")
+            }
+            EncodeError::CsrImmOutOfRange { imm } => {
+                write!(f, "CSR immediate {imm} is outside 0..32")
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+fn check_signed(imm: i64, bits: u8) -> Result<(), EncodeError> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if imm < min || imm > max {
+        return Err(EncodeError::ImmOutOfRange { imm, bits });
+    }
+    Ok(())
+}
+
+fn r_type(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn i_type(imm: i32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> Result<u32, EncodeError> {
+    check_signed(imm as i64, 12)?;
+    let imm = (imm as u32) & 0xFFF;
+    Ok((imm << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode)
+}
+
+fn s_type(imm: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> Result<u32, EncodeError> {
+    check_signed(imm as i64, 12)?;
+    let imm = (imm as u32) & 0xFFF;
+    Ok(((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1F) << 7)
+        | opcode)
+}
+
+fn b_type(offset: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> Result<u32, EncodeError> {
+    if offset % 2 != 0 {
+        return Err(EncodeError::Misaligned { offset });
+    }
+    check_signed(offset as i64, 13)?;
+    let imm = offset as u32;
+    let bit12 = (imm >> 12) & 1;
+    let bits10_5 = (imm >> 5) & 0x3F;
+    let bits4_1 = (imm >> 1) & 0xF;
+    let bit11 = (imm >> 11) & 1;
+    Ok((bit12 << 31)
+        | (bits10_5 << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (bits4_1 << 8)
+        | (bit11 << 7)
+        | opcode)
+}
+
+fn u_type(imm: i32, rd: u32, opcode: u32) -> Result<u32, EncodeError> {
+    if imm & 0xFFF != 0 {
+        return Err(EncodeError::DirtyUpperImm { imm });
+    }
+    Ok((imm as u32) | (rd << 7) | opcode)
+}
+
+fn j_type(offset: i32, rd: u32, opcode: u32) -> Result<u32, EncodeError> {
+    if offset % 2 != 0 {
+        return Err(EncodeError::Misaligned { offset });
+    }
+    check_signed(offset as i64, 21)?;
+    let imm = offset as u32;
+    let bit20 = (imm >> 20) & 1;
+    let bits10_1 = (imm >> 1) & 0x3FF;
+    let bit11 = (imm >> 11) & 1;
+    let bits19_12 = (imm >> 12) & 0xFF;
+    Ok((bit20 << 31) | (bits10_1 << 21) | (bit11 << 20) | (bits19_12 << 12) | (rd << 7) | opcode)
+}
+
+/// Encodes an instruction into its 32-bit binary form.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] when an immediate or offset does not fit its
+/// encoding field, or is misaligned.
+///
+/// # Examples
+///
+/// ```
+/// use vortex_isa::{encode, Instr, reg};
+/// // jal zero, -4 (tight self-loop backwards)
+/// let word = encode(Instr::Jal { rd: reg::ZERO, offset: -4 })?;
+/// assert_eq!(word & 0x7F, 0x6F);
+/// # Ok::<(), vortex_isa::EncodeError>(())
+/// ```
+pub fn encode(instr: Instr) -> Result<u32, EncodeError> {
+    use opcodes::*;
+    let r = |r: crate::Reg| r.num() as u32;
+    let f = |r: crate::FReg| r.num() as u32;
+    match instr {
+        Instr::Lui { rd, imm } => u_type(imm, r(rd), LUI),
+        Instr::Auipc { rd, imm } => u_type(imm, r(rd), AUIPC),
+        Instr::Jal { rd, offset } => j_type(offset, r(rd), JAL),
+        Instr::Jalr { rd, rs1, offset } => i_type(offset, r(rs1), 0, r(rd), JALR),
+        Instr::Branch { op, rs1, rs2, offset } => {
+            let funct3 = match op {
+                BranchOp::Eq => 0,
+                BranchOp::Ne => 1,
+                BranchOp::Lt => 4,
+                BranchOp::Ge => 5,
+                BranchOp::Ltu => 6,
+                BranchOp::Geu => 7,
+            };
+            b_type(offset, r(rs2), r(rs1), funct3, BRANCH)
+        }
+        Instr::Load { width, rd, rs1, offset } => {
+            let funct3 = match width {
+                LoadWidth::Byte => 0,
+                LoadWidth::Half => 1,
+                LoadWidth::Word => 2,
+                LoadWidth::ByteU => 4,
+                LoadWidth::HalfU => 5,
+            };
+            i_type(offset, r(rs1), funct3, r(rd), LOAD)
+        }
+        Instr::Store { width, rs2, rs1, offset } => {
+            let funct3 = match width {
+                StoreWidth::Byte => 0,
+                StoreWidth::Half => 1,
+                StoreWidth::Word => 2,
+            };
+            s_type(offset, r(rs2), r(rs1), funct3, STORE)
+        }
+        Instr::OpImm { op, rd, rs1, imm } => match op {
+            AluImmOp::Add => i_type(imm, r(rs1), 0, r(rd), OP_IMM),
+            AluImmOp::Slt => i_type(imm, r(rs1), 2, r(rd), OP_IMM),
+            AluImmOp::Sltu => i_type(imm, r(rs1), 3, r(rd), OP_IMM),
+            AluImmOp::Xor => i_type(imm, r(rs1), 4, r(rd), OP_IMM),
+            AluImmOp::Or => i_type(imm, r(rs1), 6, r(rd), OP_IMM),
+            AluImmOp::And => i_type(imm, r(rs1), 7, r(rd), OP_IMM),
+            AluImmOp::Sll | AluImmOp::Srl | AluImmOp::Sra => {
+                if !(0..32).contains(&imm) {
+                    return Err(EncodeError::ShamtOutOfRange { shamt: imm });
+                }
+                let (funct3, funct7) = match op {
+                    AluImmOp::Sll => (1, 0x00),
+                    AluImmOp::Srl => (5, 0x00),
+                    _ => (5, 0x20),
+                };
+                Ok(r_type(funct7, imm as u32, r(rs1), funct3, r(rd), OP_IMM))
+            }
+        },
+        Instr::Op { op, rd, rs1, rs2 } => {
+            let (funct3, funct7) = match op {
+                AluOp::Add => (0, 0x00),
+                AluOp::Sub => (0, 0x20),
+                AluOp::Sll => (1, 0x00),
+                AluOp::Slt => (2, 0x00),
+                AluOp::Sltu => (3, 0x00),
+                AluOp::Xor => (4, 0x00),
+                AluOp::Srl => (5, 0x00),
+                AluOp::Sra => (5, 0x20),
+                AluOp::Or => (6, 0x00),
+                AluOp::And => (7, 0x00),
+                AluOp::Mul => (0, 0x01),
+                AluOp::Mulh => (1, 0x01),
+                AluOp::Mulhsu => (2, 0x01),
+                AluOp::Mulhu => (3, 0x01),
+                AluOp::Div => (4, 0x01),
+                AluOp::Divu => (5, 0x01),
+                AluOp::Rem => (6, 0x01),
+                AluOp::Remu => (7, 0x01),
+            };
+            Ok(r_type(funct7, r(rs2), r(rs1), funct3, r(rd), OP))
+        }
+        Instr::Fence => Ok(MISC_MEM),
+        Instr::Ecall => Ok(SYSTEM),
+        Instr::Ebreak => Ok((1 << 20) | SYSTEM),
+        Instr::Csr { op, rd, src, csr } => {
+            let base_funct3 = match op {
+                CsrOp::ReadWrite => 1,
+                CsrOp::ReadSet => 2,
+                CsrOp::ReadClear => 3,
+            };
+            let (funct3, field) = match src {
+                CsrSrc::Reg(rs1) => (base_funct3, r(rs1)),
+                CsrSrc::Imm(imm) => {
+                    if imm >= 32 {
+                        return Err(EncodeError::CsrImmOutOfRange { imm });
+                    }
+                    (base_funct3 + 4, imm as u32)
+                }
+            };
+            Ok(((csr.addr() as u32) << 20) | (field << 15) | (funct3 << 12) | (r(rd) << 7)
+                | SYSTEM)
+        }
+        Instr::Flw { rd, rs1, offset } => i_type(offset, r(rs1), 2, f(rd), LOAD_FP),
+        Instr::Fsw { rs2, rs1, offset } => s_type(offset, f(rs2), r(rs1), 2, STORE_FP),
+        Instr::FpOp { op, rd, rs1, rs2 } => {
+            let (funct7, funct3) = match op {
+                FpBinOp::Add => (0x00, RM_DYN),
+                FpBinOp::Sub => (0x04, RM_DYN),
+                FpBinOp::Mul => (0x08, RM_DYN),
+                FpBinOp::Div => (0x0C, RM_DYN),
+                FpBinOp::SgnJ => (0x10, 0),
+                FpBinOp::SgnJN => (0x10, 1),
+                FpBinOp::SgnJX => (0x10, 2),
+                FpBinOp::Min => (0x14, 0),
+                FpBinOp::Max => (0x14, 1),
+            };
+            Ok(r_type(funct7, f(rs2), f(rs1), funct3, f(rd), OP_FP))
+        }
+        Instr::FpFma { op, rd, rs1, rs2, rs3 } => {
+            let opcode = match op {
+                FmaOp::MAdd => FMADD,
+                FmaOp::MSub => FMSUB,
+                FmaOp::NMSub => FNMSUB,
+                FmaOp::NMAdd => FNMADD,
+            };
+            Ok((f(rs3) << 27) | (f(rs2) << 20) | (f(rs1) << 15) | (RM_DYN << 12) | (f(rd) << 7)
+                | opcode)
+        }
+        Instr::FpSqrt { rd, rs1 } => Ok(r_type(0x2C, 0, f(rs1), RM_DYN, f(rd), OP_FP)),
+        Instr::FpCmp { op, rd, rs1, rs2 } => {
+            let funct3 = match op {
+                FpCmpOp::Le => 0,
+                FpCmpOp::Lt => 1,
+                FpCmpOp::Eq => 2,
+            };
+            Ok(r_type(0x50, f(rs2), f(rs1), funct3, r(rd), OP_FP))
+        }
+        Instr::FpCvtToInt { signed, rd, rs1 } => {
+            Ok(r_type(0x60, if signed { 0 } else { 1 }, f(rs1), RM_DYN, r(rd), OP_FP))
+        }
+        Instr::FpCvtFromInt { signed, rd, rs1 } => {
+            Ok(r_type(0x68, if signed { 0 } else { 1 }, r(rs1), RM_DYN, f(rd), OP_FP))
+        }
+        Instr::FpMvToInt { rd, rs1 } => Ok(r_type(0x70, 0, f(rs1), 0, r(rd), OP_FP)),
+        Instr::FpMvFromInt { rd, rs1 } => Ok(r_type(0x78, 0, r(rs1), 0, f(rd), OP_FP)),
+        Instr::FpClass { rd, rs1 } => Ok(r_type(0x70, 0, f(rs1), 1, r(rd), OP_FP)),
+        Instr::Tmc { rs1 } => Ok(r_type(0, 0, r(rs1), 0, 0, CUSTOM0)),
+        Instr::Wspawn { rs1, rs2 } => Ok(r_type(0, r(rs2), r(rs1), 1, 0, CUSTOM0)),
+        Instr::Split { rs1, offset } => b_type(offset, 0, r(rs1), 0, CUSTOM1),
+        Instr::Join => Ok(r_type(0, 0, 0, 3, 0, CUSTOM0)),
+        Instr::Bar { rs1, rs2 } => Ok(r_type(0, r(rs2), r(rs1), 4, 0, CUSTOM0)),
+        Instr::Vote { op, rd, rs1 } => {
+            let funct7 = match op {
+                VoteOp::Any => 0,
+                VoteOp::All => 1,
+                VoteOp::Ballot => 2,
+            };
+            Ok(r_type(funct7, 0, r(rs1), 6, r(rd), CUSTOM0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{csrs, fregs, reg};
+
+    #[test]
+    fn encodes_known_words() {
+        // addi a0, a0, 1  ==  0x00150513 (standard RISC-V encoding)
+        let w = encode(Instr::OpImm { op: AluImmOp::Add, rd: reg::A0, rs1: reg::A0, imm: 1 })
+            .unwrap();
+        assert_eq!(w, 0x0015_0513);
+        // add a0, a1, a2 == 0x00C58533
+        let w = encode(Instr::Op { op: AluOp::Add, rd: reg::A0, rs1: reg::A1, rs2: reg::A2 })
+            .unwrap();
+        assert_eq!(w, 0x00C5_8533);
+        // lw a0, 8(sp) == 0x00812503
+        let w = encode(Instr::Load {
+            width: LoadWidth::Word,
+            rd: reg::A0,
+            rs1: reg::SP,
+            offset: 8,
+        })
+        .unwrap();
+        assert_eq!(w, 0x0081_2503);
+        // ecall == 0x00000073
+        assert_eq!(encode(Instr::Ecall).unwrap(), 0x73);
+    }
+
+    #[test]
+    fn rejects_oversized_immediates() {
+        let e = encode(Instr::OpImm { op: AluImmOp::Add, rd: reg::A0, rs1: reg::A0, imm: 4096 });
+        assert_eq!(e, Err(EncodeError::ImmOutOfRange { imm: 4096, bits: 12 }));
+        let e = encode(Instr::Jal { rd: reg::ZERO, offset: 3 });
+        assert_eq!(e, Err(EncodeError::Misaligned { offset: 3 }));
+        let e = encode(Instr::Lui { rd: reg::A0, imm: 0x1001 });
+        assert_eq!(e, Err(EncodeError::DirtyUpperImm { imm: 0x1001 }));
+        let e = encode(Instr::OpImm { op: AluImmOp::Sll, rd: reg::A0, rs1: reg::A0, imm: 32 });
+        assert_eq!(e, Err(EncodeError::ShamtOutOfRange { shamt: 32 }));
+    }
+
+    #[test]
+    fn csr_immediate_range() {
+        let ok = Instr::Csr {
+            op: CsrOp::ReadSet,
+            rd: reg::A0,
+            src: CsrSrc::Imm(31),
+            csr: csrs::THREAD_ID,
+        };
+        assert!(encode(ok).is_ok());
+        let bad = Instr::Csr {
+            op: CsrOp::ReadSet,
+            rd: reg::A0,
+            src: CsrSrc::Imm(32),
+            csr: csrs::THREAD_ID,
+        };
+        assert_eq!(encode(bad), Err(EncodeError::CsrImmOutOfRange { imm: 32 }));
+    }
+
+    #[test]
+    fn branch_offset_limits() {
+        let ok = Instr::Branch { op: BranchOp::Eq, rs1: reg::A0, rs2: reg::A1, offset: 4094 };
+        assert!(encode(ok).is_ok());
+        let bad = Instr::Branch { op: BranchOp::Eq, rs1: reg::A0, rs2: reg::A1, offset: 4096 };
+        assert!(matches!(encode(bad), Err(EncodeError::ImmOutOfRange { .. })));
+    }
+
+    #[test]
+    fn fp_ops_carry_expected_opcode() {
+        let w = encode(Instr::FpFma {
+            op: FmaOp::MAdd,
+            rd: fregs::FT0,
+            rs1: fregs::FA0,
+            rs2: fregs::FA1,
+            rs3: fregs::FA2,
+        })
+        .unwrap();
+        assert_eq!(w & 0x7F, opcodes::FMADD);
+        let w = encode(Instr::Flw { rd: fregs::FT0, rs1: reg::A0, offset: 0 }).unwrap();
+        assert_eq!(w & 0x7F, opcodes::LOAD_FP);
+    }
+
+    #[test]
+    fn simt_ops_use_custom_opcodes() {
+        let w = encode(Instr::Tmc { rs1: reg::A0 }).unwrap();
+        assert_eq!(w & 0x7F, opcodes::CUSTOM0);
+        let w = encode(Instr::Split { rs1: reg::A0, offset: 16 }).unwrap();
+        assert_eq!(w & 0x7F, opcodes::CUSTOM1);
+        let w = encode(Instr::Vote { op: VoteOp::Ballot, rd: reg::A0, rs1: reg::A1 }).unwrap();
+        assert_eq!(w & 0x7F, opcodes::CUSTOM0);
+    }
+}

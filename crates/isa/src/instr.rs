@@ -1,0 +1,734 @@
+//! The decoded instruction representation and its classification helpers.
+
+use crate::{Csr, FReg, Reg};
+
+/// Conditional branch comparison.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BranchOp {
+    /// Branch if equal (`beq`).
+    Eq,
+    /// Branch if not equal (`bne`).
+    Ne,
+    /// Branch if less than, signed (`blt`).
+    Lt,
+    /// Branch if greater or equal, signed (`bge`).
+    Ge,
+    /// Branch if less than, unsigned (`bltu`).
+    Ltu,
+    /// Branch if greater or equal, unsigned (`bgeu`).
+    Geu,
+}
+
+/// Width and extension behaviour of an integer load.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum LoadWidth {
+    /// `lb`: sign-extended byte.
+    Byte,
+    /// `lh`: sign-extended half-word.
+    Half,
+    /// `lw`: 32-bit word.
+    Word,
+    /// `lbu`: zero-extended byte.
+    ByteU,
+    /// `lhu`: zero-extended half-word.
+    HalfU,
+}
+
+/// Width of an integer store.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum StoreWidth {
+    /// `sb`: byte.
+    Byte,
+    /// `sh`: half-word.
+    Half,
+    /// `sw`: 32-bit word.
+    Word,
+}
+
+/// Register-immediate ALU operation (`OP-IMM` major opcode).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AluImmOp {
+    /// `addi`.
+    Add,
+    /// `slti` (set if less than, signed).
+    Slt,
+    /// `sltiu` (set if less than, unsigned).
+    Sltu,
+    /// `xori`.
+    Xor,
+    /// `ori`.
+    Or,
+    /// `andi`.
+    And,
+    /// `slli` (shift left logical).
+    Sll,
+    /// `srli` (shift right logical).
+    Srl,
+    /// `srai` (shift right arithmetic).
+    Sra,
+}
+
+/// Register-register ALU operation (`OP` major opcode), including the
+/// M extension.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `add`.
+    Add,
+    /// `sub`.
+    Sub,
+    /// `sll`.
+    Sll,
+    /// `slt`.
+    Slt,
+    /// `sltu`.
+    Sltu,
+    /// `xor`.
+    Xor,
+    /// `srl`.
+    Srl,
+    /// `sra`.
+    Sra,
+    /// `or`.
+    Or,
+    /// `and`.
+    And,
+    /// `mul` (low 32 bits of the product).
+    Mul,
+    /// `mulh` (high 32 bits, signed×signed).
+    Mulh,
+    /// `mulhsu` (high 32 bits, signed×unsigned).
+    Mulhsu,
+    /// `mulhu` (high 32 bits, unsigned×unsigned).
+    Mulhu,
+    /// `div` (signed).
+    Div,
+    /// `divu` (unsigned).
+    Divu,
+    /// `rem` (signed).
+    Rem,
+    /// `remu` (unsigned).
+    Remu,
+}
+
+impl AluOp {
+    /// Whether this is an M-extension multiply (not divide) operation.
+    pub fn is_mul(self) -> bool {
+        matches!(self, AluOp::Mul | AluOp::Mulh | AluOp::Mulhsu | AluOp::Mulhu)
+    }
+
+    /// Whether this is an M-extension divide/remainder operation.
+    pub fn is_div(self) -> bool {
+        matches!(self, AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu)
+    }
+}
+
+/// CSR access operation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CsrOp {
+    /// `csrrw`: atomic read/write.
+    ReadWrite,
+    /// `csrrs`: atomic read and set bits.
+    ReadSet,
+    /// `csrrc`: atomic read and clear bits.
+    ReadClear,
+}
+
+/// Source operand of a CSR access: a register or a 5-bit zero-extended
+/// immediate (the `csrr*i` forms).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CsrSrc {
+    /// Register form (`csrrw`/`csrrs`/`csrrc`).
+    Reg(Reg),
+    /// Immediate form (`csrrwi`/`csrrsi`/`csrrci`), value in 0..32.
+    Imm(u8),
+}
+
+/// Two-operand single-precision floating-point operation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FpBinOp {
+    /// `fadd.s`.
+    Add,
+    /// `fsub.s`.
+    Sub,
+    /// `fmul.s`.
+    Mul,
+    /// `fdiv.s`.
+    Div,
+    /// `fsgnj.s` (copy sign of rs2).
+    SgnJ,
+    /// `fsgnjn.s` (copy negated sign of rs2).
+    SgnJN,
+    /// `fsgnjx.s` (xor signs).
+    SgnJX,
+    /// `fmin.s`.
+    Min,
+    /// `fmax.s`.
+    Max,
+}
+
+/// Fused multiply-add family (R4-type major opcodes).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FmaOp {
+    /// `fmadd.s`: `rs1*rs2 + rs3`.
+    MAdd,
+    /// `fmsub.s`: `rs1*rs2 - rs3`.
+    MSub,
+    /// `fnmsub.s`: `-(rs1*rs2) + rs3`.
+    NMSub,
+    /// `fnmadd.s`: `-(rs1*rs2) - rs3`.
+    NMAdd,
+}
+
+/// Floating-point comparison writing an integer register.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FpCmpOp {
+    /// `feq.s`.
+    Eq,
+    /// `flt.s`.
+    Lt,
+    /// `fle.s`.
+    Le,
+}
+
+/// Warp-uniform vote reduction (Vortex SIMT extension).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum VoteOp {
+    /// Result is 1 iff any active lane's operand is non-zero.
+    Any,
+    /// Result is 1 iff all active lanes' operands are non-zero.
+    All,
+    /// Result is the bit mask of active lanes with non-zero operand.
+    Ballot,
+}
+
+/// A reference to either an integer or a floating-point register, used by
+/// the scoreboard to track hazards uniformly.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RegRef {
+    /// Integer register file.
+    Int(Reg),
+    /// Floating-point register file.
+    Fp(FReg),
+}
+
+impl RegRef {
+    /// Whether this reference is the hard-wired integer zero register
+    /// (which never participates in hazards).
+    pub fn is_zero(self) -> bool {
+        matches!(self, RegRef::Int(r) if r.is_zero())
+    }
+
+    /// A dense index in 0..64 (integer regs first), useful for scoreboards.
+    pub fn dense_index(self) -> usize {
+        match self {
+            RegRef::Int(r) => r.num() as usize,
+            RegRef::Fp(r) => 32 + r.num() as usize,
+        }
+    }
+}
+
+/// Functional-unit class of an instruction, used by the timing model to
+/// pick issue latencies.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ExecClass {
+    /// Single-cycle integer ALU (also LUI/AUIPC and CSR moves).
+    Alu,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide/remainder.
+    Div,
+    /// Pipelined FPU (add/mul/fma/convert/compare/sign ops).
+    Fpu,
+    /// Floating divide.
+    FDiv,
+    /// Floating square root.
+    FSqrt,
+    /// Memory load (int or float).
+    Load,
+    /// Memory store (int or float).
+    Store,
+    /// Branches and jumps.
+    Branch,
+    /// SIMT control (tmc/wspawn/split/join/bar/vote).
+    Simt,
+    /// Environment (ecall/ebreak/fence).
+    Sys,
+}
+
+/// A decoded instruction.
+///
+/// This is the representation executed by the simulator and produced by the
+/// assembler. All PC-relative offsets are **byte** offsets relative to the
+/// address of the instruction itself.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `lui rd, imm`: load upper immediate (`imm` is the final 32-bit value,
+    /// i.e. already shifted; its low 12 bits are zero).
+    Lui {
+        /// Destination.
+        rd: Reg,
+        /// Upper-immediate value with low 12 bits zero.
+        imm: i32,
+    },
+    /// `auipc rd, imm`: add upper immediate to PC.
+    Auipc {
+        /// Destination.
+        rd: Reg,
+        /// Upper-immediate value with low 12 bits zero.
+        imm: i32,
+    },
+    /// `jal rd, offset`: jump and link.
+    Jal {
+        /// Link destination (`zero` to discard).
+        rd: Reg,
+        /// Signed byte offset from this instruction.
+        offset: i32,
+    },
+    /// `jalr rd, offset(rs1)`: indirect jump and link.
+    Jalr {
+        /// Link destination.
+        rd: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Signed byte offset added to `rs1`.
+        offset: i32,
+    },
+    /// Conditional branch. The simulator requires the condition to be
+    /// **warp-uniform** (identical across active lanes); divergent
+    /// conditions must use [`Instr::Split`].
+    Branch {
+        /// Comparison.
+        op: BranchOp,
+        /// Left operand.
+        rs1: Reg,
+        /// Right operand.
+        rs2: Reg,
+        /// Signed byte offset from this instruction.
+        offset: i32,
+    },
+    /// Integer load.
+    Load {
+        /// Width/extension.
+        width: LoadWidth,
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        rs1: Reg,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Integer store.
+    Store {
+        /// Width.
+        width: StoreWidth,
+        /// Value to store.
+        rs2: Reg,
+        /// Base address register.
+        rs1: Reg,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Register-immediate ALU operation.
+    OpImm {
+        /// Operation.
+        op: AluImmOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs1: Reg,
+        /// Sign-extended 12-bit immediate (5-bit shamt for shifts).
+        imm: i32,
+    },
+    /// Register-register ALU operation (including M extension).
+    Op {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Left source.
+        rs1: Reg,
+        /// Right source.
+        rs2: Reg,
+    },
+    /// `fence`: treated as a no-op by the in-order simulator.
+    Fence,
+    /// `ecall`: raises an environment-call trap (used to signal errors).
+    Ecall,
+    /// `ebreak`: raises a breakpoint trap.
+    Ebreak,
+    /// CSR read-modify-write.
+    Csr {
+        /// Operation.
+        op: CsrOp,
+        /// Destination for the old CSR value.
+        rd: Reg,
+        /// Source operand (register or 5-bit immediate).
+        src: CsrSrc,
+        /// Target CSR.
+        csr: Csr,
+    },
+    /// `flw rd, offset(rs1)`: float load.
+    Flw {
+        /// FP destination.
+        rd: FReg,
+        /// Integer base address register.
+        rs1: Reg,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// `fsw rs2, offset(rs1)`: float store.
+    Fsw {
+        /// FP value to store.
+        rs2: FReg,
+        /// Integer base address register.
+        rs1: Reg,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Two-operand FP arithmetic.
+    FpOp {
+        /// Operation.
+        op: FpBinOp,
+        /// Destination.
+        rd: FReg,
+        /// Left source.
+        rs1: FReg,
+        /// Right source.
+        rs2: FReg,
+    },
+    /// Fused multiply-add.
+    FpFma {
+        /// Variant.
+        op: FmaOp,
+        /// Destination.
+        rd: FReg,
+        /// Multiplicand.
+        rs1: FReg,
+        /// Multiplier.
+        rs2: FReg,
+        /// Addend.
+        rs3: FReg,
+    },
+    /// `fsqrt.s rd, rs1`.
+    FpSqrt {
+        /// Destination.
+        rd: FReg,
+        /// Source.
+        rs1: FReg,
+    },
+    /// FP comparison writing an integer register.
+    FpCmp {
+        /// Comparison.
+        op: FpCmpOp,
+        /// Integer destination (1 or 0).
+        rd: Reg,
+        /// Left source.
+        rs1: FReg,
+        /// Right source.
+        rs2: FReg,
+    },
+    /// `fcvt.w.s` / `fcvt.wu.s`: float → integer conversion.
+    FpCvtToInt {
+        /// Signed (`fcvt.w.s`) or unsigned (`fcvt.wu.s`).
+        signed: bool,
+        /// Integer destination.
+        rd: Reg,
+        /// FP source.
+        rs1: FReg,
+    },
+    /// `fcvt.s.w` / `fcvt.s.wu`: integer → float conversion.
+    FpCvtFromInt {
+        /// Signed (`fcvt.s.w`) or unsigned (`fcvt.s.wu`).
+        signed: bool,
+        /// FP destination.
+        rd: FReg,
+        /// Integer source.
+        rs1: Reg,
+    },
+    /// `fmv.x.w`: move raw FP bits to an integer register.
+    FpMvToInt {
+        /// Integer destination.
+        rd: Reg,
+        /// FP source.
+        rs1: FReg,
+    },
+    /// `fmv.w.x`: move raw integer bits to an FP register.
+    FpMvFromInt {
+        /// FP destination.
+        rd: FReg,
+        /// Integer source.
+        rs1: Reg,
+    },
+    /// `fclass.s`: classify an FP value (mask in an integer register).
+    FpClass {
+        /// Integer destination.
+        rd: Reg,
+        /// FP source.
+        rs1: FReg,
+    },
+    /// `vx_tmc rs1`: set the warp's thread mask to the value in `rs1`
+    /// (read from the lowest-numbered active lane). A zero mask halts the
+    /// warp.
+    Tmc {
+        /// Mask source.
+        rs1: Reg,
+    },
+    /// `vx_wspawn rs1, rs2`: activate warps `1..rs1` of the executing core
+    /// at the PC contained in `rs2` with a full thread mask. Only warp 0
+    /// may spawn.
+    Wspawn {
+        /// Number of warps that should be running after the spawn.
+        rs1: Reg,
+        /// Entry PC for the spawned warps.
+        rs2: Reg,
+    },
+    /// `vx_split rs1, offset`: SIMT divergence. Evaluates `rs1` per lane as
+    /// a predicate and pushes an IPDOM entry:
+    ///
+    /// * lanes with a non-zero predicate continue at the next instruction;
+    /// * lanes with a zero predicate resume later at `pc + offset`
+    ///   (the *else* path);
+    /// * if either side is empty no divergence occurs, a marker entry is
+    ///   pushed, and execution continues on the non-empty side.
+    ///
+    /// Both paths must reach the **same** [`Instr::Join`], which switches to
+    /// the pending else-path and finally restores the pre-split mask.
+    Split {
+        /// Per-lane predicate register.
+        rs1: Reg,
+        /// Signed byte offset from this instruction to the else-path.
+        offset: i32,
+    },
+    /// `vx_join`: SIMT reconvergence point for a matching [`Instr::Split`].
+    Join,
+    /// `vx_bar rs1, rs2`: block the executing warp at barrier id `rs1`
+    /// until `rs2` warps of the core have arrived.
+    Bar {
+        /// Barrier identifier.
+        rs1: Reg,
+        /// Number of participating warps.
+        rs2: Reg,
+    },
+    /// `vx_vote.* rd, rs1`: warp-uniform reduction over the active lanes'
+    /// `rs1` values; every active lane receives the same result in `rd`.
+    Vote {
+        /// Reduction kind.
+        op: VoteOp,
+        /// Uniform destination.
+        rd: Reg,
+        /// Per-lane predicate source.
+        rs1: Reg,
+    },
+}
+
+impl Instr {
+    /// The functional-unit class used by the timing model.
+    pub fn exec_class(&self) -> ExecClass {
+        match self {
+            Instr::Lui { .. } | Instr::Auipc { .. } | Instr::OpImm { .. } => ExecClass::Alu,
+            Instr::Op { op, .. } => {
+                if op.is_mul() {
+                    ExecClass::Mul
+                } else if op.is_div() {
+                    ExecClass::Div
+                } else {
+                    ExecClass::Alu
+                }
+            }
+            Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. } => ExecClass::Branch,
+            Instr::Load { .. } | Instr::Flw { .. } => ExecClass::Load,
+            Instr::Store { .. } | Instr::Fsw { .. } => ExecClass::Store,
+            Instr::Fence | Instr::Ecall | Instr::Ebreak => ExecClass::Sys,
+            Instr::Csr { .. } => ExecClass::Alu,
+            Instr::FpOp { op, .. } => match op {
+                FpBinOp::Div => ExecClass::FDiv,
+                _ => ExecClass::Fpu,
+            },
+            Instr::FpSqrt { .. } => ExecClass::FSqrt,
+            Instr::FpFma { .. }
+            | Instr::FpCmp { .. }
+            | Instr::FpCvtToInt { .. }
+            | Instr::FpCvtFromInt { .. }
+            | Instr::FpMvToInt { .. }
+            | Instr::FpMvFromInt { .. }
+            | Instr::FpClass { .. } => ExecClass::Fpu,
+            Instr::Tmc { .. }
+            | Instr::Wspawn { .. }
+            | Instr::Split { .. }
+            | Instr::Join
+            | Instr::Bar { .. }
+            | Instr::Vote { .. } => ExecClass::Simt,
+        }
+    }
+
+    /// Source registers read by this instruction (up to three).
+    pub fn src_regs(&self) -> [Option<RegRef>; 3] {
+        use RegRef::{Fp, Int};
+        let (a, b, c) = match *self {
+            Instr::Lui { .. } | Instr::Auipc { .. } | Instr::Jal { .. } => (None, None, None),
+            Instr::Jalr { rs1, .. } => (Some(Int(rs1)), None, None),
+            Instr::Branch { rs1, rs2, .. } => (Some(Int(rs1)), Some(Int(rs2)), None),
+            Instr::Load { rs1, .. } => (Some(Int(rs1)), None, None),
+            Instr::Store { rs1, rs2, .. } => (Some(Int(rs1)), Some(Int(rs2)), None),
+            Instr::OpImm { rs1, .. } => (Some(Int(rs1)), None, None),
+            Instr::Op { rs1, rs2, .. } => (Some(Int(rs1)), Some(Int(rs2)), None),
+            Instr::Fence | Instr::Ecall | Instr::Ebreak => (None, None, None),
+            Instr::Csr { src, .. } => match src {
+                CsrSrc::Reg(rs1) => (Some(Int(rs1)), None, None),
+                CsrSrc::Imm(_) => (None, None, None),
+            },
+            Instr::Flw { rs1, .. } => (Some(Int(rs1)), None, None),
+            Instr::Fsw { rs1, rs2, .. } => (Some(Int(rs1)), Some(Fp(rs2)), None),
+            Instr::FpOp { rs1, rs2, .. } => (Some(Fp(rs1)), Some(Fp(rs2)), None),
+            Instr::FpFma { rs1, rs2, rs3, .. } => (Some(Fp(rs1)), Some(Fp(rs2)), Some(Fp(rs3))),
+            Instr::FpSqrt { rs1, .. } => (Some(Fp(rs1)), None, None),
+            Instr::FpCmp { rs1, rs2, .. } => (Some(Fp(rs1)), Some(Fp(rs2)), None),
+            Instr::FpCvtToInt { rs1, .. } => (Some(Fp(rs1)), None, None),
+            Instr::FpCvtFromInt { rs1, .. } => (Some(Int(rs1)), None, None),
+            Instr::FpMvToInt { rs1, .. } => (Some(Fp(rs1)), None, None),
+            Instr::FpMvFromInt { rs1, .. } => (Some(Int(rs1)), None, None),
+            Instr::FpClass { rs1, .. } => (Some(Fp(rs1)), None, None),
+            Instr::Tmc { rs1 } => (Some(Int(rs1)), None, None),
+            Instr::Wspawn { rs1, rs2 } => (Some(Int(rs1)), Some(Int(rs2)), None),
+            Instr::Split { rs1, .. } => (Some(Int(rs1)), None, None),
+            Instr::Join => (None, None, None),
+            Instr::Bar { rs1, rs2 } => (Some(Int(rs1)), Some(Int(rs2)), None),
+            Instr::Vote { rs1, .. } => (Some(Int(rs1)), None, None),
+        };
+        [a, b, c]
+    }
+
+    /// Destination register written by this instruction, if any.
+    ///
+    /// Writes to the integer zero register are reported as `None` since they
+    /// have no architectural effect.
+    pub fn dst_reg(&self) -> Option<RegRef> {
+        use RegRef::{Fp, Int};
+        let dst = match *self {
+            Instr::Lui { rd, .. }
+            | Instr::Auipc { rd, .. }
+            | Instr::Jal { rd, .. }
+            | Instr::Jalr { rd, .. }
+            | Instr::Load { rd, .. }
+            | Instr::OpImm { rd, .. }
+            | Instr::Op { rd, .. }
+            | Instr::Csr { rd, .. }
+            | Instr::FpCmp { rd, .. }
+            | Instr::FpCvtToInt { rd, .. }
+            | Instr::FpMvToInt { rd, .. }
+            | Instr::FpClass { rd, .. }
+            | Instr::Vote { rd, .. } => Int(rd),
+            Instr::Flw { rd, .. }
+            | Instr::FpOp { rd, .. }
+            | Instr::FpFma { rd, .. }
+            | Instr::FpSqrt { rd, .. }
+            | Instr::FpCvtFromInt { rd, .. }
+            | Instr::FpMvFromInt { rd, .. } => Fp(rd),
+            Instr::Branch { .. }
+            | Instr::Store { .. }
+            | Instr::Fsw { .. }
+            | Instr::Fence
+            | Instr::Ecall
+            | Instr::Ebreak
+            | Instr::Tmc { .. }
+            | Instr::Wspawn { .. }
+            | Instr::Split { .. }
+            | Instr::Join
+            | Instr::Bar { .. } => return None,
+        };
+        if dst.is_zero() {
+            None
+        } else {
+            Some(dst)
+        }
+    }
+
+    /// Whether this instruction accesses memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self.exec_class(), ExecClass::Load | ExecClass::Store)
+    }
+
+    /// Whether this instruction can redirect control flow.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Jal { .. }
+                | Instr::Jalr { .. }
+                | Instr::Branch { .. }
+                | Instr::Split { .. }
+                | Instr::Join
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fregs, reg};
+
+    #[test]
+    fn exec_class_covers_major_groups() {
+        let add = Instr::Op { op: AluOp::Add, rd: reg::A0, rs1: reg::A1, rs2: reg::A2 };
+        assert_eq!(add.exec_class(), ExecClass::Alu);
+        let mul = Instr::Op { op: AluOp::Mul, rd: reg::A0, rs1: reg::A1, rs2: reg::A2 };
+        assert_eq!(mul.exec_class(), ExecClass::Mul);
+        let div = Instr::Op { op: AluOp::Rem, rd: reg::A0, rs1: reg::A1, rs2: reg::A2 };
+        assert_eq!(div.exec_class(), ExecClass::Div);
+        let fdiv = Instr::FpOp {
+            op: FpBinOp::Div,
+            rd: fregs::FT0,
+            rs1: fregs::FT1,
+            rs2: fregs::FT2,
+        };
+        assert_eq!(fdiv.exec_class(), ExecClass::FDiv);
+        assert_eq!(Instr::Join.exec_class(), ExecClass::Simt);
+    }
+
+    #[test]
+    fn zero_destination_is_hidden() {
+        let instr = Instr::OpImm { op: AluImmOp::Add, rd: reg::ZERO, rs1: reg::A0, imm: 1 };
+        assert_eq!(instr.dst_reg(), None);
+        let instr = Instr::OpImm { op: AluImmOp::Add, rd: reg::A1, rs1: reg::A0, imm: 1 };
+        assert_eq!(instr.dst_reg(), Some(RegRef::Int(reg::A1)));
+    }
+
+    #[test]
+    fn fma_reads_three_sources() {
+        let fma = Instr::FpFma {
+            op: FmaOp::MAdd,
+            rd: fregs::FT0,
+            rs1: fregs::FA0,
+            rs2: fregs::FA1,
+            rs3: fregs::FA2,
+        };
+        let srcs = fma.src_regs();
+        assert_eq!(srcs.iter().flatten().count(), 3);
+        assert_eq!(fma.dst_reg(), Some(RegRef::Fp(fregs::FT0)));
+    }
+
+    #[test]
+    fn store_has_no_destination() {
+        let st = Instr::Store {
+            width: StoreWidth::Word,
+            rs2: reg::A0,
+            rs1: reg::A1,
+            offset: 0,
+        };
+        assert_eq!(st.dst_reg(), None);
+        assert!(st.is_mem());
+    }
+
+    #[test]
+    fn dense_index_separates_files() {
+        assert_eq!(RegRef::Int(reg::T6).dense_index(), 31);
+        assert_eq!(RegRef::Fp(fregs::FT0).dense_index(), 32);
+        assert_eq!(RegRef::Fp(fregs::FT11).dense_index(), 63);
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Instr::Jal { rd: reg::ZERO, offset: 8 }.is_control());
+        assert!(Instr::Join.is_control());
+        assert!(!Instr::Fence.is_control());
+    }
+}

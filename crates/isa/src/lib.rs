@@ -1,0 +1,64 @@
+//! Instruction-set model for a Vortex-like RISC-V GPGPU.
+//!
+//! This crate defines the machine language executed by the
+//! [`vortex-sim`](../vortex_sim/index.html) device simulator and produced by
+//! the [`vortex-asm`](../vortex_asm/index.html) assembler:
+//!
+//! * the **RV32I** base integer ISA,
+//! * the **M** extension (integer multiply/divide),
+//! * a single-precision subset of the **F** extension (arithmetic, fused
+//!   multiply-add, comparisons, conversions, sign-injection, min/max),
+//! * **Zicsr** (CSR access, used for SIMT identity registers), and
+//! * the **Vortex SIMT extensions**: thread-mask control ([`Instr::Tmc`]),
+//!   warp spawning ([`Instr::Wspawn`]), IPDOM divergence
+//!   ([`Instr::Split`]/[`Instr::Join`]), warp barriers ([`Instr::Bar`]) and
+//!   warp-uniform votes ([`Instr::Vote`]).
+//!
+//! The binary encoding follows the RISC-V base formats. The SIMT extensions
+//! use the `custom-0` (`0x0B`) and `custom-1` (`0x2B`) opcodes. Our `split`
+//! deviates from upstream Vortex by fusing the divergence push with the
+//! branch to the else-path (a B-type instruction), which keeps the IPDOM
+//! semantics self-contained; see [`Instr::Split`] for the exact semantics.
+//!
+//! # Examples
+//!
+//! Round-trip an instruction through the binary encoding:
+//!
+//! ```
+//! use vortex_isa::{decode, encode, Instr, AluOp, reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let instr = Instr::Op { op: AluOp::Add, rd: reg::A0, rs1: reg::A1, rs2: reg::A2 };
+//! let word = encode(instr)?;
+//! assert_eq!(decode(word)?, instr);
+//! assert_eq!(instr.to_string(), "add a0, a1, a2");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod csr;
+mod decode;
+mod disasm;
+mod encode;
+mod instr;
+mod regs;
+
+pub use csr::{csrs, Csr};
+pub use decode::{decode, DecodeError};
+pub use encode::{encode, EncodeError};
+pub use instr::{
+    AluImmOp, AluOp, BranchOp, CsrOp, CsrSrc, ExecClass, FmaOp, FpBinOp, FpCmpOp, Instr,
+    LoadWidth, RegRef, StoreWidth, VoteOp,
+};
+pub use regs::{fregs, reg, FReg, Reg};
+
+/// Size of one instruction in bytes (all instructions are 32-bit).
+pub const INSTR_BYTES: u32 = 4;
+
+/// Number of integer (and separately, floating-point) registers.
+pub const NUM_REGS: usize = 32;
+
+/// Hard upper bound on threads per warp imposed by the 32-bit thread mask.
+pub const MAX_THREADS_PER_WARP: usize = 32;

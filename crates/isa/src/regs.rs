@@ -1,0 +1,288 @@
+//! Integer and floating-point register names.
+
+use std::fmt;
+
+/// An integer (`x0`–`x31`) register.
+///
+/// The wrapped index is guaranteed to be `< 32`. Use the ABI-named constants
+/// in [`reg`] for readable kernel code.
+///
+/// # Examples
+///
+/// ```
+/// use vortex_isa::{reg, Reg};
+/// assert_eq!(Reg::new(10), Some(reg::A0));
+/// assert_eq!(reg::A0.to_string(), "a0");
+/// assert_eq!(reg::A0.num(), 10);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register from its index, returning `None` if `n >= 32`.
+    pub const fn new(n: u8) -> Option<Self> {
+        if n < 32 {
+            Some(Reg(n))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`. Prefer [`Reg::new`] for untrusted input; this
+    /// constructor exists for compile-time tables.
+    pub const fn x(n: u8) -> Self {
+        assert!(n < 32, "integer register index out of range");
+        Reg(n)
+    }
+
+    /// The register index (0–31).
+    pub const fn num(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hard-wired zero register `x0`.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(ABI_NAMES[self.0 as usize])
+    }
+}
+
+/// A single-precision floating-point (`f0`–`f31`) register.
+///
+/// # Examples
+///
+/// ```
+/// use vortex_isa::{fregs, FReg};
+/// assert_eq!(FReg::new(10), Some(fregs::FA0));
+/// assert_eq!(fregs::FA0.to_string(), "fa0");
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Creates a float register from its index, returning `None` if `n >= 32`.
+    pub const fn new(n: u8) -> Option<Self> {
+        if n < 32 {
+            Some(FReg(n))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a float register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub const fn f(n: u8) -> Self {
+        assert!(n < 32, "float register index out of range");
+        FReg(n)
+    }
+
+    /// The register index (0–31).
+    pub const fn num(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(FP_ABI_NAMES[self.0 as usize])
+    }
+}
+
+const ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+const FP_ABI_NAMES: [&str; 32] = [
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1", "fa0", "fa1", "fa2",
+    "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7", "fs8", "fs9",
+    "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+];
+
+/// ABI-named integer register constants (`zero`, `ra`, `sp`, `t0`…, `a0`…, `s0`…).
+pub mod reg {
+    use super::Reg;
+
+    /// Hard-wired zero.
+    pub const ZERO: Reg = Reg::x(0);
+    /// Return address.
+    pub const RA: Reg = Reg::x(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg::x(2);
+    /// Global pointer.
+    pub const GP: Reg = Reg::x(3);
+    /// Thread pointer.
+    pub const TP: Reg = Reg::x(4);
+    /// Temporary 0.
+    pub const T0: Reg = Reg::x(5);
+    /// Temporary 1.
+    pub const T1: Reg = Reg::x(6);
+    /// Temporary 2.
+    pub const T2: Reg = Reg::x(7);
+    /// Saved 0 / frame pointer.
+    pub const S0: Reg = Reg::x(8);
+    /// Saved 1.
+    pub const S1: Reg = Reg::x(9);
+    /// Argument/return 0.
+    pub const A0: Reg = Reg::x(10);
+    /// Argument/return 1.
+    pub const A1: Reg = Reg::x(11);
+    /// Argument 2.
+    pub const A2: Reg = Reg::x(12);
+    /// Argument 3.
+    pub const A3: Reg = Reg::x(13);
+    /// Argument 4.
+    pub const A4: Reg = Reg::x(14);
+    /// Argument 5.
+    pub const A5: Reg = Reg::x(15);
+    /// Argument 6.
+    pub const A6: Reg = Reg::x(16);
+    /// Argument 7.
+    pub const A7: Reg = Reg::x(17);
+    /// Saved 2.
+    pub const S2: Reg = Reg::x(18);
+    /// Saved 3.
+    pub const S3: Reg = Reg::x(19);
+    /// Saved 4.
+    pub const S4: Reg = Reg::x(20);
+    /// Saved 5.
+    pub const S5: Reg = Reg::x(21);
+    /// Saved 6.
+    pub const S6: Reg = Reg::x(22);
+    /// Saved 7.
+    pub const S7: Reg = Reg::x(23);
+    /// Saved 8.
+    pub const S8: Reg = Reg::x(24);
+    /// Saved 9.
+    pub const S9: Reg = Reg::x(25);
+    /// Saved 10.
+    pub const S10: Reg = Reg::x(26);
+    /// Saved 11.
+    pub const S11: Reg = Reg::x(27);
+    /// Temporary 3.
+    pub const T3: Reg = Reg::x(28);
+    /// Temporary 4.
+    pub const T4: Reg = Reg::x(29);
+    /// Temporary 5.
+    pub const T5: Reg = Reg::x(30);
+    /// Temporary 6.
+    pub const T6: Reg = Reg::x(31);
+}
+
+/// ABI-named floating-point register constants (`ft0`…, `fa0`…, `fs0`…).
+pub mod fregs {
+    use super::FReg;
+
+    /// FP temporary 0.
+    pub const FT0: FReg = FReg::f(0);
+    /// FP temporary 1.
+    pub const FT1: FReg = FReg::f(1);
+    /// FP temporary 2.
+    pub const FT2: FReg = FReg::f(2);
+    /// FP temporary 3.
+    pub const FT3: FReg = FReg::f(3);
+    /// FP temporary 4.
+    pub const FT4: FReg = FReg::f(4);
+    /// FP temporary 5.
+    pub const FT5: FReg = FReg::f(5);
+    /// FP temporary 6.
+    pub const FT6: FReg = FReg::f(6);
+    /// FP temporary 7.
+    pub const FT7: FReg = FReg::f(7);
+    /// FP saved 0.
+    pub const FS0: FReg = FReg::f(8);
+    /// FP saved 1.
+    pub const FS1: FReg = FReg::f(9);
+    /// FP argument/return 0.
+    pub const FA0: FReg = FReg::f(10);
+    /// FP argument/return 1.
+    pub const FA1: FReg = FReg::f(11);
+    /// FP argument 2.
+    pub const FA2: FReg = FReg::f(12);
+    /// FP argument 3.
+    pub const FA3: FReg = FReg::f(13);
+    /// FP argument 4.
+    pub const FA4: FReg = FReg::f(14);
+    /// FP argument 5.
+    pub const FA5: FReg = FReg::f(15);
+    /// FP argument 6.
+    pub const FA6: FReg = FReg::f(16);
+    /// FP argument 7.
+    pub const FA7: FReg = FReg::f(17);
+    /// FP saved 2.
+    pub const FS2: FReg = FReg::f(18);
+    /// FP saved 3.
+    pub const FS3: FReg = FReg::f(19);
+    /// FP saved 4.
+    pub const FS4: FReg = FReg::f(20);
+    /// FP saved 5.
+    pub const FS5: FReg = FReg::f(21);
+    /// FP saved 6.
+    pub const FS6: FReg = FReg::f(22);
+    /// FP saved 7.
+    pub const FS7: FReg = FReg::f(23);
+    /// FP saved 8.
+    pub const FS8: FReg = FReg::f(24);
+    /// FP saved 9.
+    pub const FS9: FReg = FReg::f(25);
+    /// FP saved 10.
+    pub const FS10: FReg = FReg::f(26);
+    /// FP saved 11.
+    pub const FS11: FReg = FReg::f(27);
+    /// FP temporary 8.
+    pub const FT8: FReg = FReg::f(28);
+    /// FP temporary 9.
+    pub const FT9: FReg = FReg::f(29);
+    /// FP temporary 10.
+    pub const FT10: FReg = FReg::f(30);
+    /// FP temporary 11.
+    pub const FT11: FReg = FReg::f(31);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_new_bounds() {
+        assert_eq!(Reg::new(0), Some(reg::ZERO));
+        assert_eq!(Reg::new(31), Some(reg::T6));
+        assert_eq!(Reg::new(32), None);
+        assert_eq!(FReg::new(32), None);
+    }
+
+    #[test]
+    fn abi_names_match_spec() {
+        assert_eq!(reg::ZERO.to_string(), "zero");
+        assert_eq!(reg::SP.to_string(), "sp");
+        assert_eq!(reg::T6.to_string(), "t6");
+        assert_eq!(reg::S11.to_string(), "s11");
+        assert_eq!(fregs::FT11.to_string(), "ft11");
+        assert_eq!(fregs::FS1.to_string(), "fs1");
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(reg::ZERO.is_zero());
+        assert!(!reg::A0.is_zero());
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(reg::ZERO < reg::RA);
+        assert!(fregs::FT0 < fregs::FT11);
+    }
+}

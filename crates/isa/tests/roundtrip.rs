@@ -1,0 +1,224 @@
+//! Property tests: `decode(encode(i)) == i` for every representable
+//! instruction, and `encode(decode(w)) == w` for every decodable word.
+
+use proptest::prelude::*;
+use vortex_isa::{
+    decode, encode, AluImmOp, AluOp, BranchOp, Csr, CsrOp, CsrSrc, FReg, FmaOp, FpBinOp,
+    FpCmpOp, Instr, LoadWidth, Reg, StoreWidth, VoteOp,
+};
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|n| Reg::new(n).unwrap())
+}
+
+fn any_freg() -> impl Strategy<Value = FReg> {
+    (0u8..32).prop_map(|n| FReg::new(n).unwrap())
+}
+
+fn any_csr() -> impl Strategy<Value = Csr> {
+    (0u16..0x1000).prop_map(|n| Csr::new(n).unwrap())
+}
+
+fn i12() -> impl Strategy<Value = i32> {
+    -2048i32..=2047
+}
+
+fn b13() -> impl Strategy<Value = i32> {
+    (-2048i32..=2047).prop_map(|x| x * 2)
+}
+
+fn j21() -> impl Strategy<Value = i32> {
+    (-524288i32..=524287).prop_map(|x| x * 2)
+}
+
+fn u20() -> impl Strategy<Value = i32> {
+    proptest::num::i32::ANY.prop_map(|x| x & !0xFFFi32)
+}
+
+prop_compose! {
+    fn alu_imm()(op in prop_oneof![
+        Just(AluImmOp::Add), Just(AluImmOp::Slt), Just(AluImmOp::Sltu),
+        Just(AluImmOp::Xor), Just(AluImmOp::Or), Just(AluImmOp::And),
+    ], rd in any_reg(), rs1 in any_reg(), imm in i12()) -> Instr {
+        Instr::OpImm { op, rd, rs1, imm }
+    }
+}
+
+prop_compose! {
+    fn shift_imm()(op in prop_oneof![
+        Just(AluImmOp::Sll), Just(AluImmOp::Srl), Just(AluImmOp::Sra),
+    ], rd in any_reg(), rs1 in any_reg(), imm in 0i32..32) -> Instr {
+        Instr::OpImm { op, rd, rs1, imm }
+    }
+}
+
+fn any_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Mul),
+        Just(AluOp::Mulh),
+        Just(AluOp::Mulhsu),
+        Just(AluOp::Mulhu),
+        Just(AluOp::Div),
+        Just(AluOp::Divu),
+        Just(AluOp::Rem),
+        Just(AluOp::Remu),
+    ]
+}
+
+fn any_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (any_reg(), u20()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+        (any_reg(), u20()).prop_map(|(rd, imm)| Instr::Auipc { rd, imm }),
+        (any_reg(), j21()).prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
+        (any_reg(), any_reg(), i12())
+            .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
+        (
+            prop_oneof![
+                Just(BranchOp::Eq),
+                Just(BranchOp::Ne),
+                Just(BranchOp::Lt),
+                Just(BranchOp::Ge),
+                Just(BranchOp::Ltu),
+                Just(BranchOp::Geu)
+            ],
+            any_reg(),
+            any_reg(),
+            b13()
+        )
+            .prop_map(|(op, rs1, rs2, offset)| Instr::Branch { op, rs1, rs2, offset }),
+        (
+            prop_oneof![
+                Just(LoadWidth::Byte),
+                Just(LoadWidth::Half),
+                Just(LoadWidth::Word),
+                Just(LoadWidth::ByteU),
+                Just(LoadWidth::HalfU)
+            ],
+            any_reg(),
+            any_reg(),
+            i12()
+        )
+            .prop_map(|(width, rd, rs1, offset)| Instr::Load { width, rd, rs1, offset }),
+        (
+            prop_oneof![Just(StoreWidth::Byte), Just(StoreWidth::Half), Just(StoreWidth::Word)],
+            any_reg(),
+            any_reg(),
+            i12()
+        )
+            .prop_map(|(width, rs2, rs1, offset)| Instr::Store { width, rs2, rs1, offset }),
+        alu_imm(),
+        shift_imm(),
+        (any_alu_op(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
+        Just(Instr::Fence),
+        Just(Instr::Ecall),
+        Just(Instr::Ebreak),
+        (
+            prop_oneof![Just(CsrOp::ReadWrite), Just(CsrOp::ReadSet), Just(CsrOp::ReadClear)],
+            any_reg(),
+            prop_oneof![
+                any_reg().prop_map(CsrSrc::Reg),
+                (0u8..32).prop_map(CsrSrc::Imm)
+            ],
+            any_csr()
+        )
+            .prop_map(|(op, rd, src, csr)| Instr::Csr { op, rd, src, csr }),
+        (any_freg(), any_reg(), i12())
+            .prop_map(|(rd, rs1, offset)| Instr::Flw { rd, rs1, offset }),
+        (any_freg(), any_reg(), i12())
+            .prop_map(|(rs2, rs1, offset)| Instr::Fsw { rs2, rs1, offset }),
+        (
+            prop_oneof![
+                Just(FpBinOp::Add),
+                Just(FpBinOp::Sub),
+                Just(FpBinOp::Mul),
+                Just(FpBinOp::Div),
+                Just(FpBinOp::SgnJ),
+                Just(FpBinOp::SgnJN),
+                Just(FpBinOp::SgnJX),
+                Just(FpBinOp::Min),
+                Just(FpBinOp::Max)
+            ],
+            any_freg(),
+            any_freg(),
+            any_freg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::FpOp { op, rd, rs1, rs2 }),
+        (
+            prop_oneof![
+                Just(FmaOp::MAdd),
+                Just(FmaOp::MSub),
+                Just(FmaOp::NMSub),
+                Just(FmaOp::NMAdd)
+            ],
+            any_freg(),
+            any_freg(),
+            any_freg(),
+            any_freg()
+        )
+            .prop_map(|(op, rd, rs1, rs2, rs3)| Instr::FpFma { op, rd, rs1, rs2, rs3 }),
+        (any_freg(), any_freg()).prop_map(|(rd, rs1)| Instr::FpSqrt { rd, rs1 }),
+        (
+            prop_oneof![Just(FpCmpOp::Eq), Just(FpCmpOp::Lt), Just(FpCmpOp::Le)],
+            any_reg(),
+            any_freg(),
+            any_freg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::FpCmp { op, rd, rs1, rs2 }),
+        (any::<bool>(), any_reg(), any_freg())
+            .prop_map(|(signed, rd, rs1)| Instr::FpCvtToInt { signed, rd, rs1 }),
+        (any::<bool>(), any_freg(), any_reg())
+            .prop_map(|(signed, rd, rs1)| Instr::FpCvtFromInt { signed, rd, rs1 }),
+        (any_reg(), any_freg()).prop_map(|(rd, rs1)| Instr::FpMvToInt { rd, rs1 }),
+        (any_freg(), any_reg()).prop_map(|(rd, rs1)| Instr::FpMvFromInt { rd, rs1 }),
+        (any_reg(), any_freg()).prop_map(|(rd, rs1)| Instr::FpClass { rd, rs1 }),
+        any_reg().prop_map(|rs1| Instr::Tmc { rs1 }),
+        (any_reg(), any_reg()).prop_map(|(rs1, rs2)| Instr::Wspawn { rs1, rs2 }),
+        (any_reg(), b13()).prop_map(|(rs1, offset)| Instr::Split { rs1, offset }),
+        Just(Instr::Join),
+        (any_reg(), any_reg()).prop_map(|(rs1, rs2)| Instr::Bar { rs1, rs2 }),
+        (
+            prop_oneof![Just(VoteOp::Any), Just(VoteOp::All), Just(VoteOp::Ballot)],
+            any_reg(),
+            any_reg()
+        )
+            .prop_map(|(op, rd, rs1)| Instr::Vote { op, rd, rs1 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn encode_decode_roundtrip(instr in any_instr()) {
+        let word = encode(instr).expect("generated instruction must encode");
+        let back = decode(word).expect("encoded word must decode");
+        prop_assert_eq!(instr, back);
+    }
+
+    #[test]
+    fn decode_encode_roundtrip(word in proptest::num::u32::ANY) {
+        // Not every word decodes; but the ones that do must re-encode to an
+        // equivalent word (canonicalising the FP rounding-mode field).
+        if let Ok(instr) = decode(word) {
+            let reenc = encode(instr).expect("decoded instruction must re-encode");
+            let back = decode(reenc).expect("re-encoded word must decode");
+            prop_assert_eq!(instr, back);
+        }
+    }
+
+    #[test]
+    fn disassembly_is_nonempty(instr in any_instr()) {
+        prop_assert!(!instr.to_string().is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Seeded synthetic datasets standing in for the paper's external data
+//! (Rodinia's hurricane records, the cora citation graph, CIFAR-10
+//! activations). Shapes match the originals; contents are deterministic.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic uniform `f32` values in `[lo, hi)`.
+///
+/// # Examples
+///
+/// ```
+/// let xs = vortex_kernels::data::uniform_f32(42, 8, -1.0, 1.0);
+/// assert_eq!(xs.len(), 8);
+/// assert_eq!(xs, vortex_kernels::data::uniform_f32(42, 8, -1.0, 1.0));
+/// ```
+pub fn uniform_f32(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// A sparse directed graph in CSR form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// Row offsets, length `nodes + 1`.
+    pub row: Vec<u32>,
+    /// Column indices (neighbour lists), length `edges`.
+    pub col: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.row.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn edges(&self) -> usize {
+        self.col.len()
+    }
+
+    /// The neighbour slice of node `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.col[self.row[v] as usize..self.row[v + 1] as usize]
+    }
+
+    /// Maximum out-degree (drives warp-level load imbalance).
+    pub fn max_degree(&self) -> usize {
+        (0..self.nodes()).map(|v| self.neighbors(v).len()).max().unwrap_or(0)
+    }
+
+    /// Validates CSR invariants (monotone rows, in-range columns).
+    pub fn validate(&self) -> bool {
+        if *self.row.first().unwrap_or(&1) != 0 {
+            return false;
+        }
+        if self.row.windows(2).any(|w| w[0] > w[1]) {
+            return false;
+        }
+        let n = self.nodes() as u32;
+        *self.row.last().unwrap() as usize == self.col.len()
+            && self.col.iter().all(|&c| c < n)
+    }
+}
+
+/// Generates a power-law-ish random graph with `nodes` nodes and roughly
+/// `target_edges` edges (cora-like degree skew: most nodes have 1–4
+/// neighbours, a few are hubs).
+///
+/// # Examples
+///
+/// ```
+/// let g = vortex_kernels::data::power_law_graph(7, 2708, 10556);
+/// assert_eq!(g.nodes(), 2708);
+/// assert!(g.validate());
+/// let avg = g.edges() as f64 / g.nodes() as f64;
+/// assert!((2.0..8.0).contains(&avg));
+/// ```
+pub fn power_law_graph(seed: u64, nodes: usize, target_edges: usize) -> CsrGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let base = (target_edges as f64 / nodes as f64).max(1.0);
+    let mut degrees = Vec::with_capacity(nodes);
+    let mut total = 0usize;
+    for _ in 0..nodes {
+        // Pareto-like: most nodes near `base`, occasional hubs.
+        let u: f64 = rng.gen_range(0.05..1.0f64);
+        let deg = ((base * 0.6) / u.powf(0.7)).round().clamp(1.0, (nodes - 1) as f64) as usize;
+        degrees.push(deg);
+        total += deg;
+    }
+    // Rescale towards the target edge count.
+    let scale = target_edges as f64 / total as f64;
+    let mut row = Vec::with_capacity(nodes + 1);
+    let mut col = Vec::new();
+    row.push(0u32);
+    for (v, deg) in degrees.iter().enumerate() {
+        let d = ((*deg as f64 * scale).round() as usize).max(1);
+        for _ in 0..d {
+            // Any node but self.
+            let mut u = rng.gen_range(0..nodes - 1);
+            if u >= v {
+                u += 1;
+            }
+            col.push(u as u32);
+        }
+        row.push(col.len() as u32);
+    }
+    CsrGraph { row, col }
+}
+
+/// The standard seeds used by the kernel constructors, so every workload
+/// is reproducible end to end.
+pub mod seeds {
+    /// vecadd inputs.
+    pub const VECADD: u64 = 0x10;
+    /// relu input.
+    pub const RELU: u64 = 0x20;
+    /// saxpy inputs.
+    pub const SAXPY: u64 = 0x30;
+    /// sgemm matrices.
+    pub const SGEMM: u64 = 0x40;
+    /// Gaussian filter image.
+    pub const GAUSS: u64 = 0x50;
+    /// kNN point records.
+    pub const KNN: u64 = 0x60;
+    /// GCN graph + features.
+    pub const GCN: u64 = 0x70;
+    /// ResNet activations + weights.
+    pub const RESNET: u64 = 0x80;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_and_in_range() {
+        let a = uniform_f32(1, 1000, -2.0, 3.0);
+        let b = uniform_f32(1, 1000, -2.0, 3.0);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| (-2.0..3.0).contains(&x)));
+        let c = uniform_f32(2, 1000, -2.0, 3.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn graph_matches_requested_shape() {
+        let g = power_law_graph(7, 2708, 10556);
+        assert_eq!(g.nodes(), 2708);
+        assert!(g.validate());
+        // Within 25% of the requested edge count.
+        let ratio = g.edges() as f64 / 10556.0;
+        assert!((0.75..1.25).contains(&ratio), "edge ratio {ratio}");
+    }
+
+    #[test]
+    fn graph_has_degree_skew() {
+        let g = power_law_graph(7, 1000, 4000);
+        let avg = g.edges() as f64 / g.nodes() as f64;
+        assert!(g.max_degree() as f64 > 3.0 * avg, "power law needs hubs");
+    }
+
+    #[test]
+    fn graph_is_deterministic() {
+        let a = power_law_graph(9, 128, 512);
+        let b = power_law_graph(9, 128, 512);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn neighbors_are_self_loop_free() {
+        let g = power_law_graph(3, 200, 800);
+        for v in 0..g.nodes() {
+            assert!(g.neighbors(v).iter().all(|&u| u as usize != v));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Kernel execution and verification failure modes.
+
+use std::error::Error;
+use std::fmt;
+
+use vortex_asm::AsmError;
+use vortex_core::LaunchError;
+
+/// A device result disagreed with the host reference implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// An element-wise mismatch.
+    Mismatch {
+        /// Kernel name.
+        kernel: &'static str,
+        /// Buffer element index.
+        index: usize,
+        /// Host reference value.
+        expected: f32,
+        /// Device value.
+        actual: f32,
+    },
+    /// An integer result mismatch.
+    MismatchU32 {
+        /// Kernel name.
+        kernel: &'static str,
+        /// Buffer element index.
+        index: usize,
+        /// Host reference value.
+        expected: u32,
+        /// Device value.
+        actual: u32,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Mismatch { kernel, index, expected, actual } => write!(
+                f,
+                "{kernel}: element {index} expected {expected}, device produced {actual}"
+            ),
+            VerifyError::MismatchU32 { kernel, index, expected, actual } => write!(
+                f,
+                "{kernel}: element {index} expected {expected}, device produced {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Compares two `f32` slices with a mixed absolute/relative tolerance.
+///
+/// # Errors
+///
+/// Returns the first mismatching element.
+pub(crate) fn check_f32(
+    kernel: &'static str,
+    expected: &[f32],
+    actual: &[f32],
+) -> Result<(), VerifyError> {
+    assert_eq!(expected.len(), actual.len(), "length mismatch in {kernel} verification");
+    for (index, (&e, &a)) in expected.iter().zip(actual).enumerate() {
+        let tol = 1e-5f32.max(e.abs() * 1e-5);
+        if (e - a).abs() > tol && !(e.is_nan() && a.is_nan()) {
+            return Err(VerifyError::Mismatch { kernel, index, expected: e, actual: a });
+        }
+    }
+    Ok(())
+}
+
+/// Any failure while building, launching or verifying a kernel.
+#[derive(Debug)]
+pub enum KernelError {
+    /// The kernel program failed to assemble.
+    Asm(AsmError),
+    /// The launch failed on the device.
+    Launch(LaunchError),
+    /// Device results are wrong.
+    Verify(VerifyError),
+    /// A phase referenced a symbol the program does not define.
+    MissingSymbol {
+        /// The missing symbol.
+        symbol: String,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Asm(e) => write!(f, "assembly failed: {e}"),
+            KernelError::Launch(e) => write!(f, "launch failed: {e}"),
+            KernelError::Verify(e) => write!(f, "verification failed: {e}"),
+            KernelError::MissingSymbol { symbol } => {
+                write!(f, "program defines no `{symbol}` symbol")
+            }
+        }
+    }
+}
+
+impl Error for KernelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KernelError::Asm(e) => Some(e),
+            KernelError::Launch(e) => Some(e),
+            KernelError::Verify(e) => Some(e),
+            KernelError::MissingSymbol { .. } => None,
+        }
+    }
+}
+
+impl From<AsmError> for KernelError {
+    fn from(e: AsmError) -> Self {
+        KernelError::Asm(e)
+    }
+}
+
+impl From<LaunchError> for KernelError {
+    fn from(e: LaunchError) -> Self {
+        KernelError::Launch(e)
+    }
+}
+
+impl From<VerifyError> for KernelError {
+    fn from(e: VerifyError) -> Self {
+        KernelError::Verify(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_f32_accepts_close_values() {
+        assert!(check_f32("t", &[1.0, 2.0], &[1.0, 2.000_001]).is_ok());
+    }
+
+    #[test]
+    fn check_f32_rejects_distant_values() {
+        let err = check_f32("t", &[1.0, 2.0], &[1.0, 2.1]).unwrap_err();
+        match err {
+            VerifyError::Mismatch { index, .. } => assert_eq!(index, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_matches_nan() {
+        assert!(check_f32("t", &[f32::NAN], &[f32::NAN]).is_ok());
+    }
+}

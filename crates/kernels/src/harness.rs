@@ -1,0 +1,241 @@
+//! The POCL-style kernel dispatch harness.
+//!
+//! Every kernel in this crate is wrapped in the same software structure the
+//! Vortex runtime generates, and whose cost profile the paper analyses:
+//!
+//! ```text
+//! entry:  warp 0 reads its core's dispatch block
+//! round:  nw = min(⌈remaining/threads⌉, NUM_WARPS)
+//!         publish round cursor + nw, vx_wspawn the workers
+//! worker: every warp computes its per-lane task id,
+//!         masks off out-of-range lanes (vx_split),
+//!         loops the kernel body `lws` times per task,
+//!         then meets at a vx_bar
+//! sync:   workers halt; warp 0 advances the cursor and loops
+//! ```
+//!
+//! With `lws = gws/hp` the round loop runs exactly once and every slot is
+//! busy; with `lws = 1` it re-runs `⌈tasks/(warps×threads)⌉` times, paying
+//! the dispatch cost again and again; with oversized `lws` the single round
+//! leaves lanes idle — the three regimes of the paper's §2.
+
+use vortex_asm::{AsmError, Assembler, Program};
+use vortex_core::abi;
+use vortex_isa::{csrs, reg, Reg};
+
+/// Registers the harness hands to a kernel body.
+///
+/// The body may freely use `t0..t6`, `a0..a4`, and every FP register. It
+/// must preserve [`BodyCtx::item`], [`BodyCtx::args`], `a7` and all `s`
+/// registers.
+#[derive(Copy, Clone, Debug)]
+pub struct BodyCtx {
+    /// Holds the current global item index `g` (read-only for the body).
+    pub item: Reg,
+    /// Holds the argument-block pointer (read-only for the body).
+    pub args: Reg,
+}
+
+/// Scratch registers a body may clobber.
+pub const BODY_SCRATCH: [Reg; 12] = [
+    reg::T0,
+    reg::T1,
+    reg::T2,
+    reg::T3,
+    reg::T4,
+    reg::T5,
+    reg::T6,
+    reg::A0,
+    reg::A1,
+    reg::A2,
+    reg::A3,
+    reg::A4,
+];
+
+/// Emits one complete kernel (dispatch loop + body) into `asm`, binding
+/// its entry to a symbol named `name`. Returns nothing; the caller looks
+/// the symbol up on the assembled [`Program`].
+///
+/// The `body` closure is invoked exactly once to emit the per-item code;
+/// at run time the harness executes it once per work-item.
+pub fn emit_kernel(
+    asm: &mut Assembler,
+    name: &str,
+    mut body: impl FnMut(&mut Assembler, BodyCtx),
+) -> Result<(), AsmError> {
+    use reg::*;
+
+    let entry = asm.label(name);
+    asm.bind(entry)?;
+    asm.section(&format!("{name}.dispatch"));
+
+    let round_loop = asm.label(&format!("{name}.round"));
+    let done = asm.label(&format!("{name}.done"));
+    let worker = asm.label(&format!("{name}.worker"));
+    let nw_ok = asm.label(&format!("{name}.nw_ok"));
+    let skip_spawn = asm.label(&format!("{name}.skip_spawn"));
+
+    // ---- warp 0: load dispatch context -------------------------------
+    asm.csrr(S0, csrs::CORE_ID);
+    asm.slli(S1, S0, 5); // dispatch stride is 32 bytes
+    asm.li_u32(T0, abi::DISPATCH_BASE);
+    asm.add(S1, S1, T0);
+    asm.lw(S2, abi::dispatch::TASK_BASE as i32, S1); // cursor
+    asm.lw(S3, abi::dispatch::TASK_END as i32, S1);
+    asm.csrr(S4, csrs::NUM_THREADS);
+    asm.csrr(S5, csrs::NUM_WARPS);
+
+    // ---- round loop (warp 0 only) -------------------------------------
+    asm.bind(round_loop)?;
+    asm.bgeu(S2, S3, done); // no tasks left
+    asm.sub(T0, S3, S2); // remaining
+    asm.add(T1, T0, S4);
+    asm.addi(T1, T1, -1);
+    asm.divu(T1, T1, S4); // ceil(remaining / threads)
+    asm.bleu(T1, S5, nw_ok);
+    asm.mv(T1, S5);
+    asm.bind(nw_ok)?; // T1 = nw
+    asm.sw(S2, abi::dispatch::CURSOR as i32, S1);
+    asm.sw(T1, abi::dispatch::ROUND_WARPS as i32, S1);
+    asm.section(&format!("{name}.spawn"));
+    asm.li(T2, 1);
+    asm.bleu(T1, T2, skip_spawn);
+    asm.la_label(T3, worker);
+    asm.vx_wspawn(T1, T3);
+    asm.bind(skip_spawn)?;
+
+    // ---- worker: every warp of the round ------------------------------
+    asm.section(&format!("{name}.worker"));
+    asm.bind(worker)?;
+    asm.csrr(S0, csrs::CORE_ID);
+    asm.slli(S1, S0, 5);
+    asm.li_u32(T0, abi::DISPATCH_BASE);
+    asm.add(S1, S1, T0);
+    asm.lw(S3, abi::dispatch::TASK_END as i32, S1);
+    asm.csrr(S4, csrs::NUM_THREADS);
+    asm.lw(T1, abi::dispatch::CURSOR as i32, S1);
+    asm.csrr(A0, csrs::WARP_ID);
+    asm.csrr(A1, csrs::THREAD_ID);
+    asm.mul(A2, A0, S4);
+    asm.add(A2, A2, A1);
+    asm.add(A2, A2, T1); // per-lane task id
+    asm.lw(A3, abi::dispatch::LWS as i32, S1);
+    asm.lw(A4, abi::dispatch::GWS as i32, S1);
+    asm.lw(A5, abi::dispatch::ARG_PTR as i32, S1);
+
+    // Mask off lanes whose task is out of range (divergent guard).
+    let outer_join = asm.label(&format!("{name}.outer_join"));
+    asm.sltu(T2, A2, S3);
+    asm.vx_split(T2, outer_join);
+
+    // g = task * lws ; g_end = min(g + lws, gws), branch-free.
+    asm.mul(A6, A2, A3);
+    asm.add(A7, A6, A3);
+    asm.sltu(T3, A4, A7);
+    asm.sub(T4, A4, A7);
+    asm.mul(T4, T4, T3);
+    asm.add(A7, A7, T4);
+
+    // ---- per-item loop -------------------------------------------------
+    //
+    // POCL-style specialisation: when every lane has a full `lws`-long
+    // trip (the uniform-workgroup case), run a bare counter loop; only
+    // boundary warps (a clipped last task) take the guarded SIMT loop.
+    asm.section(&format!("{name}.body"));
+    let guarded = asm.label(&format!("{name}.guarded_loop"));
+    let item_exit = asm.label(&format!("{name}.item_exit"));
+    asm.add(T5, A6, A3);
+    asm.xor(T5, T5, A7);
+    asm.seqz(T5, T5); // 1 iff g_end == g + lws (full trip)
+    asm.vx_vote_all(T6, T5);
+    asm.beqz(T6, guarded);
+    // Fast path: uniform trip count, scalar loop.
+    let fast_loop = asm.here(&format!("{name}.fast_loop"));
+    body(asm, BodyCtx { item: A6, args: A5 });
+    asm.addi(A6, A6, 1);
+    asm.bne(A6, A7, fast_loop);
+    asm.j(item_exit);
+    // Guarded path: per-item divergence guard (clipped trips).
+    asm.bind(guarded)?;
+    let item_loop = asm.here(&format!("{name}.item_loop"));
+    let iter_join = asm.label(&format!("{name}.iter_join"));
+    asm.sltu(T2, A6, A7);
+    asm.vx_vote_any(T3, T2);
+    asm.beqz(T3, item_exit);
+    asm.vx_split(T2, iter_join);
+    body(asm, BodyCtx { item: A6, args: A5 });
+    asm.bind(iter_join)?;
+    asm.vx_join();
+    asm.addi(A6, A6, 1);
+    asm.j(item_loop);
+    asm.bind(item_exit)?;
+    asm.bind(outer_join)?;
+    asm.vx_join();
+
+    // ---- round barrier and role split ----------------------------------
+    asm.section(&format!("{name}.sync"));
+    asm.lw(T0, abi::dispatch::ROUND_WARPS as i32, S1);
+    asm.li(T1, 0); // barrier id
+    asm.vx_bar(T1, T0);
+    let warp0_cont = asm.label(&format!("{name}.warp0_cont"));
+    asm.csrr(T2, csrs::WARP_ID);
+    asm.beqz(T2, warp0_cont);
+    asm.vx_tmc(ZERO); // workers halt
+    asm.bind(warp0_cont)?;
+    // warp 0: cursor += nw * threads, next round.
+    asm.lw(T3, abi::dispatch::ROUND_WARPS as i32, S1);
+    asm.mul(T3, T3, S4);
+    asm.add(S2, S2, T3);
+    asm.j(round_loop);
+
+    asm.bind(done)?;
+    asm.section(&format!("{name}.exit"));
+    asm.vx_tmc(ZERO);
+    Ok(())
+}
+
+/// Builds a single-kernel program named `name` at the ABI code base.
+///
+/// # Errors
+///
+/// Propagates assembly errors from the harness or the body.
+pub fn build_single(
+    name: &str,
+    body: impl FnMut(&mut Assembler, BodyCtx),
+) -> Result<Program, AsmError> {
+    let mut asm = Assembler::new(abi::CODE_BASE);
+    emit_kernel(&mut asm, name, body)?;
+    asm.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_assembles_and_tags_sections() {
+        let program = build_single("noop", |_, _| {}).unwrap();
+        assert_eq!(program.entry(), abi::CODE_BASE);
+        assert!(program.symbol("noop").is_some());
+        assert!(program.symbol("noop.worker").is_some());
+        let names: Vec<&str> =
+            program.sections().iter().map(|s| s.name.as_str()).collect();
+        for expected in
+            ["noop.dispatch", "noop.spawn", "noop.worker", "noop.body", "noop.sync", "noop.exit"]
+        {
+            assert!(names.contains(&expected), "missing section {expected}");
+        }
+    }
+
+    #[test]
+    fn two_kernels_share_a_program() {
+        let mut asm = Assembler::new(abi::CODE_BASE);
+        emit_kernel(&mut asm, "first", |_, _| {}).unwrap();
+        emit_kernel(&mut asm, "second", |_, _| {}).unwrap();
+        let program = asm.assemble().unwrap();
+        let first = program.symbol("first").unwrap();
+        let second = program.symbol("second").unwrap();
+        assert_eq!(first, abi::CODE_BASE);
+        assert!(second > first);
+    }
+}

@@ -1,0 +1,134 @@
+//! The [`Kernel`] abstraction and the standard execution driver.
+
+use vortex_asm::Program;
+use vortex_core::{LaunchParams, LaunchReport, LwsPolicy, Runtime};
+use vortex_sim::Cycle;
+use vortex_sim::{DeviceConfig, MemStats, TraceSink};
+
+use crate::error::{KernelError, VerifyError};
+
+/// One device launch of a (possibly multi-phase) kernel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseSpec {
+    /// Entry symbol in the built program.
+    pub symbol: String,
+    /// Global work size of this phase.
+    pub gws: u32,
+}
+
+impl PhaseSpec {
+    /// Creates a phase description.
+    pub fn new(symbol: impl Into<String>, gws: u32) -> Self {
+        PhaseSpec { symbol: symbol.into(), gws }
+    }
+}
+
+/// A runnable, verifiable workload from the paper's evaluation set.
+///
+/// Implementations own their (seeded, deterministic) input data, so the
+/// same kernel value can be re-run across many device configurations and
+/// mapping policies with identical work.
+pub trait Kernel {
+    /// Short name used in reports (matches the paper's figure labels).
+    fn name(&self) -> &'static str;
+
+    /// Assembles the device program (all phases).
+    ///
+    /// # Errors
+    ///
+    /// Returns an assembly error if the kernel's code generation produced
+    /// an unencodable instruction.
+    fn build(&self) -> Result<Program, vortex_asm::AsmError>;
+
+    /// The launches (in order) that constitute one execution.
+    fn phases(&self) -> Vec<PhaseSpec>;
+
+    /// Allocates buffers, uploads inputs and writes the argument block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    fn setup(&mut self, rt: &mut Runtime) -> Result<(), vortex_core::LaunchError>;
+
+    /// Checks device outputs against the host reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatch found.
+    fn verify(&self, rt: &Runtime) -> Result<(), VerifyError>;
+
+    /// Total work items across phases (used for reporting only).
+    fn total_gws(&self) -> u32 {
+        self.phases().iter().map(|p| p.gws).sum()
+    }
+}
+
+/// The result of running a kernel once on one configuration.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Total device cycles summed over phases (dispatch overhead and
+    /// memory drain included).
+    pub cycles: Cycle,
+    /// Per-phase launch reports.
+    pub reports: Vec<LaunchReport>,
+    /// Memory-hierarchy statistics for the whole run.
+    pub mem: MemStats,
+    /// DRAM service-slot utilisation over the run (0..=1); high values
+    /// mark the paper's *memory bound* kernels.
+    pub dram_utilization: f64,
+    /// Instructions issued.
+    pub instructions: u64,
+}
+
+/// Builds, uploads, launches (all phases) and verifies `kernel` on a fresh
+/// device of the given configuration.
+///
+/// # Errors
+///
+/// Any assembly, launch or verification failure.
+pub fn run_kernel(
+    kernel: &mut dyn Kernel,
+    config: &DeviceConfig,
+    policy: LwsPolicy,
+) -> Result<RunOutcome, KernelError> {
+    run_kernel_traced(kernel, config, policy, None)
+}
+
+/// [`run_kernel`] with an optional trace sink attached to every phase
+/// (used to regenerate the paper's Fig. 1).
+///
+/// # Errors
+///
+/// Any assembly, launch or verification failure.
+pub fn run_kernel_traced(
+    kernel: &mut dyn Kernel,
+    config: &DeviceConfig,
+    policy: LwsPolicy,
+    mut trace: Option<&mut dyn TraceSink>,
+) -> Result<RunOutcome, KernelError> {
+    let program = kernel.build()?;
+    let mut rt = Runtime::new(*config);
+    rt.load_program(&program);
+    kernel.setup(&mut rt)?;
+
+    let mut reports = Vec::new();
+    let mut cycles = 0;
+    for phase in kernel.phases() {
+        let entry = program
+            .symbol(&phase.symbol)
+            .ok_or_else(|| KernelError::MissingSymbol { symbol: phase.symbol.clone() })?;
+        let params = LaunchParams::new(phase.gws).policy(policy).entry(entry);
+        let report = rt.launch(&params, trace.as_deref_mut())?;
+        cycles += report.cycles;
+        reports.push(report);
+    }
+    kernel.verify(&rt)?;
+
+    Ok(RunOutcome {
+        cycles,
+        reports,
+        mem: rt.device().mem_stats(),
+        dram_utilization: rt.device().dram_utilization(),
+        instructions: rt.device().counters().instructions,
+    })
+}

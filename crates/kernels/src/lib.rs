@@ -1,0 +1,105 @@
+//! The paper's nine OpenCL workloads as Vortex assembly kernels, with
+//! host-side reference implementations and seeded synthetic datasets.
+//!
+//! Every kernel implements the [`Kernel`] trait:
+//!
+//! * [`Kernel::build`] assembles the device program through the shared
+//!   [`harness`] (the POCL-style dispatch loop of the paper: spawn →
+//!   work → barrier → respawn);
+//! * [`Kernel::setup`] allocates buffers and writes the argument block;
+//! * [`Kernel::verify`] checks device results against a pure-Rust
+//!   reference.
+//!
+//! The workload set matches Figure 2 of the paper:
+//!
+//! | Kernel | Paper size | Type |
+//! |---|---|---|
+//! | [`VecAdd`] | len 4096 | compute bound |
+//! | [`Relu`] | len 4096 | compute bound |
+//! | [`Saxpy`] | len 4096 | compute bound |
+//! | [`Sgemm`] | 256×16×144 | compute bound |
+//! | [`Gauss`] | 360×360 | memory bound |
+//! | [`Knn`] | 42 764 points | memory bound |
+//! | [`GcnAggr`] | cora-like, hs 16 | memory bound |
+//! | [`GcnLayer`] | cora-like, hs 16 | mixed (2 phases) |
+//! | [`ResnetLayer`] | 16 ch, 32×32 | compute bound |
+//!
+//! Datasets the paper takes from Rodinia/cora/CIFAR-10 are substituted by
+//! seeded synthetic equivalents of the same shape (see [`data`] and
+//! DESIGN.md).
+//!
+//! # Examples
+//!
+//! Run vecadd with the paper's auto-tuned mapping and verify the result:
+//!
+//! ```
+//! use vortex_core::LwsPolicy;
+//! use vortex_kernels::{run_kernel, Kernel, VecAdd};
+//! use vortex_sim::DeviceConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut kernel = VecAdd::new(256);
+//! let config = DeviceConfig::with_topology(1, 2, 4);
+//! let outcome = run_kernel(&mut kernel, &config, LwsPolicy::Auto)?;
+//! assert!(outcome.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod data;
+mod error;
+mod gauss;
+mod gcn;
+pub mod harness;
+mod kernel;
+mod knn;
+mod relu;
+mod resnet;
+mod saxpy;
+mod sgemm;
+mod vecadd;
+
+pub use error::{KernelError, VerifyError};
+pub use gauss::Gauss;
+pub use gcn::{GcnAggr, GcnLayer};
+pub use kernel::{run_kernel, run_kernel_traced, Kernel, PhaseSpec, RunOutcome};
+pub use knn::Knn;
+pub use relu::Relu;
+pub use resnet::ResnetLayer;
+pub use saxpy::Saxpy;
+pub use sgemm::Sgemm;
+pub use vecadd::VecAdd;
+
+/// All nine paper kernels at **paper scale** (the sizes of Fig. 2).
+pub fn paper_kernels() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(VecAdd::paper()),
+        Box::new(Relu::paper()),
+        Box::new(Saxpy::paper()),
+        Box::new(Sgemm::paper()),
+        Box::new(Gauss::paper()),
+        Box::new(Knn::paper()),
+        Box::new(GcnAggr::paper()),
+        Box::new(GcnLayer::paper()),
+        Box::new(ResnetLayer::paper()),
+    ]
+}
+
+/// All nine kernels at **sweep scale**: reduced sizes that keep the
+/// 450-configuration campaign tractable while preserving each kernel's
+/// compute/memory character (documented in EXPERIMENTS.md).
+pub fn sweep_kernels() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(VecAdd::paper()), // already small enough
+        Box::new(Relu::paper()),
+        Box::new(Saxpy::paper()),
+        Box::new(Sgemm::sweep()),
+        Box::new(Gauss::sweep()),
+        Box::new(Knn::sweep()),
+        Box::new(GcnAggr::sweep()),
+        Box::new(GcnLayer::sweep()),
+        Box::new(ResnetLayer::sweep()),
+    ]
+}

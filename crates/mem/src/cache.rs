@@ -1,0 +1,325 @@
+//! Tag-only set-associative cache timing model.
+
+use std::fmt;
+
+/// Geometry of one cache level.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Associativity (ways per set). Must divide `size_bytes / line_bytes`.
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u32 {
+        self.size_bytes / self.line_bytes / self.ways
+    }
+
+    /// Validates the geometry (power-of-two line and set count, non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when invalid; configurations are
+    /// static inputs, so a panic is the appropriate failure mode.
+    pub fn validate(&self) {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.ways > 0, "cache must have at least one way");
+        assert!(
+            self.size_bytes % (self.line_bytes * self.ways) == 0,
+            "cache size must be a multiple of ways*line"
+        );
+        let sets = self.sets();
+        assert!(sets > 0, "cache must have at least one set");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+    }
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (including cold misses).
+    pub misses: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in 0..=1 (0 when there were no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate)",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Way {
+    tag: u32,
+    valid: bool,
+    dirty: bool,
+    lru_stamp: u64,
+}
+
+/// Result of a cache lookup with fill-on-miss.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Lookup {
+    /// The line was resident.
+    Hit,
+    /// The line was filled. `writeback` holds the base address of a dirty
+    /// victim that must be written downstream, if one was displaced.
+    Miss {
+        /// Base address of the displaced dirty line, if any.
+        writeback: Option<u32>,
+    },
+}
+
+impl Lookup {
+    /// Whether this lookup hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, Lookup::Hit)
+    }
+}
+
+/// A tag-only, LRU, set-associative cache.
+///
+/// The cache stores no data — the architectural state lives in
+/// [`MainMemory`](crate::MainMemory) — it only answers "would this access
+/// hit?", updating tags and LRU state as a side effect.
+///
+/// # Examples
+///
+/// ```
+/// use vortex_mem::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64 });
+/// assert!(!c.access(0x0, false).is_hit());  // cold miss
+/// assert!(c.access(0x4, false).is_hit());   // same line: hit
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    ways: Vec<Way>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`CacheConfig::validate`]).
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate();
+        let entries = (config.sets() * config.ways) as usize;
+        Cache {
+            config,
+            ways: vec![Way { tag: 0, valid: false, dirty: false, lru_stamp: 0 }; entries],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up the line containing `addr`, filling it on a miss
+    /// (write-allocate). `is_store` marks the line dirty (write-back).
+    pub fn access(&mut self, addr: u32, is_store: bool) -> Lookup {
+        self.tick += 1;
+        let line = addr / self.config.line_bytes;
+        let sets = self.config.sets();
+        let set = (line & (sets - 1)) as usize;
+        let tag = line / sets;
+        let ways = self.config.ways as usize;
+        let base = set * ways;
+        let slots = &mut self.ways[base..base + ways];
+
+        if let Some(way) = slots.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.lru_stamp = self.tick;
+            way.dirty |= is_store;
+            self.stats.hits += 1;
+            return Lookup::Hit;
+        }
+        self.stats.misses += 1;
+        // Choose victim: first invalid way, else LRU.
+        let victim = match slots.iter_mut().find(|w| !w.valid) {
+            Some(w) => w,
+            None => {
+                self.stats.evictions += 1;
+                slots.iter_mut().min_by_key(|w| w.lru_stamp).expect("ways > 0")
+            }
+        };
+        let writeback = if victim.valid && victim.dirty {
+            let victim_line = victim.tag * sets + set as u32;
+            Some(victim_line * self.config.line_bytes)
+        } else {
+            None
+        };
+        victim.tag = tag;
+        victim.valid = true;
+        victim.dirty = is_store;
+        victim.lru_stamp = self.tick;
+        Lookup::Miss { writeback }
+    }
+
+    /// Checks whether the line containing `addr` is resident, without
+    /// updating any state.
+    pub fn probe(&self, addr: u32) -> bool {
+        let line = addr / self.config.line_bytes;
+        let sets = self.config.sets();
+        let set = (line & (sets - 1)) as usize;
+        let tag = line / sets;
+        let ways = self.config.ways as usize;
+        self.ways[set * ways..(set + 1) * ways]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Invalidates all lines and clears statistics.
+    pub fn reset(&mut self) {
+        for w in &mut self.ways {
+            w.valid = false;
+            w.dirty = false;
+        }
+        self.tick = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 16B lines = 64B
+        Cache::new(CacheConfig { size_bytes: 64, ways: 2, line_bytes: 16 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0, false).is_hit());
+        assert!(c.access(0, false).is_hit());
+        assert!(c.access(15, false).is_hit());
+        assert!(!c.access(16, false).is_hit()); // next line
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Set 0 holds lines with (line % 2 == 0): addresses 0, 32, 64...
+        c.access(0, false); // A
+        c.access(32, false); // B
+        c.access(0, false); // A refreshed
+        c.access(64, false); // C evicts B (LRU)
+        assert!(c.probe(0), "A stays");
+        assert!(!c.probe(32), "B evicted");
+        assert!(c.probe(64), "C resident");
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_victim_address() {
+        let mut c = tiny();
+        assert_eq!(c.access(0, true), Lookup::Miss { writeback: None });
+        c.access(32, false); // clean B in the same set
+        // Evict A (dirty) by filling C in set 0.
+        let l = c.access(64, false);
+        assert_eq!(l, Lookup::Miss { writeback: Some(0) });
+        // B is now LRU; evicting it is clean.
+        let l = c.access(96, false);
+        assert_eq!(l, Lookup::Miss { writeback: None });
+    }
+
+    #[test]
+    fn store_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0, false); // clean fill
+        c.access(0, true); // dirtied by store hit
+        c.access(32, false);
+        let l = c.access(64, false); // evicts A which is dirty
+        assert_eq!(l, Lookup::Miss { writeback: Some(0) });
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.access(0, false); // set 0
+        c.access(16, false); // set 1
+        assert!(c.probe(0));
+        assert!(c.probe(16));
+    }
+
+    #[test]
+    fn probe_does_not_mutate() {
+        let mut c = tiny();
+        c.access(0, false);
+        let before = c.stats();
+        assert!(c.probe(0));
+        assert!(!c.probe(999_999));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.reset();
+        assert!(!c.probe(0));
+        assert_eq!(c.stats().accesses(), 0);
+        // After reset the refill eviction is clean.
+        c.access(0, false);
+        c.access(32, false);
+        assert_eq!(c.access(64, false), Lookup::Miss { writeback: None });
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_geometry_panics() {
+        Cache::new(CacheConfig { size_bytes: 60, ways: 2, line_bytes: 15 });
+    }
+
+    #[test]
+    fn hit_rate_tracks() {
+        let mut c = tiny();
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.access(0, false);
+        c.access(0, false);
+        c.access(0, false);
+        assert!((c.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! SIMT memory-access coalescing.
+
+/// The unique cache lines touched by one SIMT memory instruction.
+///
+/// At most 32 lanes exist, so at most 32 distinct lines; the collection is
+/// stored inline to keep the simulator allocation-free on its hot path.
+#[derive(Copy, Clone, Debug)]
+pub struct CoalescedLines {
+    lines: [u32; 32],
+    len: u8,
+}
+
+impl CoalescedLines {
+    /// The unique line base addresses, in first-touch order.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.lines[..self.len as usize]
+    }
+
+    /// Number of unique lines (= number of memory requests issued).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no lane made an access.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<'a> IntoIterator for &'a CoalescedLines {
+    type Item = u32;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, u32>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter().copied()
+    }
+}
+
+/// Merges per-lane byte addresses into unique line base addresses.
+///
+/// `line_bytes` must be a power of two. Order is first-touch, which keeps
+/// request streams deterministic.
+///
+/// # Panics
+///
+/// Panics if more than 32 addresses are supplied (the SIMT width limit) or
+/// if `line_bytes` is not a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use vortex_mem::coalesce_lines;
+/// // Four consecutive words in one 64-byte line -> a single request.
+/// let lines = coalesce_lines([0x100, 0x104, 0x108, 0x10C], 64);
+/// assert_eq!(lines.as_slice(), &[0x100]);
+/// // Strided across lines -> one request per line.
+/// let lines = coalesce_lines([0x0, 0x40, 0x80], 64);
+/// assert_eq!(lines.len(), 3);
+/// ```
+pub fn coalesce_lines(addrs: impl IntoIterator<Item = u32>, line_bytes: u32) -> CoalescedLines {
+    assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+    let mask = !(line_bytes - 1);
+    let mut out = CoalescedLines { lines: [0; 32], len: 0 };
+    for addr in addrs {
+        let line = addr & mask;
+        let current = &out.lines[..out.len as usize];
+        if !current.contains(&line) {
+            assert!(out.len < 32, "SIMT width exceeds 32 lanes");
+            out.lines[out.len as usize] = line;
+            out.len += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_coalesces_fully() {
+        let addrs = (0..16u32).map(|i| 0x2000 + i * 4);
+        let lines = coalesce_lines(addrs, 64);
+        assert_eq!(lines.as_slice(), &[0x2000]);
+    }
+
+    #[test]
+    fn line_stride_does_not_coalesce() {
+        let addrs = (0..8u32).map(|i| i * 64);
+        let lines = coalesce_lines(addrs, 64);
+        assert_eq!(lines.len(), 8);
+    }
+
+    #[test]
+    fn straddling_accesses_touch_both_lines_base() {
+        // Addresses near a boundary still map to their containing line base.
+        let lines = coalesce_lines([63, 64], 64);
+        assert_eq!(lines.as_slice(), &[0, 64]);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let lines = coalesce_lines(std::iter::empty(), 64);
+        assert!(lines.is_empty());
+        assert_eq!(lines.len(), 0);
+    }
+
+    #[test]
+    fn first_touch_order_is_preserved() {
+        let lines = coalesce_lines([0x80, 0x00, 0x80, 0x40], 64);
+        assert_eq!(lines.as_slice(), &[0x80, 0x00, 0x40]);
+    }
+
+    #[test]
+    fn iterator_yields_lines() {
+        let lines = coalesce_lines([0, 64], 64);
+        let collected: Vec<u32> = (&lines).into_iter().collect();
+        assert_eq!(collected, vec![0, 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        coalesce_lines([0], 48);
+    }
+}

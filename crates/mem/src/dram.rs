@@ -1,0 +1,170 @@
+//! DRAM channel: fixed latency plus a finite service rate.
+
+use crate::Cycle;
+
+/// DRAM channel timing parameters.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Cycles from request acceptance to data return.
+    pub latency: u64,
+    /// Minimum cycles between requests accepted by one channel.
+    pub interval: u64,
+    /// Independent channels; aggregate bandwidth is
+    /// `channels / interval` lines per cycle.
+    pub channels: u32,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig { latency: 100, interval: 2, channels: 4 }
+    }
+}
+
+/// A single DRAM channel shared by all cores.
+///
+/// Requests are serviced in arrival order at a rate of one per
+/// [`DramConfig::interval`] cycles; each takes [`DramConfig::latency`]
+/// additional cycles to return. When the channel is saturated, the queueing
+/// delay grows without bound — this is the mechanism that caps the
+/// throughput of memory-bound kernels.
+///
+/// # Examples
+///
+/// ```
+/// use vortex_mem::{DramChannel, DramConfig};
+/// let mut dram = DramChannel::new(DramConfig { latency: 100, interval: 4, channels: 1 });
+/// assert_eq!(dram.service(0), 100);   // accepted at 0
+/// assert_eq!(dram.service(0), 104);   // queued behind the first
+/// assert_eq!(dram.service(1000), 1100); // idle channel accepts immediately
+/// ```
+#[derive(Clone, Debug)]
+pub struct DramChannel {
+    config: DramConfig,
+    next_slot: Vec<Cycle>,
+    requests: u64,
+    busy_cycles: u64,
+    last_accept: Cycle,
+}
+
+impl DramChannel {
+    /// Creates an idle channel group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.channels` is zero.
+    pub fn new(config: DramConfig) -> Self {
+        assert!(config.channels > 0, "DRAM needs at least one channel");
+        DramChannel {
+            config,
+            next_slot: vec![0; config.channels as usize],
+            requests: 0,
+            busy_cycles: 0,
+            last_accept: 0,
+        }
+    }
+
+    /// The timing parameters.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Submits a line request at cycle `now`; returns its completion
+    /// cycle. The request is scheduled on the earliest-free channel.
+    pub fn service(&mut self, now: Cycle) -> Cycle {
+        let slot = self
+            .next_slot
+            .iter_mut()
+            .min_by_key(|s| **s)
+            .expect("at least one channel");
+        let accept = now.max(*slot);
+        *slot = accept + self.config.interval;
+        self.requests += 1;
+        self.busy_cycles += self.config.interval;
+        self.last_accept = accept;
+        accept + self.config.latency
+    }
+
+    /// Total requests serviced.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Fraction of the aggregate service slots used up to cycle `horizon`
+    /// (1.0 means the channels were the bottleneck the entire time).
+    pub fn utilization(&self, horizon: Cycle) -> f64 {
+        if horizon == 0 {
+            0.0
+        } else {
+            let capacity = horizon as f64 * self.config.channels as f64;
+            (self.busy_cycles as f64 / capacity).min(1.0)
+        }
+    }
+
+    /// Clears queue state and statistics.
+    pub fn reset(&mut self) {
+        self.next_slot.fill(0);
+        self.requests = 0;
+        self.busy_cycles = 0;
+        self.last_accept = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_applies_when_idle() {
+        let mut d = DramChannel::new(DramConfig { latency: 50, interval: 1, channels: 1 });
+        assert_eq!(d.service(10), 60);
+    }
+
+    #[test]
+    fn bandwidth_queues_back_to_back_requests() {
+        let mut d = DramChannel::new(DramConfig { latency: 10, interval: 4, channels: 1 });
+        let c1 = d.service(0);
+        let c2 = d.service(0);
+        let c3 = d.service(0);
+        assert_eq!(c1, 10);
+        assert_eq!(c2, 14);
+        assert_eq!(c3, 18);
+        assert_eq!(d.requests(), 3);
+    }
+
+    #[test]
+    fn channels_serve_in_parallel() {
+        let mut d = DramChannel::new(DramConfig { latency: 10, interval: 4, channels: 2 });
+        assert_eq!(d.service(0), 10); // channel A
+        assert_eq!(d.service(0), 10); // channel B
+        assert_eq!(d.service(0), 14); // back on A
+        assert_eq!(d.service(0), 14); // back on B
+    }
+
+    #[test]
+    fn idle_gaps_reset_queueing() {
+        let mut d = DramChannel::new(DramConfig { latency: 10, interval: 4, channels: 1 });
+        d.service(0);
+        let late = d.service(100);
+        assert_eq!(late, 110);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut d = DramChannel::new(DramConfig { latency: 10, interval: 2, channels: 2 });
+        for _ in 0..400 {
+            d.service(0);
+        }
+        assert!((d.utilization(200) - 1.0).abs() < 1e-12);
+        assert_eq!(d.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn reset_restores_idle_state() {
+        let mut d = DramChannel::new(DramConfig::default());
+        d.service(0);
+        d.reset();
+        assert_eq!(d.requests(), 0);
+        let c = d.service(0);
+        assert_eq!(c, DramConfig::default().latency);
+    }
+}

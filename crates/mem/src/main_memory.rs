@@ -1,0 +1,198 @@
+//! The functional, flat 32-bit address space.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// A sparse, byte-addressed, little-endian 32-bit memory.
+///
+/// Pages are allocated lazily on first write; reads of untouched memory
+/// return zero. This is the *architectural* state — timing is modelled
+/// separately by [`MemSystem`](crate::MemSystem).
+///
+/// # Examples
+///
+/// ```
+/// use vortex_mem::MainMemory;
+/// let mut mem = MainMemory::new();
+/// mem.write_f32(0x100, 1.5);
+/// assert_eq!(mem.read_f32(0x100), 1.5);
+/// assert_eq!(mem.read_u32(0xDEAD_0000), 0); // untouched reads as zero
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct MainMemory {
+    pages: HashMap<u32, Box<[u8]>>,
+}
+
+impl MainMemory {
+    /// Creates an empty memory (all bytes zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident (written) pages, for footprint diagnostics.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice());
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads a little-endian 16-bit value (no alignment requirement).
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Writes a little-endian 16-bit value.
+    pub fn write_u16(&mut self, addr: u32, value: u16) {
+        let [b0, b1] = value.to_le_bytes();
+        self.write_u8(addr, b0);
+        self.write_u8(addr.wrapping_add(1), b1);
+    }
+
+    /// Reads a little-endian 32-bit value (no alignment requirement).
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        if addr & PAGE_MASK <= PAGE_MASK - 3 {
+            // Fast path: within one page.
+            if let Some(page) = self.pages.get(&(addr >> PAGE_SHIFT)) {
+                let off = (addr & PAGE_MASK) as usize;
+                return u32::from_le_bytes(page[off..off + 4].try_into().expect("4 bytes"));
+            }
+            return 0;
+        }
+        u32::from_le_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr.wrapping_add(1)),
+            self.read_u8(addr.wrapping_add(2)),
+            self.read_u8(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a little-endian 32-bit value.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        if addr & PAGE_MASK <= PAGE_MASK - 3 {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice());
+            let off = (addr & PAGE_MASK) as usize;
+            page[off..off + 4].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Reads an IEEE-754 single-precision value.
+    pub fn read_f32(&self, addr: u32) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes an IEEE-754 single-precision value.
+    pub fn write_f32(&mut self, addr: u32, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Writes a slice of 32-bit words starting at `addr`.
+    pub fn write_u32_slice(&mut self, addr: u32, values: &[u32]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write_u32(addr + (i as u32) * 4, v);
+        }
+    }
+
+    /// Reads `len` 32-bit words starting at `addr`.
+    pub fn read_u32_vec(&self, addr: u32, len: usize) -> Vec<u32> {
+        (0..len).map(|i| self.read_u32(addr + (i as u32) * 4)).collect()
+    }
+
+    /// Writes a slice of single-precision floats starting at `addr`.
+    pub fn write_f32_slice(&mut self, addr: u32, values: &[f32]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write_f32(addr + (i as u32) * 4, v);
+        }
+    }
+
+    /// Reads `len` single-precision floats starting at `addr`.
+    pub fn read_f32_vec(&self, addr: u32, len: usize) -> Vec<f32> {
+        (0..len).map(|i| self.read_f32(addr + (i as u32) * 4)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut m = MainMemory::new();
+        m.write_u8(0, 0xAB);
+        m.write_u8(0xFFFF_FFFF, 0xCD);
+        assert_eq!(m.read_u8(0), 0xAB);
+        assert_eq!(m.read_u8(0xFFFF_FFFF), 0xCD);
+        assert_eq!(m.read_u8(1), 0);
+    }
+
+    #[test]
+    fn words_are_little_endian() {
+        let mut m = MainMemory::new();
+        m.write_u32(0x100, 0x1122_3344);
+        assert_eq!(m.read_u8(0x100), 0x44);
+        assert_eq!(m.read_u8(0x103), 0x11);
+        assert_eq!(m.read_u16(0x100), 0x3344);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = MainMemory::new();
+        let addr = 0x1FFE; // spans 0x1000..0x2000 page boundary
+        m.write_u32(addr, 0xDEAD_BEEF);
+        assert_eq!(m.read_u32(addr), 0xDEAD_BEEF);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn float_roundtrip_preserves_bits() {
+        let mut m = MainMemory::new();
+        for v in [0.0f32, -0.0, 1.5, f32::INFINITY, f32::MIN_POSITIVE] {
+            m.write_f32(8, v);
+            assert_eq!(m.read_f32(8).to_bits(), v.to_bits());
+        }
+        // NaN bit pattern preserved too.
+        m.write_u32(8, 0x7FC0_0001);
+        assert!(m.read_f32(8).is_nan());
+        assert_eq!(m.read_u32(8), 0x7FC0_0001);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut m = MainMemory::new();
+        m.write_f32_slice(0x2000, &[1.0, 2.0, 3.0]);
+        assert_eq!(m.read_f32_vec(0x2000, 3), vec![1.0, 2.0, 3.0]);
+        m.write_u32_slice(0x3000, &[7, 8]);
+        assert_eq!(m.read_u32_vec(0x3000, 2), vec![7, 8]);
+    }
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let m = MainMemory::new();
+        assert_eq!(m.read_u32(12345), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! The assembled memory hierarchy: per-core L1s, shared L2, one DRAM channel.
+
+use crate::cache::Lookup;
+use crate::{Cache, CacheConfig, CacheStats, Cycle, DramChannel, DramConfig};
+
+/// Timing and geometry parameters of the full memory hierarchy.
+///
+/// The defaults approximate the Vortex FPGA configuration scale: 16 KiB
+/// 4-way L1 per core, 256 KiB 8-way shared L2, 64-byte lines, ~100-cycle
+/// DRAM with one line per two cycles of bandwidth.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Per-core L1 data cache geometry.
+    pub l1: CacheConfig,
+    /// Independent L1 banks: lines a single SIMT access can service per
+    /// cycle (uncoalesced accesses serialise over `lines / l1_banks`
+    /// cycles, as in Vortex's banked dcache).
+    pub l1_banks: u32,
+    /// Shared L2 geometry.
+    pub l2: CacheConfig,
+    /// Independent L2 banks (requests accepted per `l2_interval`).
+    pub l2_banks: u32,
+    /// L1 hit latency (cycles from issue to writeback).
+    pub l1_latency: u64,
+    /// Additional latency for an access that hits in L2.
+    pub l2_latency: u64,
+    /// Minimum cycles between requests accepted by the L2 (bandwidth).
+    pub l2_interval: u64,
+    /// DRAM channel parameters.
+    pub dram: DramConfig,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            l1: CacheConfig { size_bytes: 16 * 1024, ways: 4, line_bytes: 64 },
+            l1_banks: 32,
+            l2: CacheConfig { size_bytes: 256 * 1024, ways: 8, line_bytes: 64 },
+            l2_banks: 4,
+            l1_latency: 2,
+            l2_latency: 20,
+            l2_interval: 1,
+            dram: DramConfig::default(),
+        }
+    }
+}
+
+/// Aggregate statistics over the whole hierarchy.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Load line-requests issued.
+    pub loads: u64,
+    /// Store line-requests issued.
+    pub stores: u64,
+    /// L1 counters summed over cores.
+    pub l1: CacheStats,
+    /// Shared L2 counters.
+    pub l2: CacheStats,
+    /// Lines serviced by DRAM.
+    pub dram_requests: u64,
+}
+
+/// The timing model of the memory hierarchy.
+///
+/// `load` and `store` take a request at an absolute cycle and return the
+/// cycle at which the data is available (loads) or the write has drained
+/// (stores). Stores are write-through/no-allocate and the requesting warp
+/// does not wait for them; their return value only matters for bandwidth
+/// accounting.
+///
+/// # Examples
+///
+/// ```
+/// use vortex_mem::{MemConfig, MemSystem};
+/// let mut sys = MemSystem::new(2, MemConfig::default());
+/// let t1 = sys.load(0, 0x1000, 0);      // cold: L1 miss, L2 miss, DRAM
+/// let t2 = sys.load(0, 0x1000, t1);     // L1 hit
+/// let t3 = sys.load(1, 0x1000, t2);     // other core: misses L1, hits L2
+/// assert!(t2 - t1 < t3 - t2 && t3 - t2 < t1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MemSystem {
+    config: MemConfig,
+    l1s: Vec<Cache>,
+    l2: Cache,
+    l2_next_slot: Vec<Cycle>,
+    dram: DramChannel,
+    loads: u64,
+    stores: u64,
+}
+
+impl MemSystem {
+    /// Creates the hierarchy for `num_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cache geometry in `config` is invalid.
+    pub fn new(num_cores: usize, config: MemConfig) -> Self {
+        assert!(config.l2_banks > 0, "L2 needs at least one bank");
+        MemSystem {
+            config,
+            l1s: (0..num_cores).map(|_| Cache::new(config.l1)).collect(),
+            l2: Cache::new(config.l2),
+            l2_next_slot: vec![0; config.l2_banks as usize],
+            dram: DramChannel::new(config.dram),
+            loads: 0,
+            stores: 0,
+        }
+    }
+
+    /// The hierarchy parameters.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Line size shared by both cache levels (bytes).
+    pub fn line_bytes(&self) -> u32 {
+        self.config.l1.line_bytes
+    }
+
+    /// Submits a load for the line containing `addr` from `core` at `now`;
+    /// returns the completion cycle.
+    pub fn load(&mut self, core: usize, addr: u32, now: Cycle) -> Cycle {
+        self.loads += 1;
+        self.access(core, addr, now, false)
+    }
+
+    /// Submits a store for the line containing `addr`; returns the cycle
+    /// the line is owned dirty in L1 (write-back, write-allocate — the
+    /// requesting warp never waits for stores).
+    pub fn store(&mut self, core: usize, addr: u32, now: Cycle) -> Cycle {
+        self.stores += 1;
+        self.access(core, addr, now, true)
+    }
+
+    /// Shared write-back/write-allocate walk. A miss at a level fills from
+    /// below; a displaced dirty victim is written back downstream
+    /// (consuming bandwidth but not blocking the requester).
+    fn access(&mut self, core: usize, addr: u32, now: Cycle, is_store: bool) -> Cycle {
+        match self.l1s[core].access(addr, is_store) {
+            Lookup::Hit => now + self.config.l1_latency,
+            Lookup::Miss { writeback } => {
+                if let Some(victim) = writeback {
+                    // L1 victim drains into L2 (dirty there), consuming an
+                    // L2 bandwidth slot; a dirty L2 victim drains to DRAM.
+                    let wb_at = self.l2_slot(now + self.config.l1_latency);
+                    if let Lookup::Miss { writeback: Some(_) } = self.l2.access(victim, true) {
+                        self.dram.service(wb_at);
+                    }
+                }
+                let at_l2 = self.l2_slot(now + self.config.l1_latency);
+                match self.l2.access(addr, false) {
+                    Lookup::Hit => at_l2 + self.config.l2_latency,
+                    Lookup::Miss { writeback: l2_wb } => {
+                        if l2_wb.is_some() {
+                            // L2 victim write-back to DRAM (bandwidth only).
+                            self.dram.service(at_l2 + self.config.l2_latency);
+                        }
+                        self.dram.service(at_l2 + self.config.l2_latency)
+                    }
+                }
+            }
+        }
+    }
+
+    fn l2_slot(&mut self, earliest: Cycle) -> Cycle {
+        let slot = self
+            .l2_next_slot
+            .iter_mut()
+            .min_by_key(|s| **s)
+            .expect("at least one bank");
+        let accept = earliest.max(*slot);
+        *slot = accept + self.config.l2_interval;
+        accept
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> MemStats {
+        let mut l1 = CacheStats::default();
+        for c in &self.l1s {
+            let s = c.stats();
+            l1.hits += s.hits;
+            l1.misses += s.misses;
+            l1.evictions += s.evictions;
+        }
+        MemStats {
+            loads: self.loads,
+            stores: self.stores,
+            l1,
+            l2: self.l2.stats(),
+            dram_requests: self.dram.requests(),
+        }
+    }
+
+    /// Per-core L1 statistics.
+    pub fn l1_stats(&self, core: usize) -> CacheStats {
+        self.l1s[core].stats()
+    }
+
+    /// DRAM service-slot utilisation up to `horizon` (see
+    /// [`DramChannel::utilization`]).
+    pub fn dram_utilization(&self, horizon: Cycle) -> f64 {
+        self.dram.utilization(horizon)
+    }
+
+    /// Invalidates caches and clears all timing state and statistics.
+    pub fn reset(&mut self) {
+        for c in &mut self.l1s {
+            c.reset();
+        }
+        self.l2.reset();
+        self.l2_next_slot.fill(0);
+        self.dram.reset();
+        self.loads = 0;
+        self.stores = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(cores: usize) -> MemSystem {
+        MemSystem::new(cores, MemConfig::default())
+    }
+
+    #[test]
+    fn latency_ordering_l1_l2_dram() {
+        let mut s = sys(2);
+        let cfg = *s.config();
+        let cold = s.load(0, 0x4000, 0);
+        assert!(cold >= cfg.l1_latency + cfg.l2_latency + cfg.dram.latency);
+        let hit = s.load(0, 0x4000, 1000) - 1000;
+        assert_eq!(hit, cfg.l1_latency);
+        let l2_hit = s.load(1, 0x4000, 2000) - 2000;
+        assert_eq!(l2_hit, cfg.l1_latency + cfg.l2_latency + /* l2 slot */ 0);
+    }
+
+    #[test]
+    fn dram_bandwidth_is_shared_between_cores() {
+        let mut s = sys(2);
+        // Stream distinct lines from both cores at the same cycle; the
+        // completions must spread out by the DRAM interval.
+        let mut completions: Vec<u64> = (0..64u32)
+            .map(|i| s.load((i % 2) as usize, 0x10_0000 + i * 64, 0))
+            .collect();
+        completions.sort_unstable();
+        // With C channels at one line per `interval`, at most C requests
+        // can complete in any `interval`-cycle window.
+        let dram = s.config().dram;
+        let window = dram.interval;
+        let per_window = completions
+            .windows(dram.channels as usize + 1)
+            .map(|w| w[dram.channels as usize] - w[0])
+            .min()
+            .unwrap();
+        assert!(per_window >= window, "more than {} completions per {window} cycles", dram.channels);
+    }
+
+    #[test]
+    fn stores_allocate_and_absorb() {
+        let mut s = sys(1);
+        s.store(0, 0x8000, 0);
+        // Write-allocate: a following load hits L1.
+        let t = s.load(0, 0x8000, 100);
+        assert_eq!(t - 100, s.config().l1_latency);
+        // Repeated stores to the hot line are absorbed (no extra DRAM
+        // traffic beyond the original fill).
+        let before = s.stats().dram_requests;
+        for i in 0..16 {
+            s.store(0, 0x8000 + i * 4, 200 + u64::from(i));
+        }
+        assert_eq!(s.stats().dram_requests, before);
+    }
+
+    #[test]
+    fn dirty_evictions_write_back() {
+        let mut s = sys(1);
+        // Dirty many distinct lines, far exceeding L1 capacity, then
+        // observe DRAM write-back traffic beyond the fills.
+        let lines = 16 * 1024; // 4x the 256KiB L2 at 64B lines
+        let mut now = 0;
+        for i in 0..lines {
+            now = s.store(0, i * 64, now);
+        }
+        let st = s.stats();
+        // Every fill reaches DRAM (cold, too big for L2 as well), and
+        // dirty victims add write-back requests on top.
+        assert!(
+            st.dram_requests > u64::from(lines),
+            "write-backs add DRAM traffic: {} vs {} fills",
+            st.dram_requests,
+            lines
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = sys(1);
+        s.load(0, 0, 0);
+        s.load(0, 0, 10);
+        s.store(0, 64, 20);
+        let st = s.stats();
+        assert_eq!(st.loads, 2);
+        assert_eq!(st.stores, 1);
+        assert_eq!(st.l1.hits, 1);
+        assert!(st.dram_requests >= 2); // one load fill + one store drain
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut s = sys(1);
+        let cold1 = s.load(0, 0, 0);
+        s.reset();
+        let cold2 = s.load(0, 0, 0);
+        assert_eq!(cold1, cold2);
+        assert_eq!(s.stats().loads, 1);
+    }
+
+    #[test]
+    fn capacity_thrashing_misses() {
+        // Working set far larger than L1 with a pathological stride keeps
+        // missing; this is the mechanism behind the "more threads can hurt"
+        // cases in the paper's memory-bound kernels.
+        let mut s = sys(1);
+        let mut now = 0;
+        for round in 0..3 {
+            for i in 0..1024u32 {
+                now = s.load(0, i * 64, now);
+            }
+            let _ = round;
+        }
+        let st = s.stats();
+        assert!(st.l1.misses > st.l1.hits);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests of the memory subsystem: the cache timing model against
+//! a naive reference implementation, coalescing invariants, and channel
+//! scheduling monotonicity.
+
+use proptest::prelude::*;
+use vortex_mem::{coalesce_lines, Cache, CacheConfig, DramChannel, DramConfig, MainMemory};
+
+/// A deliberately simple reference model of an LRU set-associative cache.
+struct RefCache {
+    sets: Vec<Vec<u32>>, // most-recent last
+    ways: usize,
+    line: u32,
+    nsets: u32,
+}
+
+impl RefCache {
+    fn new(config: CacheConfig) -> Self {
+        RefCache {
+            sets: vec![Vec::new(); config.sets() as usize],
+            ways: config.ways as usize,
+            line: config.line_bytes,
+            nsets: config.sets(),
+        }
+    }
+
+    fn access(&mut self, addr: u32) -> bool {
+        let line = addr / self.line;
+        let set = (line % self.nsets) as usize;
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|&l| l == line) {
+            entries.remove(pos);
+            entries.push(line);
+            true
+        } else {
+            if entries.len() == self.ways {
+                entries.remove(0);
+            }
+            entries.push(line);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tag-array cache agrees hit-for-hit with the reference LRU model.
+    #[test]
+    fn cache_matches_reference_lru(addrs in proptest::collection::vec(0u32..4096, 1..300)) {
+        let config = CacheConfig { size_bytes: 512, ways: 2, line_bytes: 32 };
+        let mut cache = Cache::new(config);
+        let mut reference = RefCache::new(config);
+        for &addr in &addrs {
+            let model = cache.access(addr, false).is_hit();
+            let expected = reference.access(addr);
+            prop_assert_eq!(model, expected, "divergence at address {:#x}", addr);
+        }
+    }
+
+    /// Coalescing covers every lane address with exactly one line, and
+    /// never produces more lines than lanes.
+    #[test]
+    fn coalescing_covers_all_lanes(
+        addrs in proptest::collection::vec(0u32..100_000, 1..32),
+        shift in 4u32..8,
+    ) {
+        let line = 1u32 << shift;
+        let lines = coalesce_lines(addrs.iter().copied(), line);
+        prop_assert!(lines.len() <= addrs.len());
+        for &addr in &addrs {
+            let base = addr & !(line - 1);
+            prop_assert!(lines.as_slice().contains(&base), "lane {:#x} uncovered", addr);
+        }
+        // All produced lines are aligned and unique.
+        let slice = lines.as_slice();
+        for (i, &l) in slice.iter().enumerate() {
+            prop_assert_eq!(l % line, 0);
+            prop_assert!(!slice[i + 1..].contains(&l));
+        }
+    }
+
+    /// DRAM accept times never go backwards for monotone request streams,
+    /// and aggregate throughput never exceeds channels/interval.
+    #[test]
+    fn dram_respects_bandwidth(
+        gaps in proptest::collection::vec(0u64..8, 1..200),
+        channels in 1u32..8,
+        interval in 1u64..6,
+    ) {
+        let mut dram = DramChannel::new(DramConfig { latency: 10, interval, channels });
+        let mut now = 0u64;
+        let mut completions = Vec::new();
+        for gap in gaps {
+            now += gap;
+            completions.push(dram.service(now));
+        }
+        completions.sort_unstable();
+        // In any window of `interval` cycles at most `channels` requests
+        // complete.
+        let c = channels as usize;
+        for w in completions.windows(c + 1) {
+            prop_assert!(w[c] - w[0] >= interval);
+        }
+    }
+
+    /// Functional memory behaves like a big byte array.
+    #[test]
+    fn memory_matches_hashmap_model(
+        writes in proptest::collection::vec((0u32..10_000, any::<u8>()), 1..200)
+    ) {
+        let mut mem = MainMemory::new();
+        let mut model = std::collections::HashMap::new();
+        for &(addr, value) in &writes {
+            mem.write_u8(addr, value);
+            model.insert(addr, value);
+        }
+        for (&addr, &value) in &model {
+            prop_assert_eq!(mem.read_u8(addr), value);
+        }
+        // Word reads assemble little-endian from the byte model.
+        for &(addr, _) in writes.iter().take(20) {
+            let expected = u32::from_le_bytes([
+                *model.get(&addr).unwrap_or(&0),
+                *model.get(&(addr + 1)).unwrap_or(&0),
+                *model.get(&(addr + 2)).unwrap_or(&0),
+                *model.get(&(addr + 3)).unwrap_or(&0),
+            ]);
+            prop_assert_eq!(mem.read_u32(addr), expected);
+        }
+    }
+}

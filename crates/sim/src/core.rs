@@ -1,0 +1,805 @@
+//! One SIMT core: warp scheduling, hazard checking and instruction
+//! execution.
+
+use std::collections::HashMap;
+
+use vortex_isa::{
+    csrs, AluImmOp, AluOp, BranchOp, Csr, ExecClass, FpBinOp, FpCmpOp, FmaOp, Instr,
+    LoadWidth, StoreWidth, VoteOp,
+};
+use vortex_mem::{coalesce_lines, Cycle, MainMemory, MemSystem};
+
+use crate::config::TimingConfig;
+use crate::counters::DeviceCounters;
+use crate::error::SimError;
+use crate::ipdom::IpdomEntry;
+use crate::trace_api::{IssueEvent, TraceSink};
+use crate::warp::{WarpState, NEVER};
+
+/// Everything a core needs from the device while stepping.
+pub(crate) struct CoreCtx<'a, 'b> {
+    pub code: &'a [Instr],
+    pub code_base: u32,
+    pub mem: &'a mut MainMemory,
+    pub memsys: &'a mut MemSystem,
+    pub timing: &'a TimingConfig,
+    pub num_cores: usize,
+    pub ipdom_depth: usize,
+    pub counters: &'a mut DeviceCounters,
+    pub trace: Option<&'a mut (dyn TraceSink + 'b)>,
+    /// Latest completion time of any memory event (for drain accounting).
+    pub horizon: &'a mut Cycle,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    arrived: Vec<usize>,
+}
+
+/// The outcome of asking a core to make progress.
+pub(crate) enum StepOutcome {
+    /// An instruction was issued; the core wants to run again at the cycle.
+    Issued(Cycle),
+    /// Nothing issuable yet; earliest time something could issue.
+    Waiting(Cycle),
+    /// All warps halted; core is idle.
+    Idle,
+}
+
+#[derive(Debug)]
+pub(crate) struct Core {
+    id: usize,
+    pub(crate) warps: Vec<WarpState>,
+    barriers: HashMap<u32, BarrierState>,
+    last_issued: usize,
+    mem_port_free: Cycle,
+}
+
+impl Core {
+    pub fn new(id: usize, warps: usize, threads: usize) -> Self {
+        Core {
+            id,
+            warps: (0..warps).map(|_| WarpState::new(threads)).collect(),
+            barriers: HashMap::new(),
+            last_issued: 0,
+            mem_port_free: 0,
+        }
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Activates warp `w` at `pc` with a full thread mask.
+    pub fn start_warp(&mut self, w: usize, pc: u32, ready_at: Cycle) {
+        let full = self.warps[w].full_mask();
+        self.warps[w].start(pc, full, ready_at);
+    }
+
+    pub fn any_active(&self) -> bool {
+        self.warps.iter().any(|w| w.active)
+    }
+
+    /// Bit mask of active warps (CSR `active_warps`).
+    fn active_warp_mask(&self) -> u32 {
+        let mut m = 0;
+        for (i, w) in self.warps.iter().enumerate() {
+            if w.active {
+                m |= 1 << i;
+            }
+        }
+        m
+    }
+
+    pub fn reset(&mut self) {
+        for w in &mut self.warps {
+            let threads = w.threads();
+            *w = WarpState::new(threads);
+        }
+        self.barriers.clear();
+        self.last_issued = 0;
+        self.mem_port_free = 0;
+    }
+
+    fn fetch(&self, w: usize, ctx: &CoreCtx<'_, '_>) -> Result<Instr, SimError> {
+        let pc = self.warps[w].pc;
+        if pc < ctx.code_base || pc % 4 != 0 {
+            return Err(SimError::UnmappedPc { core: self.id, warp: w, pc });
+        }
+        let idx = ((pc - ctx.code_base) / 4) as usize;
+        ctx.code
+            .get(idx)
+            .copied()
+            .ok_or(SimError::UnmappedPc { core: self.id, warp: w, pc })
+    }
+
+    /// Earliest cycle warp `w` could issue its next instruction, given
+    /// control gaps, register hazards and the memory-port structural
+    /// hazard.
+    fn earliest_issue(&self, w: usize, instr: Instr) -> Cycle {
+        let warp = &self.warps[w];
+        let mut t = warp.ready_at;
+        for src in instr.src_regs().into_iter().flatten() {
+            if !src.is_zero() {
+                t = t.max(warp.busy_until[src.dense_index()]);
+            }
+        }
+        if let Some(dst) = instr.dst_reg() {
+            t = t.max(warp.busy_until[dst.dense_index()]);
+        }
+        if instr.is_mem() {
+            t = t.max(self.mem_port_free);
+        }
+        t
+    }
+
+    /// Attempts to issue one instruction at cycle `now`.
+    pub fn step(&mut self, now: Cycle, ctx: &mut CoreCtx<'_, '_>) -> Result<StepOutcome, SimError> {
+        let n = self.warps.len();
+        let mut earliest: Option<Cycle> = None;
+        for i in 1..=n {
+            let w = (self.last_issued + i) % n;
+            if !self.warps[w].schedulable() {
+                continue;
+            }
+            let instr = self.fetch(w, ctx)?;
+            let t = self.earliest_issue(w, instr);
+            if t <= now {
+                self.issue(w, instr, now, ctx)?;
+                self.last_issued = w;
+                return if self.warps.iter().any(|x| x.schedulable()) {
+                    Ok(StepOutcome::Issued(now + 1))
+                } else if self.warps.iter().any(|x| x.active) {
+                    // Only barrier-blocked warps remain.
+                    Err(SimError::BarrierDeadlock { cycle: now })
+                } else {
+                    Ok(StepOutcome::Idle)
+                };
+            }
+            earliest = Some(earliest.map_or(t, |e: Cycle| e.min(t)));
+        }
+        match earliest {
+            Some(t) => Ok(StepOutcome::Waiting(t)),
+            None if self.warps.iter().any(|x| x.active) => {
+                Err(SimError::BarrierDeadlock { cycle: now })
+            }
+            None => Ok(StepOutcome::Idle),
+        }
+    }
+
+    /// Executes `instr` for warp `w` at cycle `now`.
+    fn issue(
+        &mut self,
+        w: usize,
+        instr: Instr,
+        now: Cycle,
+        ctx: &mut CoreCtx<'_, '_>,
+    ) -> Result<(), SimError> {
+        let pc = self.warps[w].pc;
+        let tmask = self.warps[w].tmask;
+
+        ctx.counters.instructions += 1;
+        ctx.counters.lane_instructions += u64::from(tmask.count_ones());
+        ctx.counters.classes.record(instr.exec_class());
+        if let Some(sink) = ctx.trace.as_deref_mut() {
+            sink.on_issue(&IssueEvent { cycle: now, core: self.id, warp: w, pc, tmask, instr });
+        }
+
+        let timing = *ctx.timing;
+        let mut next_pc = pc.wrapping_add(4);
+        let mut halted = false;
+
+        macro_rules! lanes {
+            () => {
+                (0..self.warps[w].threads()).filter(|&l| tmask & (1 << l) != 0)
+            };
+        }
+        macro_rules! wb_int {
+            ($rd:expr, $lat:expr) => {
+                if !$rd.is_zero() {
+                    self.warps[w].busy_until[$rd.num() as usize] = now + $lat;
+                }
+            };
+        }
+        macro_rules! wb_fp {
+            ($rd:expr, $lat:expr) => {
+                self.warps[w].busy_until[32 + $rd.num() as usize] = now + $lat;
+            };
+        }
+
+        match instr {
+            Instr::Lui { rd, imm } => {
+                for lane in lanes!() {
+                    self.warps[w].set_ireg(lane, rd, imm as u32);
+                }
+                wb_int!(rd, timing.alu);
+            }
+            Instr::Auipc { rd, imm } => {
+                let v = pc.wrapping_add(imm as u32);
+                for lane in lanes!() {
+                    self.warps[w].set_ireg(lane, rd, v);
+                }
+                wb_int!(rd, timing.alu);
+            }
+            Instr::Jal { rd, offset } => {
+                let link = pc.wrapping_add(4);
+                for lane in lanes!() {
+                    self.warps[w].set_ireg(lane, rd, link);
+                }
+                wb_int!(rd, timing.alu);
+                next_pc = pc.wrapping_add(offset as u32);
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                let base = self.uniform(w, rs1, pc)?;
+                let link = pc.wrapping_add(4);
+                for lane in lanes!() {
+                    self.warps[w].set_ireg(lane, rd, link);
+                }
+                wb_int!(rd, timing.alu);
+                next_pc = base.wrapping_add(offset as u32) & !1;
+            }
+            Instr::Branch { op, rs1, rs2, offset } => {
+                let mut cond: Option<bool> = None;
+                for lane in lanes!() {
+                    let a = self.warps[w].ireg(lane, rs1);
+                    let b = self.warps[w].ireg(lane, rs2);
+                    let c = match op {
+                        BranchOp::Eq => a == b,
+                        BranchOp::Ne => a != b,
+                        BranchOp::Lt => (a as i32) < (b as i32),
+                        BranchOp::Ge => (a as i32) >= (b as i32),
+                        BranchOp::Ltu => a < b,
+                        BranchOp::Geu => a >= b,
+                    };
+                    match cond {
+                        None => cond = Some(c),
+                        Some(prev) if prev != c => {
+                            return Err(SimError::DivergentBranch { core: self.id, warp: w, pc })
+                        }
+                        _ => {}
+                    }
+                }
+                if cond.unwrap_or(false) {
+                    next_pc = pc.wrapping_add(offset as u32);
+                }
+            }
+            Instr::Load { width, rd, rs1, offset } => {
+                let (bytes, _) = load_width_bytes(width);
+                let mut addrs = [0u32; 32];
+                for lane in lanes!() {
+                    let addr = self.warps[w].ireg(lane, rs1).wrapping_add(offset as u32);
+                    if addr % bytes != 0 {
+                        return Err(SimError::MisalignedAccess { pc, addr, align: bytes });
+                    }
+                    let raw = match width {
+                        LoadWidth::Byte => ctx.mem.read_u8(addr) as i8 as i32 as u32,
+                        LoadWidth::ByteU => ctx.mem.read_u8(addr) as u32,
+                        LoadWidth::Half => ctx.mem.read_u16(addr) as i16 as i32 as u32,
+                        LoadWidth::HalfU => ctx.mem.read_u16(addr) as u32,
+                        LoadWidth::Word => ctx.mem.read_u32(addr),
+                    };
+                    self.warps[w].set_ireg(lane, rd, raw);
+                    addrs[lane] = addr;
+                }
+                let completion = self.memory_access(w, &addrs, tmask, false, now, ctx);
+                if !rd.is_zero() {
+                    self.warps[w].busy_until[rd.num() as usize] = completion;
+                }
+            }
+            Instr::Store { width, rs2, rs1, offset } => {
+                let (bytes, _) = load_width_bytes(match width {
+                    StoreWidth::Byte => LoadWidth::Byte,
+                    StoreWidth::Half => LoadWidth::Half,
+                    StoreWidth::Word => LoadWidth::Word,
+                });
+                let mut addrs = [0u32; 32];
+                for lane in lanes!() {
+                    let addr = self.warps[w].ireg(lane, rs1).wrapping_add(offset as u32);
+                    if addr % bytes != 0 {
+                        return Err(SimError::MisalignedAccess { pc, addr, align: bytes });
+                    }
+                    let v = self.warps[w].ireg(lane, rs2);
+                    match width {
+                        StoreWidth::Byte => ctx.mem.write_u8(addr, v as u8),
+                        StoreWidth::Half => ctx.mem.write_u16(addr, v as u16),
+                        StoreWidth::Word => ctx.mem.write_u32(addr, v),
+                    }
+                    addrs[lane] = addr;
+                }
+                self.memory_access(w, &addrs, tmask, true, now, ctx);
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                for lane in lanes!() {
+                    let a = self.warps[w].ireg(lane, rs1);
+                    let v = alu_imm(op, a, imm);
+                    self.warps[w].set_ireg(lane, rd, v);
+                }
+                wb_int!(rd, timing.alu);
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                for lane in lanes!() {
+                    let a = self.warps[w].ireg(lane, rs1);
+                    let b = self.warps[w].ireg(lane, rs2);
+                    let v = alu(op, a, b);
+                    self.warps[w].set_ireg(lane, rd, v);
+                }
+                let lat = match instr.exec_class() {
+                    ExecClass::Mul => timing.mul,
+                    ExecClass::Div => timing.div,
+                    _ => timing.alu,
+                };
+                wb_int!(rd, lat);
+            }
+            Instr::Fence => {}
+            Instr::Ecall => return Err(SimError::Trap { pc, breakpoint: false }),
+            Instr::Ebreak => return Err(SimError::Trap { pc, breakpoint: true }),
+            Instr::Csr { op: _, rd, src, csr } => {
+                // All architectural CSRs are read-only; writes are ignored.
+                let _ = src;
+                for lane in lanes!() {
+                    let v = self.read_csr(csr, w, lane, now, ctx);
+                    self.warps[w].set_ireg(lane, rd, v);
+                }
+                wb_int!(rd, timing.alu);
+            }
+            Instr::Flw { rd, rs1, offset } => {
+                let mut addrs = [0u32; 32];
+                for lane in lanes!() {
+                    let addr = self.warps[w].ireg(lane, rs1).wrapping_add(offset as u32);
+                    if addr % 4 != 0 {
+                        return Err(SimError::MisalignedAccess { pc, addr, align: 4 });
+                    }
+                    let bits = ctx.mem.read_u32(addr);
+                    self.warps[w].set_freg_bits(lane, rd, bits);
+                    addrs[lane] = addr;
+                }
+                let completion = self.memory_access(w, &addrs, tmask, false, now, ctx);
+                self.warps[w].busy_until[32 + rd.num() as usize] = completion;
+            }
+            Instr::Fsw { rs2, rs1, offset } => {
+                let mut addrs = [0u32; 32];
+                for lane in lanes!() {
+                    let addr = self.warps[w].ireg(lane, rs1).wrapping_add(offset as u32);
+                    if addr % 4 != 0 {
+                        return Err(SimError::MisalignedAccess { pc, addr, align: 4 });
+                    }
+                    let bits = self.warps[w].freg_bits(lane, rs2);
+                    ctx.mem.write_u32(addr, bits);
+                    addrs[lane] = addr;
+                }
+                self.memory_access(w, &addrs, tmask, true, now, ctx);
+            }
+            Instr::FpOp { op, rd, rs1, rs2 } => {
+                for lane in lanes!() {
+                    let a = self.warps[w].freg(lane, rs1);
+                    let b = self.warps[w].freg(lane, rs2);
+                    let v = fp_bin(op, a, b);
+                    self.warps[w].set_freg_bits(lane, rd, v);
+                }
+                let lat = if matches!(op, FpBinOp::Div) { timing.fdiv } else { timing.fpu };
+                wb_fp!(rd, lat);
+            }
+            Instr::FpFma { op, rd, rs1, rs2, rs3 } => {
+                for lane in lanes!() {
+                    let a = self.warps[w].freg(lane, rs1);
+                    let b = self.warps[w].freg(lane, rs2);
+                    let c = self.warps[w].freg(lane, rs3);
+                    let v = match op {
+                        FmaOp::MAdd => a.mul_add(b, c),
+                        FmaOp::MSub => a.mul_add(b, -c),
+                        FmaOp::NMSub => (-a).mul_add(b, c),
+                        FmaOp::NMAdd => (-a).mul_add(b, -c),
+                    };
+                    self.warps[w].set_freg(lane, rd, v);
+                }
+                wb_fp!(rd, timing.fpu);
+            }
+            Instr::FpSqrt { rd, rs1 } => {
+                for lane in lanes!() {
+                    let v = self.warps[w].freg(lane, rs1).sqrt();
+                    self.warps[w].set_freg(lane, rd, v);
+                }
+                wb_fp!(rd, timing.fsqrt);
+            }
+            Instr::FpCmp { op, rd, rs1, rs2 } => {
+                for lane in lanes!() {
+                    let a = self.warps[w].freg(lane, rs1);
+                    let b = self.warps[w].freg(lane, rs2);
+                    let v = match op {
+                        FpCmpOp::Eq => a == b,
+                        FpCmpOp::Lt => a < b,
+                        FpCmpOp::Le => a <= b,
+                    };
+                    self.warps[w].set_ireg(lane, rd, v as u32);
+                }
+                wb_int!(rd, timing.fpu);
+            }
+            Instr::FpCvtToInt { signed, rd, rs1 } => {
+                for lane in lanes!() {
+                    let v = self.warps[w].freg(lane, rs1);
+                    let bits = if signed {
+                        if v.is_nan() {
+                            i32::MAX as u32
+                        } else {
+                            (v as i32) as u32
+                        }
+                    } else if v.is_nan() {
+                        u32::MAX
+                    } else {
+                        v as u32
+                    };
+                    self.warps[w].set_ireg(lane, rd, bits);
+                }
+                wb_int!(rd, timing.fpu);
+            }
+            Instr::FpCvtFromInt { signed, rd, rs1 } => {
+                for lane in lanes!() {
+                    let raw = self.warps[w].ireg(lane, rs1);
+                    let v = if signed { raw as i32 as f32 } else { raw as f32 };
+                    self.warps[w].set_freg(lane, rd, v);
+                }
+                wb_fp!(rd, timing.fpu);
+            }
+            Instr::FpMvToInt { rd, rs1 } => {
+                for lane in lanes!() {
+                    let bits = self.warps[w].freg_bits(lane, rs1);
+                    self.warps[w].set_ireg(lane, rd, bits);
+                }
+                wb_int!(rd, timing.fpu);
+            }
+            Instr::FpMvFromInt { rd, rs1 } => {
+                for lane in lanes!() {
+                    let bits = self.warps[w].ireg(lane, rs1);
+                    self.warps[w].set_freg_bits(lane, rd, bits);
+                }
+                wb_fp!(rd, timing.fpu);
+            }
+            Instr::FpClass { rd, rs1 } => {
+                for lane in lanes!() {
+                    let v = self.warps[w].freg(lane, rs1);
+                    self.warps[w].set_ireg(lane, rd, fclass(v));
+                }
+                wb_int!(rd, timing.fpu);
+            }
+            Instr::Tmc { rs1 } => {
+                let mask = self.uniform(w, rs1, pc)? & self.warps[w].full_mask();
+                if mask == 0 {
+                    self.warps[w].halt();
+                    halted = true;
+                } else {
+                    self.warps[w].tmask = mask;
+                }
+            }
+            Instr::Wspawn { rs1, rs2 } => {
+                let count = self.uniform(w, rs1, pc)?;
+                let target = self.uniform(w, rs2, pc)?;
+                if count as usize > self.warps.len() {
+                    return Err(SimError::WspawnTooManyWarps {
+                        requested: count,
+                        available: self.warps.len(),
+                    });
+                }
+                for i in 1..count as usize {
+                    if i != w {
+                        let full = self.warps[i].full_mask();
+                        self.warps[i].start(target, full, now + timing.wspawn);
+                    }
+                }
+            }
+            Instr::Split { rs1, offset } => {
+                if self.warps[w].ipdom.len() >= ctx.ipdom_depth {
+                    return Err(SimError::IpdomOverflow { pc });
+                }
+                let mut taken = 0u32;
+                for lane in lanes!() {
+                    if self.warps[w].ireg(lane, rs1) != 0 {
+                        taken |= 1 << lane;
+                    }
+                }
+                let not_taken = tmask & !taken;
+                let else_pc = pc.wrapping_add(offset as u32);
+                if not_taken == 0 {
+                    self.warps[w].ipdom.push(IpdomEntry::Uniform { restore_mask: tmask });
+                } else if taken == 0 {
+                    self.warps[w].ipdom.push(IpdomEntry::Uniform { restore_mask: tmask });
+                    next_pc = else_pc;
+                } else {
+                    self.warps[w].ipdom.push(IpdomEntry::ElsePending {
+                        restore_mask: tmask,
+                        else_mask: not_taken,
+                        else_pc,
+                    });
+                    self.warps[w].tmask = taken;
+                }
+            }
+            Instr::Join => match self.warps[w].ipdom.pop() {
+                None => return Err(SimError::IpdomUnderflow { pc }),
+                Some(IpdomEntry::Uniform { restore_mask })
+                | Some(IpdomEntry::ElseRunning { restore_mask }) => {
+                    self.warps[w].tmask = restore_mask;
+                }
+                Some(IpdomEntry::ElsePending { restore_mask, else_mask, else_pc }) => {
+                    self.warps[w].ipdom.push(IpdomEntry::ElseRunning { restore_mask });
+                    self.warps[w].tmask = else_mask;
+                    next_pc = else_pc;
+                }
+            },
+            Instr::Bar { rs1, rs2 } => {
+                let id = self.uniform(w, rs1, pc)?;
+                let count = self.uniform(w, rs2, pc)? as usize;
+                let state = self.barriers.entry(id).or_default();
+                state.arrived.push(w);
+                if state.arrived.len() >= count {
+                    let released = self.barriers.remove(&id).expect("just inserted");
+                    for rw in released.arrived {
+                        self.warps[rw].at_barrier = None;
+                        self.warps[rw].ready_at = now + timing.barrier;
+                    }
+                    // `self` (warp w) is among the released warps.
+                    self.warps[w].pc = next_pc;
+                    return Ok(());
+                } else {
+                    self.warps[w].at_barrier = Some(id);
+                    self.warps[w].ready_at = NEVER;
+                    self.warps[w].pc = next_pc;
+                    return Ok(());
+                }
+            }
+            Instr::Vote { op, rd, rs1 } => {
+                let mut ballot = 0u32;
+                for lane in lanes!() {
+                    if self.warps[w].ireg(lane, rs1) != 0 {
+                        ballot |= 1 << lane;
+                    }
+                }
+                let result = match op {
+                    VoteOp::Any => u32::from(ballot != 0),
+                    VoteOp::All => u32::from(ballot == tmask),
+                    VoteOp::Ballot => ballot,
+                };
+                for lane in lanes!() {
+                    self.warps[w].set_ireg(lane, rd, result);
+                }
+                wb_int!(rd, timing.alu);
+            }
+        }
+
+        if !halted {
+            let taken = next_pc != pc.wrapping_add(4);
+            let gap = if taken && instr.is_control() { 1 + timing.branch_bubble } else { 1 };
+            self.warps[w].pc = next_pc;
+            self.warps[w].ready_at = now + gap;
+        }
+        Ok(())
+    }
+
+    /// Coalesces and submits the line requests of one SIMT memory
+    /// instruction. Returns the completion cycle of the last line.
+    fn memory_access(
+        &mut self,
+        _w: usize,
+        addrs: &[u32; 32],
+        tmask: u32,
+        is_store: bool,
+        now: Cycle,
+        ctx: &mut CoreCtx<'_, '_>,
+    ) -> Cycle {
+        let line_bytes = ctx.memsys.line_bytes();
+        let banks = ctx.memsys.config().l1_banks.max(1) as usize;
+        let lanes = (0..32).filter(|&l| tmask & (1 << l) != 0).map(|l| addrs[l]);
+        let lines = coalesce_lines(lanes, line_bytes);
+        let mut completion = now;
+        for (i, line) in lines.as_slice().iter().enumerate() {
+            // The banked L1 accepts `banks` lines per cycle.
+            let at = now + (i / banks) as Cycle;
+            let done = if is_store {
+                ctx.memsys.store(self.id, *line, at)
+            } else {
+                ctx.memsys.load(self.id, *line, at)
+            };
+            completion = completion.max(done);
+            *ctx.horizon = (*ctx.horizon).max(done);
+        }
+        self.mem_port_free = now + (lines.len().div_ceil(banks)).max(1) as Cycle;
+        completion
+    }
+
+    fn uniform(&self, w: usize, reg: vortex_isa::Reg, pc: u32) -> Result<u32, SimError> {
+        self.warps[w]
+            .uniform_ireg(reg)
+            .ok_or(SimError::NonUniformOperand { core: self.id, warp: w, pc })
+    }
+
+    fn read_csr(
+        &self,
+        csr: Csr,
+        w: usize,
+        lane: usize,
+        now: Cycle,
+        ctx: &CoreCtx<'_, '_>,
+    ) -> u32 {
+        match csr {
+            c if c == csrs::THREAD_ID => lane as u32,
+            c if c == csrs::WARP_ID => w as u32,
+            c if c == csrs::CORE_ID => self.id as u32,
+            c if c == csrs::THREAD_MASK => self.warps[w].tmask,
+            c if c == csrs::ACTIVE_WARPS => self.active_warp_mask(),
+            c if c == csrs::NUM_THREADS => self.warps[w].threads() as u32,
+            c if c == csrs::NUM_WARPS => self.warps.len() as u32,
+            c if c == csrs::NUM_CORES => ctx.num_cores as u32,
+            c if c == csrs::MCYCLE => now as u32,
+            c if c == csrs::MCYCLE_H => (now >> 32) as u32,
+            c if c == csrs::MINSTRET => ctx.counters.instructions as u32,
+            c if c == csrs::MINSTRET_H => (ctx.counters.instructions >> 32) as u32,
+            _ => 0,
+        }
+    }
+}
+
+fn load_width_bytes(width: LoadWidth) -> (u32, bool) {
+    match width {
+        LoadWidth::Byte => (1, true),
+        LoadWidth::ByteU => (1, false),
+        LoadWidth::Half => (2, true),
+        LoadWidth::HalfU => (2, false),
+        LoadWidth::Word => (4, false),
+    }
+}
+
+fn alu_imm(op: AluImmOp, a: u32, imm: i32) -> u32 {
+    match op {
+        AluImmOp::Add => a.wrapping_add(imm as u32),
+        AluImmOp::Slt => u32::from((a as i32) < imm),
+        AluImmOp::Sltu => u32::from(a < imm as u32),
+        AluImmOp::Xor => a ^ imm as u32,
+        AluImmOp::Or => a | imm as u32,
+        AluImmOp::And => a & imm as u32,
+        AluImmOp::Sll => a.wrapping_shl(imm as u32),
+        AluImmOp::Srl => a.wrapping_shr(imm as u32),
+        AluImmOp::Sra => ((a as i32).wrapping_shr(imm as u32)) as u32,
+    }
+}
+
+fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 0x1F),
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 0x1F),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 0x1F)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+        AluOp::Mulhsu => (((a as i32 as i64) * (b as u64 as i64)) >> 32) as u32,
+        AluOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+        AluOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                a // overflow: i32::MIN / -1
+            } else {
+                ((a as i32).wrapping_div(b as i32)) as u32
+            }
+        }
+        AluOp::Divu => {
+            if b == 0 {
+                u32::MAX
+            } else {
+                a / b
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                0
+            } else {
+                ((a as i32).wrapping_rem(b as i32)) as u32
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+fn fp_bin(op: FpBinOp, a: f32, b: f32) -> u32 {
+    let v = match op {
+        FpBinOp::Add => a + b,
+        FpBinOp::Sub => a - b,
+        FpBinOp::Mul => a * b,
+        FpBinOp::Div => a / b,
+        FpBinOp::SgnJ => f32::from_bits((a.to_bits() & 0x7FFF_FFFF) | (b.to_bits() & 0x8000_0000)),
+        FpBinOp::SgnJN => {
+            f32::from_bits((a.to_bits() & 0x7FFF_FFFF) | (!b.to_bits() & 0x8000_0000))
+        }
+        FpBinOp::SgnJX => f32::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000_0000)),
+        FpBinOp::Min => a.min(b),
+        FpBinOp::Max => a.max(b),
+    };
+    v.to_bits()
+}
+
+/// RISC-V `fclass.s` result mask.
+fn fclass(v: f32) -> u32 {
+    use std::num::FpCategory;
+    let neg = v.is_sign_negative();
+    match (v.classify(), neg) {
+        (FpCategory::Infinite, true) => 1 << 0,
+        (FpCategory::Normal, true) => 1 << 1,
+        (FpCategory::Subnormal, true) => 1 << 2,
+        (FpCategory::Zero, true) => 1 << 3,
+        (FpCategory::Zero, false) => 1 << 4,
+        (FpCategory::Subnormal, false) => 1 << 5,
+        (FpCategory::Normal, false) => 1 << 6,
+        (FpCategory::Infinite, false) => 1 << 7,
+        (FpCategory::Nan, _) => {
+            if v.to_bits() & 0x0040_0000 != 0 {
+                1 << 9 // quiet NaN
+            } else {
+                1 << 8 // signaling NaN
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics_match_riscv() {
+        assert_eq!(alu(AluOp::Add, u32::MAX, 1), 0);
+        assert_eq!(alu(AluOp::Sub, 0, 1), u32::MAX);
+        assert_eq!(alu(AluOp::Slt, (-1i32) as u32, 0), 1);
+        assert_eq!(alu(AluOp::Sltu, (-1i32) as u32, 0), 0);
+        assert_eq!(alu(AluOp::Sra, 0x8000_0000, 31), u32::MAX);
+        assert_eq!(alu(AluOp::Srl, 0x8000_0000, 31), 1);
+        assert_eq!(alu(AluOp::Mulhu, u32::MAX, u32::MAX), 0xFFFF_FFFE);
+        assert_eq!(alu(AluOp::Mulh, (-1i32) as u32, (-1i32) as u32), 0);
+    }
+
+    #[test]
+    fn division_edge_cases_follow_spec() {
+        // Division by zero.
+        assert_eq!(alu(AluOp::Div, 7, 0), u32::MAX);
+        assert_eq!(alu(AluOp::Divu, 7, 0), u32::MAX);
+        assert_eq!(alu(AluOp::Rem, 7, 0), 7);
+        assert_eq!(alu(AluOp::Remu, 7, 0), 7);
+        // Signed overflow.
+        assert_eq!(alu(AluOp::Div, 0x8000_0000, u32::MAX), 0x8000_0000);
+        assert_eq!(alu(AluOp::Rem, 0x8000_0000, u32::MAX), 0);
+    }
+
+    #[test]
+    fn sign_injection() {
+        assert_eq!(f32::from_bits(fp_bin(FpBinOp::SgnJ, 1.5, -2.0)), -1.5);
+        assert_eq!(f32::from_bits(fp_bin(FpBinOp::SgnJN, 1.5, -2.0)), 1.5);
+        assert_eq!(f32::from_bits(fp_bin(FpBinOp::SgnJX, -1.5, -2.0)), 1.5);
+    }
+
+    #[test]
+    fn fclass_categories() {
+        assert_eq!(fclass(f32::NEG_INFINITY), 1 << 0);
+        assert_eq!(fclass(-1.0), 1 << 1);
+        assert_eq!(fclass(-0.0), 1 << 3);
+        assert_eq!(fclass(0.0), 1 << 4);
+        assert_eq!(fclass(2.5), 1 << 6);
+        assert_eq!(fclass(f32::INFINITY), 1 << 7);
+        assert_eq!(fclass(f32::NAN), 1 << 9);
+    }
+
+    #[test]
+    fn shift_immediates_mask_amount() {
+        assert_eq!(alu_imm(AluImmOp::Sll, 1, 4), 16);
+        assert_eq!(alu_imm(AluImmOp::Sra, (-16i32) as u32, 2), (-4i32) as u32);
+    }
+}

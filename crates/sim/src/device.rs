@@ -1,0 +1,228 @@
+//! The multi-core device and its event-driven run loop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use vortex_asm::Program;
+use vortex_isa::Instr;
+use vortex_mem::{Cycle, MainMemory, MemStats, MemSystem};
+
+use crate::config::DeviceConfig;
+use crate::core::{Core, CoreCtx, StepOutcome};
+use crate::counters::DeviceCounters;
+use crate::error::SimError;
+use crate::trace_api::TraceSink;
+
+/// A complete Vortex-like GPGPU device.
+///
+/// The device is driven by a host runtime (see `vortex-core`): load a
+/// program once, then for each kernel call activate warp 0 of the
+/// participating cores with [`start_warp`](Device::start_warp) and
+/// [`run`](Device::run) to completion. The cycle counter is monotonic
+/// across runs, so multi-call launches (the paper's `lws < gws/hp` regime)
+/// accumulate time naturally; host-side dispatch overhead is modelled with
+/// [`advance_time`](Device::advance_time).
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Device {
+    config: DeviceConfig,
+    cores: Vec<Core>,
+    mem: MainMemory,
+    memsys: MemSystem,
+    code: Vec<Instr>,
+    code_base: u32,
+    cycle: Cycle,
+    horizon: Cycle,
+    counters: DeviceCounters,
+}
+
+impl Device {
+    /// Creates an idle device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` violates a hardware limit (see
+    /// [`DeviceConfig::validate`]).
+    pub fn new(config: DeviceConfig) -> Self {
+        config.validate();
+        Device {
+            cores: (0..config.cores).map(|i| Core::new(i, config.warps, config.threads)).collect(),
+            mem: MainMemory::new(),
+            memsys: MemSystem::new(config.cores, config.mem),
+            code: Vec::new(),
+            code_base: 0,
+            cycle: 0,
+            horizon: 0,
+            counters: DeviceCounters::default(),
+            config,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Loads a program image (instructions become fetchable, and the raw
+    /// words are also written to main memory at the program's base).
+    pub fn load_program(&mut self, program: &Program) {
+        self.code = program.instrs().to_vec();
+        self.code_base = program.entry();
+        self.mem.write_u32_slice(program.entry(), program.words());
+    }
+
+    /// Read access to architectural memory (host side).
+    pub fn memory(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// Write access to architectural memory (host side).
+    pub fn memory_mut(&mut self) -> &mut MainMemory {
+        &mut self.mem
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Advances time without executing anything — models host-side
+    /// overhead such as kernel dispatch.
+    pub fn advance_time(&mut self, cycles: Cycle) {
+        self.cycle += cycles;
+    }
+
+    /// Activates warp 0 of `core` at `pc` with a full thread mask,
+    /// becoming runnable at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn start_warp(&mut self, core: usize, pc: u32) {
+        let now = self.cycle;
+        self.cores[core].start_warp(0, pc, now);
+    }
+
+    /// Activates an arbitrary warp (for white-box tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` or `warp` is out of range.
+    pub fn start_warp_at(&mut self, core: usize, warp: usize, pc: u32) {
+        let now = self.cycle;
+        self.cores[core].start_warp(warp, pc, now);
+    }
+
+    /// Whether every warp of every core has halted.
+    pub fn all_idle(&self) -> bool {
+        self.cores.iter().all(|c| !c.any_active())
+    }
+
+    /// Runs until all warps halt, the cycle budget is exhausted, or a
+    /// simulation error is detected. Returns the finish time (including
+    /// memory drain).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] describing the first fatal condition: an
+    /// execution-model violation, a trap, a barrier deadlock, or
+    /// [`SimError::CycleLimit`] when `limit` is reached.
+    pub fn run<'a, 'b>(
+        &mut self,
+        limit: Cycle,
+        mut trace: Option<&'a mut (dyn TraceSink + 'b)>,
+    ) -> Result<Cycle, SimError> {
+        let Device {
+            config,
+            cores,
+            mem,
+            memsys,
+            code,
+            code_base,
+            cycle,
+            horizon,
+            counters,
+        } = self;
+
+        let mut heap: BinaryHeap<Reverse<(Cycle, usize)>> = BinaryHeap::new();
+        for core in cores.iter() {
+            if core.any_active() {
+                heap.push(Reverse((*cycle, core.id())));
+            }
+        }
+
+        while let Some(Reverse((t, cid))) = heap.pop() {
+            if t > limit {
+                return Err(SimError::CycleLimit { limit });
+            }
+            *cycle = t;
+            let mut ctx = CoreCtx {
+                code,
+                code_base: *code_base,
+                mem,
+                memsys,
+                timing: &config.timing,
+                num_cores: config.cores,
+                ipdom_depth: config.ipdom_depth,
+                counters,
+                trace: trace.as_deref_mut(),
+                horizon,
+            };
+            match cores[cid].step(t, &mut ctx)? {
+                StepOutcome::Issued(next) | StepOutcome::Waiting(next) => {
+                    heap.push(Reverse((next, cid)));
+                }
+                StepOutcome::Idle => {}
+            }
+        }
+
+        // Account for the final issue plus any in-flight memory traffic.
+        *cycle = (*cycle + 1).max(*horizon);
+        counters.finish_cycle = *cycle;
+        Ok(*cycle)
+    }
+
+    /// Accumulated performance counters (monotonic across runs).
+    pub fn counters(&self) -> &DeviceCounters {
+        &self.counters
+    }
+
+    /// Memory hierarchy statistics (monotonic across runs).
+    pub fn mem_stats(&self) -> MemStats {
+        self.memsys.stats()
+    }
+
+    /// DRAM bandwidth utilisation over the elapsed simulation time.
+    pub fn dram_utilization(&self) -> f64 {
+        self.memsys.dram_utilization(self.cycle)
+    }
+
+    /// Full reset: halts warps, clears memory contents, timing state,
+    /// counters and the clock. The loaded program is kept.
+    pub fn reset(&mut self) {
+        for core in &mut self.cores {
+            core.reset();
+        }
+        self.mem = MainMemory::new();
+        self.memsys.reset();
+        self.cycle = 0;
+        self.horizon = 0;
+        self.counters = DeviceCounters::default();
+        // Re-materialise the program image in memory.
+        let code_words: Vec<u32> = Vec::new();
+        let _ = code_words;
+        let words: Vec<u32> = self
+            .code
+            .iter()
+            .map(|&i| vortex_isa::encode(i).expect("loaded program re-encodes"))
+            .collect();
+        self.mem.write_u32_slice(self.code_base, &words);
+    }
+
+    /// Direct read of a warp's architectural state (white-box testing and
+    /// trace tooling).
+    pub fn warp(&self, core: usize, warp: usize) -> &crate::warp::WarpState {
+        &self.cores[core].warps[warp]
+    }
+}

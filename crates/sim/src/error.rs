@@ -1,0 +1,145 @@
+//! Simulation failure modes.
+
+use std::error::Error;
+use std::fmt;
+
+use vortex_mem::Cycle;
+
+/// A fatal condition detected by the simulator.
+///
+/// These are *checked invariants* of the SIMT execution model: well-formed
+/// kernels never trigger them, and the test suite exercises each one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A scalar branch condition differed across active lanes. Divergent
+    /// control flow must use `vx_split`/`vx_join`.
+    DivergentBranch {
+        /// Core executing the branch.
+        core: usize,
+        /// Warp executing the branch.
+        warp: usize,
+        /// Address of the branch.
+        pc: u32,
+    },
+    /// A register expected to be warp-uniform (e.g. a `jalr` target or
+    /// `vx_tmc` mask) differed across active lanes.
+    NonUniformOperand {
+        /// Core executing the instruction.
+        core: usize,
+        /// Warp executing the instruction.
+        warp: usize,
+        /// Address of the instruction.
+        pc: u32,
+    },
+    /// Instruction fetch left the loaded program image.
+    UnmappedPc {
+        /// Core that fetched.
+        core: usize,
+        /// Warp that fetched.
+        warp: usize,
+        /// The out-of-range address.
+        pc: u32,
+    },
+    /// A load/store address was not aligned to its access width.
+    MisalignedAccess {
+        /// Address of the instruction.
+        pc: u32,
+        /// The offending data address.
+        addr: u32,
+        /// Required alignment in bytes.
+        align: u32,
+    },
+    /// `vx_split` exceeded the configured IPDOM stack depth.
+    IpdomOverflow {
+        /// Address of the split.
+        pc: u32,
+    },
+    /// `vx_join` executed with an empty IPDOM stack.
+    IpdomUnderflow {
+        /// Address of the join.
+        pc: u32,
+    },
+    /// An `ecall`/`ebreak` trap was raised (kernels use these as guards).
+    Trap {
+        /// Address of the trap instruction.
+        pc: u32,
+        /// `true` for `ebreak`, `false` for `ecall`.
+        breakpoint: bool,
+    },
+    /// All remaining warps are blocked on barriers that can never be
+    /// satisfied.
+    BarrierDeadlock {
+        /// Cycle at which the deadlock was detected.
+        cycle: Cycle,
+    },
+    /// The run exceeded its cycle budget.
+    CycleLimit {
+        /// The exhausted budget.
+        limit: Cycle,
+    },
+    /// `vx_wspawn` requested more warps than the core has.
+    WspawnTooManyWarps {
+        /// Requested warp count.
+        requested: u32,
+        /// Hardware warps available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DivergentBranch { core, warp, pc } => write!(
+                f,
+                "divergent scalar branch at {pc:#010x} (core {core}, warp {warp}); \
+                 use vx_split for divergent control flow"
+            ),
+            SimError::NonUniformOperand { core, warp, pc } => write!(
+                f,
+                "non-uniform operand for uniform instruction at {pc:#010x} \
+                 (core {core}, warp {warp})"
+            ),
+            SimError::UnmappedPc { core, warp, pc } => {
+                write!(f, "fetch outside program image at {pc:#010x} (core {core}, warp {warp})")
+            }
+            SimError::MisalignedAccess { pc, addr, align } => write!(
+                f,
+                "misaligned {align}-byte access to {addr:#010x} by instruction at {pc:#010x}"
+            ),
+            SimError::IpdomOverflow { pc } => {
+                write!(f, "IPDOM stack overflow at split {pc:#010x}")
+            }
+            SimError::IpdomUnderflow { pc } => {
+                write!(f, "vx_join with empty IPDOM stack at {pc:#010x}")
+            }
+            SimError::Trap { pc, breakpoint } => {
+                let kind = if *breakpoint { "ebreak" } else { "ecall" };
+                write!(f, "{kind} trap at {pc:#010x}")
+            }
+            SimError::BarrierDeadlock { cycle } => {
+                write!(f, "barrier deadlock detected at cycle {cycle}")
+            }
+            SimError::CycleLimit { limit } => {
+                write!(f, "cycle limit of {limit} exhausted before completion")
+            }
+            SimError::WspawnTooManyWarps { requested, available } => {
+                write!(f, "vx_wspawn requested {requested} warps, core has {available}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_actionable() {
+        let e = SimError::DivergentBranch { core: 1, warp: 2, pc: 0x8000_0010 };
+        assert!(e.to_string().contains("vx_split"));
+        let e = SimError::CycleLimit { limit: 500 };
+        assert!(e.to_string().contains("500"));
+    }
+}

@@ -1,0 +1,56 @@
+//! The IPDOM (immediate post-dominator) reconvergence stack.
+
+/// One entry of a warp's divergence stack.
+///
+/// `vx_split` pushes an entry; the matching `vx_join` consumes it in one or
+/// two steps (see [`crate::Device`] docs and `Instr::Split` semantics).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum IpdomEntry {
+    /// The split did not actually diverge (one side was empty): `join`
+    /// simply restores the mask.
+    Uniform {
+        /// Mask to restore at the join.
+        restore_mask: u32,
+    },
+    /// Both sides are populated and the else-path has not started yet.
+    ElsePending {
+        /// Mask to restore once both sides joined.
+        restore_mask: u32,
+        /// Lanes that took the else-path.
+        else_mask: u32,
+        /// Address of the else-path.
+        else_pc: u32,
+    },
+    /// The else-path is currently executing; the next `join` reconverges.
+    ElseRunning {
+        /// Mask to restore at the join.
+        restore_mask: u32,
+    },
+}
+
+impl IpdomEntry {
+    /// The mask this entry will restore on final reconvergence.
+    pub fn restore_mask(&self) -> u32 {
+        match *self {
+            IpdomEntry::Uniform { restore_mask }
+            | IpdomEntry::ElsePending { restore_mask, .. }
+            | IpdomEntry::ElseRunning { restore_mask } => restore_mask,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restore_mask_is_preserved_through_states() {
+        let pending =
+            IpdomEntry::ElsePending { restore_mask: 0b1111, else_mask: 0b1100, else_pc: 64 };
+        assert_eq!(pending.restore_mask(), 0b1111);
+        let running = IpdomEntry::ElseRunning { restore_mask: 0b1111 };
+        assert_eq!(running.restore_mask(), 0b1111);
+        let uniform = IpdomEntry::Uniform { restore_mask: 0b0001 };
+        assert_eq!(uniform.restore_mask(), 0b0001);
+    }
+}

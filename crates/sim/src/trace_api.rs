@@ -1,0 +1,101 @@
+//! Trace hooks: the simulator's view of instruction issue events.
+
+use vortex_isa::Instr;
+use vortex_mem::Cycle;
+
+/// One instruction issue, as observed by the paper's trace analysis
+/// (Fig. 1 plots exactly these fields: timestamp, PC, warp and the active
+/// thread mask).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct IssueEvent {
+    /// Issue cycle.
+    pub cycle: Cycle,
+    /// Core index.
+    pub core: usize,
+    /// Warp index within the core.
+    pub warp: usize,
+    /// Program counter of the instruction.
+    pub pc: u32,
+    /// Active thread mask at issue.
+    pub tmask: u32,
+    /// The issued instruction.
+    pub instr: Instr,
+}
+
+impl IssueEvent {
+    /// Number of active lanes.
+    pub fn active_lanes(&self) -> u32 {
+        self.tmask.count_ones()
+    }
+}
+
+/// Receiver for issue events.
+///
+/// Implementations must be cheap; the sink runs on the simulator's hot
+/// path. Collect first, analyse later (see `vortex-trace`).
+pub trait TraceSink {
+    /// Called once per issued instruction, in global time order per core.
+    fn on_issue(&mut self, event: &IssueEvent);
+}
+
+/// The trivial sink: collects every event into a vector.
+///
+/// # Examples
+///
+/// ```
+/// use vortex_sim::{IssueEvent, TraceSink, VecTraceSink};
+/// let mut sink = VecTraceSink::new();
+/// // ... pass `&mut sink` to `Device::run` ...
+/// assert!(sink.events().is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct VecTraceSink {
+    events: Vec<IssueEvent>,
+}
+
+impl VecTraceSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected events.
+    pub fn events(&self) -> &[IssueEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the events.
+    pub fn into_events(self) -> Vec<IssueEvent> {
+        self.events
+    }
+}
+
+impl TraceSink for VecTraceSink {
+    fn on_issue(&mut self, event: &IssueEvent) {
+        self.events.push(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_isa::Instr;
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut sink = VecTraceSink::new();
+        for cycle in 0..3 {
+            sink.on_issue(&IssueEvent {
+                cycle,
+                core: 0,
+                warp: 0,
+                pc: 0x8000_0000 + 4 * cycle as u32,
+                tmask: 0xF,
+                instr: Instr::Join,
+            });
+        }
+        assert_eq!(sink.events().len(), 3);
+        assert_eq!(sink.events()[2].pc, 0x8000_0008);
+        assert_eq!(sink.events()[0].active_lanes(), 4);
+    }
+}

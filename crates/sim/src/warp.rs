@@ -1,0 +1,247 @@
+//! Per-warp architectural and scheduling state.
+
+use vortex_isa::{FReg, Reg};
+use vortex_mem::Cycle;
+
+use crate::ipdom::IpdomEntry;
+
+/// Never: sentinel for "not runnable until an external event".
+pub(crate) const NEVER: Cycle = Cycle::MAX;
+
+/// The full state of one hardware warp.
+///
+/// Registers are per-lane (`threads` copies of 32 integer + 32 FP
+/// registers); the scoreboard and control state are per-warp, matching an
+/// in-order SIMT pipeline.
+#[derive(Clone, Debug)]
+pub struct WarpState {
+    /// Lanes in this warp (fixed by the device configuration).
+    threads: usize,
+    /// Program counter (shared by all lanes).
+    pub pc: u32,
+    /// Active-lane mask.
+    pub tmask: u32,
+    /// Whether the warp is running (false = halted / never started).
+    pub active: bool,
+    /// If `Some(id)`, the warp is blocked at barrier `id`.
+    pub at_barrier: Option<u32>,
+    /// Earliest cycle the warp may issue its next instruction
+    /// (control-flow gap only; register hazards are checked separately).
+    pub ready_at: Cycle,
+    /// Per-register busy-until cycles (index 0..32 int, 32..64 fp).
+    pub busy_until: Box<[Cycle; 64]>,
+    /// IPDOM divergence stack.
+    pub ipdom: Vec<IpdomEntry>,
+    /// Integer registers, reg-major: `iregs[reg * threads + lane]`.
+    iregs: Vec<u32>,
+    /// FP registers (raw bits), reg-major like `iregs`.
+    fregs: Vec<u32>,
+}
+
+impl WarpState {
+    /// Creates an inactive warp with `threads` lanes.
+    pub fn new(threads: usize) -> Self {
+        WarpState {
+            threads,
+            pc: 0,
+            tmask: 0,
+            active: false,
+            at_barrier: None,
+            ready_at: NEVER,
+            busy_until: Box::new([0; 64]),
+            ipdom: Vec::new(),
+            iregs: vec![0; threads * 32],
+            fregs: vec![0; threads * 32],
+        }
+    }
+
+    /// Number of lanes.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The all-lanes-enabled mask for this warp width.
+    pub fn full_mask(&self) -> u32 {
+        if self.threads == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.threads) - 1
+        }
+    }
+
+    /// (Re)starts the warp at `pc` with mask `tmask`, clearing registers,
+    /// scoreboard and divergence state.
+    pub fn start(&mut self, pc: u32, tmask: u32, ready_at: Cycle) {
+        self.pc = pc;
+        self.tmask = tmask & self.full_mask();
+        self.active = self.tmask != 0;
+        self.at_barrier = None;
+        self.ready_at = ready_at;
+        self.busy_until.fill(0);
+        self.ipdom.clear();
+        self.iregs.fill(0);
+        self.fregs.fill(0);
+    }
+
+    /// Halts the warp (e.g. `vx_tmc zero`).
+    pub fn halt(&mut self) {
+        self.active = false;
+        self.tmask = 0;
+        self.ready_at = NEVER;
+    }
+
+    /// Whether the warp can be considered by the scheduler.
+    pub fn schedulable(&self) -> bool {
+        self.active && self.at_barrier.is_none()
+    }
+
+    /// Index of the lowest-numbered active lane, if any.
+    pub fn first_active_lane(&self) -> Option<usize> {
+        if self.tmask == 0 {
+            None
+        } else {
+            Some(self.tmask.trailing_zeros() as usize)
+        }
+    }
+
+    /// Iterates over active lane indices.
+    pub fn active_lanes(&self) -> impl Iterator<Item = usize> + '_ {
+        let mask = self.tmask;
+        (0..self.threads).filter(move |&l| mask & (1 << l) != 0)
+    }
+
+    /// Reads integer register `reg` of `lane`.
+    #[inline]
+    pub fn ireg(&self, lane: usize, reg: Reg) -> u32 {
+        if reg.is_zero() {
+            0
+        } else {
+            self.iregs[reg.num() as usize * self.threads + lane]
+        }
+    }
+
+    /// Writes integer register `reg` of `lane` (writes to `zero` are
+    /// discarded).
+    #[inline]
+    pub fn set_ireg(&mut self, lane: usize, reg: Reg, value: u32) {
+        if !reg.is_zero() {
+            self.iregs[reg.num() as usize * self.threads + lane] = value;
+        }
+    }
+
+    /// Reads FP register `reg` of `lane` as raw bits.
+    #[inline]
+    pub fn freg_bits(&self, lane: usize, reg: FReg) -> u32 {
+        self.fregs[reg.num() as usize * self.threads + lane]
+    }
+
+    /// Writes FP register `reg` of `lane` as raw bits.
+    #[inline]
+    pub fn set_freg_bits(&mut self, lane: usize, reg: FReg, value: u32) {
+        self.fregs[reg.num() as usize * self.threads + lane] = value;
+    }
+
+    /// Reads FP register `reg` of `lane` as `f32`.
+    #[inline]
+    pub fn freg(&self, lane: usize, reg: FReg) -> f32 {
+        f32::from_bits(self.freg_bits(lane, reg))
+    }
+
+    /// Writes FP register `reg` of `lane` from `f32`.
+    #[inline]
+    pub fn set_freg(&mut self, lane: usize, reg: FReg, value: f32) {
+        self.set_freg_bits(lane, reg, value.to_bits());
+    }
+
+    /// The value of `reg` in the lowest active lane, with a uniformity
+    /// check across all active lanes. Returns `None` when lanes disagree
+    /// or no lane is active.
+    pub fn uniform_ireg(&self, reg: Reg) -> Option<u32> {
+        let first = self.first_active_lane()?;
+        let v = self.ireg(first, reg);
+        for lane in self.active_lanes() {
+            if self.ireg(lane, reg) != v {
+                return None;
+            }
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_isa::{fregs, reg};
+
+    #[test]
+    fn start_clears_state() {
+        let mut w = WarpState::new(4);
+        w.start(0x100, 0xF, 5);
+        w.set_ireg(2, reg::T0, 99);
+        w.busy_until[5] = 42;
+        w.ipdom.push(IpdomEntry::Uniform { restore_mask: 1 });
+        w.start(0x200, 0x3, 10);
+        assert_eq!(w.ireg(2, reg::T0), 0);
+        assert_eq!(w.busy_until[5], 0);
+        assert!(w.ipdom.is_empty());
+        assert_eq!(w.tmask, 0x3);
+        assert_eq!(w.pc, 0x200);
+        assert!(w.active);
+    }
+
+    #[test]
+    fn mask_is_clamped_to_width() {
+        let mut w = WarpState::new(4);
+        w.start(0, 0xFFFF_FFFF, 0);
+        assert_eq!(w.tmask, 0xF);
+        assert_eq!(w.full_mask(), 0xF);
+        let w32 = WarpState::new(32);
+        assert_eq!(w32.full_mask(), u32::MAX);
+    }
+
+    #[test]
+    fn zero_register_is_hardwired() {
+        let mut w = WarpState::new(2);
+        w.start(0, 0x3, 0);
+        w.set_ireg(0, reg::ZERO, 1234);
+        assert_eq!(w.ireg(0, reg::ZERO), 0);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let mut w = WarpState::new(4);
+        w.start(0, 0xF, 0);
+        for lane in 0..4 {
+            w.set_ireg(lane, reg::A0, lane as u32 * 10);
+            w.set_freg(lane, fregs::FA0, lane as f32);
+        }
+        for lane in 0..4 {
+            assert_eq!(w.ireg(lane, reg::A0), lane as u32 * 10);
+            assert_eq!(w.freg(lane, fregs::FA0), lane as f32);
+        }
+    }
+
+    #[test]
+    fn uniformity_check() {
+        let mut w = WarpState::new(4);
+        w.start(0, 0b0110, 0);
+        w.set_ireg(1, reg::T1, 7);
+        w.set_ireg(2, reg::T1, 7);
+        w.set_ireg(0, reg::T1, 99); // inactive lane may disagree
+        assert_eq!(w.uniform_ireg(reg::T1), Some(7));
+        w.set_ireg(2, reg::T1, 8);
+        assert_eq!(w.uniform_ireg(reg::T1), None);
+    }
+
+    #[test]
+    fn active_lane_iteration() {
+        let mut w = WarpState::new(8);
+        w.start(0, 0b1010_0001, 0);
+        let lanes: Vec<usize> = w.active_lanes().collect();
+        assert_eq!(lanes, vec![0, 5, 7]);
+        assert_eq!(w.first_active_lane(), Some(0));
+        w.halt();
+        assert_eq!(w.first_active_lane(), None);
+        assert!(!w.schedulable());
+    }
+}

@@ -1,0 +1,31 @@
+//! Distribution statistics and ASCII rendering for the validation
+//! campaign — the paper's Figure 2.
+//!
+//! Fig. 2 shows, per kernel, the *distribution* over 450 hardware
+//! configurations of the cycle ratio `baseline / ours`, annotated with the
+//! average, the worst result and the share of configurations where the
+//! baseline wins (`ratio < 1`). This crate computes those summaries
+//! ([`RatioSummary`]), bins the distribution ([`Violin`]) and renders it
+//! as a row of density glyphs clipped at ratio 4 — mirroring the paper's
+//! "results > 4 are omitted for better visual representation".
+//!
+//! # Examples
+//!
+//! ```
+//! use vortex_stats::RatioSummary;
+//! let s = RatioSummary::from_ratios([2.0, 1.0, 0.5]);
+//! assert_eq!(s.worst, 0.5);
+//! assert_eq!(s.count, 3);
+//! assert!((s.avg - 3.5 / 3.0).abs() < 1e-12);
+//! assert!((s.pct_below_one - 1.0 / 3.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod summary;
+mod table;
+mod violin;
+
+pub use summary::RatioSummary;
+pub use table::Table;
+pub use violin::{render_violin_row, Violin};

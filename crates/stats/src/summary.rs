@@ -1,0 +1,113 @@
+//! Ratio-distribution summaries (the data tables under each Fig. 2 panel).
+
+/// Summary of a set of `baseline / ours` cycle ratios.
+///
+/// `avg` > 1 means the tuned mapping wins on average; `worst` is the
+/// single most unfavourable configuration; `pct_below_one` is the paper's
+/// "worse: x%" annotation (fraction of configurations where the baseline
+/// beat the tuned mapping).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RatioSummary {
+    /// Arithmetic mean ratio.
+    pub avg: f64,
+    /// Minimum ratio (worst case for the tuned mapping).
+    pub worst: f64,
+    /// Maximum ratio (best case).
+    pub best: f64,
+    /// Median ratio.
+    pub median: f64,
+    /// Fraction of ratios `< 1` in `0..=1`.
+    pub pct_below_one: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl RatioSummary {
+    /// Computes the summary; returns a zeroed summary for empty input.
+    pub fn from_ratios(ratios: impl IntoIterator<Item = f64>) -> Self {
+        let mut values: Vec<f64> = ratios.into_iter().filter(|r| r.is_finite()).collect();
+        if values.is_empty() {
+            return RatioSummary {
+                avg: 0.0,
+                worst: 0.0,
+                best: 0.0,
+                median: 0.0,
+                pct_below_one: 0.0,
+                count: 0,
+            };
+        }
+        values.sort_by(|a, b| a.total_cmp(b));
+        let count = values.len();
+        let sum: f64 = values.iter().sum();
+        let below = values.iter().filter(|&&r| r < 1.0).count();
+        let median = if count % 2 == 1 {
+            values[count / 2]
+        } else {
+            (values[count / 2 - 1] + values[count / 2]) / 2.0
+        };
+        RatioSummary {
+            avg: sum / count as f64,
+            worst: values[0],
+            best: values[count - 1],
+            median,
+            pct_below_one: below as f64 / count as f64,
+            count,
+        }
+    }
+
+    /// Renders the paper's three-line annotation
+    /// (`avg: … / worse: …% / worst: …`).
+    pub fn annotation(&self) -> String {
+        format!(
+            "avg: {:.2}  worse: {:.1}%  worst: {:.2}",
+            self.avg,
+            self.pct_below_one * 100.0,
+            self.worst
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = RatioSummary::from_ratios([1.0, 2.0, 3.0, 0.5]);
+        assert_eq!(s.count, 4);
+        assert!((s.avg - 6.5 / 4.0).abs() < 1e-12);
+        assert_eq!(s.worst, 0.5);
+        assert_eq!(s.best, 3.0);
+        assert!((s.median - 1.5).abs() < 1e-12);
+        assert!((s.pct_below_one - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_zeroed() {
+        let s = RatioSummary::from_ratios(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.avg, 0.0);
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped() {
+        let s = RatioSummary::from_ratios([1.0, f64::INFINITY, f64::NAN, 3.0]);
+        assert_eq!(s.count, 2);
+        assert!((s.avg - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn annotation_matches_paper_format() {
+        let s = RatioSummary::from_ratios([1.42, 1.42]);
+        let a = s.annotation();
+        assert!(a.contains("avg: 1.42"));
+        assert!(a.contains("worse: 0.0%"));
+        assert!(a.contains("worst: 1.42"));
+    }
+
+    #[test]
+    fn odd_median() {
+        let s = RatioSummary::from_ratios([3.0, 1.0, 2.0]);
+        assert_eq!(s.median, 2.0);
+    }
+}

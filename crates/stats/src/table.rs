@@ -1,0 +1,142 @@
+//! Plain-text aligned tables for experiment reports.
+
+/// A simple column-aligned table builder.
+///
+/// # Examples
+///
+/// ```
+/// use vortex_stats::Table;
+/// let mut t = Table::new(vec!["kernel", "avg", "worst"]);
+/// t.row(vec!["vecadd".into(), "1.42".into(), "0.94".into()]);
+/// let text = t.to_text();
+/// assert!(text.contains("kernel"));
+/// assert!(text.contains("1.42"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Table { headers: headers.into_iter().map(str::to_owned).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+
+    /// Renders with aligned columns and a header separator.
+    pub fn to_text(&self) -> String {
+        let widths = self.widths();
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                line.push_str(&format!("{cell:<width$}"));
+                if i + 1 < widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_owned()
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("|");
+        for h in &self.headers {
+            out.push_str(&format!(" {h} |"));
+        }
+        out.push_str("\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push('|');
+            for i in 0..self.headers.len() {
+                let empty = String::new();
+                let cell = row.get(i).unwrap_or(&empty);
+                out.push_str(&format!(" {cell} |"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_pads_columns() {
+        let mut t = Table::new(vec!["a", "long_header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let text = t.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("a       "));
+        assert!(lines[2].starts_with("xxxxxx"));
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new(vec!["k", "v"]);
+        t.row(vec!["x".into(), "1".into()]);
+        let md = t.to_markdown();
+        assert_eq!(md.lines().count(), 3);
+        assert!(md.lines().nth(1).unwrap().contains("---"));
+    }
+
+    #[test]
+    fn missing_cells_render_empty() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        let text = t.to_text();
+        assert!(text.contains('1'));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Distribution binning and glyph rendering (the violin bodies of Fig. 2).
+
+/// A binned ratio distribution over a fixed range, with overflow/underflow
+/// accounting — the data behind one side of a Fig. 2 violin.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violin {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u32>,
+    overflow: u32,
+    total: u32,
+}
+
+impl Violin {
+    /// Bins `values` into `bins` equal-width cells over `[lo, hi)`.
+    /// Values `>= hi` are counted as overflow (the paper clips at 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn from_values(values: impl IntoIterator<Item = f64>, lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "range must be non-empty");
+        let mut v = Violin { lo, hi, bins: vec![0; bins], overflow: 0, total: 0 };
+        let width = (hi - lo) / bins as f64;
+        for x in values {
+            if !x.is_finite() {
+                continue;
+            }
+            v.total += 1;
+            if x >= hi {
+                v.overflow += 1;
+            } else {
+                let idx = (((x - lo) / width).floor().max(0.0) as usize).min(bins - 1);
+                v.bins[idx] += 1;
+            }
+        }
+        v
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u32] {
+        &self.bins
+    }
+
+    /// Values clipped at the top of the range (the paper's "results > 4
+    /// are omitted").
+    pub fn overflow(&self) -> u32 {
+        self.overflow
+    }
+
+    /// Total finite samples.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// The bin index containing `value`, if inside the range.
+    pub fn bin_of(&self, value: f64) -> Option<usize> {
+        if value < self.lo || value >= self.hi {
+            return None;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        Some((((value - self.lo) / width) as usize).min(self.bins.len() - 1))
+    }
+
+    /// Renders the density as a row of glyphs (` ▁▂▃▄▅▆▇█`), normalised to
+    /// the modal bin.
+    pub fn render(&self) -> String {
+        const GLYPHS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let peak = self.bins.iter().copied().max().unwrap_or(0);
+        if peak == 0 {
+            return " ".repeat(self.bins.len());
+        }
+        self.bins
+            .iter()
+            .map(|&count| {
+                let level = (count as usize * (GLYPHS.len() - 1)).div_ceil(peak as usize);
+                GLYPHS[level.min(GLYPHS.len() - 1)]
+            })
+            .collect()
+    }
+}
+
+/// Renders one labelled violin row: density glyphs, a `|` marker at ratio
+/// 1 (the paper's bold red line) and the overflow share.
+///
+/// # Examples
+///
+/// ```
+/// use vortex_stats::render_violin_row;
+/// let row = render_violin_row("vecadd  lws=1/ours", [1.0f64, 1.4, 1.4, 2.0], 40);
+/// assert!(row.contains("vecadd"));
+/// ```
+pub fn render_violin_row(
+    label: &str,
+    values: impl IntoIterator<Item = f64>,
+    bins: usize,
+) -> String {
+    let violin = Violin::from_values(values, 0.0, 4.0, bins);
+    let glyphs = violin.render();
+    // Place the ratio-1 marker.
+    let marker_bin = violin.bin_of(1.0).unwrap_or(0);
+    let mut with_marker = String::new();
+    for (i, g) in glyphs.chars().enumerate() {
+        if i == marker_bin {
+            with_marker.push('|');
+        } else {
+            with_marker.push(g);
+        }
+    }
+    let over = if violin.overflow() > 0 {
+        format!("  (+{} > 4.0)", violin.overflow())
+    } else {
+        String::new()
+    };
+    format!("{label:<28} 0[{with_marker}]4{over}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_counts_and_overflow() {
+        let v = Violin::from_values([0.1, 0.9, 1.1, 3.9, 4.0, 7.0], 0.0, 4.0, 4);
+        assert_eq!(v.bins(), &[2, 1, 0, 1]);
+        assert_eq!(v.overflow(), 2);
+        assert_eq!(v.total(), 6);
+    }
+
+    #[test]
+    fn bin_of_places_values() {
+        let v = Violin::from_values(std::iter::empty(), 0.0, 4.0, 40);
+        assert_eq!(v.bin_of(0.0), Some(0));
+        assert_eq!(v.bin_of(1.0), Some(10));
+        assert_eq!(v.bin_of(3.999), Some(39));
+        assert_eq!(v.bin_of(4.0), None);
+        assert_eq!(v.bin_of(-0.1), None);
+    }
+
+    #[test]
+    fn render_peaks_at_mode() {
+        let values = vec![1.0; 50].into_iter().chain(vec![2.0; 5]);
+        let v = Violin::from_values(values, 0.0, 4.0, 8);
+        let glyphs = v.render();
+        // Mode bin (1.0 -> bin 2) gets the tallest glyph.
+        assert_eq!(glyphs.chars().nth(2), Some('█'));
+    }
+
+    #[test]
+    fn empty_render_is_blank() {
+        let v = Violin::from_values(std::iter::empty(), 0.0, 4.0, 5);
+        assert_eq!(v.render(), "     ");
+    }
+
+    #[test]
+    fn row_contains_marker_and_overflow() {
+        let row = render_violin_row("test", [0.5, 1.5, 9.0], 40);
+        assert!(row.contains('|'), "{row}");
+        assert!(row.contains("+1 > 4.0"), "{row}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Execution-trace analysis and rendering — the paper's Figure 1.
+//!
+//! The paper's methodology is built on *trace observations*: per-issue
+//! records of timestamp, PC, warp and active thread mask, with instruction
+//! addresses tagged by semantic code section. This crate turns the raw
+//! [`IssueEvent`] stream of the simulator into:
+//!
+//! * a queryable [`Trace`] (spans, per-warp streams, occupancy),
+//! * [`TraceStats`] (per-section instruction counts, dispatch-round
+//!   counts, lane utilisation), and
+//! * an ASCII [`Timeline`] — warp rows over binned time, showing the
+//!   dominant code section and the number of active lanes per bin, which
+//!   is exactly the information content of the paper's Fig. 1 panels.
+//!
+//! # Examples
+//!
+//! ```
+//! use vortex_trace::Trace;
+//! use vortex_sim::{IssueEvent, VecTraceSink};
+//!
+//! let trace = Trace::from_events(Vec::new());
+//! assert!(trace.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod render;
+mod sections;
+mod stats;
+mod trace;
+
+pub use render::{render_timeline, Timeline, TimelineOptions};
+pub use sections::{section_letter, SectionLegend};
+pub use stats::TraceStats;
+pub use trace::Trace;
+
+pub use vortex_sim::{IssueEvent, TraceSink, VecTraceSink};

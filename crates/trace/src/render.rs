@@ -1,0 +1,192 @@
+//! ASCII timeline rendering — the paper's Fig. 1 panels in a terminal.
+
+use vortex_asm::Program;
+
+use crate::sections::{section_letter, SectionLegend};
+use crate::trace::Trace;
+
+/// Rendering options for [`render_timeline`].
+#[derive(Copy, Clone, Debug)]
+pub struct TimelineOptions {
+    /// Number of time bins (columns).
+    pub width: usize,
+    /// Also render a per-warp active-lane-count row.
+    pub show_lane_counts: bool,
+}
+
+impl Default for TimelineOptions {
+    fn default() -> Self {
+        TimelineOptions { width: 96, show_lane_counts: true }
+    }
+}
+
+/// A rendered timeline, one pair of rows per warp.
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    header: String,
+    legend: String,
+    rows: Vec<String>,
+}
+
+impl Timeline {
+    /// The full plot as one string.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header);
+        out.push('\n');
+        out.push_str(&self.legend);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(row);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The per-warp rows.
+    pub fn rows(&self) -> &[String] {
+        &self.rows
+    }
+}
+
+impl std::fmt::Display for Timeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// Renders the issue activity of one core as warp rows over binned time.
+///
+/// Each column is `duration / width` cycles. The section row shows the
+/// dominant code section per bin (see [`SectionLegend`]); the count row
+/// shows the maximum number of active lanes per bin in base-32 (`1`–`9`,
+/// then `a`–`w`), `.` meaning idle. This carries the same information as
+/// the paper's Fig. 1: *when* each warp issued, *what phase* of the code
+/// it was in, and *how many threads* were enabled.
+pub fn render_timeline(
+    trace: &Trace,
+    program: &Program,
+    core: usize,
+    title: &str,
+    options: TimelineOptions,
+) -> Timeline {
+    let width = options.width.max(8);
+    let start = trace.start().unwrap_or(0);
+    let duration = trace.duration().max(1);
+    let bin_of = |cycle: u64| -> usize {
+        (((cycle - start) as u128 * width as u128 / duration as u128) as usize).min(width - 1)
+    };
+
+    let header = format!(
+        "{title} — core {core}: {} issues over {} cycles (cycles {}..{})",
+        trace.events().iter().filter(|e| e.core == core).count(),
+        duration,
+        start,
+        start + duration - 1,
+    );
+    let legend = format!("sections: {}   lanes: 1-9,a-w   .=idle", {
+        SectionLegend::for_program(program).to_line()
+    });
+
+    let mut rows = Vec::new();
+    for warp in trace.warps(core) {
+        let mut section_bins: Vec<Option<char>> = vec![None; width];
+        let mut lane_bins: Vec<u32> = vec![0; width];
+        for event in trace.warp_events(core, warp) {
+            let bin = bin_of(event.cycle);
+            // Last event in the bin wins for the section (cheap dominant).
+            section_bins[bin] = Some(section_letter(program, event.pc));
+            lane_bins[bin] = lane_bins[bin].max(event.active_lanes());
+        }
+        let section_row: String =
+            section_bins.iter().map(|slot| slot.unwrap_or('.')).collect();
+        rows.push(format!("w{warp:<2}|{section_row}|"));
+        if options.show_lane_counts {
+            let count_row: String = lane_bins
+                .iter()
+                .map(|&n| match n {
+                    0 => '.',
+                    1..=9 => char::from_digit(n, 10).expect("single digit"),
+                    _ => char::from_u32('a' as u32 + n - 10).unwrap_or('+'),
+                })
+                .collect();
+            rows.push(format!("  #|{count_row}|"));
+        }
+    }
+    Timeline { header, legend, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_asm::Assembler;
+    use vortex_isa::{reg, Instr};
+    use vortex_sim::IssueEvent;
+
+    fn tiny_program() -> Program {
+        let mut a = Assembler::new(0);
+        a.section("k.dispatch");
+        a.nop();
+        a.section("k.body");
+        a.nop();
+        a.assemble().unwrap()
+    }
+
+    fn ev(cycle: u64, warp: usize, pc: u32, tmask: u32) -> IssueEvent {
+        IssueEvent { cycle, core: 0, warp, pc, tmask, instr: Instr::Fence }
+    }
+
+    #[test]
+    fn renders_rows_per_warp() {
+        let program = tiny_program();
+        let trace = Trace::from_events(vec![
+            ev(0, 0, 0x0, 0xF),
+            ev(10, 0, 0x4, 0xF),
+            ev(5, 1, 0x4, 0x3),
+        ]);
+        let timeline = render_timeline(
+            &trace,
+            &program,
+            0,
+            "test",
+            TimelineOptions { width: 20, show_lane_counts: true },
+        );
+        assert_eq!(timeline.rows().len(), 4); // 2 warps x 2 rows
+        let text = timeline.to_text();
+        assert!(text.contains("d"), "dispatch letter shown: {text}");
+        assert!(text.contains("b"), "body letter shown: {text}");
+        assert!(text.contains('4'), "4 active lanes shown: {text}");
+        assert!(text.contains('2'), "2 active lanes shown: {text}");
+    }
+
+    #[test]
+    fn empty_core_renders_header_only() {
+        let program = tiny_program();
+        let trace = Trace::from_events(vec![]);
+        let timeline =
+            render_timeline(&trace, &program, 0, "empty", TimelineOptions::default());
+        assert!(timeline.rows().is_empty());
+        assert!(timeline.to_text().contains("0 issues"));
+    }
+
+    #[test]
+    fn wide_masks_use_letters() {
+        let program = tiny_program();
+        let trace = Trace::from_events(vec![ev(0, 0, 0x0, u32::MAX)]);
+        let timeline = render_timeline(
+            &trace,
+            &program,
+            0,
+            "wide",
+            TimelineOptions { width: 8, show_lane_counts: true },
+        );
+        // 32 lanes -> 'w'
+        assert!(timeline.to_text().contains('w'));
+    }
+
+    #[test]
+    fn reg_import_is_used() {
+        // Silence potential unused warnings for the helper import.
+        let _ = reg::ZERO;
+    }
+}

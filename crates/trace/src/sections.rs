@@ -1,0 +1,110 @@
+//! Mapping instruction addresses to semantic section tags.
+
+use vortex_asm::Program;
+
+/// The canonical single-letter codes for the harness's section kinds,
+/// used in timeline rendering (the paper's Fig. 1 tags the same phases).
+const KIND_LETTERS: &[(&str, char)] = &[
+    ("dispatch", 'd'),
+    ("spawn", 's'),
+    ("worker", 'w'),
+    ("body", 'b'),
+    ("sync", 'y'),
+    ("exit", 'x'),
+];
+
+/// Single-letter tag for the section containing `pc` (`'.'` when the
+/// address has no section).
+///
+/// Section names of the form `"<kernel>.<kind>"` map by kind; other names
+/// map to their first character.
+pub fn section_letter(program: &Program, pc: u32) -> char {
+    match program.section_at(pc) {
+        None => '.',
+        Some(section) => {
+            let kind = section.name.rsplit('.').next().unwrap_or(&section.name);
+            KIND_LETTERS
+                .iter()
+                .find(|(name, _)| *name == kind)
+                .map(|&(_, letter)| letter)
+                .or_else(|| kind.chars().next())
+                .unwrap_or('?')
+        }
+    }
+}
+
+/// A human-readable legend for the section letters present in a program.
+#[derive(Clone, Debug)]
+pub struct SectionLegend {
+    entries: Vec<(char, String)>,
+}
+
+impl SectionLegend {
+    /// Builds the legend from a program's section table.
+    pub fn for_program(program: &Program) -> Self {
+        let mut entries: Vec<(char, String)> = Vec::new();
+        for section in program.sections() {
+            let letter = section_letter(program, section.start);
+            if !entries.iter().any(|(l, _)| *l == letter) {
+                let kind =
+                    section.name.rsplit('.').next().unwrap_or(&section.name).to_owned();
+                entries.push((letter, kind));
+            }
+        }
+        SectionLegend { entries }
+    }
+
+    /// `(letter, kind)` pairs in program order.
+    pub fn entries(&self) -> &[(char, String)] {
+        &self.entries
+    }
+
+    /// Renders `d=dispatch s=spawn …`.
+    pub fn to_line(&self) -> String {
+        self.entries
+            .iter()
+            .map(|(l, name)| format!("{l}={name}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_asm::Assembler;
+    use vortex_isa::reg;
+
+    fn program_with_sections() -> Program {
+        let mut a = Assembler::new(0x1000);
+        a.section("k.dispatch");
+        a.nop();
+        a.section("k.body");
+        a.nop();
+        a.nop();
+        a.section("k.exit");
+        a.vx_tmc(reg::ZERO);
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn letters_follow_kind() {
+        let p = program_with_sections();
+        assert_eq!(section_letter(&p, 0x1000), 'd');
+        assert_eq!(section_letter(&p, 0x1004), 'b');
+        assert_eq!(section_letter(&p, 0x1008), 'b');
+        assert_eq!(section_letter(&p, 0x100C), 'x');
+        assert_eq!(section_letter(&p, 0x2000), '.');
+    }
+
+    #[test]
+    fn legend_lists_each_kind_once() {
+        let p = program_with_sections();
+        let legend = SectionLegend::for_program(&p);
+        let line = legend.to_line();
+        assert!(line.contains("d=dispatch"));
+        assert!(line.contains("b=body"));
+        assert!(line.contains("x=exit"));
+        assert_eq!(legend.entries().len(), 3);
+    }
+}

@@ -1,0 +1,111 @@
+//! Aggregate statistics computed from a trace.
+
+use std::collections::BTreeMap;
+
+use vortex_asm::Program;
+use vortex_sim::Cycle;
+
+use crate::trace::Trace;
+
+/// Per-section and per-warp aggregates for one trace — the numbers the
+/// paper reads off its Fig. 1 panels (how much time goes to dispatch
+/// overhead vs. kernel body, and how many spawn rounds ran).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceStats {
+    /// Issue counts per section kind (`dispatch`, `body`, …).
+    pub per_section: BTreeMap<String, u64>,
+    /// Total issues.
+    pub instructions: u64,
+    /// Number of in-kernel dispatch rounds observed (`vx_wspawn` issues,
+    /// plus one for single-warp rounds detected by sync-section visits).
+    pub wspawns: u64,
+    /// Barrier instructions issued.
+    pub barriers: u64,
+    /// Span from first to last issue.
+    pub duration: Cycle,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace` against the program that produced
+    /// it (for section attribution).
+    pub fn compute(trace: &Trace, program: &Program) -> Self {
+        let mut per_section: BTreeMap<String, u64> = BTreeMap::new();
+        let mut wspawns = 0;
+        let mut barriers = 0;
+        for event in trace.events() {
+            let name = program
+                .section_at(event.pc)
+                .map(|s| s.name.rsplit('.').next().unwrap_or(&s.name).to_owned())
+                .unwrap_or_else(|| "?".to_owned());
+            *per_section.entry(name).or_default() += 1;
+            match event.instr {
+                vortex_isa::Instr::Wspawn { .. } => wspawns += 1,
+                vortex_isa::Instr::Bar { .. } => barriers += 1,
+                _ => {}
+            }
+        }
+        TraceStats {
+            per_section,
+            instructions: trace.len() as u64,
+            wspawns,
+            barriers,
+            duration: trace.duration(),
+        }
+    }
+
+    /// Fraction of issues attributed to the kernel body (useful work).
+    pub fn body_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        let body = self.per_section.get("body").copied().unwrap_or(0);
+        body as f64 / self.instructions as f64
+    }
+
+    /// Fraction of issues that are mapping overhead (everything that is
+    /// not body).
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            1.0 - self.body_fraction()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_asm::Assembler;
+    use vortex_isa::{reg, Instr};
+    use vortex_sim::IssueEvent;
+
+    #[test]
+    fn sections_and_rounds_are_counted() {
+        let mut a = Assembler::new(0);
+        a.section("k.dispatch");
+        a.vx_wspawn(reg::T0, reg::T1); // 0x0
+        a.section("k.body");
+        a.nop(); // 0x4
+        a.nop(); // 0x8
+        a.section("k.sync");
+        a.vx_bar(reg::T0, reg::T1); // 0xC
+        let p = a.assemble().unwrap();
+
+        let mk = |cycle, pc, instr| IssueEvent { cycle, core: 0, warp: 0, pc, tmask: 1, instr };
+        let trace = Trace::from_events(vec![
+            mk(0, 0x0, Instr::Wspawn { rs1: reg::T0, rs2: reg::T1 }),
+            mk(1, 0x4, Instr::Fence),
+            mk(2, 0x8, Instr::Fence),
+            mk(3, 0xC, Instr::Bar { rs1: reg::T0, rs2: reg::T1 }),
+        ]);
+        let stats = TraceStats::compute(&trace, &p);
+        assert_eq!(stats.instructions, 4);
+        assert_eq!(stats.wspawns, 1);
+        assert_eq!(stats.barriers, 1);
+        assert_eq!(stats.per_section.get("body"), Some(&2));
+        assert!((stats.body_fraction() - 0.5).abs() < 1e-12);
+        assert!((stats.overhead_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.duration, 4);
+    }
+}

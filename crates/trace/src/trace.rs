@@ -1,0 +1,130 @@
+//! The queryable trace container.
+
+use vortex_sim::Cycle;
+use vortex_sim::{IssueEvent, VecTraceSink};
+
+/// An ordered collection of issue events from one or more launches.
+///
+/// # Examples
+///
+/// ```
+/// use vortex_trace::Trace;
+/// let trace = Trace::from_events(Vec::new());
+/// assert_eq!(trace.duration(), 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<IssueEvent>,
+}
+
+impl Trace {
+    /// Wraps raw events (kept in arrival order).
+    pub fn from_events(events: Vec<IssueEvent>) -> Self {
+        Trace { events }
+    }
+
+    /// Consumes a [`VecTraceSink`].
+    pub fn from_sink(sink: VecTraceSink) -> Self {
+        Trace::from_events(sink.into_events())
+    }
+
+    /// All events.
+    pub fn events(&self) -> &[IssueEvent] {
+        &self.events
+    }
+
+    /// Number of issue events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// First issue cycle, if any.
+    pub fn start(&self) -> Option<Cycle> {
+        self.events.iter().map(|e| e.cycle).min()
+    }
+
+    /// Last issue cycle, if any.
+    pub fn end(&self) -> Option<Cycle> {
+        self.events.iter().map(|e| e.cycle).max()
+    }
+
+    /// Span between the first and last issue (0 when empty).
+    pub fn duration(&self) -> Cycle {
+        match (self.start(), self.end()) {
+            (Some(s), Some(e)) => e - s + 1,
+            _ => 0,
+        }
+    }
+
+    /// Cores that issued at least one instruction, ascending.
+    pub fn cores(&self) -> Vec<usize> {
+        let mut cores: Vec<usize> = self.events.iter().map(|e| e.core).collect();
+        cores.sort_unstable();
+        cores.dedup();
+        cores
+    }
+
+    /// Warps of `core` that issued at least one instruction, ascending.
+    pub fn warps(&self, core: usize) -> Vec<usize> {
+        let mut warps: Vec<usize> =
+            self.events.iter().filter(|e| e.core == core).map(|e| e.warp).collect();
+        warps.sort_unstable();
+        warps.dedup();
+        warps
+    }
+
+    /// Events of one warp, in issue order.
+    pub fn warp_events(&self, core: usize, warp: usize) -> impl Iterator<Item = &IssueEvent> {
+        self.events.iter().filter(move |e| e.core == core && e.warp == warp)
+    }
+
+    /// Mean active lanes per issue, normalised by `threads` (0..=1).
+    pub fn lane_utilization(&self, threads: usize) -> f64 {
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        let lanes: u64 = self.events.iter().map(|e| u64::from(e.active_lanes())).sum();
+        lanes as f64 / (self.events.len() as f64 * threads as f64)
+    }
+}
+
+impl From<VecTraceSink> for Trace {
+    fn from(sink: VecTraceSink) -> Self {
+        Trace::from_sink(sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_isa::Instr;
+
+    fn ev(cycle: Cycle, core: usize, warp: usize, tmask: u32) -> IssueEvent {
+        IssueEvent { cycle, core, warp, pc: 0x8000_0000, tmask, instr: Instr::Join }
+    }
+
+    #[test]
+    fn span_and_indexing() {
+        let t = Trace::from_events(vec![ev(5, 0, 0, 0xF), ev(9, 0, 1, 0x3), ev(7, 1, 0, 0x1)]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.start(), Some(5));
+        assert_eq!(t.end(), Some(9));
+        assert_eq!(t.duration(), 5);
+        assert_eq!(t.cores(), vec![0, 1]);
+        assert_eq!(t.warps(0), vec![0, 1]);
+        assert_eq!(t.warp_events(0, 1).count(), 1);
+    }
+
+    #[test]
+    fn utilization_counts_lanes() {
+        let t = Trace::from_events(vec![ev(0, 0, 0, 0xF), ev(1, 0, 0, 0x1)]);
+        // (4 + 1) / (2 * 4)
+        assert!((t.lane_utilization(4) - 5.0 / 8.0).abs() < 1e-12);
+        assert_eq!(Trace::default().lane_utilization(4), 0.0);
+    }
+}

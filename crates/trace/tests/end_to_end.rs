@@ -1,0 +1,80 @@
+//! End-to-end trace tests against real kernel executions.
+
+use vortex_core::LwsPolicy;
+use vortex_kernels::{run_kernel_traced, Kernel, VecAdd};
+use vortex_sim::{DeviceConfig, VecTraceSink};
+use vortex_trace::{render_timeline, SectionLegend, Timeline, TimelineOptions, Trace, TraceStats};
+
+fn traced_run(lws: u32) -> (Trace, vortex_asm::Program) {
+    let mut kernel = VecAdd::new(128);
+    let program = kernel.build().unwrap();
+    let mut sink = VecTraceSink::new();
+    run_kernel_traced(
+        &mut kernel,
+        &DeviceConfig::with_topology(1, 2, 4),
+        LwsPolicy::Explicit(lws),
+        Some(&mut sink),
+    )
+    .unwrap();
+    (Trace::from_sink(sink), program)
+}
+
+#[test]
+fn every_issue_lands_in_a_known_section() {
+    let (trace, program) = traced_run(16);
+    for event in trace.events() {
+        assert!(
+            program.section_at(event.pc).is_some(),
+            "pc {:#x} has no section",
+            event.pc
+        );
+    }
+}
+
+#[test]
+fn multi_round_traces_repeat_the_spawn_section() {
+    let (trace, program) = traced_run(1);
+    let stats = TraceStats::compute(&trace, &program);
+    assert_eq!(stats.wspawns, 16, "gws=128 over hp=8 at lws=1 is 16 rounds");
+    assert_eq!(stats.barriers as usize, 16 * 2, "two warps meet each round barrier");
+
+    let (trace, program) = traced_run(16);
+    let stats = TraceStats::compute(&trace, &program);
+    assert_eq!(stats.wspawns, 1, "exact fit spawns once");
+}
+
+#[test]
+fn timeline_renders_every_active_warp() {
+    let (trace, program) = traced_run(16);
+    let timeline: Timeline = render_timeline(
+        &trace,
+        &program,
+        0,
+        "vecadd lws=16",
+        TimelineOptions { width: 64, show_lane_counts: true },
+    );
+    // 2 warps x (section row + lane row).
+    assert_eq!(timeline.rows().len(), 4);
+    let text = timeline.to_text();
+    for letter in ['d', 'w', 'b', 'y', 'x'] {
+        assert!(text.contains(letter), "section letter {letter} missing:\n{text}");
+    }
+}
+
+#[test]
+fn legend_covers_harness_sections() {
+    let (_, program) = traced_run(16);
+    let legend = SectionLegend::for_program(&program);
+    let line = legend.to_line();
+    for kind in ["dispatch", "spawn", "worker", "body", "sync", "exit"] {
+        assert!(line.contains(kind), "{kind} missing from legend: {line}");
+    }
+}
+
+#[test]
+fn trace_duration_brackets_run_time() {
+    let (trace, _) = traced_run(16);
+    assert!(trace.duration() > 0);
+    assert!(trace.start().unwrap() >= 256, "dispatch overhead precedes first issue");
+    assert!(trace.len() > 100, "a real kernel issues plenty of instructions");
+}

@@ -1,0 +1,58 @@
+//! Autotune sweep: how does the optimal `lws` move with the hardware?
+//!
+//! Sweeps one kernel across increasingly parallel devices and compares the
+//! paper's runtime policy (Eq. 1) against an exhaustive lws search —
+//! showing both that the policy adapts, and how close to oracle it lands.
+//!
+//! ```text
+//! cargo run --release --example autotune_sweep
+//! ```
+
+use vortex_gpgpu::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gws = 4096;
+    let topologies = ["1c2w2t", "1c4w8t", "2c8w8t", "4c8w16t", "16c16w16t", "64c32w32t"];
+
+    let mut table = Table::new(vec![
+        "device",
+        "hp",
+        "Eq.1 lws",
+        "auto cycles",
+        "oracle lws",
+        "oracle cycles",
+        "auto/oracle",
+    ]);
+
+    for topo in topologies {
+        let config: DeviceConfig = topo.parse()?;
+        let hp = config.hardware_parallelism();
+
+        // The paper's runtime policy.
+        let mut kernel = Saxpy::new(gws);
+        let auto = run_kernel(&mut kernel, &config, LwsPolicy::Auto)?;
+        let auto_lws = auto.reports[0].lws;
+
+        // Oracle: exhaustive search over the candidate lws set.
+        let oracle = oracle_search(gws, &config, |lws| {
+            let mut kernel = Saxpy::new(gws);
+            run_kernel(&mut kernel, &config, LwsPolicy::Explicit(lws))
+                .expect("oracle run")
+                .cycles
+        });
+
+        table.row(vec![
+            topo.to_owned(),
+            hp.to_string(),
+            auto_lws.to_string(),
+            auto.cycles.to_string(),
+            oracle.lws.to_string(),
+            oracle.cycles.to_string(),
+            format!("{:.2}x", auto.cycles as f64 / oracle.cycles as f64),
+        ]);
+    }
+    println!("saxpy, gws = {gws}: runtime policy (Eq. 1) vs oracle lws\n");
+    println!("{}", table.to_text());
+    println!("Eq.1 needs no search and no programmer input — it reads hp from the device.");
+    Ok(())
+}

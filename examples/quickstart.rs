@@ -1,0 +1,39 @@
+//! Quickstart: run one kernel under the paper's three mapping policies
+//! and see the runtime lws tuner (Eq. 1) win.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vortex_gpgpu::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's running example: a 128-element vector addition on a
+    // 1-core, 2-warp, 4-thread device (hp = 8).
+    let config = DeviceConfig::with_topology(1, 2, 4);
+    let hp = config.hardware_parallelism();
+    println!(
+        "device {}  (hardware parallelism hp = {hp})",
+        config.topology_name()
+    );
+
+    let gws = 128;
+    println!("kernel vecadd, gws = {gws}  =>  Eq.1 lws = {}\n", optimal_lws(gws, hp));
+
+    let mut table = Table::new(vec!["policy", "lws", "scenario", "rounds", "cycles"]);
+    for policy in [LwsPolicy::Naive1, LwsPolicy::Fixed32, LwsPolicy::Auto] {
+        let mut kernel = VecAdd::new(gws);
+        let outcome = run_kernel(&mut kernel, &config, policy)?;
+        let report = &outcome.reports[0];
+        table.row(vec![
+            policy.to_string(),
+            report.lws.to_string(),
+            format!("{:?}", report.scenario),
+            report.rounds.to_string(),
+            outcome.cycles.to_string(),
+        ]);
+    }
+    println!("{}", table.to_text());
+    println!("every run is verified against the host reference before being reported.");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Trace explorer: capture an execution trace (the paper's Fig. 1 raw
+//! material) and inspect it — per-warp timelines, section breakdown,
+//! dispatch rounds, lane utilisation.
+//!
+//! ```text
+//! cargo run --release --example trace_explorer
+//! cargo run --release --example trace_explorer -- 4c2w8t 256 8
+//! ```
+//!
+//! Positional arguments: `[topology] [gws] [lws]`.
+
+use vortex_gpgpu::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config: DeviceConfig = args.first().map_or("1c2w4t", String::as_str).parse()?;
+    let gws: u32 = args.get(1).map_or(Ok(128), |s| s.parse())?;
+    let lws: u32 = args
+        .get(2)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or_else(|| optimal_lws(gws, config.hardware_parallelism()));
+
+    println!(
+        "tracing vecadd gws={gws} lws={lws} on {}\n",
+        config.topology_name()
+    );
+
+    let mut kernel = VecAdd::new(gws);
+    let program = kernel.build()?;
+    let mut sink = VecTraceSink::new();
+    let outcome = run_kernel_traced(
+        &mut kernel,
+        &config,
+        LwsPolicy::Explicit(lws),
+        Some(&mut sink),
+    )?;
+    let trace = Trace::from_sink(sink);
+
+    // Per-core timelines (the Fig. 1 panels).
+    for core in trace.cores() {
+        let timeline = render_timeline(
+            &trace,
+            &program,
+            core,
+            &format!("vecadd lws={lws}"),
+            TimelineOptions::default(),
+        );
+        println!("{timeline}");
+    }
+
+    // Aggregate statistics.
+    let stats = TraceStats::compute(&trace, &program);
+    println!("issues            : {}", stats.instructions);
+    println!("span              : {} cycles (total run {} cycles)", stats.duration, outcome.cycles);
+    println!("dispatch rounds   : {} wspawns, {} barriers", stats.wspawns, stats.barriers);
+    println!("body instructions : {:.1}%", stats.body_fraction() * 100.0);
+    println!("mapping overhead  : {:.1}%", stats.overhead_fraction() * 100.0);
+    println!(
+        "lane utilisation  : {:.2}",
+        trace.lane_utilization(config.threads)
+    );
+    println!("\nper-section issue counts:");
+    for (section, count) in &stats.per_section {
+        println!("  {section:<10} {count}");
+    }
+    Ok(())
+}

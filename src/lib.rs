@@ -1,0 +1,70 @@
+//! # vortex-gpgpu
+//!
+//! A from-scratch Rust reproduction of *"Optimising GPGPU Execution
+//! Through Runtime Micro-Architecture Parameter Analysis"* (IISWC 2023):
+//! hardware-aware, runtime selection of the OpenCL `local_work_size`
+//! (**lws**) mapping parameter on a Vortex-like RISC-V SIMT GPGPU,
+//!
+//! ```text
+//! lws = gws / hp,    hp = cores × warps × threads      (Eq. 1)
+//! ```
+//!
+//! This facade crate re-exports the full stack:
+//!
+//! | Layer | Crate | What it provides |
+//! |---|---|---|
+//! | ISA | [`isa`] | RV32IMF + Vortex SIMT extensions, encode/decode |
+//! | Assembler | [`asm`] | labels, pseudo-ops, semantic sections |
+//! | Memory | [`mem`] | banked caches, multi-channel DRAM, coalescing |
+//! | Simulator | [`sim`] | cycle-level SIMT device (event-driven) |
+//! | Runtime | [`core`] | buffers, launches, **the lws auto-tuner** |
+//! | Workloads | [`kernels`] | the paper's nine kernels + references |
+//! | Fig. 1 | [`trace`] | issue traces, section tags, ASCII timelines |
+//! | Fig. 2 | [`stats`] | ratio summaries, violin rendering |
+//!
+//! # Quickstart
+//!
+//! Run the paper's running example — vecadd on a 1-core/2-warp/4-thread
+//! device — under the auto-tuned mapping:
+//!
+//! ```
+//! use vortex_gpgpu::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut kernel = VecAdd::new(128);
+//! let config = DeviceConfig::with_topology(1, 2, 4);
+//! let outcome = run_kernel(&mut kernel, &config, LwsPolicy::Auto)?;
+//! println!("{} cycles, lws={}", outcome.cycles, outcome.reports[0].lws);
+//! assert_eq!(outcome.reports[0].lws, 16); // Eq. 1: 128 / (1*2*4)
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for richer scenarios and `crates/bench` for the
+//! binaries that regenerate every figure and table of the paper.
+
+#![forbid(unsafe_code)]
+
+pub use vortex_asm as asm;
+pub use vortex_core as core;
+pub use vortex_isa as isa;
+pub use vortex_kernels as kernels;
+pub use vortex_mem as mem;
+pub use vortex_sim as sim;
+pub use vortex_stats as stats;
+pub use vortex_trace as trace;
+
+/// The most common imports, for examples and quick experiments.
+pub mod prelude {
+    pub use vortex_core::{
+        optimal_lws, oracle_search, LaunchParams, LwsPolicy, MappingScenario, OracleResult,
+        Runtime, WorkMapping,
+    };
+    pub use vortex_kernels::{
+        run_kernel, run_kernel_traced, Gauss, GcnAggr, GcnLayer, Kernel, Knn, Relu,
+        ResnetLayer, Saxpy, Sgemm, VecAdd,
+    };
+    pub use vortex_sim::{Device, DeviceConfig, VecTraceSink};
+    pub use vortex_stats::{RatioSummary, Table};
+    pub use vortex_trace::{render_timeline, Trace, TimelineOptions, TraceStats};
+}

@@ -1,0 +1,136 @@
+//! Paper-shape regression tests: the qualitative results of the paper
+//! must hold in the reproduction (who wins, where, by roughly how much).
+
+use vortex_gpgpu::prelude::*;
+
+/// Fig. 1: on the paper's 1c2w4t device with gws=128, the Eq. 1 choice
+/// (lws=16) must beat the naive (lws=1) and oversized (lws=32/64)
+/// mappings.
+#[test]
+fn fig1_exact_fit_wins() {
+    let config = DeviceConfig::with_topology(1, 2, 4);
+    let mut cycles = std::collections::HashMap::new();
+    for lws in [1u32, 16, 32, 64] {
+        let mut kernel = VecAdd::new(128);
+        let outcome = run_kernel(&mut kernel, &config, LwsPolicy::Explicit(lws)).unwrap();
+        cycles.insert(lws, outcome.cycles);
+    }
+    assert!(cycles[&16] < cycles[&1], "{cycles:?}");
+    assert!(cycles[&16] < cycles[&32], "{cycles:?}");
+    assert!(cycles[&16] < cycles[&64], "{cycles:?}");
+    // And the penalty ordering of the under-filled side grows with lws.
+    assert!(cycles[&32] < cycles[&64], "{cycles:?}");
+}
+
+/// §2: the three scenarios map onto rounds/utilisation exactly as
+/// described.
+#[test]
+fn scenarios_follow_eq1() {
+    let config = DeviceConfig::with_topology(1, 2, 4); // hp = 8
+    let plan = WorkMapping::plan(128, 1, &config);
+    assert_eq!(plan.scenario(), MappingScenario::MultiCall);
+    assert_eq!(plan.rounds(), 16);
+    let plan = WorkMapping::plan(128, 16, &config);
+    assert_eq!(plan.scenario(), MappingScenario::ExactFit);
+    assert_eq!(plan.rounds(), 1);
+    let plan = WorkMapping::plan(128, 64, &config);
+    assert_eq!(plan.scenario(), MappingScenario::Underfilled);
+    assert!(plan.tail_utilization() < 0.5);
+}
+
+/// §3: "when the hardware parallelism hp exceeds the gws of the executed
+/// kernel, Eq. 1 resolves to lws=1".
+#[test]
+fn eq1_resolves_to_naive_on_huge_hardware() {
+    let config = DeviceConfig::with_topology(64, 32, 32); // hp = 65536
+    assert_eq!(LwsPolicy::Auto.lws_for(4096, &config), 1);
+    // ... and therefore the ratio against the naive mapping is exactly 1.
+    let mut a = VecAdd::new(256);
+    let auto = run_kernel(&mut a, &DeviceConfig::with_topology(8, 8, 8), LwsPolicy::Auto)
+        .unwrap()
+        .cycles;
+    let mut b = VecAdd::new(256);
+    let naive = run_kernel(&mut b, &DeviceConfig::with_topology(8, 8, 8), LwsPolicy::Naive1)
+        .unwrap()
+        .cycles;
+    assert_eq!(auto, naive, "identical mapping must cost identical cycles");
+}
+
+/// Fig. 2 (sampled): across a small sweep, the auto policy's mean ratio
+/// against lws=1 is comfortably above 1 for the streaming math kernels,
+/// and the lws=32 baseline loses big on sgemm (the paper's 9.26x row).
+#[test]
+fn fig2_sampled_ratios_hold() {
+    let topologies = ["1c2w2t", "1c4w8t", "2c2w16t", "4c8w4t", "8c16w8t", "16c32w32t"];
+    let configs: Vec<DeviceConfig> =
+        topologies.iter().map(|t| t.parse().unwrap()).collect();
+
+    // vecadd vs lws=1: auto never loses, mean well above 1.
+    let mut ratios = Vec::new();
+    for config in &configs {
+        let mut k = VecAdd::new(2048);
+        let auto = run_kernel(&mut k, config, LwsPolicy::Auto).unwrap().cycles;
+        let mut k = VecAdd::new(2048);
+        let naive = run_kernel(&mut k, config, LwsPolicy::Naive1).unwrap().cycles;
+        ratios.push(naive as f64 / auto as f64);
+    }
+    let summary = RatioSummary::from_ratios(ratios.iter().copied());
+    assert!(summary.worst >= 0.99, "auto must not lose to lws=1: {ratios:?}");
+    assert!(summary.avg > 1.2, "mean speedup over lws=1 too small: {ratios:?}");
+
+    // sgemm vs lws=32 on a big device: the under-filled fixed mapping
+    // collapses (paper: avg 9.26x).
+    let config = DeviceConfig::with_topology(16, 32, 32);
+    let mut k = Sgemm::sweep();
+    let auto = run_kernel(&mut k, &config, LwsPolicy::Auto).unwrap().cycles;
+    let mut k = Sgemm::sweep();
+    let fixed = run_kernel(&mut k, &config, LwsPolicy::Fixed32).unwrap().cycles;
+    let ratio = fixed as f64 / auto as f64;
+    assert!(ratio > 2.0, "sgemm lws=32 should collapse on big devices, got {ratio:.2}");
+}
+
+/// Fig. 2 annotation: the memory-bound kernels stress DRAM far harder
+/// than the compute-bound ones on the same device.
+#[test]
+fn memory_bound_classification() {
+    let config = DeviceConfig::with_topology(8, 8, 8);
+    let mut knn = Knn::sweep();
+    let knn_util = run_kernel(&mut knn, &config, LwsPolicy::Auto).unwrap().dram_utilization;
+    let mut sgemm = Sgemm::sweep();
+    let sgemm_util =
+        run_kernel(&mut sgemm, &config, LwsPolicy::Auto).unwrap().dram_utilization;
+    assert!(
+        knn_util > 2.0 * sgemm_util,
+        "knn ({knn_util:.2}) must be far more DRAM-hungry than sgemm ({sgemm_util:.2})"
+    );
+}
+
+/// The dispatch overhead visible in Fig. 1's lws=1 panel: most issued
+/// instructions are mapping overhead, not kernel body.
+#[test]
+fn fig1_lws1_overhead_dominates() {
+    let config = DeviceConfig::with_topology(1, 2, 4);
+    let mut kernel = VecAdd::new(128);
+    let program = kernel.build().unwrap();
+    let mut sink = VecTraceSink::new();
+    run_kernel_traced(&mut kernel, &config, LwsPolicy::Explicit(1), Some(&mut sink)).unwrap();
+    let trace = Trace::from_sink(sink);
+    let stats = TraceStats::compute(&trace, &program);
+    assert!(
+        stats.overhead_fraction() > 0.5,
+        "lws=1 should be overhead-dominated, got {:.2}",
+        stats.overhead_fraction()
+    );
+    assert_eq!(stats.wspawns, 16, "16 dispatch rounds spawn 16 times");
+
+    // The exact-fit mapping flips the balance.
+    let mut kernel = VecAdd::new(128);
+    let mut sink = VecTraceSink::new();
+    run_kernel_traced(&mut kernel, &config, LwsPolicy::Explicit(16), Some(&mut sink)).unwrap();
+    let stats = TraceStats::compute(&Trace::from_sink(sink), &program);
+    assert!(
+        stats.body_fraction() > 0.6,
+        "exact fit should be body-dominated, got {:.2}",
+        stats.body_fraction()
+    );
+}
