@@ -1,11 +1,22 @@
 //! Quick calibration probe: wall-clock cost of one kernel's full
 //! 450-configuration campaign (not a paper artefact; used to size the
-//! default sweep parameters honestly).
+//! default sweep parameters honestly and to track simulator throughput
+//! across PRs).
+//!
+//! ```text
+//! cargo run --release -p vortex-bench --bin speed_probe
+//! cargo run --release -p vortex-bench --bin speed_probe -- --configs 20
+//! cargo run --release -p vortex-bench --bin speed_probe -- --json BENCH.json
+//! ```
+//!
+//! With `--json PATH` the per-kernel wall times are also written as a
+//! machine-readable file; the committed `BENCH_*.json` baselines in the
+//! repository root are produced this way (see README).
 
 use std::time::Instant;
 
-use vortex_bench::{kernel_factories, paper_sweep, run_campaign, Scale};
 use vortex_bench::cli::{default_jobs, Flags};
+use vortex_bench::{kernel_factories, paper_sweep, run_campaign, Scale};
 
 fn main() {
     let flags = Flags::from_env();
@@ -14,6 +25,8 @@ fn main() {
     let configs = vortex_bench::subsample(&paper_sweep(), n);
     let scale = if flags.has("paper-scale") { Scale::Paper } else { Scale::Sweep };
     let wanted = flags.get_list("kernels");
+    let mut rows: Vec<(&'static str, usize, f64, f64)> = Vec::new();
+    let wall = Instant::now();
     for factory in kernel_factories(scale) {
         if let Some(ws) = &wanted {
             if !ws.iter().any(|w| w == factory.name) {
@@ -33,5 +46,42 @@ fn main() {
             dt,
             result.mean_dram_utilization(),
         );
+        rows.push((
+            factory.name,
+            result.rows.len(),
+            dt.as_secs_f64(),
+            result.mean_dram_utilization(),
+        ));
     }
+    let total = wall.elapsed().as_secs_f64();
+    println!("{:<13} total: {total:.2}s", "");
+
+    if let Some(path) = flags.get_str("json") {
+        let json = render_json(&rows, n, jobs, total);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+}
+
+/// Hand-rolled JSON (the build environment has no serde): a flat object
+/// that downstream tooling can diff across PRs.
+fn render_json(rows: &[(&str, usize, f64, f64)], configs: usize, jobs: usize, total: f64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"configs\": {configs},\n"));
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
+    out.push_str("  \"kernels\": [\n");
+    for (i, (name, n, secs, util)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"configs\": {n}, \"seconds\": {secs:.3}, \
+             \"mean_dram_utilization\": {util:.4}}}{comma}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

@@ -1,0 +1,59 @@
+//! Simulator-throughput diagnostic: simulated instructions per host
+//! second, per kernel and policy, on one configuration (not a paper
+//! artefact; used to find and track hot-path regressions).
+//!
+//! ```text
+//! cargo run --release -p vortex-bench --bin throughput -- --topo 8c8w8t
+//! cargo run --release -p vortex-bench --bin throughput -- --kernels gcn_layer
+//! ```
+
+use std::time::Instant;
+
+use vortex_bench::cli::Flags;
+use vortex_bench::{kernel_factories, Scale};
+use vortex_core::{LwsPolicy, Runtime};
+use vortex_kernels::run_kernel_prepared;
+use vortex_sim::DeviceConfig;
+
+fn main() {
+    let flags = Flags::from_env();
+    let config: DeviceConfig =
+        flags.get_str("topo").unwrap_or("8c8w8t").parse().expect("valid topology");
+    let reps = flags.get_usize("reps", 3);
+    let wanted = flags.get_list("kernels");
+    let scale = if flags.has("paper-scale") { Scale::Paper } else { Scale::Sweep };
+
+    println!("{:<13} {:>7} {:>12} {:>10} {:>9}", "kernel", "policy", "instructions", "host ms", "Minstr/s");
+    for factory in kernel_factories(scale) {
+        if let Some(ws) = &wanted {
+            if !ws.iter().any(|w| w == factory.name) {
+                continue;
+            }
+        }
+        let mut kernel = (factory.make)();
+        let program = kernel.build().expect("assembles");
+        let mut rt = Runtime::new(config);
+        rt.load_program(&program);
+        for policy in [LwsPolicy::Naive1, LwsPolicy::Fixed32, LwsPolicy::Auto] {
+            let start = Instant::now();
+            let mut instructions = 0u64;
+            for _ in 0..reps {
+                let outcome = run_kernel_prepared(kernel.as_mut(), &program, &mut rt, policy)
+                    .unwrap_or_else(|e| {
+                        eprintln!("{} {policy}: {e}", factory.name);
+                        std::process::exit(1);
+                    });
+                instructions += outcome.instructions;
+            }
+            let dt = start.elapsed();
+            println!(
+                "{:<13} {:>7} {:>12} {:>10.1} {:>9.2}",
+                factory.name,
+                policy.label(),
+                instructions / reps as u64,
+                dt.as_secs_f64() * 1e3 / reps as f64,
+                instructions as f64 / dt.as_secs_f64() / 1e6,
+            );
+        }
+    }
+}

@@ -5,7 +5,7 @@ use std::fmt;
 
 use vortex_asm::Program;
 use vortex_mem::Cycle;
-use vortex_sim::{Device, DeviceConfig, SimError, TraceSink};
+use vortex_sim::{Device, DeviceConfig, NullSink, SimError, TraceSink};
 
 use crate::abi;
 use crate::mapping::WorkMapping;
@@ -200,6 +200,18 @@ impl Runtime {
         self.entry = Some(program.entry());
     }
 
+    /// Returns the runtime to its post-[`load_program`](Runtime::load_program)
+    /// state: device memory, caches, counters and the clock are cleared,
+    /// the heap allocator rewinds, and the loaded program stays resident.
+    ///
+    /// This is what lets a measurement campaign reuse one runtime across
+    /// many launches instead of rebuilding the device (and re-assembling
+    /// the kernel) for every data point.
+    pub fn reset(&mut self) {
+        self.device.reset();
+        self.heap_next = abi::HEAP_BASE;
+    }
+
     /// Allocates `bytes` of device memory (64-byte aligned).
     ///
     /// # Errors
@@ -272,6 +284,23 @@ impl Runtime {
         params: &LaunchParams,
         trace: Option<&'a mut (dyn TraceSink + 'b)>,
     ) -> Result<LaunchReport, LaunchError> {
+        match trace {
+            Some(sink) => self.launch_with(params, Some(sink)),
+            None => self.launch_with::<NullSink>(params, None),
+        }
+    }
+
+    /// [`launch`](Runtime::launch), generic over the trace sink type, so
+    /// untraced callers run the device's monomorphised fast path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`launch`](Runtime::launch).
+    pub fn launch_with<S: TraceSink + ?Sized>(
+        &mut self,
+        params: &LaunchParams,
+        trace: Option<&mut S>,
+    ) -> Result<LaunchReport, LaunchError> {
         let entry = match params.entry {
             Some(addr) => {
                 if self.entry.is_none() {
@@ -308,7 +337,7 @@ impl Runtime {
             self.device.start_warp(range.core, entry);
         }
         let limit = start_cycle + params.max_cycles;
-        self.device.run(limit, trace)?;
+        self.device.run_with(limit, trace)?;
 
         Ok(LaunchReport {
             lws,

@@ -1,224 +1,236 @@
-//! Property tests: `decode(encode(i)) == i` for every representable
+//! Randomised tests: `decode(encode(i)) == i` for every representable
 //! instruction, and `encode(decode(w)) == w` for every decodable word.
+//!
+//! Driven by the in-repo deterministic PRNG (the offline build has no
+//! proptest); seeds are fixed so failures reproduce exactly.
 
-use proptest::prelude::*;
 use vortex_isa::{
     decode, encode, AluImmOp, AluOp, BranchOp, Csr, CsrOp, CsrSrc, FReg, FmaOp, FpBinOp,
     FpCmpOp, Instr, LoadWidth, Reg, StoreWidth, VoteOp,
 };
+use vortex_rng::Rng;
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(|n| Reg::new(n).unwrap())
+fn any_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.gen_range_u32(0, 32) as u8).unwrap()
 }
 
-fn any_freg() -> impl Strategy<Value = FReg> {
-    (0u8..32).prop_map(|n| FReg::new(n).unwrap())
+fn any_freg(rng: &mut Rng) -> FReg {
+    FReg::new(rng.gen_range_u32(0, 32) as u8).unwrap()
 }
 
-fn any_csr() -> impl Strategy<Value = Csr> {
-    (0u16..0x1000).prop_map(|n| Csr::new(n).unwrap())
+fn any_csr(rng: &mut Rng) -> Csr {
+    Csr::new(rng.gen_range_u32(0, 0x1000) as u16).unwrap()
 }
 
-fn i12() -> impl Strategy<Value = i32> {
-    -2048i32..=2047
+/// Signed 12-bit immediate.
+fn i12(rng: &mut Rng) -> i32 {
+    rng.gen_range_i32(-2048, 2047)
 }
 
-fn b13() -> impl Strategy<Value = i32> {
-    (-2048i32..=2047).prop_map(|x| x * 2)
+/// Even 13-bit branch offset.
+fn b13(rng: &mut Rng) -> i32 {
+    rng.gen_range_i32(-2048, 2047) * 2
 }
 
-fn j21() -> impl Strategy<Value = i32> {
-    (-524288i32..=524287).prop_map(|x| x * 2)
+/// Even 21-bit jump offset.
+fn j21(rng: &mut Rng) -> i32 {
+    rng.gen_range_i32(-524_288, 524_287) * 2
 }
 
-fn u20() -> impl Strategy<Value = i32> {
-    proptest::num::i32::ANY.prop_map(|x| x & !0xFFFi32)
+/// Upper 20-bit immediate (low 12 bits clear).
+fn u20(rng: &mut Rng) -> i32 {
+    (rng.next_u32() as i32) & !0xFFFi32
 }
 
-prop_compose! {
-    fn alu_imm()(op in prop_oneof![
-        Just(AluImmOp::Add), Just(AluImmOp::Slt), Just(AluImmOp::Sltu),
-        Just(AluImmOp::Xor), Just(AluImmOp::Or), Just(AluImmOp::And),
-    ], rd in any_reg(), rs1 in any_reg(), imm in i12()) -> Instr {
-        Instr::OpImm { op, rd, rs1, imm }
+const ALU_OPS: [AluOp; 18] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Sll,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Xor,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Or,
+    AluOp::And,
+    AluOp::Mul,
+    AluOp::Mulh,
+    AluOp::Mulhsu,
+    AluOp::Mulhu,
+    AluOp::Div,
+    AluOp::Divu,
+    AluOp::Rem,
+    AluOp::Remu,
+];
+
+fn any_instr(rng: &mut Rng) -> Instr {
+    match rng.gen_range_u32(0, 28) {
+        0 => Instr::Lui { rd: any_reg(rng), imm: u20(rng) },
+        1 => Instr::Auipc { rd: any_reg(rng), imm: u20(rng) },
+        2 => Instr::Jal { rd: any_reg(rng), offset: j21(rng) },
+        3 => Instr::Jalr { rd: any_reg(rng), rs1: any_reg(rng), offset: i12(rng) },
+        4 => Instr::Branch {
+            op: *rng.choose(&[
+                BranchOp::Eq,
+                BranchOp::Ne,
+                BranchOp::Lt,
+                BranchOp::Ge,
+                BranchOp::Ltu,
+                BranchOp::Geu,
+            ]),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            offset: b13(rng),
+        },
+        5 => Instr::Load {
+            width: *rng.choose(&[
+                LoadWidth::Byte,
+                LoadWidth::Half,
+                LoadWidth::Word,
+                LoadWidth::ByteU,
+                LoadWidth::HalfU,
+            ]),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            offset: i12(rng),
+        },
+        6 => Instr::Store {
+            width: *rng.choose(&[StoreWidth::Byte, StoreWidth::Half, StoreWidth::Word]),
+            rs2: any_reg(rng),
+            rs1: any_reg(rng),
+            offset: i12(rng),
+        },
+        7 => Instr::OpImm {
+            op: *rng.choose(&[
+                AluImmOp::Add,
+                AluImmOp::Slt,
+                AluImmOp::Sltu,
+                AluImmOp::Xor,
+                AluImmOp::Or,
+                AluImmOp::And,
+            ]),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            imm: i12(rng),
+        },
+        8 => Instr::OpImm {
+            op: *rng.choose(&[AluImmOp::Sll, AluImmOp::Srl, AluImmOp::Sra]),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            imm: rng.gen_range_i32(0, 31),
+        },
+        9 => Instr::Op {
+            op: *rng.choose(&ALU_OPS),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        10 => Instr::Fence,
+        11 => Instr::Ecall,
+        12 => Instr::Ebreak,
+        13 => Instr::Csr {
+            op: *rng.choose(&[CsrOp::ReadWrite, CsrOp::ReadSet, CsrOp::ReadClear]),
+            rd: any_reg(rng),
+            src: if rng.gen_bool() {
+                CsrSrc::Reg(any_reg(rng))
+            } else {
+                CsrSrc::Imm(rng.gen_range_u32(0, 32) as u8)
+            },
+            csr: any_csr(rng),
+        },
+        14 => Instr::Flw { rd: any_freg(rng), rs1: any_reg(rng), offset: i12(rng) },
+        15 => Instr::Fsw { rs2: any_freg(rng), rs1: any_reg(rng), offset: i12(rng) },
+        16 => Instr::FpOp {
+            op: *rng.choose(&[
+                FpBinOp::Add,
+                FpBinOp::Sub,
+                FpBinOp::Mul,
+                FpBinOp::Div,
+                FpBinOp::SgnJ,
+                FpBinOp::SgnJN,
+                FpBinOp::SgnJX,
+                FpBinOp::Min,
+                FpBinOp::Max,
+            ]),
+            rd: any_freg(rng),
+            rs1: any_freg(rng),
+            rs2: any_freg(rng),
+        },
+        17 => Instr::FpFma {
+            op: *rng.choose(&[FmaOp::MAdd, FmaOp::MSub, FmaOp::NMSub, FmaOp::NMAdd]),
+            rd: any_freg(rng),
+            rs1: any_freg(rng),
+            rs2: any_freg(rng),
+            rs3: any_freg(rng),
+        },
+        18 => Instr::FpSqrt { rd: any_freg(rng), rs1: any_freg(rng) },
+        19 => Instr::FpCmp {
+            op: *rng.choose(&[FpCmpOp::Eq, FpCmpOp::Lt, FpCmpOp::Le]),
+            rd: any_reg(rng),
+            rs1: any_freg(rng),
+            rs2: any_freg(rng),
+        },
+        20 => Instr::FpCvtToInt { signed: rng.gen_bool(), rd: any_reg(rng), rs1: any_freg(rng) },
+        21 => {
+            Instr::FpCvtFromInt { signed: rng.gen_bool(), rd: any_freg(rng), rs1: any_reg(rng) }
+        }
+        22 => Instr::FpMvToInt { rd: any_reg(rng), rs1: any_freg(rng) },
+        23 => Instr::FpMvFromInt { rd: any_freg(rng), rs1: any_reg(rng) },
+        24 => Instr::FpClass { rd: any_reg(rng), rs1: any_freg(rng) },
+        25 => match rng.gen_range_u32(0, 3) {
+            0 => Instr::Tmc { rs1: any_reg(rng) },
+            1 => Instr::Wspawn { rs1: any_reg(rng), rs2: any_reg(rng) },
+            _ => Instr::Bar { rs1: any_reg(rng), rs2: any_reg(rng) },
+        },
+        26 => {
+            if rng.gen_bool() {
+                Instr::Split { rs1: any_reg(rng), offset: b13(rng) }
+            } else {
+                Instr::Join
+            }
+        }
+        _ => Instr::Vote {
+            op: *rng.choose(&[VoteOp::Any, VoteOp::All, VoteOp::Ballot]),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+        },
     }
 }
 
-prop_compose! {
-    fn shift_imm()(op in prop_oneof![
-        Just(AluImmOp::Sll), Just(AluImmOp::Srl), Just(AluImmOp::Sra),
-    ], rd in any_reg(), rs1 in any_reg(), imm in 0i32..32) -> Instr {
-        Instr::OpImm { op, rd, rs1, imm }
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xD0_5EED);
+    for case in 0..4096 {
+        let instr = any_instr(&mut rng);
+        let word = encode(instr).unwrap_or_else(|e| panic!("case {case}: {instr:?} must encode: {e}"));
+        let back = decode(word).unwrap_or_else(|e| panic!("case {case}: {word:#010x} must decode: {e}"));
+        assert_eq!(instr, back, "case {case}: roundtrip through {word:#010x}");
     }
 }
 
-fn any_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Sll),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-        Just(AluOp::Xor),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Or),
-        Just(AluOp::And),
-        Just(AluOp::Mul),
-        Just(AluOp::Mulh),
-        Just(AluOp::Mulhsu),
-        Just(AluOp::Mulhu),
-        Just(AluOp::Div),
-        Just(AluOp::Divu),
-        Just(AluOp::Rem),
-        Just(AluOp::Remu),
-    ]
-}
-
-fn any_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (any_reg(), u20()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
-        (any_reg(), u20()).prop_map(|(rd, imm)| Instr::Auipc { rd, imm }),
-        (any_reg(), j21()).prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
-        (any_reg(), any_reg(), i12())
-            .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
-        (
-            prop_oneof![
-                Just(BranchOp::Eq),
-                Just(BranchOp::Ne),
-                Just(BranchOp::Lt),
-                Just(BranchOp::Ge),
-                Just(BranchOp::Ltu),
-                Just(BranchOp::Geu)
-            ],
-            any_reg(),
-            any_reg(),
-            b13()
-        )
-            .prop_map(|(op, rs1, rs2, offset)| Instr::Branch { op, rs1, rs2, offset }),
-        (
-            prop_oneof![
-                Just(LoadWidth::Byte),
-                Just(LoadWidth::Half),
-                Just(LoadWidth::Word),
-                Just(LoadWidth::ByteU),
-                Just(LoadWidth::HalfU)
-            ],
-            any_reg(),
-            any_reg(),
-            i12()
-        )
-            .prop_map(|(width, rd, rs1, offset)| Instr::Load { width, rd, rs1, offset }),
-        (
-            prop_oneof![Just(StoreWidth::Byte), Just(StoreWidth::Half), Just(StoreWidth::Word)],
-            any_reg(),
-            any_reg(),
-            i12()
-        )
-            .prop_map(|(width, rs2, rs1, offset)| Instr::Store { width, rs2, rs1, offset }),
-        alu_imm(),
-        shift_imm(),
-        (any_alu_op(), any_reg(), any_reg(), any_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
-        Just(Instr::Fence),
-        Just(Instr::Ecall),
-        Just(Instr::Ebreak),
-        (
-            prop_oneof![Just(CsrOp::ReadWrite), Just(CsrOp::ReadSet), Just(CsrOp::ReadClear)],
-            any_reg(),
-            prop_oneof![
-                any_reg().prop_map(CsrSrc::Reg),
-                (0u8..32).prop_map(CsrSrc::Imm)
-            ],
-            any_csr()
-        )
-            .prop_map(|(op, rd, src, csr)| Instr::Csr { op, rd, src, csr }),
-        (any_freg(), any_reg(), i12())
-            .prop_map(|(rd, rs1, offset)| Instr::Flw { rd, rs1, offset }),
-        (any_freg(), any_reg(), i12())
-            .prop_map(|(rs2, rs1, offset)| Instr::Fsw { rs2, rs1, offset }),
-        (
-            prop_oneof![
-                Just(FpBinOp::Add),
-                Just(FpBinOp::Sub),
-                Just(FpBinOp::Mul),
-                Just(FpBinOp::Div),
-                Just(FpBinOp::SgnJ),
-                Just(FpBinOp::SgnJN),
-                Just(FpBinOp::SgnJX),
-                Just(FpBinOp::Min),
-                Just(FpBinOp::Max)
-            ],
-            any_freg(),
-            any_freg(),
-            any_freg()
-        )
-            .prop_map(|(op, rd, rs1, rs2)| Instr::FpOp { op, rd, rs1, rs2 }),
-        (
-            prop_oneof![
-                Just(FmaOp::MAdd),
-                Just(FmaOp::MSub),
-                Just(FmaOp::NMSub),
-                Just(FmaOp::NMAdd)
-            ],
-            any_freg(),
-            any_freg(),
-            any_freg(),
-            any_freg()
-        )
-            .prop_map(|(op, rd, rs1, rs2, rs3)| Instr::FpFma { op, rd, rs1, rs2, rs3 }),
-        (any_freg(), any_freg()).prop_map(|(rd, rs1)| Instr::FpSqrt { rd, rs1 }),
-        (
-            prop_oneof![Just(FpCmpOp::Eq), Just(FpCmpOp::Lt), Just(FpCmpOp::Le)],
-            any_reg(),
-            any_freg(),
-            any_freg()
-        )
-            .prop_map(|(op, rd, rs1, rs2)| Instr::FpCmp { op, rd, rs1, rs2 }),
-        (any::<bool>(), any_reg(), any_freg())
-            .prop_map(|(signed, rd, rs1)| Instr::FpCvtToInt { signed, rd, rs1 }),
-        (any::<bool>(), any_freg(), any_reg())
-            .prop_map(|(signed, rd, rs1)| Instr::FpCvtFromInt { signed, rd, rs1 }),
-        (any_reg(), any_freg()).prop_map(|(rd, rs1)| Instr::FpMvToInt { rd, rs1 }),
-        (any_freg(), any_reg()).prop_map(|(rd, rs1)| Instr::FpMvFromInt { rd, rs1 }),
-        (any_reg(), any_freg()).prop_map(|(rd, rs1)| Instr::FpClass { rd, rs1 }),
-        any_reg().prop_map(|rs1| Instr::Tmc { rs1 }),
-        (any_reg(), any_reg()).prop_map(|(rs1, rs2)| Instr::Wspawn { rs1, rs2 }),
-        (any_reg(), b13()).prop_map(|(rs1, offset)| Instr::Split { rs1, offset }),
-        Just(Instr::Join),
-        (any_reg(), any_reg()).prop_map(|(rs1, rs2)| Instr::Bar { rs1, rs2 }),
-        (
-            prop_oneof![Just(VoteOp::Any), Just(VoteOp::All), Just(VoteOp::Ballot)],
-            any_reg(),
-            any_reg()
-        )
-            .prop_map(|(op, rd, rs1)| Instr::Vote { op, rd, rs1 }),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(2048))]
-
-    #[test]
-    fn encode_decode_roundtrip(instr in any_instr()) {
-        let word = encode(instr).expect("generated instruction must encode");
-        let back = decode(word).expect("encoded word must decode");
-        prop_assert_eq!(instr, back);
-    }
-
-    #[test]
-    fn decode_encode_roundtrip(word in proptest::num::u32::ANY) {
-        // Not every word decodes; but the ones that do must re-encode to an
-        // equivalent word (canonicalising the FP rounding-mode field).
+#[test]
+fn decode_encode_roundtrip() {
+    // Not every word decodes; but the ones that do must re-encode to an
+    // equivalent word (canonicalising the FP rounding-mode field).
+    let mut rng = Rng::seed_from_u64(0xDEC0_DE);
+    let mut decoded = 0u32;
+    for _ in 0..200_000 {
+        let word = rng.next_u32();
         if let Ok(instr) = decode(word) {
+            decoded += 1;
             let reenc = encode(instr).expect("decoded instruction must re-encode");
             let back = decode(reenc).expect("re-encoded word must decode");
-            prop_assert_eq!(instr, back);
+            assert_eq!(instr, back, "word {word:#010x} re-encoded to {reenc:#010x}");
         }
     }
+    assert!(decoded > 100, "random words should occasionally decode ({decoded} did)");
+}
 
-    #[test]
-    fn disassembly_is_nonempty(instr in any_instr()) {
-        prop_assert!(!instr.to_string().is_empty());
+#[test]
+fn disassembly_is_nonempty() {
+    let mut rng = Rng::seed_from_u64(0xD15A_55);
+    for _ in 0..2048 {
+        let instr = any_instr(&mut rng);
+        assert!(!instr.to_string().is_empty(), "{instr:?}");
     }
 }

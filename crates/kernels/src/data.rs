@@ -2,8 +2,7 @@
 //! (Rodinia's hurricane records, the cora citation graph, CIFAR-10
 //! activations). Shapes match the originals; contents are deterministic.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use vortex_rng::Rng;
 
 /// Deterministic uniform `f32` values in `[lo, hi)`.
 ///
@@ -15,8 +14,8 @@ use rand::{Rng, SeedableRng};
 /// assert_eq!(xs, vortex_kernels::data::uniform_f32(42, 8, -1.0, 1.0));
 /// ```
 pub fn uniform_f32(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range_f32(lo, hi)).collect()
 }
 
 /// A sparse directed graph in CSR form.
@@ -77,13 +76,13 @@ impl CsrGraph {
 /// assert!((2.0..8.0).contains(&avg));
 /// ```
 pub fn power_law_graph(seed: u64, nodes: usize, target_edges: usize) -> CsrGraph {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let base = (target_edges as f64 / nodes as f64).max(1.0);
     let mut degrees = Vec::with_capacity(nodes);
     let mut total = 0usize;
     for _ in 0..nodes {
         // Pareto-like: most nodes near `base`, occasional hubs.
-        let u: f64 = rng.gen_range(0.05..1.0f64);
+        let u: f64 = rng.gen_range_f64(0.05, 1.0);
         let deg = ((base * 0.6) / u.powf(0.7)).round().clamp(1.0, (nodes - 1) as f64) as usize;
         degrees.push(deg);
         total += deg;
@@ -97,7 +96,7 @@ pub fn power_law_graph(seed: u64, nodes: usize, target_edges: usize) -> CsrGraph
         let d = ((*deg as f64 * scale).round() as usize).max(1);
         for _ in 0..d {
             // Any node but self.
-            let mut u = rng.gen_range(0..nodes - 1);
+            let mut u = rng.gen_range_usize(0, nodes - 1);
             if u >= v {
                 u += 1;
             }

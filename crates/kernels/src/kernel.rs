@@ -3,7 +3,7 @@
 use vortex_asm::Program;
 use vortex_core::{LaunchParams, LaunchReport, LwsPolicy, Runtime};
 use vortex_sim::Cycle;
-use vortex_sim::{DeviceConfig, MemStats, TraceSink};
+use vortex_sim::{DeviceConfig, MemStats, NullSink, TraceSink};
 
 use crate::error::{KernelError, VerifyError};
 
@@ -83,6 +83,9 @@ pub struct RunOutcome {
 /// Builds, uploads, launches (all phases) and verifies `kernel` on a fresh
 /// device of the given configuration.
 ///
+/// Untraced, so the whole run takes the simulator's monomorphised
+/// (zero-dyn-dispatch) path.
+///
 /// # Errors
 ///
 /// Any assembly, launch or verification failure.
@@ -91,7 +94,10 @@ pub fn run_kernel(
     config: &DeviceConfig,
     policy: LwsPolicy,
 ) -> Result<RunOutcome, KernelError> {
-    run_kernel_traced(kernel, config, policy, None)
+    let program = kernel.build()?;
+    let mut rt = Runtime::new(*config);
+    rt.load_program(&program);
+    run_kernel_prepared(kernel, &program, &mut rt, policy)
 }
 
 /// [`run_kernel`] with an optional trace sink attached to every phase
@@ -104,12 +110,48 @@ pub fn run_kernel_traced(
     kernel: &mut dyn Kernel,
     config: &DeviceConfig,
     policy: LwsPolicy,
-    mut trace: Option<&mut dyn TraceSink>,
+    trace: Option<&mut dyn TraceSink>,
 ) -> Result<RunOutcome, KernelError> {
     let program = kernel.build()?;
     let mut rt = Runtime::new(*config);
     rt.load_program(&program);
-    kernel.setup(&mut rt)?;
+    match trace {
+        Some(sink) => run_phases(kernel, &program, &mut rt, policy, Some(sink)),
+        None => run_phases::<NullSink>(kernel, &program, &mut rt, policy, None),
+    }
+}
+
+/// Launches and verifies `kernel` on an already-prepared runtime: the
+/// program is assembled once by the caller and stays loaded; the runtime
+/// is [`reset`](Runtime::reset) so every run starts from a cold, clean
+/// device. This is the zero-rebuild path measurement campaigns take —
+/// per-run cost is the simulation itself, not device construction or
+/// kernel assembly.
+///
+/// # Errors
+///
+/// Any launch or verification failure.
+pub fn run_kernel_prepared(
+    kernel: &mut dyn Kernel,
+    program: &Program,
+    rt: &mut Runtime,
+    policy: LwsPolicy,
+) -> Result<RunOutcome, KernelError> {
+    run_phases::<NullSink>(kernel, program, rt, policy, None)
+}
+
+/// The shared phase loop, generic over the sink so untraced runs are
+/// monomorphised end to end. Resets the runtime first: results must be
+/// independent of whatever ran on it before.
+fn run_phases<S: TraceSink + ?Sized>(
+    kernel: &mut dyn Kernel,
+    program: &Program,
+    rt: &mut Runtime,
+    policy: LwsPolicy,
+    mut trace: Option<&mut S>,
+) -> Result<RunOutcome, KernelError> {
+    rt.reset();
+    kernel.setup(rt)?;
 
     let mut reports = Vec::new();
     let mut cycles = 0;
@@ -118,11 +160,17 @@ pub fn run_kernel_traced(
             .symbol(&phase.symbol)
             .ok_or_else(|| KernelError::MissingSymbol { symbol: phase.symbol.clone() })?;
         let params = LaunchParams::new(phase.gws).policy(policy).entry(entry);
-        let report = rt.launch(&params, trace.as_deref_mut())?;
+        let report = rt.launch_with(
+            &params,
+            match trace {
+                Some(ref mut sink) => Some(&mut **sink),
+                None => None,
+            },
+        )?;
         cycles += report.cycles;
         reports.push(report);
     }
-    kernel.verify(&rt)?;
+    kernel.verify(rt)?;
 
     Ok(RunOutcome {
         cycles,

@@ -125,6 +125,17 @@ pub struct Cache {
     ways: Vec<Way>,
     tick: u64,
     stats: CacheStats,
+    // Shift/mask forms of the (validated power-of-two) geometry, so the
+    // per-access index math never pays an integer division.
+    line_shift: u32,
+    set_mask: u32,
+    set_shift: u32,
+    /// Most-recently-hit line and its way index: streaming SIMT accesses
+    /// hit the same line back-to-back, so this skips the set walk on the
+    /// common path. `u64::MAX` means "no MRU entry" (a `u64` so the
+    /// sentinel cannot collide with any real 32-bit line id).
+    mru_line: u64,
+    mru_way: u32,
 }
 
 impl Cache {
@@ -141,6 +152,11 @@ impl Cache {
             ways: vec![Way { tag: 0, valid: false, dirty: false, lru_stamp: 0 }; entries],
             tick: 0,
             stats: CacheStats::default(),
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: config.sets() - 1,
+            set_shift: config.sets().trailing_zeros(),
+            mru_line: u64::MAX,
+            mru_way: 0,
         }
     }
 
@@ -158,32 +174,50 @@ impl Cache {
     /// (write-allocate). `is_store` marks the line dirty (write-back).
     pub fn access(&mut self, addr: u32, is_store: bool) -> Lookup {
         self.tick += 1;
-        let line = addr / self.config.line_bytes;
-        let sets = self.config.sets();
-        let set = (line & (sets - 1)) as usize;
-        let tag = line / sets;
-        let ways = self.config.ways as usize;
-        let base = set * ways;
-        let slots = &mut self.ways[base..base + ways];
-
-        if let Some(way) = slots.iter_mut().find(|w| w.valid && w.tag == tag) {
+        let line = addr >> self.line_shift;
+        if u64::from(line) == self.mru_line {
+            // Back-to-back access to the same line: the way index is known
+            // and still valid (any eviction of it would have gone through
+            // the slow path below, which updates the MRU entry).
+            let way = &mut self.ways[self.mru_way as usize];
             way.lru_stamp = self.tick;
             way.dirty |= is_store;
             self.stats.hits += 1;
             return Lookup::Hit;
         }
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_shift;
+        let ways = self.config.ways as usize;
+        let base = set * ways;
+        let slots = &mut self.ways[base..base + ways];
+
+        if let Some(pos) = slots.iter().position(|w| w.valid && w.tag == tag) {
+            let way = &mut slots[pos];
+            way.lru_stamp = self.tick;
+            way.dirty |= is_store;
+            self.stats.hits += 1;
+            self.mru_line = u64::from(line);
+            self.mru_way = (base + pos) as u32;
+            return Lookup::Hit;
+        }
         self.stats.misses += 1;
         // Choose victim: first invalid way, else LRU.
-        let victim = match slots.iter_mut().find(|w| !w.valid) {
-            Some(w) => w,
+        let pos = match slots.iter().position(|w| !w.valid) {
+            Some(p) => p,
             None => {
                 self.stats.evictions += 1;
-                slots.iter_mut().min_by_key(|w| w.lru_stamp).expect("ways > 0")
+                slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.lru_stamp)
+                    .expect("ways > 0")
+                    .0
             }
         };
+        let victim = &mut slots[pos];
         let writeback = if victim.valid && victim.dirty {
-            let victim_line = victim.tag * sets + set as u32;
-            Some(victim_line * self.config.line_bytes)
+            let victim_line = (victim.tag << self.set_shift) + set as u32;
+            Some(victim_line << self.line_shift)
         } else {
             None
         };
@@ -191,16 +225,19 @@ impl Cache {
         victim.valid = true;
         victim.dirty = is_store;
         victim.lru_stamp = self.tick;
+        // The filled way is the new most-recent line; this also retires any
+        // stale MRU entry that aliased the evicted slot.
+        self.mru_line = u64::from(line);
+        self.mru_way = (base + pos) as u32;
         Lookup::Miss { writeback }
     }
 
     /// Checks whether the line containing `addr` is resident, without
     /// updating any state.
     pub fn probe(&self, addr: u32) -> bool {
-        let line = addr / self.config.line_bytes;
-        let sets = self.config.sets();
-        let set = (line & (sets - 1)) as usize;
-        let tag = line / sets;
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_shift;
         let ways = self.config.ways as usize;
         self.ways[set * ways..(set + 1) * ways]
             .iter()
@@ -215,6 +252,8 @@ impl Cache {
         }
         self.tick = 0;
         self.stats = CacheStats::default();
+        self.mru_line = u64::MAX;
+        self.mru_way = 0;
     }
 }
 

@@ -1,16 +1,34 @@
 //! The functional, flat 32-bit address space.
 
-use std::collections::HashMap;
+use std::cell::Cell;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// Fan-out of each page-directory level: 10 + 10 + 12 = 32 address bits.
+const DIR_SHIFT: u32 = 10;
+const DIR_FAN: usize = 1 << DIR_SHIFT;
+const DIR_MASK: u32 = (DIR_FAN as u32) - 1;
+
+/// Sentinel slot meaning "page not resident".
+const NO_PAGE: u32 = u32::MAX;
 
 /// A sparse, byte-addressed, little-endian 32-bit memory.
 ///
 /// Pages are allocated lazily on first write; reads of untouched memory
 /// return zero. This is the *architectural* state — timing is modelled
 /// separately by [`MemSystem`](crate::MemSystem).
+///
+/// # Design
+///
+/// This sits on the simulator's hottest path (every lane byte of every
+/// SIMT load/store), so the page table is a **two-level flat directory**
+/// rather than a hash map: the top level splits the 20-bit page number
+/// into a 10-bit directory index and a 10-bit leaf index, and each leaf
+/// holds `u32` slots into a page arena. A single-entry last-translation
+/// cache short-circuits the directory walk entirely for the common case
+/// of consecutive accesses landing in one page.
 ///
 /// # Examples
 ///
@@ -21,15 +39,30 @@ const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
 /// assert_eq!(mem.read_f32(0x100), 1.5);
 /// assert_eq!(mem.read_u32(0xDEAD_0000), 0); // untouched reads as zero
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct MainMemory {
-    pages: HashMap<u32, Box<[u8]>>,
+    /// Top-level directory; each leaf maps 1024 page numbers to arena slots.
+    dir: Vec<Option<Box<[u32; DIR_FAN]>>>,
+    /// Page arena; slot indices come from the directory leaves.
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    /// Last successful translation: `(page_number, arena_slot)`, or
+    /// `(NO_PAGE, _)` when empty. Interior mutability keeps `&self` reads
+    /// cheap without threading `&mut` through every accessor.
+    last: Cell<(u32, u32)>,
+}
+
+impl Default for MainMemory {
+    /// An empty memory. (Not derived: the derived `last` cell of `(0, 0)`
+    /// would claim page 0 resident in arena slot 0.)
+    fn default() -> Self {
+        MainMemory::new()
+    }
 }
 
 impl MainMemory {
     /// Creates an empty memory (all bytes zero).
     pub fn new() -> Self {
-        Self::default()
+        MainMemory { dir: Vec::new(), pages: Vec::new(), last: Cell::new((NO_PAGE, 0)) }
     }
 
     /// Number of resident (written) pages, for footprint diagnostics.
@@ -37,101 +70,226 @@ impl MainMemory {
         self.pages.len()
     }
 
+    /// Drops every page, returning the memory to the all-zero state. The
+    /// directory spine is kept allocated so a reused device does not
+    /// re-pay the allocation cost each campaign run.
+    pub fn clear(&mut self) {
+        for leaf in self.dir.iter_mut().flatten() {
+            leaf.fill(NO_PAGE);
+        }
+        self.pages.clear();
+        self.last.set((NO_PAGE, 0));
+    }
+
+    /// Arena slot of `page`, if resident (updates the translation cache).
+    #[inline]
+    fn lookup(&self, page: u32) -> Option<usize> {
+        let (last_page, last_slot) = self.last.get();
+        if last_page == page {
+            return Some(last_slot as usize);
+        }
+        let leaf = self.dir.get((page >> DIR_SHIFT) as usize)?.as_ref()?;
+        let slot = leaf[(page & DIR_MASK) as usize];
+        if slot == NO_PAGE {
+            return None;
+        }
+        self.last.set((page, slot));
+        Some(slot as usize)
+    }
+
+    /// Arena slot of `page`, allocating the page (and any missing
+    /// directory level) on demand.
+    fn lookup_or_alloc(&mut self, page: u32) -> usize {
+        let (last_page, last_slot) = self.last.get();
+        if last_page == page {
+            return last_slot as usize;
+        }
+        let hi = (page >> DIR_SHIFT) as usize;
+        if hi >= self.dir.len() {
+            self.dir.resize_with(hi + 1, || None);
+        }
+        let leaf = self.dir[hi].get_or_insert_with(|| Box::new([NO_PAGE; DIR_FAN]));
+        let entry = &mut leaf[(page & DIR_MASK) as usize];
+        if *entry == NO_PAGE {
+            self.pages.push(Box::new([0u8; PAGE_SIZE]));
+            *entry = (self.pages.len() - 1) as u32;
+        }
+        let slot = *entry;
+        self.last.set((page, slot));
+        slot as usize
+    }
+
+    /// The resident page containing `addr`, if any.
+    #[inline]
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
+        self.lookup(addr >> PAGE_SHIFT).map(|slot| &*self.pages[slot])
+    }
+
+    /// The page containing `addr`, allocated on demand.
+    #[inline]
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        let slot = self.lookup_or_alloc(addr >> PAGE_SHIFT);
+        &mut self.pages[slot]
+    }
+
     /// Reads one byte.
+    #[inline]
     pub fn read_u8(&self, addr: u32) -> u8 {
-        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+        match self.page(addr) {
             Some(page) => page[(addr & PAGE_MASK) as usize],
             None => 0,
         }
     }
 
     /// Writes one byte.
+    #[inline]
     pub fn write_u8(&mut self, addr: u32, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice());
-        page[(addr & PAGE_MASK) as usize] = value;
+        self.page_mut(addr)[(addr & PAGE_MASK) as usize] = value;
     }
 
     /// Reads a little-endian 16-bit value (no alignment requirement).
     pub fn read_u16(&self, addr: u32) -> u16 {
-        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+        if addr & PAGE_MASK <= PAGE_MASK - 1 {
+            match self.page(addr) {
+                Some(page) => {
+                    let off = (addr & PAGE_MASK) as usize;
+                    u16::from_le_bytes(page[off..off + 2].try_into().expect("2 bytes"))
+                }
+                None => 0,
+            }
+        } else {
+            u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+        }
     }
 
     /// Writes a little-endian 16-bit value.
     pub fn write_u16(&mut self, addr: u32, value: u16) {
-        let [b0, b1] = value.to_le_bytes();
-        self.write_u8(addr, b0);
-        self.write_u8(addr.wrapping_add(1), b1);
+        if addr & PAGE_MASK <= PAGE_MASK - 1 {
+            let off = (addr & PAGE_MASK) as usize;
+            self.page_mut(addr)[off..off + 2].copy_from_slice(&value.to_le_bytes());
+        } else {
+            let [b0, b1] = value.to_le_bytes();
+            self.write_u8(addr, b0);
+            self.write_u8(addr.wrapping_add(1), b1);
+        }
     }
 
     /// Reads a little-endian 32-bit value (no alignment requirement).
+    #[inline]
     pub fn read_u32(&self, addr: u32) -> u32 {
         if addr & PAGE_MASK <= PAGE_MASK - 3 {
             // Fast path: within one page.
-            if let Some(page) = self.pages.get(&(addr >> PAGE_SHIFT)) {
-                let off = (addr & PAGE_MASK) as usize;
-                return u32::from_le_bytes(page[off..off + 4].try_into().expect("4 bytes"));
+            match self.page(addr) {
+                Some(page) => {
+                    let off = (addr & PAGE_MASK) as usize;
+                    u32::from_le_bytes(page[off..off + 4].try_into().expect("4 bytes"))
+                }
+                None => 0,
             }
-            return 0;
+        } else {
+            u32::from_le_bytes([
+                self.read_u8(addr),
+                self.read_u8(addr.wrapping_add(1)),
+                self.read_u8(addr.wrapping_add(2)),
+                self.read_u8(addr.wrapping_add(3)),
+            ])
         }
-        u32::from_le_bytes([
-            self.read_u8(addr),
-            self.read_u8(addr.wrapping_add(1)),
-            self.read_u8(addr.wrapping_add(2)),
-            self.read_u8(addr.wrapping_add(3)),
-        ])
     }
 
     /// Writes a little-endian 32-bit value.
+    #[inline]
     pub fn write_u32(&mut self, addr: u32, value: u32) {
         if addr & PAGE_MASK <= PAGE_MASK - 3 {
-            let page = self
-                .pages
-                .entry(addr >> PAGE_SHIFT)
-                .or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice());
             let off = (addr & PAGE_MASK) as usize;
-            page[off..off + 4].copy_from_slice(&value.to_le_bytes());
-            return;
-        }
-        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), b);
+            self.page_mut(addr)[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        } else {
+            for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), b);
+            }
         }
     }
 
     /// Reads an IEEE-754 single-precision value.
+    #[inline]
     pub fn read_f32(&self, addr: u32) -> f32 {
         f32::from_bits(self.read_u32(addr))
     }
 
     /// Writes an IEEE-754 single-precision value.
+    #[inline]
     pub fn write_f32(&mut self, addr: u32, value: f32) {
         self.write_u32(addr, value.to_bits());
     }
 
+    /// Reads `dst.len()` bytes starting at `addr` into `dst`, one resident
+    /// page at a time.
+    pub fn read_bytes(&self, addr: u32, dst: &mut [u8]) {
+        let mut addr = addr;
+        let mut dst = dst;
+        while !dst.is_empty() {
+            let off = (addr & PAGE_MASK) as usize;
+            let take = dst.len().min(PAGE_SIZE - off);
+            let (head, rest) = dst.split_at_mut(take);
+            match self.page(addr) {
+                Some(page) => head.copy_from_slice(&page[off..off + take]),
+                None => head.fill(0),
+            }
+            dst = rest;
+            addr = addr.wrapping_add(take as u32);
+        }
+    }
+
+    /// Writes all of `src` starting at `addr`, one page at a time.
+    pub fn write_bytes(&mut self, addr: u32, src: &[u8]) {
+        let mut addr = addr;
+        let mut src = src;
+        while !src.is_empty() {
+            let off = (addr & PAGE_MASK) as usize;
+            let take = src.len().min(PAGE_SIZE - off);
+            let (head, rest) = src.split_at(take);
+            self.page_mut(addr)[off..off + take].copy_from_slice(head);
+            src = rest;
+            addr = addr.wrapping_add(take as u32);
+        }
+    }
+
     /// Writes a slice of 32-bit words starting at `addr`.
     pub fn write_u32_slice(&mut self, addr: u32, values: &[u32]) {
-        for (i, &v) in values.iter().enumerate() {
-            self.write_u32(addr + (i as u32) * 4, v);
+        // One bulk copy per page instead of one page walk per word.
+        let mut bytes = vec![0u8; values.len() * 4];
+        for (chunk, &v) in bytes.chunks_exact_mut(4).zip(values) {
+            chunk.copy_from_slice(&v.to_le_bytes());
         }
+        self.write_bytes(addr, &bytes);
     }
 
     /// Reads `len` 32-bit words starting at `addr`.
     pub fn read_u32_vec(&self, addr: u32, len: usize) -> Vec<u32> {
-        (0..len).map(|i| self.read_u32(addr + (i as u32) * 4)).collect()
+        let mut bytes = vec![0u8; len * 4];
+        self.read_bytes(addr, &mut bytes);
+        bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect()
     }
 
     /// Writes a slice of single-precision floats starting at `addr`.
     pub fn write_f32_slice(&mut self, addr: u32, values: &[f32]) {
-        for (i, &v) in values.iter().enumerate() {
-            self.write_f32(addr + (i as u32) * 4, v);
+        let mut bytes = vec![0u8; values.len() * 4];
+        for (chunk, &v) in bytes.chunks_exact_mut(4).zip(values) {
+            chunk.copy_from_slice(&v.to_bits().to_le_bytes());
         }
+        self.write_bytes(addr, &bytes);
     }
 
     /// Reads `len` single-precision floats starting at `addr`.
     pub fn read_f32_vec(&self, addr: u32, len: usize) -> Vec<f32> {
-        (0..len).map(|i| self.read_f32(addr + (i as u32) * 4)).collect()
+        let mut bytes = vec![0u8; len * 4];
+        self.read_bytes(addr, &mut bytes);
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
+            .collect()
     }
 }
 
@@ -168,6 +326,15 @@ mod tests {
     }
 
     #[test]
+    fn cross_page_u16() {
+        let mut m = MainMemory::new();
+        m.write_u16(0x2FFF, 0xA55A);
+        assert_eq!(m.read_u16(0x2FFF), 0xA55A);
+        assert_eq!(m.read_u8(0x2FFF), 0x5A);
+        assert_eq!(m.read_u8(0x3000), 0xA5);
+    }
+
+    #[test]
     fn float_roundtrip_preserves_bits() {
         let mut m = MainMemory::new();
         for v in [0.0f32, -0.0, 1.5, f32::INFINITY, f32::MIN_POSITIVE] {
@@ -194,5 +361,50 @@ mod tests {
         let m = MainMemory::new();
         assert_eq!(m.read_u32(12345), 0);
         assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn bulk_spans_many_pages() {
+        let mut m = MainMemory::new();
+        let data: Vec<u8> = (0..3 * PAGE_SIZE + 100).map(|i| i as u8).collect();
+        let base = 0x7FF0; // unaligned start, crosses several boundaries
+        m.write_bytes(base, &data);
+        let mut back = vec![0u8; data.len()];
+        m.read_bytes(base, &mut back);
+        assert_eq!(back, data);
+        // Reads straddling resident and untouched pages zero-fill the gap.
+        let mut tail = vec![0xFFu8; 64];
+        m.read_bytes(base + data.len() as u32 - 32, &mut tail);
+        assert_eq!(&tail[..32], &data[data.len() - 32..]);
+        assert!(tail[32..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn clear_empties_but_stays_usable() {
+        let mut m = MainMemory::new();
+        m.write_u32(0x1234, 77);
+        m.write_u32(0xFFFF_0000, 88);
+        m.clear();
+        assert_eq!(m.resident_pages(), 0);
+        assert_eq!(m.read_u32(0x1234), 0);
+        assert_eq!(m.read_u32(0xFFFF_0000), 0);
+        m.write_u32(0x1234, 99);
+        assert_eq!(m.read_u32(0x1234), 99);
+    }
+
+    #[test]
+    fn translation_cache_tracks_mutation() {
+        let mut m = MainMemory::new();
+        // Same page read-after-write through the cache.
+        m.write_u32(0x5000, 1);
+        assert_eq!(m.read_u32(0x5000), 1);
+        // Switch pages repeatedly; the single-entry cache must never serve
+        // stale slots.
+        for i in 0..10u32 {
+            m.write_u32(0x5000 + i * 0x1000, i);
+        }
+        for i in 0..10u32 {
+            assert_eq!(m.read_u32(0x5000 + i * 0x1000), i);
+        }
     }
 }

@@ -1,9 +1,10 @@
-//! Property tests of the memory subsystem: the cache timing model against
-//! a naive reference implementation, coalescing invariants, and channel
-//! scheduling monotonicity.
+//! Randomised tests of the memory subsystem: the cache timing model
+//! against a naive reference implementation, coalescing invariants,
+//! channel scheduling monotonicity, and the paged functional memory
+//! against a byte-map model. Seeds are fixed so failures reproduce.
 
-use proptest::prelude::*;
 use vortex_mem::{coalesce_lines, Cache, CacheConfig, DramChannel, DramConfig, MainMemory};
+use vortex_rng::Rng;
 
 /// A deliberately simple reference model of an LRU set-associative cache.
 struct RefCache {
@@ -41,57 +42,60 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The tag-array cache agrees hit-for-hit with the reference LRU model.
-    #[test]
-    fn cache_matches_reference_lru(addrs in proptest::collection::vec(0u32..4096, 1..300)) {
+/// The tag-array cache agrees hit-for-hit with the reference LRU model.
+#[test]
+fn cache_matches_reference_lru() {
+    let mut rng = Rng::seed_from_u64(0xCAC4E);
+    for _ in 0..256 {
         let config = CacheConfig { size_bytes: 512, ways: 2, line_bytes: 32 };
         let mut cache = Cache::new(config);
         let mut reference = RefCache::new(config);
-        for &addr in &addrs {
+        for _ in 0..rng.gen_range_usize(1, 300) {
+            let addr = rng.gen_range_u32(0, 4096);
             let model = cache.access(addr, false).is_hit();
             let expected = reference.access(addr);
-            prop_assert_eq!(model, expected, "divergence at address {:#x}", addr);
+            assert_eq!(model, expected, "divergence at address {addr:#x}");
         }
     }
+}
 
-    /// Coalescing covers every lane address with exactly one line, and
-    /// never produces more lines than lanes.
-    #[test]
-    fn coalescing_covers_all_lanes(
-        addrs in proptest::collection::vec(0u32..100_000, 1..32),
-        shift in 4u32..8,
-    ) {
-        let line = 1u32 << shift;
+/// Coalescing covers every lane address with exactly one line, and never
+/// produces more lines than lanes.
+#[test]
+fn coalescing_covers_all_lanes() {
+    let mut rng = Rng::seed_from_u64(0xC0A1);
+    for _ in 0..256 {
+        let line = 1u32 << rng.gen_range_u32(4, 8);
+        let addrs: Vec<u32> =
+            (0..rng.gen_range_usize(1, 32)).map(|_| rng.gen_range_u32(0, 100_000)).collect();
         let lines = coalesce_lines(addrs.iter().copied(), line);
-        prop_assert!(lines.len() <= addrs.len());
+        assert!(lines.len() <= addrs.len());
         for &addr in &addrs {
             let base = addr & !(line - 1);
-            prop_assert!(lines.as_slice().contains(&base), "lane {:#x} uncovered", addr);
+            assert!(lines.as_slice().contains(&base), "lane {addr:#x} uncovered");
         }
         // All produced lines are aligned and unique.
         let slice = lines.as_slice();
         for (i, &l) in slice.iter().enumerate() {
-            prop_assert_eq!(l % line, 0);
-            prop_assert!(!slice[i + 1..].contains(&l));
+            assert_eq!(l % line, 0);
+            assert!(!slice[i + 1..].contains(&l));
         }
     }
+}
 
-    /// DRAM accept times never go backwards for monotone request streams,
-    /// and aggregate throughput never exceeds channels/interval.
-    #[test]
-    fn dram_respects_bandwidth(
-        gaps in proptest::collection::vec(0u64..8, 1..200),
-        channels in 1u32..8,
-        interval in 1u64..6,
-    ) {
+/// DRAM accept times never go backwards for monotone request streams, and
+/// aggregate throughput never exceeds channels/interval.
+#[test]
+fn dram_respects_bandwidth() {
+    let mut rng = Rng::seed_from_u64(0xD4A);
+    for _ in 0..256 {
+        let channels = rng.gen_range_u32(1, 8);
+        let interval = rng.gen_range_u64(1, 6);
         let mut dram = DramChannel::new(DramConfig { latency: 10, interval, channels });
         let mut now = 0u64;
         let mut completions = Vec::new();
-        for gap in gaps {
-            now += gap;
+        for _ in 0..rng.gen_range_usize(1, 200) {
+            now += rng.gen_range_u64(0, 8);
             completions.push(dram.service(now));
         }
         completions.sort_unstable();
@@ -99,15 +103,19 @@ proptest! {
         // complete.
         let c = channels as usize;
         for w in completions.windows(c + 1) {
-            prop_assert!(w[c] - w[0] >= interval);
+            assert!(w[c] - w[0] >= interval);
         }
     }
+}
 
-    /// Functional memory behaves like a big byte array.
-    #[test]
-    fn memory_matches_hashmap_model(
-        writes in proptest::collection::vec((0u32..10_000, any::<u8>()), 1..200)
-    ) {
+/// Functional memory behaves like a big byte array.
+#[test]
+fn memory_matches_hashmap_model() {
+    let mut rng = Rng::seed_from_u64(0x4E4);
+    for _ in 0..256 {
+        let writes: Vec<(u32, u8)> = (0..rng.gen_range_usize(1, 200))
+            .map(|_| (rng.gen_range_u32(0, 10_000), rng.next_u32() as u8))
+            .collect();
         let mut mem = MainMemory::new();
         let mut model = std::collections::HashMap::new();
         for &(addr, value) in &writes {
@@ -115,7 +123,7 @@ proptest! {
             model.insert(addr, value);
         }
         for (&addr, &value) in &model {
-            prop_assert_eq!(mem.read_u8(addr), value);
+            assert_eq!(mem.read_u8(addr), value);
         }
         // Word reads assemble little-endian from the byte model.
         for &(addr, _) in writes.iter().take(20) {
@@ -125,7 +133,27 @@ proptest! {
                 *model.get(&(addr + 2)).unwrap_or(&0),
                 *model.get(&(addr + 3)).unwrap_or(&0),
             ]);
-            prop_assert_eq!(mem.read_u32(addr), expected);
+            assert_eq!(mem.read_u32(addr), expected);
         }
+    }
+}
+
+/// Bulk slice accessors agree with byte-at-a-time access, across page
+/// boundaries and page-cache state.
+#[test]
+fn bulk_accessors_match_scalar_paths() {
+    let mut rng = Rng::seed_from_u64(0xB17);
+    for _ in 0..64 {
+        let mut mem = MainMemory::new();
+        let base = rng.gen_range_u32(0, 50_000);
+        let n = rng.gen_range_usize(1, 3000);
+        let bytes: Vec<u8> = (0..n).map(|_| rng.next_u32() as u8).collect();
+        mem.write_bytes(base, &bytes);
+        for (i, &b) in bytes.iter().enumerate() {
+            assert_eq!(mem.read_u8(base + i as u32), b, "offset {i}");
+        }
+        let mut back = vec![0u8; n];
+        mem.read_bytes(base, &mut back);
+        assert_eq!(back, bytes);
     }
 }

@@ -1,0 +1,213 @@
+//! A small, dependency-free, deterministic PRNG.
+//!
+//! The build environment has no access to crates.io, so this crate stands
+//! in for the tiny slice of `rand` the workspace needs: seeded synthetic
+//! datasets (`vortex-kernels`) and randomised tests. The generator is
+//! **xoshiro256++** seeded through **splitmix64** — fast, well-studied,
+//! and stable across platforms, which is what matters here: every dataset
+//! and every randomised test derives from a fixed seed and must reproduce
+//! bit-identically forever.
+//!
+//! Not cryptographic. Do not use for anything security-relevant.
+//!
+//! # Examples
+//!
+//! ```
+//! use vortex_rng::Rng;
+//! let mut rng = Rng::seed_from_u64(42);
+//! let a = rng.gen_range_f32(-1.0, 1.0);
+//! assert!((-1.0..1.0).contains(&a));
+//! // Same seed, same stream.
+//! assert_eq!(Rng::seed_from_u64(7).next_u64(), Rng::seed_from_u64(7).next_u64());
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// The splitmix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256++ generator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `lo..hi` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        // Modulo reduction: the tiny bias is irrelevant for workload
+        // generation and tests, and keeps the stream layout simple.
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// A uniform value in `lo..hi` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.gen_range_u64(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// A uniform value in `lo..hi` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform value in `lo..=hi` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (i64::from(hi) - i64::from(lo)) as u64 + 1;
+        (i64::from(lo) + (self.next_u64() % span) as i64) as i32
+    }
+
+    /// A uniform `f32` in `lo..hi` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        // 24 high-quality mantissa bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 40) as f32 / (1u32 << 24) as f32;
+        lo + (hi - lo) * unit
+    }
+
+    /// A uniform `f64` in `lo..hi` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + (hi - lo) * unit
+    }
+
+    /// A fair coin flip.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose on empty slice");
+        &items[self.gen_range_usize(0, items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = (0..8).map({ let mut r = Rng::seed_from_u64(1); move |_| r.next_u64() }).collect();
+        let b: Vec<u64> = (0..8).map({ let mut r = Rng::seed_from_u64(1); move |_| r.next_u64() }).collect();
+        let c: Vec<u64> = (0..8).map({ let mut r = Rng::seed_from_u64(2); move |_| r.next_u64() }).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn known_answer_locks_the_stream_layout() {
+        // Golden values: changing the algorithm or seeding would silently
+        // change every seeded dataset in the workspace — fail loudly here.
+        let mut r = Rng::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 0x5317_5D61_490B_23DF);
+        assert_eq!(r.next_u64(), 0x61DA_6F3D_C380_D507);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = r.gen_range_u32(10, 20);
+            assert!((10..20).contains(&v));
+            let f = r.gen_range_f32(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i = r.gen_range_i32(-5, 5);
+            assert!((-5..=5).contains(&i));
+            let d = r.gen_range_f64(0.05, 1.0);
+            assert!((0.05..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_their_support() {
+        let mut r = Rng::seed_from_u64(4);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_range_usize(0, 10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn float_mean_is_roughly_central() {
+        let mut r = Rng::seed_from_u64(5);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| f64::from(r.gen_range_f32(0.0, 1.0))).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn choose_returns_members() {
+        let mut r = Rng::seed_from_u64(6);
+        let items = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(items.contains(r.choose(&items)));
+        }
+    }
+}

@@ -17,7 +17,11 @@ use crate::trace_api::{IssueEvent, TraceSink};
 use crate::warp::{WarpState, NEVER};
 
 /// Everything a core needs from the device while stepping.
-pub(crate) struct CoreCtx<'a, 'b> {
+///
+/// Generic over the trace sink so untraced runs (`S = NullSink`) are
+/// monomorphised with the trace hook compiled away entirely — no virtual
+/// dispatch on the per-instruction hot path.
+pub(crate) struct CoreCtx<'a, S: TraceSink + ?Sized> {
     pub code: &'a [Instr],
     pub code_base: u32,
     pub mem: &'a mut MainMemory,
@@ -26,9 +30,13 @@ pub(crate) struct CoreCtx<'a, 'b> {
     pub num_cores: usize,
     pub ipdom_depth: usize,
     pub counters: &'a mut DeviceCounters,
-    pub trace: Option<&'a mut (dyn TraceSink + 'b)>,
+    pub trace: Option<&'a mut S>,
     /// Latest completion time of any memory event (for drain accounting).
     pub horizon: &'a mut Cycle,
+    /// Cache-line size (hoisted from the memory system once per run).
+    pub line_bytes: u32,
+    /// L1 bank count (hoisted once per run; ≥ 1).
+    pub l1_banks: usize,
 }
 
 #[derive(Debug, Default)]
@@ -46,6 +54,34 @@ pub(crate) enum StepOutcome {
     Idle,
 }
 
+/// Cached scheduling state for one warp's *next* instruction, filled
+/// eagerly when the warp issues (or lazily on first examination), so a
+/// warp wakes exactly at its next issue cycle with the instruction already
+/// fetched and its register hazards already resolved.
+#[derive(Copy, Clone, Debug)]
+struct NextIssue {
+    /// The fetched instruction.
+    instr: Instr,
+    /// PC the cache was computed for; a mismatch (branch target rewrite,
+    /// respawn) invalidates it.
+    pc: u32,
+    /// Earliest issue cycle from warp-local state only (control gap and
+    /// register hazards). Warp-local state cannot change while the warp is
+    /// dormant, so this stays exact until the warp issues again.
+    t_local: Cycle,
+    /// Whether the instruction also contends for the memory port
+    /// (`mem_port_free` moves when *other* warps issue, so it is folded in
+    /// at wake time rather than cached).
+    is_mem: bool,
+    /// Whether the entry is usable at all.
+    valid: bool,
+}
+
+impl NextIssue {
+    const INVALID: NextIssue =
+        NextIssue { instr: Instr::Join, pc: 0, t_local: 0, is_mem: false, valid: false };
+}
+
 #[derive(Debug)]
 pub(crate) struct Core {
     id: usize,
@@ -53,6 +89,15 @@ pub(crate) struct Core {
     barriers: HashMap<u32, BarrierState>,
     last_issued: usize,
     mem_port_free: Cycle,
+    /// Per-warp lower bound on the next possible issue cycle (`NEVER` for
+    /// halted or barrier-blocked warps). Kept exact-or-early at every
+    /// scheduling-state transition, so the scheduler may skip any warp
+    /// with `warp_next[w] > now` without fetching or hazard-checking it —
+    /// the cached bound never exceeds the true earliest issue time, which
+    /// keeps cycle results bit-identical to the full rescan.
+    warp_next: Vec<Cycle>,
+    /// Per-warp pre-fetched next instruction and its hazard time.
+    next_issue: Vec<NextIssue>,
 }
 
 impl Core {
@@ -63,6 +108,8 @@ impl Core {
             barriers: HashMap::new(),
             last_issued: 0,
             mem_port_free: 0,
+            warp_next: vec![NEVER; warps],
+            next_issue: vec![NextIssue::INVALID; warps],
         }
     }
 
@@ -74,6 +121,14 @@ impl Core {
     pub fn start_warp(&mut self, w: usize, pc: u32, ready_at: Cycle) {
         let full = self.warps[w].full_mask();
         self.warps[w].start(pc, full, ready_at);
+        self.warp_next[w] = if self.warps[w].active { ready_at } else { NEVER };
+        self.next_issue[w].valid = false;
+    }
+
+    /// Earliest cached next-issue bound across warps (`NEVER` when no warp
+    /// is schedulable).
+    fn next_event(&self) -> Cycle {
+        self.warp_next.iter().copied().min().unwrap_or(NEVER)
     }
 
     pub fn any_active(&self) -> bool {
@@ -93,15 +148,16 @@ impl Core {
 
     pub fn reset(&mut self) {
         for w in &mut self.warps {
-            let threads = w.threads();
-            *w = WarpState::new(threads);
+            w.deactivate();
         }
         self.barriers.clear();
         self.last_issued = 0;
         self.mem_port_free = 0;
+        self.warp_next.fill(NEVER);
+        self.next_issue.fill(NextIssue::INVALID);
     }
 
-    fn fetch(&self, w: usize, ctx: &CoreCtx<'_, '_>) -> Result<Instr, SimError> {
+    fn fetch<S: TraceSink + ?Sized>(&self, w: usize, ctx: &CoreCtx<'_, S>) -> Result<Instr, SimError> {
         let pc = self.warps[w].pc;
         if pc < ctx.code_base || pc % 4 != 0 {
             return Err(SimError::UnmappedPc { core: self.id, warp: w, pc });
@@ -113,10 +169,11 @@ impl Core {
             .ok_or(SimError::UnmappedPc { core: self.id, warp: w, pc })
     }
 
-    /// Earliest cycle warp `w` could issue its next instruction, given
-    /// control gaps, register hazards and the memory-port structural
-    /// hazard.
-    fn earliest_issue(&self, w: usize, instr: Instr) -> Cycle {
+    /// Earliest cycle warp `w` could issue `instr` considering only
+    /// warp-local state: the control gap and register hazards. The
+    /// memory-port structural hazard is folded in by the caller (it moves
+    /// when *other* warps issue, so it cannot be cached per warp).
+    fn earliest_issue_local(&self, w: usize, instr: Instr) -> Cycle {
         let warp = &self.warps[w];
         let mut t = warp.ready_at;
         for src in instr.src_regs().into_iter().flatten() {
@@ -127,28 +184,98 @@ impl Core {
         if let Some(dst) = instr.dst_reg() {
             t = t.max(warp.busy_until[dst.dense_index()]);
         }
-        if instr.is_mem() {
-            t = t.max(self.mem_port_free);
-        }
         t
     }
 
+    /// The warp's fetched-and-hazard-checked next instruction, from the
+    /// cache when the warp's PC still matches, fetched on demand
+    /// otherwise. Returns the instruction and its earliest issue cycle.
+    fn next_for<S: TraceSink + ?Sized>(
+        &mut self,
+        w: usize,
+        ctx: &CoreCtx<'_, S>,
+    ) -> Result<(Instr, Cycle), SimError> {
+        let cached = self.next_issue[w];
+        if cached.valid && cached.pc == self.warps[w].pc {
+            let t = if cached.is_mem {
+                cached.t_local.max(self.mem_port_free)
+            } else {
+                cached.t_local
+            };
+            return Ok((cached.instr, t));
+        }
+        let instr = self.fetch(w, ctx)?;
+        let t_local = self.earliest_issue_local(w, instr);
+        let is_mem = instr.is_mem();
+        self.next_issue[w] =
+            NextIssue { instr, pc: self.warps[w].pc, t_local, is_mem, valid: true };
+        let t = if is_mem { t_local.max(self.mem_port_free) } else { t_local };
+        Ok((instr, t))
+    }
+
+    /// Eagerly prepares warp `w`'s next wake-up after it issued: fetch the
+    /// next instruction, resolve its hazards, and point `warp_next` at the
+    /// exact issue cycle so no intermediate scheduler steps are wasted. A
+    /// fetch failure is deliberately swallowed — the warp wakes at its
+    /// control-gap bound and the error surfaces on that scheduled scan.
+    /// Note this can report a fault a few cycles later than the seed
+    /// scheduler did (which fetched even not-yet-ready warps on every
+    /// step), and a `max_cycles` limit falling inside that gap yields
+    /// `CycleLimit` instead of the fetch fault. Only failing programs are
+    /// affected; successful runs are cycle-for-cycle identical.
+    fn refresh_after_issue<S: TraceSink + ?Sized>(&mut self, w: usize, ctx: &CoreCtx<'_, S>) {
+        if !self.warps[w].schedulable() {
+            return;
+        }
+        match self.fetch(w, ctx) {
+            Ok(instr) => {
+                let t_local = self.earliest_issue_local(w, instr);
+                let is_mem = instr.is_mem();
+                self.next_issue[w] =
+                    NextIssue { instr, pc: self.warps[w].pc, t_local, is_mem, valid: true };
+                // `mem_port_free` only grows, so folding today's value in
+                // keeps `warp_next` a valid lower bound.
+                self.warp_next[w] =
+                    if is_mem { t_local.max(self.mem_port_free) } else { t_local };
+            }
+            Err(_) => {
+                self.next_issue[w].valid = false;
+                self.warp_next[w] = self.warps[w].ready_at;
+            }
+        }
+    }
+
     /// Attempts to issue one instruction at cycle `now`.
-    pub fn step(&mut self, now: Cycle, ctx: &mut CoreCtx<'_, '_>) -> Result<StepOutcome, SimError> {
+    ///
+    /// Warps whose cached [`warp_next`](Core::warp_next) bound lies in the
+    /// future are skipped without a fetch or hazard check; the bound is
+    /// refreshed whenever a warp is actually examined, so repeated steps
+    /// while every warp waits on long latencies cost one `u64` compare per
+    /// warp instead of a full rescan.
+    pub fn step<S: TraceSink + ?Sized>(
+        &mut self,
+        now: Cycle,
+        ctx: &mut CoreCtx<'_, S>,
+    ) -> Result<StepOutcome, SimError> {
         let n = self.warps.len();
-        let mut earliest: Option<Cycle> = None;
+        let mut earliest: Cycle = NEVER;
         for i in 1..=n {
             let w = (self.last_issued + i) % n;
-            if !self.warps[w].schedulable() {
+            let bound = self.warp_next[w];
+            if bound > now {
+                earliest = earliest.min(bound);
                 continue;
             }
-            let instr = self.fetch(w, ctx)?;
-            let t = self.earliest_issue(w, instr);
+            let (instr, t) = self.next_for(w, ctx)?;
             if t <= now {
                 self.issue(w, instr, now, ctx)?;
                 self.last_issued = w;
-                return if self.warps.iter().any(|x| x.schedulable()) {
-                    Ok(StepOutcome::Issued(now + 1))
+                self.refresh_after_issue(w, ctx);
+                let next = self.next_event();
+                return if next != NEVER {
+                    // One issue per core per cycle; beyond that, resume at
+                    // the earliest time any warp could possibly issue.
+                    Ok(StepOutcome::Issued(next.max(now + 1)))
                 } else if self.warps.iter().any(|x| x.active) {
                     // Only barrier-blocked warps remain.
                     Err(SimError::BarrierDeadlock { cycle: now })
@@ -156,24 +283,25 @@ impl Core {
                     Ok(StepOutcome::Idle)
                 };
             }
-            earliest = Some(earliest.map_or(t, |e: Cycle| e.min(t)));
+            self.warp_next[w] = t;
+            earliest = earliest.min(t);
         }
-        match earliest {
-            Some(t) => Ok(StepOutcome::Waiting(t)),
-            None if self.warps.iter().any(|x| x.active) => {
-                Err(SimError::BarrierDeadlock { cycle: now })
-            }
-            None => Ok(StepOutcome::Idle),
+        if earliest != NEVER {
+            Ok(StepOutcome::Waiting(earliest))
+        } else if self.warps.iter().any(|x| x.active) {
+            Err(SimError::BarrierDeadlock { cycle: now })
+        } else {
+            Ok(StepOutcome::Idle)
         }
     }
 
     /// Executes `instr` for warp `w` at cycle `now`.
-    fn issue(
+    fn issue<S: TraceSink + ?Sized>(
         &mut self,
         w: usize,
         instr: Instr,
         now: Cycle,
-        ctx: &mut CoreCtx<'_, '_>,
+        ctx: &mut CoreCtx<'_, S>,
     ) -> Result<(), SimError> {
         let pc = self.warps[w].pc;
         let tmask = self.warps[w].tmask;
@@ -181,68 +309,77 @@ impl Core {
         ctx.counters.instructions += 1;
         ctx.counters.lane_instructions += u64::from(tmask.count_ones());
         ctx.counters.classes.record(instr.exec_class());
-        if let Some(sink) = ctx.trace.as_deref_mut() {
+        if let Some(sink) = ctx.trace.as_mut() {
             sink.on_issue(&IssueEvent { cycle: now, core: self.id, warp: w, pc, tmask, instr });
         }
 
-        let timing = *ctx.timing;
+        let timing = ctx.timing;
         let mut next_pc = pc.wrapping_add(4);
         let mut halted = false;
 
+        // Each arm hoists one `&mut` borrow of its warp (`wp`): repeated
+        // `self.warps[w]` indexing inside per-lane loops costs a bounds
+        // check and a struct-stride multiply per register access, which
+        // measurably dominates the interpreter on wide warps.
         macro_rules! lanes {
-            () => {
-                (0..self.warps[w].threads()).filter(|&l| tmask & (1 << l) != 0)
+            ($wp:expr) => {
+                (0..$wp.threads()).filter(|&l| tmask & (1 << l) != 0)
             };
         }
         macro_rules! wb_int {
-            ($rd:expr, $lat:expr) => {
+            ($wp:expr, $rd:expr, $lat:expr) => {
                 if !$rd.is_zero() {
-                    self.warps[w].busy_until[$rd.num() as usize] = now + $lat;
+                    $wp.busy_until[$rd.num() as usize] = now + $lat;
                 }
             };
         }
         macro_rules! wb_fp {
-            ($rd:expr, $lat:expr) => {
-                self.warps[w].busy_until[32 + $rd.num() as usize] = now + $lat;
+            ($wp:expr, $rd:expr, $lat:expr) => {
+                $wp.busy_until[32 + $rd.num() as usize] = now + $lat;
             };
         }
 
         match instr {
             Instr::Lui { rd, imm } => {
-                for lane in lanes!() {
-                    self.warps[w].set_ireg(lane, rd, imm as u32);
+                let wp = &mut self.warps[w];
+                for lane in lanes!(wp) {
+                    wp.set_ireg(lane, rd, imm as u32);
                 }
-                wb_int!(rd, timing.alu);
+                wb_int!(wp, rd, timing.alu);
             }
             Instr::Auipc { rd, imm } => {
                 let v = pc.wrapping_add(imm as u32);
-                for lane in lanes!() {
-                    self.warps[w].set_ireg(lane, rd, v);
+                let wp = &mut self.warps[w];
+                for lane in lanes!(wp) {
+                    wp.set_ireg(lane, rd, v);
                 }
-                wb_int!(rd, timing.alu);
+                wb_int!(wp, rd, timing.alu);
             }
             Instr::Jal { rd, offset } => {
                 let link = pc.wrapping_add(4);
-                for lane in lanes!() {
-                    self.warps[w].set_ireg(lane, rd, link);
+                let wp = &mut self.warps[w];
+                for lane in lanes!(wp) {
+                    wp.set_ireg(lane, rd, link);
                 }
-                wb_int!(rd, timing.alu);
+                wb_int!(wp, rd, timing.alu);
                 next_pc = pc.wrapping_add(offset as u32);
             }
             Instr::Jalr { rd, rs1, offset } => {
                 let base = self.uniform(w, rs1, pc)?;
                 let link = pc.wrapping_add(4);
-                for lane in lanes!() {
-                    self.warps[w].set_ireg(lane, rd, link);
+                let wp = &mut self.warps[w];
+                for lane in lanes!(wp) {
+                    wp.set_ireg(lane, rd, link);
                 }
-                wb_int!(rd, timing.alu);
+                wb_int!(wp, rd, timing.alu);
                 next_pc = base.wrapping_add(offset as u32) & !1;
             }
             Instr::Branch { op, rs1, rs2, offset } => {
                 let mut cond: Option<bool> = None;
-                for lane in lanes!() {
-                    let a = self.warps[w].ireg(lane, rs1);
-                    let b = self.warps[w].ireg(lane, rs2);
+                let wp = &self.warps[w];
+                for lane in lanes!(wp) {
+                    let a = wp.ireg(lane, rs1);
+                    let b = wp.ireg(lane, rs2);
                     let c = match op {
                         BranchOp::Eq => a == b,
                         BranchOp::Ne => a != b,
@@ -266,9 +403,10 @@ impl Core {
             Instr::Load { width, rd, rs1, offset } => {
                 let (bytes, _) = load_width_bytes(width);
                 let mut addrs = [0u32; 32];
-                for lane in lanes!() {
-                    let addr = self.warps[w].ireg(lane, rs1).wrapping_add(offset as u32);
-                    if addr % bytes != 0 {
+                let wp = &mut self.warps[w];
+                for lane in lanes!(wp) {
+                    let addr = wp.ireg(lane, rs1).wrapping_add(offset as u32);
+                    if addr & (bytes - 1) != 0 {
                         return Err(SimError::MisalignedAccess { pc, addr, align: bytes });
                     }
                     let raw = match width {
@@ -278,7 +416,7 @@ impl Core {
                         LoadWidth::HalfU => ctx.mem.read_u16(addr) as u32,
                         LoadWidth::Word => ctx.mem.read_u32(addr),
                     };
-                    self.warps[w].set_ireg(lane, rd, raw);
+                    wp.set_ireg(lane, rd, raw);
                     addrs[lane] = addr;
                 }
                 let completion = self.memory_access(w, &addrs, tmask, false, now, ctx);
@@ -293,12 +431,13 @@ impl Core {
                     StoreWidth::Word => LoadWidth::Word,
                 });
                 let mut addrs = [0u32; 32];
-                for lane in lanes!() {
-                    let addr = self.warps[w].ireg(lane, rs1).wrapping_add(offset as u32);
-                    if addr % bytes != 0 {
+                let wp = &self.warps[w];
+                for lane in lanes!(wp) {
+                    let addr = wp.ireg(lane, rs1).wrapping_add(offset as u32);
+                    if addr & (bytes - 1) != 0 {
                         return Err(SimError::MisalignedAccess { pc, addr, align: bytes });
                     }
-                    let v = self.warps[w].ireg(lane, rs2);
+                    let v = wp.ireg(lane, rs2);
                     match width {
                         StoreWidth::Byte => ctx.mem.write_u8(addr, v as u8),
                         StoreWidth::Half => ctx.mem.write_u16(addr, v as u16),
@@ -309,26 +448,28 @@ impl Core {
                 self.memory_access(w, &addrs, tmask, true, now, ctx);
             }
             Instr::OpImm { op, rd, rs1, imm } => {
-                for lane in lanes!() {
-                    let a = self.warps[w].ireg(lane, rs1);
+                let wp = &mut self.warps[w];
+                for lane in lanes!(wp) {
+                    let a = wp.ireg(lane, rs1);
                     let v = alu_imm(op, a, imm);
-                    self.warps[w].set_ireg(lane, rd, v);
+                    wp.set_ireg(lane, rd, v);
                 }
-                wb_int!(rd, timing.alu);
+                wb_int!(wp, rd, timing.alu);
             }
             Instr::Op { op, rd, rs1, rs2 } => {
-                for lane in lanes!() {
-                    let a = self.warps[w].ireg(lane, rs1);
-                    let b = self.warps[w].ireg(lane, rs2);
+                let wp = &mut self.warps[w];
+                for lane in lanes!(wp) {
+                    let a = wp.ireg(lane, rs1);
+                    let b = wp.ireg(lane, rs2);
                     let v = alu(op, a, b);
-                    self.warps[w].set_ireg(lane, rd, v);
+                    wp.set_ireg(lane, rd, v);
                 }
                 let lat = match instr.exec_class() {
                     ExecClass::Mul => timing.mul,
                     ExecClass::Div => timing.div,
                     _ => timing.alu,
                 };
-                wb_int!(rd, lat);
+                wb_int!(wp, rd, lat);
             }
             Instr::Fence => {}
             Instr::Ecall => return Err(SimError::Trap { pc, breakpoint: false }),
@@ -336,21 +477,33 @@ impl Core {
             Instr::Csr { op: _, rd, src, csr } => {
                 // All architectural CSRs are read-only; writes are ignored.
                 let _ = src;
-                for lane in lanes!() {
-                    let v = self.read_csr(csr, w, lane, now, ctx);
-                    self.warps[w].set_ireg(lane, rd, v);
+                if csr == csrs::THREAD_ID {
+                    let wp = &mut self.warps[w];
+                    for lane in lanes!(wp) {
+                        wp.set_ireg(lane, rd, lane as u32);
+                    }
+                    wb_int!(wp, rd, timing.alu);
+                } else {
+                    // Every other CSR is lane-invariant: resolve it once
+                    // and broadcast instead of re-matching per lane.
+                    let v = self.read_csr(csr, w, 0, now, ctx);
+                    let wp = &mut self.warps[w];
+                    for lane in lanes!(wp) {
+                        wp.set_ireg(lane, rd, v);
+                    }
+                    wb_int!(wp, rd, timing.alu);
                 }
-                wb_int!(rd, timing.alu);
             }
             Instr::Flw { rd, rs1, offset } => {
                 let mut addrs = [0u32; 32];
-                for lane in lanes!() {
-                    let addr = self.warps[w].ireg(lane, rs1).wrapping_add(offset as u32);
-                    if addr % 4 != 0 {
+                let wp = &mut self.warps[w];
+                for lane in lanes!(wp) {
+                    let addr = wp.ireg(lane, rs1).wrapping_add(offset as u32);
+                    if addr & 3 != 0 {
                         return Err(SimError::MisalignedAccess { pc, addr, align: 4 });
                     }
                     let bits = ctx.mem.read_u32(addr);
-                    self.warps[w].set_freg_bits(lane, rd, bits);
+                    wp.set_freg_bits(lane, rd, bits);
                     addrs[lane] = addr;
                 }
                 let completion = self.memory_access(w, &addrs, tmask, false, now, ctx);
@@ -358,65 +511,71 @@ impl Core {
             }
             Instr::Fsw { rs2, rs1, offset } => {
                 let mut addrs = [0u32; 32];
-                for lane in lanes!() {
-                    let addr = self.warps[w].ireg(lane, rs1).wrapping_add(offset as u32);
-                    if addr % 4 != 0 {
+                let wp = &self.warps[w];
+                for lane in lanes!(wp) {
+                    let addr = wp.ireg(lane, rs1).wrapping_add(offset as u32);
+                    if addr & 3 != 0 {
                         return Err(SimError::MisalignedAccess { pc, addr, align: 4 });
                     }
-                    let bits = self.warps[w].freg_bits(lane, rs2);
+                    let bits = wp.freg_bits(lane, rs2);
                     ctx.mem.write_u32(addr, bits);
                     addrs[lane] = addr;
                 }
                 self.memory_access(w, &addrs, tmask, true, now, ctx);
             }
             Instr::FpOp { op, rd, rs1, rs2 } => {
-                for lane in lanes!() {
-                    let a = self.warps[w].freg(lane, rs1);
-                    let b = self.warps[w].freg(lane, rs2);
+                let wp = &mut self.warps[w];
+                for lane in lanes!(wp) {
+                    let a = wp.freg(lane, rs1);
+                    let b = wp.freg(lane, rs2);
                     let v = fp_bin(op, a, b);
-                    self.warps[w].set_freg_bits(lane, rd, v);
+                    wp.set_freg_bits(lane, rd, v);
                 }
                 let lat = if matches!(op, FpBinOp::Div) { timing.fdiv } else { timing.fpu };
-                wb_fp!(rd, lat);
+                wb_fp!(wp, rd, lat);
             }
             Instr::FpFma { op, rd, rs1, rs2, rs3 } => {
-                for lane in lanes!() {
-                    let a = self.warps[w].freg(lane, rs1);
-                    let b = self.warps[w].freg(lane, rs2);
-                    let c = self.warps[w].freg(lane, rs3);
+                let wp = &mut self.warps[w];
+                for lane in lanes!(wp) {
+                    let a = wp.freg(lane, rs1);
+                    let b = wp.freg(lane, rs2);
+                    let c = wp.freg(lane, rs3);
                     let v = match op {
                         FmaOp::MAdd => a.mul_add(b, c),
                         FmaOp::MSub => a.mul_add(b, -c),
                         FmaOp::NMSub => (-a).mul_add(b, c),
                         FmaOp::NMAdd => (-a).mul_add(b, -c),
                     };
-                    self.warps[w].set_freg(lane, rd, v);
+                    wp.set_freg(lane, rd, v);
                 }
-                wb_fp!(rd, timing.fpu);
+                wb_fp!(wp, rd, timing.fpu);
             }
             Instr::FpSqrt { rd, rs1 } => {
-                for lane in lanes!() {
-                    let v = self.warps[w].freg(lane, rs1).sqrt();
-                    self.warps[w].set_freg(lane, rd, v);
+                let wp = &mut self.warps[w];
+                for lane in lanes!(wp) {
+                    let v = wp.freg(lane, rs1).sqrt();
+                    wp.set_freg(lane, rd, v);
                 }
-                wb_fp!(rd, timing.fsqrt);
+                wb_fp!(wp, rd, timing.fsqrt);
             }
             Instr::FpCmp { op, rd, rs1, rs2 } => {
-                for lane in lanes!() {
-                    let a = self.warps[w].freg(lane, rs1);
-                    let b = self.warps[w].freg(lane, rs2);
+                let wp = &mut self.warps[w];
+                for lane in lanes!(wp) {
+                    let a = wp.freg(lane, rs1);
+                    let b = wp.freg(lane, rs2);
                     let v = match op {
                         FpCmpOp::Eq => a == b,
                         FpCmpOp::Lt => a < b,
                         FpCmpOp::Le => a <= b,
                     };
-                    self.warps[w].set_ireg(lane, rd, v as u32);
+                    wp.set_ireg(lane, rd, v as u32);
                 }
-                wb_int!(rd, timing.fpu);
+                wb_int!(wp, rd, timing.fpu);
             }
             Instr::FpCvtToInt { signed, rd, rs1 } => {
-                for lane in lanes!() {
-                    let v = self.warps[w].freg(lane, rs1);
+                let wp = &mut self.warps[w];
+                for lane in lanes!(wp) {
+                    let v = wp.freg(lane, rs1);
                     let bits = if signed {
                         if v.is_nan() {
                             i32::MAX as u32
@@ -428,43 +587,48 @@ impl Core {
                     } else {
                         v as u32
                     };
-                    self.warps[w].set_ireg(lane, rd, bits);
+                    wp.set_ireg(lane, rd, bits);
                 }
-                wb_int!(rd, timing.fpu);
+                wb_int!(wp, rd, timing.fpu);
             }
             Instr::FpCvtFromInt { signed, rd, rs1 } => {
-                for lane in lanes!() {
-                    let raw = self.warps[w].ireg(lane, rs1);
+                let wp = &mut self.warps[w];
+                for lane in lanes!(wp) {
+                    let raw = wp.ireg(lane, rs1);
                     let v = if signed { raw as i32 as f32 } else { raw as f32 };
-                    self.warps[w].set_freg(lane, rd, v);
+                    wp.set_freg(lane, rd, v);
                 }
-                wb_fp!(rd, timing.fpu);
+                wb_fp!(wp, rd, timing.fpu);
             }
             Instr::FpMvToInt { rd, rs1 } => {
-                for lane in lanes!() {
-                    let bits = self.warps[w].freg_bits(lane, rs1);
-                    self.warps[w].set_ireg(lane, rd, bits);
+                let wp = &mut self.warps[w];
+                for lane in lanes!(wp) {
+                    let bits = wp.freg_bits(lane, rs1);
+                    wp.set_ireg(lane, rd, bits);
                 }
-                wb_int!(rd, timing.fpu);
+                wb_int!(wp, rd, timing.fpu);
             }
             Instr::FpMvFromInt { rd, rs1 } => {
-                for lane in lanes!() {
-                    let bits = self.warps[w].ireg(lane, rs1);
-                    self.warps[w].set_freg_bits(lane, rd, bits);
+                let wp = &mut self.warps[w];
+                for lane in lanes!(wp) {
+                    let bits = wp.ireg(lane, rs1);
+                    wp.set_freg_bits(lane, rd, bits);
                 }
-                wb_fp!(rd, timing.fpu);
+                wb_fp!(wp, rd, timing.fpu);
             }
             Instr::FpClass { rd, rs1 } => {
-                for lane in lanes!() {
-                    let v = self.warps[w].freg(lane, rs1);
-                    self.warps[w].set_ireg(lane, rd, fclass(v));
+                let wp = &mut self.warps[w];
+                for lane in lanes!(wp) {
+                    let v = wp.freg(lane, rs1);
+                    wp.set_ireg(lane, rd, fclass(v));
                 }
-                wb_int!(rd, timing.fpu);
+                wb_int!(wp, rd, timing.fpu);
             }
             Instr::Tmc { rs1 } => {
                 let mask = self.uniform(w, rs1, pc)? & self.warps[w].full_mask();
                 if mask == 0 {
                     self.warps[w].halt();
+                    self.warp_next[w] = NEVER;
                     halted = true;
                 } else {
                     self.warps[w].tmask = mask;
@@ -483,6 +647,10 @@ impl Core {
                     if i != w {
                         let full = self.warps[i].full_mask();
                         self.warps[i].start(target, full, now + timing.wspawn);
+                        self.warp_next[i] = now + timing.wspawn;
+                        // Respawn resets scheduling state; a cached entry
+                        // could alias the same PC with stale hazards.
+                        self.next_issue[i].valid = false;
                     }
                 }
             }
@@ -491,8 +659,9 @@ impl Core {
                     return Err(SimError::IpdomOverflow { pc });
                 }
                 let mut taken = 0u32;
-                for lane in lanes!() {
-                    if self.warps[w].ireg(lane, rs1) != 0 {
+                let wp = &self.warps[w];
+                for lane in lanes!(wp) {
+                    if wp.ireg(lane, rs1) != 0 {
                         taken |= 1 << lane;
                     }
                 }
@@ -534,6 +703,8 @@ impl Core {
                     for rw in released.arrived {
                         self.warps[rw].at_barrier = None;
                         self.warps[rw].ready_at = now + timing.barrier;
+                        self.warp_next[rw] = now + timing.barrier;
+                        self.next_issue[rw].valid = false;
                     }
                     // `self` (warp w) is among the released warps.
                     self.warps[w].pc = next_pc;
@@ -541,14 +712,16 @@ impl Core {
                 } else {
                     self.warps[w].at_barrier = Some(id);
                     self.warps[w].ready_at = NEVER;
+                    self.warp_next[w] = NEVER;
                     self.warps[w].pc = next_pc;
                     return Ok(());
                 }
             }
             Instr::Vote { op, rd, rs1 } => {
+                let wp = &mut self.warps[w];
                 let mut ballot = 0u32;
-                for lane in lanes!() {
-                    if self.warps[w].ireg(lane, rs1) != 0 {
+                for lane in lanes!(wp) {
+                    if wp.ireg(lane, rs1) != 0 {
                         ballot |= 1 << lane;
                     }
                 }
@@ -557,10 +730,10 @@ impl Core {
                     VoteOp::All => u32::from(ballot == tmask),
                     VoteOp::Ballot => ballot,
                 };
-                for lane in lanes!() {
-                    self.warps[w].set_ireg(lane, rd, result);
+                for lane in lanes!(wp) {
+                    wp.set_ireg(lane, rd, result);
                 }
-                wb_int!(rd, timing.alu);
+                wb_int!(wp, rd, timing.alu);
             }
         }
 
@@ -569,24 +742,37 @@ impl Core {
             let gap = if taken && instr.is_control() { 1 + timing.branch_bubble } else { 1 };
             self.warps[w].pc = next_pc;
             self.warps[w].ready_at = now + gap;
+            // `ready_at` ignores the next instruction's register hazards,
+            // so it is a valid (early) lower bound for the skip cache.
+            self.warp_next[w] = now + gap;
         }
         Ok(())
     }
 
     /// Coalesces and submits the line requests of one SIMT memory
     /// instruction. Returns the completion cycle of the last line.
-    fn memory_access(
+    fn memory_access<S: TraceSink + ?Sized>(
         &mut self,
         _w: usize,
         addrs: &[u32; 32],
         tmask: u32,
         is_store: bool,
         now: Cycle,
-        ctx: &mut CoreCtx<'_, '_>,
+        ctx: &mut CoreCtx<'_, S>,
     ) -> Cycle {
-        let line_bytes = ctx.memsys.line_bytes();
-        let banks = ctx.memsys.config().l1_banks.max(1) as usize;
-        let lanes = (0..32).filter(|&l| tmask & (1 << l) != 0).map(|l| addrs[l]);
+        let line_bytes = ctx.line_bytes;
+        let banks = ctx.l1_banks;
+        // Iterate set bits directly: cost scales with active lanes, not
+        // with the 32-lane SIMT width.
+        let mut mask = tmask;
+        let lanes = std::iter::from_fn(move || {
+            if mask == 0 {
+                return None;
+            }
+            let l = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            Some(addrs[l])
+        });
         let lines = coalesce_lines(lanes, line_bytes);
         let mut completion = now;
         for (i, line) in lines.as_slice().iter().enumerate() {
@@ -610,13 +796,13 @@ impl Core {
             .ok_or(SimError::NonUniformOperand { core: self.id, warp: w, pc })
     }
 
-    fn read_csr(
+    fn read_csr<S: TraceSink + ?Sized>(
         &self,
         csr: Csr,
         w: usize,
         lane: usize,
         now: Cycle,
-        ctx: &CoreCtx<'_, '_>,
+        ctx: &CoreCtx<'_, S>,
     ) -> u32 {
         match csr {
             c if c == csrs::THREAD_ID => lane as u32,

@@ -11,7 +11,7 @@ use crate::config::DeviceConfig;
 use crate::core::{Core, CoreCtx, StepOutcome};
 use crate::counters::DeviceCounters;
 use crate::error::SimError;
-use crate::trace_api::TraceSink;
+use crate::trace_api::{NullSink, TraceSink};
 
 /// A complete Vortex-like GPGPU device.
 ///
@@ -31,6 +31,11 @@ pub struct Device {
     mem: MainMemory,
     memsys: MemSystem,
     code: Vec<Instr>,
+    /// The raw word image of the loaded program, cached at
+    /// [`load_program`](Device::load_program) time so [`reset`](Device::reset)
+    /// re-materialises it with one bulk copy instead of re-encoding every
+    /// instruction.
+    code_words: Vec<u32>,
     code_base: u32,
     cycle: Cycle,
     horizon: Cycle,
@@ -51,6 +56,7 @@ impl Device {
             mem: MainMemory::new(),
             memsys: MemSystem::new(config.cores, config.mem),
             code: Vec::new(),
+            code_words: Vec::new(),
             code_base: 0,
             cycle: 0,
             horizon: 0,
@@ -68,6 +74,7 @@ impl Device {
     /// words are also written to main memory at the program's base).
     pub fn load_program(&mut self, program: &Program) {
         self.code = program.instrs().to_vec();
+        self.code_words = program.words().to_vec();
         self.code_base = program.entry();
         self.mem.write_u32_slice(program.entry(), program.words());
     }
@@ -123,6 +130,11 @@ impl Device {
     /// simulation error is detected. Returns the finish time (including
     /// memory drain).
     ///
+    /// An untraced run (`trace = None`) dispatches to the monomorphised
+    /// [`run_untraced`](Device::run_untraced) fast path automatically, so
+    /// callers holding a `dyn` option pay virtual dispatch only when a
+    /// sink is actually attached.
+    ///
     /// # Errors
     ///
     /// Returns a [`SimError`] describing the first fatal condition: an
@@ -131,7 +143,34 @@ impl Device {
     pub fn run<'a, 'b>(
         &mut self,
         limit: Cycle,
-        mut trace: Option<&'a mut (dyn TraceSink + 'b)>,
+        trace: Option<&'a mut (dyn TraceSink + 'b)>,
+    ) -> Result<Cycle, SimError> {
+        match trace {
+            Some(sink) => self.run_with(limit, Some(sink)),
+            None => self.run_untraced(limit),
+        }
+    }
+
+    /// [`run`](Device::run) without a trace sink, monomorphised against
+    /// [`NullSink`] — the per-issue trace hook compiles away entirely.
+    /// This is the path the 450-configuration campaigns take.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Device::run).
+    pub fn run_untraced(&mut self, limit: Cycle) -> Result<Cycle, SimError> {
+        self.run_with::<NullSink>(limit, None)
+    }
+
+    /// [`run`](Device::run), generic over the trace sink type.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Device::run).
+    pub fn run_with<S: TraceSink + ?Sized>(
+        &mut self,
+        limit: Cycle,
+        trace: Option<&mut S>,
     ) -> Result<Cycle, SimError> {
         let Device {
             config,
@@ -139,6 +178,7 @@ impl Device {
             mem,
             memsys,
             code,
+            code_words: _,
             code_base,
             cycle,
             horizon,
@@ -152,32 +192,78 @@ impl Device {
             }
         }
 
-        while let Some(Reverse((t, cid))) = heap.pop() {
-            if t > limit {
-                return Err(SimError::CycleLimit { limit });
-            }
-            *cycle = t;
-            let mut ctx = CoreCtx {
-                code,
-                code_base: *code_base,
-                mem,
-                memsys,
-                timing: &config.timing,
-                num_cores: config.cores,
-                ipdom_depth: config.ipdom_depth,
-                counters,
-                trace: trace.as_deref_mut(),
-                horizon,
-            };
-            match cores[cid].step(t, &mut ctx)? {
-                StepOutcome::Issued(next) | StepOutcome::Waiting(next) => {
-                    heap.push(Reverse((next, cid)));
+        // Cores due at the cycle being processed (ascending id, matching
+        // heap pop order), and their rescheduling times.
+        let mut batch: Vec<usize> = Vec::with_capacity(cores.len());
+        let mut requeue: Vec<(Cycle, usize)> = Vec::with_capacity(cores.len());
+
+        // One context for the whole run: it borrows device state disjoint
+        // from `cores`, so it does not need rebuilding per step.
+        let line_bytes = memsys.line_bytes();
+        let l1_banks = memsys.config().l1_banks.max(1) as usize;
+        let mut ctx = CoreCtx {
+            code,
+            code_base: *code_base,
+            mem: &mut *mem,
+            memsys: &mut *memsys,
+            timing: &config.timing,
+            num_cores: config.cores,
+            ipdom_depth: config.ipdom_depth,
+            counters: &mut *counters,
+            trace,
+            horizon: &mut *horizon,
+            line_bytes,
+            l1_banks,
+        };
+
+        'events: while let Some(Reverse((first_t, first_cid))) = heap.pop() {
+            let mut t = first_t;
+            batch.clear();
+            batch.push(first_cid);
+            // Batch every core scheduled for the same cycle: they are
+            // stepped back-to-back without interleaved heap traffic.
+            while let Some(&Reverse((t2, _))) = heap.peek() {
+                if t2 != t {
+                    break;
                 }
-                StepOutcome::Idle => {}
+                batch.push(heap.pop().expect("peeked").0 .1);
+            }
+            loop {
+                if t > limit {
+                    return Err(SimError::CycleLimit { limit });
+                }
+                *cycle = t;
+                requeue.clear();
+                for &cid in &batch {
+                    match cores[cid].step(t, &mut ctx)? {
+                        StepOutcome::Issued(next) | StepOutcome::Waiting(next) => {
+                            requeue.push((next, cid));
+                        }
+                        StepOutcome::Idle => {}
+                    }
+                }
+                // Hot-path: when every stepped core agrees on the same next
+                // cycle and nothing queued comes earlier, keep stepping this
+                // batch without touching the heap at all. Single-core
+                // devices never leave this loop.
+                let Some(&(next_t, _)) = requeue.first() else { continue 'events };
+                let uniform = requeue.iter().all(|&(n, _)| n == next_t);
+                let beats_heap = heap.peek().is_none_or(|&Reverse((t2, _))| next_t < t2);
+                if uniform && beats_heap {
+                    t = next_t;
+                    batch.clear();
+                    batch.extend(requeue.iter().map(|&(_, cid)| cid));
+                } else {
+                    for &(n, cid) in &requeue {
+                        heap.push(Reverse((n, cid)));
+                    }
+                    continue 'events;
+                }
             }
         }
 
         // Account for the final issue plus any in-flight memory traffic.
+        drop(ctx);
         *cycle = (*cycle + 1).max(*horizon);
         counters.finish_cycle = *cycle;
         Ok(*cycle)
@@ -199,25 +285,20 @@ impl Device {
     }
 
     /// Full reset: halts warps, clears memory contents, timing state,
-    /// counters and the clock. The loaded program is kept.
+    /// counters and the clock. The loaded program is kept and its image is
+    /// re-materialised from the words cached at load time — no
+    /// re-encoding, no reallocation of the memory spine — which makes a
+    /// reused device as cheap as the run it hosts.
     pub fn reset(&mut self) {
         for core in &mut self.cores {
             core.reset();
         }
-        self.mem = MainMemory::new();
+        self.mem.clear();
         self.memsys.reset();
         self.cycle = 0;
         self.horizon = 0;
         self.counters = DeviceCounters::default();
-        // Re-materialise the program image in memory.
-        let code_words: Vec<u32> = Vec::new();
-        let _ = code_words;
-        let words: Vec<u32> = self
-            .code
-            .iter()
-            .map(|&i| vortex_isa::encode(i).expect("loaded program re-encodes"))
-            .collect();
-        self.mem.write_u32_slice(self.code_base, &words);
+        self.mem.write_u32_slice(self.code_base, &self.code_words);
     }
 
     /// Direct read of a warp's architectural state (white-box testing and

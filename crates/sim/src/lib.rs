@@ -62,6 +62,6 @@ pub use counters::{ClassCounts, DeviceCounters};
 pub use device::Device;
 pub use error::SimError;
 pub use ipdom::IpdomEntry;
-pub use trace_api::{IssueEvent, TraceSink, VecTraceSink};
+pub use trace_api::{IssueEvent, NullSink, TraceSink, VecTraceSink};
 pub use vortex_mem::{Cycle, MemConfig, MemStats};
 pub use warp::WarpState;

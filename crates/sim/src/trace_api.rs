@@ -38,6 +38,20 @@ pub trait TraceSink {
     fn on_issue(&mut self, event: &IssueEvent);
 }
 
+/// The no-op sink: discards every event.
+///
+/// Untraced runs are monomorphised against this type (see
+/// [`Device::run_untraced`](crate::Device::run_untraced)), so the entire
+/// trace hook — virtual dispatch included — compiles away on the
+/// simulator's hot path.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn on_issue(&mut self, _event: &IssueEvent) {}
+}
+
 /// The trivial sink: collects every event into a vector.
 ///
 /// # Examples

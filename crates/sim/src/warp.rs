@@ -69,6 +69,21 @@ impl WarpState {
         }
     }
 
+    /// Deactivates the warp without touching its register file — the
+    /// architectural contract is that [`start`](WarpState::start) clears
+    /// registers on activation, so a dormant warp's stale contents are
+    /// never observable by executed code. Used by the device-level reset,
+    /// where re-zeroing every register of every warp (megabytes on large
+    /// topologies) would dominate short measurement runs.
+    pub fn deactivate(&mut self) {
+        self.pc = 0;
+        self.tmask = 0;
+        self.active = false;
+        self.at_barrier = None;
+        self.ready_at = NEVER;
+        self.ipdom.clear();
+    }
+
     /// (Re)starts the warp at `pc` with mask `tmask`, clearing registers,
     /// scoreboard and divergence state.
     pub fn start(&mut self, pc: u32, tmask: u32, ready_at: Cycle) {

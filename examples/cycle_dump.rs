@@ -1,0 +1,62 @@
+//! Dumps cycles, counters and memory statistics for a grid of
+//! (kernel, configuration, policy) runs. Used to check bit-identical
+//! timing across simulator implementations:
+//!
+//! ```text
+//! cargo run --release --example cycle_dump > cycles.txt
+//! ```
+
+use vortex_gpgpu::prelude::*;
+use vortex_kernels::{Kernel, KernelError, RunOutcome};
+
+fn kernels() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(VecAdd::new(128)),
+        Box::new(VecAdd::new(4096)),
+        Box::new(Relu::new(1000)),
+        Box::new(Saxpy::new(777)),
+        Box::new(Sgemm::new(24, 8, 16)),
+        Box::new(Gauss::new(24, 5)),
+        Box::new(Knn::new(500)),
+        Box::new(GcnAggr::new(64, 256, 8)),
+        Box::new(GcnLayer::new(64, 256, 8)),
+        Box::new(ResnetLayer::new(6, 4, 8, 2)),
+    ]
+}
+
+fn main() {
+    let configs: Vec<DeviceConfig> = ["1c2w4t", "1c4w8t", "2c2w2t", "4c8w16t", "3c5w7t", "16c16w16t"]
+        .iter()
+        .map(|s| s.parse().expect("valid topology"))
+        .collect();
+    for mut kernel in kernels() {
+        for config in &configs {
+            for policy in [LwsPolicy::Naive1, LwsPolicy::Fixed32, LwsPolicy::Auto] {
+                let out: Result<RunOutcome, KernelError> =
+                    run_kernel(kernel.as_mut(), config, policy);
+                match out {
+                    Ok(o) => {
+                        let c = o.reports.iter().map(|r| r.cycles).collect::<Vec<_>>();
+                        println!(
+                            "{} {} {} cycles={} phase_cycles={c:?} instr={} lanes={} mem={:?} util={:.12}",
+                            kernel.name(),
+                            config.topology_name(),
+                            policy,
+                            o.cycles,
+                            o.instructions,
+                            o.reports.iter().map(|r| r.instructions).sum::<u64>(),
+                            o.mem,
+                            o.dram_utilization,
+                        );
+                    }
+                    Err(e) => println!(
+                        "{} {} {} ERROR {e}",
+                        kernel.name(),
+                        config.topology_name(),
+                        policy
+                    ),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Cycle-golden regression tests: the perf-oriented simulator paths must
+//! not drift timing.
+//!
+//! The simulator has three run paths that must agree instruction-for-
+//! instruction and cycle-for-cycle:
+//!
+//! * the **traced** path (`dyn TraceSink`, used for Fig. 1),
+//! * the **untraced monomorphised** path (`NullSink`, used by the
+//!   450-configuration campaigns), and
+//! * the **reused-device** path (`Runtime::reset` between runs, used by
+//!   `run_campaign` so nothing is rebuilt per measurement).
+//!
+//! On top of the cross-path identity, a table of hard-coded golden finish
+//! cycles pins the absolute timing of representative runs, so a change
+//! that shifts *all* paths together still fails loudly.
+
+use vortex_gpgpu::prelude::*;
+use vortex_kernels::{run_kernel_prepared, Kernel};
+use vortex_sim::{DeviceCounters, MemStats};
+
+fn kernels() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(VecAdd::new(512)),
+        Box::new(Gauss::new(16, 5)),
+        Box::new(GcnAggr::new(48, 160, 4)),
+    ]
+}
+
+fn sweep_corner_configs() -> Vec<DeviceConfig> {
+    ["1c2w2t", "2c4w8t", "8c8w8t", "64c32w32t"]
+        .iter()
+        .map(|s| s.parse().expect("valid topology"))
+        .collect()
+}
+
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    cycles: u64,
+    phase_cycles: Vec<u64>,
+    lws: Vec<u32>,
+    counters_instructions: u64,
+    mem: MemStats,
+    dram_utilization_bits: u64,
+}
+
+fn fingerprint(outcome: &vortex_kernels::RunOutcome) -> Fingerprint {
+    Fingerprint {
+        cycles: outcome.cycles,
+        phase_cycles: outcome.reports.iter().map(|r| r.cycles).collect(),
+        lws: outcome.reports.iter().map(|r| r.lws).collect(),
+        counters_instructions: outcome.instructions,
+        mem: outcome.mem,
+        dram_utilization_bits: outcome.dram_utilization.to_bits(),
+    }
+}
+
+/// Traced (dyn-dispatch) and untraced (monomorphised) runs are identical
+/// in finish cycles, device counters and memory statistics.
+#[test]
+fn traced_and_untraced_paths_agree() {
+    for config in sweep_corner_configs() {
+        for policy in [LwsPolicy::Naive1, LwsPolicy::Fixed32, LwsPolicy::Auto] {
+            for mut kernel in kernels() {
+                let untraced = run_kernel(kernel.as_mut(), &config, policy)
+                    .unwrap_or_else(|e| panic!("{} {config} {policy}: {e}", kernel.name()));
+                let mut sink = VecTraceSink::new();
+                let traced =
+                    run_kernel_traced(kernel.as_mut(), &config, policy, Some(&mut sink))
+                        .unwrap_or_else(|e| panic!("{} {config} {policy}: {e}", kernel.name()));
+                assert_eq!(
+                    fingerprint(&untraced),
+                    fingerprint(&traced),
+                    "{} on {config} under {policy}: traced vs untraced drift",
+                    kernel.name()
+                );
+                // The traced run actually observed every issued instruction.
+                assert_eq!(
+                    sink.events().len() as u64,
+                    traced.instructions,
+                    "{} on {config} under {policy}: sink missed issues",
+                    kernel.name()
+                );
+            }
+        }
+    }
+}
+
+/// A runtime reused across runs via `reset()` (the campaign path) matches
+/// a freshly constructed device run-for-run.
+#[test]
+fn reused_runtime_matches_fresh_device() {
+    for config in sweep_corner_configs() {
+        for mut kernel in kernels() {
+            let program = kernel.build().expect("assembles");
+            let mut rt = vortex_core::Runtime::new(config);
+            rt.load_program(&program);
+            // Deliberately dirty the runtime with a different policy first.
+            run_kernel_prepared(kernel.as_mut(), &program, &mut rt, LwsPolicy::Fixed32)
+                .unwrap_or_else(|e| panic!("{} {config}: {e}", kernel.name()));
+            for policy in [LwsPolicy::Naive1, LwsPolicy::Auto] {
+                let reused =
+                    run_kernel_prepared(kernel.as_mut(), &program, &mut rt, policy)
+                        .unwrap_or_else(|e| panic!("{} {config} {policy}: {e}", kernel.name()));
+                let fresh = run_kernel(kernel.as_mut(), &config, policy)
+                    .unwrap_or_else(|e| panic!("{} {config} {policy}: {e}", kernel.name()));
+                assert_eq!(
+                    fingerprint(&reused),
+                    fingerprint(&fresh),
+                    "{} on {config} under {policy}: reused runtime drifted",
+                    kernel.name()
+                );
+            }
+        }
+    }
+}
+
+/// Device counters agree between a traced and an untraced raw device run
+/// (below the runtime layer, catching drift in `Device::run` itself).
+#[test]
+fn raw_device_counters_agree_across_paths() {
+    let mut kernel = VecAdd::new(256);
+    let program = kernel.build().expect("assembles");
+    let config: DeviceConfig = "2c2w4t".parse().unwrap();
+
+    let run = |traced: bool| -> (u64, DeviceCounters, MemStats) {
+        let mut rt = vortex_core::Runtime::new(config);
+        rt.load_program(&program);
+        let mut k = VecAdd::new(256);
+        if traced {
+            let mut sink = VecTraceSink::new();
+            run_kernel_traced(&mut k, &config, LwsPolicy::Auto, Some(&mut sink)).unwrap();
+        }
+        let outcome = run_kernel_prepared(&mut k, &program, &mut rt, LwsPolicy::Auto).unwrap();
+        (outcome.cycles, *rt.device().counters(), rt.device().mem_stats())
+    };
+    assert_eq!(run(false), run(true));
+}
+
+/// Absolute golden finish cycles for representative runs. These values
+/// were captured from the seed simulator (pre-optimisation) and verified
+/// bit-identical against the optimised engine; any future change that
+/// shifts them is a timing-semantics change and must be deliberate.
+#[test]
+fn golden_finish_cycles() {
+    let golden: &[(&str, &str, LwsPolicy, u64)] = &[
+        ("vecadd", "1c2w4t", LwsPolicy::Naive1, GOLDEN_VECADD_NAIVE),
+        ("vecadd", "1c2w4t", LwsPolicy::Auto, GOLDEN_VECADD_AUTO),
+        ("gauss", "2c4w8t", LwsPolicy::Auto, GOLDEN_GAUSS_AUTO),
+    ];
+    for &(name, topo, policy, expected) in golden {
+        let config: DeviceConfig = topo.parse().unwrap();
+        let mut kernel: Box<dyn Kernel> = match name {
+            "vecadd" => Box::new(VecAdd::new(512)),
+            "gauss" => Box::new(Gauss::new(16, 5)),
+            other => panic!("unknown golden kernel {other}"),
+        };
+        let outcome = run_kernel(kernel.as_mut(), &config, policy).unwrap();
+        assert_eq!(
+            outcome.cycles, expected,
+            "{name} on {topo} under {policy}: golden cycle drift"
+        );
+    }
+}
+
+// Captured once from the verified-identical engines (see test above).
+const GOLDEN_VECADD_NAIVE: u64 = 12846;
+const GOLDEN_VECADD_AUTO: u64 = 2574;
+const GOLDEN_GAUSS_AUTO: u64 = 1088;

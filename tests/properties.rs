@@ -1,105 +1,112 @@
-//! Property-based tests over the mapping and tuning invariants, plus
-//! randomised end-to-end correctness of the full stack.
+//! Randomised tests over the mapping and tuning invariants, plus
+//! randomised end-to-end correctness of the full stack. Seeds are fixed
+//! so failures reproduce exactly.
 
-use proptest::prelude::*;
 use vortex_gpgpu::prelude::*;
+use vortex_rng::Rng;
 
-fn arb_topology() -> impl Strategy<Value = DeviceConfig> {
-    (1usize..=8, 1usize..=8, 1usize..=16)
-        .prop_map(|(c, w, t)| DeviceConfig::with_topology(c, w, t))
+fn arb_topology(rng: &mut Rng) -> DeviceConfig {
+    DeviceConfig::with_topology(
+        rng.gen_range_usize(1, 9),
+        rng.gen_range_usize(1, 9),
+        rng.gen_range_usize(1, 17),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Every task id in 0..⌈gws/lws⌉ is covered by exactly one core range.
-    #[test]
-    fn mapping_covers_all_tasks(
-        gws in 1u32..100_000,
-        lws in 1u32..5_000,
-        config in arb_topology(),
-    ) {
+/// Every task id in 0..⌈gws/lws⌉ is covered by exactly one core range.
+#[test]
+fn mapping_covers_all_tasks() {
+    let mut rng = Rng::seed_from_u64(0x4AB_01);
+    for _ in 0..256 {
+        let gws = rng.gen_range_u32(1, 100_000);
+        let lws = rng.gen_range_u32(1, 5_000);
+        let config = arb_topology(&mut rng);
         let plan = WorkMapping::plan(gws, lws, &config);
-        prop_assert!(plan.verify_coverage());
+        assert!(plan.verify_coverage(), "gws={gws} lws={lws} {config}");
         let total: u32 = plan.core_ranges().iter().map(|r| r.task_end - r.task_base).sum();
-        prop_assert_eq!(total, plan.n_tasks());
-        prop_assert!(plan.active_cores() <= config.cores);
+        assert_eq!(total, plan.n_tasks());
+        assert!(plan.active_cores() <= config.cores);
     }
+}
 
-    /// Eq. 1 always produces a legal lws, and the scenario classification
-    /// is consistent with it.
-    #[test]
-    fn eq1_is_always_legal(
-        gws in 1u32..1_000_000,
-        config in arb_topology(),
-    ) {
+/// Eq. 1 always produces a legal lws, and the scenario classification is
+/// consistent with it.
+#[test]
+fn eq1_is_always_legal() {
+    let mut rng = Rng::seed_from_u64(0x4AB_02);
+    for _ in 0..256 {
+        let gws = rng.gen_range_u32(1, 1_000_000);
+        let config = arb_topology(&mut rng);
         let lws = LwsPolicy::Auto.lws_for(gws, &config);
-        prop_assert!(lws >= 1);
-        prop_assert!(lws <= gws);
+        assert!(lws >= 1);
+        assert!(lws <= gws);
         let hp = config.hardware_parallelism();
         if hp > u64::from(gws) {
-            prop_assert_eq!(lws, 1, "hp > gws must resolve to the naive mapping");
+            assert_eq!(lws, 1, "hp > gws must resolve to the naive mapping");
         }
         // Floor division: the task count always reaches the hardware.
         let n_tasks = u64::from(gws.div_ceil(lws));
-        prop_assert!(n_tasks >= hp.min(u64::from(gws)));
+        assert!(n_tasks >= hp.min(u64::from(gws)));
     }
+}
 
-    /// Rounds and tail utilisation are consistent.
-    #[test]
-    fn rounds_match_slot_arithmetic(
-        gws in 1u32..50_000,
-        lws in 1u32..2_000,
-        config in arb_topology(),
-    ) {
+/// Rounds and tail utilisation are consistent.
+#[test]
+fn rounds_match_slot_arithmetic() {
+    let mut rng = Rng::seed_from_u64(0x4AB_03);
+    for _ in 0..256 {
+        let gws = rng.gen_range_u32(1, 50_000);
+        let lws = rng.gen_range_u32(1, 2_000);
+        let config = arb_topology(&mut rng);
         let plan = WorkMapping::plan(gws, lws, &config);
         let slots = (config.warps * config.threads) as u32;
         for range in plan.core_ranges() {
             let rounds = (range.task_end - range.task_base).div_ceil(slots);
-            prop_assert!(rounds <= plan.rounds());
+            assert!(rounds <= plan.rounds());
         }
         let util = plan.tail_utilization();
-        prop_assert!((0.0..=1.0).contains(&util));
+        assert!((0.0..=1.0).contains(&util));
     }
 }
 
-proptest! {
-    // End-to-end device runs are expensive; keep the case count small.
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The full stack computes correct results for arbitrary sizes,
-    /// mappings and (small) topologies — verification happens inside
-    /// `run_kernel` against the host reference.
-    #[test]
-    fn randomized_end_to_end_correctness(
-        gws in 1u32..300,
-        lws in 1u32..64,
-        cores in 1usize..4,
-        warps in 1usize..4,
-        threads in 1usize..8,
-    ) {
-        let config = DeviceConfig::with_topology(cores, warps, threads);
+/// The full stack computes correct results for arbitrary sizes, mappings
+/// and (small) topologies — verification happens inside `run_kernel`
+/// against the host reference.
+#[test]
+fn randomized_end_to_end_correctness() {
+    let mut rng = Rng::seed_from_u64(0x4AB_04);
+    for case in 0..24 {
+        let gws = rng.gen_range_u32(1, 300);
+        let lws = rng.gen_range_u32(1, 64);
+        let config = DeviceConfig::with_topology(
+            rng.gen_range_usize(1, 4),
+            rng.gen_range_usize(1, 4),
+            rng.gen_range_usize(1, 8),
+        );
         let mut kernel = VecAdd::new(gws);
         run_kernel(&mut kernel, &config, LwsPolicy::Explicit(lws))
-            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            .unwrap_or_else(|e| panic!("case {case}: gws={gws} lws={lws} {config}: {e}"));
     }
+}
 
-    /// The auto policy is deterministic: same inputs, same lws, same cycles.
-    #[test]
-    fn auto_policy_is_deterministic(
-        gws in 1u32..300,
-        cores in 1usize..4,
-        warps in 1usize..4,
-        threads in 1usize..8,
-    ) {
-        let config = DeviceConfig::with_topology(cores, warps, threads);
+/// The auto policy is deterministic: same inputs, same lws, same cycles.
+#[test]
+fn auto_policy_is_deterministic() {
+    let mut rng = Rng::seed_from_u64(0x4AB_05);
+    for case in 0..24 {
+        let gws = rng.gen_range_u32(1, 300);
+        let config = DeviceConfig::with_topology(
+            rng.gen_range_usize(1, 4),
+            rng.gen_range_usize(1, 4),
+            rng.gen_range_usize(1, 8),
+        );
         let run = || {
             let mut kernel = Relu::new(gws);
             run_kernel(&mut kernel, &config, LwsPolicy::Auto)
                 .map(|o| (o.reports[0].lws, o.cycles))
         };
-        let a = run().map_err(|e| TestCaseError::fail(format!("{e}")))?;
-        let b = run().map_err(|e| TestCaseError::fail(format!("{e}")))?;
-        prop_assert_eq!(a, b);
+        let a = run().unwrap_or_else(|e| panic!("case {case}: {e}"));
+        let b = run().unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(a, b, "case {case}");
     }
 }
