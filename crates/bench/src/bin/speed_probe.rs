@@ -12,6 +12,25 @@
 //! With `--json PATH` the per-kernel wall times are also written as a
 //! machine-readable file; the committed `BENCH_*.json` baselines in the
 //! repository root are produced this way (see README).
+//!
+//! ## Sharding
+//!
+//! `--shard K/M` (1-based `K`) deterministically splits the configuration
+//! grid into `M` strided shards and measures only the `K`-th — the same
+//! grid is reassembled no matter how the shards are distributed over
+//! processes or CI jobs. Shard JSONs record their own measured counts and
+//! are recombined with `--merge`:
+//!
+//! ```text
+//! speed_probe --shard 1/2 --json s1.json   # process or CI job 1
+//! speed_probe --shard 2/2 --json s2.json   # process or CI job 2
+//! speed_probe --merge s1.json,s2.json --json BENCH.json
+//! ```
+//!
+//! A merged file sums per-kernel configuration counts and seconds
+//! (shards partition the grid, so sums reconstruct the full-grid cost),
+//! weights mean DRAM utilisation by configuration count, and sums the
+//! shard totals into `total_seconds`.
 
 use std::time::Instant;
 
@@ -20,9 +39,49 @@ use vortex_bench::{kernel_factories, paper_sweep, run_campaign, Scale};
 
 fn main() {
     let flags = Flags::from_env();
+
+    if let Some(inputs) = flags.get_list("merge") {
+        let Some(out) = flags.get_str("json") else {
+            eprintln!("--merge requires --json OUT for the merged file");
+            std::process::exit(2);
+        };
+        match merge_probe_files(&inputs) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(out, &json) {
+                    eprintln!("writing {out}: {e}");
+                    std::process::exit(1);
+                }
+                println!("merged {} shard files into {out}", inputs.len());
+            }
+            Err(e) => {
+                eprintln!("merge failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let jobs = flags.get_usize("jobs", default_jobs());
     let n = flags.get_usize("configs", 450);
-    let configs = vortex_bench::subsample(&paper_sweep(), n);
+    let mut configs = vortex_bench::subsample(&paper_sweep(), n);
+    let shard = flags.get_str("shard").map(|s| match parse_shard(s) {
+        Some(km) => km,
+        None => {
+            eprintln!("invalid --shard `{s}` (expected K/M with 1 <= K <= M)");
+            std::process::exit(2);
+        }
+    });
+    if let Some((k, m)) = shard {
+        // Strided split: deterministic, and every shard sees the same
+        // small-to-large topology spread (a prefix split would give one
+        // shard all the slow many-core configurations).
+        configs = configs
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i % m == k - 1)
+            .map(|(_, c)| c)
+            .collect();
+    }
     let scale = if flags.has("paper-scale") { Scale::Paper } else { Scale::Sweep };
     let wanted = flags.get_list("kernels");
     let mut rows: Vec<(&'static str, usize, f64, f64)> = Vec::new();
@@ -57,7 +116,7 @@ fn main() {
     println!("{:<13} total: {total:.2}s", "");
 
     if let Some(path) = flags.get_str("json") {
-        let json = render_json(&rows, n, jobs, total);
+        let json = render_json(&rows, configs.len(), jobs, total, shard);
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("writing {path}: {e}");
             std::process::exit(1);
@@ -66,12 +125,34 @@ fn main() {
     }
 }
 
+/// Parses `"K/M"` (1-based `K`).
+fn parse_shard(s: &str) -> Option<(usize, usize)> {
+    let (k, m) = s.split_once('/')?;
+    let (k, m) = (k.trim().parse().ok()?, m.trim().parse().ok()?);
+    if k >= 1 && k <= m {
+        Some((k, m))
+    } else {
+        None
+    }
+}
+
 /// Hand-rolled JSON (the build environment has no serde): a flat object
-/// that downstream tooling can diff across PRs.
-fn render_json(rows: &[(&str, usize, f64, f64)], configs: usize, jobs: usize, total: f64) -> String {
+/// that downstream tooling can diff across PRs. `configs` is the number
+/// of configurations this process actually measured (the shard's share
+/// when sharded).
+fn render_json(
+    rows: &[(&str, usize, f64, f64)],
+    configs: usize,
+    jobs: usize,
+    total: f64,
+    shard: Option<(usize, usize)>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"configs\": {configs},\n"));
+    if let Some((k, m)) = shard {
+        out.push_str(&format!("  \"shard\": \"{k}/{m}\",\n"));
+    }
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
     out.push_str("  \"kernels\": [\n");
@@ -84,4 +165,132 @@ fn render_json(rows: &[(&str, usize, f64, f64)], configs: usize, jobs: usize, to
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// One kernel row parsed back out of a probe JSON.
+struct KernelRow {
+    name: String,
+    configs: usize,
+    seconds: f64,
+    util: f64,
+}
+
+/// Minimal parser for the exact JSON this binary writes (no serde in the
+/// build environment). Extracts the scalar fields it needs by key.
+fn parse_probe_json(text: &str) -> Result<(usize, f64, Vec<KernelRow>), String> {
+    fn field<T: std::str::FromStr>(obj: &str, key: &str) -> Result<T, String> {
+        let pat = format!("\"{key}\":");
+        let at = obj.find(&pat).ok_or_else(|| format!("missing key {key}"))?;
+        let rest = obj[at + pat.len()..].trim_start();
+        let end = rest
+            .find(|c: char| c == ',' || c == '}' || c == '\n')
+            .unwrap_or(rest.len());
+        rest[..end]
+            .trim()
+            .trim_matches('"')
+            .parse()
+            .map_err(|_| format!("unparsable value for {key}"))
+    }
+
+    let jobs: usize = field(text, "jobs")?;
+    let total: f64 = field(text, "total_seconds")?;
+    let mut rows = Vec::new();
+    let kernels_at = text.find("\"kernels\"").ok_or("missing kernels array")?;
+    for obj in text[kernels_at..].split('{').skip(1) {
+        let obj = obj.split('}').next().unwrap_or("");
+        if !obj.contains("\"name\"") {
+            continue;
+        }
+        rows.push(KernelRow {
+            name: field(obj, "name")?,
+            configs: field(obj, "configs")?,
+            seconds: field(obj, "seconds")?,
+            util: field(obj, "mean_dram_utilization")?,
+        });
+    }
+    Ok((jobs, total, rows))
+}
+
+/// Merges shard probe JSONs (see the module docs for the semantics).
+fn merge_probe_files(paths: &[String]) -> Result<String, String> {
+    if paths.is_empty() {
+        return Err("no input files".into());
+    }
+    let mut jobs = 0usize;
+    let mut total = 0.0f64;
+    let mut merged: Vec<KernelRow> = Vec::new();
+    for path in paths {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let (j, t, rows) = parse_probe_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        jobs = jobs.max(j);
+        total += t;
+        for row in rows {
+            match merged.iter_mut().find(|m| m.name == row.name) {
+                Some(m) => {
+                    let n = (m.configs + row.configs) as f64;
+                    m.util = (m.util * m.configs as f64 + row.util * row.configs as f64) / n;
+                    m.configs += row.configs;
+                    m.seconds += row.seconds;
+                }
+                None => merged.push(row),
+            }
+        }
+    }
+    let configs = merged.iter().map(|m| m.configs).max().unwrap_or(0);
+    let rows: Vec<(&str, usize, f64, f64)> = merged
+        .iter()
+        .map(|m| (m.name.as_str(), m.configs, m.seconds, m.util))
+        .collect();
+    Ok(render_json(&rows, configs, jobs, total, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_spec_parses_and_rejects() {
+        assert_eq!(parse_shard("1/2"), Some((1, 2)));
+        assert_eq!(parse_shard("3/3"), Some((3, 3)));
+        assert_eq!(parse_shard("0/2"), None);
+        assert_eq!(parse_shard("4/3"), None);
+        assert_eq!(parse_shard("nope"), None);
+    }
+
+    #[test]
+    fn probe_json_roundtrips_through_the_parser() {
+        let rows = vec![("vecadd", 10, 1.5, 0.25), ("gauss", 10, 2.0, 0.10)];
+        let json = render_json(&rows, 10, 1, 3.5, Some((1, 2)));
+        let (jobs, total, parsed) = parse_probe_json(&json).unwrap();
+        assert_eq!(jobs, 1);
+        assert!((total - 3.5).abs() < 1e-9);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "vecadd");
+        assert_eq!(parsed[0].configs, 10);
+        assert!((parsed[1].seconds - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_disjoint_shards() {
+        let a = render_json(&[("vecadd", 6, 1.0, 0.2)], 6, 1, 1.0, Some((1, 2)));
+        let b = render_json(&[("vecadd", 4, 3.0, 0.4)], 4, 1, 3.0, Some((2, 2)));
+        let dir = std::env::temp_dir().join("speed_probe_merge_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (pa, pb) = (dir.join("a.json"), dir.join("b.json"));
+        std::fs::write(&pa, a).unwrap();
+        std::fs::write(&pb, b).unwrap();
+        let merged = merge_probe_files(&[
+            pa.to_string_lossy().into_owned(),
+            pb.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        let (_, total, rows) = parse_probe_json(&merged).unwrap();
+        assert!((total - 4.0).abs() < 1e-9);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].configs, 10);
+        assert!((rows[0].seconds - 4.0).abs() < 1e-9);
+        // util weighted by configs: (0.2*6 + 0.4*4) / 10 = 0.28
+        assert!((rows[0].util - 0.28).abs() < 1e-6);
+    }
 }

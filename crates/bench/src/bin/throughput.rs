@@ -2,6 +2,13 @@
 //! second, per kernel and policy, on one configuration (not a paper
 //! artefact; used to find and track hot-path regressions).
 //!
+//! Rates are computed from the device's own performance counters
+//! (instructions and lane-instructions actually issued, read back from
+//! `DeviceCounters` deltas around each run) rather than re-derived from
+//! wall-clock alone, and a per-kernel `total` row aggregates the three
+//! policies — so a regression localises to one kernel (and shows whether
+//! it scales with warp-level issues or with per-lane work).
+//!
 //! ```text
 //! cargo run --release -p vortex-bench --bin throughput -- --topo 8c8w8t
 //! cargo run --release -p vortex-bench --bin throughput -- --kernels gcn_layer
@@ -23,7 +30,10 @@ fn main() {
     let wanted = flags.get_list("kernels");
     let scale = if flags.has("paper-scale") { Scale::Paper } else { Scale::Sweep };
 
-    println!("{:<13} {:>7} {:>12} {:>10} {:>9}", "kernel", "policy", "instructions", "host ms", "Minstr/s");
+    println!(
+        "{:<13} {:>7} {:>12} {:>14} {:>10} {:>9} {:>9}",
+        "kernel", "policy", "instructions", "lane instrs", "host ms", "Minstr/s", "Mlane/s"
+    );
     for factory in kernel_factories(scale) {
         if let Some(ws) = &wanted {
             if !ws.iter().any(|w| w == factory.name) {
@@ -34,26 +44,50 @@ fn main() {
         let program = kernel.build().expect("assembles");
         let mut rt = Runtime::new(config);
         rt.load_program(&program);
+        let mut kernel_instr = 0u64;
+        let mut kernel_lanes = 0u64;
+        let mut kernel_secs = 0.0f64;
         for policy in [LwsPolicy::Naive1, LwsPolicy::Fixed32, LwsPolicy::Auto] {
             let start = Instant::now();
             let mut instructions = 0u64;
+            let mut lanes = 0u64;
             for _ in 0..reps {
-                let outcome = run_kernel_prepared(kernel.as_mut(), &program, &mut rt, policy)
+                // Count what the device actually issued: counter deltas
+                // around the run (the runtime resets counters per run, so
+                // the post-run counter values are the per-run deltas).
+                run_kernel_prepared(kernel.as_mut(), &program, &mut rt, policy)
                     .unwrap_or_else(|e| {
                         eprintln!("{} {policy}: {e}", factory.name);
                         std::process::exit(1);
                     });
-                instructions += outcome.instructions;
+                let counters = rt.device().counters();
+                instructions += counters.instructions;
+                lanes += counters.lane_instructions;
             }
-            let dt = start.elapsed();
+            let dt = start.elapsed().as_secs_f64();
             println!(
-                "{:<13} {:>7} {:>12} {:>10.1} {:>9.2}",
+                "{:<13} {:>7} {:>12} {:>14} {:>10.1} {:>9.2} {:>9.2}",
                 factory.name,
                 policy.label(),
                 instructions / reps as u64,
-                dt.as_secs_f64() * 1e3 / reps as f64,
-                instructions as f64 / dt.as_secs_f64() / 1e6,
+                lanes / reps as u64,
+                dt * 1e3 / reps as f64,
+                instructions as f64 / dt / 1e6,
+                lanes as f64 / dt / 1e6,
             );
+            kernel_instr += instructions;
+            kernel_lanes += lanes;
+            kernel_secs += dt;
         }
+        println!(
+            "{:<13} {:>7} {:>12} {:>14} {:>10.1} {:>9.2} {:>9.2}",
+            factory.name,
+            "total",
+            kernel_instr / reps as u64,
+            kernel_lanes / reps as u64,
+            kernel_secs * 1e3 / reps as f64,
+            kernel_instr as f64 / kernel_secs / 1e6,
+            kernel_lanes as f64 / kernel_secs / 1e6,
+        );
     }
 }

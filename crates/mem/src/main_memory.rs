@@ -253,6 +253,53 @@ impl MainMemory {
         }
     }
 
+    /// Reads `dst.len()` consecutive 32-bit words starting at the
+    /// 4-byte-aligned `addr` into `dst`, one resident page at a time —
+    /// the allocation-free bulk path behind the simulator's unit-stride
+    /// SIMT loads (one page walk per page instead of one per lane).
+    pub fn read_u32_into(&self, addr: u32, dst: &mut [u32]) {
+        debug_assert!(addr % 4 == 0, "word-aligned bulk read");
+        let mut addr = addr;
+        let mut dst = dst;
+        while !dst.is_empty() {
+            let off = (addr & PAGE_MASK) as usize;
+            let take = dst.len().min((PAGE_SIZE - off) / 4);
+            let (head, rest) = dst.split_at_mut(take);
+            match self.page(addr) {
+                Some(page) => {
+                    for (i, d) in head.iter_mut().enumerate() {
+                        let o = off + 4 * i;
+                        *d = u32::from_le_bytes(page[o..o + 4].try_into().expect("4 bytes"));
+                    }
+                }
+                None => head.fill(0),
+            }
+            dst = rest;
+            addr = addr.wrapping_add((take * 4) as u32);
+        }
+    }
+
+    /// Writes `src` as consecutive 32-bit words starting at the
+    /// 4-byte-aligned `addr`, one page at a time (bulk dual of
+    /// [`read_u32_into`](MainMemory::read_u32_into)).
+    pub fn write_u32_from(&mut self, addr: u32, src: &[u32]) {
+        debug_assert!(addr % 4 == 0, "word-aligned bulk write");
+        let mut addr = addr;
+        let mut src = src;
+        while !src.is_empty() {
+            let off = (addr & PAGE_MASK) as usize;
+            let take = src.len().min((PAGE_SIZE - off) / 4);
+            let (head, rest) = src.split_at(take);
+            let page = self.page_mut(addr);
+            for (i, &v) in head.iter().enumerate() {
+                let o = off + 4 * i;
+                page[o..o + 4].copy_from_slice(&v.to_le_bytes());
+            }
+            src = rest;
+            addr = addr.wrapping_add((take * 4) as u32);
+        }
+    }
+
     /// Writes a slice of 32-bit words starting at `addr`.
     pub fn write_u32_slice(&mut self, addr: u32, values: &[u32]) {
         // One bulk copy per page instead of one page walk per word.

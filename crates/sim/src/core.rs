@@ -1,5 +1,14 @@
 //! One SIMT core: warp scheduling, hazard checking and instruction
 //! execution.
+//!
+//! The execute loops are written against the core-owned lane-major
+//! register file ([`RegFile`]): each opcode arm materialises its source
+//! rows (a contiguous `threads`-word copy into a stack buffer, which also
+//! resolves `dst == src` aliasing without `unsafe`), then writes the
+//! destination row in a single pass — branch-free when the thread mask is
+//! full, a set-bit walk otherwise. The register scoreboard is a flat
+//! per-core array rather than a per-warp heap allocation, so hazard
+//! checks stay within one cache line per warp.
 
 use std::collections::HashMap;
 
@@ -11,8 +20,10 @@ use vortex_mem::{coalesce_lines, Cycle, MainMemory, MemSystem};
 
 use crate::config::TimingConfig;
 use crate::counters::DeviceCounters;
+use crate::decoded::{DecodedInstr, InstrMeta};
 use crate::error::SimError;
 use crate::ipdom::IpdomEntry;
+use crate::regfile::{RegFile, FP_BASE};
 use crate::trace_api::{IssueEvent, TraceSink};
 use crate::warp::{WarpState, NEVER};
 
@@ -22,7 +33,8 @@ use crate::warp::{WarpState, NEVER};
 /// monomorphised with the trace hook compiled away entirely — no virtual
 /// dispatch on the per-instruction hot path.
 pub(crate) struct CoreCtx<'a, S: TraceSink + ?Sized> {
-    pub code: &'a [Instr],
+    /// The loaded program with its decode cache, one entry per slot.
+    pub code: &'a [DecodedInstr],
     pub code_base: u32,
     pub mem: &'a mut MainMemory,
     pub memsys: &'a mut MemSystem,
@@ -44,12 +56,11 @@ struct BarrierState {
     arrived: Vec<usize>,
 }
 
-/// The outcome of asking a core to make progress.
-pub(crate) enum StepOutcome {
-    /// An instruction was issued; the core wants to run again at the cycle.
-    Issued(Cycle),
-    /// Nothing issuable yet; earliest time something could issue.
-    Waiting(Cycle),
+/// The outcome of running a core up to an event horizon.
+pub(crate) enum CoreOutcome {
+    /// The core's next internal event lies at this cycle (≥ the horizon);
+    /// re-run it when global time gets there.
+    Next(Cycle),
     /// All warps halted; core is idle.
     Idle,
 }
@@ -62,6 +73,8 @@ pub(crate) enum StepOutcome {
 struct NextIssue {
     /// The fetched instruction.
     instr: Instr,
+    /// The instruction's decode-cache entry.
+    meta: InstrMeta,
     /// PC the cache was computed for; a mismatch (branch target rewrite,
     /// respawn) invalidates it.
     pc: u32,
@@ -78,14 +91,23 @@ struct NextIssue {
 }
 
 impl NextIssue {
-    const INVALID: NextIssue =
-        NextIssue { instr: Instr::Join, pc: 0, t_local: 0, is_mem: false, valid: false };
+    const INVALID: NextIssue = NextIssue {
+        instr: Instr::Join,
+        meta: InstrMeta::INVALID,
+        pc: 0,
+        t_local: 0,
+        is_mem: false,
+        valid: false,
+    };
 }
 
 #[derive(Debug)]
 pub(crate) struct Core {
     id: usize,
     pub(crate) warps: Vec<WarpState>,
+    /// Lane-major register rows + scoreboard of every warp (see
+    /// [`RegFile`]).
+    rf: RegFile,
     barriers: HashMap<u32, BarrierState>,
     last_issued: usize,
     mem_port_free: Cycle,
@@ -105,6 +127,7 @@ impl Core {
         Core {
             id,
             warps: (0..warps).map(|_| WarpState::new(threads)).collect(),
+            rf: RegFile::new(warps, threads),
             barriers: HashMap::new(),
             last_issued: 0,
             mem_port_free: 0,
@@ -121,6 +144,7 @@ impl Core {
     pub fn start_warp(&mut self, w: usize, pc: u32, ready_at: Cycle) {
         let full = self.warps[w].full_mask();
         self.warps[w].start(pc, full, ready_at);
+        self.rf.clear_warp(w);
         self.warp_next[w] = if self.warps[w].active { ready_at } else { NEVER };
         self.next_issue[w].valid = false;
     }
@@ -150,6 +174,10 @@ impl Core {
         for w in &mut self.warps {
             w.deactivate();
         }
+        // Register rows and scoreboard entries are deliberately left
+        // stale: a warp's block is zeroed when the warp (re)starts, and a
+        // dormant warp's contents are unobservable (see
+        // `WarpState::deactivate`).
         self.barriers.clear();
         self.last_issued = 0;
         self.mem_port_free = 0;
@@ -157,34 +185,36 @@ impl Core {
         self.next_issue.fill(NextIssue::INVALID);
     }
 
-    fn fetch<S: TraceSink + ?Sized>(&self, w: usize, ctx: &CoreCtx<'_, S>) -> Result<Instr, SimError> {
+    fn fetch<S: TraceSink + ?Sized>(
+        &self,
+        w: usize,
+        ctx: &CoreCtx<'_, S>,
+    ) -> Result<(Instr, InstrMeta), SimError> {
         let pc = self.warps[w].pc;
         if pc < ctx.code_base || pc % 4 != 0 {
             return Err(SimError::UnmappedPc { core: self.id, warp: w, pc });
         }
         let idx = ((pc - ctx.code_base) / 4) as usize;
-        ctx.code
-            .get(idx)
-            .copied()
-            .ok_or(SimError::UnmappedPc { core: self.id, warp: w, pc })
+        match ctx.code.get(idx) {
+            Some(&DecodedInstr { instr, meta }) => Ok((instr, meta)),
+            None => Err(SimError::UnmappedPc { core: self.id, warp: w, pc }),
+        }
     }
 
-    /// Earliest cycle warp `w` could issue `instr` considering only
-    /// warp-local state: the control gap and register hazards. The
-    /// memory-port structural hazard is folded in by the caller (it moves
-    /// when *other* warps issue, so it cannot be cached per warp).
-    fn earliest_issue_local(&self, w: usize, instr: Instr) -> Cycle {
-        let warp = &self.warps[w];
-        let mut t = warp.ready_at;
-        for src in instr.src_regs().into_iter().flatten() {
-            if !src.is_zero() {
-                t = t.max(warp.busy_until[src.dense_index()]);
-            }
-        }
-        if let Some(dst) = instr.dst_reg() {
-            t = t.max(warp.busy_until[dst.dense_index()]);
-        }
-        t
+    /// Earliest cycle warp `w` could issue considering only warp-local
+    /// state: the control gap and register hazards. Branchless: the
+    /// decode cache encodes absent operands as dense index 0, whose
+    /// scoreboard entry is permanently zero, so four unconditional
+    /// `max`es cover every operand shape. The memory-port structural
+    /// hazard is folded in by the caller (it moves when *other* warps
+    /// issue, so it cannot be cached per warp).
+    fn earliest_issue_local(&self, w: usize, meta: &InstrMeta) -> Cycle {
+        self.warps[w]
+            .ready_at
+            .max(self.rf.busy_until(w, meta.src[0] as usize))
+            .max(self.rf.busy_until(w, meta.src[1] as usize))
+            .max(self.rf.busy_until(w, meta.src[2] as usize))
+            .max(self.rf.busy_until(w, meta.dst as usize))
     }
 
     /// The warp's fetched-and-hazard-checked next instruction, from the
@@ -194,7 +224,7 @@ impl Core {
         &mut self,
         w: usize,
         ctx: &CoreCtx<'_, S>,
-    ) -> Result<(Instr, Cycle), SimError> {
+    ) -> Result<(Instr, InstrMeta, Cycle), SimError> {
         let cached = self.next_issue[w];
         if cached.valid && cached.pc == self.warps[w].pc {
             let t = if cached.is_mem {
@@ -202,15 +232,15 @@ impl Core {
             } else {
                 cached.t_local
             };
-            return Ok((cached.instr, t));
+            return Ok((cached.instr, cached.meta, t));
         }
-        let instr = self.fetch(w, ctx)?;
-        let t_local = self.earliest_issue_local(w, instr);
-        let is_mem = instr.is_mem();
+        let (instr, meta) = self.fetch(w, ctx)?;
+        let t_local = self.earliest_issue_local(w, &meta);
+        let is_mem = meta.is_mem;
         self.next_issue[w] =
-            NextIssue { instr, pc: self.warps[w].pc, t_local, is_mem, valid: true };
+            NextIssue { instr, meta, pc: self.warps[w].pc, t_local, is_mem, valid: true };
         let t = if is_mem { t_local.max(self.mem_port_free) } else { t_local };
-        Ok((instr, t))
+        Ok((instr, meta, t))
     }
 
     /// Eagerly prepares warp `w`'s next wake-up after it issued: fetch the
@@ -228,11 +258,11 @@ impl Core {
             return;
         }
         match self.fetch(w, ctx) {
-            Ok(instr) => {
-                let t_local = self.earliest_issue_local(w, instr);
-                let is_mem = instr.is_mem();
+            Ok((instr, meta)) => {
+                let t_local = self.earliest_issue_local(w, &meta);
+                let is_mem = meta.is_mem;
                 self.next_issue[w] =
-                    NextIssue { instr, pc: self.warps[w].pc, t_local, is_mem, valid: true };
+                    NextIssue { instr, meta, pc: self.warps[w].pc, t_local, is_mem, valid: true };
                 // `mem_port_free` only grows, so folding today's value in
                 // keeps `warp_next` a valid lower bound.
                 self.warp_next[w] =
@@ -245,53 +275,95 @@ impl Core {
         }
     }
 
-    /// Attempts to issue one instruction at cycle `now`.
+    /// Runs this core from cycle `start` until its next internal event
+    /// would land at or beyond `horizon` — the conservative-lookahead
+    /// core of the event loop. The caller (the device) guarantees that no
+    /// *other* core acts in `[start, horizon)`, so everything this core
+    /// does in that window — issues, counter increments, memory-system
+    /// traffic, trace events — happens in exactly the global
+    /// `(cycle, core)` order the one-step-per-pop loop produced, while
+    /// paying the event-queue cost once per *window* instead of once per
+    /// issue. `clock` tracks the last cycle actually simulated (the
+    /// device's clock, also read by `mcycle`).
     ///
-    /// Warps whose cached [`warp_next`](Core::warp_next) bound lies in the
-    /// future are skipped without a fetch or hazard check; the bound is
-    /// refreshed whenever a warp is actually examined, so repeated steps
-    /// while every warp waits on long latencies cost one `u64` compare per
-    /// warp instead of a full rescan.
-    pub fn step<S: TraceSink + ?Sized>(
+    /// Within one cycle: warps whose cached
+    /// [`warp_next`](Core::warp_next) bound lies in the future are
+    /// skipped with a single `u64` compare, and at most one instruction
+    /// issues per cycle (in-order SIMT pipe).
+    pub fn run_until<S: TraceSink + ?Sized>(
         &mut self,
-        now: Cycle,
+        start: Cycle,
+        horizon: Cycle,
+        clock: &mut Cycle,
         ctx: &mut CoreCtx<'_, S>,
-    ) -> Result<StepOutcome, SimError> {
+    ) -> Result<CoreOutcome, SimError> {
         let n = self.warps.len();
-        let mut earliest: Cycle = NEVER;
-        for i in 1..=n {
-            let w = (self.last_issued + i) % n;
-            let bound = self.warp_next[w];
-            if bound > now {
-                earliest = earliest.min(bound);
-                continue;
+        let mut now = start;
+        'cycles: loop {
+            *clock = now;
+            let mut earliest: Cycle = NEVER;
+            // Round-robin from the warp after `last_issued`, wrapping by
+            // compare — `(last_issued + i) % n` would put a hardware
+            // integer division on every scanned slot.
+            let mut w = self.last_issued;
+            for _ in 0..n {
+                w += 1;
+                if w >= n {
+                    w = 0;
+                }
+                let bound = self.warp_next[w];
+                if bound > now {
+                    earliest = earliest.min(bound);
+                    continue;
+                }
+                let (instr, meta, t) = self.next_for(w, ctx)?;
+                if t <= now {
+                    self.issue(w, instr, &meta, now, ctx)?;
+                    self.last_issued = w;
+                    self.refresh_after_issue(w, ctx);
+                    // The next event is `max(min over warp_next, now+1)`.
+                    // When the issued warp itself is due again by `now+1`
+                    // (latency-1 result, untaken branch) the min can only
+                    // be ≤ its bound, so the answer is exactly `now + 1`
+                    // — no scan over the other warps needed. This covers
+                    // the bulk of issues in ALU-dense stretches.
+                    let next = if self.warp_next[w] <= now + 1 {
+                        now + 1
+                    } else {
+                        let next = self.next_event();
+                        if next == NEVER {
+                            return if self.warps.iter().any(|x| x.active) {
+                                // Only barrier-blocked warps remain.
+                                Err(SimError::BarrierDeadlock { cycle: now })
+                            } else {
+                                Ok(CoreOutcome::Idle)
+                            };
+                        }
+                        // One issue per core per cycle; beyond that,
+                        // resume at the earliest time any warp could
+                        // possibly issue.
+                        next.max(now + 1)
+                    };
+                    if next >= horizon {
+                        return Ok(CoreOutcome::Next(next));
+                    }
+                    now = next;
+                    continue 'cycles;
+                }
+                self.warp_next[w] = t;
+                earliest = earliest.min(t);
             }
-            let (instr, t) = self.next_for(w, ctx)?;
-            if t <= now {
-                self.issue(w, instr, now, ctx)?;
-                self.last_issued = w;
-                self.refresh_after_issue(w, ctx);
-                let next = self.next_event();
-                return if next != NEVER {
-                    // One issue per core per cycle; beyond that, resume at
-                    // the earliest time any warp could possibly issue.
-                    Ok(StepOutcome::Issued(next.max(now + 1)))
-                } else if self.warps.iter().any(|x| x.active) {
-                    // Only barrier-blocked warps remain.
+            if earliest == NEVER {
+                return if self.warps.iter().any(|x| x.active) {
                     Err(SimError::BarrierDeadlock { cycle: now })
                 } else {
-                    Ok(StepOutcome::Idle)
+                    Ok(CoreOutcome::Idle)
                 };
             }
-            self.warp_next[w] = t;
-            earliest = earliest.min(t);
-        }
-        if earliest != NEVER {
-            Ok(StepOutcome::Waiting(earliest))
-        } else if self.warps.iter().any(|x| x.active) {
-            Err(SimError::BarrierDeadlock { cycle: now })
-        } else {
-            Ok(StepOutcome::Idle)
+            if earliest >= horizon {
+                return Ok(CoreOutcome::Next(earliest));
+            }
+            now = earliest;
         }
     }
 
@@ -300,15 +372,19 @@ impl Core {
         &mut self,
         w: usize,
         instr: Instr,
+        meta: &InstrMeta,
         now: Cycle,
         ctx: &mut CoreCtx<'_, S>,
     ) -> Result<(), SimError> {
         let pc = self.warps[w].pc;
         let tmask = self.warps[w].tmask;
+        // Whether every lane participates: selects the branch-free
+        // contiguous row loops over the masked set-bit walks.
+        let full = tmask == self.warps[w].full_mask();
 
         ctx.counters.instructions += 1;
         ctx.counters.lane_instructions += u64::from(tmask.count_ones());
-        ctx.counters.classes.record(instr.exec_class());
+        ctx.counters.classes.record(meta.class);
         if let Some(sink) = ctx.trace.as_mut() {
             sink.on_issue(&IssueEvent { cycle: now, core: self.id, warp: w, pc, tmask, instr });
         }
@@ -317,159 +393,292 @@ impl Core {
         let mut next_pc = pc.wrapping_add(4);
         let mut halted = false;
 
-        // Each arm hoists one `&mut` borrow of its warp (`wp`): repeated
-        // `self.warps[w]` indexing inside per-lane loops costs a bounds
-        // check and a struct-stride multiply per register access, which
-        // measurably dominates the interpreter on wide warps.
-        macro_rules! lanes {
-            ($wp:expr) => {
-                (0..$wp.threads()).filter(|&l| tmask & (1 << l) != 0)
+        // Walks the active lanes of `tmask` (cost scales with set bits,
+        // not the warp width).
+        macro_rules! for_lanes {
+            (|$l:ident| $body:expr) => {{
+                let mut m = tmask;
+                while m != 0 {
+                    let $l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    $body
+                }
+            }};
+        }
+        // Fills the destination row `$dense` with `$val` (an expression of
+        // the lane index): a contiguous pass under a full mask, a set-bit
+        // walk otherwise. `$val` must not touch `self` — sources are
+        // snapshot into stack buffers first (`RegFile::copy_row`).
+        macro_rules! write_row {
+            ($dense:expr, |$l:ident| $val:expr) => {{
+                let dst = self.rf.row_mut(w, $dense);
+                if full {
+                    for $l in 0..dst.len() {
+                        dst[$l] = $val;
+                    }
+                } else {
+                    for_lanes!(|$l| dst[$l] = $val);
+                }
+            }};
+        }
+        // Broadcasts one value to every active lane of the destination row.
+        macro_rules! broadcast_row {
+            ($dense:expr, $v:expr) => {{
+                let v = $v;
+                let dst = self.rf.row_mut(w, $dense);
+                if full {
+                    dst.fill(v);
+                } else {
+                    for_lanes!(|l| dst[l] = v);
+                }
+            }};
+        }
+        // Snapshots a source row into a stack buffer: whole-row move when
+        // every lane is live, active-lane gather otherwise (divergent wide
+        // warps would pay more for the 128-byte copy than for the compute).
+        macro_rules! read_src {
+            ($dense:expr, $buf:ident) => {
+                if full {
+                    let _ = self.rf.copy_row(w, $dense, &mut $buf);
+                } else {
+                    self.rf.gather_row(w, $dense, tmask, &mut $buf);
+                }
             };
         }
         macro_rules! wb_int {
-            ($wp:expr, $rd:expr, $lat:expr) => {
+            ($rd:expr, $lat:expr) => {
                 if !$rd.is_zero() {
-                    $wp.busy_until[$rd.num() as usize] = now + $lat;
+                    self.rf.set_busy(w, $rd.num() as usize, now + $lat);
                 }
             };
         }
         macro_rules! wb_fp {
-            ($wp:expr, $rd:expr, $lat:expr) => {
-                $wp.busy_until[32 + $rd.num() as usize] = now + $lat;
+            ($rd:expr, $lat:expr) => {
+                self.rf.set_busy(w, FP_BASE + $rd.num() as usize, now + $lat);
             };
         }
 
         match instr {
             Instr::Lui { rd, imm } => {
-                let wp = &mut self.warps[w];
-                for lane in lanes!(wp) {
-                    wp.set_ireg(lane, rd, imm as u32);
+                if !rd.is_zero() {
+                    broadcast_row!(rd.num() as usize, imm as u32);
                 }
-                wb_int!(wp, rd, timing.alu);
+                wb_int!(rd, timing.alu);
             }
             Instr::Auipc { rd, imm } => {
-                let v = pc.wrapping_add(imm as u32);
-                let wp = &mut self.warps[w];
-                for lane in lanes!(wp) {
-                    wp.set_ireg(lane, rd, v);
+                if !rd.is_zero() {
+                    broadcast_row!(rd.num() as usize, pc.wrapping_add(imm as u32));
                 }
-                wb_int!(wp, rd, timing.alu);
+                wb_int!(rd, timing.alu);
             }
             Instr::Jal { rd, offset } => {
-                let link = pc.wrapping_add(4);
-                let wp = &mut self.warps[w];
-                for lane in lanes!(wp) {
-                    wp.set_ireg(lane, rd, link);
+                if !rd.is_zero() {
+                    broadcast_row!(rd.num() as usize, pc.wrapping_add(4));
                 }
-                wb_int!(wp, rd, timing.alu);
+                wb_int!(rd, timing.alu);
                 next_pc = pc.wrapping_add(offset as u32);
             }
             Instr::Jalr { rd, rs1, offset } => {
                 let base = self.uniform(w, rs1, pc)?;
-                let link = pc.wrapping_add(4);
-                let wp = &mut self.warps[w];
-                for lane in lanes!(wp) {
-                    wp.set_ireg(lane, rd, link);
+                if !rd.is_zero() {
+                    broadcast_row!(rd.num() as usize, pc.wrapping_add(4));
                 }
-                wb_int!(wp, rd, timing.alu);
+                wb_int!(rd, timing.alu);
                 next_pc = base.wrapping_add(offset as u32) & !1;
             }
             Instr::Branch { op, rs1, rs2, offset } => {
-                let mut cond: Option<bool> = None;
-                let wp = &self.warps[w];
-                for lane in lanes!(wp) {
-                    let a = wp.ireg(lane, rs1);
-                    let b = wp.ireg(lane, rs2);
-                    let c = match op {
-                        BranchOp::Eq => a == b,
-                        BranchOp::Ne => a != b,
-                        BranchOp::Lt => (a as i32) < (b as i32),
-                        BranchOp::Ge => (a as i32) >= (b as i32),
-                        BranchOp::Ltu => a < b,
-                        BranchOp::Geu => a >= b,
-                    };
-                    match cond {
-                        None => cond = Some(c),
-                        Some(prev) if prev != c => {
-                            return Err(SimError::DivergentBranch { core: self.id, warp: w, pc })
-                        }
-                        _ => {}
+                let ra = self.rf.row(w, rs1.num() as usize);
+                let rb = self.rf.row(w, rs2.num() as usize);
+                let mut ballot = 0u32;
+                if full {
+                    for l in 0..ra.len() {
+                        ballot |= u32::from(branch_cmp(op, ra[l], rb[l])) << l;
                     }
+                } else {
+                    for_lanes!(|l| ballot |= u32::from(branch_cmp(op, ra[l], rb[l])) << l);
                 }
-                if cond.unwrap_or(false) {
+                if ballot != 0 {
+                    if ballot != tmask {
+                        return Err(SimError::DivergentBranch { core: self.id, warp: w, pc });
+                    }
                     next_pc = pc.wrapping_add(offset as u32);
                 }
             }
-            Instr::Load { width, rd, rs1, offset } => {
+            Instr::Load { width, rd, rs1, offset } => 'load: {
                 let (bytes, _) = load_width_bytes(width);
                 let mut addrs = [0u32; 32];
-                let wp = &mut self.warps[w];
-                for lane in lanes!(wp) {
-                    let addr = wp.ireg(lane, rs1).wrapping_add(offset as u32);
-                    if addr & (bytes - 1) != 0 {
-                        return Err(SimError::MisalignedAccess { pc, addr, align: bytes });
+                let mut base = [0u32; 32];
+                read_src!(rs1.num() as usize, base);
+                // Full-mask word-load fast paths for the two dominant SIMT
+                // shapes: *broadcast* (every lane reads one uniform
+                // address — the dispatch-block/argument pattern) and
+                // *unit-stride* (lane-consecutive words — the streaming
+                // pattern). Both collapse 32 per-lane page walks into one
+                // bulk access, with identical values, identical coalesced
+                // line sequence, and identical misalignment faults (lane 0
+                // is the first checked lane either way).
+                if full && !rd.is_zero() && matches!(width, LoadWidth::Word) {
+                    let n = self.warps[w].threads();
+                    let addr0 = base[0].wrapping_add(offset as u32);
+                    if n >= 2 {
+                        if base[1..n].iter().all(|&b| b == base[0]) {
+                            if addr0 & 3 != 0 {
+                                return Err(SimError::MisalignedAccess { pc, addr: addr0, align: 4 });
+                            }
+                            let v = ctx.mem.read_u32(addr0);
+                            self.rf.row_mut(w, rd.num() as usize).fill(v);
+                            let completion = self.memory_access_span(addr0, addr0, false, now, ctx);
+                            self.rf.set_busy(w, rd.num() as usize, completion);
+                            break 'load;
+                        }
+                        if addr0 & 3 == 0
+                            && addr0.checked_add(4 * (n as u32 - 1)).is_some()
+                            && base[1..n]
+                                .iter()
+                                .enumerate()
+                                .all(|(i, &b)| b == base[0].wrapping_add(4 * (i as u32 + 1)))
+                        {
+                            let dst = self.rf.row_mut(w, rd.num() as usize);
+                            ctx.mem.read_u32_into(addr0, dst);
+                            let last = addr0 + 4 * (n as u32 - 1);
+                            let completion = self.memory_access_span(addr0, last, false, now, ctx);
+                            self.rf.set_busy(w, rd.num() as usize, completion);
+                            break 'load;
+                        }
                     }
-                    let raw = match width {
-                        LoadWidth::Byte => ctx.mem.read_u8(addr) as i8 as i32 as u32,
-                        LoadWidth::ByteU => ctx.mem.read_u8(addr) as u32,
-                        LoadWidth::Half => ctx.mem.read_u16(addr) as i16 as i32 as u32,
-                        LoadWidth::HalfU => ctx.mem.read_u16(addr) as u32,
-                        LoadWidth::Word => ctx.mem.read_u32(addr),
-                    };
-                    wp.set_ireg(lane, rd, raw);
-                    addrs[lane] = addr;
+                }
+                if rd.is_zero() {
+                    for_lanes!(|l| {
+                        let addr = base[l].wrapping_add(offset as u32);
+                        if addr & (bytes - 1) != 0 {
+                            return Err(SimError::MisalignedAccess { pc, addr, align: bytes });
+                        }
+                        addrs[l] = addr;
+                    });
+                } else {
+                    let dst = self.rf.row_mut(w, rd.num() as usize);
+                    for_lanes!(|l| {
+                        let addr = base[l].wrapping_add(offset as u32);
+                        if addr & (bytes - 1) != 0 {
+                            return Err(SimError::MisalignedAccess { pc, addr, align: bytes });
+                        }
+                        dst[l] = match width {
+                            LoadWidth::Byte => ctx.mem.read_u8(addr) as i8 as i32 as u32,
+                            LoadWidth::ByteU => ctx.mem.read_u8(addr) as u32,
+                            LoadWidth::Half => ctx.mem.read_u16(addr) as i16 as i32 as u32,
+                            LoadWidth::HalfU => ctx.mem.read_u16(addr) as u32,
+                            LoadWidth::Word => ctx.mem.read_u32(addr),
+                        };
+                        addrs[l] = addr;
+                    });
                 }
                 let completion = self.memory_access(w, &addrs, tmask, false, now, ctx);
                 if !rd.is_zero() {
-                    self.warps[w].busy_until[rd.num() as usize] = completion;
+                    self.rf.set_busy(w, rd.num() as usize, completion);
                 }
             }
-            Instr::Store { width, rs2, rs1, offset } => {
-                let (bytes, _) = load_width_bytes(match width {
-                    StoreWidth::Byte => LoadWidth::Byte,
-                    StoreWidth::Half => LoadWidth::Half,
-                    StoreWidth::Word => LoadWidth::Word,
-                });
+            Instr::Store { width, rs2, rs1, offset } => 'store: {
+                let bytes = match width {
+                    StoreWidth::Byte => 1,
+                    StoreWidth::Half => 2,
+                    StoreWidth::Word => 4,
+                };
                 let mut addrs = [0u32; 32];
-                let wp = &self.warps[w];
-                for lane in lanes!(wp) {
-                    let addr = wp.ireg(lane, rs1).wrapping_add(offset as u32);
+                let base = self.rf.row(w, rs1.num() as usize);
+                let vals = self.rf.row(w, rs2.num() as usize);
+                // Unit-stride full-mask word stores take the bulk path
+                // (identical bytes, line sequence and fault behaviour).
+                // Broadcast stores stay on the lane loop: overlapping
+                // writes must land in lane order.
+                if full && matches!(width, StoreWidth::Word) {
+                    let n = base.len();
+                    let addr0 = base[0].wrapping_add(offset as u32);
+                    if n >= 2
+                        && addr0 & 3 == 0
+                        && addr0.checked_add(4 * (n as u32 - 1)).is_some()
+                        && base[1..]
+                            .iter()
+                            .enumerate()
+                            .all(|(i, &b)| b == base[0].wrapping_add(4 * (i as u32 + 1)))
+                    {
+                        ctx.mem.write_u32_from(addr0, vals);
+                        let last = addr0 + 4 * (n as u32 - 1);
+                        self.memory_access_span(addr0, last, true, now, ctx);
+                        break 'store;
+                    }
+                }
+                for_lanes!(|l| {
+                    let addr = base[l].wrapping_add(offset as u32);
                     if addr & (bytes - 1) != 0 {
                         return Err(SimError::MisalignedAccess { pc, addr, align: bytes });
                     }
-                    let v = wp.ireg(lane, rs2);
                     match width {
-                        StoreWidth::Byte => ctx.mem.write_u8(addr, v as u8),
-                        StoreWidth::Half => ctx.mem.write_u16(addr, v as u16),
-                        StoreWidth::Word => ctx.mem.write_u32(addr, v),
+                        StoreWidth::Byte => ctx.mem.write_u8(addr, vals[l] as u8),
+                        StoreWidth::Half => ctx.mem.write_u16(addr, vals[l] as u16),
+                        StoreWidth::Word => ctx.mem.write_u32(addr, vals[l]),
                     }
-                    addrs[lane] = addr;
-                }
+                    addrs[l] = addr;
+                });
                 self.memory_access(w, &addrs, tmask, true, now, ctx);
             }
             Instr::OpImm { op, rd, rs1, imm } => {
-                let wp = &mut self.warps[w];
-                for lane in lanes!(wp) {
-                    let a = wp.ireg(lane, rs1);
-                    let v = alu_imm(op, a, imm);
-                    wp.set_ireg(lane, rd, v);
+                if !rd.is_zero() {
+                    let mut a = [0u32; 32];
+                    read_src!(rs1.num() as usize, a);
+                    write_row!(rd.num() as usize, |l| alu_imm(op, a[l], imm));
                 }
-                wb_int!(wp, rd, timing.alu);
+                wb_int!(rd, timing.alu);
             }
-            Instr::Op { op, rd, rs1, rs2 } => {
-                let wp = &mut self.warps[w];
-                for lane in lanes!(wp) {
-                    let a = wp.ireg(lane, rs1);
-                    let b = wp.ireg(lane, rs2);
-                    let v = alu(op, a, b);
-                    wp.set_ireg(lane, rd, v);
+            Instr::Op { op, rd, rs1, rs2 } => 'op: {
+                if !rd.is_zero() {
+                    let mut a = [0u32; 32];
+                    let mut b = [0u32; 32];
+                    read_src!(rs1.num() as usize, a);
+                    read_src!(rs2.num() as usize, b);
+                    // Unsigned divide/remainder by a uniform power-of-two
+                    // divisor (the `item / hs`, `item % hs` indexing idiom)
+                    // becomes a shift/mask — a host hardware division per
+                    // lane is the single most expensive ALU op and cannot
+                    // be vectorised.
+                    if matches!(op, AluOp::Divu | AluOp::Remu) {
+                        let d = if full {
+                            let n = self.warps[w].threads();
+                            if b[1..n].iter().all(|&x| x == b[0]) { Some(b[0]) } else { None }
+                        } else {
+                            let first = tmask.trailing_zeros() as usize;
+                            let mut m = tmask;
+                            let mut uni = Some(b[first]);
+                            while m != 0 {
+                                let l = m.trailing_zeros() as usize;
+                                m &= m - 1;
+                                if b[l] != b[first] {
+                                    uni = None;
+                                    break;
+                                }
+                            }
+                            uni
+                        };
+                        if let Some(d) = d {
+                            if d != 0 && d.is_power_of_two() {
+                                let sh = d.trailing_zeros();
+                                let mask = d - 1;
+                                match op {
+                                    AluOp::Divu => write_row!(rd.num() as usize, |l| a[l] >> sh),
+                                    _ => write_row!(rd.num() as usize, |l| a[l] & mask),
+                                }
+                                wb_int!(rd, timing.div);
+                                break 'op;
+                            }
+                        }
+                    }
+                    write_row!(rd.num() as usize, |l| alu(op, a[l], b[l]));
                 }
-                let lat = match instr.exec_class() {
+                let lat = match meta.class {
                     ExecClass::Mul => timing.mul,
                     ExecClass::Div => timing.div,
                     _ => timing.alu,
                 };
-                wb_int!(wp, rd, lat);
+                wb_int!(rd, lat);
             }
             Instr::Fence => {}
             Instr::Ecall => return Err(SimError::Trap { pc, breakpoint: false }),
@@ -478,151 +687,207 @@ impl Core {
                 // All architectural CSRs are read-only; writes are ignored.
                 let _ = src;
                 if csr == csrs::THREAD_ID {
-                    let wp = &mut self.warps[w];
-                    for lane in lanes!(wp) {
-                        wp.set_ireg(lane, rd, lane as u32);
+                    if !rd.is_zero() {
+                        write_row!(rd.num() as usize, |l| l as u32);
                     }
-                    wb_int!(wp, rd, timing.alu);
                 } else {
                     // Every other CSR is lane-invariant: resolve it once
                     // and broadcast instead of re-matching per lane.
                     let v = self.read_csr(csr, w, 0, now, ctx);
-                    let wp = &mut self.warps[w];
-                    for lane in lanes!(wp) {
-                        wp.set_ireg(lane, rd, v);
+                    if !rd.is_zero() {
+                        broadcast_row!(rd.num() as usize, v);
                     }
-                    wb_int!(wp, rd, timing.alu);
                 }
+                wb_int!(rd, timing.alu);
             }
-            Instr::Flw { rd, rs1, offset } => {
+            Instr::Flw { rd, rs1, offset } => 'flw: {
                 let mut addrs = [0u32; 32];
-                let wp = &mut self.warps[w];
-                for lane in lanes!(wp) {
-                    let addr = wp.ireg(lane, rs1).wrapping_add(offset as u32);
+                let mut base = [0u32; 32];
+                read_src!(rs1.num() as usize, base);
+                // Broadcast / unit-stride fast paths, as for word loads.
+                if full {
+                    let n = self.warps[w].threads();
+                    let addr0 = base[0].wrapping_add(offset as u32);
+                    if n >= 2 {
+                        if base[1..n].iter().all(|&b| b == base[0]) {
+                            if addr0 & 3 != 0 {
+                                return Err(SimError::MisalignedAccess { pc, addr: addr0, align: 4 });
+                            }
+                            let v = ctx.mem.read_u32(addr0);
+                            self.rf.row_mut(w, FP_BASE + rd.num() as usize).fill(v);
+                            let completion = self.memory_access_span(addr0, addr0, false, now, ctx);
+                            self.rf.set_busy(w, FP_BASE + rd.num() as usize, completion);
+                            break 'flw;
+                        }
+                        if addr0 & 3 == 0
+                            && addr0.checked_add(4 * (n as u32 - 1)).is_some()
+                            && base[1..n]
+                                .iter()
+                                .enumerate()
+                                .all(|(i, &b)| b == base[0].wrapping_add(4 * (i as u32 + 1)))
+                        {
+                            let dst = self.rf.row_mut(w, FP_BASE + rd.num() as usize);
+                            ctx.mem.read_u32_into(addr0, dst);
+                            let last = addr0 + 4 * (n as u32 - 1);
+                            let completion = self.memory_access_span(addr0, last, false, now, ctx);
+                            self.rf.set_busy(w, FP_BASE + rd.num() as usize, completion);
+                            break 'flw;
+                        }
+                    }
+                }
+                let dst = self.rf.row_mut(w, FP_BASE + rd.num() as usize);
+                for_lanes!(|l| {
+                    let addr = base[l].wrapping_add(offset as u32);
                     if addr & 3 != 0 {
                         return Err(SimError::MisalignedAccess { pc, addr, align: 4 });
                     }
-                    let bits = ctx.mem.read_u32(addr);
-                    wp.set_freg_bits(lane, rd, bits);
-                    addrs[lane] = addr;
-                }
+                    dst[l] = ctx.mem.read_u32(addr);
+                    addrs[l] = addr;
+                });
                 let completion = self.memory_access(w, &addrs, tmask, false, now, ctx);
-                self.warps[w].busy_until[32 + rd.num() as usize] = completion;
+                self.rf.set_busy(w, FP_BASE + rd.num() as usize, completion);
             }
-            Instr::Fsw { rs2, rs1, offset } => {
+            Instr::Fsw { rs2, rs1, offset } => 'fsw: {
                 let mut addrs = [0u32; 32];
-                let wp = &self.warps[w];
-                for lane in lanes!(wp) {
-                    let addr = wp.ireg(lane, rs1).wrapping_add(offset as u32);
+                let base = self.rf.row(w, rs1.num() as usize);
+                let vals = self.rf.row(w, FP_BASE + rs2.num() as usize);
+                // Unit-stride full-mask bulk path, as for word stores.
+                if full {
+                    let n = base.len();
+                    let addr0 = base[0].wrapping_add(offset as u32);
+                    if n >= 2
+                        && addr0 & 3 == 0
+                        && addr0.checked_add(4 * (n as u32 - 1)).is_some()
+                        && base[1..]
+                            .iter()
+                            .enumerate()
+                            .all(|(i, &b)| b == base[0].wrapping_add(4 * (i as u32 + 1)))
+                    {
+                        ctx.mem.write_u32_from(addr0, vals);
+                        let last = addr0 + 4 * (n as u32 - 1);
+                        self.memory_access_span(addr0, last, true, now, ctx);
+                        break 'fsw;
+                    }
+                }
+                for_lanes!(|l| {
+                    let addr = base[l].wrapping_add(offset as u32);
                     if addr & 3 != 0 {
                         return Err(SimError::MisalignedAccess { pc, addr, align: 4 });
                     }
-                    let bits = wp.freg_bits(lane, rs2);
-                    ctx.mem.write_u32(addr, bits);
-                    addrs[lane] = addr;
-                }
+                    ctx.mem.write_u32(addr, vals[l]);
+                    addrs[l] = addr;
+                });
                 self.memory_access(w, &addrs, tmask, true, now, ctx);
             }
             Instr::FpOp { op, rd, rs1, rs2 } => {
-                let wp = &mut self.warps[w];
-                for lane in lanes!(wp) {
-                    let a = wp.freg(lane, rs1);
-                    let b = wp.freg(lane, rs2);
-                    let v = fp_bin(op, a, b);
-                    wp.set_freg_bits(lane, rd, v);
-                }
+                let mut a = [0u32; 32];
+                let mut b = [0u32; 32];
+                read_src!(FP_BASE + rs1.num() as usize, a);
+                read_src!(FP_BASE + rs2.num() as usize, b);
+                write_row!(FP_BASE + rd.num() as usize, |l| fp_bin(
+                    op,
+                    f32::from_bits(a[l]),
+                    f32::from_bits(b[l])
+                ));
                 let lat = if matches!(op, FpBinOp::Div) { timing.fdiv } else { timing.fpu };
-                wb_fp!(wp, rd, lat);
+                wb_fp!(rd, lat);
             }
             Instr::FpFma { op, rd, rs1, rs2, rs3 } => {
-                let wp = &mut self.warps[w];
-                for lane in lanes!(wp) {
-                    let a = wp.freg(lane, rs1);
-                    let b = wp.freg(lane, rs2);
-                    let c = wp.freg(lane, rs3);
+                let mut a = [0u32; 32];
+                let mut b = [0u32; 32];
+                let mut c = [0u32; 32];
+                read_src!(FP_BASE + rs1.num() as usize, a);
+                read_src!(FP_BASE + rs2.num() as usize, b);
+                read_src!(FP_BASE + rs3.num() as usize, c);
+                write_row!(FP_BASE + rd.num() as usize, |l| {
+                    let (x, y, z) =
+                        (f32::from_bits(a[l]), f32::from_bits(b[l]), f32::from_bits(c[l]));
                     let v = match op {
-                        FmaOp::MAdd => a.mul_add(b, c),
-                        FmaOp::MSub => a.mul_add(b, -c),
-                        FmaOp::NMSub => (-a).mul_add(b, c),
-                        FmaOp::NMAdd => (-a).mul_add(b, -c),
+                        FmaOp::MAdd => x.mul_add(y, z),
+                        FmaOp::MSub => x.mul_add(y, -z),
+                        FmaOp::NMSub => (-x).mul_add(y, z),
+                        FmaOp::NMAdd => (-x).mul_add(y, -z),
                     };
-                    wp.set_freg(lane, rd, v);
-                }
-                wb_fp!(wp, rd, timing.fpu);
+                    v.to_bits()
+                });
+                wb_fp!(rd, timing.fpu);
             }
             Instr::FpSqrt { rd, rs1 } => {
-                let wp = &mut self.warps[w];
-                for lane in lanes!(wp) {
-                    let v = wp.freg(lane, rs1).sqrt();
-                    wp.set_freg(lane, rd, v);
-                }
-                wb_fp!(wp, rd, timing.fsqrt);
+                let mut a = [0u32; 32];
+                read_src!(FP_BASE + rs1.num() as usize, a);
+                write_row!(FP_BASE + rd.num() as usize, |l| f32::from_bits(a[l])
+                    .sqrt()
+                    .to_bits());
+                wb_fp!(rd, timing.fsqrt);
             }
             Instr::FpCmp { op, rd, rs1, rs2 } => {
-                let wp = &mut self.warps[w];
-                for lane in lanes!(wp) {
-                    let a = wp.freg(lane, rs1);
-                    let b = wp.freg(lane, rs2);
-                    let v = match op {
-                        FpCmpOp::Eq => a == b,
-                        FpCmpOp::Lt => a < b,
-                        FpCmpOp::Le => a <= b,
-                    };
-                    wp.set_ireg(lane, rd, v as u32);
+                if !rd.is_zero() {
+                    let mut a = [0u32; 32];
+                    let mut b = [0u32; 32];
+                    read_src!(FP_BASE + rs1.num() as usize, a);
+                    read_src!(FP_BASE + rs2.num() as usize, b);
+                    write_row!(rd.num() as usize, |l| {
+                        let (x, y) = (f32::from_bits(a[l]), f32::from_bits(b[l]));
+                        u32::from(match op {
+                            FpCmpOp::Eq => x == y,
+                            FpCmpOp::Lt => x < y,
+                            FpCmpOp::Le => x <= y,
+                        })
+                    });
                 }
-                wb_int!(wp, rd, timing.fpu);
+                wb_int!(rd, timing.fpu);
             }
             Instr::FpCvtToInt { signed, rd, rs1 } => {
-                let wp = &mut self.warps[w];
-                for lane in lanes!(wp) {
-                    let v = wp.freg(lane, rs1);
-                    let bits = if signed {
-                        if v.is_nan() {
-                            i32::MAX as u32
+                if !rd.is_zero() {
+                    let mut a = [0u32; 32];
+                    read_src!(FP_BASE + rs1.num() as usize, a);
+                    write_row!(rd.num() as usize, |l| {
+                        let v = f32::from_bits(a[l]);
+                        if signed {
+                            if v.is_nan() {
+                                i32::MAX as u32
+                            } else {
+                                (v as i32) as u32
+                            }
+                        } else if v.is_nan() {
+                            u32::MAX
                         } else {
-                            (v as i32) as u32
+                            v as u32
                         }
-                    } else if v.is_nan() {
-                        u32::MAX
-                    } else {
-                        v as u32
-                    };
-                    wp.set_ireg(lane, rd, bits);
+                    });
                 }
-                wb_int!(wp, rd, timing.fpu);
+                wb_int!(rd, timing.fpu);
             }
             Instr::FpCvtFromInt { signed, rd, rs1 } => {
-                let wp = &mut self.warps[w];
-                for lane in lanes!(wp) {
-                    let raw = wp.ireg(lane, rs1);
-                    let v = if signed { raw as i32 as f32 } else { raw as f32 };
-                    wp.set_freg(lane, rd, v);
-                }
-                wb_fp!(wp, rd, timing.fpu);
+                let mut a = [0u32; 32];
+                read_src!(rs1.num() as usize, a);
+                write_row!(FP_BASE + rd.num() as usize, |l| {
+                    let v = if signed { a[l] as i32 as f32 } else { a[l] as f32 };
+                    v.to_bits()
+                });
+                wb_fp!(rd, timing.fpu);
             }
             Instr::FpMvToInt { rd, rs1 } => {
-                let wp = &mut self.warps[w];
-                for lane in lanes!(wp) {
-                    let bits = wp.freg_bits(lane, rs1);
-                    wp.set_ireg(lane, rd, bits);
+                if !rd.is_zero() {
+                    let mut a = [0u32; 32];
+                    read_src!(FP_BASE + rs1.num() as usize, a);
+                    write_row!(rd.num() as usize, |l| a[l]);
                 }
-                wb_int!(wp, rd, timing.fpu);
+                wb_int!(rd, timing.fpu);
             }
             Instr::FpMvFromInt { rd, rs1 } => {
-                let wp = &mut self.warps[w];
-                for lane in lanes!(wp) {
-                    let bits = wp.ireg(lane, rs1);
-                    wp.set_freg_bits(lane, rd, bits);
-                }
-                wb_fp!(wp, rd, timing.fpu);
+                let mut a = [0u32; 32];
+                read_src!(rs1.num() as usize, a);
+                write_row!(FP_BASE + rd.num() as usize, |l| a[l]);
+                wb_fp!(rd, timing.fpu);
             }
             Instr::FpClass { rd, rs1 } => {
-                let wp = &mut self.warps[w];
-                for lane in lanes!(wp) {
-                    let v = wp.freg(lane, rs1);
-                    wp.set_ireg(lane, rd, fclass(v));
+                if !rd.is_zero() {
+                    let mut a = [0u32; 32];
+                    read_src!(FP_BASE + rs1.num() as usize, a);
+                    write_row!(rd.num() as usize, |l| fclass(f32::from_bits(a[l])));
                 }
-                wb_int!(wp, rd, timing.fpu);
+                wb_int!(rd, timing.fpu);
             }
             Instr::Tmc { rs1 } => {
                 let mask = self.uniform(w, rs1, pc)? & self.warps[w].full_mask();
@@ -647,6 +912,7 @@ impl Core {
                     if i != w {
                         let full = self.warps[i].full_mask();
                         self.warps[i].start(target, full, now + timing.wspawn);
+                        self.rf.clear_warp(i);
                         self.warp_next[i] = now + timing.wspawn;
                         // Respawn resets scheduling state; a cached entry
                         // could alias the same PC with stale hazards.
@@ -658,13 +924,9 @@ impl Core {
                 if self.warps[w].ipdom.len() >= ctx.ipdom_depth {
                     return Err(SimError::IpdomOverflow { pc });
                 }
+                let row = self.rf.row(w, rs1.num() as usize);
                 let mut taken = 0u32;
-                let wp = &self.warps[w];
-                for lane in lanes!(wp) {
-                    if wp.ireg(lane, rs1) != 0 {
-                        taken |= 1 << lane;
-                    }
-                }
+                for_lanes!(|l| taken |= u32::from(row[l] != 0) << l);
                 let not_taken = tmask & !taken;
                 let else_pc = pc.wrapping_add(offset as u32);
                 if not_taken == 0 {
@@ -718,28 +980,24 @@ impl Core {
                 }
             }
             Instr::Vote { op, rd, rs1 } => {
-                let wp = &mut self.warps[w];
+                let row = self.rf.row(w, rs1.num() as usize);
                 let mut ballot = 0u32;
-                for lane in lanes!(wp) {
-                    if wp.ireg(lane, rs1) != 0 {
-                        ballot |= 1 << lane;
-                    }
-                }
+                for_lanes!(|l| ballot |= u32::from(row[l] != 0) << l);
                 let result = match op {
                     VoteOp::Any => u32::from(ballot != 0),
                     VoteOp::All => u32::from(ballot == tmask),
                     VoteOp::Ballot => ballot,
                 };
-                for lane in lanes!(wp) {
-                    wp.set_ireg(lane, rd, result);
+                if !rd.is_zero() {
+                    broadcast_row!(rd.num() as usize, result);
                 }
-                wb_int!(wp, rd, timing.alu);
+                wb_int!(rd, timing.alu);
             }
         }
 
         if !halted {
             let taken = next_pc != pc.wrapping_add(4);
-            let gap = if taken && instr.is_control() { 1 + timing.branch_bubble } else { 1 };
+            let gap = if taken && meta.is_control { 1 + timing.branch_bubble } else { 1 };
             self.warps[w].pc = next_pc;
             self.warps[w].ready_at = now + gap;
             // `ready_at` ignores the next instruction's register hazards,
@@ -776,8 +1034,10 @@ impl Core {
         let lines = coalesce_lines(lanes, line_bytes);
         let mut completion = now;
         for (i, line) in lines.as_slice().iter().enumerate() {
-            // The banked L1 accepts `banks` lines per cycle.
-            let at = now + (i / banks) as Cycle;
+            // The banked L1 accepts `banks` lines per cycle. (`i < banks`
+            // covers nearly every access — at most 32 lines exist — and
+            // skips a hardware division.)
+            let at = if i < banks { now } else { now + (i / banks) as Cycle };
             let done = if is_store {
                 ctx.memsys.store(self.id, *line, at)
             } else {
@@ -786,14 +1046,68 @@ impl Core {
             completion = completion.max(done);
             *ctx.horizon = (*ctx.horizon).max(done);
         }
-        self.mem_port_free = now + (lines.len().div_ceil(banks)).max(1) as Cycle;
+        self.mem_port_free =
+            now + if lines.len() <= banks { 1 } else { lines.len().div_ceil(banks) as Cycle };
         completion
     }
 
+    /// [`memory_access`](Core::memory_access) for a contiguous ascending
+    /// span of lane addresses `addr0..=addr_last` (the broadcast and
+    /// unit-stride fast paths): the coalesced line sequence of such a span
+    /// is exactly the ascending run of line bases it covers, so it is
+    /// generated arithmetically instead of walking 32 lanes through the
+    /// dedup buffer. Port accounting and completion match the general
+    /// path line for line.
+    fn memory_access_span<S: TraceSink + ?Sized>(
+        &mut self,
+        addr0: u32,
+        addr_last: u32,
+        is_store: bool,
+        now: Cycle,
+        ctx: &mut CoreCtx<'_, S>,
+    ) -> Cycle {
+        let line_bytes = ctx.line_bytes;
+        let banks = ctx.l1_banks;
+        let first = addr0 & !(line_bytes - 1);
+        let last = addr_last & !(line_bytes - 1);
+        let nlines = ((last - first) / line_bytes + 1) as usize;
+        let mut completion = now;
+        for i in 0..nlines {
+            let line = first + i as u32 * line_bytes;
+            // The banked L1 accepts `banks` lines per cycle.
+            let at = if i < banks { now } else { now + (i / banks) as Cycle };
+            let done = if is_store {
+                ctx.memsys.store(self.id, line, at)
+            } else {
+                ctx.memsys.load(self.id, line, at)
+            };
+            completion = completion.max(done);
+            *ctx.horizon = (*ctx.horizon).max(done);
+        }
+        self.mem_port_free =
+            now + if nlines <= banks { 1 } else { nlines.div_ceil(banks) as Cycle };
+        completion
+    }
+
+    /// The value of `reg` in the lowest active lane of warp `w`, with a
+    /// uniformity check across all active lanes.
     fn uniform(&self, w: usize, reg: vortex_isa::Reg, pc: u32) -> Result<u32, SimError> {
-        self.warps[w]
-            .uniform_ireg(reg)
-            .ok_or(SimError::NonUniformOperand { core: self.id, warp: w, pc })
+        let tmask = self.warps[w].tmask;
+        let err = SimError::NonUniformOperand { core: self.id, warp: w, pc };
+        if tmask == 0 {
+            return Err(err);
+        }
+        let row = self.rf.row(w, reg.num() as usize);
+        let v = row[tmask.trailing_zeros() as usize];
+        let mut m = tmask;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if row[l] != v {
+                return Err(err);
+            }
+        }
+        Ok(v)
     }
 
     fn read_csr<S: TraceSink + ?Sized>(
@@ -829,6 +1143,18 @@ fn load_width_bytes(width: LoadWidth) -> (u32, bool) {
         LoadWidth::Half => (2, true),
         LoadWidth::HalfU => (2, false),
         LoadWidth::Word => (4, false),
+    }
+}
+
+#[inline]
+fn branch_cmp(op: BranchOp, a: u32, b: u32) -> bool {
+    match op {
+        BranchOp::Eq => a == b,
+        BranchOp::Ne => a != b,
+        BranchOp::Lt => (a as i32) < (b as i32),
+        BranchOp::Ge => (a as i32) >= (b as i32),
+        BranchOp::Ltu => a < b,
+        BranchOp::Geu => a >= b,
     }
 }
 
@@ -940,6 +1266,7 @@ fn fclass(v: f32) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vortex_isa::reg;
 
     #[test]
     fn alu_semantics_match_riscv() {
@@ -988,4 +1315,32 @@ mod tests {
         assert_eq!(alu_imm(AluImmOp::Sll, 1, 4), 16);
         assert_eq!(alu_imm(AluImmOp::Sra, (-16i32) as u32, 2), (-4i32) as u32);
     }
+
+    #[test]
+    fn uniform_check_reads_active_lanes_only() {
+        let mut core = Core::new(0, 1, 4);
+        core.start_warp(0, 0x100, 0);
+        core.warps[0].tmask = 0b0110;
+        core.rf.row_mut(0, reg::T1.num() as usize).copy_from_slice(&[99, 7, 7, 99]);
+        assert_eq!(core.uniform(0, reg::T1, 0x100).unwrap(), 7);
+        core.rf.row_mut(0, reg::T1.num() as usize)[2] = 8;
+        assert!(core.uniform(0, reg::T1, 0x100).is_err());
+        // x0 is uniform zero regardless of lane contents.
+        assert_eq!(core.uniform(0, reg::ZERO, 0x100).unwrap(), 0);
+    }
+
+    #[test]
+    fn start_warp_clears_register_block() {
+        let mut core = Core::new(0, 2, 4);
+        core.start_warp(0, 0x100, 0);
+        core.rf.row_mut(0, 5)[1] = 42;
+        core.rf.set_busy(0, 5, 9);
+        core.rf.row_mut(1, 5)[0] = 17;
+        core.start_warp(0, 0x200, 0);
+        assert_eq!(core.rf.row(0, 5), &[0; 4]);
+        assert_eq!(core.rf.busy_until(0, 5), 0);
+        // Warp 1's rows are untouched by warp 0's restart.
+        assert_eq!(core.rf.read(1, 5, 0), 17);
+    }
 }
+

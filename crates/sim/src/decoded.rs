@@ -1,0 +1,117 @@
+//! The decode cache: per-instruction static metadata derived once at
+//! program-load time.
+//!
+//! Before this cache the hot path re-ran five separate matches over
+//! [`Instr`] per issued instruction (`src_regs` building an option array,
+//! `dst_reg`, `exec_class` twice, `is_control`); now each is one field
+//! load. The instruction and its metadata are stored side by side
+//! ([`DecodedInstr`]) so a fetch touches one contiguous entry instead of
+//! two parallel arrays.
+
+use vortex_isa::{ExecClass, Instr};
+
+/// Static facts about one instruction, in load-and-go form.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct InstrMeta {
+    /// Dense scoreboard indices of the source operands; `0` (= `x0`,
+    /// whose scoreboard entry is permanently zero) encodes "no operand",
+    /// which makes the hazard check a branchless chain of four `max`es.
+    pub src: [u8; 3],
+    /// Dense scoreboard index of the destination (`0` = none).
+    pub dst: u8,
+    /// Functional-unit class (drives the class counters and the `Op`
+    /// latency pick).
+    pub class: ExecClass,
+    /// Contends for the memory port.
+    pub is_mem: bool,
+    /// May redirect control flow (taken-branch bubble accounting).
+    pub is_control: bool,
+}
+
+impl InstrMeta {
+    /// Decodes the static facts of one instruction.
+    pub fn of(instr: &Instr) -> Self {
+        let mut src = [0u8; 3];
+        for (slot, reg) in src.iter_mut().zip(instr.src_regs()) {
+            if let Some(r) = reg {
+                if !r.is_zero() {
+                    *slot = r.dense_index() as u8;
+                }
+            }
+        }
+        let dst = instr.dst_reg().map_or(0, |d| d.dense_index() as u8);
+        InstrMeta {
+            src,
+            dst,
+            class: instr.exec_class(),
+            is_mem: instr.is_mem(),
+            is_control: instr.is_control(),
+        }
+    }
+
+    pub(crate) const INVALID: InstrMeta = InstrMeta {
+        src: [0; 3],
+        dst: 0,
+        class: ExecClass::Simt,
+        is_mem: false,
+        is_control: false,
+    };
+}
+
+/// One fetchable program slot: the instruction plus its decoded facts.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct DecodedInstr {
+    pub instr: Instr,
+    pub meta: InstrMeta,
+}
+
+impl DecodedInstr {
+    /// Decodes one instruction.
+    pub fn of(instr: Instr) -> Self {
+        DecodedInstr { meta: InstrMeta::of(&instr), instr }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_isa::{fregs, reg, AluOp, BranchOp, LoadWidth};
+
+    #[test]
+    fn operand_indices_use_the_dense_scoreboard_space() {
+        let m = InstrMeta::of(&Instr::Op {
+            op: AluOp::Add,
+            rd: reg::A0,
+            rs1: reg::T1,
+            rs2: reg::ZERO,
+        });
+        assert_eq!(m.src[0], reg::T1.num());
+        assert_eq!(m.src[1], 0, "x0 source encodes as no-operand");
+        assert_eq!(m.src[2], 0);
+        assert_eq!(m.dst, reg::A0.num());
+        assert!(!m.is_mem);
+        assert!(!m.is_control);
+
+        let fp = InstrMeta::of(&Instr::Flw { rd: fregs::FA0, rs1: reg::A1, offset: 0 });
+        assert_eq!(fp.dst, 32 + fregs::FA0.num(), "FP file sits above the integer file");
+        assert!(fp.is_mem);
+    }
+
+    #[test]
+    fn control_and_class_flags_match_the_instruction() {
+        let br = InstrMeta::of(&Instr::Branch {
+            op: BranchOp::Eq,
+            rs1: reg::A0,
+            rs2: reg::A1,
+            offset: 8,
+        });
+        assert!(br.is_control);
+        assert_eq!(br.class, ExecClass::Branch);
+        assert_eq!(br.dst, 0, "branches write no register");
+
+        let ld =
+            InstrMeta::of(&Instr::Load { width: LoadWidth::Word, rd: reg::A0, rs1: reg::A1, offset: 0 });
+        assert!(ld.is_mem);
+        assert_eq!(ld.class, ExecClass::Load);
+    }
+}

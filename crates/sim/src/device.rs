@@ -1,14 +1,14 @@
 //! The multi-core device and its event-driven run loop.
 
+use vortex_asm::Program;
+use vortex_mem::{Cycle, MainMemory, MemStats, MemSystem};
+
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use vortex_asm::Program;
-use vortex_isa::Instr;
-use vortex_mem::{Cycle, MainMemory, MemStats, MemSystem};
-
 use crate::config::DeviceConfig;
-use crate::core::{Core, CoreCtx, StepOutcome};
+use crate::core::{Core, CoreCtx, CoreOutcome};
+use crate::decoded::DecodedInstr;
 use crate::counters::DeviceCounters;
 use crate::error::SimError;
 use crate::trace_api::{NullSink, TraceSink};
@@ -30,7 +30,11 @@ pub struct Device {
     cores: Vec<Core>,
     mem: MainMemory,
     memsys: MemSystem,
-    code: Vec<Instr>,
+    /// The loaded program, pre-decoded: each slot pairs the instruction
+    /// with its static metadata (operand scoreboard indices,
+    /// functional-unit class, control/memory flags), derived once here
+    /// instead of being re-matched on every issue.
+    code: Vec<DecodedInstr>,
     /// The raw word image of the loaded program, cached at
     /// [`load_program`](Device::load_program) time so [`reset`](Device::reset)
     /// re-materialises it with one bulk copy instead of re-encoding every
@@ -73,7 +77,7 @@ impl Device {
     /// Loads a program image (instructions become fetchable, and the raw
     /// words are also written to main memory at the program's base).
     pub fn load_program(&mut self, program: &Program) {
-        self.code = program.instrs().to_vec();
+        self.code = program.instrs().iter().copied().map(DecodedInstr::of).collect();
         self.code_words = program.words().to_vec();
         self.code_base = program.entry();
         self.mem.write_u32_slice(program.entry(), program.words());
@@ -185,17 +189,22 @@ impl Device {
             counters,
         } = self;
 
+        // The binary heap stays the event queue after measurement: both a
+        // bucket-ring calendar queue and a flat per-core wake-slot table
+        // were prototyped against it (ROADMAP item c) and lost on the
+        // 450-configuration probe — see README "PR2 results". With one
+        // pending event per core and n ≤ 64, heap sifts over a contiguous
+        // 16-byte-entry array beat both the ring walk and the O(cores)
+        // rescan per simulated cycle that desynchronised many-core runs
+        // force on a slot table. More importantly, the heap is no longer
+        // on the per-issue path at all: each pop hands the core a
+        // conservative-lookahead window (see [`Core::run_until`]).
         let mut heap: BinaryHeap<Reverse<(Cycle, usize)>> = BinaryHeap::new();
         for core in cores.iter() {
             if core.any_active() {
                 heap.push(Reverse((*cycle, core.id())));
             }
         }
-
-        // Cores due at the cycle being processed (ascending id, matching
-        // heap pop order), and their rescheduling times.
-        let mut batch: Vec<usize> = Vec::with_capacity(cores.len());
-        let mut requeue: Vec<(Cycle, usize)> = Vec::with_capacity(cores.len());
 
         // One context for the whole run: it borrows device state disjoint
         // from `cores`, so it does not need rebuilding per step.
@@ -216,49 +225,25 @@ impl Device {
             l1_banks,
         };
 
-        'events: while let Some(Reverse((first_t, first_cid))) = heap.pop() {
-            let mut t = first_t;
-            batch.clear();
-            batch.push(first_cid);
-            // Batch every core scheduled for the same cycle: they are
-            // stepped back-to-back without interleaved heap traffic.
-            while let Some(&Reverse((t2, _))) = heap.peek() {
-                if t2 != t {
-                    break;
-                }
-                batch.push(heap.pop().expect("peeked").0 .1);
+        // Conservative-lookahead event loop: pop the earliest-due core,
+        // and let it simulate every cycle up to the next *other* core's
+        // event time in one call — no other core can act in that window,
+        // so batching it is observationally identical to stepping one
+        // instruction per pop (counters, memory traffic and trace events
+        // keep their global `(cycle, core)` order). Same-cycle cores pop
+        // in ascending id order, exactly as before. Single-core devices
+        // run to completion in a single `run_until` call.
+        while let Some(Reverse((t, cid))) = heap.pop() {
+            if t > limit {
+                return Err(SimError::CycleLimit { limit });
             }
-            loop {
-                if t > limit {
-                    return Err(SimError::CycleLimit { limit });
-                }
-                *cycle = t;
-                requeue.clear();
-                for &cid in &batch {
-                    match cores[cid].step(t, &mut ctx)? {
-                        StepOutcome::Issued(next) | StepOutcome::Waiting(next) => {
-                            requeue.push((next, cid));
-                        }
-                        StepOutcome::Idle => {}
-                    }
-                }
-                // Hot-path: when every stepped core agrees on the same next
-                // cycle and nothing queued comes earlier, keep stepping this
-                // batch without touching the heap at all. Single-core
-                // devices never leave this loop.
-                let Some(&(next_t, _)) = requeue.first() else { continue 'events };
-                let uniform = requeue.iter().all(|&(n, _)| n == next_t);
-                let beats_heap = heap.peek().is_none_or(|&Reverse((t2, _))| next_t < t2);
-                if uniform && beats_heap {
-                    t = next_t;
-                    batch.clear();
-                    batch.extend(requeue.iter().map(|&(_, cid)| cid));
-                } else {
-                    for &(n, cid) in &requeue {
-                        heap.push(Reverse((n, cid)));
-                    }
-                    continue 'events;
-                }
+            let horizon = match heap.peek() {
+                Some(&Reverse((t2, _))) => t2.min(limit.saturating_add(1)),
+                None => limit.saturating_add(1),
+            };
+            match cores[cid].run_until(t, horizon, cycle, &mut ctx)? {
+                CoreOutcome::Next(next) => heap.push(Reverse((next, cid))),
+                CoreOutcome::Idle => {}
             }
         }
 

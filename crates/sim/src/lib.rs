@@ -48,12 +48,14 @@
 
 #![forbid(unsafe_code)]
 
+mod decoded;
 mod config;
 mod core;
 mod counters;
 mod device;
 mod error;
 mod ipdom;
+mod regfile;
 mod trace_api;
 mod warp;
 

@@ -1,0 +1,190 @@
+//! The core-owned SIMT register file: lane-major structure-of-arrays
+//! rows plus the flat per-register scoreboard.
+//!
+//! Every warp owns 64 architectural registers (32 integer + 32 FP, the
+//! scoreboard's dense indexing), and every register is stored as one
+//! contiguous *row* of `threads` lane values:
+//!
+//! ```text
+//! words[(warp * 64 + dense_reg) * threads + lane]
+//! ```
+//!
+//! This is the data layout the interpreter's execute loops are written
+//! against: an opcode arm reads its source rows, then writes its
+//! destination row in a single contiguous pass (branch-free when the
+//! thread mask is full), instead of pointer-chasing a per-warp register
+//! struct lane by lane. The scoreboard lives in a parallel flat array
+//! (`busy[warp * 64 + dense_reg]`) so hazard checks touch one cache line
+//! per warp rather than a heap allocation per warp.
+//!
+//! Invariant: the row of integer register `x0` (dense index 0) is never
+//! written, so reading it always yields zeros — the hard-wired zero
+//! register needs no per-lane branch in the execute loops.
+
+use vortex_mem::Cycle;
+
+/// Dense registers per warp: 32 integer followed by 32 floating-point
+/// (matching [`vortex_isa::RegRef::dense_index`]).
+pub(crate) const REGS_PER_WARP: usize = 64;
+
+/// Dense-index offset of the FP register file.
+pub(crate) const FP_BASE: usize = 32;
+
+/// Lane-major register rows and scoreboard for every warp of one core.
+#[derive(Clone, Debug)]
+pub(crate) struct RegFile {
+    /// Lanes per warp (row length).
+    threads: usize,
+    /// Register rows, lane-major (see module docs).
+    words: Vec<u32>,
+    /// Per-register busy-until cycles: `busy[warp * 64 + dense_reg]`.
+    busy: Vec<Cycle>,
+}
+
+impl RegFile {
+    /// A zeroed register file for `warps × threads` lanes.
+    pub fn new(warps: usize, threads: usize) -> Self {
+        RegFile {
+            threads,
+            words: vec![0; warps * REGS_PER_WARP * threads],
+            busy: vec![0; warps * REGS_PER_WARP],
+        }
+    }
+
+    #[inline]
+    fn base(&self, warp: usize, dense: usize) -> usize {
+        (warp * REGS_PER_WARP + dense) * self.threads
+    }
+
+    /// The lane row of one register (read).
+    #[inline]
+    pub fn row(&self, warp: usize, dense: usize) -> &[u32] {
+        let base = self.base(warp, dense);
+        &self.words[base..base + self.threads]
+    }
+
+    /// The lane row of one register (write). Callers must never write the
+    /// `x0` row (dense index 0) — see the module invariant.
+    #[inline]
+    pub fn row_mut(&mut self, warp: usize, dense: usize) -> &mut [u32] {
+        debug_assert!(dense != 0, "the x0 row is read-only");
+        let base = self.base(warp, dense);
+        &mut self.words[base..base + self.threads]
+    }
+
+    /// Copies a register row into the head of a stack buffer, returning
+    /// the filled prefix. This is how execute loops materialise *source*
+    /// operands: the copy is one contiguous `threads`-word move, after
+    /// which the destination row can be borrowed mutably without aliasing
+    /// (the safe-Rust answer to `dst ← f(src1, src2)` with `dst == src`).
+    #[inline]
+    pub fn copy_row<'b>(&self, warp: usize, dense: usize, buf: &'b mut [u32; 32]) -> &'b [u32] {
+        let row = self.row(warp, dense);
+        buf[..self.threads].copy_from_slice(row);
+        &buf[..self.threads]
+    }
+
+    /// [`copy_row`](RegFile::copy_row) restricted to the active lanes of
+    /// `tmask`: a sparse gather instead of a whole-row move. On divergent
+    /// wide warps (a handful of live lanes out of 32) the full copy costs
+    /// more than the execute loop it feeds; the masked execute paths only
+    /// ever read active-lane slots of the buffer, so the inactive slots
+    /// may hold garbage.
+    #[inline]
+    pub fn gather_row(&self, warp: usize, dense: usize, tmask: u32, buf: &mut [u32; 32]) {
+        let row = self.row(warp, dense);
+        let mut m = tmask;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            buf[l] = row[l];
+        }
+    }
+
+    /// One lane of one register.
+    #[cfg(test)]
+    pub fn read(&self, warp: usize, dense: usize, lane: usize) -> u32 {
+        self.words[self.base(warp, dense) + lane]
+    }
+
+    /// The scoreboard entry of one register.
+    #[inline]
+    pub fn busy_until(&self, warp: usize, dense: usize) -> Cycle {
+        self.busy[warp * REGS_PER_WARP + dense]
+    }
+
+    /// Marks a register busy until `t`. Callers must never mark `x0`
+    /// (its scoreboard entry stays 0, like its row stays zeroed).
+    #[inline]
+    pub fn set_busy(&mut self, warp: usize, dense: usize, t: Cycle) {
+        debug_assert!(dense != 0, "x0 never becomes busy");
+        self.busy[warp * REGS_PER_WARP + dense] = t;
+    }
+
+    /// Zeroes one warp's rows and scoreboard — the architectural clear a
+    /// (re)started warp requires. Dormant warps keep stale contents (the
+    /// device-level reset relies on this staying cheap; see
+    /// `WarpState::deactivate`).
+    pub fn clear_warp(&mut self, warp: usize) {
+        let base = self.base(warp, 0);
+        self.words[base..base + REGS_PER_WARP * self.threads].fill(0);
+        self.busy[warp * REGS_PER_WARP..(warp + 1) * REGS_PER_WARP].fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_contiguous_per_register() {
+        let mut rf = RegFile::new(2, 4);
+        for lane in 0..4 {
+            rf.row_mut(1, 5)[lane] = 100 + lane as u32;
+        }
+        assert_eq!(rf.row(1, 5), &[100, 101, 102, 103]);
+        assert_eq!(rf.read(1, 5, 2), 102);
+        // Neighbouring registers and warps are untouched.
+        assert_eq!(rf.row(1, 4), &[0; 4]);
+        assert_eq!(rf.row(1, 6), &[0; 4]);
+        assert_eq!(rf.row(0, 5), &[0; 4]);
+    }
+
+    #[test]
+    fn copy_row_snapshots_sources() {
+        let mut rf = RegFile::new(1, 3);
+        rf.row_mut(0, 7).copy_from_slice(&[1, 2, 3]);
+        let mut buf = [0u32; 32];
+        let src = rf.copy_row(0, 7, &mut buf);
+        assert_eq!(src, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_register_row_reads_zero() {
+        let rf = RegFile::new(1, 8);
+        assert_eq!(rf.row(0, 0), &[0; 8]);
+        assert_eq!(rf.busy_until(0, 0), 0);
+    }
+
+    #[test]
+    fn clear_warp_is_warp_local() {
+        let mut rf = RegFile::new(2, 2);
+        rf.row_mut(0, 3)[0] = 9;
+        rf.row_mut(1, 3)[0] = 9;
+        rf.set_busy(0, 3, 42);
+        rf.set_busy(1, 3, 42);
+        rf.clear_warp(0);
+        assert_eq!(rf.row(0, 3), &[0, 0]);
+        assert_eq!(rf.busy_until(0, 3), 0);
+        assert_eq!(rf.row(1, 3), &[9, 0]);
+        assert_eq!(rf.busy_until(1, 3), 42);
+    }
+
+    #[test]
+    fn fp_rows_live_above_the_integer_file() {
+        let mut rf = RegFile::new(1, 2);
+        rf.row_mut(0, FP_BASE + 1)[0] = 7;
+        assert_eq!(rf.read(0, FP_BASE + 1, 0), 7);
+        assert_eq!(rf.read(0, 1, 0), 0);
+    }
+}

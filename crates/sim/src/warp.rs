@@ -1,6 +1,11 @@
-//! Per-warp architectural and scheduling state.
+//! Per-warp control and scheduling state.
+//!
+//! Architectural *register* state does not live here: every core owns one
+//! lane-major [`RegFile`](crate::regfile::RegFile) holding the register
+//! rows and the scoreboard of all its warps, so the execute loops can run
+//! as contiguous slice passes. `WarpState` is the remaining per-warp
+//! control block: PC, thread mask, divergence stack and scheduling state.
 
-use vortex_isa::{FReg, Reg};
 use vortex_mem::Cycle;
 
 use crate::ipdom::IpdomEntry;
@@ -8,11 +13,7 @@ use crate::ipdom::IpdomEntry;
 /// Never: sentinel for "not runnable until an external event".
 pub(crate) const NEVER: Cycle = Cycle::MAX;
 
-/// The full state of one hardware warp.
-///
-/// Registers are per-lane (`threads` copies of 32 integer + 32 FP
-/// registers); the scoreboard and control state are per-warp, matching an
-/// in-order SIMT pipeline.
+/// The control state of one hardware warp.
 #[derive(Clone, Debug)]
 pub struct WarpState {
     /// Lanes in this warp (fixed by the device configuration).
@@ -28,14 +29,8 @@ pub struct WarpState {
     /// Earliest cycle the warp may issue its next instruction
     /// (control-flow gap only; register hazards are checked separately).
     pub ready_at: Cycle,
-    /// Per-register busy-until cycles (index 0..32 int, 32..64 fp).
-    pub busy_until: Box<[Cycle; 64]>,
     /// IPDOM divergence stack.
     pub ipdom: Vec<IpdomEntry>,
-    /// Integer registers, reg-major: `iregs[reg * threads + lane]`.
-    iregs: Vec<u32>,
-    /// FP registers (raw bits), reg-major like `iregs`.
-    fregs: Vec<u32>,
 }
 
 impl WarpState {
@@ -48,10 +43,7 @@ impl WarpState {
             active: false,
             at_barrier: None,
             ready_at: NEVER,
-            busy_until: Box::new([0; 64]),
             ipdom: Vec::new(),
-            iregs: vec![0; threads * 32],
-            fregs: vec![0; threads * 32],
         }
     }
 
@@ -69,12 +61,13 @@ impl WarpState {
         }
     }
 
-    /// Deactivates the warp without touching its register file — the
-    /// architectural contract is that [`start`](WarpState::start) clears
-    /// registers on activation, so a dormant warp's stale contents are
-    /// never observable by executed code. Used by the device-level reset,
-    /// where re-zeroing every register of every warp (megabytes on large
-    /// topologies) would dominate short measurement runs.
+    /// Deactivates the warp without touching its register rows — the
+    /// architectural contract is that [`start`](WarpState::start) (with
+    /// the core-side register clear) zeroes registers on activation, so a
+    /// dormant warp's stale contents are never observable by executed
+    /// code. Used by the device-level reset, where re-zeroing every
+    /// register of every warp (megabytes on large topologies) would
+    /// dominate short measurement runs.
     pub fn deactivate(&mut self) {
         self.pc = 0;
         self.tmask = 0;
@@ -84,18 +77,16 @@ impl WarpState {
         self.ipdom.clear();
     }
 
-    /// (Re)starts the warp at `pc` with mask `tmask`, clearing registers,
-    /// scoreboard and divergence state.
+    /// (Re)starts the warp at `pc` with mask `tmask`, clearing control and
+    /// divergence state. The caller (the core) clears the warp's register
+    /// rows and scoreboard alongside — see `RegFile::clear_warp`.
     pub fn start(&mut self, pc: u32, tmask: u32, ready_at: Cycle) {
         self.pc = pc;
         self.tmask = tmask & self.full_mask();
         self.active = self.tmask != 0;
         self.at_barrier = None;
         self.ready_at = ready_at;
-        self.busy_until.fill(0);
         self.ipdom.clear();
-        self.iregs.fill(0);
-        self.fregs.fill(0);
     }
 
     /// Halts the warp (e.g. `vx_tmc zero`).
@@ -124,83 +115,24 @@ impl WarpState {
         let mask = self.tmask;
         (0..self.threads).filter(move |&l| mask & (1 << l) != 0)
     }
-
-    /// Reads integer register `reg` of `lane`.
-    #[inline]
-    pub fn ireg(&self, lane: usize, reg: Reg) -> u32 {
-        if reg.is_zero() {
-            0
-        } else {
-            self.iregs[reg.num() as usize * self.threads + lane]
-        }
-    }
-
-    /// Writes integer register `reg` of `lane` (writes to `zero` are
-    /// discarded).
-    #[inline]
-    pub fn set_ireg(&mut self, lane: usize, reg: Reg, value: u32) {
-        if !reg.is_zero() {
-            self.iregs[reg.num() as usize * self.threads + lane] = value;
-        }
-    }
-
-    /// Reads FP register `reg` of `lane` as raw bits.
-    #[inline]
-    pub fn freg_bits(&self, lane: usize, reg: FReg) -> u32 {
-        self.fregs[reg.num() as usize * self.threads + lane]
-    }
-
-    /// Writes FP register `reg` of `lane` as raw bits.
-    #[inline]
-    pub fn set_freg_bits(&mut self, lane: usize, reg: FReg, value: u32) {
-        self.fregs[reg.num() as usize * self.threads + lane] = value;
-    }
-
-    /// Reads FP register `reg` of `lane` as `f32`.
-    #[inline]
-    pub fn freg(&self, lane: usize, reg: FReg) -> f32 {
-        f32::from_bits(self.freg_bits(lane, reg))
-    }
-
-    /// Writes FP register `reg` of `lane` from `f32`.
-    #[inline]
-    pub fn set_freg(&mut self, lane: usize, reg: FReg, value: f32) {
-        self.set_freg_bits(lane, reg, value.to_bits());
-    }
-
-    /// The value of `reg` in the lowest active lane, with a uniformity
-    /// check across all active lanes. Returns `None` when lanes disagree
-    /// or no lane is active.
-    pub fn uniform_ireg(&self, reg: Reg) -> Option<u32> {
-        let first = self.first_active_lane()?;
-        let v = self.ireg(first, reg);
-        for lane in self.active_lanes() {
-            if self.ireg(lane, reg) != v {
-                return None;
-            }
-        }
-        Some(v)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vortex_isa::{fregs, reg};
 
     #[test]
-    fn start_clears_state() {
+    fn start_clears_control_state() {
         let mut w = WarpState::new(4);
         w.start(0x100, 0xF, 5);
-        w.set_ireg(2, reg::T0, 99);
-        w.busy_until[5] = 42;
         w.ipdom.push(IpdomEntry::Uniform { restore_mask: 1 });
+        w.at_barrier = Some(3);
         w.start(0x200, 0x3, 10);
-        assert_eq!(w.ireg(2, reg::T0), 0);
-        assert_eq!(w.busy_until[5], 0);
         assert!(w.ipdom.is_empty());
+        assert_eq!(w.at_barrier, None);
         assert_eq!(w.tmask, 0x3);
         assert_eq!(w.pc, 0x200);
+        assert_eq!(w.ready_at, 10);
         assert!(w.active);
     }
 
@@ -215,37 +147,11 @@ mod tests {
     }
 
     #[test]
-    fn zero_register_is_hardwired() {
-        let mut w = WarpState::new(2);
-        w.start(0, 0x3, 0);
-        w.set_ireg(0, reg::ZERO, 1234);
-        assert_eq!(w.ireg(0, reg::ZERO), 0);
-    }
-
-    #[test]
-    fn lanes_are_independent() {
+    fn starting_with_empty_mask_stays_inactive() {
         let mut w = WarpState::new(4);
-        w.start(0, 0xF, 0);
-        for lane in 0..4 {
-            w.set_ireg(lane, reg::A0, lane as u32 * 10);
-            w.set_freg(lane, fregs::FA0, lane as f32);
-        }
-        for lane in 0..4 {
-            assert_eq!(w.ireg(lane, reg::A0), lane as u32 * 10);
-            assert_eq!(w.freg(lane, fregs::FA0), lane as f32);
-        }
-    }
-
-    #[test]
-    fn uniformity_check() {
-        let mut w = WarpState::new(4);
-        w.start(0, 0b0110, 0);
-        w.set_ireg(1, reg::T1, 7);
-        w.set_ireg(2, reg::T1, 7);
-        w.set_ireg(0, reg::T1, 99); // inactive lane may disagree
-        assert_eq!(w.uniform_ireg(reg::T1), Some(7));
-        w.set_ireg(2, reg::T1, 8);
-        assert_eq!(w.uniform_ireg(reg::T1), None);
+        w.start(0x100, 0, 0);
+        assert!(!w.active);
+        assert!(!w.schedulable());
     }
 
     #[test]

@@ -10,6 +10,15 @@
 //! * the **reused-device** path (`Runtime::reset` between runs, used by
 //!   `run_campaign` so nothing is rebuilt per measurement).
 //!
+//! All **nine paper kernels** are pinned (at reduced sizes), so the SoA
+//! register-file fast paths are gated kernel by kernel: every kernel's
+//! instruction mix exercises a different subset of the full-mask /
+//! masked execute loops and the broadcast / unit-stride memory paths.
+//! Dedicated white-box programs additionally pin one traced-vs-untraced
+//! identity case per execute-loop fast path (divergent masked rows,
+//! broadcast loads, unit-stride loads/stores, uniform power-of-two
+//! division).
+//!
 //! On top of the cross-path identity, a table of hard-coded golden finish
 //! cycles pins the absolute timing of representative runs, so a change
 //! that shifts *all* paths together still fails loudly.
@@ -18,11 +27,19 @@ use vortex_gpgpu::prelude::*;
 use vortex_kernels::{run_kernel_prepared, Kernel};
 use vortex_sim::{DeviceCounters, MemStats};
 
+/// All nine paper kernels at sizes small enough for exhaustive
+/// cross-path sweeps.
 fn kernels() -> Vec<Box<dyn Kernel>> {
     vec![
         Box::new(VecAdd::new(512)),
+        Box::new(Relu::new(300)),
+        Box::new(Saxpy::new(257)),
+        Box::new(Sgemm::new(12, 8, 8)),
         Box::new(Gauss::new(16, 5)),
+        Box::new(Knn::new(128)),
         Box::new(GcnAggr::new(48, 160, 4)),
+        Box::new(GcnLayer::new(32, 128, 4)),
+        Box::new(ResnetLayer::new(6, 4, 4, 2)),
     ]
 }
 
@@ -55,7 +72,8 @@ fn fingerprint(outcome: &vortex_kernels::RunOutcome) -> Fingerprint {
 }
 
 /// Traced (dyn-dispatch) and untraced (monomorphised) runs are identical
-/// in finish cycles, device counters and memory statistics.
+/// in finish cycles, device counters and memory statistics, for every
+/// paper kernel.
 #[test]
 fn traced_and_untraced_paths_agree() {
     for config in sweep_corner_configs() {
@@ -86,7 +104,7 @@ fn traced_and_untraced_paths_agree() {
 }
 
 /// A runtime reused across runs via `reset()` (the campaign path) matches
-/// a freshly constructed device run-for-run.
+/// a freshly constructed device run-for-run, for every paper kernel.
 #[test]
 fn reused_runtime_matches_fresh_device() {
     for config in sweep_corner_configs() {
@@ -118,7 +136,7 @@ fn reused_runtime_matches_fresh_device() {
 /// (below the runtime layer, catching drift in `Device::run` itself).
 #[test]
 fn raw_device_counters_agree_across_paths() {
-    let mut kernel = VecAdd::new(256);
+    let kernel = VecAdd::new(256);
     let program = kernel.build().expect("assembles");
     let config: DeviceConfig = "2c2w4t".parse().unwrap();
 
@@ -134,6 +152,169 @@ fn raw_device_counters_agree_across_paths() {
         (outcome.cycles, *rt.device().counters(), rt.device().mem_stats())
     };
     assert_eq!(run(false), run(true));
+}
+
+// ---------------------------------------------------------------------
+// Per-fast-path identity programs.
+//
+// Each white-box program below is built to steer execution down exactly
+// one of the execute-loop fast paths the SoA register file introduced,
+// then checked traced-vs-untraced on a raw device: identical finish
+// cycle, counters and architectural results.
+// ---------------------------------------------------------------------
+
+mod fastpaths {
+    use vortex_asm::Assembler;
+    use vortex_gpgpu::prelude::*;
+    use vortex_isa::reg;
+    use vortex_sim::{Device, NullSink, VecTraceSink};
+
+    const BASE: u32 = 0x8000_0000;
+
+    /// Runs `build` on a fresh device traced and untraced; asserts the
+    /// cycle/counter/memory fingerprints agree and returns the probed
+    /// memory words for an architectural check.
+    fn identical_runs(
+        threads: usize,
+        build: impl Fn(&mut Assembler),
+        probe: &[u32],
+    ) -> Vec<u32> {
+        let run = |traced: bool| -> (u64, u64, u64, Vec<u32>) {
+            let mut a = Assembler::new(BASE);
+            build(&mut a);
+            let program = a.assemble().expect("assembles");
+            let mut device = Device::new(DeviceConfig::with_topology(1, 2, threads));
+            device.load_program(&program);
+            device.start_warp(0, program.entry());
+            let finish = if traced {
+                let mut sink = VecTraceSink::new();
+                device.run(1_000_000, Some(&mut sink)).expect("runs")
+            } else {
+                device.run_with::<NullSink>(1_000_000, None).expect("runs")
+            };
+            let mem = device.memory();
+            let words = probe.iter().map(|&addr| mem.read_u32(addr)).collect();
+            (
+                finish,
+                device.counters().instructions,
+                device.counters().lane_instructions,
+                words,
+            )
+        };
+        let untraced = run(false);
+        let traced = run(true);
+        assert_eq!(untraced, traced, "traced vs untraced fast-path drift");
+        untraced.3
+    }
+
+    /// Masked (divergent) row loops: `vx_split` leaves a partial mask and
+    /// the arms must write only the live lanes.
+    #[test]
+    fn masked_rows_identity() {
+        let words = identical_runs(
+            4,
+            |a| {
+                a.csrr(reg::T0, vortex_isa::csrs::THREAD_ID);
+                a.li(reg::T1, 2);
+                // Diverge: lanes with tid < 2 take the then-side.
+                a.sltu(reg::T2, reg::T0, reg::T1);
+                let else_l = a.label("else");
+                a.vx_split(reg::T2, else_l);
+                a.addi(reg::T3, reg::ZERO, 11); // live lanes only
+                a.bind(else_l).expect("fresh");
+                a.vx_join();
+                // Store per-lane result: base 0x1000 + 4*tid.
+                a.slli(reg::T4, reg::T0, 2);
+                a.li_u32(reg::T5, 0x1000);
+                a.add(reg::T4, reg::T4, reg::T5);
+                a.sw(reg::T3, 0, reg::T4);
+                a.vx_tmc(reg::ZERO);
+            },
+            &[0x1000, 0x1004, 0x1008, 0x100C],
+        );
+        // Lanes 0,1 wrote 11; lanes 2,3 kept the cleared register.
+        assert_eq!(words, vec![11, 11, 0, 0]);
+    }
+
+    /// Broadcast loads: every lane reads one uniform address (the
+    /// dispatch/argument idiom) — served by a single bulk access.
+    #[test]
+    fn broadcast_load_identity() {
+        let words = identical_runs(
+            8,
+            |a| {
+                // Seed a value, then have all 8 lanes load it uniformly.
+                a.li(reg::T0, 1234);
+                a.li_u32(reg::T1, 0x2000);
+                a.sw(reg::T0, 0, reg::T1);
+                a.lw(reg::T2, 0, reg::T1); // broadcast load
+                // Fan out per lane so the result is observable per lane.
+                a.csrr(reg::T3, vortex_isa::csrs::THREAD_ID);
+                a.slli(reg::T3, reg::T3, 2);
+                a.li_u32(reg::T4, 0x3000);
+                a.add(reg::T3, reg::T3, reg::T4);
+                a.sw(reg::T2, 0, reg::T3);
+                a.vx_tmc(reg::ZERO);
+            },
+            &[0x3000, 0x3004, 0x301C],
+        );
+        assert_eq!(words, vec![1234, 1234, 1234]);
+    }
+
+    /// Unit-stride loads and stores: lane-consecutive words — the
+    /// streaming idiom served by the bulk row path.
+    #[test]
+    fn unit_stride_load_store_identity() {
+        let words = identical_runs(
+            8,
+            |a| {
+                // addr = 0x4000 + 4*tid; store tid*3, reload, store doubled
+                // at 0x5000 + 4*tid.
+                a.csrr(reg::T0, vortex_isa::csrs::THREAD_ID);
+                a.slli(reg::T1, reg::T0, 2);
+                a.li_u32(reg::T2, 0x4000);
+                a.add(reg::T2, reg::T2, reg::T1);
+                a.li(reg::T3, 3);
+                a.mul(reg::T3, reg::T0, reg::T3);
+                a.sw(reg::T3, 0, reg::T2); // unit-stride store
+                a.lw(reg::T4, 0, reg::T2); // unit-stride load
+                a.add(reg::T4, reg::T4, reg::T4); // double it
+                a.li_u32(reg::T5, 0x5000);
+                a.add(reg::T5, reg::T5, reg::T1);
+                a.sw(reg::T4, 0, reg::T5);
+                a.vx_tmc(reg::ZERO);
+            },
+            &[0x4000, 0x4004, 0x401C, 0x5004, 0x501C],
+        );
+        assert_eq!(words, vec![0, 3, 21, 6, 42]);
+    }
+
+    /// Uniform power-of-two `divu`/`remu` (the `item / hs` indexing
+    /// idiom) — served by the shift/mask path.
+    #[test]
+    fn pow2_division_identity() {
+        let words = identical_runs(
+            8,
+            |a| {
+                a.csrr(reg::T0, vortex_isa::csrs::THREAD_ID);
+                a.li(reg::T1, 4); // uniform power-of-two divisor
+                a.divu(reg::T2, reg::T0, reg::T1);
+                a.remu(reg::T3, reg::T0, reg::T1);
+                // out[tid] = q * 100 + r
+                a.li(reg::T4, 100);
+                a.mul(reg::T2, reg::T2, reg::T4);
+                a.add(reg::T2, reg::T2, reg::T3);
+                a.slli(reg::T5, reg::T0, 2);
+                a.li_u32(reg::T6, 0x6000);
+                a.add(reg::T5, reg::T5, reg::T6);
+                a.sw(reg::T2, 0, reg::T5);
+                a.vx_tmc(reg::ZERO);
+            },
+            &[0x6000, 0x6004, 0x6014, 0x601C],
+        );
+        // tid 0 -> 0, tid 1 -> 1, tid 5 -> 101, tid 7 -> 103.
+        assert_eq!(words, vec![0, 1, 101, 103]);
+    }
 }
 
 /// Absolute golden finish cycles for representative runs. These values
