@@ -28,10 +28,7 @@ enum RefKind {
     /// Patch the PC-relative offset of a branch/jal/split at the index.
     PcRel(usize),
     /// Patch a `lui`+`addi` pair with the label's absolute address.
-    AbsPair {
-        lui: usize,
-        addi: usize,
-    },
+    AbsPair { lui: usize, addi: usize },
 }
 
 /// An error raised while assembling a program.
@@ -173,9 +170,8 @@ impl Assembler {
         let Assembler { base, mut instrs, labels, refs, sections } = self;
         for (kind, label) in refs {
             let state = &labels[label.0];
-            let target = state
-                .addr
-                .ok_or_else(|| AsmError::UnboundLabel { name: state.name.clone() })?;
+            let target =
+                state.addr.ok_or_else(|| AsmError::UnboundLabel { name: state.name.clone() })?;
             match kind {
                 RefKind::PcRel(idx) => {
                     let pc = base + (idx as u32) * INSTR_BYTES;
@@ -207,8 +203,7 @@ impl Assembler {
         let mut words = Vec::with_capacity(instrs.len());
         for (i, &instr) in instrs.iter().enumerate() {
             let addr = base + (i as u32) * INSTR_BYTES;
-            let word =
-                encode(instr).map_err(|source| AsmError::Encode { addr, source })?;
+            let word = encode(instr).map_err(|source| AsmError::Encode { addr, source })?;
             words.push(word);
         }
         let end = base + (instrs.len() as u32) * INSTR_BYTES;
@@ -762,22 +757,19 @@ mod tests {
         a.li(reg::T0, 0x12345); // 2 instrs
         a.li(reg::T0, -4096); // 2 instrs (lui only? -4096 = 0xFFFFF000)
         let p = a.assemble().unwrap();
-        assert_eq!(p.instrs()[0], Instr::OpImm {
-            op: vortex_isa::AluImmOp::Add,
-            rd: reg::T0,
-            rs1: reg::ZERO,
-            imm: 5
-        });
+        assert_eq!(
+            p.instrs()[0],
+            Instr::OpImm { op: vortex_isa::AluImmOp::Add, rd: reg::T0, rs1: reg::ZERO, imm: 5 }
+        );
         assert!(p.len() >= 4);
     }
 
     #[test]
     fn li_roundtrips_arbitrary_constants() {
         // Simulate the li expansion arithmetic for tricky values.
-        for imm in
-            [0i32, 1, -1, 2047, -2048, 2048, -2049, 0x7FFF_FFFF, -0x8000_0000, 0x1234_5678]
-        {
-            let hi = if (-2048..=2047).contains(&imm) { 0 } else { imm.wrapping_add(0x800) & !0xFFF };
+        for imm in [0i32, 1, -1, 2047, -2048, 2048, -2049, 0x7FFF_FFFF, -0x8000_0000, 0x1234_5678] {
+            let hi =
+                if (-2048..=2047).contains(&imm) { 0 } else { imm.wrapping_add(0x800) & !0xFFF };
             let lo = imm.wrapping_sub(hi);
             assert_eq!(hi.wrapping_add(lo), imm, "imm {imm}");
             assert!((-2048..=2047).contains(&lo), "low part of {imm} fits addi");

@@ -88,7 +88,7 @@ impl Program {
     /// The instruction at an absolute address, if it lies inside the image
     /// and is word-aligned.
     pub fn instr_at(&self, addr: u32) -> Option<Instr> {
-        if addr < self.base || addr % INSTR_BYTES != 0 {
+        if addr < self.base || !addr.is_multiple_of(INSTR_BYTES) {
             return None;
         }
         self.instrs.get(((addr - self.base) / INSTR_BYTES) as usize).copied()

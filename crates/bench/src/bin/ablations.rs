@@ -63,10 +63,7 @@ fn dispatch_overhead(configs: &[DeviceConfig]) {
                 rt.load_program(&program);
                 kernel.setup(&mut rt).expect("setup");
                 let report = rt
-                    .launch(
-                        &vortex_core::LaunchParams::new(4096).policy(policy),
-                        None,
-                    )
+                    .launch(&vortex_core::LaunchParams::new(4096).policy(policy), None)
                     .expect("launch");
                 report.cycles
             };

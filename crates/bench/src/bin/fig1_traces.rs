@@ -13,7 +13,7 @@ use vortex_core::LwsPolicy;
 use vortex_kernels::{run_kernel_traced, Kernel, VecAdd};
 use vortex_sim::{DeviceConfig, VecTraceSink};
 use vortex_stats::Table;
-use vortex_trace::{render_timeline, Trace, TimelineOptions, TraceStats};
+use vortex_trace::{render_timeline, TimelineOptions, Trace, TraceStats};
 
 fn main() {
     let flags = Flags::from_env();
@@ -30,7 +30,14 @@ fn main() {
     );
 
     let mut table = Table::new(vec![
-        "lws", "scenario", "cycles", "instructions", "rounds", "body%", "overhead%", "lane util",
+        "lws",
+        "scenario",
+        "cycles",
+        "instructions",
+        "rounds",
+        "body%",
+        "overhead%",
+        "lane util",
     ]);
     let mut cycles_by_lws = Vec::new();
 
@@ -75,8 +82,5 @@ fn main() {
     // The paper's reading of Fig. 1: the exact-fit lws (= gws/hp) wins.
     let optimal = (u64::from(n) / hp).max(1) as u32;
     let best = cycles_by_lws.iter().min_by_key(|(_, c)| *c).expect("non-empty");
-    println!(
-        "best sampled lws = {} ({} cycles); Eq.1 predicts lws = {optimal}",
-        best.0, best.1
-    );
+    println!("best sampled lws = {} ({} cycles); Eq.1 predicts lws = {optimal}", best.0, best.1);
 }

@@ -32,21 +32,13 @@ fn main() {
         if scale == Scale::Paper { "paper" } else { "sweep" },
         jobs
     );
-    println!(
-        "ratio = baseline cycles / ours cycles  (>1 means the runtime mapping wins)\n"
-    );
+    println!("ratio = baseline cycles / ours cycles  (>1 means the runtime mapping wins)\n");
 
-    let mut table = Table::new(vec![
-        "kernel",
-        "side",
-        "avg",
-        "worse%",
-        "worst",
-        "best",
-        "median",
-        "bound",
-    ]);
-    let mut csv = String::from("kernel,topology,hp,cycles_lws1,cycles_lws32,cycles_auto,lws_auto,dram_util\n");
+    let mut table =
+        Table::new(vec!["kernel", "side", "avg", "worse%", "worst", "best", "median", "bound"]);
+    let mut csv = String::from(
+        "kernel,topology,hp,cycles_lws1,cycles_lws32,cycles_auto,lws_auto,dram_util\n",
+    );
     let mut math_naive: Vec<f64> = Vec::new();
     let mut math_fixed: Vec<f64> = Vec::new();
 
@@ -63,12 +55,25 @@ fn main() {
         });
         let naive = result.naive_ratios();
         let fixed = result.fixed_ratios();
-        let boundness =
-            if result.mean_dram_utilization() > 0.1 { "memory" } else { "compute" };
+        let boundness = if result.mean_dram_utilization() > 0.1 { "memory" } else { "compute" };
 
         println!("── {} ({boundness} bound, {:.1?}) ──", factory.name, start.elapsed());
-        println!("{}", render_violin_row(&format!("{} lws=1 /ours", factory.name), naive.iter().copied(), bins));
-        println!("{}", render_violin_row(&format!("{} lws=32/ours", factory.name), fixed.iter().copied(), bins));
+        println!(
+            "{}",
+            render_violin_row(
+                &format!("{} lws=1 /ours", factory.name),
+                naive.iter().copied(),
+                bins
+            )
+        );
+        println!(
+            "{}",
+            render_violin_row(
+                &format!("{} lws=32/ours", factory.name),
+                fixed.iter().copied(),
+                bins
+            )
+        );
         let s1 = RatioSummary::from_ratios(naive.iter().copied());
         let s32 = RatioSummary::from_ratios(fixed.iter().copied());
         println!("  lws=1 /ours  {}", s1.annotation());

@@ -19,10 +19,7 @@ fn main() {
     let configs = subsample(&paper_sweep(), flags.get_usize("configs", 450));
     let scale = if flags.has("paper-scale") { Scale::Paper } else { Scale::Sweep };
 
-    println!(
-        "§3 headline — math kernels over {} configurations\n",
-        configs.len()
-    );
+    println!("§3 headline — math kernels over {} configurations\n", configs.len());
 
     let mut table = Table::new(vec!["kernel", "avg vs lws=1", "avg vs lws=32"]);
     let mut all_naive = Vec::new();

@@ -21,20 +21,10 @@ fn main() {
         flags.get_str("topo").unwrap_or("1c2w4t").parse().expect("valid topology");
     let hp = config.hardware_parallelism();
 
-    println!(
-        "§2 scenario analysis — vecadd gws={n} on {} (hp = {hp})\n",
-        config.topology_name()
-    );
+    println!("§2 scenario analysis — vecadd gws={n} on {} (hp = {hp})\n", config.topology_name());
 
-    let mut table = Table::new(vec![
-        "lws",
-        "n_tasks",
-        "rounds",
-        "scenario",
-        "tail util",
-        "cycles",
-        "vs best",
-    ]);
+    let mut table =
+        Table::new(vec!["lws", "n_tasks", "rounds", "scenario", "tail util", "cycles", "vs best"]);
     let lws_values: Vec<u32> = {
         let mut v = vec![1u32];
         let mut x = 2;
@@ -47,8 +37,8 @@ fn main() {
     let mut measured = Vec::new();
     for &lws in &lws_values {
         let mut kernel = VecAdd::new(n);
-        let outcome = run_kernel(&mut kernel, &config, LwsPolicy::Explicit(lws))
-            .unwrap_or_else(|e| {
+        let outcome =
+            run_kernel(&mut kernel, &config, LwsPolicy::Explicit(lws)).unwrap_or_else(|e| {
                 eprintln!("lws={lws}: {e}");
                 std::process::exit(1);
             });

@@ -182,9 +182,7 @@ fn parse_probe_json(text: &str) -> Result<(usize, f64, Vec<KernelRow>), String> 
         let pat = format!("\"{key}\":");
         let at = obj.find(&pat).ok_or_else(|| format!("missing key {key}"))?;
         let rest = obj[at + pat.len()..].trim_start();
-        let end = rest
-            .find(|c: char| c == ',' || c == '}' || c == '\n')
-            .unwrap_or(rest.len());
+        let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
         rest[..end]
             .trim()
             .trim_matches('"')
@@ -220,8 +218,7 @@ fn merge_probe_files(paths: &[String]) -> Result<String, String> {
     let mut total = 0.0f64;
     let mut merged: Vec<KernelRow> = Vec::new();
     for path in paths {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let (j, t, rows) = parse_probe_json(&text).map_err(|e| format!("{path}: {e}"))?;
         jobs = jobs.max(j);
         total += t;
@@ -238,10 +235,8 @@ fn merge_probe_files(paths: &[String]) -> Result<String, String> {
         }
     }
     let configs = merged.iter().map(|m| m.configs).max().unwrap_or(0);
-    let rows: Vec<(&str, usize, f64, f64)> = merged
-        .iter()
-        .map(|m| (m.name.as_str(), m.configs, m.seconds, m.util))
-        .collect();
+    let rows: Vec<(&str, usize, f64, f64)> =
+        merged.iter().map(|m| (m.name.as_str(), m.configs, m.seconds, m.util)).collect();
     Ok(render_json(&rows, configs, jobs, total, None))
 }
 

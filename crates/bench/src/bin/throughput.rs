@@ -55,11 +55,12 @@ fn main() {
                 // Count what the device actually issued: counter deltas
                 // around the run (the runtime resets counters per run, so
                 // the post-run counter values are the per-run deltas).
-                run_kernel_prepared(kernel.as_mut(), &program, &mut rt, policy)
-                    .unwrap_or_else(|e| {
+                run_kernel_prepared(kernel.as_mut(), &program, &mut rt, policy).unwrap_or_else(
+                    |e| {
                         eprintln!("{} {policy}: {e}", factory.name);
                         std::process::exit(1);
-                    });
+                    },
+                );
                 let counters = rt.device().counters();
                 instructions += counters.instructions;
                 lanes += counters.lane_instructions;

@@ -26,10 +26,7 @@ impl Flags {
         let mut iter = args.into_iter().peekable();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                let takes_value = iter
-                    .peek()
-                    .map(|next| !next.starts_with("--"))
-                    .unwrap_or(false);
+                let takes_value = iter.peek().map(|next| !next.starts_with("--")).unwrap_or(false);
                 if takes_value {
                     values.insert(key.to_owned(), iter.next().expect("peeked"));
                 } else {
@@ -52,10 +49,7 @@ impl Flags {
 
     /// A `--key value` as usize, with a default.
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
-        self.values
-            .get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
     }
 
     /// A `--key value` as string.
@@ -65,9 +59,7 @@ impl Flags {
 
     /// A comma-separated `--key a,b,c` list.
     pub fn get_list(&self, key: &str) -> Option<Vec<String>> {
-        self.values
-            .get(key)
-            .map(|v| v.split(',').map(|s| s.trim().to_owned()).collect())
+        self.values.get(key).map(|v| v.split(',').map(|s| s.trim().to_owned()).collect())
     }
 }
 

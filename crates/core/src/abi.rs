@@ -64,13 +64,13 @@ mod tests {
     fn regions_do_not_overlap() {
         // 1024 cores of dispatch blocks stay below the heap.
         assert!(dispatch_block_addr(1024) < HEAP_BASE);
-        assert!(CODE_BASE < ARGS_BASE);
-        assert!(ARGS_BASE < DISPATCH_BASE);
-        assert!(DISPATCH_BASE < HEAP_BASE);
+        const { assert!(CODE_BASE < ARGS_BASE) };
+        const { assert!(ARGS_BASE < DISPATCH_BASE) };
+        const { assert!(DISPATCH_BASE < HEAP_BASE) };
     }
 
     #[test]
     fn dispatch_fields_fit_the_stride() {
-        assert!(dispatch::ROUND_WARPS + 4 <= DISPATCH_STRIDE);
+        const { assert!(dispatch::ROUND_WARPS + 4 <= DISPATCH_STRIDE) };
     }
 }

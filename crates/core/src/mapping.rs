@@ -116,11 +116,7 @@ impl WorkMapping {
 
     /// In-kernel dispatch rounds needed by the busiest core.
     pub fn rounds(&self) -> u32 {
-        self.ranges
-            .iter()
-            .map(|r| r.len().div_ceil(self.slots_per_core))
-            .max()
-            .unwrap_or(0)
+        self.ranges.iter().map(|r| r.len().div_ceil(self.slots_per_core)).max().unwrap_or(0)
     }
 
     /// Warps the busiest core activates in its first round.

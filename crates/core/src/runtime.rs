@@ -221,9 +221,8 @@ impl Runtime {
     pub fn alloc(&mut self, bytes: u32) -> Result<Buffer, LaunchError> {
         let aligned = bytes.div_ceil(64) * 64;
         let addr = self.heap_next;
-        let next = addr
-            .checked_add(aligned)
-            .ok_or(LaunchError::OutOfMemory { requested: bytes })?;
+        let next =
+            addr.checked_add(aligned).ok_or(LaunchError::OutOfMemory { requested: bytes })?;
         self.heap_next = next;
         Ok(Buffer { addr, bytes })
     }

@@ -55,9 +55,7 @@ impl LwsPolicy {
             LwsPolicy::Naive1 => 1,
             LwsPolicy::Fixed32 => 32,
             LwsPolicy::Auto => optimal_lws(gws, hp),
-            LwsPolicy::AutoCeil => {
-                (u64::from(gws).div_ceil(hp.max(1)).max(1)) as u32
-            }
+            LwsPolicy::AutoCeil => (u64::from(gws).div_ceil(hp.max(1)).max(1)) as u32,
             LwsPolicy::Explicit(n) => n.max(1),
         };
         raw.min(gws.max(1))

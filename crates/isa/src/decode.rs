@@ -350,8 +350,8 @@ mod tests {
     #[test]
     fn negative_immediates_sign_extend() {
         // addi a0, a0, -1
-        let w = encode(Instr::OpImm { op: AluImmOp::Add, rd: reg::A0, rs1: reg::A0, imm: -1 })
-            .unwrap();
+        let w =
+            encode(Instr::OpImm { op: AluImmOp::Add, rd: reg::A0, rs1: reg::A0, imm: -1 }).unwrap();
         assert_eq!(
             decode(w).unwrap(),
             Instr::OpImm { op: AluImmOp::Add, rd: reg::A0, rs1: reg::A0, imm: -1 }
@@ -367,12 +367,7 @@ mod tests {
     #[test]
     fn store_immediate_splitting() {
         for offset in [-2048, -1, 0, 1, 7, 2047] {
-            let s = Instr::Store {
-                width: StoreWidth::Word,
-                rs2: reg::A0,
-                rs1: reg::A1,
-                offset,
-            };
+            let s = Instr::Store { width: StoreWidth::Word, rs2: reg::A0, rs1: reg::A1, offset };
             assert_eq!(decode(encode(s).unwrap()).unwrap(), s, "offset {offset}");
         }
     }

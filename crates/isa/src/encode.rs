@@ -114,7 +114,11 @@ fn i_type(imm: i32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> Result<u32, 
 fn s_type(imm: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> Result<u32, EncodeError> {
     check_signed(imm as i64, 12)?;
     let imm = (imm as u32) & 0xFFF;
-    Ok(((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1F) << 7)
+    Ok(((imm >> 5) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
         | opcode)
 }
 
@@ -272,8 +276,7 @@ pub fn encode(instr: Instr) -> Result<u32, EncodeError> {
                     (base_funct3 + 4, imm as u32)
                 }
             };
-            Ok(((csr.addr() as u32) << 20) | (field << 15) | (funct3 << 12) | (r(rd) << 7)
-                | SYSTEM)
+            Ok(((csr.addr() as u32) << 20) | (field << 15) | (funct3 << 12) | (r(rd) << 7) | SYSTEM)
         }
         Instr::Flw { rd, rs1, offset } => i_type(offset, r(rs1), 2, f(rd), LOAD_FP),
         Instr::Fsw { rs2, rs1, offset } => s_type(offset, f(rs2), r(rs1), 2, STORE_FP),
@@ -298,7 +301,11 @@ pub fn encode(instr: Instr) -> Result<u32, EncodeError> {
                 FmaOp::NMSub => FNMSUB,
                 FmaOp::NMAdd => FNMADD,
             };
-            Ok((f(rs3) << 27) | (f(rs2) << 20) | (f(rs1) << 15) | (RM_DYN << 12) | (f(rd) << 7)
+            Ok((f(rs3) << 27)
+                | (f(rs2) << 20)
+                | (f(rs1) << 15)
+                | (RM_DYN << 12)
+                | (f(rd) << 7)
                 | opcode)
         }
         Instr::FpSqrt { rd, rs1 } => Ok(r_type(0x2C, 0, f(rs1), RM_DYN, f(rd), OP_FP)),
@@ -343,21 +350,17 @@ mod tests {
     #[test]
     fn encodes_known_words() {
         // addi a0, a0, 1  ==  0x00150513 (standard RISC-V encoding)
-        let w = encode(Instr::OpImm { op: AluImmOp::Add, rd: reg::A0, rs1: reg::A0, imm: 1 })
-            .unwrap();
+        let w =
+            encode(Instr::OpImm { op: AluImmOp::Add, rd: reg::A0, rs1: reg::A0, imm: 1 }).unwrap();
         assert_eq!(w, 0x0015_0513);
         // add a0, a1, a2 == 0x00C58533
-        let w = encode(Instr::Op { op: AluOp::Add, rd: reg::A0, rs1: reg::A1, rs2: reg::A2 })
-            .unwrap();
+        let w =
+            encode(Instr::Op { op: AluOp::Add, rd: reg::A0, rs1: reg::A1, rs2: reg::A2 }).unwrap();
         assert_eq!(w, 0x00C5_8533);
         // lw a0, 8(sp) == 0x00812503
-        let w = encode(Instr::Load {
-            width: LoadWidth::Word,
-            rd: reg::A0,
-            rs1: reg::SP,
-            offset: 8,
-        })
-        .unwrap();
+        let w =
+            encode(Instr::Load { width: LoadWidth::Word, rd: reg::A0, rs1: reg::SP, offset: 8 })
+                .unwrap();
         assert_eq!(w, 0x0081_2503);
         // ecall == 0x00000073
         assert_eq!(encode(Instr::Ecall).unwrap(), 0x73);

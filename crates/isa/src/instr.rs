@@ -674,12 +674,8 @@ mod tests {
         assert_eq!(mul.exec_class(), ExecClass::Mul);
         let div = Instr::Op { op: AluOp::Rem, rd: reg::A0, rs1: reg::A1, rs2: reg::A2 };
         assert_eq!(div.exec_class(), ExecClass::Div);
-        let fdiv = Instr::FpOp {
-            op: FpBinOp::Div,
-            rd: fregs::FT0,
-            rs1: fregs::FT1,
-            rs2: fregs::FT2,
-        };
+        let fdiv =
+            Instr::FpOp { op: FpBinOp::Div, rd: fregs::FT0, rs1: fregs::FT1, rs2: fregs::FT2 };
         assert_eq!(fdiv.exec_class(), ExecClass::FDiv);
         assert_eq!(Instr::Join.exec_class(), ExecClass::Simt);
     }
@@ -708,12 +704,7 @@ mod tests {
 
     #[test]
     fn store_has_no_destination() {
-        let st = Instr::Store {
-            width: StoreWidth::Word,
-            rs2: reg::A0,
-            rs1: reg::A1,
-            offset: 0,
-        };
+        let st = Instr::Store { width: StoreWidth::Word, rs2: reg::A0, rs1: reg::A1, offset: 0 };
         assert_eq!(st.dst_reg(), None);
         assert!(st.is_mem());
     }

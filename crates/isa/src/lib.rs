@@ -49,8 +49,8 @@ pub use csr::{csrs, Csr};
 pub use decode::{decode, DecodeError};
 pub use encode::{encode, EncodeError};
 pub use instr::{
-    AluImmOp, AluOp, BranchOp, CsrOp, CsrSrc, ExecClass, FmaOp, FpBinOp, FpCmpOp, Instr,
-    LoadWidth, RegRef, StoreWidth, VoteOp,
+    AluImmOp, AluOp, BranchOp, CsrOp, CsrSrc, ExecClass, FmaOp, FpBinOp, FpCmpOp, Instr, LoadWidth,
+    RegRef, StoreWidth, VoteOp,
 };
 pub use regs::{fregs, reg, FReg, Reg};
 

@@ -57,8 +57,7 @@ impl CsrGraph {
             return false;
         }
         let n = self.nodes() as u32;
-        *self.row.last().unwrap() as usize == self.col.len()
-            && self.col.iter().all(|&c| c < n)
+        *self.row.last().unwrap() as usize == self.col.len() && self.col.iter().all(|&c| c < n)
     }
 }
 

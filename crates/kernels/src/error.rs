@@ -36,14 +36,12 @@ pub enum VerifyError {
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VerifyError::Mismatch { kernel, index, expected, actual } => write!(
-                f,
-                "{kernel}: element {index} expected {expected}, device produced {actual}"
-            ),
-            VerifyError::MismatchU32 { kernel, index, expected, actual } => write!(
-                f,
-                "{kernel}: element {index} expected {expected}, device produced {actual}"
-            ),
+            VerifyError::Mismatch { kernel, index, expected, actual } => {
+                write!(f, "{kernel}: element {index} expected {expected}, device produced {actual}")
+            }
+            VerifyError::MismatchU32 { kernel, index, expected, actual } => {
+                write!(f, "{kernel}: element {index} expected {expected}, device produced {actual}")
+            }
         }
     }
 }

@@ -99,7 +99,7 @@ impl Kernel for Gauss {
             a.divu(A0, ctx.item, T3); // y
             a.remu(A1, ctx.item, T3); // x
             a.addi(T4, T3, 2); // wp = width + 2
-            // row pointer = in + (y*wp + x)*4
+                               // row pointer = in + (y*wp + x)*4
             a.mul(T5, A0, T4);
             a.add(T5, T5, A1);
             a.slli(T5, T5, 2);

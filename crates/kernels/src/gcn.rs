@@ -115,8 +115,7 @@ impl GcnAggr {
 
     /// The host reference result (computed once, then cached).
     pub fn reference(&self) -> &[f32] {
-        self.reference
-            .get_or_init(|| reference_aggr(&self.graph, &self.feat, self.hs as usize))
+        self.reference.get_or_init(|| reference_aggr(&self.graph, &self.feat, self.hs as usize))
     }
 }
 
@@ -174,8 +173,7 @@ impl GcnLayer {
     pub fn new(nodes: usize, edges: usize, hs: u32) -> Self {
         let graph = data::power_law_graph(seeds::GCN, nodes, edges);
         let feat = data::uniform_f32(seeds::GCN + 1, nodes * hs as usize, -1.0, 1.0);
-        let weights =
-            data::uniform_f32(seeds::GCN + 2, (hs * hs) as usize, -0.5, 0.5);
+        let weights = data::uniform_f32(seeds::GCN + 2, (hs * hs) as usize, -0.5, 0.5);
         GcnLayer {
             graph,
             hs,
@@ -199,8 +197,7 @@ impl GcnLayer {
     }
 
     fn reference_agg(&self) -> &[f32] {
-        self.ref_agg
-            .get_or_init(|| reference_aggr(&self.graph, &self.feat, self.hs as usize))
+        self.ref_agg.get_or_init(|| reference_aggr(&self.graph, &self.feat, self.hs as usize))
     }
 
     /// The host reference layer output (computed once, then cached).
@@ -230,10 +227,7 @@ impl Kernel for GcnLayer {
 
     fn phases(&self) -> Vec<PhaseSpec> {
         let gws = self.graph.nodes() as u32 * self.hs;
-        vec![
-            PhaseSpec::new("gcn_layer_aggr", gws),
-            PhaseSpec::new("gcn_layer_dense", gws),
-        ]
+        vec![PhaseSpec::new("gcn_layer_aggr", gws), PhaseSpec::new("gcn_layer_dense", gws)]
     }
 
     fn setup(&mut self, rt: &mut Runtime) -> Result<(), LaunchError> {
@@ -246,17 +240,9 @@ impl Kernel for GcnLayer {
         let out = rt.alloc((n_out * 4).max(4))?;
         rt.set_args(&[
             // aggregation phase
-            row.addr,
-            col.addr,
-            feat.addr,
-            agg.addr,
-            self.hs,
+            row.addr, col.addr, feat.addr, agg.addr, self.hs,
             // dense phase (gemm: A=agg, B=w, C=out, N=hs, K=hs)
-            agg.addr,
-            w.addr,
-            out.addr,
-            self.hs,
-            self.hs,
+            agg.addr, w.addr, out.addr, self.hs, self.hs,
         ]);
         self.agg = Some(agg);
         self.out = Some(out);

@@ -218,8 +218,7 @@ mod tests {
         assert_eq!(program.entry(), abi::CODE_BASE);
         assert!(program.symbol("noop").is_some());
         assert!(program.symbol("noop.worker").is_some());
-        let names: Vec<&str> =
-            program.sections().iter().map(|s| s.name.as_str()).collect();
+        let names: Vec<&str> = program.sections().iter().map(|s| s.name.as_str()).collect();
         for expected in
             ["noop.dispatch", "noop.spawn", "noop.worker", "noop.body", "noop.sync", "noop.exit"]
         {

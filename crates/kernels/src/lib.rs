@@ -64,7 +64,9 @@ mod vecadd;
 pub use error::{KernelError, VerifyError};
 pub use gauss::Gauss;
 pub use gcn::{GcnAggr, GcnLayer};
-pub use kernel::{run_kernel, run_kernel_prepared, run_kernel_traced, Kernel, PhaseSpec, RunOutcome};
+pub use kernel::{
+    run_kernel, run_kernel_prepared, run_kernel_traced, Kernel, PhaseSpec, RunOutcome,
+};
 pub use knn::Knn;
 pub use relu::Relu;
 pub use resnet::ResnetLayer;

@@ -40,18 +40,8 @@ impl ResnetLayer {
             height,
             cin,
             cout,
-            input: data::uniform_f32(
-                seeds::RESNET,
-                (cin * width * height) as usize,
-                -1.0,
-                1.0,
-            ),
-            weights: data::uniform_f32(
-                seeds::RESNET + 1,
-                (cout * cin * 9) as usize,
-                -0.3,
-                0.3,
-            ),
+            input: data::uniform_f32(seeds::RESNET, (cin * width * height) as usize, -1.0, 1.0),
+            weights: data::uniform_f32(seeds::RESNET + 1, (cout * cin * 9) as usize, -0.3, 0.3),
             out: None,
             reference: OnceCell::new(),
         }
@@ -135,13 +125,13 @@ impl Kernel for ResnetLayer {
             a.remu(A2, ctx.item, T2); // rem
             a.divu(A3, A2, T3); // y
             a.remu(A4, A2, T3); // x
-            // Geometry: Wp = W+2, plane bytes = Wp*(H+2)*4, row bytes = Wp*4.
+                                // Geometry: Wp = W+2, plane bytes = Wp*(H+2)*4, row bytes = Wp*4.
             a.addi(T6, T3, 2); // Wp
             a.addi(T4, T4, 2); // Hp
             a.mul(T4, T4, T6); // plane words
             a.slli(T4, T4, 2); // plane bytes
             a.slli(T6, T6, 2); // row bytes
-            // Input pointer for (ic=0, y, x).
+                               // Input pointer for (ic=0, y, x).
             a.mul(T2, A3, T6);
             a.add(T0, T0, T2);
             a.slli(T2, A4, 2);

@@ -40,11 +40,7 @@ impl Saxpy {
 
     /// The host reference result (same FMA the device uses).
     pub fn reference(&self) -> Vec<f32> {
-        self.x
-            .iter()
-            .zip(&self.y)
-            .map(|(&x, &y)| self.alpha.mul_add(x, y))
-            .collect()
+        self.x.iter().zip(&self.y).map(|(&x, &y)| self.alpha.mul_add(x, y)).collect()
     }
 }
 

@@ -24,7 +24,7 @@ pub(crate) fn emit_gemm_body(a: &mut Assembler, ctx: BodyCtx, arg_off: i32, labe
     a.lw(T4, arg_off + 16, ctx.args); // K
     a.divu(A0, ctx.item, T3); // m
     a.remu(A1, ctx.item, T3); // n
-    // A row pointer: A + m*K*4
+                              // A row pointer: A + m*K*4
     a.mul(T5, A0, T4);
     a.slli(T5, T5, 2);
     a.add(T0, T0, T5);

@@ -106,8 +106,7 @@ mod tests {
         for topo in [(1, 1, 1), (2, 2, 2), (1, 4, 8), (3, 2, 4)] {
             let mut k = VecAdd::new(100); // non-power-of-two size
             let cfg = DeviceConfig::with_topology(topo.0, topo.1, topo.2);
-            run_kernel(&mut k, &cfg, LwsPolicy::Auto)
-                .unwrap_or_else(|e| panic!("{topo:?}: {e}"));
+            run_kernel(&mut k, &cfg, LwsPolicy::Auto).unwrap_or_else(|e| panic!("{topo:?}: {e}"));
         }
     }
 

@@ -29,7 +29,7 @@ impl CacheConfig {
         assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(self.ways > 0, "cache must have at least one way");
         assert!(
-            self.size_bytes % (self.line_bytes * self.ways) == 0,
+            self.size_bytes.is_multiple_of(self.line_bytes * self.ways),
             "cache size must be a multiple of ways*line"
         );
         let sets = self.sets();
@@ -206,12 +206,7 @@ impl Cache {
             Some(p) => p,
             None => {
                 self.stats.evictions += 1;
-                slots
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, w)| w.lru_stamp)
-                    .expect("ways > 0")
-                    .0
+                slots.iter().enumerate().min_by_key(|(_, w)| w.lru_stamp).expect("ways > 0").0
             }
         };
         let victim = &mut slots[pos];
@@ -239,9 +234,7 @@ impl Cache {
         let set = (line & self.set_mask) as usize;
         let tag = line >> self.set_shift;
         let ways = self.config.ways as usize;
-        self.ways[set * ways..(set + 1) * ways]
-            .iter()
-            .any(|w| w.valid && w.tag == tag)
+        self.ways[set * ways..(set + 1) * ways].iter().any(|w| w.valid && w.tag == tag)
     }
 
     /// Invalidates all lines and clears statistics.
@@ -296,7 +289,7 @@ mod tests {
         let mut c = tiny();
         assert_eq!(c.access(0, true), Lookup::Miss { writeback: None });
         c.access(32, false); // clean B in the same set
-        // Evict A (dirty) by filling C in set 0.
+                             // Evict A (dirty) by filling C in set 0.
         let l = c.access(64, false);
         assert_eq!(l, Lookup::Miss { writeback: Some(0) });
         // B is now LRU; evicting it is clean.

@@ -64,6 +64,12 @@ pub fn coalesce_lines(addrs: impl IntoIterator<Item = u32>, line_bytes: u32) -> 
     for addr in addrs {
         let line = addr & mask;
         let current = &out.lines[..out.len as usize];
+        // Consecutive lanes overwhelmingly touch the line just recorded
+        // (streaming and neighbour-gather patterns), so check it before
+        // the full first-touch scan.
+        if current.last() == Some(&line) {
+            continue;
+        }
         if !current.contains(&line) {
             assert!(out.len < 32, "SIMT width exceeds 32 lanes");
             out.lines[out.len as usize] = line;

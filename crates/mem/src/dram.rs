@@ -71,11 +71,7 @@ impl DramChannel {
     /// Submits a line request at cycle `now`; returns its completion
     /// cycle. The request is scheduled on the earliest-free channel.
     pub fn service(&mut self, now: Cycle) -> Cycle {
-        let slot = self
-            .next_slot
-            .iter_mut()
-            .min_by_key(|s| **s)
-            .expect("at least one channel");
+        let slot = self.next_slot.iter_mut().min_by_key(|s| **s).expect("at least one channel");
         let accept = now.max(*slot);
         *slot = accept + self.config.interval;
         self.requests += 1;

@@ -149,7 +149,7 @@ impl MainMemory {
 
     /// Reads a little-endian 16-bit value (no alignment requirement).
     pub fn read_u16(&self, addr: u32) -> u16 {
-        if addr & PAGE_MASK <= PAGE_MASK - 1 {
+        if addr & PAGE_MASK < PAGE_MASK {
             match self.page(addr) {
                 Some(page) => {
                     let off = (addr & PAGE_MASK) as usize;
@@ -164,7 +164,7 @@ impl MainMemory {
 
     /// Writes a little-endian 16-bit value.
     pub fn write_u16(&mut self, addr: u32, value: u16) {
-        if addr & PAGE_MASK <= PAGE_MASK - 1 {
+        if addr & PAGE_MASK < PAGE_MASK {
             let off = (addr & PAGE_MASK) as usize;
             self.page_mut(addr)[off..off + 2].copy_from_slice(&value.to_le_bytes());
         } else {
@@ -258,7 +258,7 @@ impl MainMemory {
     /// the allocation-free bulk path behind the simulator's unit-stride
     /// SIMT loads (one page walk per page instead of one per lane).
     pub fn read_u32_into(&self, addr: u32, dst: &mut [u32]) {
-        debug_assert!(addr % 4 == 0, "word-aligned bulk read");
+        debug_assert!(addr.is_multiple_of(4), "word-aligned bulk read");
         let mut addr = addr;
         let mut dst = dst;
         while !dst.is_empty() {
@@ -283,7 +283,7 @@ impl MainMemory {
     /// 4-byte-aligned `addr`, one page at a time (bulk dual of
     /// [`read_u32_into`](MainMemory::read_u32_into)).
     pub fn write_u32_from(&mut self, addr: u32, src: &[u32]) {
-        debug_assert!(addr % 4 == 0, "word-aligned bulk write");
+        debug_assert!(addr.is_multiple_of(4), "word-aligned bulk write");
         let mut addr = addr;
         let mut src = src;
         while !src.is_empty() {
@@ -297,6 +297,46 @@ impl MainMemory {
             }
             src = rest;
             addr = addr.wrapping_add((take * 4) as u32);
+        }
+    }
+
+    /// Gathers one word-aligned 32-bit value per set bit of `mask`:
+    /// `dst[l] = word at addrs[l]` for every active lane `l`, ascending.
+    ///
+    /// This is the batched functional path behind the simulator's
+    /// *masked* (divergent) and strided SIMT word loads, where the
+    /// broadcast/unit-stride bulk paths never fire: lane addresses are
+    /// arbitrary, but consecutive active lanes overwhelmingly land in the
+    /// same page, so the translation is resolved once per **page run** —
+    /// a borrowed page reference reused while lanes stay on the page —
+    /// instead of once per lane through the `Cell` translation cache.
+    ///
+    /// Inactive lanes of `dst` are left untouched. Addresses must be
+    /// 4-byte aligned (the SIMT load path faults misaligned lanes before
+    /// gathering), so no word straddles a page boundary.
+    pub fn read_u32_gather(&self, addrs: &[u32; 32], mask: u32, dst: &mut [u32]) {
+        // `NO_PAGE` exceeds every real 20-bit page number, so the first
+        // lane always resolves.
+        let mut run_page: u32 = NO_PAGE;
+        let mut run: Option<&[u8; PAGE_SIZE]> = None;
+        let mut m = mask;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let addr = addrs[l];
+            debug_assert!(addr.is_multiple_of(4), "word-aligned gather");
+            let page = addr >> PAGE_SHIFT;
+            if page != run_page {
+                run = self.lookup(page).map(|slot| &*self.pages[slot]);
+                run_page = page;
+            }
+            dst[l] = match run {
+                Some(p) => {
+                    let off = (addr & PAGE_MASK) as usize;
+                    u32::from_le_bytes(p[off..off + 4].try_into().expect("4 bytes"))
+                }
+                None => 0,
+            };
         }
     }
 
@@ -314,10 +354,7 @@ impl MainMemory {
     pub fn read_u32_vec(&self, addr: u32, len: usize) -> Vec<u32> {
         let mut bytes = vec![0u8; len * 4];
         self.read_bytes(addr, &mut bytes);
-        bytes
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
-            .collect()
+        bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes"))).collect()
     }
 
     /// Writes a slice of single-precision floats starting at `addr`.
@@ -437,6 +474,33 @@ mod tests {
         assert_eq!(m.read_u32(0xFFFF_0000), 0);
         m.write_u32(0x1234, 99);
         assert_eq!(m.read_u32(0x1234), 99);
+    }
+
+    #[test]
+    fn gather_matches_per_lane_reads_across_pages() {
+        let mut m = MainMemory::new();
+        // Lanes alternate between two pages, with one lane on an
+        // untouched page and one at the very last word of a page.
+        let mut addrs = [0u32; 32];
+        let pattern = [0x1000u32, 0x2FFC, 0x1010, 0x2F00, 0x9_F000, 0x1000, 0x2FFC, 0x4000];
+        addrs[..8].copy_from_slice(&pattern);
+        for (i, &a) in pattern.iter().enumerate() {
+            if a != 0x9_F000 {
+                m.write_u32(a, 0xA000_0000 | i as u32);
+            }
+        }
+        let mask = 0b1101_0111u32; // lanes 0,1,2,4,6,7
+        let mut gathered = [0xFFFF_FFFFu32; 32];
+        m.read_u32_gather(&addrs, mask, &mut gathered);
+        for l in 0..8 {
+            if mask & (1 << l) != 0 {
+                assert_eq!(gathered[l], m.read_u32(addrs[l]), "lane {l}");
+            } else {
+                assert_eq!(gathered[l], 0xFFFF_FFFF, "inactive lane {l} touched");
+            }
+        }
+        // The untouched page reads zero through the gather too.
+        assert_eq!(gathered[4], 0);
     }
 
     #[test]

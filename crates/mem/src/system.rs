@@ -164,11 +164,7 @@ impl MemSystem {
     }
 
     fn l2_slot(&mut self, earliest: Cycle) -> Cycle {
-        let slot = self
-            .l2_next_slot
-            .iter_mut()
-            .min_by_key(|s| **s)
-            .expect("at least one bank");
+        let slot = self.l2_next_slot.iter_mut().min_by_key(|s| **s).expect("at least one bank");
         let accept = earliest.max(*slot);
         *slot = accept + self.config.l2_interval;
         accept
@@ -233,7 +229,7 @@ mod tests {
         let hit = s.load(0, 0x4000, 1000) - 1000;
         assert_eq!(hit, cfg.l1_latency);
         let l2_hit = s.load(1, 0x4000, 2000) - 2000;
-        assert_eq!(l2_hit, cfg.l1_latency + cfg.l2_latency + /* l2 slot */ 0);
+        assert_eq!(l2_hit, cfg.l1_latency + cfg.l2_latency);
     }
 
     #[test]
@@ -241,9 +237,8 @@ mod tests {
         let mut s = sys(2);
         // Stream distinct lines from both cores at the same cycle; the
         // completions must spread out by the DRAM interval.
-        let mut completions: Vec<u64> = (0..64u32)
-            .map(|i| s.load((i % 2) as usize, 0x10_0000 + i * 64, 0))
-            .collect();
+        let mut completions: Vec<u64> =
+            (0..64u32).map(|i| s.load((i % 2) as usize, 0x10_0000 + i * 64, 0)).collect();
         completions.sort_unstable();
         // With C channels at one line per `interval`, at most C requests
         // can complete in any `interval`-cycle window.
@@ -254,7 +249,11 @@ mod tests {
             .map(|w| w[dram.channels as usize] - w[0])
             .min()
             .unwrap();
-        assert!(per_window >= window, "more than {} completions per {window} cycles", dram.channels);
+        assert!(
+            per_window >= window,
+            "more than {} completions per {window} cycles",
+            dram.channels
+        );
     }
 
     #[test]

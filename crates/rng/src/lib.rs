@@ -42,15 +42,14 @@ impl Rng {
     /// Creates a generator whose stream is a pure function of `seed`.
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
-        Rng { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+        Rng {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
     }
 
     /// The next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -152,9 +151,24 @@ mod tests {
 
     #[test]
     fn streams_are_deterministic_and_seed_sensitive() {
-        let a: Vec<u64> = (0..8).map({ let mut r = Rng::seed_from_u64(1); move |_| r.next_u64() }).collect();
-        let b: Vec<u64> = (0..8).map({ let mut r = Rng::seed_from_u64(1); move |_| r.next_u64() }).collect();
-        let c: Vec<u64> = (0..8).map({ let mut r = Rng::seed_from_u64(2); move |_| r.next_u64() }).collect();
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = Rng::seed_from_u64(1);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = Rng::seed_from_u64(1);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let c: Vec<u64> = (0..8)
+            .map({
+                let mut r = Rng::seed_from_u64(2);
+                move |_| r.next_u64()
+            })
+            .collect();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

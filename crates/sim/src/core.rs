@@ -13,8 +13,7 @@
 use std::collections::HashMap;
 
 use vortex_isa::{
-    csrs, AluImmOp, AluOp, BranchOp, Csr, ExecClass, FpBinOp, FpCmpOp, FmaOp, Instr,
-    LoadWidth, StoreWidth, VoteOp,
+    csrs, AluImmOp, AluOp, Csr, ExecClass, FpBinOp, Instr, LoadWidth, StoreWidth, VoteOp,
 };
 use vortex_mem::{coalesce_lines, Cycle, MainMemory, MemSystem};
 
@@ -22,6 +21,8 @@ use crate::config::TimingConfig;
 use crate::counters::DeviceCounters;
 use crate::decoded::{DecodedInstr, InstrMeta};
 use crate::error::SimError;
+use crate::exec::span::{self, Span};
+use crate::exec::tables;
 use crate::ipdom::IpdomEntry;
 use crate::regfile::{RegFile, FP_BASE};
 use crate::trace_api::{IssueEvent, TraceSink};
@@ -136,10 +137,6 @@ impl Core {
         }
     }
 
-    pub fn id(&self) -> usize {
-        self.id
-    }
-
     /// Activates warp `w` at `pc` with a full thread mask.
     pub fn start_warp(&mut self, w: usize, pc: u32, ready_at: Cycle) {
         let full = self.warps[w].full_mask();
@@ -191,7 +188,7 @@ impl Core {
         ctx: &CoreCtx<'_, S>,
     ) -> Result<(Instr, InstrMeta), SimError> {
         let pc = self.warps[w].pc;
-        if pc < ctx.code_base || pc % 4 != 0 {
+        if pc < ctx.code_base || !pc.is_multiple_of(4) {
             return Err(SimError::UnmappedPc { core: self.id, warp: w, pc });
         }
         let idx = ((pc - ctx.code_base) / 4) as usize;
@@ -209,8 +206,15 @@ impl Core {
     /// hazard is folded in by the caller (it moves when *other* warps
     /// issue, so it cannot be cached per warp).
     fn earliest_issue_local(&self, w: usize, meta: &InstrMeta) -> Cycle {
-        self.warps[w]
-            .ready_at
+        let ready = self.warps[w].ready_at;
+        // Every scoreboard entry is bounded by the warp watermark; when
+        // that bound is already covered by the control gap, the operand
+        // loads cannot raise the answer (exactness argued at
+        // [`RegFile::busy_watermark`]).
+        if self.rf.busy_watermark(w) <= ready {
+            return ready;
+        }
+        ready
             .max(self.rf.busy_until(w, meta.src[0] as usize))
             .max(self.rf.busy_until(w, meta.src[1] as usize))
             .max(self.rf.busy_until(w, meta.src[2] as usize))
@@ -227,11 +231,8 @@ impl Core {
     ) -> Result<(Instr, InstrMeta, Cycle), SimError> {
         let cached = self.next_issue[w];
         if cached.valid && cached.pc == self.warps[w].pc {
-            let t = if cached.is_mem {
-                cached.t_local.max(self.mem_port_free)
-            } else {
-                cached.t_local
-            };
+            let t =
+                if cached.is_mem { cached.t_local.max(self.mem_port_free) } else { cached.t_local };
             return Ok((cached.instr, cached.meta, t));
         }
         let (instr, meta) = self.fetch(w, ctx)?;
@@ -265,8 +266,7 @@ impl Core {
                     NextIssue { instr, meta, pc: self.warps[w].pc, t_local, is_mem, valid: true };
                 // `mem_port_free` only grows, so folding today's value in
                 // keeps `warp_next` a valid lower bound.
-                self.warp_next[w] =
-                    if is_mem { t_local.max(self.mem_port_free) } else { t_local };
+                self.warp_next[w] = if is_mem { t_local.max(self.mem_port_free) } else { t_local };
             }
             Err(_) => {
                 self.next_issue[w].valid = false;
@@ -299,21 +299,23 @@ impl Core {
     ) -> Result<CoreOutcome, SimError> {
         let n = self.warps.len();
         let mut now = start;
-        'cycles: loop {
+        loop {
             *clock = now;
-            let mut earliest: Cycle = NEVER;
-            // Round-robin from the warp after `last_issued`, wrapping by
-            // compare — `(last_issued + i) % n` would put a hardware
-            // integer division on every scanned slot.
+            // Arbitration: the first warp in round-robin order (wrapping
+            // by compare — `% n` would put a hardware division on every
+            // slot) whose resolved issue time is due. Slots whose cached
+            // bound lies in the future are skipped with a single `u64`
+            // compare; optimistic bounds resolve through `next_for` and
+            // are tightened in place, so a lost round never repeats work.
+            let mut issued = false;
+            let mut issued_next: Cycle = 0;
             let mut w = self.last_issued;
             for _ in 0..n {
                 w += 1;
                 if w >= n {
                     w = 0;
                 }
-                let bound = self.warp_next[w];
-                if bound > now {
-                    earliest = earliest.min(bound);
+                if self.warp_next[w] > now {
                     continue;
                 }
                 let (instr, meta, t) = self.next_for(w, ctx)?;
@@ -321,49 +323,45 @@ impl Core {
                     self.issue(w, instr, &meta, now, ctx)?;
                     self.last_issued = w;
                     self.refresh_after_issue(w, ctx);
-                    // The next event is `max(min over warp_next, now+1)`.
-                    // When the issued warp itself is due again by `now+1`
-                    // (latency-1 result, untaken branch) the min can only
-                    // be ≤ its bound, so the answer is exactly `now + 1`
-                    // — no scan over the other warps needed. This covers
-                    // the bulk of issues in ALU-dense stretches.
-                    let next = if self.warp_next[w] <= now + 1 {
-                        now + 1
-                    } else {
-                        let next = self.next_event();
-                        if next == NEVER {
-                            return if self.warps.iter().any(|x| x.active) {
-                                // Only barrier-blocked warps remain.
-                                Err(SimError::BarrierDeadlock { cycle: now })
-                            } else {
-                                Ok(CoreOutcome::Idle)
-                            };
-                        }
-                        // One issue per core per cycle; beyond that,
-                        // resume at the earliest time any warp could
-                        // possibly issue.
-                        next.max(now + 1)
-                    };
-                    if next >= horizon {
-                        return Ok(CoreOutcome::Next(next));
-                    }
-                    now = next;
-                    continue 'cycles;
+                    issued = true;
+                    issued_next = self.warp_next[w];
+                    break;
                 }
                 self.warp_next[w] = t;
-                earliest = earliest.min(t);
             }
-            if earliest == NEVER {
-                return if self.warps.iter().any(|x| x.active) {
-                    Err(SimError::BarrierDeadlock { cycle: now })
+            // Next event. An issued warp due again by `now + 1`
+            // (latency-1 result, untaken branch) short-circuits the
+            // bounds min — the dominant case in ALU-dense stretches.
+            // Otherwise one vectorisable min pass over the contiguous
+            // bounds array decides the jump; it runs *after* the issue,
+            // so bounds rewritten by the instruction itself (barrier
+            // release, wspawn) are already visible. During a stall no
+            // warp is walked at all beyond the arbitration pass that
+            // tightened the bounds.
+            let next = if issued && issued_next <= now + 1 {
+                now + 1
+            } else {
+                let m = self.next_event();
+                if m == NEVER {
+                    return if self.warps.iter().any(|x| x.active) {
+                        // Only barrier-blocked warps remain.
+                        Err(SimError::BarrierDeadlock { cycle: now })
+                    } else {
+                        Ok(CoreOutcome::Idle)
+                    };
+                }
+                // One issue per core per cycle; beyond that, resume at
+                // the earliest time any warp could possibly issue.
+                if issued {
+                    m.max(now + 1)
                 } else {
-                    Ok(CoreOutcome::Idle)
-                };
+                    m
+                }
+            };
+            if next >= horizon {
+                return Ok(CoreOutcome::Next(next));
             }
-            if earliest >= horizon {
-                return Ok(CoreOutcome::Next(earliest));
-            }
-            now = earliest;
+            now = next;
         }
     }
 
@@ -445,6 +443,113 @@ impl Core {
                 }
             };
         }
+        // Applies a two-source row kernel: copy-free when no source row
+        // aliases the destination ([`RegFile::dst_src2`]), snapshot
+        // buffers otherwise. Identical values either way — the copy path
+        // exists only to resolve `dst == src` aliasing.
+        macro_rules! run_bin {
+            ($k:expr, $d:expr, $s1:expr, $s2:expr) => {{
+                let k = $k;
+                match self.rf.dst_src2(w, $d, $s1, $s2) {
+                    Some((dst, a, b)) => {
+                        if full {
+                            (k.full)(dst, a, b)
+                        } else {
+                            (k.masked)(dst, a, b, tmask)
+                        }
+                    }
+                    None => {
+                        let mut a = [0u32; 32];
+                        let mut b = [0u32; 32];
+                        read_src!($s1, a);
+                        read_src!($s2, b);
+                        let dst = self.rf.row_mut(w, $d);
+                        if full {
+                            (k.full)(dst, &a, &b)
+                        } else {
+                            (k.masked)(dst, &a, &b, tmask)
+                        }
+                    }
+                }
+            }};
+        }
+        macro_rules! run_imm {
+            ($k:expr, $d:expr, $s:expr, $imm:expr) => {{
+                let k = $k;
+                let imm = $imm;
+                match self.rf.dst_src1(w, $d, $s) {
+                    Some((dst, a)) => {
+                        if full {
+                            (k.full)(dst, a, imm)
+                        } else {
+                            (k.masked)(dst, a, imm, tmask)
+                        }
+                    }
+                    None => {
+                        let mut a = [0u32; 32];
+                        read_src!($s, a);
+                        let dst = self.rf.row_mut(w, $d);
+                        if full {
+                            (k.full)(dst, &a, imm)
+                        } else {
+                            (k.masked)(dst, &a, imm, tmask)
+                        }
+                    }
+                }
+            }};
+        }
+        macro_rules! run_un {
+            ($k:expr, $d:expr, $s:expr) => {{
+                let k = $k;
+                match self.rf.dst_src1(w, $d, $s) {
+                    Some((dst, a)) => {
+                        if full {
+                            (k.full)(dst, a)
+                        } else {
+                            (k.masked)(dst, a, tmask)
+                        }
+                    }
+                    None => {
+                        let mut a = [0u32; 32];
+                        read_src!($s, a);
+                        let dst = self.rf.row_mut(w, $d);
+                        if full {
+                            (k.full)(dst, &a)
+                        } else {
+                            (k.masked)(dst, &a, tmask)
+                        }
+                    }
+                }
+            }};
+        }
+        macro_rules! run_fma {
+            ($k:expr, $d:expr, $s1:expr, $s2:expr, $s3:expr) => {{
+                let k = $k;
+                match self.rf.dst_src3(w, $d, $s1, $s2, $s3) {
+                    Some((dst, a, b, c)) => {
+                        if full {
+                            (k.full)(dst, a, b, c)
+                        } else {
+                            (k.masked)(dst, a, b, c, tmask)
+                        }
+                    }
+                    None => {
+                        let mut a = [0u32; 32];
+                        let mut b = [0u32; 32];
+                        let mut c = [0u32; 32];
+                        read_src!($s1, a);
+                        read_src!($s2, b);
+                        read_src!($s3, c);
+                        let dst = self.rf.row_mut(w, $d);
+                        if full {
+                            (k.full)(dst, &a, &b, &c)
+                        } else {
+                            (k.masked)(dst, &a, &b, &c, tmask)
+                        }
+                    }
+                }
+            }};
+        }
         macro_rules! wb_int {
             ($rd:expr, $lat:expr) => {
                 if !$rd.is_zero() {
@@ -489,14 +594,8 @@ impl Core {
             Instr::Branch { op, rs1, rs2, offset } => {
                 let ra = self.rf.row(w, rs1.num() as usize);
                 let rb = self.rf.row(w, rs2.num() as usize);
-                let mut ballot = 0u32;
-                if full {
-                    for l in 0..ra.len() {
-                        ballot |= u32::from(branch_cmp(op, ra[l], rb[l])) << l;
-                    }
-                } else {
-                    for_lanes!(|l| ballot |= u32::from(branch_cmp(op, ra[l], rb[l])) << l);
-                }
+                let k = tables::branch_kernel(op);
+                let ballot = if full { (k.full)(ra, rb) } else { (k.masked)(ra, rb, tmask) };
                 if ballot != 0 {
                     if ballot != tmask {
                         return Err(SimError::DivergentBranch { core: self.id, warp: w, pc });
@@ -507,47 +606,23 @@ impl Core {
             Instr::Load { width, rd, rs1, offset } => 'load: {
                 let (bytes, _) = load_width_bytes(width);
                 let mut addrs = [0u32; 32];
-                let mut base = [0u32; 32];
-                read_src!(rs1.num() as usize, base);
                 // Full-mask word-load fast paths for the two dominant SIMT
-                // shapes: *broadcast* (every lane reads one uniform
-                // address — the dispatch-block/argument pattern) and
-                // *unit-stride* (lane-consecutive words — the streaming
-                // pattern). Both collapse 32 per-lane page walks into one
-                // bulk access, with identical values, identical coalesced
-                // line sequence, and identical misalignment faults (lane 0
-                // is the first checked lane either way).
+                // shapes — broadcast and unit-stride — via the shared
+                // helper (see [`Core::fast_word_load`]). Only this path
+                // snapshots the base row (the helper needs `&mut self`).
                 if full && !rd.is_zero() && matches!(width, LoadWidth::Word) {
-                    let n = self.warps[w].threads();
-                    let addr0 = base[0].wrapping_add(offset as u32);
-                    if n >= 2 {
-                        if base[1..n].iter().all(|&b| b == base[0]) {
-                            if addr0 & 3 != 0 {
-                                return Err(SimError::MisalignedAccess { pc, addr: addr0, align: 4 });
-                            }
-                            let v = ctx.mem.read_u32(addr0);
-                            self.rf.row_mut(w, rd.num() as usize).fill(v);
-                            let completion = self.memory_access_span(addr0, addr0, false, now, ctx);
-                            self.rf.set_busy(w, rd.num() as usize, completion);
-                            break 'load;
-                        }
-                        if addr0 & 3 == 0
-                            && addr0.checked_add(4 * (n as u32 - 1)).is_some()
-                            && base[1..n]
-                                .iter()
-                                .enumerate()
-                                .all(|(i, &b)| b == base[0].wrapping_add(4 * (i as u32 + 1)))
-                        {
-                            let dst = self.rf.row_mut(w, rd.num() as usize);
-                            ctx.mem.read_u32_into(addr0, dst);
-                            let last = addr0 + 4 * (n as u32 - 1);
-                            let completion = self.memory_access_span(addr0, last, false, now, ctx);
-                            self.rf.set_busy(w, rd.num() as usize, completion);
-                            break 'load;
-                        }
+                    let mut base = [0u32; 32];
+                    let _ = self.rf.copy_row(w, rs1.num() as usize, &mut base);
+                    if self.fast_word_load(w, rd.num() as usize, &base, offset, pc, now, ctx)? {
+                        break 'load;
                     }
                 }
-                if rd.is_zero() {
+                // General paths read the base row in place: every active
+                // lane's address is validated first (fault on the lowest
+                // bad lane, as the fused loop did), which also ends the
+                // row borrow before the destination row is taken.
+                {
+                    let base = self.rf.row(w, rs1.num() as usize);
                     for_lanes!(|l| {
                         let addr = base[l].wrapping_add(offset as u32);
                         if addr & (bytes - 1) != 0 {
@@ -555,13 +630,19 @@ impl Core {
                         }
                         addrs[l] = addr;
                     });
+                }
+                if rd.is_zero() {
+                    // Address fault/timing only; x0 swallows the values.
+                } else if matches!(width, LoadWidth::Word) {
+                    // Masked/strided word gather: batch the functional
+                    // reads page run by page run instead of one page walk
+                    // per lane.
+                    let dst = self.rf.row_mut(w, rd.num() as usize);
+                    ctx.mem.read_u32_gather(&addrs, tmask, dst);
                 } else {
                     let dst = self.rf.row_mut(w, rd.num() as usize);
                     for_lanes!(|l| {
-                        let addr = base[l].wrapping_add(offset as u32);
-                        if addr & (bytes - 1) != 0 {
-                            return Err(SimError::MisalignedAccess { pc, addr, align: bytes });
-                        }
+                        let addr = addrs[l];
                         dst[l] = match width {
                             LoadWidth::Byte => ctx.mem.read_u8(addr) as i8 as i32 as u32,
                             LoadWidth::ByteU => ctx.mem.read_u8(addr) as u32,
@@ -569,7 +650,6 @@ impl Core {
                             LoadWidth::HalfU => ctx.mem.read_u16(addr) as u32,
                             LoadWidth::Word => ctx.mem.read_u32(addr),
                         };
-                        addrs[l] = addr;
                     });
                 }
                 let completion = self.memory_access(w, &addrs, tmask, false, now, ctx);
@@ -583,30 +663,25 @@ impl Core {
                     StoreWidth::Half => 2,
                     StoreWidth::Word => 4,
                 };
+                // Unit-stride full-mask word stores take the shared bulk
+                // helper; broadcast stores stay on the lane loop (see
+                // [`Core::fast_word_store`]).
+                if full
+                    && matches!(width, StoreWidth::Word)
+                    && self.fast_word_store(
+                        w,
+                        rs1.num() as usize,
+                        rs2.num() as usize,
+                        offset,
+                        now,
+                        ctx,
+                    )
+                {
+                    break 'store;
+                }
                 let mut addrs = [0u32; 32];
                 let base = self.rf.row(w, rs1.num() as usize);
                 let vals = self.rf.row(w, rs2.num() as usize);
-                // Unit-stride full-mask word stores take the bulk path
-                // (identical bytes, line sequence and fault behaviour).
-                // Broadcast stores stay on the lane loop: overlapping
-                // writes must land in lane order.
-                if full && matches!(width, StoreWidth::Word) {
-                    let n = base.len();
-                    let addr0 = base[0].wrapping_add(offset as u32);
-                    if n >= 2
-                        && addr0 & 3 == 0
-                        && addr0.checked_add(4 * (n as u32 - 1)).is_some()
-                        && base[1..]
-                            .iter()
-                            .enumerate()
-                            .all(|(i, &b)| b == base[0].wrapping_add(4 * (i as u32 + 1)))
-                    {
-                        ctx.mem.write_u32_from(addr0, vals);
-                        let last = addr0 + 4 * (n as u32 - 1);
-                        self.memory_access_span(addr0, last, true, now, ctx);
-                        break 'store;
-                    }
-                }
                 for_lanes!(|l| {
                     let addr = base[l].wrapping_add(offset as u32);
                     if addr & (bytes - 1) != 0 {
@@ -623,27 +698,33 @@ impl Core {
             }
             Instr::OpImm { op, rd, rs1, imm } => {
                 if !rd.is_zero() {
-                    let mut a = [0u32; 32];
-                    read_src!(rs1.num() as usize, a);
-                    write_row!(rd.num() as usize, |l| alu_imm(op, a[l], imm));
+                    run_imm!(
+                        tables::alu_imm_kernel(op),
+                        rd.num() as usize,
+                        rs1.num() as usize,
+                        imm
+                    );
                 }
                 wb_int!(rd, timing.alu);
             }
             Instr::Op { op, rd, rs1, rs2 } => 'op: {
                 if !rd.is_zero() {
-                    let mut a = [0u32; 32];
-                    let mut b = [0u32; 32];
-                    read_src!(rs1.num() as usize, a);
-                    read_src!(rs2.num() as usize, b);
                     // Unsigned divide/remainder by a uniform power-of-two
                     // divisor (the `item / hs`, `item % hs` indexing idiom)
                     // becomes a shift/mask — a host hardware division per
                     // lane is the single most expensive ALU op and cannot
-                    // be vectorised.
+                    // be vectorised. The uniformity check reads the
+                    // divisor row in place; the rewrite then reuses the
+                    // `srli`/`andi` kernels, whose scalar semantics are
+                    // exactly `a >> sh` and `a & mask`.
                     if matches!(op, AluOp::Divu | AluOp::Remu) {
+                        let b = self.rf.row(w, rs2.num() as usize);
                         let d = if full {
-                            let n = self.warps[w].threads();
-                            if b[1..n].iter().all(|&x| x == b[0]) { Some(b[0]) } else { None }
+                            if b[1..].iter().all(|&x| x == b[0]) {
+                                Some(b[0])
+                            } else {
+                                None
+                            }
                         } else {
                             let first = tmask.trailing_zeros() as usize;
                             let mut m = tmask;
@@ -660,18 +741,25 @@ impl Core {
                         };
                         if let Some(d) = d {
                             if d != 0 && d.is_power_of_two() {
-                                let sh = d.trailing_zeros();
-                                let mask = d - 1;
-                                match op {
-                                    AluOp::Divu => write_row!(rd.num() as usize, |l| a[l] >> sh),
-                                    _ => write_row!(rd.num() as usize, |l| a[l] & mask),
-                                }
+                                let (k, imm) = match op {
+                                    AluOp::Divu => (
+                                        tables::alu_imm_kernel(AluImmOp::Srl),
+                                        d.trailing_zeros() as i32,
+                                    ),
+                                    _ => (tables::alu_imm_kernel(AluImmOp::And), (d - 1) as i32),
+                                };
+                                run_imm!(k, rd.num() as usize, rs1.num() as usize, imm);
                                 wb_int!(rd, timing.div);
                                 break 'op;
                             }
                         }
                     }
-                    write_row!(rd.num() as usize, |l| alu(op, a[l], b[l]));
+                    run_bin!(
+                        tables::alu_kernel(op),
+                        rd.num() as usize,
+                        rs1.num() as usize,
+                        rs2.num() as usize
+                    );
                 }
                 let lat = match meta.class {
                     ExecClass::Mul => timing.mul,
@@ -702,73 +790,58 @@ impl Core {
             }
             Instr::Flw { rd, rs1, offset } => 'flw: {
                 let mut addrs = [0u32; 32];
-                let mut base = [0u32; 32];
-                read_src!(rs1.num() as usize, base);
-                // Broadcast / unit-stride fast paths, as for word loads.
+                // Broadcast / unit-stride fast paths via the shared
+                // helper, as for integer word loads.
                 if full {
-                    let n = self.warps[w].threads();
-                    let addr0 = base[0].wrapping_add(offset as u32);
-                    if n >= 2 {
-                        if base[1..n].iter().all(|&b| b == base[0]) {
-                            if addr0 & 3 != 0 {
-                                return Err(SimError::MisalignedAccess { pc, addr: addr0, align: 4 });
-                            }
-                            let v = ctx.mem.read_u32(addr0);
-                            self.rf.row_mut(w, FP_BASE + rd.num() as usize).fill(v);
-                            let completion = self.memory_access_span(addr0, addr0, false, now, ctx);
-                            self.rf.set_busy(w, FP_BASE + rd.num() as usize, completion);
-                            break 'flw;
-                        }
-                        if addr0 & 3 == 0
-                            && addr0.checked_add(4 * (n as u32 - 1)).is_some()
-                            && base[1..n]
-                                .iter()
-                                .enumerate()
-                                .all(|(i, &b)| b == base[0].wrapping_add(4 * (i as u32 + 1)))
-                        {
-                            let dst = self.rf.row_mut(w, FP_BASE + rd.num() as usize);
-                            ctx.mem.read_u32_into(addr0, dst);
-                            let last = addr0 + 4 * (n as u32 - 1);
-                            let completion = self.memory_access_span(addr0, last, false, now, ctx);
-                            self.rf.set_busy(w, FP_BASE + rd.num() as usize, completion);
-                            break 'flw;
-                        }
+                    let mut base = [0u32; 32];
+                    let _ = self.rf.copy_row(w, rs1.num() as usize, &mut base);
+                    if self.fast_word_load(
+                        w,
+                        FP_BASE + rd.num() as usize,
+                        &base,
+                        offset,
+                        pc,
+                        now,
+                        ctx,
+                    )? {
+                        break 'flw;
                     }
                 }
+                // Masked/strided gather, as for integer word loads (the
+                // base row is read in place; validation ends its borrow).
+                {
+                    let base = self.rf.row(w, rs1.num() as usize);
+                    for_lanes!(|l| {
+                        let addr = base[l].wrapping_add(offset as u32);
+                        if addr & 3 != 0 {
+                            return Err(SimError::MisalignedAccess { pc, addr, align: 4 });
+                        }
+                        addrs[l] = addr;
+                    });
+                }
                 let dst = self.rf.row_mut(w, FP_BASE + rd.num() as usize);
-                for_lanes!(|l| {
-                    let addr = base[l].wrapping_add(offset as u32);
-                    if addr & 3 != 0 {
-                        return Err(SimError::MisalignedAccess { pc, addr, align: 4 });
-                    }
-                    dst[l] = ctx.mem.read_u32(addr);
-                    addrs[l] = addr;
-                });
+                ctx.mem.read_u32_gather(&addrs, tmask, dst);
                 let completion = self.memory_access(w, &addrs, tmask, false, now, ctx);
                 self.rf.set_busy(w, FP_BASE + rd.num() as usize, completion);
             }
             Instr::Fsw { rs2, rs1, offset } => 'fsw: {
+                // Unit-stride full-mask bulk path via the shared helper,
+                // as for word stores.
+                if full
+                    && self.fast_word_store(
+                        w,
+                        rs1.num() as usize,
+                        FP_BASE + rs2.num() as usize,
+                        offset,
+                        now,
+                        ctx,
+                    )
+                {
+                    break 'fsw;
+                }
                 let mut addrs = [0u32; 32];
                 let base = self.rf.row(w, rs1.num() as usize);
                 let vals = self.rf.row(w, FP_BASE + rs2.num() as usize);
-                // Unit-stride full-mask bulk path, as for word stores.
-                if full {
-                    let n = base.len();
-                    let addr0 = base[0].wrapping_add(offset as u32);
-                    if n >= 2
-                        && addr0 & 3 == 0
-                        && addr0.checked_add(4 * (n as u32 - 1)).is_some()
-                        && base[1..]
-                            .iter()
-                            .enumerate()
-                            .all(|(i, &b)| b == base[0].wrapping_add(4 * (i as u32 + 1)))
-                    {
-                        ctx.mem.write_u32_from(addr0, vals);
-                        let last = addr0 + 4 * (n as u32 - 1);
-                        self.memory_access_span(addr0, last, true, now, ctx);
-                        break 'fsw;
-                    }
-                }
                 for_lanes!(|l| {
                     let addr = base[l].wrapping_add(offset as u32);
                     if addr & 3 != 0 {
@@ -780,112 +853,83 @@ impl Core {
                 self.memory_access(w, &addrs, tmask, true, now, ctx);
             }
             Instr::FpOp { op, rd, rs1, rs2 } => {
-                let mut a = [0u32; 32];
-                let mut b = [0u32; 32];
-                read_src!(FP_BASE + rs1.num() as usize, a);
-                read_src!(FP_BASE + rs2.num() as usize, b);
-                write_row!(FP_BASE + rd.num() as usize, |l| fp_bin(
-                    op,
-                    f32::from_bits(a[l]),
-                    f32::from_bits(b[l])
-                ));
+                run_bin!(
+                    tables::fp_bin_kernel(op),
+                    FP_BASE + rd.num() as usize,
+                    FP_BASE + rs1.num() as usize,
+                    FP_BASE + rs2.num() as usize
+                );
                 let lat = if matches!(op, FpBinOp::Div) { timing.fdiv } else { timing.fpu };
                 wb_fp!(rd, lat);
             }
             Instr::FpFma { op, rd, rs1, rs2, rs3 } => {
-                let mut a = [0u32; 32];
-                let mut b = [0u32; 32];
-                let mut c = [0u32; 32];
-                read_src!(FP_BASE + rs1.num() as usize, a);
-                read_src!(FP_BASE + rs2.num() as usize, b);
-                read_src!(FP_BASE + rs3.num() as usize, c);
-                write_row!(FP_BASE + rd.num() as usize, |l| {
-                    let (x, y, z) =
-                        (f32::from_bits(a[l]), f32::from_bits(b[l]), f32::from_bits(c[l]));
-                    let v = match op {
-                        FmaOp::MAdd => x.mul_add(y, z),
-                        FmaOp::MSub => x.mul_add(y, -z),
-                        FmaOp::NMSub => (-x).mul_add(y, z),
-                        FmaOp::NMAdd => (-x).mul_add(y, -z),
-                    };
-                    v.to_bits()
-                });
+                run_fma!(
+                    tables::fma_kernel(op),
+                    FP_BASE + rd.num() as usize,
+                    FP_BASE + rs1.num() as usize,
+                    FP_BASE + rs2.num() as usize,
+                    FP_BASE + rs3.num() as usize
+                );
                 wb_fp!(rd, timing.fpu);
             }
             Instr::FpSqrt { rd, rs1 } => {
-                let mut a = [0u32; 32];
-                read_src!(FP_BASE + rs1.num() as usize, a);
-                write_row!(FP_BASE + rd.num() as usize, |l| f32::from_bits(a[l])
-                    .sqrt()
-                    .to_bits());
+                run_un!(
+                    tables::fsqrt_kernel(),
+                    FP_BASE + rd.num() as usize,
+                    FP_BASE + rs1.num() as usize
+                );
                 wb_fp!(rd, timing.fsqrt);
             }
             Instr::FpCmp { op, rd, rs1, rs2 } => {
                 if !rd.is_zero() {
-                    let mut a = [0u32; 32];
-                    let mut b = [0u32; 32];
-                    read_src!(FP_BASE + rs1.num() as usize, a);
-                    read_src!(FP_BASE + rs2.num() as usize, b);
-                    write_row!(rd.num() as usize, |l| {
-                        let (x, y) = (f32::from_bits(a[l]), f32::from_bits(b[l]));
-                        u32::from(match op {
-                            FpCmpOp::Eq => x == y,
-                            FpCmpOp::Lt => x < y,
-                            FpCmpOp::Le => x <= y,
-                        })
-                    });
+                    run_bin!(
+                        tables::fp_cmp_kernel(op),
+                        rd.num() as usize,
+                        FP_BASE + rs1.num() as usize,
+                        FP_BASE + rs2.num() as usize
+                    );
                 }
                 wb_int!(rd, timing.fpu);
             }
             Instr::FpCvtToInt { signed, rd, rs1 } => {
                 if !rd.is_zero() {
-                    let mut a = [0u32; 32];
-                    read_src!(FP_BASE + rs1.num() as usize, a);
-                    write_row!(rd.num() as usize, |l| {
-                        let v = f32::from_bits(a[l]);
-                        if signed {
-                            if v.is_nan() {
-                                i32::MAX as u32
-                            } else {
-                                (v as i32) as u32
-                            }
-                        } else if v.is_nan() {
-                            u32::MAX
-                        } else {
-                            v as u32
-                        }
-                    });
+                    run_un!(
+                        tables::fcvt_to_int_kernel(signed),
+                        rd.num() as usize,
+                        FP_BASE + rs1.num() as usize
+                    );
                 }
                 wb_int!(rd, timing.fpu);
             }
             Instr::FpCvtFromInt { signed, rd, rs1 } => {
-                let mut a = [0u32; 32];
-                read_src!(rs1.num() as usize, a);
-                write_row!(FP_BASE + rd.num() as usize, |l| {
-                    let v = if signed { a[l] as i32 as f32 } else { a[l] as f32 };
-                    v.to_bits()
-                });
+                run_un!(
+                    tables::fcvt_from_int_kernel(signed),
+                    FP_BASE + rd.num() as usize,
+                    rs1.num() as usize
+                );
                 wb_fp!(rd, timing.fpu);
             }
             Instr::FpMvToInt { rd, rs1 } => {
                 if !rd.is_zero() {
-                    let mut a = [0u32; 32];
-                    read_src!(FP_BASE + rs1.num() as usize, a);
-                    write_row!(rd.num() as usize, |l| a[l]);
+                    run_un!(
+                        tables::fmv_bits_kernel(),
+                        rd.num() as usize,
+                        FP_BASE + rs1.num() as usize
+                    );
                 }
                 wb_int!(rd, timing.fpu);
             }
             Instr::FpMvFromInt { rd, rs1 } => {
-                let mut a = [0u32; 32];
-                read_src!(rs1.num() as usize, a);
-                write_row!(FP_BASE + rd.num() as usize, |l| a[l]);
+                run_un!(tables::fmv_bits_kernel(), FP_BASE + rd.num() as usize, rs1.num() as usize);
                 wb_fp!(rd, timing.fpu);
             }
             Instr::FpClass { rd, rs1 } => {
                 if !rd.is_zero() {
-                    let mut a = [0u32; 32];
-                    read_src!(FP_BASE + rs1.num() as usize, a);
-                    write_row!(rd.num() as usize, |l| fclass(f32::from_bits(a[l])));
+                    run_un!(
+                        tables::fclass_kernel(),
+                        rd.num() as usize,
+                        FP_BASE + rs1.num() as usize
+                    );
                 }
                 wb_int!(rd, timing.fpu);
             }
@@ -1033,11 +1077,13 @@ impl Core {
         });
         let lines = coalesce_lines(lanes, line_bytes);
         let mut completion = now;
-        for (i, line) in lines.as_slice().iter().enumerate() {
-            // The banked L1 accepts `banks` lines per cycle. (`i < banks`
-            // covers nearly every access — at most 32 lines exist — and
-            // skips a hardware division.)
-            let at = if i < banks { now } else { now + (i / banks) as Cycle };
+        // The banked L1 accepts `banks` lines per cycle; `at` advances one
+        // cycle per filled bank group, incrementally — `now + i / banks`
+        // would put a hardware division on every line of a divergent
+        // gather (and `div_ceil` another one per access).
+        let mut at = now;
+        let mut in_group = 0usize;
+        for line in lines.as_slice() {
             let done = if is_store {
                 ctx.memsys.store(self.id, *line, at)
             } else {
@@ -1045,9 +1091,15 @@ impl Core {
             };
             completion = completion.max(done);
             *ctx.horizon = (*ctx.horizon).max(done);
+            in_group += 1;
+            if in_group == banks {
+                in_group = 0;
+                at += 1;
+            }
         }
-        self.mem_port_free =
-            now + if lines.len() <= banks { 1 } else { lines.len().div_ceil(banks) as Cycle };
+        // Port slots consumed: ceil(len / banks), at least one.
+        let slots = (at - now + Cycle::from(in_group > 0)).max(1);
+        self.mem_port_free = now + slots;
         completion
     }
 
@@ -1070,12 +1122,13 @@ impl Core {
         let banks = ctx.l1_banks;
         let first = addr0 & !(line_bytes - 1);
         let last = addr_last & !(line_bytes - 1);
-        let nlines = ((last - first) / line_bytes + 1) as usize;
+        let nlines = (((last - first) >> line_bytes.trailing_zeros()) + 1) as usize;
         let mut completion = now;
+        // Incremental bank-group accounting, as in `memory_access`.
+        let mut at = now;
+        let mut in_group = 0usize;
         for i in 0..nlines {
             let line = first + i as u32 * line_bytes;
-            // The banked L1 accepts `banks` lines per cycle.
-            let at = if i < banks { now } else { now + (i / banks) as Cycle };
             let done = if is_store {
                 ctx.memsys.store(self.id, line, at)
             } else {
@@ -1083,10 +1136,84 @@ impl Core {
             };
             completion = completion.max(done);
             *ctx.horizon = (*ctx.horizon).max(done);
+            in_group += 1;
+            if in_group == banks {
+                in_group = 0;
+                at += 1;
+            }
         }
-        self.mem_port_free =
-            now + if nlines <= banks { 1 } else { nlines.div_ceil(banks) as Cycle };
+        let slots = (at - now + Cycle::from(in_group > 0)).max(1);
+        self.mem_port_free = now + slots;
         completion
+    }
+
+    /// Full-mask broadcast / unit-stride word-**load** fast path into the
+    /// dense destination row `dense` — the one shared copy of what used to
+    /// be four near-identical inline blocks (integer `Load` and `Flw`;
+    /// `fast_word_store` is the store dual). Returns `Ok(true)` when the
+    /// access was served bulk, with values, coalesced line sequence, port
+    /// accounting and misalignment faults identical to the lane loop: a
+    /// misaligned *broadcast* faults here (lane 0 is the first lane the
+    /// general path would check), while a misaligned *stride* never
+    /// classifies and falls back to the lane loop, which raises the same
+    /// fault on lane 0.
+    #[allow(clippy::too_many_arguments)] // mirrors `issue`'s hot-path locals
+    fn fast_word_load<S: TraceSink + ?Sized>(
+        &mut self,
+        w: usize,
+        dense: usize,
+        base: &[u32; 32],
+        offset: i32,
+        pc: u32,
+        now: Cycle,
+        ctx: &mut CoreCtx<'_, S>,
+    ) -> Result<bool, SimError> {
+        let n = self.warps[w].threads();
+        match span::classify(&base[..n], offset) {
+            Span::Broadcast { addr0 } => {
+                if addr0 & 3 != 0 {
+                    return Err(SimError::MisalignedAccess { pc, addr: addr0, align: 4 });
+                }
+                let v = ctx.mem.read_u32(addr0);
+                self.rf.row_mut(w, dense).fill(v);
+                let completion = self.memory_access_span(addr0, addr0, false, now, ctx);
+                self.rf.set_busy(w, dense, completion);
+                Ok(true)
+            }
+            Span::UnitStride { addr0, last } => {
+                let dst = self.rf.row_mut(w, dense);
+                ctx.mem.read_u32_into(addr0, dst);
+                let completion = self.memory_access_span(addr0, last, false, now, ctx);
+                self.rf.set_busy(w, dense, completion);
+                Ok(true)
+            }
+            Span::Irregular => Ok(false),
+        }
+    }
+
+    /// Unit-stride full-mask word-**store** fast path (the shared copy
+    /// behind integer `Store` and `Fsw`). Broadcast rows are deliberately
+    /// rejected: overlapping stores must land in lane order, which only
+    /// the lane loop preserves. Returns `true` when the store was served
+    /// bulk.
+    fn fast_word_store<S: TraceSink + ?Sized>(
+        &mut self,
+        w: usize,
+        base_dense: usize,
+        vals_dense: usize,
+        offset: i32,
+        now: Cycle,
+        ctx: &mut CoreCtx<'_, S>,
+    ) -> bool {
+        let base = self.rf.row(w, base_dense);
+        let (addr0, last) = match span::classify(base, offset) {
+            Span::UnitStride { addr0, last } => (addr0, last),
+            Span::Broadcast { .. } | Span::Irregular => return false,
+        };
+        let vals = self.rf.row(w, vals_dense);
+        ctx.mem.write_u32_from(addr0, vals);
+        self.memory_access_span(addr0, last, true, now, ctx);
+        true
     }
 
     /// The value of `reg` in the lowest active lane of warp `w`, with a
@@ -1146,175 +1273,10 @@ fn load_width_bytes(width: LoadWidth) -> (u32, bool) {
     }
 }
 
-#[inline]
-fn branch_cmp(op: BranchOp, a: u32, b: u32) -> bool {
-    match op {
-        BranchOp::Eq => a == b,
-        BranchOp::Ne => a != b,
-        BranchOp::Lt => (a as i32) < (b as i32),
-        BranchOp::Ge => (a as i32) >= (b as i32),
-        BranchOp::Ltu => a < b,
-        BranchOp::Geu => a >= b,
-    }
-}
-
-fn alu_imm(op: AluImmOp, a: u32, imm: i32) -> u32 {
-    match op {
-        AluImmOp::Add => a.wrapping_add(imm as u32),
-        AluImmOp::Slt => u32::from((a as i32) < imm),
-        AluImmOp::Sltu => u32::from(a < imm as u32),
-        AluImmOp::Xor => a ^ imm as u32,
-        AluImmOp::Or => a | imm as u32,
-        AluImmOp::And => a & imm as u32,
-        AluImmOp::Sll => a.wrapping_shl(imm as u32),
-        AluImmOp::Srl => a.wrapping_shr(imm as u32),
-        AluImmOp::Sra => ((a as i32).wrapping_shr(imm as u32)) as u32,
-    }
-}
-
-fn alu(op: AluOp, a: u32, b: u32) -> u32 {
-    match op {
-        AluOp::Add => a.wrapping_add(b),
-        AluOp::Sub => a.wrapping_sub(b),
-        AluOp::Sll => a.wrapping_shl(b & 0x1F),
-        AluOp::Slt => u32::from((a as i32) < (b as i32)),
-        AluOp::Sltu => u32::from(a < b),
-        AluOp::Xor => a ^ b,
-        AluOp::Srl => a.wrapping_shr(b & 0x1F),
-        AluOp::Sra => ((a as i32).wrapping_shr(b & 0x1F)) as u32,
-        AluOp::Or => a | b,
-        AluOp::And => a & b,
-        AluOp::Mul => a.wrapping_mul(b),
-        AluOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
-        AluOp::Mulhsu => (((a as i32 as i64) * (b as u64 as i64)) >> 32) as u32,
-        AluOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
-        AluOp::Div => {
-            if b == 0 {
-                u32::MAX
-            } else if a == 0x8000_0000 && b == u32::MAX {
-                a // overflow: i32::MIN / -1
-            } else {
-                ((a as i32).wrapping_div(b as i32)) as u32
-            }
-        }
-        AluOp::Divu => {
-            if b == 0 {
-                u32::MAX
-            } else {
-                a / b
-            }
-        }
-        AluOp::Rem => {
-            if b == 0 {
-                a
-            } else if a == 0x8000_0000 && b == u32::MAX {
-                0
-            } else {
-                ((a as i32).wrapping_rem(b as i32)) as u32
-            }
-        }
-        AluOp::Remu => {
-            if b == 0 {
-                a
-            } else {
-                a % b
-            }
-        }
-    }
-}
-
-fn fp_bin(op: FpBinOp, a: f32, b: f32) -> u32 {
-    let v = match op {
-        FpBinOp::Add => a + b,
-        FpBinOp::Sub => a - b,
-        FpBinOp::Mul => a * b,
-        FpBinOp::Div => a / b,
-        FpBinOp::SgnJ => f32::from_bits((a.to_bits() & 0x7FFF_FFFF) | (b.to_bits() & 0x8000_0000)),
-        FpBinOp::SgnJN => {
-            f32::from_bits((a.to_bits() & 0x7FFF_FFFF) | (!b.to_bits() & 0x8000_0000))
-        }
-        FpBinOp::SgnJX => f32::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000_0000)),
-        FpBinOp::Min => a.min(b),
-        FpBinOp::Max => a.max(b),
-    };
-    v.to_bits()
-}
-
-/// RISC-V `fclass.s` result mask.
-fn fclass(v: f32) -> u32 {
-    use std::num::FpCategory;
-    let neg = v.is_sign_negative();
-    match (v.classify(), neg) {
-        (FpCategory::Infinite, true) => 1 << 0,
-        (FpCategory::Normal, true) => 1 << 1,
-        (FpCategory::Subnormal, true) => 1 << 2,
-        (FpCategory::Zero, true) => 1 << 3,
-        (FpCategory::Zero, false) => 1 << 4,
-        (FpCategory::Subnormal, false) => 1 << 5,
-        (FpCategory::Normal, false) => 1 << 6,
-        (FpCategory::Infinite, false) => 1 << 7,
-        (FpCategory::Nan, _) => {
-            if v.to_bits() & 0x0040_0000 != 0 {
-                1 << 9 // quiet NaN
-            } else {
-                1 << 8 // signaling NaN
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use vortex_isa::reg;
-
-    #[test]
-    fn alu_semantics_match_riscv() {
-        assert_eq!(alu(AluOp::Add, u32::MAX, 1), 0);
-        assert_eq!(alu(AluOp::Sub, 0, 1), u32::MAX);
-        assert_eq!(alu(AluOp::Slt, (-1i32) as u32, 0), 1);
-        assert_eq!(alu(AluOp::Sltu, (-1i32) as u32, 0), 0);
-        assert_eq!(alu(AluOp::Sra, 0x8000_0000, 31), u32::MAX);
-        assert_eq!(alu(AluOp::Srl, 0x8000_0000, 31), 1);
-        assert_eq!(alu(AluOp::Mulhu, u32::MAX, u32::MAX), 0xFFFF_FFFE);
-        assert_eq!(alu(AluOp::Mulh, (-1i32) as u32, (-1i32) as u32), 0);
-    }
-
-    #[test]
-    fn division_edge_cases_follow_spec() {
-        // Division by zero.
-        assert_eq!(alu(AluOp::Div, 7, 0), u32::MAX);
-        assert_eq!(alu(AluOp::Divu, 7, 0), u32::MAX);
-        assert_eq!(alu(AluOp::Rem, 7, 0), 7);
-        assert_eq!(alu(AluOp::Remu, 7, 0), 7);
-        // Signed overflow.
-        assert_eq!(alu(AluOp::Div, 0x8000_0000, u32::MAX), 0x8000_0000);
-        assert_eq!(alu(AluOp::Rem, 0x8000_0000, u32::MAX), 0);
-    }
-
-    #[test]
-    fn sign_injection() {
-        assert_eq!(f32::from_bits(fp_bin(FpBinOp::SgnJ, 1.5, -2.0)), -1.5);
-        assert_eq!(f32::from_bits(fp_bin(FpBinOp::SgnJN, 1.5, -2.0)), 1.5);
-        assert_eq!(f32::from_bits(fp_bin(FpBinOp::SgnJX, -1.5, -2.0)), 1.5);
-    }
-
-    #[test]
-    fn fclass_categories() {
-        assert_eq!(fclass(f32::NEG_INFINITY), 1 << 0);
-        assert_eq!(fclass(-1.0), 1 << 1);
-        assert_eq!(fclass(-0.0), 1 << 3);
-        assert_eq!(fclass(0.0), 1 << 4);
-        assert_eq!(fclass(2.5), 1 << 6);
-        assert_eq!(fclass(f32::INFINITY), 1 << 7);
-        assert_eq!(fclass(f32::NAN), 1 << 9);
-    }
-
-    #[test]
-    fn shift_immediates_mask_amount() {
-        assert_eq!(alu_imm(AluImmOp::Sll, 1, 4), 16);
-        assert_eq!(alu_imm(AluImmOp::Sra, (-16i32) as u32, 2), (-4i32) as u32);
-    }
 
     #[test]
     fn uniform_check_reads_active_lanes_only() {
@@ -1343,4 +1305,3 @@ mod tests {
         assert_eq!(core.rf.read(1, 5, 0), 17);
     }
 }
-

@@ -6,7 +6,12 @@
 //! `dst_reg`, `exec_class` twice, `is_control`); now each is one field
 //! load. The instruction and its metadata are stored side by side
 //! ([`DecodedInstr`]) so a fetch touches one contiguous entry instead of
-//! two parallel arrays.
+//! two parallel arrays. The per-op monomorphic execute kernels of the
+//! big ALU/FPU arms are *not* cached here: their op-indexed dispatch
+//! tables (see [`exec::tables`](crate::exec::tables)) resolve from the
+//! cached instruction's operation in one table load at issue, so caching
+//! the pointer would only grow this entry (and the per-warp next-issue
+//! cache) by 16 bytes per slot — measured as a net loss.
 
 use vortex_isa::{ExecClass, Instr};
 
@@ -49,13 +54,8 @@ impl InstrMeta {
         }
     }
 
-    pub(crate) const INVALID: InstrMeta = InstrMeta {
-        src: [0; 3],
-        dst: 0,
-        class: ExecClass::Simt,
-        is_mem: false,
-        is_control: false,
-    };
+    pub(crate) const INVALID: InstrMeta =
+        InstrMeta { src: [0; 3], dst: 0, class: ExecClass::Simt, is_mem: false, is_control: false };
 }
 
 /// One fetchable program slot: the instruction plus its decoded facts.
@@ -79,12 +79,8 @@ mod tests {
 
     #[test]
     fn operand_indices_use_the_dense_scoreboard_space() {
-        let m = InstrMeta::of(&Instr::Op {
-            op: AluOp::Add,
-            rd: reg::A0,
-            rs1: reg::T1,
-            rs2: reg::ZERO,
-        });
+        let m =
+            InstrMeta::of(&Instr::Op { op: AluOp::Add, rd: reg::A0, rs1: reg::T1, rs2: reg::ZERO });
         assert_eq!(m.src[0], reg::T1.num());
         assert_eq!(m.src[1], 0, "x0 source encodes as no-operand");
         assert_eq!(m.src[2], 0);
@@ -109,8 +105,12 @@ mod tests {
         assert_eq!(br.class, ExecClass::Branch);
         assert_eq!(br.dst, 0, "branches write no register");
 
-        let ld =
-            InstrMeta::of(&Instr::Load { width: LoadWidth::Word, rd: reg::A0, rs1: reg::A1, offset: 0 });
+        let ld = InstrMeta::of(&Instr::Load {
+            width: LoadWidth::Word,
+            rd: reg::A0,
+            rs1: reg::A1,
+            offset: 0,
+        });
         assert!(ld.is_mem);
         assert_eq!(ld.class, ExecClass::Load);
     }

@@ -3,13 +3,10 @@
 use vortex_asm::Program;
 use vortex_mem::{Cycle, MainMemory, MemStats, MemSystem};
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::config::DeviceConfig;
 use crate::core::{Core, CoreCtx, CoreOutcome};
-use crate::decoded::DecodedInstr;
 use crate::counters::DeviceCounters;
+use crate::decoded::DecodedInstr;
 use crate::error::SimError;
 use crate::trace_api::{NullSink, TraceSink};
 
@@ -189,22 +186,20 @@ impl Device {
             counters,
         } = self;
 
-        // The binary heap stays the event queue after measurement: both a
-        // bucket-ring calendar queue and a flat per-core wake-slot table
-        // were prototyped against it (ROADMAP item c) and lost on the
-        // 450-configuration probe — see README "PR2 results". With one
-        // pending event per core and n ≤ 64, heap sifts over a contiguous
-        // 16-byte-entry array beat both the ring walk and the O(cores)
-        // rescan per simulated cycle that desynchronised many-core runs
-        // force on a slot table. More importantly, the heap is no longer
-        // on the per-issue path at all: each pop hands the core a
-        // conservative-lookahead window (see [`Core::run_until`]).
-        let mut heap: BinaryHeap<Reverse<(Cycle, usize)>> = BinaryHeap::new();
-        for core in cores.iter() {
-            if core.any_active() {
-                heap.push(Reverse((*cycle, core.id())));
-            }
-        }
+        // One pending event per core, in a flat per-core array scanned
+        // with a vectorisable min pass instead of a binary heap. The heap
+        // survived two calendar-queue prototypes (ROADMAP item c, see
+        // README "PR2 results"), but it charged every *core-cycle* of a
+        // lockstep many-core run one pop+push sift pair; with n ≤ 64 a
+        // contiguous `u64` min scan per scheduling round costs less than
+        // one sift, and the round still hands each due core a
+        // conservative-lookahead window (see [`Core::run_until`]). Unlike
+        // the PR 2 wake-slot table, the scan is per *round* (window), not
+        // per simulated cycle, so desynchronised runs do not degrade.
+        let mut next_at: Vec<Cycle> = cores
+            .iter()
+            .map(|core| if core.any_active() { *cycle } else { crate::warp::NEVER })
+            .collect();
 
         // One context for the whole run: it borrows device state disjoint
         // from `cores`, so it does not need rebuilding per step.
@@ -225,30 +220,63 @@ impl Device {
             l1_banks,
         };
 
-        // Conservative-lookahead event loop: pop the earliest-due core,
-        // and let it simulate every cycle up to the next *other* core's
-        // event time in one call — no other core can act in that window,
-        // so batching it is observationally identical to stepping one
-        // instruction per pop (counters, memory traffic and trace events
-        // keep their global `(cycle, core)` order). Same-cycle cores pop
-        // in ascending id order, exactly as before. Single-core devices
-        // run to completion in a single `run_until` call.
-        while let Some(Reverse((t, cid))) = heap.pop() {
+        // Conservative-lookahead event loop: find the earliest-due cores
+        // and let each simulate up to the next *other* core's event time
+        // in one call — no other core can act inside its window, so the
+        // partition into windows is observationally irrelevant; what is
+        // pinned is the global `(cycle, core)` order of simulated
+        // actions, and the scan visits same-cycle cores in ascending id
+        // order, exactly as the heap's tie-break did. A solo due core
+        // (always the case on single-core devices, and the common case
+        // once many-core runs desynchronise) gets the full window to the
+        // runner-up event; same-cycle peers each get one cycle.
+        loop {
+            // One pass: earliest event, its owner, how many cores share
+            // it, and the runner-up time (the solo core's horizon).
+            let mut t = crate::warp::NEVER;
+            let mut first = 0usize;
+            let mut due = 0usize;
+            let mut second = crate::warp::NEVER;
+            for (cid, &at) in next_at.iter().enumerate() {
+                if at < t {
+                    second = t;
+                    t = at;
+                    first = cid;
+                    due = 1;
+                } else if at == t && at != crate::warp::NEVER {
+                    due += 1;
+                } else if at < second {
+                    second = at;
+                }
+            }
+            if t == crate::warp::NEVER {
+                break;
+            }
             if t > limit {
                 return Err(SimError::CycleLimit { limit });
             }
-            let horizon = match heap.peek() {
-                Some(&Reverse((t2, _))) => t2.min(limit.saturating_add(1)),
-                None => limit.saturating_add(1),
-            };
-            match cores[cid].run_until(t, horizon, cycle, &mut ctx)? {
-                CoreOutcome::Next(next) => heap.push(Reverse((next, cid))),
-                CoreOutcome::Idle => {}
+            if due == 1 {
+                let horizon = second.min(limit.saturating_add(1));
+                next_at[first] = match cores[first].run_until(t, horizon, cycle, &mut ctx)? {
+                    CoreOutcome::Next(next) => next,
+                    CoreOutcome::Idle => crate::warp::NEVER,
+                };
+            } else {
+                for cid in first..next_at.len() {
+                    if next_at[cid] != t {
+                        continue;
+                    }
+                    next_at[cid] = match cores[cid].run_until(t, t + 1, cycle, &mut ctx)? {
+                        CoreOutcome::Next(next) => next,
+                        CoreOutcome::Idle => crate::warp::NEVER,
+                    };
+                }
             }
         }
 
         // Account for the final issue plus any in-flight memory traffic.
-        drop(ctx);
+        // (`ctx` borrows `cycle` and `horizon` mutably; end its scope.)
+        let _ = ctx;
         *cycle = (*cycle + 1).max(*horizon);
         counters.finish_cycle = *cycle;
         Ok(*cycle)

@@ -1,0 +1,270 @@
+//! Scalar semantics of every ALU/FPU operation: the single source of
+//! truth the per-op row kernels in [`tables`](super::tables) are
+//! instantiated from.
+//!
+//! Each function here takes the *operation* as its first argument; the
+//! kernel tables call them with a compile-time-constant op, so the match
+//! below constant-folds away and each monomorphic kernel ends up with
+//! exactly one operation in its loop body. Everything is `#[inline(always)]`
+//! to guarantee that folding — these are two-instruction bodies, not
+//! code-size risks.
+//!
+//! All floating-point semantics are exact IEEE single-precision host
+//! operations (`mul_add` for the fused family), which is what keeps cycle
+//! results independent of the simulated op order.
+
+use vortex_isa::{AluImmOp, AluOp, BranchOp, FmaOp, FpBinOp, FpCmpOp};
+
+/// Conditional-branch comparison.
+#[inline(always)]
+pub(crate) fn branch_cmp(op: BranchOp, a: u32, b: u32) -> bool {
+    match op {
+        BranchOp::Eq => a == b,
+        BranchOp::Ne => a != b,
+        BranchOp::Lt => (a as i32) < (b as i32),
+        BranchOp::Ge => (a as i32) >= (b as i32),
+        BranchOp::Ltu => a < b,
+        BranchOp::Geu => a >= b,
+    }
+}
+
+/// Register-immediate ALU operation.
+#[inline(always)]
+pub(crate) fn alu_imm(op: AluImmOp, a: u32, imm: i32) -> u32 {
+    match op {
+        AluImmOp::Add => a.wrapping_add(imm as u32),
+        AluImmOp::Slt => u32::from((a as i32) < imm),
+        AluImmOp::Sltu => u32::from(a < imm as u32),
+        AluImmOp::Xor => a ^ imm as u32,
+        AluImmOp::Or => a | imm as u32,
+        AluImmOp::And => a & imm as u32,
+        AluImmOp::Sll => a.wrapping_shl(imm as u32),
+        AluImmOp::Srl => a.wrapping_shr(imm as u32),
+        AluImmOp::Sra => ((a as i32).wrapping_shr(imm as u32)) as u32,
+    }
+}
+
+/// Register-register ALU operation (including the M extension), with
+/// RISC-V division edge-case semantics.
+#[inline(always)]
+pub(crate) fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 0x1F),
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 0x1F),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 0x1F)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+        AluOp::Mulhsu => (((a as i32 as i64) * (b as u64 as i64)) >> 32) as u32,
+        AluOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+        AluOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                a // overflow: i32::MIN / -1
+            } else {
+                ((a as i32).wrapping_div(b as i32)) as u32
+            }
+        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                0
+            } else {
+                ((a as i32).wrapping_rem(b as i32)) as u32
+            }
+        }
+        AluOp::Remu => a.checked_rem(b).unwrap_or(a),
+    }
+}
+
+/// Two-operand single-precision FP operation, on raw bit patterns.
+#[inline(always)]
+pub(crate) fn fp_bin(op: FpBinOp, a: u32, b: u32) -> u32 {
+    let (x, y) = (f32::from_bits(a), f32::from_bits(b));
+    let v = match op {
+        FpBinOp::Add => x + y,
+        FpBinOp::Sub => x - y,
+        FpBinOp::Mul => x * y,
+        FpBinOp::Div => x / y,
+        FpBinOp::SgnJ => f32::from_bits((a & 0x7FFF_FFFF) | (b & 0x8000_0000)),
+        FpBinOp::SgnJN => f32::from_bits((a & 0x7FFF_FFFF) | (!b & 0x8000_0000)),
+        FpBinOp::SgnJX => f32::from_bits(a ^ (b & 0x8000_0000)),
+        FpBinOp::Min => x.min(y),
+        FpBinOp::Max => x.max(y),
+    };
+    v.to_bits()
+}
+
+/// Fused multiply-add family, on raw bit patterns (exact `mul_add`).
+#[inline(always)]
+pub(crate) fn fma(op: FmaOp, a: u32, b: u32, c: u32) -> u32 {
+    let (x, y, z) = (f32::from_bits(a), f32::from_bits(b), f32::from_bits(c));
+    let v = match op {
+        FmaOp::MAdd => x.mul_add(y, z),
+        FmaOp::MSub => x.mul_add(y, -z),
+        FmaOp::NMSub => (-x).mul_add(y, z),
+        FmaOp::NMAdd => (-x).mul_add(y, -z),
+    };
+    v.to_bits()
+}
+
+/// FP comparison producing 0/1 in an integer register.
+#[inline(always)]
+pub(crate) fn fp_cmp(op: FpCmpOp, a: u32, b: u32) -> u32 {
+    let (x, y) = (f32::from_bits(a), f32::from_bits(b));
+    u32::from(match op {
+        FpCmpOp::Eq => x == y,
+        FpCmpOp::Lt => x < y,
+        FpCmpOp::Le => x <= y,
+    })
+}
+
+/// `fcvt.w.s` / `fcvt.wu.s`: float → integer with RISC-V NaN semantics.
+#[inline(always)]
+pub(crate) fn fcvt_to_int(signed: bool, bits: u32) -> u32 {
+    let v = f32::from_bits(bits);
+    if signed {
+        if v.is_nan() {
+            i32::MAX as u32
+        } else {
+            (v as i32) as u32
+        }
+    } else if v.is_nan() {
+        u32::MAX
+    } else {
+        v as u32
+    }
+}
+
+/// `fcvt.s.w` / `fcvt.s.wu`: integer → float.
+#[inline(always)]
+pub(crate) fn fcvt_from_int(signed: bool, a: u32) -> u32 {
+    let v = if signed { a as i32 as f32 } else { a as f32 };
+    v.to_bits()
+}
+
+/// RISC-V `fclass.s` result mask.
+#[inline(always)]
+pub(crate) fn fclass(bits: u32) -> u32 {
+    use std::num::FpCategory;
+    let v = f32::from_bits(bits);
+    let neg = v.is_sign_negative();
+    match (v.classify(), neg) {
+        (FpCategory::Infinite, true) => 1 << 0,
+        (FpCategory::Normal, true) => 1 << 1,
+        (FpCategory::Subnormal, true) => 1 << 2,
+        (FpCategory::Zero, true) => 1 << 3,
+        (FpCategory::Zero, false) => 1 << 4,
+        (FpCategory::Subnormal, false) => 1 << 5,
+        (FpCategory::Normal, false) => 1 << 6,
+        (FpCategory::Infinite, false) => 1 << 7,
+        (FpCategory::Nan, _) => {
+            if bits & 0x0040_0000 != 0 {
+                1 << 9 // quiet NaN
+            } else {
+                1 << 8 // signaling NaN
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics_match_riscv() {
+        assert_eq!(alu(AluOp::Add, u32::MAX, 1), 0);
+        assert_eq!(alu(AluOp::Sub, 0, 1), u32::MAX);
+        assert_eq!(alu(AluOp::Slt, (-1i32) as u32, 0), 1);
+        assert_eq!(alu(AluOp::Sltu, (-1i32) as u32, 0), 0);
+        assert_eq!(alu(AluOp::Sra, 0x8000_0000, 31), u32::MAX);
+        assert_eq!(alu(AluOp::Srl, 0x8000_0000, 31), 1);
+        assert_eq!(alu(AluOp::Mulhu, u32::MAX, u32::MAX), 0xFFFF_FFFE);
+        assert_eq!(alu(AluOp::Mulh, (-1i32) as u32, (-1i32) as u32), 0);
+    }
+
+    #[test]
+    fn division_edge_cases_follow_spec() {
+        // Division by zero.
+        assert_eq!(alu(AluOp::Div, 7, 0), u32::MAX);
+        assert_eq!(alu(AluOp::Divu, 7, 0), u32::MAX);
+        assert_eq!(alu(AluOp::Rem, 7, 0), 7);
+        assert_eq!(alu(AluOp::Remu, 7, 0), 7);
+        // Signed overflow.
+        assert_eq!(alu(AluOp::Div, 0x8000_0000, u32::MAX), 0x8000_0000);
+        assert_eq!(alu(AluOp::Rem, 0x8000_0000, u32::MAX), 0);
+    }
+
+    #[test]
+    fn sign_injection() {
+        let bits = |v: f32| v.to_bits();
+        assert_eq!(f32::from_bits(fp_bin(FpBinOp::SgnJ, bits(1.5), bits(-2.0))), -1.5);
+        assert_eq!(f32::from_bits(fp_bin(FpBinOp::SgnJN, bits(1.5), bits(-2.0))), 1.5);
+        assert_eq!(f32::from_bits(fp_bin(FpBinOp::SgnJX, bits(-1.5), bits(-2.0))), 1.5);
+    }
+
+    #[test]
+    fn fclass_categories() {
+        assert_eq!(fclass(f32::NEG_INFINITY.to_bits()), 1 << 0);
+        assert_eq!(fclass((-1.0f32).to_bits()), 1 << 1);
+        assert_eq!(fclass((-0.0f32).to_bits()), 1 << 3);
+        assert_eq!(fclass(0.0f32.to_bits()), 1 << 4);
+        assert_eq!(fclass(2.5f32.to_bits()), 1 << 6);
+        assert_eq!(fclass(f32::INFINITY.to_bits()), 1 << 7);
+        assert_eq!(fclass(f32::NAN.to_bits()), 1 << 9);
+        // Signaling NaN (quiet bit clear).
+        assert_eq!(fclass(0x7F80_0001), 1 << 8);
+    }
+
+    #[test]
+    fn shift_immediates_mask_amount() {
+        assert_eq!(alu_imm(AluImmOp::Sll, 1, 4), 16);
+        assert_eq!(alu_imm(AluImmOp::Sra, (-16i32) as u32, 2), (-4i32) as u32);
+    }
+
+    #[test]
+    fn fma_is_fused() {
+        // (1+ε)·(1−ε) = 1 − ε² rounds to exactly 1.0 in f32, so the
+        // unfused x*y+z is 0.0 while the fused product keeps −ε².
+        let (x, y, z) = (1.0 + f32::EPSILON, 1.0 - f32::EPSILON, -1.0f32);
+        let fused = x.mul_add(y, z);
+        assert_eq!(f32::from_bits(fma(FmaOp::MAdd, x.to_bits(), y.to_bits(), z.to_bits())), fused);
+        assert_ne!(fused, x * y + z, "operands chosen to expose fusion");
+        assert_eq!(x * y + z, 0.0);
+    }
+
+    #[test]
+    fn conversions_follow_riscv_nan_rules() {
+        assert_eq!(fcvt_to_int(true, f32::NAN.to_bits()), i32::MAX as u32);
+        assert_eq!(fcvt_to_int(false, f32::NAN.to_bits()), u32::MAX);
+        assert_eq!(fcvt_to_int(true, (-2.75f32).to_bits()), (-2i32) as u32);
+        assert_eq!(fcvt_from_int(true, (-1i32) as u32), (-1.0f32).to_bits());
+        assert_eq!(fcvt_from_int(false, u32::MAX), (u32::MAX as f32).to_bits());
+    }
+
+    #[test]
+    fn branch_comparisons_cover_signedness() {
+        assert!(branch_cmp(BranchOp::Lt, (-1i32) as u32, 0));
+        assert!(!branch_cmp(BranchOp::Ltu, (-1i32) as u32, 0));
+        assert!(branch_cmp(BranchOp::Geu, u32::MAX, 1));
+        assert!(branch_cmp(BranchOp::Eq, 7, 7));
+    }
+
+    #[test]
+    fn fp_cmp_handles_nan() {
+        let nan = f32::NAN.to_bits();
+        assert_eq!(fp_cmp(FpCmpOp::Eq, nan, nan), 0);
+        assert_eq!(fp_cmp(FpCmpOp::Lt, nan, 0), 0);
+        assert_eq!(fp_cmp(FpCmpOp::Le, 0, 0x3F80_0000), 1);
+    }
+}

@@ -1,0 +1,364 @@
+//! The op-indexed kernel tables: one monomorphic pair of row loops per
+//! operation, instantiated from the scalar semantics in
+//! [`scalar`](super::scalar).
+//!
+//! Each table entry is a `static` kernel struct holding two function
+//! pointers — the branch-free full-mask loop and the set-bit masked walk
+//! — both monomorphised over a zero-sized op type whose `eval` calls the
+//! scalar function with a *constant* operation. The operation match
+//! therefore folds away at compile time and every kernel body contains
+//! exactly one operation, which is what lets LLVM vectorise the full-mask
+//! loops without relying on loop unswitching of an 18-way `match`.
+//!
+//! Lookup happens at issue time: the execute arm resolves the operation
+//! held in the [`DecodedInstr`](crate::decoded::DecodedInstr) cache
+//! through its family's table function — a match over a fieldless enum
+//! returning statics, i.e. one table load — and pays one indirect call
+//! per instruction instead of one operation match per lane. (Storing the
+//! kernel pointer in the decode entry instead was tried and measured a
+//! net loss; see the note in `decoded.rs`.)
+
+use vortex_isa::{AluImmOp, AluOp, BranchOp, FmaOp, FpBinOp, FpCmpOp};
+
+use super::scalar;
+use super::{BinKernel, CmpKernel, FmaKernel, ImmKernel, UnKernel};
+
+/// Scalar op of a two-source row kernel.
+pub(super) trait Op2 {
+    fn eval(a: u32, b: u32) -> u32;
+}
+
+/// Scalar op of a source+immediate row kernel.
+pub(super) trait OpImm {
+    fn eval(a: u32, imm: i32) -> u32;
+}
+
+/// Scalar op of a three-source row kernel.
+pub(super) trait Op3 {
+    fn eval(a: u32, b: u32, c: u32) -> u32;
+}
+
+/// Scalar op of a one-source row kernel.
+pub(super) trait Op1 {
+    fn eval(a: u32) -> u32;
+}
+
+/// Scalar predicate of a ballot kernel.
+pub(super) trait Pred2 {
+    fn eval(a: u32, b: u32) -> bool;
+}
+
+// The generic row loops. Full-mask variants zip over the destination row
+// (bounds checks elided, auto-vectorisable); masked variants walk the set
+// bits of the thread mask so cost scales with active lanes. Lane order —
+// ascending — matches the pre-kernel `write_row!`/`for_lanes!` loops
+// bit-for-bit.
+
+fn bin_full<O: Op2>(dst: &mut [u32], a: &[u32], b: &[u32]) {
+    for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+        *d = O::eval(x, y);
+    }
+}
+
+fn bin_masked<O: Op2>(dst: &mut [u32], a: &[u32], b: &[u32], mut m: u32) {
+    while m != 0 {
+        let l = m.trailing_zeros() as usize;
+        m &= m - 1;
+        dst[l] = O::eval(a[l], b[l]);
+    }
+}
+
+fn imm_full<O: OpImm>(dst: &mut [u32], a: &[u32], imm: i32) {
+    for (d, &x) in dst.iter_mut().zip(a) {
+        *d = O::eval(x, imm);
+    }
+}
+
+fn imm_masked<O: OpImm>(dst: &mut [u32], a: &[u32], imm: i32, mut m: u32) {
+    while m != 0 {
+        let l = m.trailing_zeros() as usize;
+        m &= m - 1;
+        dst[l] = O::eval(a[l], imm);
+    }
+}
+
+fn fma_full<O: Op3>(dst: &mut [u32], a: &[u32], b: &[u32], c: &[u32]) {
+    for (((d, &x), &y), &z) in dst.iter_mut().zip(a).zip(b).zip(c) {
+        *d = O::eval(x, y, z);
+    }
+}
+
+fn fma_masked<O: Op3>(dst: &mut [u32], a: &[u32], b: &[u32], c: &[u32], mut m: u32) {
+    while m != 0 {
+        let l = m.trailing_zeros() as usize;
+        m &= m - 1;
+        dst[l] = O::eval(a[l], b[l], c[l]);
+    }
+}
+
+fn un_full<O: Op1>(dst: &mut [u32], a: &[u32]) {
+    for (d, &x) in dst.iter_mut().zip(a) {
+        *d = O::eval(x);
+    }
+}
+
+fn un_masked<O: Op1>(dst: &mut [u32], a: &[u32], mut m: u32) {
+    while m != 0 {
+        let l = m.trailing_zeros() as usize;
+        m &= m - 1;
+        dst[l] = O::eval(a[l]);
+    }
+}
+
+fn cmp_full<O: Pred2>(a: &[u32], b: &[u32]) -> u32 {
+    let mut ballot = 0u32;
+    for (l, (&x, &y)) in a.iter().zip(b).enumerate() {
+        ballot |= u32::from(O::eval(x, y)) << l;
+    }
+    ballot
+}
+
+fn cmp_masked<O: Pred2>(a: &[u32], b: &[u32], mut m: u32) -> u32 {
+    let mut ballot = 0u32;
+    while m != 0 {
+        let l = m.trailing_zeros() as usize;
+        m &= m - 1;
+        ballot |= u32::from(O::eval(a[l], b[l])) << l;
+    }
+    ballot
+}
+
+/// Generates `fn $name(op) -> &'static $kernel`: one match whose arms
+/// each hold a per-op ZST, its scalar-constant `eval`, and the `static`
+/// kernel pair monomorphised over it. One macro per arity, because the
+/// `eval` signature differs.
+macro_rules! bin_table {
+    ($name:ident, $opty:ty, $scalar:path, [$($variant:ident),+ $(,)?]) => {
+        pub(crate) fn $name(op: $opty) -> &'static BinKernel {
+            match op {
+                $(<$opty>::$variant => {
+                    struct Z;
+                    impl Op2 for Z {
+                        #[inline(always)]
+                        fn eval(a: u32, b: u32) -> u32 {
+                            $scalar(<$opty>::$variant, a, b)
+                        }
+                    }
+                    static K: BinKernel = BinKernel { full: bin_full::<Z>, masked: bin_masked::<Z> };
+                    &K
+                })+
+            }
+        }
+    };
+}
+
+macro_rules! imm_table {
+    ($name:ident, $opty:ty, $scalar:path, [$($variant:ident),+ $(,)?]) => {
+        pub(crate) fn $name(op: $opty) -> &'static ImmKernel {
+            match op {
+                $(<$opty>::$variant => {
+                    struct Z;
+                    impl OpImm for Z {
+                        #[inline(always)]
+                        fn eval(a: u32, imm: i32) -> u32 {
+                            $scalar(<$opty>::$variant, a, imm)
+                        }
+                    }
+                    static K: ImmKernel = ImmKernel { full: imm_full::<Z>, masked: imm_masked::<Z> };
+                    &K
+                })+
+            }
+        }
+    };
+}
+
+macro_rules! fma_table {
+    ($name:ident, $opty:ty, $scalar:path, [$($variant:ident),+ $(,)?]) => {
+        pub(crate) fn $name(op: $opty) -> &'static FmaKernel {
+            match op {
+                $(<$opty>::$variant => {
+                    struct Z;
+                    impl Op3 for Z {
+                        #[inline(always)]
+                        fn eval(a: u32, b: u32, c: u32) -> u32 {
+                            $scalar(<$opty>::$variant, a, b, c)
+                        }
+                    }
+                    static K: FmaKernel = FmaKernel { full: fma_full::<Z>, masked: fma_masked::<Z> };
+                    &K
+                })+
+            }
+        }
+    };
+}
+
+macro_rules! cmp_table {
+    ($name:ident, $opty:ty, $scalar:path, [$($variant:ident),+ $(,)?]) => {
+        pub(crate) fn $name(op: $opty) -> &'static CmpKernel {
+            match op {
+                $(<$opty>::$variant => {
+                    struct Z;
+                    impl Pred2 for Z {
+                        #[inline(always)]
+                        fn eval(a: u32, b: u32) -> bool {
+                            $scalar(<$opty>::$variant, a, b)
+                        }
+                    }
+                    static K: CmpKernel = CmpKernel { full: cmp_full::<Z>, masked: cmp_masked::<Z> };
+                    &K
+                })+
+            }
+        }
+    };
+}
+
+bin_table!(
+    alu_kernel,
+    AluOp,
+    scalar::alu,
+    [
+        Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And, Mul, Mulh, Mulhsu, Mulhu, Div, Divu, Rem,
+        Remu,
+    ]
+);
+
+imm_table!(
+    alu_imm_kernel,
+    AluImmOp,
+    scalar::alu_imm,
+    [Add, Slt, Sltu, Xor, Or, And, Sll, Srl, Sra,]
+);
+
+bin_table!(
+    fp_bin_kernel,
+    FpBinOp,
+    scalar::fp_bin,
+    [Add, Sub, Mul, Div, SgnJ, SgnJN, SgnJX, Min, Max,]
+);
+
+fma_table!(fma_kernel, FmaOp, scalar::fma, [MAdd, MSub, NMSub, NMAdd]);
+
+bin_table!(fp_cmp_kernel, FpCmpOp, scalar::fp_cmp, [Eq, Lt, Le]);
+
+cmp_table!(branch_kernel, BranchOp, scalar::branch_cmp, [Eq, Ne, Lt, Ge, Ltu, Geu]);
+
+/// Generates `fn $name() -> &'static UnKernel` for a fixed unary op.
+macro_rules! un_kernel {
+    ($name:ident, |$a:ident| $e:expr) => {
+        pub(crate) fn $name() -> &'static UnKernel {
+            struct Z;
+            impl Op1 for Z {
+                #[inline(always)]
+                fn eval($a: u32) -> u32 {
+                    $e
+                }
+            }
+            static K: UnKernel = UnKernel { full: un_full::<Z>, masked: un_masked::<Z> };
+            &K
+        }
+    };
+}
+
+un_kernel!(fsqrt_kernel, |a| f32::from_bits(a).sqrt().to_bits());
+
+/// `fcvt.w.s` / `fcvt.wu.s` kernel, picked by signedness.
+pub(crate) fn fcvt_to_int_kernel(signed: bool) -> &'static UnKernel {
+    if signed {
+        fcvt_w_s_kernel()
+    } else {
+        fcvt_wu_s_kernel()
+    }
+}
+
+/// `fcvt.s.w` / `fcvt.s.wu` kernel, picked by signedness.
+pub(crate) fn fcvt_from_int_kernel(signed: bool) -> &'static UnKernel {
+    if signed {
+        fcvt_s_w_kernel()
+    } else {
+        fcvt_s_wu_kernel()
+    }
+}
+un_kernel!(fcvt_w_s_kernel, |a| scalar::fcvt_to_int(true, a));
+un_kernel!(fcvt_wu_s_kernel, |a| scalar::fcvt_to_int(false, a));
+un_kernel!(fcvt_s_w_kernel, |a| scalar::fcvt_from_int(true, a));
+un_kernel!(fcvt_s_wu_kernel, |a| scalar::fcvt_from_int(false, a));
+un_kernel!(fmv_bits_kernel, |a| a);
+un_kernel!(fclass_kernel, |a| scalar::fclass(a));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_and_masked_loops_agree_per_lane() {
+        let a = [10u32, 20, 7, u32::MAX, 0, 3, 100, 8];
+        let b = [3u32, 5, 0, 1, 9, 3, 10, 2];
+        for op in [AluOp::Add, AluOp::Sub, AluOp::Mulhu, AluOp::Divu, AluOp::Remu, AluOp::Sra] {
+            let k = alu_kernel(op);
+            let mut full = [0u32; 8];
+            (k.full)(&mut full, &a, &b);
+            let mut masked = [0u32; 8];
+            (k.masked)(&mut masked, &a, &b, 0xFF);
+            assert_eq!(full, masked, "{op:?}: full vs masked drift");
+            for (l, &v) in full.iter().enumerate() {
+                assert_eq!(v, scalar::alu(op, a[l], b[l]), "{op:?} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_loops_write_only_active_lanes() {
+        let a = [1u32; 8];
+        let b = [2u32; 8];
+        let k = alu_kernel(AluOp::Add);
+        let mut dst = [99u32; 8];
+        (k.masked)(&mut dst, &a, &b, 0b1010_0001);
+        assert_eq!(dst, [3, 99, 99, 99, 99, 3, 99, 3]);
+    }
+
+    #[test]
+    fn ballot_kernels_match_lane_comparisons() {
+        let a = [0u32, 1, 5, 5, (-3i32) as u32, 9, 0, 2];
+        let b = [0u32, 2, 5, 4, 0, 9, 1, 2];
+        for op in [BranchOp::Eq, BranchOp::Ne, BranchOp::Lt, BranchOp::Geu] {
+            let k = branch_kernel(op);
+            let mut expect = 0u32;
+            for l in 0..8 {
+                expect |= u32::from(scalar::branch_cmp(op, a[l], b[l])) << l;
+            }
+            assert_eq!((k.full)(&a, &b), expect, "{op:?} full ballot");
+            let m = 0b0110_1100;
+            let mut expect_masked = 0u32;
+            for l in [2usize, 3, 5, 6] {
+                expect_masked |= u32::from(scalar::branch_cmp(op, a[l], b[l])) << l;
+            }
+            assert_eq!((k.masked)(&a, &b, m), expect_masked, "{op:?} masked ballot");
+        }
+    }
+
+    #[test]
+    fn fma_kernel_is_fused_per_lane() {
+        let x = 1.0000001f32.to_bits();
+        let k = fma_kernel(FmaOp::MAdd);
+        let a = [x; 4];
+        let b = [x; 4];
+        let c = [(-1.0f32).to_bits(); 4];
+        let mut dst = [0u32; 4];
+        (k.full)(&mut dst, &a, &b, &c);
+        let expect = 1.0000001f32.mul_add(1.0000001, -1.0).to_bits();
+        assert_eq!(dst, [expect; 4]);
+    }
+
+    #[test]
+    fn unary_kernels_cover_the_conversion_family() {
+        let vals = [2.5f32.to_bits(), (-1.5f32).to_bits(), f32::NAN.to_bits()];
+        let mut dst = [0u32; 3];
+        (fcvt_w_s_kernel().full)(&mut dst, &vals);
+        assert_eq!(dst, [2, (-1i32) as u32, i32::MAX as u32]);
+        (fsqrt_kernel().full)(&mut dst, &[4.0f32.to_bits(), 2.25f32.to_bits(), 0]);
+        assert_eq!(dst[0], 2.0f32.to_bits());
+        assert_eq!(dst[1], 1.5f32.to_bits());
+        (fmv_bits_kernel().full)(&mut dst, &[7, 8, 9]);
+        assert_eq!(dst, [7, 8, 9]);
+    }
+}

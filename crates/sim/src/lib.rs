@@ -48,12 +48,13 @@
 
 #![forbid(unsafe_code)]
 
-mod decoded;
 mod config;
 mod core;
 mod counters;
+mod decoded;
 mod device;
 mod error;
+mod exec;
 mod ipdom;
 mod regfile;
 mod trace_api;

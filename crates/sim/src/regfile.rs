@@ -39,6 +39,14 @@ pub(crate) struct RegFile {
     words: Vec<u32>,
     /// Per-register busy-until cycles: `busy[warp * 64 + dense_reg]`.
     busy: Vec<Cycle>,
+    /// Per-warp upper bound on every `busy` entry (monotone `max` of all
+    /// `set_busy` calls since the warp's last clear). When the bound is at
+    /// or below the warp's control-gap bound, the four per-operand
+    /// scoreboard loads of the hazard check cannot exceed it and are
+    /// skipped entirely — the dominant case in ALU-dense stretches, where
+    /// single-cycle results retire by the time the next instruction could
+    /// issue anyway.
+    watermark: Vec<Cycle>,
 }
 
 impl RegFile {
@@ -48,6 +56,7 @@ impl RegFile {
             threads,
             words: vec![0; warps * REGS_PER_WARP * threads],
             busy: vec![0; warps * REGS_PER_WARP],
+            watermark: vec![0; warps],
         }
     }
 
@@ -101,6 +110,78 @@ impl RegFile {
         }
     }
 
+    /// The destination row mutably together with one source row
+    /// read-only, **copy-free**, when the source does not alias the
+    /// destination. `None` asks the caller to take the snapshot path
+    /// (the safe-Rust answer to `dst ← f(dst)`); since the rows are then
+    /// disjoint, reading the source in place is indistinguishable from
+    /// reading a snapshot of it.
+    #[inline]
+    pub fn dst_src1(&mut self, warp: usize, d: usize, s: usize) -> Option<(&mut [u32], &[u32])> {
+        debug_assert!(d != 0, "the x0 row is read-only");
+        if d == s {
+            return None;
+        }
+        let t = self.threads;
+        let db = self.base(warp, d);
+        let sb = self.base(warp, s);
+        let [dst, src] = self.words.get_disjoint_mut([db..db + t, sb..sb + t]).ok()?;
+        Some((dst, &*src))
+    }
+
+    /// [`dst_src1`](RegFile::dst_src1) with two source rows (which may
+    /// alias each other, but not the destination).
+    #[inline]
+    pub fn dst_src2(
+        &mut self,
+        warp: usize,
+        d: usize,
+        s1: usize,
+        s2: usize,
+    ) -> Option<(&mut [u32], &[u32], &[u32])> {
+        debug_assert!(d != 0, "the x0 row is read-only");
+        if d == s1 || d == s2 {
+            return None;
+        }
+        let t = self.threads;
+        let db = self.base(warp, d);
+        if s1 == s2 {
+            let sb = self.base(warp, s1);
+            let [dst, src] = self.words.get_disjoint_mut([db..db + t, sb..sb + t]).ok()?;
+            let src = &*src;
+            return Some((dst, src, src));
+        }
+        let (b1, b2) = (self.base(warp, s1), self.base(warp, s2));
+        let [dst, a, b] = self.words.get_disjoint_mut([db..db + t, b1..b1 + t, b2..b2 + t]).ok()?;
+        Some((dst, &*a, &*b))
+    }
+
+    /// [`dst_src1`](RegFile::dst_src1) with three pairwise-distinct
+    /// source rows (any duplicate source requests the snapshot path —
+    /// rare enough for the fused-multiply-add family not to warrant the
+    /// alias juggling).
+    #[inline]
+    #[allow(clippy::type_complexity)] // one dst row + three source rows
+    pub fn dst_src3(
+        &mut self,
+        warp: usize,
+        d: usize,
+        s1: usize,
+        s2: usize,
+        s3: usize,
+    ) -> Option<(&mut [u32], &[u32], &[u32], &[u32])> {
+        debug_assert!(d != 0, "the x0 row is read-only");
+        if d == s1 || d == s2 || d == s3 || s1 == s2 || s1 == s3 || s2 == s3 {
+            return None;
+        }
+        let t = self.threads;
+        let (db, b1, b2, b3) =
+            (self.base(warp, d), self.base(warp, s1), self.base(warp, s2), self.base(warp, s3));
+        let [dst, a, b, c] =
+            self.words.get_disjoint_mut([db..db + t, b1..b1 + t, b2..b2 + t, b3..b3 + t]).ok()?;
+        Some((dst, &*a, &*b, &*c))
+    }
+
     /// One lane of one register.
     #[cfg(test)]
     pub fn read(&self, warp: usize, dense: usize, lane: usize) -> u32 {
@@ -119,6 +200,18 @@ impl RegFile {
     pub fn set_busy(&mut self, warp: usize, dense: usize, t: Cycle) {
         debug_assert!(dense != 0, "x0 never becomes busy");
         self.busy[warp * REGS_PER_WARP + dense] = t;
+        if t > self.watermark[warp] {
+            self.watermark[warp] = t;
+        }
+    }
+
+    /// Upper bound on every scoreboard entry of `warp` (see the field
+    /// docs). Never *below* the true maximum, so a caller observing
+    /// `busy_watermark(w) <= bound` may take `bound` as the exact hazard
+    /// time without reading any per-register entry.
+    #[inline]
+    pub fn busy_watermark(&self, warp: usize) -> Cycle {
+        self.watermark[warp]
     }
 
     /// Zeroes one warp's rows and scoreboard — the architectural clear a
@@ -129,6 +222,7 @@ impl RegFile {
         let base = self.base(warp, 0);
         self.words[base..base + REGS_PER_WARP * self.threads].fill(0);
         self.busy[warp * REGS_PER_WARP..(warp + 1) * REGS_PER_WARP].fill(0);
+        self.watermark[warp] = 0;
     }
 }
 
@@ -178,6 +272,27 @@ mod tests {
         assert_eq!(rf.busy_until(0, 3), 0);
         assert_eq!(rf.row(1, 3), &[9, 0]);
         assert_eq!(rf.busy_until(1, 3), 42);
+    }
+
+    #[test]
+    fn copy_free_accessors_split_disjoint_rows() {
+        let mut rf = RegFile::new(1, 4);
+        rf.row_mut(0, 5).copy_from_slice(&[1, 2, 3, 4]);
+        rf.row_mut(0, 6).copy_from_slice(&[10, 20, 30, 40]);
+        let (dst, a, b) = rf.dst_src2(0, 7, 5, 6).expect("disjoint");
+        assert_eq!(a, &[1, 2, 3, 4]);
+        assert_eq!(b, &[10, 20, 30, 40]);
+        dst.copy_from_slice(&[9, 9, 9, 9]);
+        assert_eq!(rf.row(0, 7), &[9; 4]);
+        // A duplicated source is shared, not copied.
+        let (_, a, b) = rf.dst_src2(0, 7, 5, 5).expect("s1 == s2 is fine");
+        assert_eq!(a, b);
+        // Aliasing the destination requests the snapshot path.
+        assert!(rf.dst_src2(0, 5, 5, 6).is_none());
+        assert!(rf.dst_src1(0, 6, 6).is_none());
+        assert!(rf.dst_src1(0, 6, 5).is_some());
+        assert!(rf.dst_src3(0, 7, 1, 2, 3).is_some());
+        assert!(rf.dst_src3(0, 7, 1, 2, 2).is_none(), "duplicate fma sources snapshot");
     }
 
     #[test]

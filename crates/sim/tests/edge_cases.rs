@@ -80,10 +80,7 @@ fn misaligned_word_access_is_detected() {
         DeviceConfig::with_topology(1, 1, 1),
     );
     let err = device.run(100_000, None).unwrap_err();
-    assert!(
-        matches!(err, SimError::MisalignedAccess { align: 4, .. }),
-        "got {err}"
-    );
+    assert!(matches!(err, SimError::MisalignedAccess { align: 4, .. }), "got {err}");
 }
 
 #[test]

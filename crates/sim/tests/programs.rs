@@ -2,7 +2,7 @@
 //! SIMT execution model, scheduling and the timing model.
 
 use vortex_asm::Assembler;
-use vortex_isa::{csrs, reg, fregs};
+use vortex_isa::{csrs, fregs, reg};
 use vortex_sim::{Device, DeviceConfig, SimError, VecTraceSink};
 
 const BASE: u32 = 0x8000_0000;
@@ -178,9 +178,9 @@ fn wspawn_activates_secondary_warps() {
         let worker = a.label("worker");
         a.li(reg::T0, 4);
         a.la(reg::T1, 0); // patched below via label address
-        // We cannot la() a label (absolute); emit auipc-style: use the
-        // known code base + symbol after assembly instead. Simplest: the
-        // worker is the next instruction for warp 0 too.
+                          // We cannot la() a label (absolute); emit auipc-style: use the
+                          // known code base + symbol after assembly instead. Simplest: the
+                          // worker is the next instruction for warp 0 too.
         let _ = reg::T1;
         a.la(reg::T2, BASE + 4 * 4); // address of `worker` (computed below)
         a.vx_wspawn(reg::T0, reg::T2);
@@ -213,7 +213,7 @@ fn barrier_synchronises_warps() {
         a.j(after);
         a.nop();
         a.bind(worker).unwrap(); // index 6
-        // warp 1: store 1 to DATA
+                                 // warp 1: store 1 to DATA
         a.la(reg::T3, DATA);
         a.li(reg::T4, 1);
         a.sw(reg::T4, 0, reg::T3);

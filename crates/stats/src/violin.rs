@@ -18,7 +18,12 @@ impl Violin {
     /// # Panics
     ///
     /// Panics if `bins == 0` or `hi <= lo`.
-    pub fn from_values(values: impl IntoIterator<Item = f64>, lo: f64, hi: f64, bins: usize) -> Self {
+    pub fn from_values(
+        values: impl IntoIterator<Item = f64>,
+        lo: f64,
+        hi: f64,
+        bins: usize,
+    ) -> Self {
         assert!(bins > 0, "need at least one bin");
         assert!(hi > lo, "range must be non-empty");
         let mut v = Violin { lo, hi, bins: vec![0; bins], overflow: 0, total: 0 };

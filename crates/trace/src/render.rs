@@ -98,8 +98,7 @@ pub fn render_timeline(
             section_bins[bin] = Some(section_letter(program, event.pc));
             lane_bins[bin] = lane_bins[bin].max(event.active_lanes());
         }
-        let section_row: String =
-            section_bins.iter().map(|slot| slot.unwrap_or('.')).collect();
+        let section_row: String = section_bins.iter().map(|slot| slot.unwrap_or('.')).collect();
         rows.push(format!("w{warp:<2}|{section_row}|"));
         if options.show_lane_counts {
             let count_row: String = lane_bins
@@ -139,11 +138,8 @@ mod tests {
     #[test]
     fn renders_rows_per_warp() {
         let program = tiny_program();
-        let trace = Trace::from_events(vec![
-            ev(0, 0, 0x0, 0xF),
-            ev(10, 0, 0x4, 0xF),
-            ev(5, 1, 0x4, 0x3),
-        ]);
+        let trace =
+            Trace::from_events(vec![ev(0, 0, 0x0, 0xF), ev(10, 0, 0x4, 0xF), ev(5, 1, 0x4, 0x3)]);
         let timeline = render_timeline(
             &trace,
             &program,
@@ -163,8 +159,7 @@ mod tests {
     fn empty_core_renders_header_only() {
         let program = tiny_program();
         let trace = Trace::from_events(vec![]);
-        let timeline =
-            render_timeline(&trace, &program, 0, "empty", TimelineOptions::default());
+        let timeline = render_timeline(&trace, &program, 0, "empty", TimelineOptions::default());
         assert!(timeline.rows().is_empty());
         assert!(timeline.to_text().contains("0 issues"));
     }

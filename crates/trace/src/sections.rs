@@ -46,8 +46,7 @@ impl SectionLegend {
         for section in program.sections() {
             let letter = section_letter(program, section.start);
             if !entries.iter().any(|(l, _)| *l == letter) {
-                let kind =
-                    section.name.rsplit('.').next().unwrap_or(&section.name).to_owned();
+                let kind = section.name.rsplit('.').next().unwrap_or(&section.name).to_owned();
                 entries.push((letter, kind));
             }
         }
@@ -61,11 +60,7 @@ impl SectionLegend {
 
     /// Renders `d=dispatch s=spawn …`.
     pub fn to_line(&self) -> String {
-        self.entries
-            .iter()
-            .map(|(l, name)| format!("{l}={name}"))
-            .collect::<Vec<_>>()
-            .join(" ")
+        self.entries.iter().map(|(l, name)| format!("{l}={name}")).collect::<Vec<_>>().join(" ")
     }
 }
 

@@ -23,11 +23,7 @@ fn traced_run(lws: u32) -> (Trace, vortex_asm::Program) {
 fn every_issue_lands_in_a_known_section() {
     let (trace, program) = traced_run(16);
     for event in trace.events() {
-        assert!(
-            program.section_at(event.pc).is_some(),
-            "pc {:#x} has no section",
-            event.pc
-        );
+        assert!(program.section_at(event.pc).is_some(), "pc {:#x} has no section", event.pc);
     }
 }
 

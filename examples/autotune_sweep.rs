@@ -36,9 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Oracle: exhaustive search over the candidate lws set.
         let oracle = oracle_search(gws, &config, |lws| {
             let mut kernel = Saxpy::new(gws);
-            run_kernel(&mut kernel, &config, LwsPolicy::Explicit(lws))
-                .expect("oracle run")
-                .cycles
+            run_kernel(&mut kernel, &config, LwsPolicy::Explicit(lws)).expect("oracle run").cycles
         });
 
         table.row(vec![

@@ -25,10 +25,11 @@ fn kernels() -> Vec<Box<dyn Kernel>> {
 }
 
 fn main() {
-    let configs: Vec<DeviceConfig> = ["1c2w4t", "1c4w8t", "2c2w2t", "4c8w16t", "3c5w7t", "16c16w16t"]
-        .iter()
-        .map(|s| s.parse().expect("valid topology"))
-        .collect();
+    let configs: Vec<DeviceConfig> =
+        ["1c2w4t", "1c4w8t", "2c2w2t", "4c8w16t", "3c5w7t", "16c16w16t"]
+            .iter()
+            .map(|s| s.parse().expect("valid topology"))
+            .collect();
     for mut kernel in kernels() {
         for config in &configs {
             for policy in [LwsPolicy::Naive1, LwsPolicy::Fixed32, LwsPolicy::Auto] {

@@ -15,13 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.topology_name()
     );
 
-    let mut table = Table::new(vec![
-        "policy",
-        "aggr lws",
-        "dense lws",
-        "total cycles",
-        "dram util",
-    ]);
+    let mut table =
+        Table::new(vec!["policy", "aggr lws", "dense lws", "total cycles", "dram util"]);
     for policy in [LwsPolicy::Naive1, LwsPolicy::Fixed32, LwsPolicy::Auto] {
         let mut layer = GcnLayer::sweep();
         let outcome = run_kernel(&mut layer, &config, policy)?;

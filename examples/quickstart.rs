@@ -12,10 +12,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1-core, 2-warp, 4-thread device (hp = 8).
     let config = DeviceConfig::with_topology(1, 2, 4);
     let hp = config.hardware_parallelism();
-    println!(
-        "device {}  (hardware parallelism hp = {hp})",
-        config.topology_name()
-    );
+    println!("device {}  (hardware parallelism hp = {hp})", config.topology_name());
 
     let gws = 128;
     println!("kernel vecadd, gws = {gws}  =>  Eq.1 lws = {}\n", optimal_lws(gws, hp));

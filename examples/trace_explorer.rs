@@ -21,20 +21,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .transpose()?
         .unwrap_or_else(|| optimal_lws(gws, config.hardware_parallelism()));
 
-    println!(
-        "tracing vecadd gws={gws} lws={lws} on {}\n",
-        config.topology_name()
-    );
+    println!("tracing vecadd gws={gws} lws={lws} on {}\n", config.topology_name());
 
     let mut kernel = VecAdd::new(gws);
     let program = kernel.build()?;
     let mut sink = VecTraceSink::new();
-    let outcome = run_kernel_traced(
-        &mut kernel,
-        &config,
-        LwsPolicy::Explicit(lws),
-        Some(&mut sink),
-    )?;
+    let outcome =
+        run_kernel_traced(&mut kernel, &config, LwsPolicy::Explicit(lws), Some(&mut sink))?;
     let trace = Trace::from_sink(sink);
 
     // Per-core timelines (the Fig. 1 panels).
@@ -56,10 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("dispatch rounds   : {} wspawns, {} barriers", stats.wspawns, stats.barriers);
     println!("body instructions : {:.1}%", stats.body_fraction() * 100.0);
     println!("mapping overhead  : {:.1}%", stats.overhead_fraction() * 100.0);
-    println!(
-        "lane utilisation  : {:.2}",
-        trace.lane_utilization(config.threads)
-    );
+    println!("lane utilisation  : {:.2}", trace.lane_utilization(config.threads));
     println!("\nper-section issue counts:");
     for (section, count) in &stats.per_section {
         println!("  {section:<10} {count}");

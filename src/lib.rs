@@ -61,10 +61,10 @@ pub mod prelude {
         Runtime, WorkMapping,
     };
     pub use vortex_kernels::{
-        run_kernel, run_kernel_traced, Gauss, GcnAggr, GcnLayer, Kernel, Knn, Relu,
-        ResnetLayer, Saxpy, Sgemm, VecAdd,
+        run_kernel, run_kernel_traced, Gauss, GcnAggr, GcnLayer, Kernel, Knn, Relu, ResnetLayer,
+        Saxpy, Sgemm, VecAdd,
     };
     pub use vortex_sim::{Device, DeviceConfig, VecTraceSink};
     pub use vortex_stats::{RatioSummary, Table};
-    pub use vortex_trace::{render_timeline, Trace, TimelineOptions, TraceStats};
+    pub use vortex_trace::{render_timeline, TimelineOptions, Trace, TraceStats};
 }

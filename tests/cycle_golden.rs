@@ -16,8 +16,10 @@
 //! masked execute loops and the broadcast / unit-stride memory paths.
 //! Dedicated white-box programs additionally pin one traced-vs-untraced
 //! identity case per execute-loop fast path (divergent masked rows,
-//! broadcast loads, unit-stride loads/stores, uniform power-of-two
-//! division).
+//! broadcast loads, unit-stride loads/stores — integer and FP, through
+//! the shared `fast_word_load`/`fast_word_store` helpers — uniform
+//! power-of-two division, and the masked page-run gather, including a
+//! read of a never-written page).
 //!
 //! On top of the cross-path identity, a table of hard-coded golden finish
 //! cycles pins the absolute timing of representative runs, so a change
@@ -82,9 +84,8 @@ fn traced_and_untraced_paths_agree() {
                 let untraced = run_kernel(kernel.as_mut(), &config, policy)
                     .unwrap_or_else(|e| panic!("{} {config} {policy}: {e}", kernel.name()));
                 let mut sink = VecTraceSink::new();
-                let traced =
-                    run_kernel_traced(kernel.as_mut(), &config, policy, Some(&mut sink))
-                        .unwrap_or_else(|e| panic!("{} {config} {policy}: {e}", kernel.name()));
+                let traced = run_kernel_traced(kernel.as_mut(), &config, policy, Some(&mut sink))
+                    .unwrap_or_else(|e| panic!("{} {config} {policy}: {e}", kernel.name()));
                 assert_eq!(
                     fingerprint(&untraced),
                     fingerprint(&traced),
@@ -116,9 +117,8 @@ fn reused_runtime_matches_fresh_device() {
             run_kernel_prepared(kernel.as_mut(), &program, &mut rt, LwsPolicy::Fixed32)
                 .unwrap_or_else(|e| panic!("{} {config}: {e}", kernel.name()));
             for policy in [LwsPolicy::Naive1, LwsPolicy::Auto] {
-                let reused =
-                    run_kernel_prepared(kernel.as_mut(), &program, &mut rt, policy)
-                        .unwrap_or_else(|e| panic!("{} {config} {policy}: {e}", kernel.name()));
+                let reused = run_kernel_prepared(kernel.as_mut(), &program, &mut rt, policy)
+                    .unwrap_or_else(|e| panic!("{} {config} {policy}: {e}", kernel.name()));
                 let fresh = run_kernel(kernel.as_mut(), &config, policy)
                     .unwrap_or_else(|e| panic!("{} {config} {policy}: {e}", kernel.name()));
                 assert_eq!(
@@ -174,11 +174,7 @@ mod fastpaths {
     /// Runs `build` on a fresh device traced and untraced; asserts the
     /// cycle/counter/memory fingerprints agree and returns the probed
     /// memory words for an architectural check.
-    fn identical_runs(
-        threads: usize,
-        build: impl Fn(&mut Assembler),
-        probe: &[u32],
-    ) -> Vec<u32> {
+    fn identical_runs(threads: usize, build: impl Fn(&mut Assembler), probe: &[u32]) -> Vec<u32> {
         let run = |traced: bool| -> (u64, u64, u64, Vec<u32>) {
             let mut a = Assembler::new(BASE);
             build(&mut a);
@@ -194,12 +190,7 @@ mod fastpaths {
             };
             let mem = device.memory();
             let words = probe.iter().map(|&addr| mem.read_u32(addr)).collect();
-            (
-                finish,
-                device.counters().instructions,
-                device.counters().lane_instructions,
-                words,
-            )
+            (finish, device.counters().instructions, device.counters().lane_instructions, words)
         };
         let untraced = run(false);
         let traced = run(true);
@@ -248,7 +239,7 @@ mod fastpaths {
                 a.li_u32(reg::T1, 0x2000);
                 a.sw(reg::T0, 0, reg::T1);
                 a.lw(reg::T2, 0, reg::T1); // broadcast load
-                // Fan out per lane so the result is observable per lane.
+                                           // Fan out per lane so the result is observable per lane.
                 a.csrr(reg::T3, vortex_isa::csrs::THREAD_ID);
                 a.slli(reg::T3, reg::T3, 2);
                 a.li_u32(reg::T4, 0x3000);
@@ -287,6 +278,129 @@ mod fastpaths {
             &[0x4000, 0x4004, 0x401C, 0x5004, 0x501C],
         );
         assert_eq!(words, vec![0, 3, 21, 6, 42]);
+    }
+
+    /// Divergent masked word gathers whose lane addresses span several
+    /// 4 KiB pages — the batched page-run gather path
+    /// (`MainMemory::read_u32_gather`), which the full-mask broadcast /
+    /// unit-stride fast paths never reach. One active lane reads a page
+    /// nothing ever wrote (architecturally zero).
+    #[test]
+    fn masked_gather_across_pages_identity() {
+        const STRIDE: u32 = 0x1044; // > one 4 KiB page, word-aligned
+        let words = identical_runs(
+            8,
+            |a| {
+                a.csrr(reg::T0, vortex_isa::csrs::THREAD_ID);
+                // addr = 0x10000 + tid * STRIDE: every lane on its own page.
+                a.li_u32(reg::T1, STRIDE);
+                a.mul(reg::T1, reg::T0, reg::T1);
+                a.li_u32(reg::T2, 0x1_0000);
+                a.add(reg::T1, reg::T1, reg::T2);
+                // Seed mem[addr] = tid * 7 + 1, except lane 5 (left
+                // untouched so its page stays non-resident): diverge on
+                // tid != 5 for the seeding store.
+                a.li(reg::T3, 5);
+                a.sub(reg::T3, reg::T0, reg::T3);
+                a.snez(reg::T3, reg::T3);
+                let skip_seed = a.label("skip_seed");
+                a.vx_split(reg::T3, skip_seed);
+                a.li(reg::T4, 7);
+                a.mul(reg::T4, reg::T0, reg::T4);
+                a.addi(reg::T4, reg::T4, 1);
+                a.sw(reg::T4, 0, reg::T1); // scattered store, one page each
+                a.bind(skip_seed).expect("fresh");
+                a.vx_join();
+                // Diverge again: only the even lanes gather, so the load
+                // runs under a partial mask with page-spanning addresses.
+                a.andi(reg::T5, reg::T0, 1);
+                a.seqz(reg::T5, reg::T5);
+                let skip_load = a.label("skip_load");
+                a.vx_split(reg::T5, skip_load);
+                a.lw(reg::T6, 0, reg::T1); // masked page-run gather
+                a.bind(skip_load).expect("fresh");
+                a.vx_join();
+                // Publish per lane: out[tid] = loaded value (0 for odd
+                // lanes, whose register kept the cleared value).
+                a.slli(reg::A0, reg::T0, 2);
+                a.li_u32(reg::A1, 0x3000);
+                a.add(reg::A0, reg::A0, reg::A1);
+                a.sw(reg::T6, 0, reg::A0);
+                a.vx_tmc(reg::ZERO);
+            },
+            &[0x3000, 0x3008, 0x3010, 0x3018, 0x3004],
+        );
+        // Even lanes gathered tid*7+1 from their own pages; odd lanes
+        // skipped the load (register still zero).
+        assert_eq!(words, vec![1, 15, 29, 43, 0]);
+    }
+
+    /// A divergent gather where one active lane's page was never written:
+    /// the page-run walk must zero-fill exactly like per-lane reads.
+    #[test]
+    fn masked_gather_reads_untouched_page_as_zero() {
+        let words = identical_runs(
+            4,
+            |a| {
+                a.csrr(reg::T0, vortex_isa::csrs::THREAD_ID);
+                // addr = 0x40000 + tid * 0x2000 — nothing is ever stored
+                // there; mask off lane 0 so the gather is masked.
+                a.slli(reg::T1, reg::T0, 13);
+                a.li_u32(reg::T2, 0x4_0000);
+                a.add(reg::T1, reg::T1, reg::T2);
+                a.snez(reg::T3, reg::T0);
+                let skip = a.label("skip");
+                a.vx_split(reg::T3, skip);
+                a.lw(reg::T4, 0, reg::T1);
+                a.addi(reg::T4, reg::T4, 9);
+                a.bind(skip).expect("fresh");
+                a.vx_join();
+                a.slli(reg::A0, reg::T0, 2);
+                a.li_u32(reg::A1, 0x5000);
+                a.add(reg::A0, reg::A0, reg::A1);
+                a.sw(reg::T4, 0, reg::A0);
+                a.vx_tmc(reg::ZERO);
+            },
+            &[0x5000, 0x5004, 0x5008, 0x500C],
+        );
+        assert_eq!(words, vec![0, 9, 9, 9]);
+    }
+
+    /// `flw` broadcast and unit-stride plus `fsw` unit-stride: the FP
+    /// copies of the four former fast-path blocks, now routed through the
+    /// shared `fast_word_load`/`fast_word_store` helpers (the integer
+    /// `lw`/`sw` copies are pinned by the tests above).
+    #[test]
+    fn flw_fsw_fastpath_identity() {
+        use vortex_isa::fregs;
+        let words = identical_runs(
+            8,
+            |a| {
+                a.csrr(reg::T0, vortex_isa::csrs::THREAD_ID);
+                // Seed a uniform scale at 0x6000 (2.0f32) and a unit-stride
+                // vector v[tid] = float(tid) at 0x7000 + 4*tid.
+                a.li_u32(reg::T1, 0x4000_0000); // 2.0f32 bits
+                a.li_u32(reg::T2, 0x6000);
+                a.sw(reg::T1, 0, reg::T2);
+                a.fcvt_s_w(fregs::FT0, reg::T0);
+                a.slli(reg::T3, reg::T0, 2);
+                a.li_u32(reg::T4, 0x7000);
+                a.add(reg::T4, reg::T4, reg::T3);
+                a.fsw(fregs::FT0, 0, reg::T4); // unit-stride fsw (bulk)
+                                               // Broadcast flw of the scale, unit-stride flw of v.
+                a.flw(fregs::FT1, 0, reg::T2); // broadcast flw (bulk)
+                a.flw(fregs::FT2, 0, reg::T4); // unit-stride flw (bulk)
+                a.fmul_s(fregs::FT3, fregs::FT1, fregs::FT2);
+                // out[tid] = 2.0 * tid at 0x8000 + 4*tid.
+                a.li_u32(reg::T5, 0x8000);
+                a.add(reg::T5, reg::T5, reg::T3);
+                a.fsw(fregs::FT3, 0, reg::T5);
+                a.vx_tmc(reg::ZERO);
+            },
+            &[0x8000, 0x8004, 0x8010, 0x801C],
+        );
+        let expect: Vec<u32> = [0.0f32, 2.0, 8.0, 14.0].iter().map(|v| v.to_bits()).collect();
+        assert_eq!(words, expect);
     }
 
     /// Uniform power-of-two `divu`/`remu` (the `item / hs` indexing
@@ -336,10 +450,7 @@ fn golden_finish_cycles() {
             other => panic!("unknown golden kernel {other}"),
         };
         let outcome = run_kernel(kernel.as_mut(), &config, policy).unwrap();
-        assert_eq!(
-            outcome.cycles, expected,
-            "{name} on {topo} under {policy}: golden cycle drift"
-        );
+        assert_eq!(outcome.cycles, expected, "{name} on {topo} under {policy}: golden cycle drift");
     }
 }
 

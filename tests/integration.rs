@@ -77,10 +77,7 @@ fn multi_phase_kernel_reports_each_launch() {
         run_kernel(&mut layer, &DeviceConfig::with_topology(1, 4, 4), LwsPolicy::Auto).unwrap();
     assert_eq!(outcome.reports.len(), 2);
     assert!(outcome.reports.iter().all(|r| r.cycles > 0));
-    assert_eq!(
-        outcome.cycles,
-        outcome.reports.iter().map(|r| r.cycles).sum::<u64>()
-    );
+    assert_eq!(outcome.cycles, outcome.reports.iter().map(|r| r.cycles).sum::<u64>());
 }
 
 #[test]

@@ -46,9 +46,8 @@ fn eq1_resolves_to_naive_on_huge_hardware() {
     assert_eq!(LwsPolicy::Auto.lws_for(4096, &config), 1);
     // ... and therefore the ratio against the naive mapping is exactly 1.
     let mut a = VecAdd::new(256);
-    let auto = run_kernel(&mut a, &DeviceConfig::with_topology(8, 8, 8), LwsPolicy::Auto)
-        .unwrap()
-        .cycles;
+    let auto =
+        run_kernel(&mut a, &DeviceConfig::with_topology(8, 8, 8), LwsPolicy::Auto).unwrap().cycles;
     let mut b = VecAdd::new(256);
     let naive = run_kernel(&mut b, &DeviceConfig::with_topology(8, 8, 8), LwsPolicy::Naive1)
         .unwrap()
@@ -62,8 +61,7 @@ fn eq1_resolves_to_naive_on_huge_hardware() {
 #[test]
 fn fig2_sampled_ratios_hold() {
     let topologies = ["1c2w2t", "1c4w8t", "2c2w16t", "4c8w4t", "8c16w8t", "16c32w32t"];
-    let configs: Vec<DeviceConfig> =
-        topologies.iter().map(|t| t.parse().unwrap()).collect();
+    let configs: Vec<DeviceConfig> = topologies.iter().map(|t| t.parse().unwrap()).collect();
 
     // vecadd vs lws=1: auto never loses, mean well above 1.
     let mut ratios = Vec::new();
@@ -97,8 +95,7 @@ fn memory_bound_classification() {
     let mut knn = Knn::sweep();
     let knn_util = run_kernel(&mut knn, &config, LwsPolicy::Auto).unwrap().dram_utilization;
     let mut sgemm = Sgemm::sweep();
-    let sgemm_util =
-        run_kernel(&mut sgemm, &config, LwsPolicy::Auto).unwrap().dram_utilization;
+    let sgemm_util = run_kernel(&mut sgemm, &config, LwsPolicy::Auto).unwrap().dram_utilization;
     assert!(
         knn_util > 2.0 * sgemm_util,
         "knn ({knn_util:.2}) must be far more DRAM-hungry than sgemm ({sgemm_util:.2})"

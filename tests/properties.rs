@@ -16,7 +16,7 @@ fn arb_topology(rng: &mut Rng) -> DeviceConfig {
 /// Every task id in 0..⌈gws/lws⌉ is covered by exactly one core range.
 #[test]
 fn mapping_covers_all_tasks() {
-    let mut rng = Rng::seed_from_u64(0x4AB_01);
+    let mut rng = Rng::seed_from_u64(0x4AB01);
     for _ in 0..256 {
         let gws = rng.gen_range_u32(1, 100_000);
         let lws = rng.gen_range_u32(1, 5_000);
@@ -33,7 +33,7 @@ fn mapping_covers_all_tasks() {
 /// consistent with it.
 #[test]
 fn eq1_is_always_legal() {
-    let mut rng = Rng::seed_from_u64(0x4AB_02);
+    let mut rng = Rng::seed_from_u64(0x4AB02);
     for _ in 0..256 {
         let gws = rng.gen_range_u32(1, 1_000_000);
         let config = arb_topology(&mut rng);
@@ -53,7 +53,7 @@ fn eq1_is_always_legal() {
 /// Rounds and tail utilisation are consistent.
 #[test]
 fn rounds_match_slot_arithmetic() {
-    let mut rng = Rng::seed_from_u64(0x4AB_03);
+    let mut rng = Rng::seed_from_u64(0x4AB03);
     for _ in 0..256 {
         let gws = rng.gen_range_u32(1, 50_000);
         let lws = rng.gen_range_u32(1, 2_000);
@@ -74,7 +74,7 @@ fn rounds_match_slot_arithmetic() {
 /// against the host reference.
 #[test]
 fn randomized_end_to_end_correctness() {
-    let mut rng = Rng::seed_from_u64(0x4AB_04);
+    let mut rng = Rng::seed_from_u64(0x4AB04);
     for case in 0..24 {
         let gws = rng.gen_range_u32(1, 300);
         let lws = rng.gen_range_u32(1, 64);
@@ -92,7 +92,7 @@ fn randomized_end_to_end_correctness() {
 /// The auto policy is deterministic: same inputs, same lws, same cycles.
 #[test]
 fn auto_policy_is_deterministic() {
-    let mut rng = Rng::seed_from_u64(0x4AB_05);
+    let mut rng = Rng::seed_from_u64(0x4AB05);
     for case in 0..24 {
         let gws = rng.gen_range_u32(1, 300);
         let config = DeviceConfig::with_topology(
@@ -102,8 +102,7 @@ fn auto_policy_is_deterministic() {
         );
         let run = || {
             let mut kernel = Relu::new(gws);
-            run_kernel(&mut kernel, &config, LwsPolicy::Auto)
-                .map(|o| (o.reports[0].lws, o.cycles))
+            run_kernel(&mut kernel, &config, LwsPolicy::Auto).map(|o| (o.reports[0].lws, o.cycles))
         };
         let a = run().unwrap_or_else(|e| panic!("case {case}: {e}"));
         let b = run().unwrap_or_else(|e| panic!("case {case}: {e}"));
