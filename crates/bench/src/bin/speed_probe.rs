@@ -11,7 +11,11 @@
 //!
 //! With `--json PATH` the per-kernel wall times are also written as a
 //! machine-readable file; the committed `BENCH_*.json` baselines in the
-//! repository root are produced this way (see README).
+//! repository root are produced this way (see README). Since PR 4 each
+//! kernel row also records the memory-side counters of its auto runs
+//! (L1/L2 hits and misses, DRAM line requests), so a throughput change is
+//! attributable to the memory hierarchy — the stdout table prints them as
+//! hit rates.
 //!
 //! ## Sharding
 //!
@@ -27,15 +31,17 @@
 //! speed_probe --merge s1.json,s2.json --json BENCH.json
 //! ```
 //!
-//! A merged file sums per-kernel configuration counts and seconds
-//! (shards partition the grid, so sums reconstruct the full-grid cost),
-//! weights mean DRAM utilisation by configuration count, and sums the
-//! shard totals into `total_seconds`.
+//! A merged file sums per-kernel configuration counts, seconds and memory
+//! counters (shards partition the grid, so sums reconstruct the full-grid
+//! values — raw hit/miss counters are stored precisely so merged hit
+//! rates stay exact), weights mean DRAM utilisation by configuration
+//! count, and sums the shard totals into `total_seconds`.
 
 use std::time::Instant;
 
 use vortex_bench::cli::{default_jobs, Flags};
 use vortex_bench::{kernel_factories, paper_sweep, run_campaign, Scale};
+use vortex_sim::MemStats;
 
 fn main() {
     let flags = Flags::from_env();
@@ -84,7 +90,7 @@ fn main() {
     }
     let scale = if flags.has("paper-scale") { Scale::Paper } else { Scale::Sweep };
     let wanted = flags.get_list("kernels");
-    let mut rows: Vec<(&'static str, usize, f64, f64)> = Vec::new();
+    let mut rows: Vec<KernelRow> = Vec::new();
     let wall = Instant::now();
     for factory in kernel_factories(scale) {
         if let Some(ws) = &wanted {
@@ -98,19 +104,25 @@ fn main() {
             std::process::exit(1);
         });
         let dt = start.elapsed();
+        let mem = result.total_mem();
         println!(
-            "{:<13} {:>4} configs x3 policies: {:>8.2?}  (mean dram util {:.2})",
+            "{:<13} {:>4} configs x3 policies: {:>8.2?}  (dram util {:.2}, L1 {:>5.1}%, \
+             L2 {:>5.1}%, {} DRAM reqs)",
             factory.name,
             result.rows.len(),
             dt,
             result.mean_dram_utilization(),
+            mem.l1.hit_rate() * 100.0,
+            mem.l2.hit_rate() * 100.0,
+            mem.dram_requests,
         );
-        rows.push((
-            factory.name,
-            result.rows.len(),
-            dt.as_secs_f64(),
-            result.mean_dram_utilization(),
-        ));
+        rows.push(KernelRow {
+            name: factory.name.to_owned(),
+            configs: result.rows.len(),
+            seconds: dt.as_secs_f64(),
+            util: result.mean_dram_utilization(),
+            mem,
+        });
     }
     let total = wall.elapsed().as_secs_f64();
     println!("{:<13} total: {total:.2}s", "");
@@ -141,7 +153,7 @@ fn parse_shard(s: &str) -> Option<(usize, usize)> {
 /// of configurations this process actually measured (the shard's share
 /// when sharded).
 fn render_json(
-    rows: &[(&str, usize, f64, f64)],
+    rows: &[KernelRow],
     configs: usize,
     jobs: usize,
     total: f64,
@@ -156,27 +168,43 @@ fn render_json(
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
     out.push_str("  \"kernels\": [\n");
-    for (i, (name, n, secs, util)) in rows.iter().enumerate() {
+    for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
+        let m = &row.mem;
         out.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"configs\": {n}, \"seconds\": {secs:.3}, \
-             \"mean_dram_utilization\": {util:.4}}}{comma}\n"
+            "    {{\"name\": \"{}\", \"configs\": {}, \"seconds\": {:.3}, \
+             \"mean_dram_utilization\": {:.4}, \"l1_hits\": {}, \"l1_misses\": {}, \
+             \"l2_hits\": {}, \"l2_misses\": {}, \"dram_requests\": {}}}{comma}\n",
+            row.name,
+            row.configs,
+            row.seconds,
+            row.util,
+            m.l1.hits,
+            m.l1.misses,
+            m.l2.hits,
+            m.l2.misses,
+            m.dram_requests,
         ));
     }
     out.push_str("  ]\n}\n");
     out
 }
 
-/// One kernel row parsed back out of a probe JSON.
+/// One kernel row of a probe JSON (also the in-memory accumulator).
 struct KernelRow {
     name: String,
     configs: usize,
     seconds: f64,
     util: f64,
+    /// Auto-run memory counters summed over the measured configurations
+    /// (only hits/misses and `dram_requests` are serialised).
+    mem: MemStats,
 }
 
 /// Minimal parser for the exact JSON this binary writes (no serde in the
-/// build environment). Extracts the scalar fields it needs by key.
+/// build environment). Extracts the scalar fields it needs by key; the
+/// memory counters introduced in PR 4 default to zero so pre-PR4 baseline
+/// files still parse (and merge).
 fn parse_probe_json(text: &str) -> Result<(usize, f64, Vec<KernelRow>), String> {
     fn field<T: std::str::FromStr>(obj: &str, key: &str) -> Result<T, String> {
         let pat = format!("\"{key}\":");
@@ -189,6 +217,9 @@ fn parse_probe_json(text: &str) -> Result<(usize, f64, Vec<KernelRow>), String> 
             .parse()
             .map_err(|_| format!("unparsable value for {key}"))
     }
+    fn counter(obj: &str, key: &str) -> u64 {
+        field(obj, key).unwrap_or(0)
+    }
 
     let jobs: usize = field(text, "jobs")?;
     let total: f64 = field(text, "total_seconds")?;
@@ -199,11 +230,18 @@ fn parse_probe_json(text: &str) -> Result<(usize, f64, Vec<KernelRow>), String> 
         if !obj.contains("\"name\"") {
             continue;
         }
+        let mut mem = MemStats::default();
+        mem.l1.hits = counter(obj, "l1_hits");
+        mem.l1.misses = counter(obj, "l1_misses");
+        mem.l2.hits = counter(obj, "l2_hits");
+        mem.l2.misses = counter(obj, "l2_misses");
+        mem.dram_requests = counter(obj, "dram_requests");
         rows.push(KernelRow {
             name: field(obj, "name")?,
             configs: field(obj, "configs")?,
             seconds: field(obj, "seconds")?,
             util: field(obj, "mean_dram_utilization")?,
+            mem,
         });
     }
     Ok((jobs, total, rows))
@@ -219,6 +257,16 @@ fn merge_probe_files(paths: &[String]) -> Result<String, String> {
     let mut merged: Vec<KernelRow> = Vec::new();
     for path in paths {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        if !text.contains("\"l1_hits\"") {
+            // Pre-PR4 probe files have no memory counters; their rows
+            // merge as zeros, so the merged counters under-cover the
+            // grid. Flag it rather than silently reporting partial
+            // traffic as if it were the whole sweep.
+            eprintln!(
+                "note: {path} has no memory counters (pre-PR4 format); \
+                 merged hit/miss/DRAM counters cover only the newer shards"
+            );
+        }
         let (j, t, rows) = parse_probe_json(&text).map_err(|e| format!("{path}: {e}"))?;
         jobs = jobs.max(j);
         total += t;
@@ -229,20 +277,29 @@ fn merge_probe_files(paths: &[String]) -> Result<String, String> {
                     m.util = (m.util * m.configs as f64 + row.util * row.configs as f64) / n;
                     m.configs += row.configs;
                     m.seconds += row.seconds;
+                    m.mem.accumulate(&row.mem);
                 }
                 None => merged.push(row),
             }
         }
     }
     let configs = merged.iter().map(|m| m.configs).max().unwrap_or(0);
-    let rows: Vec<(&str, usize, f64, f64)> =
-        merged.iter().map(|m| (m.name.as_str(), m.configs, m.seconds, m.util)).collect();
-    Ok(render_json(&rows, configs, jobs, total, None))
+    Ok(render_json(&merged, configs, jobs, total, None))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn row(name: &str, configs: usize, seconds: f64, util: f64, scale: u64) -> KernelRow {
+        let mut mem = MemStats::default();
+        mem.l1.hits = 100 * scale;
+        mem.l1.misses = 10 * scale;
+        mem.l2.hits = 8 * scale;
+        mem.l2.misses = 2 * scale;
+        mem.dram_requests = 3 * scale;
+        KernelRow { name: name.to_owned(), configs, seconds, util, mem }
+    }
 
     #[test]
     fn shard_spec_parses_and_rejects() {
@@ -255,7 +312,7 @@ mod tests {
 
     #[test]
     fn probe_json_roundtrips_through_the_parser() {
-        let rows = vec![("vecadd", 10, 1.5, 0.25), ("gauss", 10, 2.0, 0.10)];
+        let rows = vec![row("vecadd", 10, 1.5, 0.25, 1), row("gauss", 10, 2.0, 0.10, 2)];
         let json = render_json(&rows, 10, 1, 3.5, Some((1, 2)));
         let (jobs, total, parsed) = parse_probe_json(&json).unwrap();
         assert_eq!(jobs, 1);
@@ -264,12 +321,27 @@ mod tests {
         assert_eq!(parsed[0].name, "vecadd");
         assert_eq!(parsed[0].configs, 10);
         assert!((parsed[1].seconds - 2.0).abs() < 1e-9);
+        assert_eq!(parsed[0].mem.l1.hits, 100);
+        assert_eq!(parsed[1].mem.dram_requests, 6);
+    }
+
+    #[test]
+    fn parser_defaults_missing_mem_counters_to_zero() {
+        // The pre-PR4 row shape (no memory counters) must keep parsing so
+        // committed BENCH_PR1..3 baselines and old shard files merge.
+        let json = "{\n  \"configs\": 10,\n  \"jobs\": 1,\n  \"total_seconds\": 3.500,\n  \
+                    \"kernels\": [\n    {\"name\": \"vecadd\", \"configs\": 10, \
+                    \"seconds\": 1.500, \"mean_dram_utilization\": 0.2500}\n  ]\n}\n";
+        let (_, _, parsed) = parse_probe_json(json).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].mem.l1.hits, 0);
+        assert_eq!(parsed[0].mem.dram_requests, 0);
     }
 
     #[test]
     fn merge_sums_disjoint_shards() {
-        let a = render_json(&[("vecadd", 6, 1.0, 0.2)], 6, 1, 1.0, Some((1, 2)));
-        let b = render_json(&[("vecadd", 4, 3.0, 0.4)], 4, 1, 3.0, Some((2, 2)));
+        let a = render_json(&[row("vecadd", 6, 1.0, 0.2, 1)], 6, 1, 1.0, Some((1, 2)));
+        let b = render_json(&[row("vecadd", 4, 3.0, 0.4, 3)], 4, 1, 3.0, Some((2, 2)));
         let dir = std::env::temp_dir().join("speed_probe_merge_test");
         std::fs::create_dir_all(&dir).unwrap();
         let (pa, pb) = (dir.join("a.json"), dir.join("b.json"));
@@ -287,5 +359,9 @@ mod tests {
         assert!((rows[0].seconds - 4.0).abs() < 1e-9);
         // util weighted by configs: (0.2*6 + 0.4*4) / 10 = 0.28
         assert!((rows[0].util - 0.28).abs() < 1e-6);
+        // Raw memory counters sum exactly: scales 1 + 3 = 4.
+        assert_eq!(rows[0].mem.l1.hits, 400);
+        assert_eq!(rows[0].mem.l2.misses, 8);
+        assert_eq!(rows[0].mem.dram_requests, 12);
     }
 }

@@ -7,7 +7,11 @@
 //! `DeviceCounters` deltas around each run) rather than re-derived from
 //! wall-clock alone, and a per-kernel `total` row aggregates the three
 //! policies — so a regression localises to one kernel (and shows whether
-//! it scales with warp-level issues or with per-lane work).
+//! it scales with warp-level issues or with per-lane work). Memory-side
+//! columns (L1/L2 hit rates and DRAM line requests, from `MemStats`
+//! deltas) attribute the cost of the batched memory-transaction pipeline:
+//! a kernel whose host throughput lags with a low L1 rate is paying for
+//! tag-walk misses and DRAM queueing, not for execute loops.
 //!
 //! ```text
 //! cargo run --release -p vortex-bench --bin throughput -- --topo 8c8w8t
@@ -20,7 +24,7 @@ use vortex_bench::cli::Flags;
 use vortex_bench::{kernel_factories, Scale};
 use vortex_core::{LwsPolicy, Runtime};
 use vortex_kernels::run_kernel_prepared;
-use vortex_sim::DeviceConfig;
+use vortex_sim::{DeviceConfig, MemStats};
 
 fn main() {
     let flags = Flags::from_env();
@@ -31,8 +35,17 @@ fn main() {
     let scale = if flags.has("paper-scale") { Scale::Paper } else { Scale::Sweep };
 
     println!(
-        "{:<13} {:>7} {:>12} {:>14} {:>10} {:>9} {:>9}",
-        "kernel", "policy", "instructions", "lane instrs", "host ms", "Minstr/s", "Mlane/s"
+        "{:<13} {:>7} {:>12} {:>14} {:>10} {:>9} {:>9} {:>6} {:>6} {:>10}",
+        "kernel",
+        "policy",
+        "instructions",
+        "lane instrs",
+        "host ms",
+        "Minstr/s",
+        "Mlane/s",
+        "L1%",
+        "L2%",
+        "DRAM reqs"
     );
     for factory in kernel_factories(scale) {
         if let Some(ws) = &wanted {
@@ -47,10 +60,12 @@ fn main() {
         let mut kernel_instr = 0u64;
         let mut kernel_lanes = 0u64;
         let mut kernel_secs = 0.0f64;
+        let mut kernel_mem = MemStats::default();
         for policy in [LwsPolicy::Naive1, LwsPolicy::Fixed32, LwsPolicy::Auto] {
             let start = Instant::now();
             let mut instructions = 0u64;
             let mut lanes = 0u64;
+            let mut mem = MemStats::default();
             for _ in 0..reps {
                 // Count what the device actually issued: counter deltas
                 // around the run (the runtime resets counters per run, so
@@ -64,10 +79,11 @@ fn main() {
                 let counters = rt.device().counters();
                 instructions += counters.instructions;
                 lanes += counters.lane_instructions;
+                mem.accumulate(&rt.device().mem_stats());
             }
             let dt = start.elapsed().as_secs_f64();
             println!(
-                "{:<13} {:>7} {:>12} {:>14} {:>10.1} {:>9.2} {:>9.2}",
+                "{:<13} {:>7} {:>12} {:>14} {:>10.1} {:>9.2} {:>9.2} {:>6.1} {:>6.1} {:>10}",
                 factory.name,
                 policy.label(),
                 instructions / reps as u64,
@@ -75,13 +91,17 @@ fn main() {
                 dt * 1e3 / reps as f64,
                 instructions as f64 / dt / 1e6,
                 lanes as f64 / dt / 1e6,
+                mem.l1.hit_rate() * 100.0,
+                mem.l2.hit_rate() * 100.0,
+                mem.dram_requests / reps as u64,
             );
             kernel_instr += instructions;
             kernel_lanes += lanes;
             kernel_secs += dt;
+            kernel_mem.accumulate(&mem);
         }
         println!(
-            "{:<13} {:>7} {:>12} {:>14} {:>10.1} {:>9.2} {:>9.2}",
+            "{:<13} {:>7} {:>12} {:>14} {:>10.1} {:>9.2} {:>9.2} {:>6.1} {:>6.1} {:>10}",
             factory.name,
             "total",
             kernel_instr / reps as u64,
@@ -89,6 +109,9 @@ fn main() {
             kernel_secs * 1e3 / reps as f64,
             kernel_instr as f64 / kernel_secs / 1e6,
             kernel_lanes as f64 / kernel_secs / 1e6,
+            kernel_mem.l1.hit_rate() * 100.0,
+            kernel_mem.l2.hit_rate() * 100.0,
+            kernel_mem.dram_requests / reps as u64,
         );
     }
 }

@@ -8,7 +8,7 @@ use vortex_kernels::{
     run_kernel_prepared, Gauss, GcnAggr, GcnLayer, Kernel, KernelError, Knn, Relu, ResnetLayer,
     Saxpy, Sgemm, VecAdd,
 };
-use vortex_sim::DeviceConfig;
+use vortex_sim::{DeviceConfig, MemStats};
 
 /// Workload sizing: the paper's exact sizes or the reduced sweep sizes.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -78,6 +78,11 @@ pub struct ConfigRow {
     pub lws_auto: u32,
     /// DRAM utilisation of the auto run (memory-boundedness marker).
     pub dram_utilization: f64,
+    /// Memory-hierarchy counters of the auto run (L1/L2 hits and misses,
+    /// DRAM line requests) — what the batched transaction pipeline
+    /// actually did, so a throughput change is attributable to a
+    /// hit-rate or traffic change.
+    pub mem: MemStats,
 }
 
 impl ConfigRow {
@@ -119,6 +124,16 @@ impl CampaignResult {
             return 0.0;
         }
         self.rows.iter().map(|r| r.dram_utilization).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Memory-hierarchy counters summed over all configurations' auto
+    /// runs (see [`ConfigRow::mem`]).
+    pub fn total_mem(&self) -> MemStats {
+        let mut total = MemStats::default();
+        for row in &self.rows {
+            total.accumulate(&row.mem);
+        }
+        total
     }
 }
 
@@ -246,6 +261,7 @@ fn measure_config(
         cycles_auto: auto.cycles,
         lws_auto: auto.reports.first().map_or(1, |r| r.lws),
         dram_utilization: auto.dram_utilization,
+        mem: auto.mem,
     })
 }
 

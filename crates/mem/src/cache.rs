@@ -50,6 +50,14 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Adds `other`'s counters into `self` (aggregation across caches or
+    /// runs).
+    pub fn accumulate(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+
     /// Total accesses.
     pub fn accesses(&self) -> u64 {
         self.hits + self.misses
@@ -83,6 +91,30 @@ struct Way {
     valid: bool,
     dirty: bool,
     lru_stamp: u64,
+}
+
+/// Precomputed shift/mask forms of a validated [`CacheConfig`] geometry.
+///
+/// The batch walk of [`MemSystem`](crate::MemSystem) copies this small
+/// header into locals once per SIMT access, so the per-line index math
+/// (`addr >> line_shift`) reads registers instead of re-deriving the
+/// geometry — or re-loading it through `&mut Cache` — on every line.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// `log2(line_bytes)`: shifts a byte address to its line id.
+    pub line_shift: u32,
+    /// `sets - 1`: masks a line id to its set index.
+    pub set_mask: u32,
+    /// `log2(sets)`: shifts a line id to its tag.
+    pub set_shift: u32,
+}
+
+impl CacheGeometry {
+    /// The line id containing byte address `addr`.
+    #[inline]
+    pub fn line_of(&self, addr: u32) -> u32 {
+        addr >> self.line_shift
+    }
 }
 
 /// Result of a cache lookup with fill-on-miss.
@@ -170,15 +202,38 @@ impl Cache {
         self.stats
     }
 
+    /// The precomputed shift/mask geometry header (see [`CacheGeometry`]).
+    pub fn geometry(&self) -> CacheGeometry {
+        CacheGeometry {
+            line_shift: self.line_shift,
+            set_mask: self.set_mask,
+            set_shift: self.set_shift,
+        }
+    }
+
     /// Looks up the line containing `addr`, filling it on a miss
     /// (write-allocate). `is_store` marks the line dirty (write-back).
+    #[inline]
     pub fn access(&mut self, addr: u32, is_store: bool) -> Lookup {
+        self.access_line(addr >> self.line_shift, is_store)
+    }
+
+    /// [`access`](Cache::access) for a pre-shifted line id
+    /// (`geometry().line_of(addr)`) — the batch walk derives the id once
+    /// against the hoisted [`CacheGeometry`] header instead of re-reading
+    /// the shift through `&mut self` per line.
+    ///
+    /// The lookup runs in two separated phases: the hot *tag-walk* phase
+    /// (MRU way first, then the set scan) stays small and inlinable; the
+    /// cold *fill* phase (victim choice, write-back extraction, tag
+    /// install) is a separate out-of-line function.
+    #[inline]
+    pub fn access_line(&mut self, line: u32, is_store: bool) -> Lookup {
         self.tick += 1;
-        let line = addr >> self.line_shift;
         if u64::from(line) == self.mru_line {
             // Back-to-back access to the same line: the way index is known
             // and still valid (any eviction of it would have gone through
-            // the slow path below, which updates the MRU entry).
+            // the fill phase below, which updates the MRU entry).
             let way = &mut self.ways[self.mru_way as usize];
             way.lru_stamp = self.tick;
             way.dirty |= is_store;
@@ -190,7 +245,6 @@ impl Cache {
         let ways = self.config.ways as usize;
         let base = set * ways;
         let slots = &mut self.ways[base..base + ways];
-
         if let Some(pos) = slots.iter().position(|w| w.valid && w.tag == tag) {
             let way = &mut slots[pos];
             way.lru_stamp = self.tick;
@@ -200,7 +254,17 @@ impl Cache {
             self.mru_way = (base + pos) as u32;
             return Lookup::Hit;
         }
+        self.fill(line, set, tag, is_store)
+    }
+
+    /// Fill phase of a miss: victim selection, dirty write-back address
+    /// extraction, tag install, MRU update. Out of line so the tag-walk
+    /// phase above compiles to a compact loop.
+    fn fill(&mut self, line: u32, set: usize, tag: u32, is_store: bool) -> Lookup {
         self.stats.misses += 1;
+        let ways = self.config.ways as usize;
+        let base = set * ways;
+        let slots = &mut self.ways[base..base + ways];
         // Choose victim: first invalid way, else LRU.
         let pos = match slots.iter().position(|w| !w.valid) {
             Some(p) => p,

@@ -2,6 +2,46 @@
 
 use crate::Cycle;
 
+/// Books two consecutive earliest-free slots at the same `earliest` cycle
+/// with **one** scan over `slots` — the shared core of
+/// [`DramChannel::service_pair`] and the L2 bank `slot_pair` in the
+/// hierarchy walk (the single copy of the two-smallest booking logic).
+/// Returns both accept cycles in booking order; the slot
+/// array afterwards is exactly as two sequential
+/// `min_by_key`-scan-and-book passes would leave it.
+///
+/// The scan tracks the earliest and runner-up slots with `min_by_key`'s
+/// first-index tie-break; after the first booking only the winner's slot
+/// changed, so the second booking is decided between that updated slot
+/// and the runner-up (every other slot is ≥ the runner-up, or equal to
+/// it at a later index).
+pub(crate) fn book_pair(slots: &mut [Cycle], earliest: Cycle, interval: Cycle) -> (Cycle, Cycle) {
+    let (mut idx1, mut val1) = (0usize, Cycle::MAX);
+    let (mut idx2, mut val2) = (0usize, Cycle::MAX);
+    for (i, &s) in slots.iter().enumerate() {
+        if s < val1 {
+            idx2 = idx1;
+            val2 = val1;
+            idx1 = i;
+            val1 = s;
+        } else if s < val2 {
+            idx2 = i;
+            val2 = s;
+        }
+    }
+    let accept1 = earliest.max(val1);
+    let updated1 = accept1 + interval;
+    slots[idx1] = updated1;
+    let (idx, val) = if updated1 < val2 || (updated1 == val2 && idx1 < idx2) {
+        (idx1, updated1)
+    } else {
+        (idx2, val2)
+    };
+    let accept2 = earliest.max(val);
+    slots[idx] = accept2 + interval;
+    (accept1, accept2)
+}
+
 /// DRAM channel timing parameters.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct DramConfig {
@@ -70,6 +110,7 @@ impl DramChannel {
 
     /// Submits a line request at cycle `now`; returns its completion
     /// cycle. The request is scheduled on the earliest-free channel.
+    #[inline]
     pub fn service(&mut self, now: Cycle) -> Cycle {
         let slot = self.next_slot.iter_mut().min_by_key(|s| **s).expect("at least one channel");
         let accept = now.max(*slot);
@@ -78,6 +119,21 @@ impl DramChannel {
         self.busy_cycles += self.config.interval;
         self.last_accept = accept;
         accept + self.config.latency
+    }
+
+    /// Two consecutive [`service`](DramChannel::service) calls at the same
+    /// cycle with **one** channel scan (the miss-with-dirty-L2-victim
+    /// pattern: a write-back immediately followed by the fetch). Returns
+    /// both completion cycles in booking order; the channel state and
+    /// statistics afterwards are exactly those of two sequential calls
+    /// (the scan itself is the shared crate-internal `book_pair` helper).
+    pub fn service_pair(&mut self, now: Cycle) -> (Cycle, Cycle) {
+        let interval = self.config.interval;
+        let (accept1, accept2) = book_pair(&mut self.next_slot, now, interval);
+        self.requests += 2;
+        self.busy_cycles += 2 * interval;
+        self.last_accept = accept2;
+        (accept1 + self.config.latency, accept2 + self.config.latency)
     }
 
     /// Total requests serviced.

@@ -42,11 +42,11 @@ mod dram;
 mod main_memory;
 mod system;
 
-pub use cache::{Cache, CacheConfig, CacheStats};
+pub use cache::{Cache, CacheConfig, CacheGeometry, CacheStats, Lookup};
 pub use coalesce::{coalesce_lines, CoalescedLines};
 pub use dram::{DramChannel, DramConfig};
 pub use main_memory::MainMemory;
-pub use system::{MemConfig, MemStats, MemSystem};
+pub use system::{BatchOutcome, MemConfig, MemStats, MemSystem};
 
 /// Simulation time in cycles.
 pub type Cycle = u64;

@@ -28,6 +28,15 @@ pub struct MemConfig {
     pub l2_interval: u64,
     /// DRAM channel parameters.
     pub dram: DramConfig,
+    /// Experimental per-core line-result memo: a batched **load** whose
+    /// line hit L1 within the same memo window skips the tag walk and
+    /// reuses the hit verdict. **Not timing-model-neutral**: a skipped tag
+    /// walk does not advance the LRU clock or the hit counters, so cache
+    /// statistics (and, through LRU order, eventual evictions) diverge
+    /// from the reference model — see the ROADMAP findings. Off by
+    /// default; flip only for experiments that tolerate approximate cache
+    /// statistics.
+    pub l1_line_memo: bool,
 }
 
 impl Default for MemConfig {
@@ -41,6 +50,7 @@ impl Default for MemConfig {
             l2_latency: 20,
             l2_interval: 1,
             dram: DramConfig::default(),
+            l1_line_memo: false,
         }
     }
 }
@@ -60,11 +70,61 @@ pub struct MemStats {
     pub dram_requests: u64,
 }
 
+impl MemStats {
+    /// Adds `other`'s counters into `self` (aggregation across runs or
+    /// configurations — used by the benchmark reporting).
+    pub fn accumulate(&mut self, other: &MemStats) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.l1.accumulate(&other.l1);
+        self.l2.accumulate(&other.l2);
+        self.dram_requests += other.dram_requests;
+    }
+}
+
+/// Outcome of one batched SIMT access (see [`MemSystem::access_batch`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Completion cycle of the slowest line of the access (the submit
+    /// cycle itself when the batch was empty).
+    pub completion: Cycle,
+    /// L1 port slots the access occupied: `ceil(lines / l1_banks)`, at
+    /// least one — the number of cycles before the core's memory port can
+    /// accept the next access.
+    pub port_slots: Cycle,
+}
+
+/// Per-core line-result memo entry (`l1_line_memo`): line id and memo
+/// window of a recent L1 **load hit**.
+#[derive(Copy, Clone, Debug)]
+struct MemoEntry {
+    /// Line id, `u64::MAX` when empty (cannot collide with a 32-bit id).
+    line: u64,
+    /// `now >> MEMO_WINDOW_SHIFT` at the time of the hit.
+    window: Cycle,
+}
+
+const MEMO_EMPTY: MemoEntry = MemoEntry { line: u64::MAX, window: 0 };
+/// Direct-mapped memo entries per core (power of two).
+const MEMO_WAYS: usize = 32;
+/// Memo window: hits are reusable for `2^4 = 16` cycles.
+const MEMO_WINDOW_SHIFT: u32 = 4;
+
 /// The timing model of the memory hierarchy.
 ///
-/// `load` and `store` take a request at an absolute cycle and return the
+/// The primary entry point is [`access_batch`](MemSystem::access_batch):
+/// the simulator hands over the whole coalesced line set of one SIMT
+/// memory instruction, and the hierarchy walks every line through L1, L2
+/// and DRAM in a single pass — per-access invariants (cache geometry,
+/// latencies, the L1 reference) are hoisted out of the per-line loop, and
+/// the L2 bandwidth-slot bookings of a dirty-victim miss share one bank
+/// scan. The scalar [`load`](MemSystem::load)/[`store`](MemSystem::store)
+/// wrappers remain for single-line callers and tests; both paths run the
+/// identical downstream walk.
+///
+/// All entry points take a request at an absolute cycle and return the
 /// cycle at which the data is available (loads) or the write has drained
-/// (stores). Stores are write-through/no-allocate and the requesting warp
+/// (stores). Stores are write-back/write-allocate and the requesting warp
 /// does not wait for them; their return value only matters for bandwidth
 /// accounting.
 ///
@@ -87,6 +147,78 @@ pub struct MemSystem {
     dram: DramChannel,
     loads: u64,
     stores: u64,
+    /// Per-core direct-mapped memo tables, `MEMO_WAYS` entries per core;
+    /// empty when `l1_line_memo` is off.
+    memo: Vec<MemoEntry>,
+}
+
+/// The downstream (L2 + DRAM) leg of the walk, borrowed disjointly from
+/// the L1 being walked so the batch loop can keep `&mut` references to
+/// both sides at once. One instance serves a whole batch; the scalar path
+/// builds a fresh one per call. All booking orders are identical to the
+/// historical per-line walk — this struct is the single copy of the
+/// below-L1 timing semantics.
+struct Downstream<'a> {
+    l2: &'a mut Cache,
+    slots: &'a mut [Cycle],
+    dram: &'a mut DramChannel,
+    l2_latency: Cycle,
+    l2_interval: Cycle,
+}
+
+impl Downstream<'_> {
+    /// Books one L2 bandwidth slot (earliest-free bank, min scan).
+    #[inline]
+    fn slot(&mut self, earliest: Cycle) -> Cycle {
+        let slot = self.slots.iter_mut().min_by_key(|s| **s).expect("at least one bank");
+        let accept = earliest.max(*slot);
+        *slot = accept + self.l2_interval;
+        accept
+    }
+
+    /// Books two L2 slots at the same earliest cycle with **one** bank
+    /// scan (the dirty-victim pattern: the L1 write-back immediately
+    /// followed by the fetch — historically two full scans per L1
+    /// writeback miss). State and results are exactly those of two
+    /// sequential [`slot`](Downstream::slot) calls; the scan is the
+    /// shared [`book_pair`](crate::dram::book_pair) helper, the single
+    /// copy of the two-smallest booking logic.
+    fn slot_pair(&mut self, earliest: Cycle) -> (Cycle, Cycle) {
+        crate::dram::book_pair(self.slots, earliest, self.l2_interval)
+    }
+
+    /// Serves one L1 miss below L1: the optional dirty victim drains into
+    /// L2 (and onward to DRAM when it displaces a dirty L2 line), then the
+    /// requested line is fetched through L2/DRAM. `l1_done` is the cycle
+    /// the L1 lookup resolved (`submit + l1_latency`); the return value is
+    /// the fill completion cycle.
+    fn miss(&mut self, addr: u32, l1_writeback: Option<u32>, l1_done: Cycle) -> Cycle {
+        let at_l2 = match l1_writeback {
+            Some(victim) => {
+                // L1 victim drains into L2 (dirty there), consuming an
+                // L2 bandwidth slot; a dirty L2 victim drains to DRAM.
+                let (wb_at, at_l2) = self.slot_pair(l1_done);
+                if let Lookup::Miss { writeback: Some(_) } = self.l2.access(victim, true) {
+                    self.dram.service(wb_at);
+                }
+                at_l2
+            }
+            None => self.slot(l1_done),
+        };
+        match self.l2.access(addr, false) {
+            Lookup::Hit => at_l2 + self.l2_latency,
+            Lookup::Miss { writeback: l2_wb } => {
+                let t = at_l2 + self.l2_latency;
+                if l2_wb.is_some() {
+                    // L2 victim write-back to DRAM (bandwidth only),
+                    // booked together with the fetch in one channel scan.
+                    self.dram.service_pair(t).1
+                } else {
+                    self.dram.service(t)
+                }
+            }
+        }
+    }
 }
 
 impl MemSystem {
@@ -105,6 +237,11 @@ impl MemSystem {
             dram: DramChannel::new(config.dram),
             loads: 0,
             stores: 0,
+            memo: if config.l1_line_memo {
+                vec![MEMO_EMPTY; num_cores * MEMO_WAYS]
+            } else {
+                Vec::new()
+            },
         }
     }
 
@@ -133,51 +270,219 @@ impl MemSystem {
         self.access(core, addr, now, true)
     }
 
-    /// Shared write-back/write-allocate walk. A miss at a level fills from
-    /// below; a displaced dirty victim is written back downstream
-    /// (consuming bandwidth but not blocking the requester).
+    /// Shared write-back/write-allocate walk for one line. A miss at a
+    /// level fills from below; a displaced dirty victim is written back
+    /// downstream (consuming bandwidth but not blocking the requester).
     fn access(&mut self, core: usize, addr: u32, now: Cycle, is_store: bool) -> Cycle {
+        let l1_done = now + self.config.l1_latency;
         match self.l1s[core].access(addr, is_store) {
-            Lookup::Hit => now + self.config.l1_latency,
+            Lookup::Hit => l1_done,
             Lookup::Miss { writeback } => {
-                if let Some(victim) = writeback {
-                    // L1 victim drains into L2 (dirty there), consuming an
-                    // L2 bandwidth slot; a dirty L2 victim drains to DRAM.
-                    let wb_at = self.l2_slot(now + self.config.l1_latency);
-                    if let Lookup::Miss { writeback: Some(_) } = self.l2.access(victim, true) {
-                        self.dram.service(wb_at);
-                    }
-                }
-                let at_l2 = self.l2_slot(now + self.config.l1_latency);
-                match self.l2.access(addr, false) {
-                    Lookup::Hit => at_l2 + self.config.l2_latency,
-                    Lookup::Miss { writeback: l2_wb } => {
-                        if l2_wb.is_some() {
-                            // L2 victim write-back to DRAM (bandwidth only).
-                            self.dram.service(at_l2 + self.config.l2_latency);
-                        }
-                        self.dram.service(at_l2 + self.config.l2_latency)
-                    }
-                }
+                let mut down = Downstream {
+                    l2: &mut self.l2,
+                    slots: &mut self.l2_next_slot,
+                    dram: &mut self.dram,
+                    l2_latency: self.config.l2_latency,
+                    l2_interval: self.config.l2_interval,
+                };
+                down.miss(addr, writeback, l1_done)
             }
         }
     }
 
-    fn l2_slot(&mut self, earliest: Cycle) -> Cycle {
-        let slot = self.l2_next_slot.iter_mut().min_by_key(|s| **s).expect("at least one bank");
-        let accept = earliest.max(*slot);
-        *slot = accept + self.config.l2_interval;
-        accept
+    /// Walks **all** coalesced lines of one SIMT memory access through the
+    /// hierarchy in a single pass.
+    ///
+    /// `lines` are the unique line *base addresses* of the access (see
+    /// [`coalesce_lines`](crate::coalesce_lines)), submitted in order. The
+    /// banked L1 accepts [`l1_banks`](MemConfig::l1_banks) lines per
+    /// cycle, so the submit cycle advances by one after every filled bank
+    /// group — uncoalesced accesses serialise exactly as they did when the
+    /// simulator issued per-line calls. The returned [`BatchOutcome`]
+    /// carries the slowest line's completion cycle plus the port-slot
+    /// count; [`access_batch_into`](MemSystem::access_batch_into)
+    /// additionally records per-line completions.
+    ///
+    /// Equivalent to — and bit-identical with — the scalar per-line loop
+    ///
+    /// ```
+    /// # use vortex_mem::{MemConfig, MemSystem, Cycle};
+    /// # let mut scalar = MemSystem::new(1, MemConfig::default());
+    /// # let mut batched = scalar.clone();
+    /// # let (core, now, is_store, lines) = (0, 0, false, [0x40u32, 0x80, 0x1040]);
+    /// # let banks = scalar.config().l1_banks.max(1) as usize;
+    /// let mut completions = Vec::new();
+    /// for (i, &line) in lines.iter().enumerate() {
+    ///     let at = now + (i / banks) as Cycle;
+    ///     completions.push(if is_store {
+    ///         scalar.store(core, line, at)
+    ///     } else {
+    ///         scalar.load(core, line, at)
+    ///     });
+    /// }
+    /// # let mut batch = Vec::new();
+    /// # let out = batched.access_batch_into(core, &lines, now, is_store, &mut batch);
+    /// # assert_eq!(batch, completions);
+    /// # assert_eq!(out.completion, *completions.iter().max().unwrap());
+    /// ```
+    ///
+    /// but with the per-access invariants (config loads, the L1 borrow,
+    /// the cache geometry header) hoisted out of the loop and the L2
+    /// slot/DRAM channel scans of a dirty-victim miss folded into single
+    /// passes.
+    #[inline]
+    pub fn access_batch(
+        &mut self,
+        core: usize,
+        lines: &[u32],
+        now: Cycle,
+        is_store: bool,
+    ) -> BatchOutcome {
+        self.walk(core, lines.iter().copied(), now, is_store, None)
+    }
+
+    /// [`access_batch`](MemSystem::access_batch), additionally writing
+    /// each line's completion cycle to `completions` (cleared first — a
+    /// reusable scratch buffer; white-box tests and tools replay batches
+    /// through it, the simulator's hot path takes the record-free entry
+    /// point).
+    pub fn access_batch_into(
+        &mut self,
+        core: usize,
+        lines: &[u32],
+        now: Cycle,
+        is_store: bool,
+        completions: &mut Vec<Cycle>,
+    ) -> BatchOutcome {
+        completions.clear();
+        self.walk(core, lines.iter().copied(), now, is_store, Some(completions))
+    }
+
+    /// [`access_batch`](MemSystem::access_batch) for the contiguous
+    /// ascending span of line base addresses covering
+    /// `addr0..=addr_last` — the broadcast and unit-stride fast paths.
+    /// The coalesced line sequence of such a span is exactly the
+    /// ascending run of line bases it covers, so it is generated
+    /// arithmetically inside the walk instead of being materialised into
+    /// a buffer first.
+    pub fn access_span(
+        &mut self,
+        core: usize,
+        addr0: u32,
+        addr_last: u32,
+        now: Cycle,
+        is_store: bool,
+    ) -> BatchOutcome {
+        let line_bytes = self.config.l1.line_bytes;
+        let first = addr0 & !(line_bytes - 1);
+        let last = addr_last & !(line_bytes - 1);
+        let nlines = (((last - first) >> line_bytes.trailing_zeros()) + 1) as usize;
+        let lines = (0..nlines).map(|i| first + i as u32 * line_bytes);
+        self.walk(core, lines, now, is_store, None)
+    }
+
+    /// The one shared batch walk (see [`access_batch`]
+    /// (MemSystem::access_batch) for the semantics). Generic over the
+    /// line iterator so the coalesced-slice and arithmetic-span entry
+    /// points monomorphise without buffering; `completions` is `None` on
+    /// the simulator's hot path, and after inlining the constant folds
+    /// the recording away.
+    fn walk<I: ExactSizeIterator<Item = u32>>(
+        &mut self,
+        core: usize,
+        lines: I,
+        now: Cycle,
+        is_store: bool,
+        mut completions: Option<&mut Vec<Cycle>>,
+    ) -> BatchOutcome {
+        let nlines = lines.len() as u64;
+        if is_store {
+            self.stores += nlines;
+        } else {
+            self.loads += nlines;
+        }
+        let banks = self.config.l1_banks.max(1) as usize;
+        let l1_latency = self.config.l1_latency;
+        let memo_on = self.config.l1_line_memo && !is_store;
+        // Disjoint field borrows: the L1 being walked on one side, the
+        // downstream L2/DRAM legs (reborrowed per miss) on the other.
+        let l1 = &mut self.l1s[core];
+        let geom = l1.geometry();
+        let (l2, slots, dram) = (&mut self.l2, &mut self.l2_next_slot, &mut self.dram);
+        let (l2_latency, l2_interval) = (self.config.l2_latency, self.config.l2_interval);
+        let memo = if memo_on {
+            &mut self.memo[core * MEMO_WAYS..(core + 1) * MEMO_WAYS]
+        } else {
+            &mut []
+        };
+
+        let mut completion = now;
+        // The L1 accepts `banks` lines per cycle; `at` advances one cycle
+        // per filled bank group, incrementally — `now + i / banks` would
+        // put a hardware division on every line of a divergent gather.
+        let mut at = now;
+        let mut in_group = 0usize;
+        for line_addr in lines {
+            let line = geom.line_of(line_addr);
+            // The miss leg is outlined behind this closure-shaped helper:
+            // the downstream references are reborrowed only when a line
+            // actually misses, and the hit loop stays compact.
+            let mut miss = |writeback: Option<u32>, l1_done: Cycle| {
+                let mut down = Downstream {
+                    l2: &mut *l2,
+                    slots: &mut *slots,
+                    dram: &mut *dram,
+                    l2_latency,
+                    l2_interval,
+                };
+                down.miss(line_addr, writeback, l1_done)
+            };
+            let done = if memo_on {
+                let window = at >> MEMO_WINDOW_SHIFT;
+                let entry = &mut memo[line as usize & (MEMO_WAYS - 1)];
+                if entry.line == u64::from(line) && entry.window == window {
+                    // Memoised same-window hit: skip the tag walk
+                    // entirely (this is the statistics divergence the
+                    // `l1_line_memo` docs warn about).
+                    at + l1_latency
+                } else {
+                    match l1.access_line(line, false) {
+                        Lookup::Hit => {
+                            *entry = MemoEntry { line: u64::from(line), window };
+                            at + l1_latency
+                        }
+                        Lookup::Miss { writeback } => {
+                            *entry = MEMO_EMPTY;
+                            miss(writeback, at + l1_latency)
+                        }
+                    }
+                }
+            } else {
+                match l1.access_line(line, is_store) {
+                    Lookup::Hit => at + l1_latency,
+                    Lookup::Miss { writeback } => miss(writeback, at + l1_latency),
+                }
+            };
+            if let Some(buf) = completions.as_deref_mut() {
+                buf.push(done);
+            }
+            completion = completion.max(done);
+            in_group += 1;
+            if in_group == banks {
+                in_group = 0;
+                at += 1;
+            }
+        }
+        // Port slots consumed: ceil(lines / banks), at least one.
+        let port_slots = (at - now + Cycle::from(in_group > 0)).max(1);
+        BatchOutcome { completion, port_slots }
     }
 
     /// Aggregate statistics.
     pub fn stats(&self) -> MemStats {
         let mut l1 = CacheStats::default();
         for c in &self.l1s {
-            let s = c.stats();
-            l1.hits += s.hits;
-            l1.misses += s.misses;
-            l1.evictions += s.evictions;
+            l1.accumulate(&c.stats());
         }
         MemStats {
             loads: self.loads,
@@ -209,6 +514,7 @@ impl MemSystem {
         self.dram.reset();
         self.loads = 0;
         self.stores = 0;
+        self.memo.fill(MEMO_EMPTY);
     }
 }
 
@@ -218,6 +524,60 @@ mod tests {
 
     fn sys(cores: usize) -> MemSystem {
         MemSystem::new(cores, MemConfig::default())
+    }
+
+    /// Replays `lines` through the scalar per-line API with the batch
+    /// walk's bank-group submit-time advancement — the reference the
+    /// batched path must match call for call.
+    fn scalar_reference(
+        s: &mut MemSystem,
+        core: usize,
+        lines: &[u32],
+        now: Cycle,
+        is_store: bool,
+    ) -> Vec<Cycle> {
+        let banks = s.config().l1_banks.max(1) as usize;
+        lines
+            .iter()
+            .enumerate()
+            .map(|(i, &line)| {
+                let at = now + (i / banks) as Cycle;
+                if is_store {
+                    s.store(core, line, at)
+                } else {
+                    s.load(core, line, at)
+                }
+            })
+            .collect()
+    }
+
+    /// Asserts the batched entry points on clones of `s` reproduce the
+    /// scalar sequence exactly: per-line completions, outcome, and every
+    /// statistic afterwards — for both the recording and the record-free
+    /// walk.
+    fn assert_batch_matches_scalar(
+        s: &mut MemSystem,
+        core: usize,
+        lines: &[u32],
+        now: Cycle,
+        is_store: bool,
+    ) {
+        let mut recorded = s.clone();
+        let mut quick = s.clone();
+        let scalar = scalar_reference(s, core, lines, now, is_store);
+        let mut completions = Vec::new();
+        let out = recorded.access_batch_into(core, lines, now, is_store, &mut completions);
+        assert_eq!(completions, scalar, "per-line completions diverge");
+        assert_eq!(
+            out.completion,
+            scalar.iter().copied().max().unwrap_or(now),
+            "batch completion is not the slowest line"
+        );
+        assert_eq!(recorded.stats(), s.stats(), "statistics diverge after the walk");
+        // The record-free hot path is the same walk minus the buffer.
+        let quick_out = quick.access_batch(core, lines, now, is_store);
+        assert_eq!(quick_out, out, "record-free walk diverges from the recording walk");
+        assert_eq!(quick.stats(), s.stats(), "record-free statistics diverge");
     }
 
     #[test]
@@ -331,5 +691,178 @@ mod tests {
         }
         let st = s.stats();
         assert!(st.l1.misses > st.l1.hits);
+    }
+
+    // ------------------------------------------------------------------
+    // Batched-walk equivalence: `access_batch` must reproduce the scalar
+    // per-line sequence exactly, across hit/miss/writeback/contention
+    // mixes and from arbitrary warm states.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn batch_empty_access_is_one_port_slot() {
+        let mut s = sys(1);
+        let mut completions = vec![99];
+        let out = s.access_batch_into(0, &[], 50, false, &mut completions);
+        assert!(completions.is_empty());
+        assert_eq!(out, BatchOutcome { completion: 50, port_slots: 1 });
+        assert_eq!(s.stats().loads, 0);
+    }
+
+    #[test]
+    fn batch_matches_scalar_cold_misses() {
+        let lines: Vec<u32> = (0..8u32).map(|i| 0x10_0000 + i * 64).collect();
+        assert_batch_matches_scalar(&mut sys(1), 0, &lines, 0, false);
+    }
+
+    #[test]
+    fn batch_matches_scalar_pure_hits() {
+        let mut s = sys(1);
+        let lines: Vec<u32> = (0..6u32).map(|i| 0x4000 + i * 64).collect();
+        for &l in &lines {
+            s.load(0, l, 0); // warm both levels
+        }
+        assert_batch_matches_scalar(&mut s, 0, &lines, 500, false);
+    }
+
+    #[test]
+    fn batch_matches_scalar_hit_miss_mix() {
+        let mut s = sys(1);
+        // Warm alternating lines so the batch interleaves hits and misses.
+        for i in (0..16u32).step_by(2) {
+            s.load(0, 0x20_0000 + i * 64, 0);
+        }
+        let lines: Vec<u32> = (0..16u32).map(|i| 0x20_0000 + i * 64).collect();
+        assert_batch_matches_scalar(&mut s, 0, &lines, 1000, false);
+    }
+
+    #[test]
+    fn batch_matches_scalar_dirty_writeback_path() {
+        let mut s = sys(1);
+        let cfg = *s.config();
+        let l1_lines = cfg.l1.size_bytes / cfg.l1.line_bytes;
+        // Dirty every L1 line, then walk a conflicting working set so the
+        // batch displaces dirty victims (the double-booking path).
+        let mut now = 0;
+        for i in 0..l1_lines {
+            now = s.store(0, i * cfg.l1.line_bytes, now);
+        }
+        let lines: Vec<u32> = (0..24u32).map(|i| 0x100_0000 + i * cfg.l1.size_bytes).collect();
+        assert_batch_matches_scalar(&mut s, 0, &lines, now + 100, false);
+    }
+
+    #[test]
+    fn batch_matches_scalar_store_writebacks() {
+        let mut s = sys(1);
+        let cfg = *s.config();
+        let mut now = 0;
+        for i in 0..(cfg.l1.size_bytes / cfg.l1.line_bytes) {
+            now = s.store(0, i * cfg.l1.line_bytes, now);
+        }
+        let lines: Vec<u32> = (0..12u32).map(|i| 0x200_0000 + i * cfg.l1.size_bytes).collect();
+        assert_batch_matches_scalar(&mut s, 0, &lines, now + 7, true);
+    }
+
+    #[test]
+    fn batch_matches_scalar_under_bank_contention() {
+        // More lines than L1 banks: the submit cycle advances mid-batch
+        // and the DRAM/L2 queues are already loaded by another core.
+        let mut s = sys(2);
+        for i in 0..40u32 {
+            s.load(1, 0x40_0000 + i * 64, 0); // saturate shared queues
+        }
+        let lines: Vec<u32> =
+            (0..MemConfig::default().l1_banks + 9).map(|i| 0x80_0000 + i * 64).collect();
+        assert_batch_matches_scalar(&mut s, 0, &lines, 3, false);
+    }
+
+    #[test]
+    fn batch_matches_scalar_small_bank_count() {
+        let config = MemConfig { l1_banks: 2, l2_banks: 1, ..Default::default() };
+        let mut s = MemSystem::new(1, config);
+        let lines: Vec<u32> = (0..7u32).map(|i| 0x30_0000 + i * 64).collect();
+        assert_batch_matches_scalar(&mut s, 0, &lines, 11, false);
+    }
+
+    #[test]
+    fn span_walk_matches_explicit_line_batch() {
+        let mut s = sys(1);
+        let lb = s.config().l1.line_bytes;
+        // Warm part of the span so hits and misses interleave.
+        for i in 0..3u32 {
+            s.load(0, 0x50_0000 + i * 2 * lb, 0);
+        }
+        // A span from mid-line to mid-line, covering six lines.
+        let (addr0, addr_last) = (0x50_0000 + 12, 0x50_0000 + 5 * lb + 4);
+        let lines: Vec<u32> = (0..6u32).map(|i| 0x50_0000 + i * lb).collect();
+        let mut explicit = s.clone();
+        let span_out = s.access_span(0, addr0, addr_last, 77, false);
+        let explicit_out = explicit.access_batch(0, &lines, 77, false);
+        assert_eq!(span_out, explicit_out);
+        assert_eq!(s.stats(), explicit.stats());
+    }
+
+    #[test]
+    fn batch_port_slots_count_bank_groups() {
+        let config = MemConfig { l1_banks: 4, ..Default::default() };
+        let mut s = MemSystem::new(1, config);
+        let mut completions = Vec::new();
+        let lines: Vec<u32> = (0..10u32).map(|i| i * 64).collect();
+        let out = s.access_batch_into(0, &lines, 0, false, &mut completions);
+        assert_eq!(out.port_slots, 3); // ceil(10 / 4)
+        assert_eq!(completions.len(), 10);
+    }
+
+    // ------------------------------------------------------------------
+    // Line-result memo (`l1_line_memo`).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn memo_repeated_same_window_hits_agree_but_stats_diverge() {
+        let config = MemConfig { l1_line_memo: true, ..Default::default() };
+        let mut memoed = MemSystem::new(1, config);
+        let mut plain = sys(1);
+        let lines = [0x4000u32];
+        let mut c1 = Vec::new();
+        let mut c2 = Vec::new();
+        // Warm the line, then re-access it twice inside one memo window.
+        for now in [0, 100, 104] {
+            memoed.access_batch_into(0, &lines, now, false, &mut c1);
+            plain.access_batch_into(0, &lines, now, false, &mut c2);
+            assert_eq!(c1, c2, "memoised completions must not drift at cycle {now}");
+        }
+        // The memo skipped the third tag walk: one fewer L1 hit recorded.
+        // This statistics divergence is why the flag defaults to off.
+        assert_eq!(plain.stats().l1.hits, 2);
+        assert_eq!(memoed.stats().l1.hits, 1);
+    }
+
+    #[test]
+    fn memo_expires_across_windows() {
+        let config = MemConfig { l1_line_memo: true, ..Default::default() };
+        let mut s = MemSystem::new(1, config);
+        let lines = [0x4000u32];
+        let mut c = Vec::new();
+        s.access_batch_into(0, &lines, 0, false, &mut c); // cold fill
+        s.access_batch_into(0, &lines, 4, false, &mut c); // hit, memoised
+        let w0 = 1u64 << MEMO_WINDOW_SHIFT; // first cycle of the next window
+        s.access_batch_into(0, &lines, w0, false, &mut c);
+        assert_eq!(c, [w0 + s.config().l1_latency]);
+        // The window boundary forced a real tag walk: both hits counted.
+        assert_eq!(s.stats().l1.hits, 2);
+    }
+
+    #[test]
+    fn memo_reset_clears_entries() {
+        let config = MemConfig { l1_line_memo: true, ..Default::default() };
+        let mut s = MemSystem::new(1, config);
+        let mut c = Vec::new();
+        s.access_batch_into(0, &[0x4000], 0, false, &mut c);
+        s.access_batch_into(0, &[0x4000], 4, false, &mut c);
+        s.reset();
+        // Post-reset the line is cold again; a memo survivor would have
+        // claimed an L1-hit latency.
+        s.access_batch_into(0, &[0x4000], 4, false, &mut c);
+        assert!(c[0] > 4 + s.config().l1_latency);
     }
 }

@@ -48,8 +48,6 @@ pub(crate) struct CoreCtx<'a, S: TraceSink + ?Sized> {
     pub horizon: &'a mut Cycle,
     /// Cache-line size (hoisted from the memory system once per run).
     pub line_bytes: u32,
-    /// L1 bank count (hoisted once per run; ≥ 1).
-    pub l1_banks: usize,
 }
 
 #[derive(Debug, Default)]
@@ -1051,8 +1049,11 @@ impl Core {
         Ok(())
     }
 
-    /// Coalesces and submits the line requests of one SIMT memory
-    /// instruction. Returns the completion cycle of the last line.
+    /// Coalesces the line requests of one SIMT memory instruction and
+    /// hands the whole batch to the hierarchy in **one**
+    /// [`MemSystem::access_batch`] call (L1 bank serialisation, L2
+    /// bandwidth slots and DRAM queueing all happen inside the walk).
+    /// Returns the completion cycle of the last line.
     fn memory_access<S: TraceSink + ?Sized>(
         &mut self,
         _w: usize,
@@ -1062,8 +1063,6 @@ impl Core {
         now: Cycle,
         ctx: &mut CoreCtx<'_, S>,
     ) -> Cycle {
-        let line_bytes = ctx.line_bytes;
-        let banks = ctx.l1_banks;
         // Iterate set bits directly: cost scales with active lanes, not
         // with the 32-lane SIMT width.
         let mut mask = tmask;
@@ -1075,41 +1074,22 @@ impl Core {
             mask &= mask - 1;
             Some(addrs[l])
         });
-        let lines = coalesce_lines(lanes, line_bytes);
-        let mut completion = now;
-        // The banked L1 accepts `banks` lines per cycle; `at` advances one
-        // cycle per filled bank group, incrementally — `now + i / banks`
-        // would put a hardware division on every line of a divergent
-        // gather (and `div_ceil` another one per access).
-        let mut at = now;
-        let mut in_group = 0usize;
-        for line in lines.as_slice() {
-            let done = if is_store {
-                ctx.memsys.store(self.id, *line, at)
-            } else {
-                ctx.memsys.load(self.id, *line, at)
-            };
-            completion = completion.max(done);
-            *ctx.horizon = (*ctx.horizon).max(done);
-            in_group += 1;
-            if in_group == banks {
-                in_group = 0;
-                at += 1;
-            }
+        let lines = coalesce_lines(lanes, ctx.line_bytes);
+        let out = ctx.memsys.access_batch(self.id, lines.as_slice(), now, is_store);
+        self.mem_port_free = now + out.port_slots;
+        if !lines.is_empty() {
+            *ctx.horizon = (*ctx.horizon).max(out.completion);
         }
-        // Port slots consumed: ceil(len / banks), at least one.
-        let slots = (at - now + Cycle::from(in_group > 0)).max(1);
-        self.mem_port_free = now + slots;
-        completion
+        out.completion
     }
 
     /// [`memory_access`](Core::memory_access) for a contiguous ascending
     /// span of lane addresses `addr0..=addr_last` (the broadcast and
     /// unit-stride fast paths): the coalesced line sequence of such a span
-    /// is exactly the ascending run of line bases it covers, so it is
-    /// generated arithmetically instead of walking 32 lanes through the
-    /// dedup buffer. Port accounting and completion match the general
-    /// path line for line.
+    /// is exactly the ascending run of line bases it covers, so the
+    /// hierarchy generates it arithmetically inside the batched walk
+    /// ([`MemSystem::access_span`]) instead of walking 32 lanes through
+    /// the dedup buffer.
     fn memory_access_span<S: TraceSink + ?Sized>(
         &mut self,
         addr0: u32,
@@ -1118,33 +1098,10 @@ impl Core {
         now: Cycle,
         ctx: &mut CoreCtx<'_, S>,
     ) -> Cycle {
-        let line_bytes = ctx.line_bytes;
-        let banks = ctx.l1_banks;
-        let first = addr0 & !(line_bytes - 1);
-        let last = addr_last & !(line_bytes - 1);
-        let nlines = (((last - first) >> line_bytes.trailing_zeros()) + 1) as usize;
-        let mut completion = now;
-        // Incremental bank-group accounting, as in `memory_access`.
-        let mut at = now;
-        let mut in_group = 0usize;
-        for i in 0..nlines {
-            let line = first + i as u32 * line_bytes;
-            let done = if is_store {
-                ctx.memsys.store(self.id, line, at)
-            } else {
-                ctx.memsys.load(self.id, line, at)
-            };
-            completion = completion.max(done);
-            *ctx.horizon = (*ctx.horizon).max(done);
-            in_group += 1;
-            if in_group == banks {
-                in_group = 0;
-                at += 1;
-            }
-        }
-        let slots = (at - now + Cycle::from(in_group > 0)).max(1);
-        self.mem_port_free = now + slots;
-        completion
+        let out = ctx.memsys.access_span(self.id, addr0, addr_last, now, is_store);
+        self.mem_port_free = now + out.port_slots;
+        *ctx.horizon = (*ctx.horizon).max(out.completion);
+        out.completion
     }
 
     /// Full-mask broadcast / unit-stride word-**load** fast path into the

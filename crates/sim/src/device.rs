@@ -204,7 +204,6 @@ impl Device {
         // One context for the whole run: it borrows device state disjoint
         // from `cores`, so it does not need rebuilding per step.
         let line_bytes = memsys.line_bytes();
-        let l1_banks = memsys.config().l1_banks.max(1) as usize;
         let mut ctx = CoreCtx {
             code,
             code_base: *code_base,
@@ -217,7 +216,6 @@ impl Device {
             trace,
             horizon: &mut *horizon,
             line_bytes,
-            l1_banks,
         };
 
         // Conservative-lookahead event loop: find the earliest-due cores

@@ -5,8 +5,17 @@
 //! ```text
 //! cargo run --release --example cycle_dump > cycles.txt
 //! ```
+//!
+//! The default grid (10 kernels × 6 topologies × 3 policies = 180 rows)
+//! is frozen so dumps diff cleanly across PRs. `cycle_dump extended`
+//! appends a **cache-thrashing** section on top: the same policies over
+//! a deliberately under-sized memory hierarchy (1 KiB direct-mapped L1,
+//! 8 KiB L2, 2 L1 banks), which keeps the miss/writeback/bank-contention
+//! legs of the batched memory walk hot — paths the default geometry
+//! rarely exercises. CI's determinism gate runs the extended grid.
 
 use vortex_gpgpu::prelude::*;
+use vortex_gpgpu::sim::{CacheConfig, MemConfig};
 use vortex_kernels::{Kernel, KernelError, RunOutcome};
 
 fn kernels() -> Vec<Box<dyn Kernel>> {
@@ -24,7 +33,40 @@ fn kernels() -> Vec<Box<dyn Kernel>> {
     ]
 }
 
+/// An under-sized hierarchy that thrashes on every paper kernel.
+fn thrash_mem() -> MemConfig {
+    MemConfig {
+        l1: CacheConfig { size_bytes: 1024, ways: 1, line_bytes: 64 },
+        l1_banks: 2,
+        l2: CacheConfig { size_bytes: 8 * 1024, ways: 2, line_bytes: 64 },
+        l2_banks: 2,
+        ..MemConfig::default()
+    }
+}
+
+fn dump(label: &str, kernel: &mut dyn Kernel, config: &DeviceConfig, policy: LwsPolicy) {
+    let out: Result<RunOutcome, KernelError> = run_kernel(kernel, config, policy);
+    match out {
+        Ok(o) => {
+            let c = o.reports.iter().map(|r| r.cycles).collect::<Vec<_>>();
+            println!(
+                "{} {} {} cycles={} phase_cycles={c:?} instr={} lanes={} mem={:?} util={:.12}",
+                kernel.name(),
+                label,
+                policy,
+                o.cycles,
+                o.instructions,
+                o.reports.iter().map(|r| r.instructions).sum::<u64>(),
+                o.mem,
+                o.dram_utilization,
+            );
+        }
+        Err(e) => println!("{} {} {} ERROR {e}", kernel.name(), label, policy),
+    }
+}
+
 fn main() {
+    let extended = std::env::args().nth(1).as_deref() == Some("extended");
     let configs: Vec<DeviceConfig> =
         ["1c2w4t", "1c4w8t", "2c2w2t", "4c8w16t", "3c5w7t", "16c16w16t"]
             .iter()
@@ -33,29 +75,19 @@ fn main() {
     for mut kernel in kernels() {
         for config in &configs {
             for policy in [LwsPolicy::Naive1, LwsPolicy::Fixed32, LwsPolicy::Auto] {
-                let out: Result<RunOutcome, KernelError> =
-                    run_kernel(kernel.as_mut(), config, policy);
-                match out {
-                    Ok(o) => {
-                        let c = o.reports.iter().map(|r| r.cycles).collect::<Vec<_>>();
-                        println!(
-                            "{} {} {} cycles={} phase_cycles={c:?} instr={} lanes={} mem={:?} util={:.12}",
-                            kernel.name(),
-                            config.topology_name(),
-                            policy,
-                            o.cycles,
-                            o.instructions,
-                            o.reports.iter().map(|r| r.instructions).sum::<u64>(),
-                            o.mem,
-                            o.dram_utilization,
-                        );
-                    }
-                    Err(e) => println!(
-                        "{} {} {} ERROR {e}",
-                        kernel.name(),
-                        config.topology_name(),
-                        policy
-                    ),
+                dump(&config.topology_name(), kernel.as_mut(), config, policy);
+            }
+        }
+    }
+    if extended {
+        // Cache-thrashing section: small topologies are enough — the
+        // point is the memory walk, not the scheduler.
+        for mut kernel in kernels() {
+            for topo in ["1c2w4t", "2c4w8t"] {
+                let mut config: DeviceConfig = topo.parse().expect("valid topology");
+                config.mem = thrash_mem();
+                for policy in [LwsPolicy::Naive1, LwsPolicy::Fixed32, LwsPolicy::Auto] {
+                    dump(&format!("thrash-{topo}"), kernel.as_mut(), &config, policy);
                 }
             }
         }

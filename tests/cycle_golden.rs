@@ -431,6 +431,165 @@ mod fastpaths {
     }
 }
 
+// ---------------------------------------------------------------------
+// Batched memory-transaction pipeline (PR 4).
+//
+// The programs below steer execution down the miss-heavy legs of
+// `MemSystem::access_batch` that the paper kernels' default geometry
+// rarely keeps hot: conflict misses, dirty-victim write-backs (the
+// folded L2 slot-pair booking), and L1 bank-group serialisation of a
+// divergent gather. Each is checked traced-vs-untraced on a deliberately
+// under-sized hierarchy, plus an absolute golden finish cycle.
+// ---------------------------------------------------------------------
+
+mod batched_mem {
+    use vortex_asm::Assembler;
+    use vortex_gpgpu::prelude::*;
+    use vortex_gpgpu::sim::{CacheConfig, MemConfig};
+    use vortex_isa::reg;
+    use vortex_sim::{Device, NullSink, VecTraceSink};
+
+    const BASE: u32 = 0x8000_0000;
+
+    /// A 1-core device over an under-sized hierarchy: 512 B direct-mapped
+    /// L1 (8 sets), 2 KiB 2-way L2, 2 L1 banks — every strided SIMT
+    /// access conflicts, and more than two lines per access exercises the
+    /// bank-group serialisation inside one batch.
+    fn thrash_config(threads: usize) -> DeviceConfig {
+        let mut config = DeviceConfig::with_topology(1, 2, threads);
+        config.mem = MemConfig {
+            l1: CacheConfig { size_bytes: 512, ways: 1, line_bytes: 64 },
+            l1_banks: 2,
+            l2: CacheConfig { size_bytes: 2048, ways: 2, line_bytes: 64 },
+            l2_banks: 2,
+            ..MemConfig::default()
+        };
+        config
+    }
+
+    /// Runs `build` on a fresh thrash-config device traced and untraced;
+    /// asserts identical fingerprints and returns the finish cycle plus
+    /// the probed memory words.
+    fn identical_runs(
+        threads: usize,
+        build: impl Fn(&mut Assembler),
+        probe: &[u32],
+    ) -> (u64, Vec<u32>) {
+        let run = |traced: bool| -> (u64, u64, u64, Vec<u32>) {
+            let mut a = Assembler::new(BASE);
+            build(&mut a);
+            let program = a.assemble().expect("assembles");
+            let mut device = Device::new(thrash_config(threads));
+            device.load_program(&program);
+            device.start_warp(0, program.entry());
+            let finish = if traced {
+                let mut sink = VecTraceSink::new();
+                device.run(1_000_000, Some(&mut sink)).expect("runs")
+            } else {
+                device.run_with::<NullSink>(1_000_000, None).expect("runs")
+            };
+            let mem = device.memory();
+            let words = probe.iter().map(|&addr| mem.read_u32(addr)).collect();
+            (finish, device.counters().instructions, device.counters().lane_instructions, words)
+        };
+        let untraced = run(false);
+        let traced = run(true);
+        assert_eq!(untraced, traced, "traced vs untraced batched-mem drift");
+        (untraced.0, untraced.3)
+    }
+
+    /// Divergent strided loads whose lanes all map to L1 set 0 of the
+    /// direct-mapped thrash cache: every round of the gather conflicts,
+    /// re-fills, and (because the seeding stores dirtied the lines)
+    /// displaces dirty victims through the folded L2 slot-pair booking.
+    #[test]
+    fn thrashing_divergent_gather_identity() {
+        let (finish, words) = identical_runs(
+            8,
+            |a| {
+                a.csrr(reg::T0, vortex_isa::csrs::THREAD_ID);
+                // addrA = 0x1_0000 + tid*512 — all lanes hit L1 set 0.
+                a.slli(reg::T1, reg::T0, 9);
+                a.li_u32(reg::T2, 0x1_0000);
+                a.add(reg::T1, reg::T1, reg::T2);
+                // addrB = addrA + 0x2000: the same set, different tags.
+                a.li_u32(reg::T3, 0x2000);
+                a.add(reg::T3, reg::T1, reg::T3);
+                // Seed both (dirty lines): mem[addrA] = tid+1,
+                // mem[addrB] = 10*(tid+1) — scattered stores, full mask.
+                a.addi(reg::T4, reg::T0, 1);
+                a.sw(reg::T4, 0, reg::T1);
+                a.li(reg::T5, 10);
+                a.mul(reg::T5, reg::T4, reg::T5);
+                a.sw(reg::T5, 0, reg::T3);
+                // Diverge: only even lanes gather, alternating A and B so
+                // the direct-mapped set thrashes on every access.
+                a.andi(reg::T6, reg::T0, 1);
+                a.seqz(reg::T6, reg::T6);
+                let skip = a.label("skip");
+                a.vx_split(reg::T6, skip);
+                a.lw(reg::A0, 0, reg::T1); // A: evicts B's line (dirty)
+                a.lw(reg::A1, 0, reg::T3); // B: evicts A's line
+                a.lw(reg::A2, 0, reg::T1); // A again: still conflicting
+                a.add(reg::A0, reg::A0, reg::A1);
+                a.add(reg::A0, reg::A0, reg::A2);
+                a.bind(skip).expect("fresh");
+                a.vx_join();
+                // out[tid] = A + B + A = 12*(tid+1) for even lanes, 0 odd.
+                a.slli(reg::A3, reg::T0, 2);
+                a.li_u32(reg::A4, 0x9000);
+                a.add(reg::A3, reg::A3, reg::A4);
+                a.sw(reg::A0, 0, reg::A3);
+                a.vx_tmc(reg::ZERO);
+            },
+            &[0x9000, 0x9004, 0x9008, 0x9010, 0x901C],
+        );
+        assert_eq!(words, vec![12, 0, 36, 60, 0]);
+        assert_eq!(finish, GOLDEN_THRASH_GATHER, "thrash-gather golden cycle drift");
+    }
+
+    /// Full-mask unit-stride streaming, 32 lanes wide: each access spans
+    /// two 64-byte lines of a 1 KiB-apart block pair (2× the whole thrash
+    /// L1, same sets), so the arithmetic span path feeds the batched walk
+    /// a multi-line run that keeps evicting its own previous round.
+    #[test]
+    fn thrashing_unit_stride_identity() {
+        let (finish, words) = identical_runs(
+            32,
+            |a| {
+                a.csrr(reg::T0, vortex_isa::csrs::THREAD_ID);
+                // Two streaming rounds over 1 KiB-apart blocks: store
+                // tid*5+2 at 0x2_0000 + 4*tid + r*0x400, reload, sum.
+                a.slli(reg::T1, reg::T0, 2);
+                a.li_u32(reg::T2, 0x2_0000);
+                a.add(reg::T1, reg::T1, reg::T2);
+                a.li(reg::T3, 5);
+                a.mul(reg::T3, reg::T0, reg::T3);
+                a.addi(reg::T3, reg::T3, 2);
+                a.sw(reg::T3, 0, reg::T1); // unit-stride store, round 0
+                a.sw(reg::T3, 0x400, reg::T1); // unit-stride store, round 1
+                a.lw(reg::T4, 0, reg::T1); // unit-stride load, round 0
+                a.lw(reg::T5, 0x400, reg::T1); // unit-stride load, round 1
+                a.add(reg::T4, reg::T4, reg::T5);
+                a.li_u32(reg::T6, 0xA000);
+                a.slli(reg::A0, reg::T0, 2);
+                a.add(reg::A0, reg::A0, reg::T6);
+                a.sw(reg::T4, 0, reg::A0);
+                a.vx_tmc(reg::ZERO);
+            },
+            &[0xA000, 0xA004, 0xA01C],
+        );
+        assert_eq!(words, vec![4, 14, 74]);
+        assert_eq!(finish, GOLDEN_THRASH_STRIDE, "thrash-stride golden cycle drift");
+    }
+
+    // Captured from the engine after it was verified bit-identical to the
+    // PR 3 binary over the 180-run grid (same convention as the golden
+    // table below).
+    const GOLDEN_THRASH_GATHER: u64 = 281;
+    const GOLDEN_THRASH_STRIDE: u64 = 162;
+}
+
 /// Absolute golden finish cycles for representative runs. These values
 /// were captured from the seed simulator (pre-optimisation) and verified
 /// bit-identical against the optimised engine; any future change that
