@@ -15,7 +15,11 @@
 //! kernel row also records the memory-side counters of its auto runs
 //! (L1/L2 hits and misses, DRAM line requests), so a throughput change is
 //! attributable to the memory hierarchy — the stdout table prints them as
-//! hit rates.
+//! hit rates. Since PR 5 each row additionally records the dispatch-round
+//! counters (`launches`, `dispatch_rounds`, `round_tasks` — raw sums, so
+//! shard merges stay exact); the stdout table prints them as rounds per
+//! launch and mean busy lanes per round, the occupancy profile of the
+//! launch pipeline.
 //!
 //! ## Sharding
 //!
@@ -41,6 +45,7 @@ use std::time::Instant;
 
 use vortex_bench::cli::{default_jobs, Flags};
 use vortex_bench::{kernel_factories, paper_sweep, run_campaign, Scale};
+use vortex_core::DispatchStats;
 use vortex_sim::MemStats;
 
 fn main() {
@@ -105,9 +110,10 @@ fn main() {
         });
         let dt = start.elapsed();
         let mem = result.total_mem();
+        let dispatch = result.total_dispatch();
         println!(
             "{:<13} {:>4} configs x3 policies: {:>8.2?}  (dram util {:.2}, L1 {:>5.1}%, \
-             L2 {:>5.1}%, {} DRAM reqs)",
+             L2 {:>5.1}%, {} DRAM reqs, {:.1} rnds/launch, {:.1} lanes/rnd)",
             factory.name,
             result.rows.len(),
             dt,
@@ -115,6 +121,8 @@ fn main() {
             mem.l1.hit_rate() * 100.0,
             mem.l2.hit_rate() * 100.0,
             mem.dram_requests,
+            dispatch.rounds_per_launch(),
+            dispatch.mean_lanes_per_round(),
         );
         rows.push(KernelRow {
             name: factory.name.to_owned(),
@@ -122,6 +130,7 @@ fn main() {
             seconds: dt.as_secs_f64(),
             util: result.mean_dram_utilization(),
             mem,
+            dispatch,
         });
     }
     let total = wall.elapsed().as_secs_f64();
@@ -171,10 +180,12 @@ fn render_json(
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         let m = &row.mem;
+        let d = &row.dispatch;
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"configs\": {}, \"seconds\": {:.3}, \
              \"mean_dram_utilization\": {:.4}, \"l1_hits\": {}, \"l1_misses\": {}, \
-             \"l2_hits\": {}, \"l2_misses\": {}, \"dram_requests\": {}}}{comma}\n",
+             \"l2_hits\": {}, \"l2_misses\": {}, \"dram_requests\": {}, \
+             \"launches\": {}, \"dispatch_rounds\": {}, \"round_tasks\": {}}}{comma}\n",
             row.name,
             row.configs,
             row.seconds,
@@ -184,6 +195,9 @@ fn render_json(
             m.l2.hits,
             m.l2.misses,
             m.dram_requests,
+            d.launches,
+            d.rounds,
+            d.round_tasks,
         ));
     }
     out.push_str("  ]\n}\n");
@@ -199,6 +213,9 @@ struct KernelRow {
     /// Auto-run memory counters summed over the measured configurations
     /// (only hits/misses and `dram_requests` are serialised).
     mem: MemStats,
+    /// Auto-run dispatch-round counters summed over the measured
+    /// configurations (launches, rounds, tasks — raw sums).
+    dispatch: DispatchStats,
 }
 
 /// Minimal parser for the exact JSON this binary writes (no serde in the
@@ -236,12 +253,18 @@ fn parse_probe_json(text: &str) -> Result<(usize, f64, Vec<KernelRow>), String> 
         mem.l2.hits = counter(obj, "l2_hits");
         mem.l2.misses = counter(obj, "l2_misses");
         mem.dram_requests = counter(obj, "dram_requests");
+        let dispatch = DispatchStats {
+            launches: counter(obj, "launches"),
+            rounds: counter(obj, "dispatch_rounds"),
+            round_tasks: counter(obj, "round_tasks"),
+        };
         rows.push(KernelRow {
             name: field(obj, "name")?,
             configs: field(obj, "configs")?,
             seconds: field(obj, "seconds")?,
             util: field(obj, "mean_dram_utilization")?,
             mem,
+            dispatch,
         });
     }
     Ok((jobs, total, rows))
@@ -257,15 +280,17 @@ fn merge_probe_files(paths: &[String]) -> Result<String, String> {
     let mut merged: Vec<KernelRow> = Vec::new();
     for path in paths {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        if !text.contains("\"l1_hits\"") {
-            // Pre-PR4 probe files have no memory counters; their rows
-            // merge as zeros, so the merged counters under-cover the
-            // grid. Flag it rather than silently reporting partial
-            // traffic as if it were the whole sweep.
-            eprintln!(
-                "note: {path} has no memory counters (pre-PR4 format); \
-                 merged hit/miss/DRAM counters cover only the newer shards"
-            );
+        // Older probe files lack newer counter generations; their rows
+        // merge as zeros, so the merged sums under-cover the grid. Flag
+        // it rather than silently reporting partial counters as if they
+        // were the whole sweep.
+        for (marker, what) in [
+            ("\"l1_hits\"", "memory counters (pre-PR4 format); merged hit/miss/DRAM"),
+            ("\"dispatch_rounds\"", "dispatch counters (pre-PR5 format); merged launch/round/task"),
+        ] {
+            if !text.contains(marker) {
+                eprintln!("note: {path} has no {what} counters cover only the newer shards");
+            }
         }
         let (j, t, rows) = parse_probe_json(&text).map_err(|e| format!("{path}: {e}"))?;
         jobs = jobs.max(j);
@@ -278,6 +303,7 @@ fn merge_probe_files(paths: &[String]) -> Result<String, String> {
                     m.configs += row.configs;
                     m.seconds += row.seconds;
                     m.mem.accumulate(&row.mem);
+                    m.dispatch.accumulate(&row.dispatch);
                 }
                 None => merged.push(row),
             }
@@ -298,7 +324,9 @@ mod tests {
         mem.l2.hits = 8 * scale;
         mem.l2.misses = 2 * scale;
         mem.dram_requests = 3 * scale;
-        KernelRow { name: name.to_owned(), configs, seconds, util, mem }
+        let dispatch =
+            DispatchStats { launches: 5 * scale, rounds: 20 * scale, round_tasks: 160 * scale };
+        KernelRow { name: name.to_owned(), configs, seconds, util, mem, dispatch }
     }
 
     #[test]
@@ -323,6 +351,9 @@ mod tests {
         assert!((parsed[1].seconds - 2.0).abs() < 1e-9);
         assert_eq!(parsed[0].mem.l1.hits, 100);
         assert_eq!(parsed[1].mem.dram_requests, 6);
+        assert_eq!(parsed[0].dispatch.launches, 5);
+        assert_eq!(parsed[1].dispatch.rounds, 40);
+        assert_eq!(parsed[1].dispatch.round_tasks, 320);
     }
 
     #[test]
@@ -336,6 +367,7 @@ mod tests {
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].mem.l1.hits, 0);
         assert_eq!(parsed[0].mem.dram_requests, 0);
+        assert_eq!(parsed[0].dispatch, DispatchStats::default());
     }
 
     #[test]
@@ -363,5 +395,9 @@ mod tests {
         assert_eq!(rows[0].mem.l1.hits, 400);
         assert_eq!(rows[0].mem.l2.misses, 8);
         assert_eq!(rows[0].mem.dram_requests, 12);
+        // Raw dispatch counters sum exactly too.
+        assert_eq!(rows[0].dispatch.launches, 20);
+        assert_eq!(rows[0].dispatch.rounds, 80);
+        assert_eq!(rows[0].dispatch.round_tasks, 640);
     }
 }

@@ -11,7 +11,10 @@
 //! columns (L1/L2 hit rates and DRAM line requests, from `MemStats`
 //! deltas) attribute the cost of the batched memory-transaction pipeline:
 //! a kernel whose host throughput lags with a low L1 rate is paying for
-//! tag-walk misses and DRAM queueing, not for execute loops.
+//! tag-walk misses and DRAM queueing, not for execute loops. Dispatch
+//! columns (rounds per launch, mean busy lanes per round, from
+//! `DispatchStats`) attribute launch-pipeline cost the same way: many
+//! rounds at few busy lanes marks the low-occupancy dispatch regime.
 //!
 //! ```text
 //! cargo run --release -p vortex-bench --bin throughput -- --topo 8c8w8t
@@ -22,7 +25,7 @@ use std::time::Instant;
 
 use vortex_bench::cli::Flags;
 use vortex_bench::{kernel_factories, Scale};
-use vortex_core::{LwsPolicy, Runtime};
+use vortex_core::{DispatchStats, LwsPolicy, Runtime};
 use vortex_kernels::run_kernel_prepared;
 use vortex_sim::{DeviceConfig, MemStats};
 
@@ -35,7 +38,7 @@ fn main() {
     let scale = if flags.has("paper-scale") { Scale::Paper } else { Scale::Sweep };
 
     println!(
-        "{:<13} {:>7} {:>12} {:>14} {:>10} {:>9} {:>9} {:>6} {:>6} {:>10}",
+        "{:<13} {:>7} {:>12} {:>14} {:>10} {:>9} {:>9} {:>6} {:>6} {:>10} {:>8} {:>8}",
         "kernel",
         "policy",
         "instructions",
@@ -45,7 +48,9 @@ fn main() {
         "Mlane/s",
         "L1%",
         "L2%",
-        "DRAM reqs"
+        "DRAM reqs",
+        "rnds/ln",
+        "lane/rnd"
     );
     for factory in kernel_factories(scale) {
         if let Some(ws) = &wanted {
@@ -61,29 +66,32 @@ fn main() {
         let mut kernel_lanes = 0u64;
         let mut kernel_secs = 0.0f64;
         let mut kernel_mem = MemStats::default();
+        let mut kernel_dispatch = DispatchStats::default();
         for policy in [LwsPolicy::Naive1, LwsPolicy::Fixed32, LwsPolicy::Auto] {
             let start = Instant::now();
             let mut instructions = 0u64;
             let mut lanes = 0u64;
             let mut mem = MemStats::default();
+            let mut dispatch = DispatchStats::default();
             for _ in 0..reps {
                 // Count what the device actually issued: counter deltas
                 // around the run (the runtime resets counters per run, so
                 // the post-run counter values are the per-run deltas).
-                run_kernel_prepared(kernel.as_mut(), &program, &mut rt, policy).unwrap_or_else(
-                    |e| {
+                let outcome = run_kernel_prepared(kernel.as_mut(), &program, &mut rt, policy)
+                    .unwrap_or_else(|e| {
                         eprintln!("{} {policy}: {e}", factory.name);
                         std::process::exit(1);
-                    },
-                );
+                    });
                 let counters = rt.device().counters();
                 instructions += counters.instructions;
                 lanes += counters.lane_instructions;
                 mem.accumulate(&rt.device().mem_stats());
+                dispatch.accumulate(&outcome.dispatch);
             }
             let dt = start.elapsed().as_secs_f64();
             println!(
-                "{:<13} {:>7} {:>12} {:>14} {:>10.1} {:>9.2} {:>9.2} {:>6.1} {:>6.1} {:>10}",
+                "{:<13} {:>7} {:>12} {:>14} {:>10.1} {:>9.2} {:>9.2} {:>6.1} {:>6.1} {:>10} \
+                 {:>8.1} {:>8.1}",
                 factory.name,
                 policy.label(),
                 instructions / reps as u64,
@@ -94,14 +102,18 @@ fn main() {
                 mem.l1.hit_rate() * 100.0,
                 mem.l2.hit_rate() * 100.0,
                 mem.dram_requests / reps as u64,
+                dispatch.rounds_per_launch(),
+                dispatch.mean_lanes_per_round(),
             );
             kernel_instr += instructions;
             kernel_lanes += lanes;
             kernel_secs += dt;
             kernel_mem.accumulate(&mem);
+            kernel_dispatch.accumulate(&dispatch);
         }
         println!(
-            "{:<13} {:>7} {:>12} {:>14} {:>10.1} {:>9.2} {:>9.2} {:>6.1} {:>6.1} {:>10}",
+            "{:<13} {:>7} {:>12} {:>14} {:>10.1} {:>9.2} {:>9.2} {:>6.1} {:>6.1} {:>10} \
+             {:>8.1} {:>8.1}",
             factory.name,
             "total",
             kernel_instr / reps as u64,
@@ -112,6 +124,8 @@ fn main() {
             kernel_mem.l1.hit_rate() * 100.0,
             kernel_mem.l2.hit_rate() * 100.0,
             kernel_mem.dram_requests / reps as u64,
+            kernel_dispatch.rounds_per_launch(),
+            kernel_dispatch.mean_lanes_per_round(),
         );
     }
 }

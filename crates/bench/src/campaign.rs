@@ -3,7 +3,7 @@
 
 use std::sync::Mutex;
 
-use vortex_core::{LwsPolicy, Runtime};
+use vortex_core::{DispatchStats, LwsPolicy, Runtime};
 use vortex_kernels::{
     run_kernel_prepared, Gauss, GcnAggr, GcnLayer, Kernel, KernelError, Knn, Relu, ResnetLayer,
     Saxpy, Sgemm, VecAdd,
@@ -83,6 +83,9 @@ pub struct ConfigRow {
     /// actually did, so a throughput change is attributable to a
     /// hit-rate or traffic change.
     pub mem: MemStats,
+    /// Dispatch-round and occupancy counters of the auto run (launches,
+    /// rounds, tasks — raw sums, so shard merges stay exact).
+    pub dispatch: DispatchStats,
 }
 
 impl ConfigRow {
@@ -132,6 +135,16 @@ impl CampaignResult {
         let mut total = MemStats::default();
         for row in &self.rows {
             total.accumulate(&row.mem);
+        }
+        total
+    }
+
+    /// Dispatch-round counters summed over all configurations' auto runs
+    /// (see [`ConfigRow::dispatch`]).
+    pub fn total_dispatch(&self) -> DispatchStats {
+        let mut total = DispatchStats::default();
+        for row in &self.rows {
+            total.accumulate(&row.dispatch);
         }
         total
     }
@@ -262,6 +275,7 @@ fn measure_config(
         lws_auto: auto.reports.first().map_or(1, |r| r.lws),
         dram_utilization: auto.dram_utilization,
         mem: auto.mem,
+        dispatch: auto.dispatch,
     })
 }
 

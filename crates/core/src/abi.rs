@@ -43,6 +43,12 @@ pub mod dispatch {
     pub const ROUND_WARPS: u32 = 24;
 }
 
+/// Number of 32-bit words the host writes into a dispatch block at launch
+/// time: the contiguous [`dispatch::TASK_BASE`]..=[`dispatch::CURSOR`]
+/// prefix. [`dispatch::ROUND_WARPS`] is a software mailbox owned by the
+/// kernel's round loop and is never rendered by the host.
+pub const DISPATCH_HOST_WORDS: usize = 6;
+
 /// The dispatch-block address for a core.
 ///
 /// # Examples
@@ -54,6 +60,40 @@ pub mod dispatch {
 /// ```
 pub fn dispatch_block_addr(core: usize) -> u32 {
     DISPATCH_BASE + (core as u32) * DISPATCH_STRIDE
+}
+
+/// Renders the host-written words of one core's dispatch block, in block
+/// layout order, ready for a single bulk write at
+/// [`dispatch_block_addr`]. This is the **only** place the host-side
+/// field layout exists: both the `LaunchPlan` renderer and any direct
+/// launch path go through it, so the ABI cannot drift between them.
+///
+/// The in-kernel round cursor starts at `task_base` (round 0 begins at
+/// the core's first task).
+///
+/// # Examples
+///
+/// ```
+/// use vortex_core::abi;
+/// let words = abi::render_dispatch_block(8, 24, 4, 64, abi::ARGS_BASE);
+/// assert_eq!(words[(abi::dispatch::TASK_END / 4) as usize], 24);
+/// assert_eq!(words[(abi::dispatch::CURSOR / 4) as usize], 8);
+/// ```
+pub fn render_dispatch_block(
+    task_base: u32,
+    task_end: u32,
+    lws: u32,
+    gws: u32,
+    arg_ptr: u32,
+) -> [u32; DISPATCH_HOST_WORDS] {
+    let mut words = [0u32; DISPATCH_HOST_WORDS];
+    words[(dispatch::TASK_BASE / 4) as usize] = task_base;
+    words[(dispatch::TASK_END / 4) as usize] = task_end;
+    words[(dispatch::LWS / 4) as usize] = lws;
+    words[(dispatch::GWS / 4) as usize] = gws;
+    words[(dispatch::ARG_PTR / 4) as usize] = arg_ptr;
+    words[(dispatch::CURSOR / 4) as usize] = task_base;
+    words
 }
 
 #[cfg(test)]

@@ -44,10 +44,12 @@
 pub mod abi;
 mod mapping;
 mod oracle;
+mod plan;
 mod runtime;
 mod tuner;
 
 pub use mapping::{CoreRange, WorkMapping};
 pub use oracle::{oracle_candidates, oracle_search, OracleResult};
+pub use plan::{DispatchStats, LaunchPlan};
 pub use runtime::{Buffer, LaunchError, LaunchParams, LaunchReport, Runtime};
 pub use tuner::{optimal_lws, LwsPolicy, MappingScenario};

@@ -119,6 +119,13 @@ impl WorkMapping {
         self.ranges.iter().map(|r| r.len().div_ceil(self.slots_per_core)).max().unwrap_or(0)
     }
 
+    /// Dispatch rounds summed over every participating core — the raw
+    /// device-wide round count a launch executes (each core's warp 0 runs
+    /// its own round loop).
+    pub fn total_rounds(&self) -> u64 {
+        self.ranges.iter().map(|r| u64::from(r.len().div_ceil(self.slots_per_core))).sum()
+    }
+
     /// Warps the busiest core activates in its first round.
     pub fn peak_warps(&self) -> u32 {
         self.ranges
@@ -177,7 +184,21 @@ mod tests {
         let cfg = DeviceConfig::with_topology(1, 2, 4);
         let plan = WorkMapping::plan(128, 1, &cfg); // 128 tasks on 8 slots
         assert_eq!(plan.rounds(), 16);
+        assert_eq!(plan.total_rounds(), 16);
         assert_eq!(plan.scenario(), MappingScenario::MultiCall);
+    }
+
+    #[test]
+    fn total_rounds_sums_over_cores() {
+        let cfg = DeviceConfig::with_topology(2, 2, 4); // 8 slots/core
+        let plan = WorkMapping::plan(128, 4, &cfg); // 32 tasks, 16/core
+        assert_eq!(plan.rounds(), 2);
+        assert_eq!(plan.total_rounds(), 4);
+        // Uneven split: 3 tasks over 8 cores -> 3 single-round cores.
+        let cfg = DeviceConfig::with_topology(8, 2, 4);
+        let plan = WorkMapping::plan(6, 2, &cfg);
+        assert_eq!(plan.rounds(), 1);
+        assert_eq!(plan.total_rounds(), 3);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The host-side runtime: buffers, argument blocks, kernel launches.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -8,7 +10,7 @@ use vortex_mem::Cycle;
 use vortex_sim::{Device, DeviceConfig, NullSink, SimError, TraceSink};
 
 use crate::abi;
-use crate::mapping::WorkMapping;
+use crate::plan::LaunchPlan;
 use crate::tuner::{LwsPolicy, MappingScenario};
 
 /// A device-memory allocation.
@@ -68,7 +70,7 @@ impl LaunchParams {
 }
 
 /// What a launch did and what it cost.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LaunchReport {
     /// The `lws` value the policy resolved to.
     pub lws: u32,
@@ -78,6 +80,9 @@ pub struct LaunchReport {
     pub scenario: MappingScenario,
     /// In-kernel dispatch rounds of the busiest core.
     pub rounds: u32,
+    /// Dispatch rounds summed over every participating core (the raw
+    /// counter behind the probe's occupancy statistics).
+    pub total_rounds: u64,
     /// Cores that received work.
     pub active_cores: usize,
     /// Elapsed device cycles, including dispatch overhead and drain.
@@ -135,10 +140,14 @@ impl From<SimError> for LaunchError {
 
 /// The OpenCL-style host runtime.
 ///
-/// Owns a [`Device`], a bump allocator over the device heap, and the launch
-/// machinery that writes per-core dispatch blocks and starts warp 0 of each
+/// Owns a [`Device`], a bump allocator over the device heap, and a cache
+/// of precompiled [`LaunchPlan`]s: a launch resolves its lws policy, looks
+/// the plan up by `(gws, lws)` (compiling it on first use), writes the
+/// plan's pre-rendered dispatch blocks and starts warp 0 of each
 /// participating core (the in-kernel dispatch loop does the rest — see
-/// `vortex-kernels`).
+/// `vortex-kernels`). Plans depend only on `(gws, lws)` and the fixed
+/// device configuration, so the cache survives [`reset`](Runtime::reset)
+/// and policy sweeps re-execute plans instead of re-deriving them.
 ///
 /// # Examples
 ///
@@ -164,6 +173,11 @@ pub struct Runtime {
     heap_next: u32,
     entry: Option<u32>,
     dispatch_overhead: Cycle,
+    /// Precompiled launch plans keyed by `(gws, resolved lws)` — policies
+    /// resolving to the same `lws` share one plan.
+    plans: HashMap<(u32, u32), LaunchPlan>,
+    plan_hits: u64,
+    plan_misses: u64,
 }
 
 impl Runtime {
@@ -175,6 +189,9 @@ impl Runtime {
             heap_next: abi::HEAP_BASE,
             entry: None,
             dispatch_overhead: 256,
+            plans: HashMap::new(),
+            plan_hits: 0,
+            plan_misses: 0,
         }
     }
 
@@ -203,6 +220,9 @@ impl Runtime {
     /// Returns the runtime to its post-[`load_program`](Runtime::load_program)
     /// state: device memory, caches, counters and the clock are cleared,
     /// the heap allocator rewinds, and the loaded program stays resident.
+    /// The launch-plan cache also stays resident — plans depend only on
+    /// `(gws, lws)` and the device configuration, neither of which a
+    /// reset changes.
     ///
     /// This is what lets a measurement campaign reuse one runtime across
     /// many launches instead of rebuilding the device (and re-assembling
@@ -210,6 +230,18 @@ impl Runtime {
     pub fn reset(&mut self) {
         self.device.reset();
         self.heap_next = abi::HEAP_BASE;
+    }
+
+    /// `(hits, misses)` of the launch-plan cache since construction. A
+    /// hit means the launch re-executed a precompiled plan; a miss means
+    /// it compiled (and cached) a new one.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (self.plan_hits, self.plan_misses)
+    }
+
+    /// Number of distinct `(gws, lws)` plans currently cached.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plans.len()
     }
 
     /// Allocates `bytes` of device memory (64-byte aligned).
@@ -268,10 +300,10 @@ impl Runtime {
     /// Launches the loaded kernel over `params.gws` iterations.
     ///
     /// Resolves the lws policy against the device's micro-architecture
-    /// parameters (Eq. 1 for [`LwsPolicy::Auto`]), plans the task mapping,
-    /// writes each participating core's dispatch block, pays the host
-    /// dispatch overhead once, starts warp 0 everywhere and runs the device
-    /// to completion.
+    /// parameters (Eq. 1 for [`LwsPolicy::Auto`]), looks up (or compiles)
+    /// the [`LaunchPlan`] for `(gws, lws)`, writes its pre-rendered
+    /// dispatch blocks, pays the host dispatch overhead once, starts the
+    /// plan's warp-0 set and runs the device to completion.
     ///
     /// # Errors
     ///
@@ -314,39 +346,40 @@ impl Runtime {
         }
         let config = *self.device.config();
         let lws = params.policy.lws_for(params.gws, &config);
-        let plan = WorkMapping::plan(params.gws, lws, &config);
+        let plan = match self.plans.entry((params.gws, lws)) {
+            Entry::Occupied(e) => {
+                self.plan_hits += 1;
+                e.into_mut()
+            }
+            Entry::Vacant(v) => {
+                self.plan_misses += 1;
+                v.insert(LaunchPlan::compile(params.gws, lws, &config))
+            }
+        };
+        let device = &mut self.device;
 
-        let start_cycle = self.device.now();
-        let start_instr = self.device.counters().instructions;
+        let start_cycle = device.now();
+        let start_instr = device.counters().instructions;
 
-        // Host writes the dispatch blocks, then pays the dispatch latency.
-        for range in plan.core_ranges() {
-            let block = abi::dispatch_block_addr(range.core);
-            let mem = self.device.memory_mut();
-            mem.write_u32(block + abi::dispatch::TASK_BASE, range.task_base);
-            mem.write_u32(block + abi::dispatch::TASK_END, range.task_end);
-            mem.write_u32(block + abi::dispatch::LWS, lws);
-            mem.write_u32(block + abi::dispatch::GWS, params.gws);
-            mem.write_u32(block + abi::dispatch::ARG_PTR, abi::ARGS_BASE);
-            mem.write_u32(block + abi::dispatch::CURSOR, range.task_base);
+        // Host writes the pre-rendered dispatch blocks word by word
+        // (`write_u32_slice` would heap-allocate a staging buffer per
+        // call — a per-launch cost on exactly the path this cache
+        // exists to strip), then pays the dispatch latency and starts
+        // the plan's warp-0 set.
+        let mem = device.memory_mut();
+        for i in 0..plan.active_cores() {
+            let (addr, words) = plan.core_block(i);
+            for (j, &word) in words.iter().enumerate() {
+                mem.write_u32(addr + 4 * j as u32, word);
+            }
         }
-        self.device.advance_time(self.dispatch_overhead);
+        device.advance_time(self.dispatch_overhead);
 
-        for range in plan.core_ranges() {
-            self.device.start_warp(range.core, entry);
-        }
+        device.start_warps(plan.starts(), entry);
         let limit = start_cycle + params.max_cycles;
-        self.device.run_with(limit, trace)?;
+        device.run_with(limit, trace)?;
 
-        Ok(LaunchReport {
-            lws,
-            n_tasks: plan.n_tasks(),
-            scenario: plan.scenario(),
-            rounds: plan.rounds(),
-            active_cores: plan.active_cores(),
-            cycles: self.device.now() - start_cycle,
-            instructions: self.device.counters().instructions - start_instr,
-        })
+        Ok(plan.report(device.now() - start_cycle, device.counters().instructions - start_instr))
     }
 }
 
@@ -426,6 +459,49 @@ mod tests {
         assert_eq!(mem.read_u32(b1 + abi::dispatch::TASK_END), 16);
         assert_eq!(mem.read_u32(b0 + abi::dispatch::LWS), 4);
         assert_eq!(mem.read_u32(b0 + abi::dispatch::GWS), 64);
+    }
+
+    #[test]
+    fn plan_cache_hits_reproduce_cold_reports() {
+        let config = DeviceConfig::with_topology(2, 2, 4);
+        let mut rt = Runtime::new(config);
+        rt.load_program(&trivial_program());
+        let params = LaunchParams::new(256).policy(LwsPolicy::Explicit(2));
+        let cold = rt.launch(&params, None).unwrap();
+        assert_eq!(rt.plan_cache_stats(), (0, 1));
+        rt.reset();
+        let hit = rt.launch(&params, None).unwrap();
+        assert_eq!(rt.plan_cache_stats(), (1, 1), "reset must keep the plan cache");
+        assert_eq!(hit, cold, "cached plan drifted from the cold compile");
+        // A fresh runtime's cold plan agrees too.
+        let mut fresh = Runtime::new(config);
+        fresh.load_program(&trivial_program());
+        assert_eq!(fresh.launch(&params, None).unwrap(), cold);
+        assert_eq!(fresh.plan_cache_stats(), (0, 1));
+    }
+
+    #[test]
+    fn policies_resolving_to_the_same_lws_share_a_plan() {
+        let mut rt = Runtime::new(DeviceConfig::with_topology(1, 2, 4)); // hp = 8
+        rt.load_program(&trivial_program());
+        // Auto resolves 128/8 = 16; Explicit(16) must hit the same plan.
+        let auto = rt.launch(&LaunchParams::new(128).policy(LwsPolicy::Auto), None).unwrap();
+        rt.reset();
+        let explicit =
+            rt.launch(&LaunchParams::new(128).policy(LwsPolicy::Explicit(16)), None).unwrap();
+        assert_eq!(rt.plan_cache_stats(), (1, 1));
+        assert_eq!(rt.plan_cache_len(), 1);
+        assert_eq!(auto, explicit);
+    }
+
+    #[test]
+    fn reports_carry_total_rounds() {
+        let mut rt = Runtime::new(DeviceConfig::with_topology(2, 2, 4)); // 8 slots/core
+        rt.load_program(&trivial_program());
+        // 32 tasks over 2 cores: 16/core on 8 slots = 2 rounds each.
+        let r = rt.launch(&LaunchParams::new(128).policy(LwsPolicy::Explicit(4)), None).unwrap();
+        assert_eq!(r.rounds, 2);
+        assert_eq!(r.total_rounds, 4);
     }
 
     #[test]

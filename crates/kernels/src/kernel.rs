@@ -1,7 +1,7 @@
 //! The [`Kernel`] abstraction and the standard execution driver.
 
 use vortex_asm::Program;
-use vortex_core::{LaunchParams, LaunchReport, LwsPolicy, Runtime};
+use vortex_core::{DispatchStats, LaunchParams, LaunchReport, LwsPolicy, Runtime};
 use vortex_sim::Cycle;
 use vortex_sim::{DeviceConfig, MemStats, NullSink, TraceSink};
 
@@ -78,6 +78,10 @@ pub struct RunOutcome {
     pub dram_utilization: f64,
     /// Instructions issued.
     pub instructions: u64,
+    /// Dispatch-round and occupancy counters summed over the run's
+    /// launches (rounds per launch, busy lanes per round — the paper's
+    /// low-occupancy marker).
+    pub dispatch: DispatchStats,
 }
 
 /// Builds, uploads, launches (all phases) and verifies `kernel` on a fresh
@@ -155,6 +159,7 @@ fn run_phases<S: TraceSink + ?Sized>(
 
     let mut reports = Vec::new();
     let mut cycles = 0;
+    let mut dispatch = DispatchStats::default();
     for phase in kernel.phases() {
         let entry = program
             .symbol(&phase.symbol)
@@ -168,6 +173,7 @@ fn run_phases<S: TraceSink + ?Sized>(
             },
         )?;
         cycles += report.cycles;
+        dispatch.accumulate(&DispatchStats::of_launch(&report));
         reports.push(report);
     }
     kernel.verify(rt)?;
@@ -178,5 +184,6 @@ fn run_phases<S: TraceSink + ?Sized>(
         mem: rt.device().mem_stats(),
         dram_utilization: rt.device().dram_utilization(),
         instructions: rt.device().counters().instructions,
+        dispatch,
     })
 }

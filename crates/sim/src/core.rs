@@ -950,17 +950,7 @@ impl Core {
                         available: self.warps.len(),
                     });
                 }
-                for i in 1..count as usize {
-                    if i != w {
-                        let full = self.warps[i].full_mask();
-                        self.warps[i].start(target, full, now + timing.wspawn);
-                        self.rf.clear_warp(i);
-                        self.warp_next[i] = now + timing.wspawn;
-                        // Respawn resets scheduling state; a cached entry
-                        // could alias the same PC with stale hazards.
-                        self.next_issue[i].valid = false;
-                    }
-                }
+                self.activate_round(w, count as usize, target, now + timing.wspawn);
             }
             Instr::Split { rs1, offset } => {
                 if self.warps[w].ipdom.len() >= ctx.ipdom_depth {
@@ -1047,6 +1037,31 @@ impl Core {
             self.warp_next[w] = now + gap;
         }
         Ok(())
+    }
+
+    /// First-class dispatch-round activation — the `vx_wspawn` half of
+    /// the in-kernel round loop (spawn → work → barrier → respawn).
+    /// (Re)starts warps `1..count`, except the spawning warp, at
+    /// `target`: the warp slots stay **resident** across rounds — a
+    /// reactivation reuses the slot's control block, divergence stack
+    /// and register storage in place (one bulk [`RegFile::clear_warp`]
+    /// per slot; a *dirty-row* clear that re-zeroed only the previous
+    /// round's writes was prototyped here and reverted — tracking
+    /// dirtiness cost more on the per-instruction path than the bulk
+    /// clear it saved, see README "PR5 results").
+    fn activate_round(&mut self, spawner: usize, count: usize, target: u32, ready_at: Cycle) {
+        for i in 1..count {
+            if i == spawner {
+                continue;
+            }
+            let full = self.warps[i].full_mask();
+            self.warps[i].start(target, full, ready_at);
+            self.rf.clear_warp(i);
+            self.warp_next[i] = ready_at;
+            // Respawn resets scheduling state; a cached entry could alias
+            // the same PC with stale hazards.
+            self.next_issue[i].valid = false;
+        }
     }
 
     /// Coalesces the line requests of one SIMT memory instruction and

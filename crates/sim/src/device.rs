@@ -41,6 +41,19 @@ pub struct Device {
     cycle: Cycle,
     horizon: Cycle,
     counters: DeviceCounters,
+    /// Resident next-event buffer of the cores the current run actually
+    /// schedules — **compact**, parallel to [`run_order`](Device::run_order),
+    /// so the per-round min scan stays a contiguous (vectorisable) pass
+    /// while still being proportional to the launch, not the topology.
+    /// Lives on the device so back-to-back launches (the multi-phase
+    /// kernels' dispatch rounds) re-enter [`run_with`](Device::run_with)
+    /// without reallocating the event state.
+    next_due: Vec<Cycle>,
+    /// Resident list of the scheduled cores' ids (ascending), parallel
+    /// to [`next_due`](Device::next_due). Low-occupancy launches touch a
+    /// handful of cores, and a core that drains is removed from both
+    /// arrays in place.
+    run_order: Vec<usize>,
 }
 
 impl Device {
@@ -62,6 +75,8 @@ impl Device {
             cycle: 0,
             horizon: 0,
             counters: DeviceCounters::default(),
+            next_due: Vec::with_capacity(config.cores),
+            run_order: Vec::with_capacity(config.cores),
             config,
         }
     }
@@ -110,6 +125,20 @@ impl Device {
     pub fn start_warp(&mut self, core: usize, pc: u32) {
         let now = self.cycle;
         self.cores[core].start_warp(0, pc, now);
+    }
+
+    /// Activates warp 0 of every core in `cores` at `pc` — the batched
+    /// form of [`start_warp`](Device::start_warp) a precompiled launch
+    /// plan uses to start its whole warp-0 set in one call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any core id is out of range.
+    pub fn start_warps(&mut self, cores: &[usize], pc: u32) {
+        let now = self.cycle;
+        for &core in cores {
+            self.cores[core].start_warp(0, pc, now);
+        }
     }
 
     /// Activates an arbitrary warp (for white-box tests).
@@ -184,6 +213,8 @@ impl Device {
             cycle,
             horizon,
             counters,
+            next_due,
+            run_order,
         } = self;
 
         // One pending event per core, in a flat per-core array scanned
@@ -196,10 +227,24 @@ impl Device {
         // conservative-lookahead window (see [`Core::run_until`]). Unlike
         // the PR 2 wake-slot table, the scan is per *round* (window), not
         // per simulated cycle, so desynchronised runs do not degrade.
-        let mut next_at: Vec<Cycle> = cores
-            .iter()
-            .map(|core| if core.any_active() { *cycle } else { crate::warp::NEVER })
-            .collect();
+        //
+        // Both buffers are device-resident (no per-launch allocation)
+        // and **compact**: `next_due[pos]` is the pending event of core
+        // `run_order[pos]`, covering only the cores this launch started,
+        // in ascending id order — a 2-core launch on a 64-core topology
+        // pays for 2 entries per round, not 64, and the min pass stays a
+        // contiguous scan. Cores cannot *become* active mid-run (wspawn
+        // is core-local), and a core that drains to idle is removed from
+        // both arrays in place, so rounds of a shrinking launch keep
+        // getting cheaper.
+        run_order.clear();
+        next_due.clear();
+        for (cid, core) in cores.iter().enumerate() {
+            if core.any_active() {
+                run_order.push(cid);
+                next_due.push(*cycle);
+            }
+        }
 
         // One context for the whole run: it borrows device state disjoint
         // from `cores`, so it does not need rebuilding per step.
@@ -229,17 +274,21 @@ impl Device {
         // once many-core runs desynchronise) gets the full window to the
         // runner-up event; same-cycle peers each get one cycle.
         loop {
-            // One pass: earliest event, its owner, how many cores share
-            // it, and the runner-up time (the solo core's horizon).
+            // One pass over the scheduled cores: earliest event, its
+            // owner's position, how many cores share it, and the
+            // runner-up time (the solo core's horizon). `run_order` is
+            // ascending, so ties resolve in ascending core-id order,
+            // exactly as the full-array scan (and the heap before it)
+            // did.
             let mut t = crate::warp::NEVER;
             let mut first = 0usize;
             let mut due = 0usize;
             let mut second = crate::warp::NEVER;
-            for (cid, &at) in next_at.iter().enumerate() {
+            for (pos, &at) in next_due.iter().enumerate() {
                 if at < t {
                     second = t;
                     t = at;
-                    first = cid;
+                    first = pos;
                     due = 1;
                 } else if at == t && at != crate::warp::NEVER {
                     due += 1;
@@ -254,20 +303,33 @@ impl Device {
                 return Err(SimError::CycleLimit { limit });
             }
             if due == 1 {
-                let horizon = second.min(limit.saturating_add(1));
-                next_at[first] = match cores[first].run_until(t, horizon, cycle, &mut ctx)? {
-                    CoreOutcome::Next(next) => next,
-                    CoreOutcome::Idle => crate::warp::NEVER,
-                };
+                let cid = run_order[first];
+                let window = second.min(limit.saturating_add(1));
+                match cores[cid].run_until(t, window, cycle, &mut ctx)? {
+                    CoreOutcome::Next(next) => next_due[first] = next,
+                    CoreOutcome::Idle => {
+                        run_order.remove(first);
+                        next_due.remove(first);
+                    }
+                }
             } else {
-                for cid in first..next_at.len() {
-                    if next_at[cid] != t {
+                let mut pos = first;
+                while pos < next_due.len() {
+                    if next_due[pos] != t {
+                        pos += 1;
                         continue;
                     }
-                    next_at[cid] = match cores[cid].run_until(t, t + 1, cycle, &mut ctx)? {
-                        CoreOutcome::Next(next) => next,
-                        CoreOutcome::Idle => crate::warp::NEVER,
-                    };
+                    let cid = run_order[pos];
+                    match cores[cid].run_until(t, t + 1, cycle, &mut ctx)? {
+                        CoreOutcome::Next(next) => {
+                            next_due[pos] = next;
+                            pos += 1;
+                        }
+                        CoreOutcome::Idle => {
+                            run_order.remove(pos);
+                            next_due.remove(pos);
+                        }
+                    }
                 }
             }
         }
@@ -309,6 +371,8 @@ impl Device {
         self.cycle = 0;
         self.horizon = 0;
         self.counters = DeviceCounters::default();
+        // `next_due`/`run_order` need no reset: `run_with` owns their
+        // lifecycle and rebuilds both on every entry.
         self.mem.write_u32_slice(self.code_base, &self.code_words);
     }
 

@@ -57,8 +57,8 @@ pub use vortex_trace as trace;
 /// The most common imports, for examples and quick experiments.
 pub mod prelude {
     pub use vortex_core::{
-        optimal_lws, oracle_search, LaunchParams, LwsPolicy, MappingScenario, OracleResult,
-        Runtime, WorkMapping,
+        optimal_lws, oracle_search, DispatchStats, LaunchParams, LaunchPlan, LwsPolicy,
+        MappingScenario, OracleResult, Runtime, WorkMapping,
     };
     pub use vortex_kernels::{
         run_kernel, run_kernel_traced, Gauss, GcnAggr, GcnLayer, Kernel, Knn, Relu, ResnetLayer,

@@ -1,0 +1,131 @@
+//! White-box goldens for the launch pipeline: precompiled `LaunchPlan`s
+//! and the resident-warp dispatch-round lifecycle.
+//!
+//! The PR 5 refactor made launches the cheap primitive: the host caches a
+//! compiled plan per `(gws, lws)` and the simulator keeps warp slots
+//! resident across in-kernel dispatch rounds (a first-class `vx_wspawn`
+//! round activation, a compact active-core event list).
+//! None of that may move a single cycle, so this suite pins the two
+//! launch shapes the refactor targets — a **low-occupancy `lws=32`
+//! multi-round launch** (the `resnet_layer` attribution from PR 4) and a
+//! **single-round full-occupancy launch** — each checked for
+//! traced/untraced identity and against a hard-coded golden finish
+//! cycle, plus plan-cache reuse producing bit-identical reports.
+
+use vortex_core::Runtime;
+use vortex_gpgpu::prelude::*;
+use vortex_kernels::{run_kernel_prepared, Kernel, RunOutcome};
+
+/// Cycle/counter fingerprint of one run (mirrors `cycle_golden`).
+fn fingerprint(outcome: &RunOutcome) -> (u64, Vec<u64>, Vec<u32>, u64, u64, u64, u64) {
+    (
+        outcome.cycles,
+        outcome.reports.iter().map(|r| r.cycles).collect(),
+        outcome.reports.iter().map(|r| r.lws).collect(),
+        outcome.instructions,
+        outcome.dispatch.launches,
+        outcome.dispatch.rounds,
+        outcome.dispatch.round_tasks,
+    )
+}
+
+/// Runs `kernel` traced and untraced on `topo`, asserts the two paths
+/// agree, and returns the untraced outcome.
+fn identical_runs(kernel: &mut dyn Kernel, topo: &str, policy: LwsPolicy) -> RunOutcome {
+    let config: DeviceConfig = topo.parse().expect("valid topology");
+    let untraced = run_kernel(kernel, &config, policy)
+        .unwrap_or_else(|e| panic!("{} {topo} {policy}: {e}", kernel.name()));
+    let mut sink = VecTraceSink::new();
+    let traced = run_kernel_traced(kernel, &config, policy, Some(&mut sink))
+        .unwrap_or_else(|e| panic!("{} {topo} {policy}: {e}", kernel.name()));
+    assert_eq!(
+        fingerprint(&untraced),
+        fingerprint(&traced),
+        "{} on {topo} under {policy}: traced vs untraced drift",
+        kernel.name()
+    );
+    untraced
+}
+
+/// The PR 4 attribution shape: a fixed `lws = 32` launch whose tasks
+/// outnumber one core's slots, so warp 0 re-runs the in-kernel round
+/// loop — dispatch rounds back to back, each reactivating the resident
+/// worker warps.
+#[test]
+fn low_occupancy_multi_round_launch_is_pinned() {
+    let mut kernel = VecAdd::new(4096); // 128 tasks at lws=32
+    let outcome = identical_runs(&mut kernel, "1c4w8t", LwsPolicy::Fixed32);
+    let report = &outcome.reports[0];
+    assert_eq!(report.lws, 32);
+    assert_eq!(report.n_tasks, 128);
+    // 128 tasks on 32 slots: 4 rounds on the single core.
+    assert_eq!(report.rounds, 4);
+    assert_eq!(report.total_rounds, 4);
+    assert_eq!(report.scenario, MappingScenario::MultiCall);
+    assert_eq!(outcome.dispatch.launches, 1);
+    assert_eq!(outcome.dispatch.rounds, 4);
+    assert_eq!(outcome.dispatch.round_tasks, 128);
+    assert_eq!(outcome.cycles, GOLDEN_MULTI_ROUND, "multi-round golden cycle drift");
+}
+
+/// The exact-fit single-round shape: every hardware slot gets one task,
+/// the round loop runs once and the launch drains.
+#[test]
+fn single_round_full_occupancy_launch_is_pinned() {
+    let mut kernel = VecAdd::new(128); // 32 tasks at lws=4 on 32 slots
+    let outcome = identical_runs(&mut kernel, "1c4w8t", LwsPolicy::Explicit(4));
+    let report = &outcome.reports[0];
+    assert_eq!(report.lws, 4);
+    assert_eq!(report.n_tasks, 32);
+    assert_eq!(report.rounds, 1);
+    assert_eq!(report.total_rounds, 1);
+    assert_eq!(report.scenario, MappingScenario::ExactFit);
+    assert_eq!(outcome.dispatch.rounds, 1);
+    assert_eq!(outcome.dispatch.round_tasks, 32);
+    assert_eq!(outcome.cycles, GOLDEN_SINGLE_ROUND, "single-round golden cycle drift");
+}
+
+/// A launch that leaves most of the topology idle: only 2 of 4 cores
+/// receive work, so the device's active-core event list runs (and
+/// shrinks) without the idle cores ever being scanned.
+#[test]
+fn partially_active_topology_launch_is_pinned() {
+    let mut kernel = VecAdd::new(64); // 2 tasks at lws=32 over 4 cores
+    let outcome = identical_runs(&mut kernel, "4c4w8t", LwsPolicy::Fixed32);
+    let report = &outcome.reports[0];
+    assert_eq!(report.n_tasks, 2);
+    assert_eq!(report.active_cores, 2);
+    assert_eq!(report.rounds, 1);
+    assert_eq!(report.total_rounds, 2);
+    assert_eq!(report.scenario, MappingScenario::Underfilled);
+    assert_eq!(outcome.cycles, GOLDEN_PARTIAL_TOPOLOGY, "partial-topology golden cycle drift");
+}
+
+/// Plan-cache hits must re-execute bit-identically: the same kernel run
+/// repeatedly on one runtime (the campaign path) reuses cached plans and
+/// reproduces the cold run's reports, cycles and counters exactly.
+#[test]
+fn plan_cache_hits_are_bit_identical_on_a_real_kernel() {
+    let config: DeviceConfig = "2c4w8t".parse().unwrap();
+    let mut kernel = VecAdd::new(512);
+    let program = kernel.build().expect("assembles");
+    let mut rt = Runtime::new(config);
+    rt.load_program(&program);
+    let cold = run_kernel_prepared(&mut kernel, &program, &mut rt, LwsPolicy::Fixed32).unwrap();
+    let (hits_before, misses) = rt.plan_cache_stats();
+    assert_eq!(hits_before, 0);
+    assert!(misses > 0, "cold run must compile plans");
+    let warm = run_kernel_prepared(&mut kernel, &program, &mut rt, LwsPolicy::Fixed32).unwrap();
+    let (hits_after, misses_after) = rt.plan_cache_stats();
+    assert_eq!(misses_after, misses, "warm run must not recompile");
+    assert!(hits_after > 0, "warm run must hit the plan cache");
+    assert_eq!(warm.reports, cold.reports, "cached plan produced a different LaunchReport");
+    assert_eq!(fingerprint(&warm), fingerprint(&cold));
+}
+
+// Golden finish cycles, captured from the engine after it was verified
+// bit-identical to the PR 4 binary over the extended 240-run cycle_dump
+// grid (same convention as `cycle_golden`).
+const GOLDEN_MULTI_ROUND: u64 = 8458;
+const GOLDEN_SINGLE_ROUND: u64 = 903;
+const GOLDEN_PARTIAL_TOPOLOGY: u64 = 1307;
