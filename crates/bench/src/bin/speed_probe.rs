@@ -19,7 +19,10 @@
 //! counters (`launches`, `dispatch_rounds`, `round_tasks` — raw sums, so
 //! shard merges stay exact); the stdout table prints them as rounds per
 //! launch and mean busy lanes per round, the occupancy profile of the
-//! launch pipeline.
+//! launch pipeline. Since PR 6 each row also records the block-fusion
+//! counters (`instructions`, `fused_instructions`, `fused_blocks` — raw
+//! sums again), so the fused share of the instruction stream is
+//! attributable per kernel.
 //!
 //! ## Sharding
 //!
@@ -113,7 +116,8 @@ fn main() {
         let dispatch = result.total_dispatch();
         println!(
             "{:<13} {:>4} configs x3 policies: {:>8.2?}  (dram util {:.2}, L1 {:>5.1}%, \
-             L2 {:>5.1}%, {} DRAM reqs, {:.1} rnds/launch, {:.1} lanes/rnd)",
+             L2 {:>5.1}%, {} DRAM reqs, {:.1} rnds/launch, {:.1} lanes/rnd, \
+             fused {:>4.1}%, {:.1} instr/blk)",
             factory.name,
             result.rows.len(),
             dt,
@@ -123,6 +127,8 @@ fn main() {
             mem.dram_requests,
             dispatch.rounds_per_launch(),
             dispatch.mean_lanes_per_round(),
+            dispatch.fused_share() * 100.0,
+            dispatch.mean_fused_block_len(),
         );
         rows.push(KernelRow {
             name: factory.name.to_owned(),
@@ -185,7 +191,8 @@ fn render_json(
             "    {{\"name\": \"{}\", \"configs\": {}, \"seconds\": {:.3}, \
              \"mean_dram_utilization\": {:.4}, \"l1_hits\": {}, \"l1_misses\": {}, \
              \"l2_hits\": {}, \"l2_misses\": {}, \"dram_requests\": {}, \
-             \"launches\": {}, \"dispatch_rounds\": {}, \"round_tasks\": {}}}{comma}\n",
+             \"launches\": {}, \"dispatch_rounds\": {}, \"round_tasks\": {}, \
+             \"instructions\": {}, \"fused_instructions\": {}, \"fused_blocks\": {}}}{comma}\n",
             row.name,
             row.configs,
             row.seconds,
@@ -198,6 +205,9 @@ fn render_json(
             d.launches,
             d.rounds,
             d.round_tasks,
+            d.instructions,
+            d.fused_instructions,
+            d.fused_blocks,
         ));
     }
     out.push_str("  ]\n}\n");
@@ -257,6 +267,9 @@ fn parse_probe_json(text: &str) -> Result<(usize, f64, Vec<KernelRow>), String> 
             launches: counter(obj, "launches"),
             rounds: counter(obj, "dispatch_rounds"),
             round_tasks: counter(obj, "round_tasks"),
+            instructions: counter(obj, "instructions"),
+            fused_instructions: counter(obj, "fused_instructions"),
+            fused_blocks: counter(obj, "fused_blocks"),
         };
         rows.push(KernelRow {
             name: field(obj, "name")?,
@@ -287,6 +300,7 @@ fn merge_probe_files(paths: &[String]) -> Result<String, String> {
         for (marker, what) in [
             ("\"l1_hits\"", "memory counters (pre-PR4 format); merged hit/miss/DRAM"),
             ("\"dispatch_rounds\"", "dispatch counters (pre-PR5 format); merged launch/round/task"),
+            ("\"fused_instructions\"", "fusion counters (pre-PR6 format); merged instr/fused"),
         ] {
             if !text.contains(marker) {
                 eprintln!("note: {path} has no {what} counters cover only the newer shards");
@@ -324,8 +338,14 @@ mod tests {
         mem.l2.hits = 8 * scale;
         mem.l2.misses = 2 * scale;
         mem.dram_requests = 3 * scale;
-        let dispatch =
-            DispatchStats { launches: 5 * scale, rounds: 20 * scale, round_tasks: 160 * scale };
+        let dispatch = DispatchStats {
+            launches: 5 * scale,
+            rounds: 20 * scale,
+            round_tasks: 160 * scale,
+            instructions: 1000 * scale,
+            fused_instructions: 400 * scale,
+            fused_blocks: 80 * scale,
+        };
         KernelRow { name: name.to_owned(), configs, seconds, util, mem, dispatch }
     }
 
@@ -354,6 +374,9 @@ mod tests {
         assert_eq!(parsed[0].dispatch.launches, 5);
         assert_eq!(parsed[1].dispatch.rounds, 40);
         assert_eq!(parsed[1].dispatch.round_tasks, 320);
+        assert_eq!(parsed[0].dispatch.instructions, 1000);
+        assert_eq!(parsed[1].dispatch.fused_instructions, 800);
+        assert_eq!(parsed[1].dispatch.fused_blocks, 160);
     }
 
     #[test]
@@ -399,5 +422,9 @@ mod tests {
         assert_eq!(rows[0].dispatch.launches, 20);
         assert_eq!(rows[0].dispatch.rounds, 80);
         assert_eq!(rows[0].dispatch.round_tasks, 640);
+        // And the fusion counters: scales 1 + 3 = 4.
+        assert_eq!(rows[0].dispatch.instructions, 4000);
+        assert_eq!(rows[0].dispatch.fused_instructions, 1600);
+        assert_eq!(rows[0].dispatch.fused_blocks, 320);
     }
 }

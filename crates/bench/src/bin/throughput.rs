@@ -15,6 +15,10 @@
 //! columns (rounds per launch, mean busy lanes per round, from
 //! `DispatchStats`) attribute launch-pipeline cost the same way: many
 //! rounds at few busy lanes marks the low-occupancy dispatch regime.
+//! Block-fusion columns (fused share of the instruction stream and mean
+//! fused-block length) show how much of a kernel's issue traffic the
+//! basic-block engine absorbs — a kernel stuck near 0% fused spends its
+//! cycles in the per-instruction fallback path.
 //!
 //! ```text
 //! cargo run --release -p vortex-bench --bin throughput -- --topo 8c8w8t
@@ -38,7 +42,8 @@ fn main() {
     let scale = if flags.has("paper-scale") { Scale::Paper } else { Scale::Sweep };
 
     println!(
-        "{:<13} {:>7} {:>12} {:>14} {:>10} {:>9} {:>9} {:>6} {:>6} {:>10} {:>8} {:>8}",
+        "{:<13} {:>7} {:>12} {:>14} {:>10} {:>9} {:>9} {:>6} {:>6} {:>10} {:>8} {:>8} {:>7} \
+         {:>8}",
         "kernel",
         "policy",
         "instructions",
@@ -50,7 +55,9 @@ fn main() {
         "L2%",
         "DRAM reqs",
         "rnds/ln",
-        "lane/rnd"
+        "lane/rnd",
+        "fused%",
+        "instr/bk"
     );
     for factory in kernel_factories(scale) {
         if let Some(ws) = &wanted {
@@ -91,7 +98,7 @@ fn main() {
             let dt = start.elapsed().as_secs_f64();
             println!(
                 "{:<13} {:>7} {:>12} {:>14} {:>10.1} {:>9.2} {:>9.2} {:>6.1} {:>6.1} {:>10} \
-                 {:>8.1} {:>8.1}",
+                 {:>8.1} {:>8.1} {:>7.1} {:>8.1}",
                 factory.name,
                 policy.label(),
                 instructions / reps as u64,
@@ -104,6 +111,8 @@ fn main() {
                 mem.dram_requests / reps as u64,
                 dispatch.rounds_per_launch(),
                 dispatch.mean_lanes_per_round(),
+                dispatch.fused_share() * 100.0,
+                dispatch.mean_fused_block_len(),
             );
             kernel_instr += instructions;
             kernel_lanes += lanes;
@@ -113,7 +122,7 @@ fn main() {
         }
         println!(
             "{:<13} {:>7} {:>12} {:>14} {:>10.1} {:>9.2} {:>9.2} {:>6.1} {:>6.1} {:>10} \
-             {:>8.1} {:>8.1}",
+             {:>8.1} {:>8.1} {:>7.1} {:>8.1}",
             factory.name,
             "total",
             kernel_instr / reps as u64,
@@ -126,6 +135,8 @@ fn main() {
             kernel_mem.dram_requests / reps as u64,
             kernel_dispatch.rounds_per_launch(),
             kernel_dispatch.mean_lanes_per_round(),
+            kernel_dispatch.fused_share() * 100.0,
+            kernel_dispatch.mean_fused_block_len(),
         );
     }
 }

@@ -89,6 +89,11 @@ pub struct LaunchReport {
     pub cycles: Cycle,
     /// Instructions issued during the launch.
     pub instructions: u64,
+    /// Instructions issued through the fused basic-block path (subset of
+    /// [`instructions`](LaunchReport::instructions)).
+    pub fused_instructions: u64,
+    /// Fused block dispatches during the launch.
+    pub fused_blocks: u64,
 }
 
 /// An error raised by [`Runtime::launch`].
@@ -359,7 +364,7 @@ impl Runtime {
         let device = &mut self.device;
 
         let start_cycle = device.now();
-        let start_instr = device.counters().instructions;
+        let start = *device.counters();
 
         // Host writes the pre-rendered dispatch blocks word by word
         // (`write_u32_slice` would heap-allocate a staging buffer per
@@ -379,7 +384,13 @@ impl Runtime {
         let limit = start_cycle + params.max_cycles;
         device.run_with(limit, trace)?;
 
-        Ok(plan.report(device.now() - start_cycle, device.counters().instructions - start_instr))
+        let end = device.counters();
+        Ok(plan.report(
+            device.now() - start_cycle,
+            end.instructions - start.instructions,
+            end.fused_instructions - start.fused_instructions,
+            end.fused_blocks - start.fused_blocks,
+        ))
     }
 }
 

@@ -301,8 +301,15 @@ impl Cache {
         self.ways[set * ways..(set + 1) * ways].iter().any(|w| w.valid && w.tag == tag)
     }
 
-    /// Invalidates all lines and clears statistics.
-    pub fn reset(&mut self) {
+    /// Invalidates all lines and clears statistics. Every access bumps
+    /// the internal `tick` before touching anything else, so a cache
+    /// still at tick 0 holds only construction state and the O(ways)
+    /// sweep is skipped; the return value reports whether any work was
+    /// done (the O(touched-state) reset contract).
+    pub fn reset(&mut self) -> bool {
+        if self.tick == 0 {
+            return false;
+        }
         for w in &mut self.ways {
             w.valid = false;
             w.dirty = false;
@@ -311,6 +318,7 @@ impl Cache {
         self.stats = CacheStats::default();
         self.mru_line = u64::MAX;
         self.mru_way = 0;
+        true
     }
 }
 

@@ -505,9 +505,16 @@ impl MemSystem {
     }
 
     /// Invalidates caches and clears all timing state and statistics.
-    pub fn reset(&mut self) {
+    /// L1 banks that served no access since the previous reset are
+    /// skipped (see [`Cache::reset`]); returns how many were actually
+    /// swept, so a low-occupancy launch's reset stays proportional to
+    /// the cores it touched rather than the topology.
+    pub fn reset(&mut self) -> usize {
+        let mut swept = 0;
         for c in &mut self.l1s {
-            c.reset();
+            if c.reset() {
+                swept += 1;
+            }
         }
         self.l2.reset();
         self.l2_next_slot.fill(0);
@@ -515,6 +522,7 @@ impl MemSystem {
         self.loads = 0;
         self.stores = 0;
         self.memo.fill(MEMO_EMPTY);
+        swept
     }
 }
 

@@ -21,8 +21,10 @@ use crate::config::TimingConfig;
 use crate::counters::DeviceCounters;
 use crate::decoded::{DecodedInstr, InstrMeta};
 use crate::error::SimError;
+use crate::exec::block::{BlockPlan, Step, StepOp};
 use crate::exec::span::{self, Span};
 use crate::exec::tables;
+use crate::exec::{BinKernel, FmaKernel, ImmKernel, UnKernel};
 use crate::ipdom::IpdomEntry;
 use crate::regfile::{RegFile, FP_BASE};
 use crate::trace_api::{IssueEvent, TraceSink};
@@ -48,6 +50,12 @@ pub(crate) struct CoreCtx<'a, S: TraceSink + ?Sized> {
     pub horizon: &'a mut Cycle,
     /// Cache-line size (hoisted from the memory system once per run).
     pub line_bytes: u32,
+    /// The program's fused basic-block plan (see
+    /// [`BlockPlan`](crate::exec::block::BlockPlan)).
+    pub blocks: &'a BlockPlan,
+    /// Whether the fused block dispatch path is enabled (A/B switch for
+    /// the bit-identity gate; cycle results are identical either way).
+    pub fuse: bool,
 }
 
 #[derive(Debug, Default)]
@@ -119,6 +127,11 @@ pub(crate) struct Core {
     warp_next: Vec<Cycle>,
     /// Per-warp pre-fetched next instruction and its hazard time.
     next_issue: Vec<NextIssue>,
+    /// Whether any warp was ever started since the last reset. An
+    /// untouched core holds only default state, so [`Core::reset`] can
+    /// skip it entirely — device resets stay O(touched cores), not
+    /// O(topology).
+    touched: bool,
 }
 
 impl Core {
@@ -132,11 +145,13 @@ impl Core {
             mem_port_free: 0,
             warp_next: vec![NEVER; warps],
             next_issue: vec![NextIssue::INVALID; warps],
+            touched: false,
         }
     }
 
     /// Activates warp `w` at `pc` with a full thread mask.
     pub fn start_warp(&mut self, w: usize, pc: u32, ready_at: Cycle) {
+        self.touched = true;
         let full = self.warps[w].full_mask();
         self.warps[w].start(pc, full, ready_at);
         self.rf.clear_warp(w);
@@ -165,7 +180,14 @@ impl Core {
         m
     }
 
-    pub fn reset(&mut self) {
+    /// Returns a core to its post-construction state. A core no warp was
+    /// ever started on still *is* in that state, so the sweep is skipped
+    /// wholesale; the return value reports whether any work was done
+    /// (the device aggregates it into [`ResetWork`](crate::ResetWork)).
+    pub fn reset(&mut self) -> bool {
+        if !self.touched {
+            return false;
+        }
         for w in &mut self.warps {
             w.deactivate();
         }
@@ -178,6 +200,8 @@ impl Core {
         self.mem_port_free = 0;
         self.warp_next.fill(NEVER);
         self.next_issue.fill(NextIssue::INVALID);
+        self.touched = false;
+        true
     }
 
     fn fetch<S: TraceSink + ?Sized>(
@@ -318,6 +342,24 @@ impl Core {
                 }
                 let (instr, meta, t) = self.next_for(w, ctx)?;
                 if t <= now {
+                    // Fused block dispatch: when the warp sits at the
+                    // start of a precompiled basic block whose schedule
+                    // fits strictly inside this core's uncontested window,
+                    // the whole run executes here in one walk — same issue
+                    // cycles, write-backs, counters and trace events as
+                    // the per-instruction loop below, minus its per-cycle
+                    // scheduler rounds (see [`Core::fuse_block`]).
+                    if ctx.fuse {
+                        if let Some(end) = self.fuse_block(w, now, horizon, ctx) {
+                            self.last_issued = w;
+                            self.refresh_after_issue(w, ctx);
+                            now = end;
+                            *clock = now;
+                            issued = true;
+                            issued_next = self.warp_next[w];
+                            break;
+                        }
+                    }
                     self.issue(w, instr, &meta, now, ctx)?;
                     self.last_issued = w;
                     self.refresh_after_issue(w, ctx);
@@ -417,137 +459,10 @@ impl Core {
                 }
             }};
         }
-        // Broadcasts one value to every active lane of the destination row.
-        macro_rules! broadcast_row {
-            ($dense:expr, $v:expr) => {{
-                let v = $v;
-                let dst = self.rf.row_mut(w, $dense);
-                if full {
-                    dst.fill(v);
-                } else {
-                    for_lanes!(|l| dst[l] = v);
-                }
-            }};
-        }
-        // Snapshots a source row into a stack buffer: whole-row move when
-        // every lane is live, active-lane gather otherwise (divergent wide
-        // warps would pay more for the 128-byte copy than for the compute).
-        macro_rules! read_src {
-            ($dense:expr, $buf:ident) => {
-                if full {
-                    let _ = self.rf.copy_row(w, $dense, &mut $buf);
-                } else {
-                    self.rf.gather_row(w, $dense, tmask, &mut $buf);
-                }
-            };
-        }
-        // Applies a two-source row kernel: copy-free when no source row
-        // aliases the destination ([`RegFile::dst_src2`]), snapshot
-        // buffers otherwise. Identical values either way — the copy path
-        // exists only to resolve `dst == src` aliasing.
-        macro_rules! run_bin {
-            ($k:expr, $d:expr, $s1:expr, $s2:expr) => {{
-                let k = $k;
-                match self.rf.dst_src2(w, $d, $s1, $s2) {
-                    Some((dst, a, b)) => {
-                        if full {
-                            (k.full)(dst, a, b)
-                        } else {
-                            (k.masked)(dst, a, b, tmask)
-                        }
-                    }
-                    None => {
-                        let mut a = [0u32; 32];
-                        let mut b = [0u32; 32];
-                        read_src!($s1, a);
-                        read_src!($s2, b);
-                        let dst = self.rf.row_mut(w, $d);
-                        if full {
-                            (k.full)(dst, &a, &b)
-                        } else {
-                            (k.masked)(dst, &a, &b, tmask)
-                        }
-                    }
-                }
-            }};
-        }
-        macro_rules! run_imm {
-            ($k:expr, $d:expr, $s:expr, $imm:expr) => {{
-                let k = $k;
-                let imm = $imm;
-                match self.rf.dst_src1(w, $d, $s) {
-                    Some((dst, a)) => {
-                        if full {
-                            (k.full)(dst, a, imm)
-                        } else {
-                            (k.masked)(dst, a, imm, tmask)
-                        }
-                    }
-                    None => {
-                        let mut a = [0u32; 32];
-                        read_src!($s, a);
-                        let dst = self.rf.row_mut(w, $d);
-                        if full {
-                            (k.full)(dst, &a, imm)
-                        } else {
-                            (k.masked)(dst, &a, imm, tmask)
-                        }
-                    }
-                }
-            }};
-        }
-        macro_rules! run_un {
-            ($k:expr, $d:expr, $s:expr) => {{
-                let k = $k;
-                match self.rf.dst_src1(w, $d, $s) {
-                    Some((dst, a)) => {
-                        if full {
-                            (k.full)(dst, a)
-                        } else {
-                            (k.masked)(dst, a, tmask)
-                        }
-                    }
-                    None => {
-                        let mut a = [0u32; 32];
-                        read_src!($s, a);
-                        let dst = self.rf.row_mut(w, $d);
-                        if full {
-                            (k.full)(dst, &a)
-                        } else {
-                            (k.masked)(dst, &a, tmask)
-                        }
-                    }
-                }
-            }};
-        }
-        macro_rules! run_fma {
-            ($k:expr, $d:expr, $s1:expr, $s2:expr, $s3:expr) => {{
-                let k = $k;
-                match self.rf.dst_src3(w, $d, $s1, $s2, $s3) {
-                    Some((dst, a, b, c)) => {
-                        if full {
-                            (k.full)(dst, a, b, c)
-                        } else {
-                            (k.masked)(dst, a, b, c, tmask)
-                        }
-                    }
-                    None => {
-                        let mut a = [0u32; 32];
-                        let mut b = [0u32; 32];
-                        let mut c = [0u32; 32];
-                        read_src!($s1, a);
-                        read_src!($s2, b);
-                        read_src!($s3, c);
-                        let dst = self.rf.row_mut(w, $d);
-                        if full {
-                            (k.full)(dst, &a, &b, &c)
-                        } else {
-                            (k.masked)(dst, &a, &b, &c, tmask)
-                        }
-                    }
-                }
-            }};
-        }
+        // The row-kernel application paths (broadcast, binary, immediate,
+        // unary, FMA, div/rem strength reduction) are shared methods —
+        // `broadcast_k`, `run_bin_k`, … — because the fused block walk
+        // ([`Core::exec_step`]) dispatches to exactly the same code.
         macro_rules! wb_int {
             ($rd:expr, $lat:expr) => {
                 if !$rd.is_zero() {
@@ -564,19 +479,25 @@ impl Core {
         match instr {
             Instr::Lui { rd, imm } => {
                 if !rd.is_zero() {
-                    broadcast_row!(rd.num() as usize, imm as u32);
+                    self.broadcast_k(w, full, tmask, rd.num() as usize, imm as u32);
                 }
                 wb_int!(rd, timing.alu);
             }
             Instr::Auipc { rd, imm } => {
                 if !rd.is_zero() {
-                    broadcast_row!(rd.num() as usize, pc.wrapping_add(imm as u32));
+                    self.broadcast_k(
+                        w,
+                        full,
+                        tmask,
+                        rd.num() as usize,
+                        pc.wrapping_add(imm as u32),
+                    );
                 }
                 wb_int!(rd, timing.alu);
             }
             Instr::Jal { rd, offset } => {
                 if !rd.is_zero() {
-                    broadcast_row!(rd.num() as usize, pc.wrapping_add(4));
+                    self.broadcast_k(w, full, tmask, rd.num() as usize, pc.wrapping_add(4));
                 }
                 wb_int!(rd, timing.alu);
                 next_pc = pc.wrapping_add(offset as u32);
@@ -584,7 +505,7 @@ impl Core {
             Instr::Jalr { rd, rs1, offset } => {
                 let base = self.uniform(w, rs1, pc)?;
                 if !rd.is_zero() {
-                    broadcast_row!(rd.num() as usize, pc.wrapping_add(4));
+                    self.broadcast_k(w, full, tmask, rd.num() as usize, pc.wrapping_add(4));
                 }
                 wb_int!(rd, timing.alu);
                 next_pc = base.wrapping_add(offset as u32) & !1;
@@ -696,68 +617,44 @@ impl Core {
             }
             Instr::OpImm { op, rd, rs1, imm } => {
                 if !rd.is_zero() {
-                    run_imm!(
+                    self.run_imm_k(
+                        w,
+                        full,
+                        tmask,
                         tables::alu_imm_kernel(op),
                         rd.num() as usize,
                         rs1.num() as usize,
-                        imm
+                        imm,
                     );
                 }
                 wb_int!(rd, timing.alu);
             }
-            Instr::Op { op, rd, rs1, rs2 } => 'op: {
+            Instr::Op { op, rd, rs1, rs2 } => {
                 if !rd.is_zero() {
-                    // Unsigned divide/remainder by a uniform power-of-two
-                    // divisor (the `item / hs`, `item % hs` indexing idiom)
-                    // becomes a shift/mask — a host hardware division per
-                    // lane is the single most expensive ALU op and cannot
-                    // be vectorised. The uniformity check reads the
-                    // divisor row in place; the rewrite then reuses the
-                    // `srli`/`andi` kernels, whose scalar semantics are
-                    // exactly `a >> sh` and `a & mask`.
                     if matches!(op, AluOp::Divu | AluOp::Remu) {
-                        let b = self.rf.row(w, rs2.num() as usize);
-                        let d = if full {
-                            if b[1..].iter().all(|&x| x == b[0]) {
-                                Some(b[0])
-                            } else {
-                                None
-                            }
-                        } else {
-                            let first = tmask.trailing_zeros() as usize;
-                            let mut m = tmask;
-                            let mut uni = Some(b[first]);
-                            while m != 0 {
-                                let l = m.trailing_zeros() as usize;
-                                m &= m - 1;
-                                if b[l] != b[first] {
-                                    uni = None;
-                                    break;
-                                }
-                            }
-                            uni
-                        };
-                        if let Some(d) = d {
-                            if d != 0 && d.is_power_of_two() {
-                                let (k, imm) = match op {
-                                    AluOp::Divu => (
-                                        tables::alu_imm_kernel(AluImmOp::Srl),
-                                        d.trailing_zeros() as i32,
-                                    ),
-                                    _ => (tables::alu_imm_kernel(AluImmOp::And), (d - 1) as i32),
-                                };
-                                run_imm!(k, rd.num() as usize, rs1.num() as usize, imm);
-                                wb_int!(rd, timing.div);
-                                break 'op;
-                            }
-                        }
+                        // Uniform power-of-two strength reduction (see
+                        // [`Core::run_divrem_k`]).
+                        self.run_divrem_k(
+                            w,
+                            full,
+                            tmask,
+                            matches!(op, AluOp::Remu),
+                            tables::alu_kernel(op),
+                            rd.num() as usize,
+                            rs1.num() as usize,
+                            rs2.num() as usize,
+                        );
+                    } else {
+                        self.run_bin_k(
+                            w,
+                            full,
+                            tmask,
+                            tables::alu_kernel(op),
+                            rd.num() as usize,
+                            rs1.num() as usize,
+                            rs2.num() as usize,
+                        );
                     }
-                    run_bin!(
-                        tables::alu_kernel(op),
-                        rd.num() as usize,
-                        rs1.num() as usize,
-                        rs2.num() as usize
-                    );
                 }
                 let lat = match meta.class {
                     ExecClass::Mul => timing.mul,
@@ -781,7 +678,7 @@ impl Core {
                     // and broadcast instead of re-matching per lane.
                     let v = self.read_csr(csr, w, 0, now, ctx);
                     if !rd.is_zero() {
-                        broadcast_row!(rd.num() as usize, v);
+                        self.broadcast_k(w, full, tmask, rd.num() as usize, v);
                     }
                 }
                 wb_int!(rd, timing.alu);
@@ -851,82 +748,113 @@ impl Core {
                 self.memory_access(w, &addrs, tmask, true, now, ctx);
             }
             Instr::FpOp { op, rd, rs1, rs2 } => {
-                run_bin!(
+                self.run_bin_k(
+                    w,
+                    full,
+                    tmask,
                     tables::fp_bin_kernel(op),
                     FP_BASE + rd.num() as usize,
                     FP_BASE + rs1.num() as usize,
-                    FP_BASE + rs2.num() as usize
+                    FP_BASE + rs2.num() as usize,
                 );
                 let lat = if matches!(op, FpBinOp::Div) { timing.fdiv } else { timing.fpu };
                 wb_fp!(rd, lat);
             }
             Instr::FpFma { op, rd, rs1, rs2, rs3 } => {
-                run_fma!(
+                self.run_fma_k(
+                    w,
+                    full,
+                    tmask,
                     tables::fma_kernel(op),
                     FP_BASE + rd.num() as usize,
                     FP_BASE + rs1.num() as usize,
                     FP_BASE + rs2.num() as usize,
-                    FP_BASE + rs3.num() as usize
+                    FP_BASE + rs3.num() as usize,
                 );
                 wb_fp!(rd, timing.fpu);
             }
             Instr::FpSqrt { rd, rs1 } => {
-                run_un!(
+                self.run_un_k(
+                    w,
+                    full,
+                    tmask,
                     tables::fsqrt_kernel(),
                     FP_BASE + rd.num() as usize,
-                    FP_BASE + rs1.num() as usize
+                    FP_BASE + rs1.num() as usize,
                 );
                 wb_fp!(rd, timing.fsqrt);
             }
             Instr::FpCmp { op, rd, rs1, rs2 } => {
                 if !rd.is_zero() {
-                    run_bin!(
+                    self.run_bin_k(
+                        w,
+                        full,
+                        tmask,
                         tables::fp_cmp_kernel(op),
                         rd.num() as usize,
                         FP_BASE + rs1.num() as usize,
-                        FP_BASE + rs2.num() as usize
+                        FP_BASE + rs2.num() as usize,
                     );
                 }
                 wb_int!(rd, timing.fpu);
             }
             Instr::FpCvtToInt { signed, rd, rs1 } => {
                 if !rd.is_zero() {
-                    run_un!(
+                    self.run_un_k(
+                        w,
+                        full,
+                        tmask,
                         tables::fcvt_to_int_kernel(signed),
                         rd.num() as usize,
-                        FP_BASE + rs1.num() as usize
+                        FP_BASE + rs1.num() as usize,
                     );
                 }
                 wb_int!(rd, timing.fpu);
             }
             Instr::FpCvtFromInt { signed, rd, rs1 } => {
-                run_un!(
+                self.run_un_k(
+                    w,
+                    full,
+                    tmask,
                     tables::fcvt_from_int_kernel(signed),
                     FP_BASE + rd.num() as usize,
-                    rs1.num() as usize
+                    rs1.num() as usize,
                 );
                 wb_fp!(rd, timing.fpu);
             }
             Instr::FpMvToInt { rd, rs1 } => {
                 if !rd.is_zero() {
-                    run_un!(
+                    self.run_un_k(
+                        w,
+                        full,
+                        tmask,
                         tables::fmv_bits_kernel(),
                         rd.num() as usize,
-                        FP_BASE + rs1.num() as usize
+                        FP_BASE + rs1.num() as usize,
                     );
                 }
                 wb_int!(rd, timing.fpu);
             }
             Instr::FpMvFromInt { rd, rs1 } => {
-                run_un!(tables::fmv_bits_kernel(), FP_BASE + rd.num() as usize, rs1.num() as usize);
+                self.run_un_k(
+                    w,
+                    full,
+                    tmask,
+                    tables::fmv_bits_kernel(),
+                    FP_BASE + rd.num() as usize,
+                    rs1.num() as usize,
+                );
                 wb_fp!(rd, timing.fpu);
             }
             Instr::FpClass { rd, rs1 } => {
                 if !rd.is_zero() {
-                    run_un!(
+                    self.run_un_k(
+                        w,
+                        full,
+                        tmask,
                         tables::fclass_kernel(),
                         rd.num() as usize,
-                        FP_BASE + rs1.num() as usize
+                        FP_BASE + rs1.num() as usize,
                     );
                 }
                 wb_int!(rd, timing.fpu);
@@ -1021,7 +949,7 @@ impl Core {
                     VoteOp::Ballot => ballot,
                 };
                 if !rd.is_zero() {
-                    broadcast_row!(rd.num() as usize, result);
+                    self.broadcast_k(w, full, tmask, rd.num() as usize, result);
                 }
                 wb_int!(rd, timing.alu);
             }
@@ -1037,6 +965,365 @@ impl Core {
             self.warp_next[w] = now + gap;
         }
         Ok(())
+    }
+
+    /// Attempts to dispatch warp `w`'s next instructions as one fused
+    /// basic-block walk. Returns `Some(end)` — the issue cycle of the
+    /// last fused instruction, i.e. the new "now" — when at least two
+    /// steps executed, `None` to fall back to the per-instruction path.
+    ///
+    /// Exactness argument. Fusion requires (a) the warp to sit at the
+    /// first slot of a precompiled block, (b) every block-touched
+    /// register to be idle at `now`, so the block's static schedule
+    /// (computed for an all-idle entry) gives each step's true issue
+    /// cycle, and (c) each fused step's issue cycle `now + dt` to lie
+    /// **strictly** below `lim`, the minimum of this core's event horizon
+    /// and every *other* warp's next-issue lower bound. Under (c) no
+    /// other warp (or core) can become due at or before any fused issue
+    /// cycle, so the per-instruction scheduler would have picked warp `w`
+    /// at exactly those cycles anyway — the walk replays the identical
+    /// issue sequence, write-back times, counter increments and trace
+    /// events, and merely skips the scheduler rounds in between. A block
+    /// whose tail crosses `lim` is cut: the prefix executes fused (with
+    /// per-step scoreboard updates, leaving exactly the mid-block state
+    /// the per-instruction path would hold) and the rest re-arbitrates.
+    fn fuse_block<S: TraceSink + ?Sized>(
+        &mut self,
+        w: usize,
+        now: Cycle,
+        horizon: Cycle,
+        ctx: &mut CoreCtx<'_, S>,
+    ) -> Option<Cycle> {
+        let pc = self.warps[w].pc;
+        // `next_for` just fetched successfully, so `pc` is in range.
+        let idx = ((pc - ctx.code_base) / 4) as usize;
+        let b = ctx.blocks.fused_at(idx)?;
+        let blk = ctx.blocks.block(b);
+        let steps = ctx.blocks.steps(blk);
+        // The uncontested window: no other warp's bound, and nothing on
+        // any other core, may precede a fused issue cycle. Fusing fewer
+        // than two steps is pure overhead, so the scan folds that bound
+        // in and bails at the first contender — with ready warps resident
+        // (the common contested case) this exits on the first probe.
+        let bound = now + steps[1].dt;
+        if bound >= horizon {
+            return None;
+        }
+        let mut lim = horizon;
+        for (v, &at) in self.warp_next.iter().enumerate() {
+            if v != w && at < lim {
+                if at <= bound {
+                    return None;
+                }
+                lim = at;
+            }
+        }
+        // Hazard entry: the static schedule is exact only if every row
+        // the block touches is idle. The warp watermark usually answers
+        // in one compare; otherwise check the block's touched-row set.
+        if self.rf.busy_watermark(w) > now {
+            for &r in ctx.blocks.regs(blk) {
+                if self.rf.busy_until(w, r as usize) > now {
+                    return None;
+                }
+            }
+        }
+        let tmask = self.warps[w].tmask;
+        let full = tmask == self.warps[w].full_mask();
+        // How many steps fit: the whole block in the common case, else
+        // the longest prefix whose issue cycles stay inside the window.
+        let whole = now + blk.dt_last < lim;
+        let count = if whole {
+            steps.len()
+        } else {
+            let mut c = 2;
+            while c < steps.len() && now + steps[c].dt < lim {
+                c += 1;
+            }
+            c
+        };
+        for (i, step) in steps[..count].iter().enumerate() {
+            if let Some(sink) = ctx.trace.as_mut() {
+                sink.on_issue(&IssueEvent {
+                    cycle: now + step.dt,
+                    core: self.id,
+                    warp: w,
+                    pc: pc.wrapping_add(4 * i as u32),
+                    tmask,
+                    instr: ctx.code[idx + i].instr,
+                });
+            }
+            self.exec_step(w, full, tmask, step);
+            if !whole && step.wb != 0 {
+                // Prefix path: per-step releases, so the continuation
+                // sees the exact mid-block scoreboard.
+                self.rf.set_busy(w, step.wb as usize, now + step.wb_at);
+            }
+        }
+        if whole {
+            for &(r, at) in ctx.blocks.writes(blk) {
+                self.rf.set_busy(w, r as usize, now + at);
+            }
+            ctx.counters.classes.merge(&blk.classes);
+        } else {
+            for step in &steps[..count] {
+                ctx.counters.classes.record(step.class);
+            }
+        }
+        ctx.counters.instructions += count as u64;
+        ctx.counters.lane_instructions += (count as u64) * u64::from(tmask.count_ones());
+        ctx.counters.fused_instructions += count as u64;
+        ctx.counters.fused_blocks += 1;
+        let end = now + steps[count - 1].dt;
+        self.warps[w].pc = pc.wrapping_add(4 * count as u32);
+        self.warps[w].ready_at = end + 1;
+        self.warp_next[w] = end + 1;
+        Some(end)
+    }
+
+    /// Executes the architectural effect of one fused step (the same row
+    /// kernels the per-instruction arms dispatch to).
+    #[inline]
+    fn exec_step(&mut self, w: usize, full: bool, tmask: u32, step: &Step) {
+        let d = step.wb as usize;
+        match step.op {
+            StepOp::Nop => {}
+            StepOp::Broadcast { v } => self.broadcast_k(w, full, tmask, d, v),
+            StepOp::Imm { k, s, imm } => self.run_imm_k(w, full, tmask, k, d, s as usize, imm),
+            StepOp::Bin { k, s1, s2 } => {
+                self.run_bin_k(w, full, tmask, k, d, s1 as usize, s2 as usize);
+            }
+            StepOp::DivRem { rem, k, s1, s2 } => {
+                self.run_divrem_k(w, full, tmask, rem, k, d, s1 as usize, s2 as usize);
+            }
+            StepOp::Un { k, s } => self.run_un_k(w, full, tmask, k, d, s as usize),
+            StepOp::Fma { k, s1, s2, s3 } => {
+                self.run_fma_k(w, full, tmask, k, d, s1 as usize, s2 as usize, s3 as usize);
+            }
+        }
+    }
+
+    /// Snapshots source row `dense` into `buf`: whole-row move under a
+    /// full mask, active-lane gather otherwise (divergent wide warps
+    /// would pay more for the 128-byte copy than for the compute).
+    #[inline]
+    fn read_src(&self, w: usize, full: bool, tmask: u32, dense: usize, buf: &mut [u32; 32]) {
+        if full {
+            let _ = self.rf.copy_row(w, dense, buf);
+        } else {
+            self.rf.gather_row(w, dense, tmask, buf);
+        }
+    }
+
+    /// Broadcasts one value to every active lane of destination row `d`.
+    #[inline]
+    fn broadcast_k(&mut self, w: usize, full: bool, tmask: u32, d: usize, v: u32) {
+        let dst = self.rf.row_mut(w, d);
+        if full {
+            dst.fill(v);
+        } else {
+            let mut m = tmask;
+            while m != 0 {
+                let l = m.trailing_zeros() as usize;
+                m &= m - 1;
+                dst[l] = v;
+            }
+        }
+    }
+
+    /// Applies a two-source row kernel: copy-free when no source row
+    /// aliases the destination ([`RegFile::dst_src2`]), snapshot buffers
+    /// otherwise. Identical values either way — the copy path exists only
+    /// to resolve `dst == src` aliasing.
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // hot-path kernel call: flat scalar args keep it register-passed
+    fn run_bin_k(
+        &mut self,
+        w: usize,
+        full: bool,
+        tmask: u32,
+        k: &'static BinKernel,
+        d: usize,
+        s1: usize,
+        s2: usize,
+    ) {
+        match self.rf.dst_src2(w, d, s1, s2) {
+            Some((dst, a, b)) => {
+                if full {
+                    (k.full)(dst, a, b)
+                } else {
+                    (k.masked)(dst, a, b, tmask)
+                }
+            }
+            None => {
+                let mut a = [0u32; 32];
+                let mut b = [0u32; 32];
+                self.read_src(w, full, tmask, s1, &mut a);
+                self.read_src(w, full, tmask, s2, &mut b);
+                let dst = self.rf.row_mut(w, d);
+                if full {
+                    (k.full)(dst, &a, &b)
+                } else {
+                    (k.masked)(dst, &a, &b, tmask)
+                }
+            }
+        }
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // hot-path kernel call: flat scalar args keep it register-passed
+    fn run_imm_k(
+        &mut self,
+        w: usize,
+        full: bool,
+        tmask: u32,
+        k: &'static ImmKernel,
+        d: usize,
+        s: usize,
+        imm: i32,
+    ) {
+        match self.rf.dst_src1(w, d, s) {
+            Some((dst, a)) => {
+                if full {
+                    (k.full)(dst, a, imm)
+                } else {
+                    (k.masked)(dst, a, imm, tmask)
+                }
+            }
+            None => {
+                let mut a = [0u32; 32];
+                self.read_src(w, full, tmask, s, &mut a);
+                let dst = self.rf.row_mut(w, d);
+                if full {
+                    (k.full)(dst, &a, imm)
+                } else {
+                    (k.masked)(dst, &a, imm, tmask)
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn run_un_k(
+        &mut self,
+        w: usize,
+        full: bool,
+        tmask: u32,
+        k: &'static UnKernel,
+        d: usize,
+        s: usize,
+    ) {
+        match self.rf.dst_src1(w, d, s) {
+            Some((dst, a)) => {
+                if full {
+                    (k.full)(dst, a)
+                } else {
+                    (k.masked)(dst, a, tmask)
+                }
+            }
+            None => {
+                let mut a = [0u32; 32];
+                self.read_src(w, full, tmask, s, &mut a);
+                let dst = self.rf.row_mut(w, d);
+                if full {
+                    (k.full)(dst, &a)
+                } else {
+                    (k.masked)(dst, &a, tmask)
+                }
+            }
+        }
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // the operand shape of an FMA
+    fn run_fma_k(
+        &mut self,
+        w: usize,
+        full: bool,
+        tmask: u32,
+        k: &'static FmaKernel,
+        d: usize,
+        s1: usize,
+        s2: usize,
+        s3: usize,
+    ) {
+        match self.rf.dst_src3(w, d, s1, s2, s3) {
+            Some((dst, a, b, c)) => {
+                if full {
+                    (k.full)(dst, a, b, c)
+                } else {
+                    (k.masked)(dst, a, b, c, tmask)
+                }
+            }
+            None => {
+                let mut a = [0u32; 32];
+                let mut b = [0u32; 32];
+                let mut c = [0u32; 32];
+                self.read_src(w, full, tmask, s1, &mut a);
+                self.read_src(w, full, tmask, s2, &mut b);
+                self.read_src(w, full, tmask, s3, &mut c);
+                let dst = self.rf.row_mut(w, d);
+                if full {
+                    (k.full)(dst, &a, &b, &c)
+                } else {
+                    (k.masked)(dst, &a, &b, &c, tmask)
+                }
+            }
+        }
+    }
+
+    /// `divu`/`remu` by a uniform power-of-two divisor (the `item / hs`,
+    /// `item % hs` indexing idiom) becomes a shift/mask — a host hardware
+    /// division per lane is the single most expensive ALU op and cannot
+    /// be vectorised. The uniformity check reads the divisor row in
+    /// place; the rewrite reuses the `srli`/`andi` kernels, whose scalar
+    /// semantics are exactly `a >> sh` and `a & mask`.
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // mirrors the binary-op shape plus the op flag
+    fn run_divrem_k(
+        &mut self,
+        w: usize,
+        full: bool,
+        tmask: u32,
+        rem: bool,
+        k: &'static BinKernel,
+        d: usize,
+        s1: usize,
+        s2: usize,
+    ) {
+        let b = self.rf.row(w, s2);
+        let uni = if full {
+            if b[1..].iter().all(|&x| x == b[0]) {
+                Some(b[0])
+            } else {
+                None
+            }
+        } else {
+            let first = tmask.trailing_zeros() as usize;
+            let mut m = tmask;
+            let mut uni = Some(b[first]);
+            while m != 0 {
+                let l = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if b[l] != b[first] {
+                    uni = None;
+                    break;
+                }
+            }
+            uni
+        };
+        if let Some(dv) = uni {
+            if dv != 0 && dv.is_power_of_two() {
+                let (ik, imm) = if rem {
+                    (tables::alu_imm_kernel(AluImmOp::And), (dv - 1) as i32)
+                } else {
+                    (tables::alu_imm_kernel(AluImmOp::Srl), dv.trailing_zeros() as i32)
+                };
+                self.run_imm_k(w, full, tmask, ik, d, s1, imm);
+                return;
+            }
+        }
+        self.run_bin_k(w, full, tmask, k, d, s1, s2);
     }
 
     /// First-class dispatch-round activation — the `vx_wspawn` half of

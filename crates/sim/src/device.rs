@@ -8,7 +8,22 @@ use crate::core::{Core, CoreCtx, CoreOutcome};
 use crate::counters::DeviceCounters;
 use crate::decoded::DecodedInstr;
 use crate::error::SimError;
+use crate::exec::block::BlockPlan;
 use crate::trace_api::{NullSink, TraceSink};
+
+/// How much state the last [`Device::reset`] actually swept — the
+/// observable half of the O(touched-state) reset contract: a reset after
+/// a 1-core launch on a 16-core device must report one core and one L1,
+/// not the full topology.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResetWork {
+    /// Cores whose scheduling state was actually cleared (cores never
+    /// started since the previous reset are skipped).
+    pub cores: usize,
+    /// L1 caches whose ways were actually swept (caches that served no
+    /// access since the previous reset are skipped).
+    pub l1_caches: usize,
+}
 
 /// A complete Vortex-like GPGPU device.
 ///
@@ -38,6 +53,18 @@ pub struct Device {
     /// instruction.
     code_words: Vec<u32>,
     code_base: u32,
+    /// The program's fused basic-block plan, compiled next to the decode
+    /// cache at [`load_program`](Device::load_program) time (see
+    /// [`BlockPlan`]).
+    blocks: BlockPlan,
+    /// Whether the fused block dispatch path is used. On by default;
+    /// `VORTEX_BLOCK_FUSION=0` (or `off`) disables it at construction,
+    /// and [`set_block_fusion`](Device::set_block_fusion) flips it per
+    /// device — cycle results are bit-identical either way (the A/B
+    /// switch exists for the determinism gate and perf probes).
+    block_fusion: bool,
+    /// Work done by the most recent [`reset`](Device::reset).
+    last_reset_work: ResetWork,
     cycle: Cycle,
     horizon: Cycle,
     counters: DeviceCounters,
@@ -72,6 +99,12 @@ impl Device {
             code: Vec::new(),
             code_words: Vec::new(),
             code_base: 0,
+            blocks: BlockPlan::default(),
+            block_fusion: !matches!(
+                std::env::var("VORTEX_BLOCK_FUSION").as_deref(),
+                Ok("0") | Ok("off")
+            ),
+            last_reset_work: ResetWork::default(),
             cycle: 0,
             horizon: 0,
             counters: DeviceCounters::default(),
@@ -92,7 +125,25 @@ impl Device {
         self.code = program.instrs().iter().copied().map(DecodedInstr::of).collect();
         self.code_words = program.words().to_vec();
         self.code_base = program.entry();
+        self.blocks = BlockPlan::build(&self.code, self.code_base, &self.config.timing);
         self.mem.write_u32_slice(program.entry(), program.words());
+    }
+
+    /// Enables or disables the fused block dispatch path (the in-process
+    /// A/B switch; cycle results are bit-identical either way).
+    pub fn set_block_fusion(&mut self, on: bool) {
+        self.block_fusion = on;
+    }
+
+    /// Whether the fused block dispatch path is enabled.
+    pub fn block_fusion(&self) -> bool {
+        self.block_fusion
+    }
+
+    /// How much state the most recent [`reset`](Device::reset) actually
+    /// swept (the O(touched-state) reset contract, white-box testable).
+    pub fn last_reset_work(&self) -> ResetWork {
+        self.last_reset_work
     }
 
     /// Read access to architectural memory (host side).
@@ -210,6 +261,9 @@ impl Device {
             code,
             code_words: _,
             code_base,
+            blocks,
+            block_fusion,
+            last_reset_work: _,
             cycle,
             horizon,
             counters,
@@ -261,6 +315,8 @@ impl Device {
             trace,
             horizon: &mut *horizon,
             line_bytes,
+            blocks,
+            fuse: *block_fusion,
         };
 
         // Conservative-lookahead event loop: find the earliest-due cores
@@ -363,11 +419,15 @@ impl Device {
     /// re-encoding, no reallocation of the memory spine — which makes a
     /// reused device as cheap as the run it hosts.
     pub fn reset(&mut self) {
+        let mut work = ResetWork::default();
         for core in &mut self.cores {
-            core.reset();
+            if core.reset() {
+                work.cores += 1;
+            }
         }
         self.mem.clear();
-        self.memsys.reset();
+        work.l1_caches = self.memsys.reset();
+        self.last_reset_work = work;
         self.cycle = 0;
         self.horizon = 0;
         self.counters = DeviceCounters::default();

@@ -1,0 +1,663 @@
+//! Basic-block superinstruction plans: decode-once block traces for the
+//! fused row-kernel execute path.
+//!
+//! At program load the instruction stream is cut into straight-line
+//! **basic blocks** at every instruction that can redirect control flow,
+//! touch memory, synchronise warps or observe global state (branches,
+//! jumps, loads/stores, CSR reads, votes, SIMT mask ops, barriers,
+//! traps), and additionally at every *static* branch target, so a fused
+//! block is entered only at its first slot. Each block of two or more
+//! fusable instructions is pre-resolved once into a [`Block`]: per
+//! instruction the `&'static` row kernel, operand row indices and
+//! write-back row ([`Step`]), plus the block's **static issue schedule**
+//! — for each step the issue offset `dt` and scoreboard release offset
+//! `wb_at` relative to block entry, computed by replaying the in-order
+//! scoreboard over the block (sources/destination busy times plus the
+//! one-issue-per-cycle advance). The schedule is exact whenever the warp
+//! enters the block with every block-touched register idle, which is
+//! precisely the entry condition [`Core`](crate::core::Core) checks: all
+//! external busy times then contribute ≤ 0 relative to entry, so the
+//! intra-block hazard recurrence has no free inputs left.
+//!
+//! Execution stays cycle-exact by construction: fusion changes *host*
+//! dispatch (one block walk instead of N scheduler rounds), never the
+//! simulated issue cycles, write-back times, counter increments or trace
+//! events, all of which are replayed per instruction from the schedule.
+
+use vortex_isa::{AluOp, ExecClass, FpBinOp, Instr};
+
+use crate::config::TimingConfig;
+use crate::counters::ClassCounts;
+use crate::decoded::DecodedInstr;
+use crate::exec::tables;
+use crate::exec::{BinKernel, FmaKernel, ImmKernel, UnKernel};
+use crate::regfile::REGS_PER_WARP;
+
+/// Sentinel in [`BlockPlan::start_of`]: this slot does not start a fused
+/// block.
+const NO_BLOCK: u32 = u32::MAX;
+
+/// The pre-resolved execute action of one fused step. Operand fields are
+/// dense register-file row indices (integer file at `0..32`, FP file at
+/// `32..64`); row 0 is `x0`, permanently zero, so an `x0` source needs no
+/// special case.
+#[derive(Copy, Clone, Debug)]
+pub(crate) enum StepOp {
+    /// No architectural write (integer destination `x0`, `fence`). The
+    /// step still occupies its issue cycle.
+    Nop,
+    /// Broadcasts a load-time constant (`lui`, and `auipc` with the
+    /// target PC folded in at plan-build time).
+    Broadcast {
+        v: u32,
+    },
+    Imm {
+        k: &'static ImmKernel,
+        s: u16,
+        imm: i32,
+    },
+    Bin {
+        k: &'static BinKernel,
+        s1: u16,
+        s2: u16,
+    },
+    /// `divu`/`remu`, keeping the per-instruction path's uniform
+    /// power-of-two strength reduction (value- and timing-identical to
+    /// the general kernel either way).
+    DivRem {
+        rem: bool,
+        k: &'static BinKernel,
+        s1: u16,
+        s2: u16,
+    },
+    Un {
+        k: &'static UnKernel,
+        s: u16,
+    },
+    Fma {
+        k: &'static FmaKernel,
+        s1: u16,
+        s2: u16,
+        s3: u16,
+    },
+}
+
+/// One instruction of a fused block: its execute action plus its slot in
+/// the block's static issue schedule.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct Step {
+    /// Issue cycle relative to block entry (step 0 issues at 0).
+    pub dt: u64,
+    /// Scoreboard release of the write-back, relative to block entry
+    /// (`dt + latency`; meaningless when `wb == 0`).
+    pub wb_at: u64,
+    /// Dense destination row (0 = no write-back).
+    pub wb: u16,
+    /// Functional-unit class (per-step counter record on the partial
+    /// path).
+    pub class: ExecClass,
+    pub op: StepOp,
+}
+
+/// One fused basic block: a slice of [`Step`]s plus the pre-merged
+/// epilogue data (final scoreboard releases, touched-row set, class
+/// counts) the whole-block fast path applies in one pass.
+#[derive(Clone, Debug)]
+pub(crate) struct Block {
+    pub len: u32,
+    /// Issue offset of the last step — the block spans issue cycles
+    /// `entry ..= entry + dt_last`.
+    pub dt_last: u64,
+    step_base: u32,
+    write_base: u32,
+    write_len: u32,
+    reg_base: u32,
+    reg_len: u32,
+    /// Per-class issue counts of the whole block, merged once in the
+    /// whole-block epilogue instead of recorded per step.
+    pub classes: ClassCounts,
+}
+
+/// The per-program table of fused basic blocks, built once at load time
+/// next to the decode cache. Arena-backed: all steps, final write-backs
+/// and touched-row sets live in three shared vectors indexed by range,
+/// so a plan is two pointer-sized loads away from any block's data.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BlockPlan {
+    /// `start_of[idx]` = fused block id starting at slot `idx`, or
+    /// [`NO_BLOCK`].
+    start_of: Vec<u32>,
+    blocks: Vec<Block>,
+    steps: Vec<Step>,
+    /// Deduplicated final scoreboard releases `(row, wb_at)` per block.
+    writes: Vec<(u16, u64)>,
+    /// Deduplicated rows read or written anywhere in the block, for the
+    /// hazard entry check when the warp watermark is still busy.
+    regs: Vec<u16>,
+    /// The complete partition of the instruction stream into cells
+    /// `(first_idx, len)`, fused or not — every slot belongs to exactly
+    /// one cell (white-box invariant; see the partition property test).
+    cells: Vec<(u32, u32)>,
+}
+
+impl BlockPlan {
+    /// Cuts `code` into basic blocks and compiles every fusable block of
+    /// length ≥ 2. `code_base` is the address of slot 0 (needed to fold
+    /// `auipc` targets into broadcast constants).
+    pub fn build(code: &[DecodedInstr], code_base: u32, timing: &TimingConfig) -> Self {
+        let n = code.len();
+        let mut plan = BlockPlan { start_of: vec![NO_BLOCK; n], ..Default::default() };
+        if n == 0 {
+            return plan;
+        }
+
+        // Pass 1: cut points. `cut[i]` opens a cell at slot i; a
+        // non-fusable instruction is a singleton cell (cut on both
+        // sides), and every *static* control-flow target opens a cell so
+        // fused blocks are only ever entered at their first slot.
+        // (Dynamic targets — `jalr`, `wspawn` — can still land mid-cell;
+        // such an entry simply finds no block start and runs per
+        // instruction. Correctness never depends on a cut.)
+        let mut cut = vec![false; n + 1];
+        cut[0] = true;
+        cut[n] = true;
+        for (idx, di) in code.iter().enumerate() {
+            if step_of(di, 0, timing).is_none() {
+                cut[idx] = true;
+                cut[idx + 1] = true;
+            }
+            let target = match di.instr {
+                Instr::Branch { offset, .. } | Instr::Jal { offset, .. } => Some(offset),
+                Instr::Split { offset, .. } => Some(offset),
+                _ => None,
+            };
+            if let Some(offset) = target {
+                let t = idx as i64 + i64::from(offset) / 4;
+                if i64::from(offset) % 4 == 0 && (0..=n as i64).contains(&t) {
+                    cut[t as usize] = true;
+                }
+            }
+        }
+
+        // Pass 2: walk the cells; compile each fusable run of ≥ 2.
+        let mut a = 0usize;
+        for (b, &is_cut) in cut.iter().enumerate().take(n + 1).skip(1) {
+            if !is_cut {
+                continue;
+            }
+            plan.cells.push((a as u32, (b - a) as u32));
+            if b - a >= 2 {
+                plan.compile_block(code, code_base, timing, a, b);
+            }
+            a = b;
+        }
+        plan
+    }
+
+    /// Compiles slots `a..b` (all fusable, by construction of the cuts)
+    /// into a [`Block`], replaying the in-order scoreboard to fix the
+    /// static issue schedule.
+    fn compile_block(
+        &mut self,
+        code: &[DecodedInstr],
+        code_base: u32,
+        timing: &TimingConfig,
+        a: usize,
+        b: usize,
+    ) {
+        let step_base = self.steps.len() as u32;
+        let write_base = self.writes.len() as u32;
+        let reg_base = self.regs.len() as u32;
+        // Relative busy times of every row, as the scoreboard would hold
+        // them if the block were entered with all rows idle.
+        let mut busy = [0u64; REGS_PER_WARP];
+        let mut written: Vec<u16> = Vec::new();
+        let mut classes = ClassCounts::default();
+        let mut ready = 0u64;
+        let mut dt_last = 0u64;
+        for (idx, di) in code.iter().enumerate().take(b).skip(a) {
+            let pc = code_base.wrapping_add((idx as u32) * 4);
+            let (op, lat) = step_of(di, pc, timing).expect("cell contains only fusable steps");
+            let m = &di.meta;
+            // Issue when the control gap and every operand (sources and
+            // the destination, exactly as `earliest_issue_local`) clear.
+            let mut t = ready;
+            for &s in &m.src {
+                t = t.max(busy[s as usize]);
+                self.touch(reg_base, s);
+            }
+            t = t.max(busy[m.dst as usize]);
+            self.touch(reg_base, m.dst);
+            let wb = if matches!(op, StepOp::Nop) { 0 } else { u16::from(m.dst) };
+            let wb_at = t + lat;
+            if wb != 0 {
+                busy[wb as usize] = wb_at;
+                if !written.contains(&wb) {
+                    written.push(wb);
+                }
+            }
+            classes.record(m.class);
+            dt_last = t;
+            ready = t + 1;
+            self.steps.push(Step { dt: t, wb_at, wb, class: m.class, op });
+        }
+        for &r in &written {
+            self.writes.push((r, busy[r as usize]));
+        }
+        self.start_of[a] = self.blocks.len() as u32;
+        self.blocks.push(Block {
+            len: (b - a) as u32,
+            dt_last,
+            step_base,
+            write_base,
+            write_len: self.writes.len() as u32 - write_base,
+            reg_base,
+            reg_len: self.regs.len() as u32 - reg_base,
+            classes,
+        });
+    }
+
+    /// Adds row `r` to the current block's touched set (row 0 = `x0` has
+    /// a permanently-zero scoreboard entry and is skipped).
+    fn touch(&mut self, reg_base: u32, r: u8) {
+        if r != 0 && !self.regs[reg_base as usize..].contains(&u16::from(r)) {
+            self.regs.push(u16::from(r));
+        }
+    }
+
+    /// The fused block starting exactly at slot `idx`, if any.
+    #[inline]
+    pub fn fused_at(&self, idx: usize) -> Option<u32> {
+        match self.start_of.get(idx) {
+            Some(&b) if b != NO_BLOCK => Some(b),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    pub fn block(&self, b: u32) -> &Block {
+        &self.blocks[b as usize]
+    }
+
+    #[inline]
+    pub fn steps(&self, blk: &Block) -> &[Step] {
+        &self.steps[blk.step_base as usize..(blk.step_base + blk.len) as usize]
+    }
+
+    #[inline]
+    pub fn writes(&self, blk: &Block) -> &[(u16, u64)] {
+        &self.writes[blk.write_base as usize..(blk.write_base + blk.write_len) as usize]
+    }
+
+    #[inline]
+    pub fn regs(&self, blk: &Block) -> &[u16] {
+        &self.regs[blk.reg_base as usize..(blk.reg_base + blk.reg_len) as usize]
+    }
+
+    /// The complete cell partition (white-box tests).
+    #[cfg(test)]
+    pub fn cells(&self) -> &[(u32, u32)] {
+        &self.cells
+    }
+
+    /// Number of fused blocks (white-box tests).
+    #[cfg(test)]
+    pub fn fused_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// Classifies one instruction: `Some((action, write-back latency))` when
+/// it can be a fused step, `None` when it must stay a block boundary.
+/// Boundaries are everything that redirects control flow (`branch`,
+/// `jal`, `jalr`, `split`/`join`, `tmc`, `wspawn`, `bar`, traps), touches
+/// memory (loads/stores contend for the memory port, whose release time
+/// moves with *other* warps' issues), or observes global state (`csr`
+/// reads `mcycle`/`minstret`, `vote` reads the live ballot).
+fn step_of(di: &DecodedInstr, pc: u32, timing: &TimingConfig) -> Option<(StepOp, u64)> {
+    let m = &di.meta;
+    let int_dst = m.dst != 0;
+    let step = match di.instr {
+        Instr::Lui { imm, .. } => {
+            (if int_dst { StepOp::Broadcast { v: imm as u32 } } else { StepOp::Nop }, timing.alu)
+        }
+        Instr::Auipc { imm, .. } => (
+            if int_dst {
+                StepOp::Broadcast { v: pc.wrapping_add(imm as u32) }
+            } else {
+                StepOp::Nop
+            },
+            timing.alu,
+        ),
+        Instr::OpImm { op, imm, .. } => (
+            if int_dst {
+                StepOp::Imm { k: tables::alu_imm_kernel(op), s: u16::from(m.src[0]), imm }
+            } else {
+                StepOp::Nop
+            },
+            timing.alu,
+        ),
+        Instr::Op { op, .. } => {
+            let lat = match m.class {
+                ExecClass::Mul => timing.mul,
+                ExecClass::Div => timing.div,
+                _ => timing.alu,
+            };
+            let action = if !int_dst {
+                StepOp::Nop
+            } else if matches!(op, AluOp::Divu | AluOp::Remu) {
+                StepOp::DivRem {
+                    rem: matches!(op, AluOp::Remu),
+                    k: tables::alu_kernel(op),
+                    s1: u16::from(m.src[0]),
+                    s2: u16::from(m.src[1]),
+                }
+            } else {
+                StepOp::Bin {
+                    k: tables::alu_kernel(op),
+                    s1: u16::from(m.src[0]),
+                    s2: u16::from(m.src[1]),
+                }
+            };
+            (action, lat)
+        }
+        Instr::Fence => (StepOp::Nop, timing.alu),
+        Instr::FpOp { op, .. } => (
+            StepOp::Bin {
+                k: tables::fp_bin_kernel(op),
+                s1: u16::from(m.src[0]),
+                s2: u16::from(m.src[1]),
+            },
+            if matches!(op, FpBinOp::Div) { timing.fdiv } else { timing.fpu },
+        ),
+        Instr::FpFma { op, .. } => (
+            StepOp::Fma {
+                k: tables::fma_kernel(op),
+                s1: u16::from(m.src[0]),
+                s2: u16::from(m.src[1]),
+                s3: u16::from(m.src[2]),
+            },
+            timing.fpu,
+        ),
+        Instr::FpSqrt { .. } => {
+            (StepOp::Un { k: tables::fsqrt_kernel(), s: u16::from(m.src[0]) }, timing.fsqrt)
+        }
+        Instr::FpCmp { op, .. } => (
+            if int_dst {
+                StepOp::Bin {
+                    k: tables::fp_cmp_kernel(op),
+                    s1: u16::from(m.src[0]),
+                    s2: u16::from(m.src[1]),
+                }
+            } else {
+                StepOp::Nop
+            },
+            timing.fpu,
+        ),
+        Instr::FpCvtToInt { signed, .. } => (
+            if int_dst {
+                StepOp::Un { k: tables::fcvt_to_int_kernel(signed), s: u16::from(m.src[0]) }
+            } else {
+                StepOp::Nop
+            },
+            timing.fpu,
+        ),
+        Instr::FpCvtFromInt { signed, .. } => (
+            StepOp::Un { k: tables::fcvt_from_int_kernel(signed), s: u16::from(m.src[0]) },
+            timing.fpu,
+        ),
+        Instr::FpMvToInt { .. } => (
+            if int_dst {
+                StepOp::Un { k: tables::fmv_bits_kernel(), s: u16::from(m.src[0]) }
+            } else {
+                StepOp::Nop
+            },
+            timing.fpu,
+        ),
+        Instr::FpMvFromInt { .. } => {
+            (StepOp::Un { k: tables::fmv_bits_kernel(), s: u16::from(m.src[0]) }, timing.fpu)
+        }
+        Instr::FpClass { .. } => (
+            if int_dst {
+                StepOp::Un { k: tables::fclass_kernel(), s: u16::from(m.src[0]) }
+            } else {
+                StepOp::Nop
+            },
+            timing.fpu,
+        ),
+        // Boundaries: control flow, memory, CSR/vote observation, SIMT
+        // mask ops, barriers, traps.
+        Instr::Jal { .. }
+        | Instr::Jalr { .. }
+        | Instr::Branch { .. }
+        | Instr::Load { .. }
+        | Instr::Store { .. }
+        | Instr::Flw { .. }
+        | Instr::Fsw { .. }
+        | Instr::Csr { .. }
+        | Instr::Ecall
+        | Instr::Ebreak
+        | Instr::Tmc { .. }
+        | Instr::Wspawn { .. }
+        | Instr::Split { .. }
+        | Instr::Join
+        | Instr::Bar { .. }
+        | Instr::Vote { .. } => return None,
+    };
+    Some(step)
+}
+
+#[cfg(test)]
+mod tests {
+    use vortex_asm::Assembler;
+    use vortex_isa::{fregs, reg};
+
+    use super::*;
+
+    const BASE: u32 = 0x8000_0000;
+
+    fn plan_of(build: impl FnOnce(&mut Assembler)) -> (BlockPlan, Vec<DecodedInstr>) {
+        let mut asm = Assembler::new(BASE);
+        build(&mut asm);
+        let program = asm.assemble().expect("assembles");
+        let code: Vec<DecodedInstr> =
+            program.instrs().iter().copied().map(DecodedInstr::of).collect();
+        let plan = BlockPlan::build(&code, BASE, &TimingConfig::default());
+        (plan, code)
+    }
+
+    /// Every slot belongs to exactly one cell, in order.
+    fn assert_partition(plan: &BlockPlan, n: usize) {
+        let mut next = 0u32;
+        for &(first, len) in plan.cells() {
+            assert_eq!(first, next, "cells must tile the stream without gaps");
+            assert!(len >= 1);
+            next = first + len;
+        }
+        assert_eq!(next as usize, n, "cells must cover every slot");
+    }
+
+    #[test]
+    fn straight_line_alu_is_one_block() {
+        let (plan, code) = plan_of(|a| {
+            a.li(reg::T0, 5);
+            a.addi(reg::T1, reg::T0, 1);
+            a.mul(reg::T2, reg::T1, reg::T0);
+            a.vx_tmc(reg::ZERO);
+        });
+        assert_partition(&plan, code.len());
+        let b = plan.fused_at(0).expect("block at slot 0");
+        let blk = plan.block(b);
+        assert_eq!(blk.len, 3);
+        assert!(plan.fused_at(1).is_none(), "mid-block slots are not entry points");
+        assert!(plan.fused_at(3).is_none(), "tmc is a boundary");
+        // Schedule: li@0 (alu, wb@1) → addi hazard on t0 ⇒ @1, wb@2 →
+        // mul hazard on t1 ⇒ @2, wb@2+mul.
+        let t = TimingConfig::default();
+        let steps = plan.steps(blk);
+        assert_eq!(steps[0].dt, 0);
+        assert_eq!(steps[1].dt, t.alu);
+        assert_eq!(steps[2].dt, steps[1].dt + t.alu);
+        assert_eq!(steps[2].wb_at, steps[2].dt + t.mul);
+        assert_eq!(blk.dt_last, steps[2].dt);
+        // Final writes are deduplicated per row.
+        let writes = plan.writes(blk);
+        assert_eq!(writes.len(), 3);
+        assert_eq!(blk.classes.total(), 3);
+    }
+
+    #[test]
+    fn branch_targets_cut_blocks() {
+        let (plan, code) = plan_of(|a| {
+            let top = a.label("loop");
+            a.li(reg::T0, 0); // 0
+            a.li(reg::T1, 10); // 1
+            a.bind(top).expect("fresh"); // target → slot 2 must start a cell
+            a.addi(reg::T0, reg::T0, 1); // 2
+            a.addi(reg::T2, reg::T0, 0); // 3
+            a.bne(reg::T0, reg::T1, top); // 4: boundary
+            a.vx_tmc(reg::ZERO); // 5
+        });
+        assert_partition(&plan, code.len());
+        let head = plan.fused_at(0).expect("slots 0..2 fuse");
+        assert_eq!(plan.block(head).len, 2, "the loop target ends the entry block");
+        let body = plan.fused_at(2).expect("loop body fuses");
+        assert_eq!(plan.block(body).len, 2, "branch is a boundary");
+        assert!(plan.fused_at(4).is_none());
+    }
+
+    #[test]
+    fn memory_ops_are_singleton_cells() {
+        let (plan, code) = plan_of(|a| {
+            a.li(reg::S0, 0x1000);
+            a.lw(reg::T0, 0, reg::S0);
+            a.sw(reg::T0, 4, reg::S0);
+            a.vx_tmc(reg::ZERO);
+        });
+        assert_partition(&plan, code.len());
+        // li alone is a 1-cell (no fusion partner), loads/stores/tmc are
+        // boundaries: no fused block anywhere.
+        assert_eq!(plan.fused_blocks(), 0);
+        assert!(code.iter().enumerate().all(|(i, _)| plan.fused_at(i).is_none()));
+    }
+
+    #[test]
+    fn dst_eq_src_hazard_is_serialised_in_the_schedule() {
+        let (plan, _) = plan_of(|a| {
+            a.li(reg::T0, 3);
+            a.mul(reg::T0, reg::T0, reg::T0); // dst == both srcs
+            a.addi(reg::T0, reg::T0, 1); // reads the mul result
+            a.vx_tmc(reg::ZERO);
+        });
+        let t = TimingConfig::default();
+        let blk = plan.block(plan.fused_at(0).unwrap());
+        let steps = plan.steps(blk);
+        assert_eq!(steps[1].dt, t.alu, "mul waits for li's write-back");
+        assert_eq!(steps[2].dt, steps[1].dt + t.mul, "addi waits the full mul latency");
+        // One written row (t0), released at the *last* write.
+        assert_eq!(plan.writes(blk), &[(u16::from(reg::T0.num()), steps[2].wb_at)]);
+        assert_eq!(plan.regs(blk), &[u16::from(reg::T0.num())]);
+    }
+
+    #[test]
+    fn fp_rows_live_in_the_upper_file() {
+        let (plan, _) = plan_of(|a| {
+            a.fmv_w_x(fregs::FT0, reg::T0);
+            a.fadd_s(fregs::FT1, fregs::FT0, fregs::FT0);
+            a.vx_tmc(reg::ZERO);
+        });
+        let blk = plan.block(plan.fused_at(0).unwrap());
+        let steps = plan.steps(blk);
+        assert_eq!(steps[0].wb, 32 + u16::from(fregs::FT0.num()));
+        match steps[1].op {
+            StepOp::Bin { s1, s2, .. } => {
+                assert_eq!(
+                    (s1, s2),
+                    (32 + u16::from(fregs::FT0.num()), 32 + u16::from(fregs::FT0.num()))
+                );
+            }
+            ref other => panic!("expected Bin, got {other:?}"),
+        }
+        let t = TimingConfig::default();
+        assert_eq!(steps[1].dt, t.fpu, "fadd waits for the fmv write-back");
+    }
+
+    #[test]
+    fn x0_destinations_become_nop_steps() {
+        let (plan, _) = plan_of(|a| {
+            a.li(reg::T0, 1);
+            a.add(reg::ZERO, reg::T0, reg::T0); // architectural nop
+            a.addi(reg::T1, reg::T0, 2);
+            a.vx_tmc(reg::ZERO);
+        });
+        let blk = plan.block(plan.fused_at(0).unwrap());
+        let steps = plan.steps(blk);
+        assert!(matches!(steps[1].op, StepOp::Nop));
+        assert_eq!(steps[1].wb, 0, "x0 never enters the scoreboard");
+        // The nop still costs its issue cycle and stalls on its sources.
+        assert_eq!(steps[1].dt, TimingConfig::default().alu);
+    }
+
+    /// Block cutting partitions any instruction stream exactly: cells
+    /// tile `0..n`, every fused block matches a cell, and every fused
+    /// slot is covered by exactly the block that starts its cell.
+    #[test]
+    fn cutting_partitions_arbitrary_streams() {
+        // Deterministic xorshift so failures reproduce.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _case in 0..64 {
+            let len = 1 + (next() % 40) as usize;
+            let mut asm = Assembler::new(BASE);
+            let end = asm.label("end");
+            for _ in 0..len {
+                match next() % 8 {
+                    0 => asm.li(reg::T0, (next() % 1000) as i32),
+                    1 => asm.addi(reg::T1, reg::T0, 7),
+                    2 => asm.mul(reg::T2, reg::T1, reg::T0),
+                    3 => asm.divu(reg::T3, reg::T2, reg::T1),
+                    4 => asm.lw(reg::T4, 0, reg::S0),
+                    5 => asm.sw(reg::T4, 0, reg::S0),
+                    6 => asm.beq(reg::T0, reg::T1, end),
+                    _ => asm.nop(),
+                }
+            }
+            asm.bind(end).expect("fresh");
+            asm.vx_tmc(reg::ZERO);
+            let program = asm.assemble().expect("assembles");
+            let code: Vec<DecodedInstr> =
+                program.instrs().iter().copied().map(DecodedInstr::of).collect();
+            let plan = BlockPlan::build(&code, BASE, &TimingConfig::default());
+            assert_partition(&plan, code.len());
+            // Fused blocks coincide with cells of length ≥ 2 made of
+            // fusable instructions only, and start_of agrees.
+            let mut covered = vec![false; code.len()];
+            for &(first, len) in plan.cells() {
+                let fusable = (first..first + len)
+                    .all(|i| step_of(&code[i as usize], 0, &TimingConfig::default()).is_some());
+                let fused = plan.fused_at(first as usize);
+                assert_eq!(
+                    fused.is_some(),
+                    len >= 2 && fusable,
+                    "cell ({first},{len}) fusability mismatch"
+                );
+                if let Some(b) = fused {
+                    let blk = plan.block(b);
+                    assert_eq!(blk.len, len);
+                    for i in first..first + len {
+                        assert!(!covered[i as usize], "slot {i} covered twice");
+                        covered[i as usize] = true;
+                    }
+                    for i in first + 1..first + len {
+                        assert!(plan.fused_at(i as usize).is_none());
+                    }
+                }
+            }
+        }
+    }
+}

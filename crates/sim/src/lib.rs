@@ -62,7 +62,7 @@ mod warp;
 
 pub use config::{DeviceConfig, TimingConfig};
 pub use counters::{ClassCounts, DeviceCounters};
-pub use device::Device;
+pub use device::{Device, ResetWork};
 pub use error::SimError;
 pub use ipdom::IpdomEntry;
 pub use trace_api::{IssueEvent, NullSink, TraceSink, VecTraceSink};

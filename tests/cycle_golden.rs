@@ -590,6 +590,211 @@ mod batched_mem {
     const GOLDEN_THRASH_STRIDE: u64 = 162;
 }
 
+// ---------------------------------------------------------------------
+// Basic-block superinstruction engine (PR 6).
+//
+// The programs below steer execution at the seams of the block engine:
+// an indirect jump landing in the middle of a fused block (no block
+// starts there, so the per-instruction fallback must take over), a
+// barrier splitting a straight-line run, memory ops isolating singleton
+// cells, and a dst==src dependence chain inside one block (the static
+// schedule must serialise it exactly like the scoreboard). Each program
+// is checked three ways on a raw device — traced vs untraced under
+// fusion, and fusion-on vs fusion-off (`set_block_fusion`) — plus an
+// absolute golden finish cycle.
+// ---------------------------------------------------------------------
+
+mod blocks {
+    use vortex_asm::Assembler;
+    use vortex_gpgpu::prelude::*;
+    use vortex_isa::reg;
+    use vortex_sim::{Device, NullSink, VecTraceSink};
+
+    const BASE: u32 = 0x8000_0000;
+
+    /// Runs `build` on a fresh 1-core device three ways — untraced fused,
+    /// traced fused, untraced with fusion force-disabled — asserts every
+    /// observable fingerprint agrees, and returns the finish cycle, the
+    /// probed memory words, and the fused counters of the fused run.
+    fn identical_runs(
+        threads: usize,
+        build: impl Fn(&mut Assembler),
+        probe: &[u32],
+    ) -> (u64, Vec<u32>, u64, u64) {
+        #[allow(clippy::type_complexity)]
+        let run = |traced: bool, fuse: bool| -> (u64, u64, u64, Vec<u32>, u64, u64) {
+            let mut a = Assembler::new(BASE);
+            build(&mut a);
+            let program = a.assemble().expect("assembles");
+            let mut device = Device::new(DeviceConfig::with_topology(1, 2, threads));
+            device.set_block_fusion(fuse);
+            device.load_program(&program);
+            device.start_warp(0, program.entry());
+            let finish = if traced {
+                let mut sink = VecTraceSink::new();
+                device.run(1_000_000, Some(&mut sink)).expect("runs")
+            } else {
+                device.run_with::<NullSink>(1_000_000, None).expect("runs")
+            };
+            let mem = device.memory();
+            let words = probe.iter().map(|&addr| mem.read_u32(addr)).collect();
+            let c = device.counters();
+            (
+                finish,
+                c.instructions,
+                c.lane_instructions,
+                words,
+                c.fused_instructions,
+                c.fused_blocks,
+            )
+        };
+        let fused = run(false, true);
+        let traced = run(true, true);
+        assert_eq!(fused, traced, "traced vs untraced drift under fusion");
+        let unfused = run(false, false);
+        assert_eq!(
+            (fused.0, fused.1, fused.2, &fused.3),
+            (unfused.0, unfused.1, unfused.2, &unfused.3),
+            "fusion changed an observable outcome"
+        );
+        assert_eq!((unfused.4, unfused.5), (0, 0), "fusion counters moved while disabled");
+        (fused.0, fused.3, fused.4, fused.5)
+    }
+
+    /// An indirect jump (`jalr`) into the middle of a fused block: block
+    /// starts are static, so the landing pc has no block and the
+    /// per-instruction fallback must execute the tail — skipping exactly
+    /// the first two adds of the block after the call site.
+    #[test]
+    fn jalr_into_mid_block_falls_back() {
+        let (finish, words, fused_instr, _) = identical_runs(
+            4,
+            |a| {
+                let f = a.label("f");
+                // Fusable straight-line prologue (entered at its start).
+                a.li(reg::T2, 0);
+                a.addi(reg::T4, reg::ZERO, 21);
+                a.add(reg::T4, reg::T4, reg::T4);
+                a.jal(reg::RA, f);
+                // Return lands here: one straight-line block until the sw.
+                a.addi(reg::T2, reg::T2, 1); // skipped (ra + 0)
+                a.addi(reg::T2, reg::T2, 2); // skipped (ra + 4)
+                a.addi(reg::T2, reg::T2, 4); // jalr lands here (ra + 8)
+                a.addi(reg::T2, reg::T2, 8);
+                a.li_u32(reg::T3, 0x1000);
+                a.sw(reg::T2, 0, reg::T3);
+                a.vx_tmc(reg::ZERO);
+                a.bind(f).expect("fresh");
+                a.jalr(reg::ZERO, reg::RA, 8); // mid-block entry
+            },
+            &[0x1000],
+        );
+        // Only the last two adds ran: 4 + 8.
+        assert_eq!(words, vec![12]);
+        assert!(fused_instr > 0, "straight-line tail should still fuse");
+        assert_eq!(finish, GOLDEN_JALR_MID_BLOCK, "jalr mid-block golden cycle drift");
+    }
+
+    /// A barrier splits a straight-line run into separate blocks: the
+    /// arithmetic on both sides fuses, the barrier itself never does.
+    #[test]
+    fn barrier_splits_blocks() {
+        let (finish, words, fused_instr, fused_blocks) = identical_runs(
+            4,
+            |a| {
+                a.csrr(reg::T0, vortex_isa::csrs::THREAD_ID);
+                a.addi(reg::T1, reg::T0, 3);
+                a.slli(reg::T2, reg::T1, 1);
+                a.add(reg::T2, reg::T2, reg::T0);
+                // One-party barrier: releases immediately, but cuts the
+                // block structure around itself.
+                a.li(reg::T3, 0);
+                a.li(reg::T4, 1);
+                a.vx_bar(reg::T3, reg::T4);
+                a.xori(reg::T5, reg::T2, 5);
+                a.sub(reg::T5, reg::T5, reg::T0);
+                a.add(reg::T5, reg::T5, reg::T2);
+                a.slli(reg::T6, reg::T0, 2);
+                a.li_u32(reg::A0, 0x2000);
+                a.add(reg::T6, reg::T6, reg::A0);
+                a.sw(reg::T5, 0, reg::T6);
+                a.vx_tmc(reg::ZERO);
+            },
+            &[0x2000, 0x2004, 0x2008, 0x200C],
+        );
+        // tid: a = 2*(tid+3)+tid; out = (a^5) - tid + a.
+        let expect: Vec<u32> =
+            (0..4u32).map(|t| ((3 * t + 6) ^ 5).wrapping_sub(t) + (3 * t + 6)).collect();
+        assert_eq!(words, expect);
+        assert!(fused_blocks >= 2, "both sides of the barrier should fuse");
+        assert!(fused_instr >= 6, "arithmetic around the barrier should fuse");
+        assert_eq!(finish, GOLDEN_BARRIER_SPLIT, "barrier-split golden cycle drift");
+    }
+
+    /// Memory ops are singleton cells: an alu/load/alu/store sandwich
+    /// fuses only the arithmetic runs, and the loads/stores go down the
+    /// ordinary memory pipeline unchanged.
+    #[test]
+    fn memory_ops_stay_singleton_blocks() {
+        let (finish, words, fused_instr, _) = identical_runs(
+            8,
+            |a| {
+                a.csrr(reg::T0, vortex_isa::csrs::THREAD_ID);
+                a.slli(reg::T1, reg::T0, 2);
+                a.li_u32(reg::T2, 0x3000);
+                a.add(reg::T1, reg::T1, reg::T2);
+                a.addi(reg::T3, reg::T0, 7);
+                a.sw(reg::T3, 0, reg::T1); // singleton cell
+                a.lw(reg::T4, 0, reg::T1); // singleton cell
+                a.slli(reg::T4, reg::T4, 1);
+                a.addi(reg::T4, reg::T4, 1);
+                a.sw(reg::T4, 0x100, reg::T1); // singleton cell
+                a.vx_tmc(reg::ZERO);
+            },
+            &[0x3100, 0x3104, 0x311C],
+        );
+        // out = 2*(tid+7)+1.
+        assert_eq!(words, vec![15, 17, 29]);
+        assert!(fused_instr > 0, "the arithmetic runs should fuse");
+        assert_eq!(finish, GOLDEN_MEM_SINGLETON, "mem-singleton golden cycle drift");
+    }
+
+    /// A dst==src dependence chain inside one block: the static schedule
+    /// must serialise each step on the previous write-back exactly as the
+    /// scoreboard would, including the multiply latency in the middle.
+    #[test]
+    fn dst_eq_src_chain_schedules_exactly() {
+        let (finish, words, fused_instr, fused_blocks) = identical_runs(
+            4,
+            |a| {
+                a.csrr(reg::T0, vortex_isa::csrs::THREAD_ID);
+                a.addi(reg::T1, reg::T0, 2);
+                a.add(reg::T1, reg::T1, reg::T1); // t1 = 2*(tid+2), dst==src1==src2
+                a.mul(reg::T1, reg::T1, reg::T1); // t1 = t1^2, long latency
+                a.addi(reg::T1, reg::T1, 1); // reads the mul result
+                a.slli(reg::T2, reg::T0, 2);
+                a.li_u32(reg::T3, 0x4000);
+                a.add(reg::T2, reg::T2, reg::T3);
+                a.sw(reg::T1, 0, reg::T2);
+                a.vx_tmc(reg::ZERO);
+            },
+            &[0x4000, 0x4004, 0x4008, 0x400C],
+        );
+        // out = (2*(tid+2))^2 + 1.
+        assert_eq!(words, vec![17, 37, 65, 101]);
+        assert!(fused_blocks >= 1 && fused_instr >= 5, "the chain should fuse as one block");
+        assert_eq!(finish, GOLDEN_DST_SRC_CHAIN, "dst==src chain golden cycle drift");
+    }
+
+    // Captured from the engine after it was verified bit-identical to the
+    // PR 5 binary over the 240-run grid (same convention as the golden
+    // tables above).
+    const GOLDEN_JALR_MID_BLOCK: u64 = 134;
+    const GOLDEN_BARRIER_SPLIT: u64 = 138;
+    const GOLDEN_MEM_SINGLETON: u64 = 132;
+    const GOLDEN_DST_SRC_CHAIN: u64 = 132;
+}
+
 /// Absolute golden finish cycles for representative runs. These values
 /// were captured from the seed simulator (pre-optimisation) and verified
 /// bit-identical against the optimised engine; any future change that

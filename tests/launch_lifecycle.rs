@@ -123,6 +123,30 @@ fn plan_cache_hits_are_bit_identical_on_a_real_kernel() {
     assert_eq!(fingerprint(&warm), fingerprint(&cold));
 }
 
+/// `Runtime::reset` between campaign runs must scale with the state the
+/// last run actually touched, not with the topology: a single-task
+/// launch on a 16-core device sweeps exactly one core and one L1, and a
+/// device that was never (or was just) swept resets nothing at all.
+#[test]
+fn reset_work_scales_with_touched_state_not_topology() {
+    use vortex_sim::ResetWork;
+    let config: DeviceConfig = "16c4w8t".parse().unwrap();
+    let mut kernel = VecAdd::new(8); // 1 task at lws=32: one active core
+    let program = kernel.build().expect("assembles");
+    let mut rt = Runtime::new(config);
+    rt.load_program(&program);
+    // A fresh device has nothing to clear — no full-topology sweep.
+    rt.reset();
+    assert_eq!(rt.device().last_reset_work(), ResetWork::default());
+    let outcome = run_kernel_prepared(&mut kernel, &program, &mut rt, LwsPolicy::Fixed32).unwrap();
+    assert_eq!(outcome.reports[0].active_cores, 1);
+    rt.reset();
+    assert_eq!(rt.device().last_reset_work(), ResetWork { cores: 1, l1_caches: 1 });
+    // The sweep left the device clean: a second reset finds nothing.
+    rt.reset();
+    assert_eq!(rt.device().last_reset_work(), ResetWork::default());
+}
+
 // Golden finish cycles, captured from the engine after it was verified
 // bit-identical to the PR 4 binary over the extended 240-run cycle_dump
 // grid (same convention as `cycle_golden`).
