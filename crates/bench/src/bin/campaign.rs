@@ -1,0 +1,111 @@
+//! Resumable campaign driver CLI: run (or resume) a sweep work queue
+//! backed by the content-addressed result store, simulating only the
+//! configurations whose results are not already on disk.
+//!
+//! ```text
+//! cargo run --release -p vortex-bench --bin campaign -- --dir Q
+//! cargo run --release -p vortex-bench --bin campaign -- --dir Q --budget 50
+//! cargo run --release -p vortex-bench --bin campaign -- --dir Q --resume
+//! cargo run --release -p vortex-bench --bin campaign -- --dir Q --json OUT.json
+//! ```
+//!
+//! The queue directory holds the crash-safe manifest; the store (default
+//! `<dir>/store`, override with `--cache DIR`) holds the finished rows.
+//! `--budget N` stops after simulating `N` configurations — a later
+//! `--resume` invocation simulates exactly the remainder and assembles a
+//! report byte-identical (modulo wall-clock and cache-transport fields)
+//! to an uninterrupted run. `--resume` refuses a queue whose grid,
+//! kernels, scale, shard or engine semantics differ from the manifest's.
+//! See the README's campaign-cache section for the key derivation and
+//! the `VORTEX_CAMPAIGN_CACHE=0` escape hatch.
+
+use std::path::{Path, PathBuf};
+
+use vortex_bench::cli::{default_jobs, Flags};
+use vortex_bench::driver::{run_queue, QueueSpec};
+use vortex_bench::{atomic_write, paper_sweep, parse_shard, subsample, Scale};
+use vortex_sim::DeviceConfig;
+
+fn main() {
+    let flags = Flags::from_env();
+    let Some(dir) = flags.get_str("dir") else {
+        eprintln!(
+            "usage: campaign --dir QUEUE [--cache DIR] [--configs N | --topos 1c2w2t,…] \
+             [--kernels a,b] [--shard K/M] [--jobs N] [--budget N] [--resume] \
+             [--paper-scale] [--json OUT]"
+        );
+        std::process::exit(2);
+    };
+    let dir = PathBuf::from(dir);
+    let cache_dir = flags.get_str("cache").map(PathBuf::from).unwrap_or_else(|| dir.join("store"));
+
+    let configs: Vec<DeviceConfig> = match flags.get_list("topos") {
+        Some(topos) => topos
+            .iter()
+            .map(|t| match t.parse() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("invalid --topos entry `{t}`: {e}");
+                    std::process::exit(2);
+                }
+            })
+            .collect(),
+        None => subsample(&paper_sweep(), flags.get_usize("configs", 450)),
+    };
+    let shard = flags.get_str("shard").map(|s| match parse_shard(s) {
+        Some(km) => km,
+        None => {
+            eprintln!("invalid --shard `{s}` (expected K/M with 1 <= K <= M)");
+            std::process::exit(2);
+        }
+    });
+
+    let spec = QueueSpec {
+        dir,
+        cache_dir,
+        kernels: flags.get_list("kernels"),
+        configs,
+        scale: if flags.has("paper-scale") { Scale::Paper } else { Scale::Sweep },
+        shard,
+        jobs: flags.get_usize("jobs", default_jobs()),
+        budget: flags.get_str("budget").map(|b| match b.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("invalid --budget `{b}` (expected a configuration count)");
+                std::process::exit(2);
+            }
+        }),
+        resume: flags.has("resume"),
+    };
+
+    let outcome = run_queue(&spec).unwrap_or_else(|e| {
+        eprintln!("campaign: {e}");
+        std::process::exit(1);
+    });
+
+    let c = outcome.counters;
+    println!(
+        "simulated {} configs, reused {} from store, {} pending",
+        outcome.simulated, outcome.reused, outcome.remaining
+    );
+    println!(
+        "store {}: {} rows resident, {}B read, {}B written",
+        spec.cache_dir.display(),
+        c.entries,
+        c.bytes_read,
+        c.bytes_written
+    );
+    if outcome.complete {
+        if let Some(json) = &outcome.result_json {
+            if let Some(path) = flags.get_str("json") {
+                if let Err(e) = atomic_write(Path::new(path), json) {
+                    eprintln!("writing {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("wrote {path}");
+            }
+        }
+    } else {
+        println!("queue incomplete — rerun with --resume to finish");
+    }
+}

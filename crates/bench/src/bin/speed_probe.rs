@@ -10,7 +10,8 @@
 //! ```
 //!
 //! With `--json PATH` the per-kernel wall times are also written as a
-//! machine-readable file; the committed `BENCH_*.json` baselines in the
+//! machine-readable file (atomically — a killed probe never leaves a
+//! truncated JSON); the committed `BENCH_*.json` baselines in the
 //! repository root are produced this way (see README). Since PR 4 each
 //! kernel row also records the memory-side counters of its auto runs
 //! (L1/L2 hits and misses, DRAM line requests), so a throughput change is
@@ -23,6 +24,19 @@
 //! counters (`instructions`, `fused_instructions`, `fused_blocks` — raw
 //! sums again), so the fused share of the instruction stream is
 //! attributable per kernel.
+//!
+//! ## Campaign cache
+//!
+//! `--cache DIR` attaches the persistent content-addressed result store
+//! (see the README's campaign-cache section): configurations whose
+//! results are already in the store are answered without simulating, and
+//! freshly simulated ones are persisted for the next run. Since PR 7 each
+//! row records `cache_hits`/`cache_misses` (misses = configurations this
+//! process actually simulated; without `--cache` every configuration is a
+//! miss), and the file header records the store bytes moved. The JSON is
+//! byte-identical between a cold and a warm run apart from wall-clock and
+//! cache-transport fields — the cold→warm CI gate diffs the stripped
+//! forms.
 //!
 //! ## Sharding
 //!
@@ -38,18 +52,21 @@
 //! speed_probe --merge s1.json,s2.json --json BENCH.json
 //! ```
 //!
-//! A merged file sums per-kernel configuration counts, seconds and memory
-//! counters (shards partition the grid, so sums reconstruct the full-grid
-//! values — raw hit/miss counters are stored precisely so merged hit
-//! rates stay exact), weights mean DRAM utilisation by configuration
-//! count, and sums the shard totals into `total_seconds`.
+//! A merged file sums per-kernel configuration counts, seconds and every
+//! raw counter — memory, dispatch, fusion, cache (shards partition the
+//! grid, so sums reconstruct the full-grid values), weights mean DRAM
+//! utilisation by configuration count, and sums the shard totals into
+//! `total_seconds`.
 
+use std::path::Path;
 use std::time::Instant;
 
 use vortex_bench::cli::{default_jobs, Flags};
-use vortex_bench::{kernel_factories, paper_sweep, run_campaign, Scale};
-use vortex_core::DispatchStats;
-use vortex_sim::MemStats;
+use vortex_bench::probe::{merge_probe_files, render_json, KernelRow, ProbeFile};
+use vortex_bench::{
+    atomic_write, kernel_factories, paper_sweep, parse_shard, run_campaign_cached, CampaignCache,
+    Scale,
+};
 
 fn main() {
     let flags = Flags::from_env();
@@ -61,7 +78,7 @@ fn main() {
         };
         match merge_probe_files(&inputs) {
             Ok(json) => {
-                if let Err(e) = std::fs::write(out, &json) {
+                if let Err(e) = atomic_write(Path::new(out), &json) {
                     eprintln!("writing {out}: {e}");
                     std::process::exit(1);
                 }
@@ -97,6 +114,13 @@ fn main() {
             .collect();
     }
     let scale = if flags.has("paper-scale") { Scale::Paper } else { Scale::Sweep };
+    let cache = flags.get_str("cache").map(|dir| match CampaignCache::open(dir) {
+        Ok(cache) => cache,
+        Err(e) => {
+            eprintln!("opening campaign cache {dir}: {e}");
+            std::process::exit(1);
+        }
+    });
     let wanted = flags.get_list("kernels");
     let mut rows: Vec<KernelRow> = Vec::new();
     let wall = Instant::now();
@@ -106,18 +130,26 @@ fn main() {
                 continue;
             }
         }
+        let before = cache.as_ref().map(|c| c.counters()).unwrap_or_default();
         let start = Instant::now();
-        let result = run_campaign(&factory, &configs, jobs).unwrap_or_else(|e| {
-            eprintln!("{}: {e}", factory.name);
-            std::process::exit(1);
-        });
+        let result =
+            run_campaign_cached(&factory, &configs, jobs, cache.as_ref()).unwrap_or_else(|e| {
+                eprintln!("{}: {e}", factory.name);
+                std::process::exit(1);
+            });
         let dt = start.elapsed();
+        let after = cache.as_ref().map(|c| c.counters()).unwrap_or_default();
+        let (hits, misses) = match cache {
+            Some(_) => (after.hits - before.hits, after.misses - before.misses),
+            // No store attached: every configuration was simulated.
+            None => (0, result.rows.len() as u64),
+        };
         let mem = result.total_mem();
         let dispatch = result.total_dispatch();
         println!(
             "{:<13} {:>4} configs x3 policies: {:>8.2?}  (dram util {:.2}, L1 {:>5.1}%, \
              L2 {:>5.1}%, {} DRAM reqs, {:.1} rnds/launch, {:.1} lanes/rnd, \
-             fused {:>4.1}%, {:.1} instr/blk)",
+             fused {:>4.1}%, {:.1} instr/blk, cache {hits}h/{misses}m)",
             factory.name,
             result.rows.len(),
             dt,
@@ -137,294 +169,41 @@ fn main() {
             util: result.mean_dram_utilization(),
             mem,
             dispatch,
+            cache_hits: hits,
+            cache_misses: misses,
         });
     }
     let total = wall.elapsed().as_secs_f64();
     println!("{:<13} total: {total:.2}s", "");
 
+    let mut file = ProbeFile {
+        configs: configs.len(),
+        jobs,
+        total_seconds: total,
+        shard,
+        cache_bytes_read: 0,
+        cache_bytes_written: 0,
+        rows,
+    };
+    if let Some(cache) = &cache {
+        if let Err(e) = cache.flush() {
+            eprintln!("flushing campaign cache: {e}");
+            std::process::exit(1);
+        }
+        let c = cache.counters();
+        file = file.with_cache_totals(&c);
+        let state = if cache.is_enabled() { "" } else { " (disabled by VORTEX_CAMPAIGN_CACHE=0)" };
+        println!(
+            "campaign cache{state}: {} hits, {} misses, {} rows resident, {}B read, {}B written",
+            c.hits, c.misses, c.entries, c.bytes_read, c.bytes_written
+        );
+    }
+
     if let Some(path) = flags.get_str("json") {
-        let json = render_json(&rows, configs.len(), jobs, total, shard);
-        if let Err(e) = std::fs::write(path, json) {
+        if let Err(e) = atomic_write(Path::new(path), &render_json(&file)) {
             eprintln!("writing {path}: {e}");
             std::process::exit(1);
         }
         println!("wrote {path}");
-    }
-}
-
-/// Parses `"K/M"` (1-based `K`).
-fn parse_shard(s: &str) -> Option<(usize, usize)> {
-    let (k, m) = s.split_once('/')?;
-    let (k, m) = (k.trim().parse().ok()?, m.trim().parse().ok()?);
-    if k >= 1 && k <= m {
-        Some((k, m))
-    } else {
-        None
-    }
-}
-
-/// Hand-rolled JSON (the build environment has no serde): a flat object
-/// that downstream tooling can diff across PRs. `configs` is the number
-/// of configurations this process actually measured (the shard's share
-/// when sharded).
-fn render_json(
-    rows: &[KernelRow],
-    configs: usize,
-    jobs: usize,
-    total: f64,
-    shard: Option<(usize, usize)>,
-) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"configs\": {configs},\n"));
-    if let Some((k, m)) = shard {
-        out.push_str(&format!("  \"shard\": \"{k}/{m}\",\n"));
-    }
-    out.push_str(&format!("  \"jobs\": {jobs},\n"));
-    out.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
-    out.push_str("  \"kernels\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        let comma = if i + 1 == rows.len() { "" } else { "," };
-        let m = &row.mem;
-        let d = &row.dispatch;
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"configs\": {}, \"seconds\": {:.3}, \
-             \"mean_dram_utilization\": {:.4}, \"l1_hits\": {}, \"l1_misses\": {}, \
-             \"l2_hits\": {}, \"l2_misses\": {}, \"dram_requests\": {}, \
-             \"launches\": {}, \"dispatch_rounds\": {}, \"round_tasks\": {}, \
-             \"instructions\": {}, \"fused_instructions\": {}, \"fused_blocks\": {}}}{comma}\n",
-            row.name,
-            row.configs,
-            row.seconds,
-            row.util,
-            m.l1.hits,
-            m.l1.misses,
-            m.l2.hits,
-            m.l2.misses,
-            m.dram_requests,
-            d.launches,
-            d.rounds,
-            d.round_tasks,
-            d.instructions,
-            d.fused_instructions,
-            d.fused_blocks,
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
-}
-
-/// One kernel row of a probe JSON (also the in-memory accumulator).
-struct KernelRow {
-    name: String,
-    configs: usize,
-    seconds: f64,
-    util: f64,
-    /// Auto-run memory counters summed over the measured configurations
-    /// (only hits/misses and `dram_requests` are serialised).
-    mem: MemStats,
-    /// Auto-run dispatch-round counters summed over the measured
-    /// configurations (launches, rounds, tasks — raw sums).
-    dispatch: DispatchStats,
-}
-
-/// Minimal parser for the exact JSON this binary writes (no serde in the
-/// build environment). Extracts the scalar fields it needs by key; the
-/// memory counters introduced in PR 4 default to zero so pre-PR4 baseline
-/// files still parse (and merge).
-fn parse_probe_json(text: &str) -> Result<(usize, f64, Vec<KernelRow>), String> {
-    fn field<T: std::str::FromStr>(obj: &str, key: &str) -> Result<T, String> {
-        let pat = format!("\"{key}\":");
-        let at = obj.find(&pat).ok_or_else(|| format!("missing key {key}"))?;
-        let rest = obj[at + pat.len()..].trim_start();
-        let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
-        rest[..end]
-            .trim()
-            .trim_matches('"')
-            .parse()
-            .map_err(|_| format!("unparsable value for {key}"))
-    }
-    fn counter(obj: &str, key: &str) -> u64 {
-        field(obj, key).unwrap_or(0)
-    }
-
-    let jobs: usize = field(text, "jobs")?;
-    let total: f64 = field(text, "total_seconds")?;
-    let mut rows = Vec::new();
-    let kernels_at = text.find("\"kernels\"").ok_or("missing kernels array")?;
-    for obj in text[kernels_at..].split('{').skip(1) {
-        let obj = obj.split('}').next().unwrap_or("");
-        if !obj.contains("\"name\"") {
-            continue;
-        }
-        let mut mem = MemStats::default();
-        mem.l1.hits = counter(obj, "l1_hits");
-        mem.l1.misses = counter(obj, "l1_misses");
-        mem.l2.hits = counter(obj, "l2_hits");
-        mem.l2.misses = counter(obj, "l2_misses");
-        mem.dram_requests = counter(obj, "dram_requests");
-        let dispatch = DispatchStats {
-            launches: counter(obj, "launches"),
-            rounds: counter(obj, "dispatch_rounds"),
-            round_tasks: counter(obj, "round_tasks"),
-            instructions: counter(obj, "instructions"),
-            fused_instructions: counter(obj, "fused_instructions"),
-            fused_blocks: counter(obj, "fused_blocks"),
-        };
-        rows.push(KernelRow {
-            name: field(obj, "name")?,
-            configs: field(obj, "configs")?,
-            seconds: field(obj, "seconds")?,
-            util: field(obj, "mean_dram_utilization")?,
-            mem,
-            dispatch,
-        });
-    }
-    Ok((jobs, total, rows))
-}
-
-/// Merges shard probe JSONs (see the module docs for the semantics).
-fn merge_probe_files(paths: &[String]) -> Result<String, String> {
-    if paths.is_empty() {
-        return Err("no input files".into());
-    }
-    let mut jobs = 0usize;
-    let mut total = 0.0f64;
-    let mut merged: Vec<KernelRow> = Vec::new();
-    for path in paths {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        // Older probe files lack newer counter generations; their rows
-        // merge as zeros, so the merged sums under-cover the grid. Flag
-        // it rather than silently reporting partial counters as if they
-        // were the whole sweep.
-        for (marker, what) in [
-            ("\"l1_hits\"", "memory counters (pre-PR4 format); merged hit/miss/DRAM"),
-            ("\"dispatch_rounds\"", "dispatch counters (pre-PR5 format); merged launch/round/task"),
-            ("\"fused_instructions\"", "fusion counters (pre-PR6 format); merged instr/fused"),
-        ] {
-            if !text.contains(marker) {
-                eprintln!("note: {path} has no {what} counters cover only the newer shards");
-            }
-        }
-        let (j, t, rows) = parse_probe_json(&text).map_err(|e| format!("{path}: {e}"))?;
-        jobs = jobs.max(j);
-        total += t;
-        for row in rows {
-            match merged.iter_mut().find(|m| m.name == row.name) {
-                Some(m) => {
-                    let n = (m.configs + row.configs) as f64;
-                    m.util = (m.util * m.configs as f64 + row.util * row.configs as f64) / n;
-                    m.configs += row.configs;
-                    m.seconds += row.seconds;
-                    m.mem.accumulate(&row.mem);
-                    m.dispatch.accumulate(&row.dispatch);
-                }
-                None => merged.push(row),
-            }
-        }
-    }
-    let configs = merged.iter().map(|m| m.configs).max().unwrap_or(0);
-    Ok(render_json(&merged, configs, jobs, total, None))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn row(name: &str, configs: usize, seconds: f64, util: f64, scale: u64) -> KernelRow {
-        let mut mem = MemStats::default();
-        mem.l1.hits = 100 * scale;
-        mem.l1.misses = 10 * scale;
-        mem.l2.hits = 8 * scale;
-        mem.l2.misses = 2 * scale;
-        mem.dram_requests = 3 * scale;
-        let dispatch = DispatchStats {
-            launches: 5 * scale,
-            rounds: 20 * scale,
-            round_tasks: 160 * scale,
-            instructions: 1000 * scale,
-            fused_instructions: 400 * scale,
-            fused_blocks: 80 * scale,
-        };
-        KernelRow { name: name.to_owned(), configs, seconds, util, mem, dispatch }
-    }
-
-    #[test]
-    fn shard_spec_parses_and_rejects() {
-        assert_eq!(parse_shard("1/2"), Some((1, 2)));
-        assert_eq!(parse_shard("3/3"), Some((3, 3)));
-        assert_eq!(parse_shard("0/2"), None);
-        assert_eq!(parse_shard("4/3"), None);
-        assert_eq!(parse_shard("nope"), None);
-    }
-
-    #[test]
-    fn probe_json_roundtrips_through_the_parser() {
-        let rows = vec![row("vecadd", 10, 1.5, 0.25, 1), row("gauss", 10, 2.0, 0.10, 2)];
-        let json = render_json(&rows, 10, 1, 3.5, Some((1, 2)));
-        let (jobs, total, parsed) = parse_probe_json(&json).unwrap();
-        assert_eq!(jobs, 1);
-        assert!((total - 3.5).abs() < 1e-9);
-        assert_eq!(parsed.len(), 2);
-        assert_eq!(parsed[0].name, "vecadd");
-        assert_eq!(parsed[0].configs, 10);
-        assert!((parsed[1].seconds - 2.0).abs() < 1e-9);
-        assert_eq!(parsed[0].mem.l1.hits, 100);
-        assert_eq!(parsed[1].mem.dram_requests, 6);
-        assert_eq!(parsed[0].dispatch.launches, 5);
-        assert_eq!(parsed[1].dispatch.rounds, 40);
-        assert_eq!(parsed[1].dispatch.round_tasks, 320);
-        assert_eq!(parsed[0].dispatch.instructions, 1000);
-        assert_eq!(parsed[1].dispatch.fused_instructions, 800);
-        assert_eq!(parsed[1].dispatch.fused_blocks, 160);
-    }
-
-    #[test]
-    fn parser_defaults_missing_mem_counters_to_zero() {
-        // The pre-PR4 row shape (no memory counters) must keep parsing so
-        // committed BENCH_PR1..3 baselines and old shard files merge.
-        let json = "{\n  \"configs\": 10,\n  \"jobs\": 1,\n  \"total_seconds\": 3.500,\n  \
-                    \"kernels\": [\n    {\"name\": \"vecadd\", \"configs\": 10, \
-                    \"seconds\": 1.500, \"mean_dram_utilization\": 0.2500}\n  ]\n}\n";
-        let (_, _, parsed) = parse_probe_json(json).unwrap();
-        assert_eq!(parsed.len(), 1);
-        assert_eq!(parsed[0].mem.l1.hits, 0);
-        assert_eq!(parsed[0].mem.dram_requests, 0);
-        assert_eq!(parsed[0].dispatch, DispatchStats::default());
-    }
-
-    #[test]
-    fn merge_sums_disjoint_shards() {
-        let a = render_json(&[row("vecadd", 6, 1.0, 0.2, 1)], 6, 1, 1.0, Some((1, 2)));
-        let b = render_json(&[row("vecadd", 4, 3.0, 0.4, 3)], 4, 1, 3.0, Some((2, 2)));
-        let dir = std::env::temp_dir().join("speed_probe_merge_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let (pa, pb) = (dir.join("a.json"), dir.join("b.json"));
-        std::fs::write(&pa, a).unwrap();
-        std::fs::write(&pb, b).unwrap();
-        let merged = merge_probe_files(&[
-            pa.to_string_lossy().into_owned(),
-            pb.to_string_lossy().into_owned(),
-        ])
-        .unwrap();
-        let (_, total, rows) = parse_probe_json(&merged).unwrap();
-        assert!((total - 4.0).abs() < 1e-9);
-        assert_eq!(rows.len(), 1);
-        assert_eq!(rows[0].configs, 10);
-        assert!((rows[0].seconds - 4.0).abs() < 1e-9);
-        // util weighted by configs: (0.2*6 + 0.4*4) / 10 = 0.28
-        assert!((rows[0].util - 0.28).abs() < 1e-6);
-        // Raw memory counters sum exactly: scales 1 + 3 = 4.
-        assert_eq!(rows[0].mem.l1.hits, 400);
-        assert_eq!(rows[0].mem.l2.misses, 8);
-        assert_eq!(rows[0].mem.dram_requests, 12);
-        // Raw dispatch counters sum exactly too.
-        assert_eq!(rows[0].dispatch.launches, 20);
-        assert_eq!(rows[0].dispatch.rounds, 80);
-        assert_eq!(rows[0].dispatch.round_tasks, 640);
-        // And the fusion counters: scales 1 + 3 = 4.
-        assert_eq!(rows[0].dispatch.instructions, 4000);
-        assert_eq!(rows[0].dispatch.fused_instructions, 1600);
-        assert_eq!(rows[0].dispatch.fused_blocks, 320);
     }
 }

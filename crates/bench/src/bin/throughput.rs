@@ -20,18 +20,50 @@
 //! basic-block engine absorbs — a kernel stuck near 0% fused spends its
 //! cycles in the per-instruction fallback path.
 //!
+//! With `--cache DIR` the run opens the campaign result store first and
+//! prints its inventory — resident rows per kernel, store bytes, and
+//! whether the selected topology is already cached per kernel — so a
+//! sweep operator can see at a glance how much of a planned campaign the
+//! store will answer (see the README's campaign-cache section).
+//!
 //! ```text
 //! cargo run --release -p vortex-bench --bin throughput -- --topo 8c8w8t
 //! cargo run --release -p vortex-bench --bin throughput -- --kernels gcn_layer
+//! cargo run --release -p vortex-bench --bin throughput -- --cache STORE
 //! ```
 
 use std::time::Instant;
 
 use vortex_bench::cli::Flags;
-use vortex_bench::{kernel_factories, Scale};
+use vortex_bench::{campaign_key, kernel_factories, CampaignCache, Scale};
 use vortex_core::{DispatchStats, LwsPolicy, Runtime};
 use vortex_kernels::run_kernel_prepared;
 use vortex_sim::{DeviceConfig, MemStats};
+
+/// Prints the campaign store's inventory for the selected topology.
+fn print_cache_summary(dir: &str, config: &DeviceConfig, scale: Scale) {
+    let cache = match CampaignCache::open(dir) {
+        Ok(cache) => cache,
+        Err(e) => {
+            eprintln!("opening campaign cache {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let c = cache.counters();
+    let state = if cache.is_enabled() { "" } else { " (disabled by VORTEX_CAMPAIGN_CACHE=0)" };
+    println!("campaign store {dir}{state}: {} rows, {}B on disk", c.entries, c.bytes_read);
+    for (kernel, rows) in cache.entries_by_kernel() {
+        let cached_here = kernel_factories(scale)
+            .iter()
+            .find(|f| f.name == kernel)
+            .and_then(|f| f.make_kernel().build().ok())
+            .map(|program| cache.contains(&kernel, campaign_key(&kernel, scale, &program, config)))
+            .unwrap_or(false);
+        let marker = if cached_here { "cached" } else { "-" };
+        println!("  {kernel:<13} {rows:>5} rows   {} @ {marker}", config.topology_name());
+    }
+    println!();
+}
 
 fn main() {
     let flags = Flags::from_env();
@@ -40,6 +72,9 @@ fn main() {
     let reps = flags.get_usize("reps", 3);
     let wanted = flags.get_list("kernels");
     let scale = if flags.has("paper-scale") { Scale::Paper } else { Scale::Sweep };
+    if let Some(dir) = flags.get_str("cache") {
+        print_cache_summary(dir, &config, scale);
+    }
 
     println!(
         "{:<13} {:>7} {:>12} {:>14} {:>10} {:>9} {:>9} {:>6} {:>6} {:>10} {:>8} {:>8} {:>7} \

@@ -19,13 +19,35 @@ pub enum Scale {
     Sweep,
 }
 
+impl Scale {
+    /// Canonical tag folded into campaign cache keys: together with the
+    /// kernel name it pins the dataset (inputs are generated from fixed
+    /// per-kernel seeds at a size chosen by the scale).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Sweep => "sweep",
+        }
+    }
+}
+
 /// A named constructor for fresh kernel instances (each worker thread
 /// builds its own, so runs stay independent and deterministic).
 pub struct KernelFactory {
     /// Kernel name (matches the paper's figure labels).
     pub name: &'static str,
+    /// The dataset scale the instances are built at (part of the
+    /// campaign cache key — see [`crate::cache::campaign_key`]).
+    pub scale: Scale,
     /// Builds a fresh instance.
     pub make: Box<dyn Fn() -> Box<dyn Kernel> + Send + Sync>,
+}
+
+impl KernelFactory {
+    /// Builds a fresh kernel instance.
+    pub fn make_kernel(&self) -> Box<dyn Kernel> {
+        (self.make)()
+    }
 }
 
 /// The nine paper kernels at the chosen scale.
@@ -34,9 +56,10 @@ pub fn kernel_factories(scale: Scale) -> Vec<KernelFactory> {
         name: &'static str,
         make: impl Fn() -> Box<dyn Kernel> + Send + Sync + 'static,
     ) -> KernelFactory {
-        KernelFactory { name, make: Box::new(make) }
+        // The dataset scale is stamped on below, once, for all entries.
+        KernelFactory { name, scale: Scale::Sweep, make: Box::new(make) }
     }
-    match scale {
+    let mut factories = match scale {
         Scale::Paper => vec![
             f("vecadd", || Box::new(VecAdd::paper())),
             f("relu", || Box::new(Relu::paper())),
@@ -59,12 +82,16 @@ pub fn kernel_factories(scale: Scale) -> Vec<KernelFactory> {
             f("gcn_layer", || Box::new(GcnLayer::sweep())),
             f("resnet_layer", || Box::new(ResnetLayer::sweep())),
         ],
+    };
+    for factory in &mut factories {
+        factory.scale = scale;
     }
+    factories
 }
 
 /// Measurements of one kernel on one configuration under the three
 /// mapping policies of the paper.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ConfigRow {
     /// The hardware configuration.
     pub config: DeviceConfig,
@@ -170,7 +197,44 @@ pub fn run_campaign(
     configs: &[DeviceConfig],
     jobs: usize,
 ) -> Result<CampaignResult, KernelError> {
+    run_campaign_cached(factory, configs, jobs, None)
+}
+
+/// [`run_campaign`] backed by the persistent content-addressed result
+/// store: each configuration's [`campaign_key`](crate::cache::campaign_key)
+/// is consulted before simulating — hits return the stored row (with all
+/// raw counters, so downstream merges stay exact) and skip the device
+/// entirely; misses simulate as usual and are appended to the store.
+/// With no cache (or a disabled one) this is exactly [`run_campaign`].
+///
+/// The caller owns flushing: batch probes flush once per kernel, the
+/// resumable driver puts the cache in autoflush mode instead.
+///
+/// # Errors
+///
+/// Propagates the first kernel failure (assembly, launch, wrong results).
+pub fn run_campaign_cached(
+    factory: &KernelFactory,
+    configs: &[DeviceConfig],
+    jobs: usize,
+    cache: Option<&crate::cache::CampaignCache>,
+) -> Result<CampaignResult, KernelError> {
     let jobs = jobs.max(1);
+    // One assembly on the caller thread pins the program digest for key
+    // derivation; workers still assemble their own copy for simulation.
+    let keys: Vec<u64> = match cache {
+        Some(_) => {
+            let program = factory.make_kernel().build()?;
+            let pdig = vortex_core::digest_program(&program);
+            configs
+                .iter()
+                .map(|c| {
+                    crate::cache::campaign_key_from_digest(factory.name, factory.scale, pdig, c)
+                })
+                .collect()
+        }
+        None => Vec::new(),
+    };
     let next = std::sync::atomic::AtomicUsize::new(0);
     let rows: Mutex<Vec<Option<ConfigRow>>> = Mutex::new(vec![None; configs.len()]);
     let failure: Mutex<Option<KernelError>> = Mutex::new(None);
@@ -193,6 +257,13 @@ pub fn run_campaign(
                     }
                     let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(config) = configs.get(idx) else { return };
+                    // Store first: a hit is a finished, verified row.
+                    if let Some(cache) = cache {
+                        if let Some(row) = cache.lookup(factory.name, keys[idx], config) {
+                            rows.lock().expect("rows lock")[idx] = Some(row);
+                            continue;
+                        }
+                    }
                     // Reuse the worker's runtime whenever the configuration
                     // carries over (always true for the three policies,
                     // sometimes for repeated subsample entries); rebuild
@@ -207,6 +278,9 @@ pub fn run_campaign(
                     };
                     match measure_config(kernel.as_mut(), &program, rt, config) {
                         Ok(row) => {
+                            if let Some(cache) = cache {
+                                cache.insert(factory.name, keys[idx], &row);
+                            }
                             rows.lock().expect("rows lock")[idx] = Some(row);
                         }
                         Err(e) => {
@@ -296,6 +370,38 @@ mod tests {
             assert_eq!(row.config.topology_name(), config.topology_name());
             assert!(row.cycles_auto > 0);
         }
+    }
+
+    #[test]
+    fn cached_campaign_reproduces_uncached_rows_exactly() {
+        let configs =
+            vec![DeviceConfig::with_topology(1, 2, 2), DeviceConfig::with_topology(2, 2, 4)];
+        let factories = kernel_factories(Scale::Sweep);
+        let vecadd = &factories[0];
+        let dir =
+            std::env::temp_dir().join(format!("vortex_campaign_cache_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = crate::cache::CampaignCache::open(&dir).unwrap();
+
+        let plain = run_campaign(vecadd, &configs, 2).unwrap();
+        let cold = run_campaign_cached(vecadd, &configs, 2, Some(&cache)).unwrap();
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.insertions), (0, 2, 2));
+        cache.flush().unwrap();
+
+        // Same handle and a reopened handle must both replay the rows
+        // bit-exactly (the f64 utilisation included).
+        let warm = run_campaign_cached(vecadd, &configs, 2, Some(&cache)).unwrap();
+        assert_eq!(cache.counters().hits, 2);
+        let reopened = crate::cache::CampaignCache::open(&dir).unwrap();
+        let persisted = run_campaign_cached(vecadd, &configs, 2, Some(&reopened)).unwrap();
+        let rc = reopened.counters();
+        assert_eq!((rc.hits, rc.misses, rc.insertions, rc.entries), (2, 0, 0, 2));
+        assert!(rc.bytes_read > 0, "a reopened store must have read its shards");
+        for other in [&cold, &warm, &persisted] {
+            assert_eq!(plain.rows, other.rows, "cache must be result-transparent");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -14,11 +14,44 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod campaign;
 pub mod cli;
+pub mod driver;
+pub mod persist;
+pub mod probe;
 pub mod sweep;
 
+pub use cache::{cache_enabled_by_env, campaign_key, CacheCounters, CampaignCache};
 pub use campaign::{
-    kernel_factories, run_campaign, CampaignResult, ConfigRow, KernelFactory, Scale,
+    kernel_factories, run_campaign, run_campaign_cached, CampaignResult, ConfigRow, KernelFactory,
+    Scale,
 };
+pub use persist::{atomic_write, strip_run_metadata};
+pub use probe::{merge_probe_files, parse_probe_json, render_json, KernelRow, ProbeFile};
 pub use sweep::{paper_sweep, subsample};
+
+/// Parses a `"K/M"` shard designator (1-based `K`).
+pub fn parse_shard(s: &str) -> Option<(usize, usize)> {
+    let (k, m) = s.split_once('/')?;
+    let (k, m) = (k.trim().parse().ok()?, m.trim().parse().ok()?);
+    if k >= 1 && k <= m {
+        Some((k, m))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_shard;
+
+    #[test]
+    fn shard_spec_parses_and_rejects() {
+        assert_eq!(parse_shard("1/2"), Some((1, 2)));
+        assert_eq!(parse_shard("3/3"), Some((3, 3)));
+        assert_eq!(parse_shard("0/2"), None);
+        assert_eq!(parse_shard("4/3"), None);
+        assert_eq!(parse_shard("nope"), None);
+    }
+}

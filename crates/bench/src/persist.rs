@@ -1,0 +1,117 @@
+//! Crash-safe file persistence shared by the campaign cache, the
+//! resumable driver and the probe binaries.
+//!
+//! Every artefact this crate writes — probe JSONs, cache shards, work
+//! manifests — goes through [`atomic_write`]: the content lands in a
+//! sibling temporary file first and is atomically renamed over the
+//! destination, so a killed process can never leave a truncated or
+//! half-updated file behind (the old content, if any, stays intact until
+//! the rename). This is the write half of the store's durability story;
+//! the read half is the loaders' tolerance for files that predate a
+//! crash (they simply re-derive whatever is missing).
+
+use std::io;
+use std::path::Path;
+
+/// Writes `content` to `path` atomically: a unique sibling `*.tmp` file
+/// is written, flushed and renamed over the destination. On any error
+/// the temporary file is removed and the destination is untouched.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error (creating, writing, persisting or
+/// renaming the temporary file).
+pub fn atomic_write(path: &Path, content: &str) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    // Unique per process so concurrent writers (CI shards pointed at a
+    // shared directory) cannot clobber each other's staging files.
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".{}.tmp", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = std::fs::write(&tmp, content).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Blanks the run-specific transport fields of a probe JSON — wall-clock
+/// seconds and cache hit/miss/byte counters — leaving only the
+/// simulation-derived content. Two runs of the same campaign must agree
+/// byte-for-byte on the stripped form no matter how the work was split
+/// between simulation and cache hits; this is the comparison the
+/// cold→warm CI gate and the resume tests make.
+pub fn strip_run_metadata(json: &str) -> String {
+    let mut out = json.to_owned();
+    for key in [
+        "seconds",
+        "total_seconds",
+        "cache_hits",
+        "cache_misses",
+        "cache_bytes_read",
+        "cache_bytes_written",
+    ] {
+        out = blank_numeric_field(&out, key);
+    }
+    out
+}
+
+/// Replaces every `"key": <number>` occurrence with `"key": 0`.
+fn blank_numeric_field(text: &str, key: &str) -> String {
+    let pat = format!("\"{key}\": ");
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(at) = rest.find(&pat) {
+        let value_start = at + pat.len();
+        out.push_str(&rest[..value_start]);
+        let tail = &rest[value_start..];
+        let end = tail
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .unwrap_or(tail.len());
+        out.push('0');
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("vortex_persist_{}", std::process::id()));
+        let path = dir.join("out.json");
+        atomic_write(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        atomic_write(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "staging files must not survive a successful write");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn strip_blanks_timing_and_cache_fields_only() {
+        let json = "{\n  \"total_seconds\": 12.375,\n  \"cache_bytes_read\": 123,\n  \
+                    \"kernels\": [\n    {\"name\": \"vecadd\", \"configs\": 10, \
+                    \"seconds\": 1.500, \"cache_hits\": 4, \"cache_misses\": 6, \
+                    \"l1_hits\": 77}\n  ]\n}\n";
+        let stripped = strip_run_metadata(json);
+        assert!(stripped.contains("\"total_seconds\": 0,"));
+        assert!(stripped.contains("\"seconds\": 0,"));
+        assert!(stripped.contains("\"cache_hits\": 0,"));
+        assert!(stripped.contains("\"cache_misses\": 0,"));
+        assert!(stripped.contains("\"cache_bytes_read\": 0,"));
+        assert!(stripped.contains("\"l1_hits\": 77"), "simulation counters must survive");
+        assert!(stripped.contains("\"configs\": 10"), "config counts must survive");
+    }
+}

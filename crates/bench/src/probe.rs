@@ -1,0 +1,372 @@
+//! The probe JSON dialect: the machine-readable campaign/throughput
+//! report shared by `speed_probe`, the resumable `campaign` driver and
+//! the committed `BENCH_*.json` baselines.
+//!
+//! One file is a flat object: grid metadata (`configs`, `jobs`,
+//! `total_seconds`, optional `shard`), the cache transport totals of the
+//! producing process (`cache_bytes_read`/`cache_bytes_written`), and a
+//! `kernels` array of per-kernel rows. Rows carry **raw counters only**
+//! (hits, misses, rounds, instructions, cache hits/misses …) — derived
+//! rates are computed at display time — so shard files produced by
+//! independent processes merge into exactly the numbers a single-process
+//! run would have produced ([`merge_probe_files`]).
+//!
+//! Everything here is serde-free by standing constraint; the parser is a
+//! by-key scalar extractor over the exact dialect [`render_json`]
+//! writes, with missing newer-generation counters defaulting to zero so
+//! every committed baseline since PR 1 still parses and merges.
+
+use vortex_core::DispatchStats;
+use vortex_sim::MemStats;
+
+use crate::cache::CacheCounters;
+
+/// One kernel row of a probe JSON (also the in-memory accumulator).
+#[derive(Clone, Debug, Default)]
+pub struct KernelRow {
+    /// Kernel name.
+    pub name: String,
+    /// Configurations measured by the producing process.
+    pub configs: usize,
+    /// Wall-clock seconds spent on this kernel.
+    pub seconds: f64,
+    /// Mean DRAM utilisation of the auto runs.
+    pub util: f64,
+    /// Auto-run memory counters summed over the measured configurations
+    /// (only hits/misses and `dram_requests` are serialised).
+    pub mem: MemStats,
+    /// Auto-run dispatch-round counters summed over the measured
+    /// configurations (launches, rounds, tasks — raw sums).
+    pub dispatch: DispatchStats,
+    /// Configurations answered from the campaign result store.
+    pub cache_hits: u64,
+    /// Configurations actually simulated (store misses; the whole count
+    /// when no cache is attached).
+    pub cache_misses: u64,
+}
+
+/// A parsed (or to-be-rendered) probe file.
+#[derive(Clone, Debug, Default)]
+pub struct ProbeFile {
+    /// Configurations in the producing process's grid share.
+    pub configs: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Total wall-clock seconds.
+    pub total_seconds: f64,
+    /// Shard designator (`K/M`), if the file covers a grid share.
+    pub shard: Option<(usize, usize)>,
+    /// Campaign-store bytes read by the producing process.
+    pub cache_bytes_read: u64,
+    /// Campaign-store bytes written by the producing process.
+    pub cache_bytes_written: u64,
+    /// Per-kernel rows.
+    pub rows: Vec<KernelRow>,
+}
+
+impl ProbeFile {
+    /// Stamps the store transport totals onto the file.
+    pub fn with_cache_totals(mut self, counters: &CacheCounters) -> Self {
+        self.cache_bytes_read = counters.bytes_read;
+        self.cache_bytes_written = counters.bytes_written;
+        self
+    }
+}
+
+/// Renders the probe JSON (hand-rolled — the build environment has no
+/// serde): a flat object that downstream tooling can diff across PRs.
+pub fn render_json(file: &ProbeFile) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"configs\": {},\n", file.configs));
+    if let Some((k, m)) = file.shard {
+        out.push_str(&format!("  \"shard\": \"{k}/{m}\",\n"));
+    }
+    out.push_str(&format!("  \"jobs\": {},\n", file.jobs));
+    out.push_str(&format!("  \"total_seconds\": {:.3},\n", file.total_seconds));
+    out.push_str(&format!("  \"cache_bytes_read\": {},\n", file.cache_bytes_read));
+    out.push_str(&format!("  \"cache_bytes_written\": {},\n", file.cache_bytes_written));
+    out.push_str("  \"kernels\": [\n");
+    for (i, row) in file.rows.iter().enumerate() {
+        let comma = if i + 1 == file.rows.len() { "" } else { "," };
+        let m = &row.mem;
+        let d = &row.dispatch;
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"configs\": {}, \"seconds\": {:.3}, \
+             \"mean_dram_utilization\": {:.4}, \"l1_hits\": {}, \"l1_misses\": {}, \
+             \"l2_hits\": {}, \"l2_misses\": {}, \"dram_requests\": {}, \
+             \"launches\": {}, \"dispatch_rounds\": {}, \"round_tasks\": {}, \
+             \"instructions\": {}, \"fused_instructions\": {}, \"fused_blocks\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}}}{comma}\n",
+            row.name,
+            row.configs,
+            row.seconds,
+            row.util,
+            m.l1.hits,
+            m.l1.misses,
+            m.l2.hits,
+            m.l2.misses,
+            m.dram_requests,
+            d.launches,
+            d.rounds,
+            d.round_tasks,
+            d.instructions,
+            d.fused_instructions,
+            d.fused_blocks,
+            row.cache_hits,
+            row.cache_misses,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses the exact JSON [`render_json`] writes. Counters absent from
+/// older file generations (pre-PR4 memory, pre-PR5 dispatch, pre-PR6
+/// fusion, pre-PR7 cache) default to zero, so every committed baseline
+/// still parses and merges.
+///
+/// # Errors
+///
+/// A message naming the first missing or unparsable required field.
+pub fn parse_probe_json(text: &str) -> Result<ProbeFile, String> {
+    fn field<T: std::str::FromStr>(obj: &str, key: &str) -> Result<T, String> {
+        let pat = format!("\"{key}\":");
+        let at = obj.find(&pat).ok_or_else(|| format!("missing key {key}"))?;
+        let rest = obj[at + pat.len()..].trim_start();
+        let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+        rest[..end]
+            .trim()
+            .trim_matches('"')
+            .parse()
+            .map_err(|_| format!("unparsable value for {key}"))
+    }
+    fn counter(obj: &str, key: &str) -> u64 {
+        field(obj, key).unwrap_or(0)
+    }
+
+    let kernels_at = text.find("\"kernels\"").ok_or("missing kernels array")?;
+    let head = &text[..kernels_at];
+    let mut file = ProbeFile {
+        configs: field(head, "configs")?,
+        jobs: field(head, "jobs")?,
+        total_seconds: field(head, "total_seconds")?,
+        shard: field::<String>(head, "shard").ok().and_then(|s| crate::parse_shard(&s)),
+        cache_bytes_read: counter(head, "cache_bytes_read"),
+        cache_bytes_written: counter(head, "cache_bytes_written"),
+        rows: Vec::new(),
+    };
+    for obj in text[kernels_at..].split('{').skip(1) {
+        let obj = obj.split('}').next().unwrap_or("");
+        if !obj.contains("\"name\"") {
+            continue;
+        }
+        let mut mem = MemStats::default();
+        mem.l1.hits = counter(obj, "l1_hits");
+        mem.l1.misses = counter(obj, "l1_misses");
+        mem.l2.hits = counter(obj, "l2_hits");
+        mem.l2.misses = counter(obj, "l2_misses");
+        mem.dram_requests = counter(obj, "dram_requests");
+        let dispatch = DispatchStats {
+            launches: counter(obj, "launches"),
+            rounds: counter(obj, "dispatch_rounds"),
+            round_tasks: counter(obj, "round_tasks"),
+            instructions: counter(obj, "instructions"),
+            fused_instructions: counter(obj, "fused_instructions"),
+            fused_blocks: counter(obj, "fused_blocks"),
+        };
+        file.rows.push(KernelRow {
+            name: field(obj, "name")?,
+            configs: field(obj, "configs")?,
+            seconds: field(obj, "seconds")?,
+            util: field(obj, "mean_dram_utilization")?,
+            mem,
+            dispatch,
+            cache_hits: counter(obj, "cache_hits"),
+            cache_misses: counter(obj, "cache_misses"),
+        });
+    }
+    Ok(file)
+}
+
+/// Merges shard probe JSONs: per-kernel configuration counts, seconds
+/// and every raw counter (memory, dispatch, fusion, cache) are summed;
+/// mean DRAM utilisation is weighted by configuration count; shard
+/// totals sum into `total_seconds`. Shards partition the grid, so the
+/// sums reconstruct exactly the full-grid values.
+///
+/// # Errors
+///
+/// The first unreadable or unparsable input file.
+pub fn merge_probe_files(paths: &[String]) -> Result<String, String> {
+    if paths.is_empty() {
+        return Err("no input files".into());
+    }
+    let mut merged = ProbeFile::default();
+    let mut rows: Vec<KernelRow> = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        // Older probe files lack newer counter generations; their rows
+        // merge as zeros, so the merged sums under-cover the grid. Flag
+        // it rather than silently reporting partial counters as if they
+        // were the whole sweep.
+        for (marker, what) in [
+            ("\"l1_hits\"", "memory counters (pre-PR4 format); merged hit/miss/DRAM"),
+            ("\"dispatch_rounds\"", "dispatch counters (pre-PR5 format); merged launch/round/task"),
+            ("\"fused_instructions\"", "fusion counters (pre-PR6 format); merged instr/fused"),
+            ("\"cache_hits\"", "cache counters (pre-PR7 format); merged hit/miss/bytes"),
+        ] {
+            if !text.contains(marker) {
+                eprintln!("note: {path} has no {what} counters cover only the newer shards");
+            }
+        }
+        let file = parse_probe_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        merged.jobs = merged.jobs.max(file.jobs);
+        merged.total_seconds += file.total_seconds;
+        merged.cache_bytes_read += file.cache_bytes_read;
+        merged.cache_bytes_written += file.cache_bytes_written;
+        for row in file.rows {
+            match rows.iter_mut().find(|m| m.name == row.name) {
+                Some(m) => {
+                    let n = (m.configs + row.configs) as f64;
+                    m.util = (m.util * m.configs as f64 + row.util * row.configs as f64) / n;
+                    m.configs += row.configs;
+                    m.seconds += row.seconds;
+                    m.mem.accumulate(&row.mem);
+                    m.dispatch.accumulate(&row.dispatch);
+                    m.cache_hits += row.cache_hits;
+                    m.cache_misses += row.cache_misses;
+                }
+                None => rows.push(row),
+            }
+        }
+    }
+    merged.configs = rows.iter().map(|m| m.configs).max().unwrap_or(0);
+    merged.rows = rows;
+    Ok(render_json(&merged))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, configs: usize, seconds: f64, util: f64, scale: u64) -> KernelRow {
+        let mut mem = MemStats::default();
+        mem.l1.hits = 100 * scale;
+        mem.l1.misses = 10 * scale;
+        mem.l2.hits = 8 * scale;
+        mem.l2.misses = 2 * scale;
+        mem.dram_requests = 3 * scale;
+        let dispatch = DispatchStats {
+            launches: 5 * scale,
+            rounds: 20 * scale,
+            round_tasks: 160 * scale,
+            instructions: 1000 * scale,
+            fused_instructions: 400 * scale,
+            fused_blocks: 80 * scale,
+        };
+        KernelRow {
+            name: name.to_owned(),
+            configs,
+            seconds,
+            util,
+            mem,
+            dispatch,
+            cache_hits: 2 * scale,
+            cache_misses: 7 * scale,
+        }
+    }
+
+    fn file(rows: Vec<KernelRow>, configs: usize, total: f64, shard: (usize, usize)) -> ProbeFile {
+        ProbeFile {
+            configs,
+            jobs: 1,
+            total_seconds: total,
+            shard: Some(shard),
+            cache_bytes_read: 64,
+            cache_bytes_written: 128,
+            rows,
+        }
+    }
+
+    #[test]
+    fn probe_json_roundtrips_through_the_parser() {
+        let rows = vec![row("vecadd", 10, 1.5, 0.25, 1), row("gauss", 10, 2.0, 0.10, 2)];
+        let json = render_json(&file(rows, 10, 3.5, (1, 2)));
+        let parsed = parse_probe_json(&json).unwrap();
+        assert_eq!(parsed.jobs, 1);
+        assert_eq!(parsed.shard, Some((1, 2)));
+        assert!((parsed.total_seconds - 3.5).abs() < 1e-9);
+        assert_eq!((parsed.cache_bytes_read, parsed.cache_bytes_written), (64, 128));
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(parsed.rows[0].name, "vecadd");
+        assert_eq!(parsed.rows[0].configs, 10);
+        assert!((parsed.rows[1].seconds - 2.0).abs() < 1e-9);
+        assert_eq!(parsed.rows[0].mem.l1.hits, 100);
+        assert_eq!(parsed.rows[1].mem.dram_requests, 6);
+        assert_eq!(parsed.rows[0].dispatch.launches, 5);
+        assert_eq!(parsed.rows[1].dispatch.rounds, 40);
+        assert_eq!(parsed.rows[1].dispatch.round_tasks, 320);
+        assert_eq!(parsed.rows[0].dispatch.instructions, 1000);
+        assert_eq!(parsed.rows[1].dispatch.fused_instructions, 800);
+        assert_eq!(parsed.rows[1].dispatch.fused_blocks, 160);
+        assert_eq!((parsed.rows[0].cache_hits, parsed.rows[0].cache_misses), (2, 7));
+        assert_eq!((parsed.rows[1].cache_hits, parsed.rows[1].cache_misses), (4, 14));
+    }
+
+    #[test]
+    fn parser_defaults_missing_counters_to_zero() {
+        // The pre-PR4 row shape (no memory counters) must keep parsing so
+        // committed BENCH_PR1..3 baselines and old shard files merge.
+        let json = "{\n  \"configs\": 10,\n  \"jobs\": 1,\n  \"total_seconds\": 3.500,\n  \
+                    \"kernels\": [\n    {\"name\": \"vecadd\", \"configs\": 10, \
+                    \"seconds\": 1.500, \"mean_dram_utilization\": 0.2500}\n  ]\n}\n";
+        let parsed = parse_probe_json(json).unwrap();
+        assert_eq!(parsed.rows.len(), 1);
+        assert_eq!(parsed.rows[0].mem.l1.hits, 0);
+        assert_eq!(parsed.rows[0].mem.dram_requests, 0);
+        assert_eq!(parsed.rows[0].dispatch, DispatchStats::default());
+        assert_eq!((parsed.rows[0].cache_hits, parsed.rows[0].cache_misses), (0, 0));
+        assert_eq!((parsed.cache_bytes_read, parsed.cache_bytes_written), (0, 0));
+    }
+
+    #[test]
+    fn merge_sums_disjoint_shards() {
+        let a = render_json(&file(vec![row("vecadd", 6, 1.0, 0.2, 1)], 6, 1.0, (1, 2)));
+        let b = render_json(&file(vec![row("vecadd", 4, 3.0, 0.4, 3)], 4, 3.0, (2, 2)));
+        let dir = std::env::temp_dir().join("speed_probe_merge_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (pa, pb) = (dir.join("a.json"), dir.join("b.json"));
+        std::fs::write(&pa, a).unwrap();
+        std::fs::write(&pb, b).unwrap();
+        let merged = merge_probe_files(&[
+            pa.to_string_lossy().into_owned(),
+            pb.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        let parsed = parse_probe_json(&merged).unwrap();
+        assert!((parsed.total_seconds - 4.0).abs() < 1e-9);
+        assert_eq!(parsed.rows.len(), 1);
+        let m = &parsed.rows[0];
+        assert_eq!(m.configs, 10);
+        assert!((m.seconds - 4.0).abs() < 1e-9);
+        // util weighted by configs: (0.2*6 + 0.4*4) / 10 = 0.28
+        assert!((m.util - 0.28).abs() < 1e-6);
+        // Raw memory counters sum exactly: scales 1 + 3 = 4.
+        assert_eq!(m.mem.l1.hits, 400);
+        assert_eq!(m.mem.l2.misses, 8);
+        assert_eq!(m.mem.dram_requests, 12);
+        // Raw dispatch counters sum exactly too.
+        assert_eq!(m.dispatch.launches, 20);
+        assert_eq!(m.dispatch.rounds, 80);
+        assert_eq!(m.dispatch.round_tasks, 640);
+        // And the fusion counters: scales 1 + 3 = 4.
+        assert_eq!(m.dispatch.instructions, 4000);
+        assert_eq!(m.dispatch.fused_instructions, 1600);
+        assert_eq!(m.dispatch.fused_blocks, 320);
+        // And the campaign-cache counters, per-row and top-level.
+        assert_eq!((m.cache_hits, m.cache_misses), (8, 28));
+        assert_eq!(parsed.cache_bytes_read, 128);
+        assert_eq!(parsed.cache_bytes_written, 256);
+    }
+}

@@ -1,0 +1,150 @@
+//! End-to-end guarantees of the campaign cache and the resumable
+//! driver, exercised through the crate's public API exactly as the
+//! `speed_probe` and `campaign` binaries use it: cold→warm transparency
+//! (a warm run simulates nothing and reports identical bytes), exact
+//! delta simulation, and budget-kill → resume reassembly.
+
+use vortex_bench::driver::{run_queue, QueueSpec};
+use vortex_bench::probe::{render_json, KernelRow, ProbeFile};
+use vortex_bench::{
+    kernel_factories, parse_probe_json, run_campaign, run_campaign_cached, strip_run_metadata,
+    CampaignCache, CampaignResult, KernelFactory, Scale,
+};
+use vortex_sim::DeviceConfig;
+
+fn tiny_grid() -> Vec<DeviceConfig> {
+    vec![
+        DeviceConfig::with_topology(1, 2, 2),
+        DeviceConfig::with_topology(1, 2, 4),
+        DeviceConfig::with_topology(2, 2, 2),
+    ]
+}
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("vortex_cc_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Renders a campaign result the way `speed_probe --json` does, with the
+/// run-specific fields already zeroed (what the CI gate diffs).
+fn probe_json(factory: &KernelFactory, result: &CampaignResult, hits: u64, misses: u64) -> String {
+    let file = ProbeFile {
+        configs: result.rows.len(),
+        jobs: 2,
+        total_seconds: 0.0,
+        shard: None,
+        cache_bytes_read: 0,
+        cache_bytes_written: 0,
+        rows: vec![KernelRow {
+            name: factory.name.to_owned(),
+            configs: result.rows.len(),
+            seconds: 0.0,
+            util: result.mean_dram_utilization(),
+            mem: result.total_mem(),
+            dispatch: result.total_dispatch(),
+            cache_hits: hits,
+            cache_misses: misses,
+        }],
+    };
+    strip_run_metadata(&render_json(&file))
+}
+
+#[test]
+fn warm_rerun_simulates_zero_configs_with_identical_report() {
+    let dir = tmp("warm");
+    let grid = tiny_grid();
+    let factories = kernel_factories(Scale::Sweep);
+    let vecadd = &factories[0];
+
+    let cache = CampaignCache::open(&dir).unwrap();
+    let cold = run_campaign_cached(vecadd, &grid, 2, Some(&cache)).unwrap();
+    let after_cold = cache.counters();
+    assert_eq!((after_cold.hits, after_cold.misses), (0, 3), "cold run simulates everything");
+    cache.flush().unwrap();
+
+    // Fresh process = fresh handle: the warm run answers every
+    // configuration from disk and simulates nothing.
+    let warm_cache = CampaignCache::open(&dir).unwrap();
+    let warm = run_campaign_cached(vecadd, &grid, 2, Some(&warm_cache)).unwrap();
+    let after_warm = warm_cache.counters();
+    assert_eq!((after_warm.hits, after_warm.misses), (3, 0), "warm run simulates nothing");
+    assert_eq!((after_warm.insertions, after_warm.entries), (0, 3));
+
+    // Byte-identical probe reports once run metadata is stripped.
+    assert_eq!(
+        probe_json(vecadd, &cold, 0, after_cold.misses),
+        probe_json(vecadd, &warm, after_warm.hits, 0),
+        "warm report must be byte-identical to the cold one"
+    );
+    // And the uncached baseline agrees row for row.
+    let plain = run_campaign(vecadd, &grid, 2).unwrap();
+    assert_eq!(plain.rows, warm.rows);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn single_config_change_resimulates_exactly_that_config() {
+    let dir = tmp("delta");
+    let grid = tiny_grid();
+    let factories = kernel_factories(Scale::Sweep);
+    let vecadd = &factories[0];
+
+    let cache = CampaignCache::open(&dir).unwrap();
+    run_campaign_cached(vecadd, &grid, 2, Some(&cache)).unwrap();
+    cache.flush().unwrap();
+
+    // Change one configuration of the grid: a timing knob this time, so
+    // the delta detection rests on the full config digest rather than
+    // the topology name.
+    let mut changed = grid.clone();
+    changed[1].timing.alu += 1;
+    let reopened = CampaignCache::open(&dir).unwrap();
+    let result = run_campaign_cached(vecadd, &changed, 2, Some(&reopened)).unwrap();
+    let c = reopened.counters();
+    assert_eq!((c.hits, c.misses), (2, 1), "exactly the changed configuration re-simulates");
+    assert_eq!(result.rows.len(), 3);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn budget_kill_then_resume_reassembles_the_cold_report() {
+    let base = tmp("queue");
+    let spec = |resume: bool, budget: Option<usize>, queue: &str| QueueSpec {
+        dir: base.join(queue),
+        cache_dir: base.join(format!("{queue}-store")),
+        kernels: Some(vec!["vecadd".into(), "relu".into()]),
+        configs: tiny_grid(),
+        scale: Scale::Sweep,
+        shard: None,
+        jobs: 2,
+        budget,
+        resume,
+    };
+
+    // Uninterrupted cold queue: 2 kernels × 3 configs.
+    let cold = run_queue(&spec(false, None, "cold")).unwrap();
+    assert!(cold.complete);
+    assert_eq!(cold.simulated, 6);
+    let cold_json = cold.result_json.unwrap();
+
+    // The same queue "killed" after 2 configurations by the budget flag,
+    // then resumed: exactly total − N = 4 simulate on resume.
+    let first = run_queue(&spec(false, Some(2), "killed")).unwrap();
+    assert!(!first.complete);
+    assert_eq!((first.simulated, first.remaining), (2, 4));
+    let second = run_queue(&spec(true, None, "killed")).unwrap();
+    assert!(second.complete);
+    assert_eq!((second.simulated, second.reused), (4, 2));
+
+    assert_eq!(
+        strip_run_metadata(&second.result_json.unwrap()),
+        strip_run_metadata(&cold_json),
+        "resumed report must be bit-identical to the uninterrupted run"
+    );
+    // The merged probe dialect parses back with exact counter totals.
+    let parsed = parse_probe_json(&cold_json).unwrap();
+    assert_eq!(parsed.rows.len(), 2);
+    assert_eq!(parsed.rows.iter().map(|r| r.configs).sum::<usize>(), 6);
+    std::fs::remove_dir_all(&base).unwrap();
+}

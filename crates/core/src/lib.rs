@@ -42,12 +42,14 @@
 #![forbid(unsafe_code)]
 
 pub mod abi;
+pub mod digest;
 mod mapping;
 mod oracle;
 mod plan;
 mod runtime;
 mod tuner;
 
+pub use digest::{digest_device_config, digest_program, Fnv64, ENGINE_SEMANTICS_VERSION};
 pub use mapping::{CoreRange, WorkMapping};
 pub use oracle::{oracle_candidates, oracle_search, OracleResult};
 pub use plan::{DispatchStats, LaunchPlan};

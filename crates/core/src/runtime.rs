@@ -10,6 +10,7 @@ use vortex_mem::Cycle;
 use vortex_sim::{Device, DeviceConfig, NullSink, SimError, TraceSink};
 
 use crate::abi;
+use crate::digest;
 use crate::plan::LaunchPlan;
 use crate::tuner::{LwsPolicy, MappingScenario};
 
@@ -183,6 +184,11 @@ pub struct Runtime {
     plans: HashMap<(u32, u32), LaunchPlan>,
     plan_hits: u64,
     plan_misses: u64,
+    /// Canonical digest of the device configuration (computed once at
+    /// construction — the configuration is immutable afterwards).
+    config_digest: u64,
+    /// Canonical digest of the loaded program image, if any.
+    program_digest: Option<u64>,
 }
 
 impl Runtime {
@@ -197,6 +203,8 @@ impl Runtime {
             plans: HashMap::new(),
             plan_hits: 0,
             plan_misses: 0,
+            config_digest: digest::digest_device_config(&config),
+            program_digest: None,
         }
     }
 
@@ -216,10 +224,27 @@ impl Runtime {
         &mut self.device
     }
 
-    /// Loads the kernel image and records its entry point.
+    /// Loads the kernel image and records its entry point (and canonical
+    /// content digest — see [`Runtime::program_digest`]).
     pub fn load_program(&mut self, program: &Program) {
         self.device.load_program(program);
         self.entry = Some(program.entry());
+        self.program_digest = Some(digest::digest_program(program));
+    }
+
+    /// Canonical [`digest`](crate::digest) of the loaded program image
+    /// (`None` before [`load_program`](Runtime::load_program)). Together
+    /// with [`config_digest`](Runtime::config_digest) this identifies the
+    /// pure-function inputs of a run — the campaign result cache keys on
+    /// them.
+    pub fn program_digest(&self) -> Option<u64> {
+        self.program_digest
+    }
+
+    /// Canonical digest of the device configuration (stable across runs
+    /// and builds; survives [`reset`](Runtime::reset) by construction).
+    pub fn config_digest(&self) -> u64 {
+        self.config_digest
     }
 
     /// Returns the runtime to its post-[`load_program`](Runtime::load_program)
@@ -513,6 +538,22 @@ mod tests {
         let r = rt.launch(&LaunchParams::new(128).policy(LwsPolicy::Explicit(4)), None).unwrap();
         assert_eq!(r.rounds, 2);
         assert_eq!(r.total_rounds, 4);
+    }
+
+    #[test]
+    fn digest_hooks_identify_run_inputs() {
+        let config = DeviceConfig::with_topology(2, 2, 4);
+        let mut rt = Runtime::new(config);
+        assert_eq!(rt.program_digest(), None);
+        assert_eq!(rt.config_digest(), digest::digest_device_config(&config));
+        let program = trivial_program();
+        rt.load_program(&program);
+        assert_eq!(rt.program_digest(), Some(digest::digest_program(&program)));
+        rt.reset();
+        assert_eq!(rt.program_digest(), Some(digest::digest_program(&program)), "survives reset");
+        // A different topology digests differently.
+        let other = Runtime::new(DeviceConfig::with_topology(2, 2, 8));
+        assert_ne!(other.config_digest(), rt.config_digest());
     }
 
     #[test]

@@ -66,5 +66,5 @@ pub use device::{Device, ResetWork};
 pub use error::SimError;
 pub use ipdom::IpdomEntry;
 pub use trace_api::{IssueEvent, NullSink, TraceSink, VecTraceSink};
-pub use vortex_mem::{CacheConfig, Cycle, MemConfig, MemStats};
+pub use vortex_mem::{CacheConfig, CacheStats, Cycle, MemConfig, MemStats};
 pub use warp::WarpState;
