@@ -38,12 +38,12 @@ pub fn atomic_write(path: &Path, content: &str) -> io::Result<()> {
     result
 }
 
-/// Blanks the run-specific transport fields of a probe JSON — wall-clock
-/// seconds and cache hit/miss/byte counters — leaving only the
-/// simulation-derived content. Two runs of the same campaign must agree
-/// byte-for-byte on the stripped form no matter how the work was split
-/// between simulation and cache hits; this is the comparison the
-/// cold→warm CI gate and the resume tests make.
+/// Blanks the run-specific transport fields of a probe or tune JSON —
+/// wall-clock seconds and store hit/miss/byte counters — leaving only
+/// the simulation-derived content. Two runs of the same campaign must
+/// agree byte-for-byte on the stripped form no matter how the work was
+/// split between simulation and cache hits; this is the comparison the
+/// cold→warm CI gates and the resume tests make.
 pub fn strip_run_metadata(json: &str) -> String {
     let mut out = json.to_owned();
     for key in [
@@ -53,6 +53,12 @@ pub fn strip_run_metadata(json: &str) -> String {
         "cache_misses",
         "cache_bytes_read",
         "cache_bytes_written",
+        "store_hits",
+        "store_misses",
+        "probes_simulated",
+        "probes_cached",
+        "gt_simulated",
+        "gt_cached",
     ] {
         out = blank_numeric_field(&out, key);
     }

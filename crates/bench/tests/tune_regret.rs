@@ -1,0 +1,102 @@
+//! End-to-end guarantees of the online autotuner (PR 8): the committed
+//! `TUNE_PR8.json` artefact meets the regret bound it is documented
+//! with, and the tuning pipeline is fixed-seed deterministic — the
+//! chosen lws per kernel on a small grid is pinned exactly.
+
+use vortex_bench::{evaluate_tune, kernel_factories, parse_tune_json, Scale};
+use vortex_sim::DeviceConfig;
+
+/// The committed artefact at the repository root.
+fn committed_artifact() -> vortex_bench::TuneFile {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../TUNE_PR8.json");
+    let text = std::fs::read_to_string(path).expect("committed TUNE_PR8.json");
+    parse_tune_json(&text).expect("committed artefact parses")
+}
+
+#[test]
+fn committed_artifact_meets_the_regret_bound() {
+    let file = committed_artifact();
+    assert_eq!(file.budgets(), vec![3, 6, 12], "accuracy curve covers K = 3, 6, 12");
+    // Nine kernels × three mini-grid topologies per budget.
+    for budget in [3, 6, 12] {
+        assert_eq!(file.rows.iter().filter(|r| r.budget == budget).count(), 27);
+    }
+    let kernels: std::collections::BTreeSet<&str> =
+        file.rows.iter().map(|r| r.kernel.as_str()).collect();
+    assert_eq!(kernels.len(), 9, "all nine paper kernels evaluated");
+
+    // The headline acceptance bound: mean regret ≤ 5 % at K = 6.
+    let mean6 = file.mean_regret_pct(6).expect("K=6 rows present");
+    assert!(mean6 <= 5.0, "mean regret at K=6 is {mean6:.3}% (bound 5%)");
+    // The curve is monotone: more probes never raise the mean regret.
+    let mean3 = file.mean_regret_pct(3).unwrap();
+    let mean12 = file.mean_regret_pct(12).unwrap();
+    assert!(mean12 <= mean6 && mean6 <= mean3, "{mean3:.2} / {mean6:.2} / {mean12:.2}");
+    // K = 12 probes most of every 13–14-candidate grid: regret is zero.
+    assert!(mean12 < 1e-9, "K=12 regret must be zero, got {mean12:.4}%");
+
+    for r in &file.rows {
+        // The oracle is the grid minimum; nothing beats it.
+        assert!(r.chosen_cycles >= r.oracle_cycles, "{}/{}", r.kernel, r.topo);
+        assert!(r.eq1_cycles >= r.oracle_cycles, "{}/{}", r.kernel, r.topo);
+        // Traffic accounting covers the whole grid exactly.
+        assert_eq!(
+            r.probes_simulated + r.probes_cached + r.gt_simulated + r.gt_cached,
+            r.candidates as u64
+        );
+        assert_eq!(r.unprobed, r.candidates - r.probes);
+    }
+}
+
+#[test]
+fn tuned_choice_is_pinned_on_the_small_grid() {
+    // Kernels are seeded and the simulator is deterministic, so the
+    // whole pipeline — probe schedule, counter fit, grid prediction,
+    // winner — resolves to exactly one lws per (kernel, budget). These
+    // pins are the values in the committed artefact; a model or
+    // schedule change that moves them must regenerate TUNE_PR8.json.
+    let config: DeviceConfig = "1c2w4t".parse().unwrap();
+    let factories = kernel_factories(Scale::Sweep);
+    let expected = [("vecadd", [(6usize, 64u32), (12, 128)]), ("relu", [(6, 64), (12, 256)])];
+    for (kernel, pins) in expected {
+        let factory = factories.iter().find(|f| f.name == kernel).unwrap();
+        let rows = evaluate_tune(factory, &config, &[6, 12], None).unwrap();
+        for (budget, lws) in pins {
+            let row = rows.iter().find(|r| r.budget == budget).unwrap();
+            assert_eq!(
+                (row.budget, row.chosen_lws),
+                (budget, lws),
+                "{kernel} K={budget} chose lws={}",
+                row.chosen_lws
+            );
+            // And the committed artefact carries the same cell.
+            let committed = committed_artifact();
+            let cell = committed
+                .rows
+                .iter()
+                .find(|r| r.kernel == kernel && r.topo == "1c2w4t" && r.budget == budget)
+                .expect("cell present in committed artefact");
+            assert_eq!(cell.chosen_lws, lws);
+            assert_eq!(cell.chosen_cycles, row.chosen_cycles);
+            assert_eq!(cell.oracle_cycles, row.oracle_cycles);
+        }
+    }
+}
+
+#[test]
+fn live_regret_stays_bounded_on_fast_kernels() {
+    // A live (no-store) re-derivation of the regret bound on the two
+    // fastest kernels: the K=6 tuner stays within 6 % of the oracle on
+    // this small grid (the committed 27-cell mean is the tighter 5 %
+    // gate; per-cell values run a little above or below it).
+    let config: DeviceConfig = "1c2w4t".parse().unwrap();
+    let factories = kernel_factories(Scale::Sweep);
+    let mut regrets = Vec::new();
+    for kernel in ["vecadd", "relu"] {
+        let factory = factories.iter().find(|f| f.name == kernel).unwrap();
+        let rows = evaluate_tune(factory, &config, &[6], None).unwrap();
+        regrets.push(rows[0].regret_pct());
+    }
+    let mean = regrets.iter().sum::<f64>() / regrets.len() as f64;
+    assert!(mean <= 6.0, "live mean regret {mean:.3}% exceeds 6%");
+}

@@ -1,0 +1,96 @@
+//! The single source of lws-candidate arithmetic.
+//!
+//! Before PR 8 the Eq. 1 floor/ceiling variants and the candidate grid
+//! were computed in two places with slightly different clamping
+//! ([`LwsPolicy::lws_for`](crate::LwsPolicy::lws_for) and the oracle's
+//! candidate enumeration). Both now delegate here, so the tuner, the
+//! oracle and the online autotuner search exactly the same space.
+
+use vortex_sim::DeviceConfig;
+
+/// Eq. 1 of the paper with floor division: `max(1, ⌊gws / hp⌋)`,
+/// clamped to `1..=gws`. The floor never exceeds `gws`, so the clamp
+/// only enforces the lower bound — it is written out so the floor and
+/// ceiling variants share one contract.
+pub fn eq1_floor(gws: u32, hp: u64) -> u32 {
+    debug_assert!(gws > 0, "gws must be positive");
+    ((u64::from(gws) / hp.max(1)) as u32).clamp(1, gws.max(1))
+}
+
+/// Ceiling variant of Eq. 1: `max(1, ⌈gws / hp⌉)`, clamped to `1..=gws`
+/// (the ceiling can exceed `gws` only when `gws = 0`, which the runtime
+/// rejects; the clamp keeps the contract total anyway).
+pub fn eq1_ceil(gws: u32, hp: u64) -> u32 {
+    debug_assert!(gws > 0, "gws must be positive");
+    (u64::from(gws).div_ceil(hp.max(1)) as u32).clamp(1, gws.max(1))
+}
+
+/// The candidate lws values any search over a launch of `gws` items on
+/// `config` should consider: 1, every power of two below `gws`, `gws`
+/// itself, and the two Eq. 1 variants — deduplicated and sorted
+/// ascending.
+///
+/// This is the grid the exhaustive oracle measures, the grid the online
+/// autotuner probes a subset of and predicts the rest of, and the grid
+/// regret is computed over — one enumeration, three consumers.
+///
+/// # Examples
+///
+/// ```
+/// use vortex_core::autotune::lws_candidates;
+/// use vortex_sim::DeviceConfig;
+/// let cfg = DeviceConfig::with_topology(1, 2, 4); // hp = 8
+/// let c = lws_candidates(100, &cfg);
+/// assert!(c.contains(&1) && c.contains(&64) && c.contains(&100));
+/// assert!(c.contains(&12) && c.contains(&13)); // Eq. 1 floor and ceiling
+/// assert!(c.windows(2).all(|w| w[0] < w[1]), "sorted, deduplicated");
+/// ```
+pub fn lws_candidates(gws: u32, config: &DeviceConfig) -> Vec<u32> {
+    let mut candidates = vec![1u32];
+    let mut p = 2u32;
+    while p < gws {
+        candidates.push(p);
+        p = p.saturating_mul(2);
+    }
+    candidates.push(gws.max(1));
+    let hp = config.hardware_parallelism();
+    candidates.push(eq1_floor(gws, hp));
+    candidates.push(eq1_ceil(gws, hp));
+    candidates.sort_unstable();
+    candidates.dedup();
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_variants_agree_with_the_paper() {
+        // Fig. 1: vecadd gws=128 on hp=8 -> 16 either way (divisible).
+        assert_eq!(eq1_floor(128, 8), 16);
+        assert_eq!(eq1_ceil(128, 8), 16);
+        // hp > gws resolves to lws=1 in both variants.
+        assert_eq!(eq1_floor(128, 256), 1);
+        assert_eq!(eq1_ceil(128, 256), 1);
+        // Non-divisible: floor and ceiling straddle the ratio.
+        assert_eq!(eq1_floor(100, 8), 12);
+        assert_eq!(eq1_ceil(100, 8), 13);
+    }
+
+    #[test]
+    fn candidates_cover_extremes_and_eq1() {
+        let cfg = DeviceConfig::with_topology(2, 4, 8); // hp = 64
+        let c = lws_candidates(4096, &cfg);
+        assert_eq!(*c.first().unwrap(), 1);
+        assert_eq!(*c.last().unwrap(), 4096);
+        assert!(c.contains(&64)); // Eq. 1
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn gws_one_collapses_to_a_single_candidate() {
+        let cfg = DeviceConfig::with_topology(1, 1, 1);
+        assert_eq!(lws_candidates(1, &cfg), vec![1]);
+    }
+}

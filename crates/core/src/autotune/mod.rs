@@ -1,0 +1,63 @@
+//! Counter-driven online lws autotuning (PR 8, ROADMAP item 2).
+//!
+//! The paper's Eq. 1 predicts the best `local_work_size` from topology
+//! alone; the exhaustive oracle measures every candidate. This module
+//! closes the gap between the two: probe a **budget of K candidates**,
+//! read their runtime counters, fit an occupancy × locality cost model,
+//! and predict the remaining grid — an online autotuner that costs K
+//! simulations instead of the full sweep, in the spirit of the
+//! static+predictive autotuning literature (Lim et al., Brandt et al. —
+//! see PAPERS.md).
+//!
+//! The pipeline, one sub-module per stage:
+//!
+//! 1. [`candidates`] — the single source of the lws grid (Eq. 1 floor
+//!    and ceiling, the power-of-two ladder, the extremes). The static
+//!    tuner and the oracle delegate here too.
+//! 2. [`schedule`] — deterministic probe selection: Eq. 1 + extremes
+//!    seeds, then largest-log₂-gap bisection up to the budget.
+//! 3. [`model`] — the cost model `cycles ≈ α·WG(lws)·(i₀+i₁·lws) +
+//!    β·rounds + γ`, fit from probed [`DispatchStats`] counters by
+//!    deterministic least squares.
+//! 4. [`tune`] — the loop: measure the schedule, fit, rank the union of
+//!    measured and predicted cycles, pick the winner.
+//!
+//! Everything is deterministic integer/f64 arithmetic in fixed order —
+//! same probes, same model, same choice, bit-for-bit. The bench-side
+//! driver (`crates/bench/src/tune.rs`, `tune` binary) feeds this from
+//! the content-addressed campaign store and evaluates regret against
+//! the exhaustive oracle; `docs/TUNING.md` documents the methodology
+//! end-to-end.
+//!
+//! [`DispatchStats`]: crate::DispatchStats
+//!
+//! # Examples
+//!
+//! Tune a launch with a synthetic cost function as the probe oracle:
+//!
+//! ```
+//! use vortex_core::autotune::{tune_lws, ProbedRow};
+//! use vortex_core::DispatchStats;
+//! use vortex_sim::DeviceConfig;
+//!
+//! let cfg = DeviceConfig::with_topology(1, 2, 4); // hp = 8
+//! let outcome = tune_lws::<std::convert::Infallible>(128, &cfg, 3, |lws| {
+//!     // Stand-in for a simulated (or store-fetched) probe run.
+//!     let cycles = 1000 / u64::from(lws) + 4 * u64::from(lws);
+//!     let dispatch = DispatchStats { instructions: 640, ..Default::default() };
+//!     Ok(ProbedRow { lws, cycles, dispatch })
+//! })
+//! .unwrap();
+//! assert_eq!(outcome.probes.len(), 3);
+//! assert!(outcome.candidates.contains(&outcome.chosen_lws));
+//! ```
+
+pub mod candidates;
+pub mod model;
+pub mod schedule;
+pub mod tune;
+
+pub use candidates::{eq1_ceil, eq1_floor, lws_candidates};
+pub use model::{CostModel, OccupancyFeatures, ProbedRow};
+pub use schedule::{probe_schedule, probe_schedule_for};
+pub use tune::{tune_lws, CandidateEstimate, TuneOutcome};

@@ -1,0 +1,390 @@
+//! The occupancy × locality cost model: probed counters in, predicted
+//! cycles per candidate out.
+//!
+//! The model is built on one structural fact of the POCL-style mapping
+//! (see [`WorkMapping`]): a launch serialises into *warp groups* — warp
+//! activations on the busiest core, each executing one task per lane in
+//! lockstep — and every warp group issues the same per-task instruction
+//! stream, whose length is affine in `lws` (dispatch-loop overhead plus
+//! `lws` iterations of the kernel body). Cycles decompose as
+//!
+//! ```text
+//! cycles(lws) ≈ α · WG(lws) · (i₀ + i₁·lws)  +  β · R(lws)  +  γ
+//!               └─────────── occupancy ────────┘
+//! ```
+//!
+//! where `WG` (busiest-core warp groups) and `R` (busiest-core dispatch
+//! rounds) come from mapping arithmetic — no simulation — and the three
+//! coefficients are **fit from probed counters**:
+//!
+//! * `i₀`, `i₁` (instructions per warp group, per task and per item) are
+//!   regressed from the probes' measured issue counters
+//!   ([`DispatchStats::instructions`]) against their analytic
+//!   total-warp-group counts — stage 1, the *instruction sub-model*;
+//! * `α` is the effective cycles per issued instruction on the critical
+//!   core — the **locality** term: the probes' measured cycles embed
+//!   their cache hit rates, DRAM stalls and divergence, so a
+//!   memory-bound kernel fits a larger `α` than an ALU-bound one;
+//! * `β` is the per-round overhead (respawn, barrier, drain overlap) and
+//!   `γ` the fixed launch cost — stage 2, fit on measured cycles.
+//!
+//! Everything is deterministic f64 arithmetic in a fixed order (least
+//! squares via scaled normal equations and Gaussian elimination — no
+//! randomness, no iteration-order dependence), so a fit over the same
+//! probes reproduces bit-identically.
+
+use vortex_sim::DeviceConfig;
+
+use crate::mapping::WorkMapping;
+use crate::plan::DispatchStats;
+
+/// One probed observation: a candidate `lws` actually executed (or
+/// fetched from the campaign result store), with its measured cycles and
+/// raw counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbedRow {
+    /// The probed `local_work_size`.
+    pub lws: u32,
+    /// Measured device cycles of the run (all phases, drain included).
+    pub cycles: u64,
+    /// The run's dispatch/occupancy/issue counters; the instruction
+    /// sub-model is fit from
+    /// [`instructions`](DispatchStats::instructions).
+    pub dispatch: DispatchStats,
+}
+
+/// The mapping-derived features of one candidate `lws` — pure
+/// arithmetic over [`WorkMapping`], no simulation.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct OccupancyFeatures {
+    /// The candidate `lws`.
+    pub lws: u32,
+    /// Dispatch rounds on the busiest core ([`WorkMapping::rounds`]).
+    pub rounds: f64,
+    /// Warp activations on the busiest core, summed over rounds
+    /// ([`WorkMapping::busiest_warp_groups`]).
+    pub busiest_warp_groups: f64,
+    /// Warp activations summed over every core and round
+    /// ([`WorkMapping::total_warp_groups`]) — the divisor that turns
+    /// measured issue counts into instructions per warp group.
+    pub total_warp_groups: f64,
+}
+
+impl OccupancyFeatures {
+    /// Computes the features of running `gws` items at `lws` on `config`.
+    /// `lws` is clamped to `1..=gws` exactly as the launch path clamps it.
+    pub fn for_launch(gws: u32, lws: u32, config: &DeviceConfig) -> Self {
+        let lws = lws.clamp(1, gws.max(1));
+        let plan = WorkMapping::plan(gws, lws, config);
+        OccupancyFeatures {
+            lws,
+            rounds: f64::from(plan.rounds()),
+            busiest_warp_groups: plan.busiest_warp_groups() as f64,
+            total_warp_groups: plan.total_warp_groups() as f64,
+        }
+    }
+}
+
+/// The fitted cost model (see the module docs for the functional form).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    gws: u32,
+    config: DeviceConfig,
+    /// Instructions per warp group: `i0 + i1·lws`.
+    instr_per_task: f64,
+    instr_per_item: f64,
+    /// Stage-2 coefficients: cycles per busiest-core issued instruction
+    /// (locality), cycles per round (overhead), fixed cycles (launch).
+    cpi: f64,
+    round_cost: f64,
+    fixed_cost: f64,
+}
+
+impl CostModel {
+    /// Fits the model to `probes` for a launch of `gws` items on
+    /// `config`.
+    ///
+    /// One probe fixes only a proportionality constant (predictions
+    /// scale the probe's cycles by the occupancy ratio); two probes fit
+    /// the instruction sub-model and a `cpi`-plus-constant stage 2;
+    /// three or more fit the full three-coefficient stage 2 by least
+    /// squares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probes` is empty or `gws == 0`.
+    pub fn fit(gws: u32, config: &DeviceConfig, probes: &[ProbedRow]) -> Self {
+        assert!(gws > 0, "gws must be positive");
+        assert!(!probes.is_empty(), "cannot fit a cost model without probes");
+
+        let feats: Vec<OccupancyFeatures> =
+            probes.iter().map(|p| OccupancyFeatures::for_launch(gws, p.lws, config)).collect();
+
+        // Stage 1: instructions per warp group is affine in lws.
+        // Regress measured issue counts against [wg_total, wg_total·lws].
+        let (instr_per_task, instr_per_item) = if probes.len() == 1 {
+            let ipw = probes[0].dispatch.instructions as f64 / feats[0].total_warp_groups.max(1.0);
+            (0.0, ipw / f64::from(feats[0].lws))
+        } else {
+            let rows: Vec<[f64; 2]> = feats
+                .iter()
+                .map(|f| [f.total_warp_groups, f.total_warp_groups * f64::from(f.lws)])
+                .collect();
+            let targets: Vec<f64> = probes.iter().map(|p| p.dispatch.instructions as f64).collect();
+            let theta = least_squares::<2>(&rows, &targets);
+            (theta[0], theta[1])
+        };
+
+        // Stage 2: cycles against [busiest-core issues, rounds, 1].
+        let issue = |f: &OccupancyFeatures| {
+            f.busiest_warp_groups * (instr_per_task + instr_per_item * f64::from(f.lws))
+        };
+        let targets: Vec<f64> = probes.iter().map(|p| p.cycles as f64).collect();
+        let (cpi, round_cost, fixed_cost) = match probes.len() {
+            1 => {
+                let denom = issue(&feats[0]).max(1.0);
+                (targets[0] / denom, 0.0, 0.0)
+            }
+            2 => {
+                let rows: Vec<[f64; 2]> = feats.iter().map(|f| [issue(f), 1.0]).collect();
+                let theta = least_squares::<2>(&rows, &targets);
+                (theta[0], 0.0, theta[1])
+            }
+            _ => {
+                let rows: Vec<[f64; 3]> = feats.iter().map(|f| [issue(f), f.rounds, 1.0]).collect();
+                let theta = least_squares::<3>(&rows, &targets);
+                (theta[0], theta[1], theta[2])
+            }
+        };
+
+        CostModel {
+            gws,
+            config: *config,
+            instr_per_task,
+            instr_per_item,
+            cpi,
+            round_cost,
+            fixed_cost,
+        }
+    }
+
+    /// Predicted cycles at `lws` (clamped to at least 1.0 — a launch
+    /// can never be free).
+    pub fn predict(&self, lws: u32) -> f64 {
+        let f = OccupancyFeatures::for_launch(self.gws, lws, &self.config);
+        let issue =
+            f.busiest_warp_groups * (self.instr_per_task + self.instr_per_item * f64::from(f.lws));
+        (self.cpi * issue + self.round_cost * f.rounds + self.fixed_cost).max(1.0)
+    }
+
+    /// Predicted issue count of the whole device at `lws`, from the
+    /// stage-1 instruction sub-model (diagnostic; comparable to
+    /// [`DispatchStats::instructions`]).
+    pub fn predict_instructions(&self, lws: u32) -> f64 {
+        let f = OccupancyFeatures::for_launch(self.gws, lws, &self.config);
+        (f.total_warp_groups * (self.instr_per_task + self.instr_per_item * f64::from(f.lws)))
+            .max(0.0)
+    }
+
+    /// Fitted per-task instruction overhead `i₀` (dispatch-loop cost per
+    /// warp group).
+    pub fn instr_per_task(&self) -> f64 {
+        self.instr_per_task
+    }
+
+    /// Fitted per-item instruction cost `i₁` (kernel body issues per
+    /// `lws` iteration).
+    pub fn instr_per_item(&self) -> f64 {
+        self.instr_per_item
+    }
+
+    /// Fitted effective cycles per critical-core issued instruction `α`
+    /// — the locality term (embeds the probes' cache hit rates and DRAM
+    /// stalls).
+    pub fn cycles_per_issue(&self) -> f64 {
+        self.cpi
+    }
+
+    /// Fitted per-dispatch-round overhead `β` in cycles.
+    pub fn round_cost(&self) -> f64 {
+        self.round_cost
+    }
+
+    /// Fitted fixed launch cost `γ` in cycles.
+    pub fn fixed_cost(&self) -> f64 {
+        self.fixed_cost
+    }
+}
+
+/// Least squares over `N` coefficients: minimises `‖X·θ − y‖²` via the
+/// normal equations with per-column scaling (conditioning) and a tiny
+/// relative ridge (determinism and solvability when probes are fewer
+/// than coefficients or collinear). Fixed evaluation order throughout —
+/// the same inputs reproduce bit-identical coefficients.
+fn least_squares<const N: usize>(rows: &[[f64; N]], y: &[f64]) -> [f64; N] {
+    // Column scales: max |x| per column, 1.0 for all-zero columns.
+    let mut scale = [1.0f64; N];
+    for (j, s) in scale.iter_mut().enumerate() {
+        let m = rows.iter().map(|r| r[j].abs()).fold(0.0f64, f64::max);
+        if m > 0.0 {
+            *s = m;
+        }
+    }
+    // Normal equations on the scaled columns.
+    let mut ata = [[0.0f64; N]; N];
+    let mut aty = [0.0f64; N];
+    for (row, &target) in rows.iter().zip(y) {
+        for j in 0..N {
+            let xj = row[j] / scale[j];
+            aty[j] += xj * target;
+            for k in 0..N {
+                ata[j][k] += xj * row[k] / scale[k];
+            }
+        }
+    }
+    // Relative ridge keeps the system solvable and the solution unique.
+    let trace: f64 = (0..N).map(|j| ata[j][j]).sum();
+    let ridge = 1e-12 * (trace / N as f64).max(1e-30);
+    for (j, row) in ata.iter_mut().enumerate() {
+        row[j] += ridge;
+    }
+    // Gaussian elimination with partial pivoting.
+    let mut theta = solve(&mut ata, &mut aty);
+    for j in 0..N {
+        theta[j] /= scale[j];
+    }
+    theta
+}
+
+/// Solves `a·x = b` in place (partial pivoting; `a` is symmetric
+/// positive definite after the ridge, so a pivot is always available).
+fn solve<const N: usize>(a: &mut [[f64; N]; N], b: &mut [f64; N]) -> [f64; N] {
+    for col in 0..N {
+        let pivot = (col..N)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty pivot range");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        let pivot_row = a[col];
+        for row in col + 1..N {
+            let factor = a[row][col] / diag;
+            for (elem, p) in a[row].iter_mut().zip(pivot_row).skip(col) {
+                *elem -= factor * p;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = [0.0f64; N];
+    for col in (0..N).rev() {
+        let mut acc = b[col];
+        for k in col + 1..N {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autotune::candidates::lws_candidates;
+
+    /// Synthesises the counters a launch at `lws` would produce under a
+    /// known ground-truth cost law, so fits can be checked exactly.
+    fn synthetic_row(gws: u32, lws: u32, config: &DeviceConfig) -> (ProbedRow, u64) {
+        let f = OccupancyFeatures::for_launch(gws, lws, config);
+        let instructions = (f.total_warp_groups * (6.0 + 3.0 * f64::from(f.lws))).round() as u64;
+        let issue = f.busiest_warp_groups * (6.0 + 3.0 * f64::from(f.lws));
+        let cycles = (2.0 * issue + 40.0 * f.rounds + 500.0).round() as u64;
+        let dispatch = DispatchStats { instructions, ..DispatchStats::default() };
+        (ProbedRow { lws, cycles, dispatch }, cycles)
+    }
+
+    #[test]
+    fn fit_on_synthetic_rows_predicts_the_exact_ordering() {
+        let config = DeviceConfig::with_topology(2, 2, 4); // hp = 16
+        let gws = 1024;
+        let candidates = lws_candidates(gws, &config);
+        let truth: Vec<(u32, u64)> =
+            candidates.iter().map(|&lws| (lws, synthetic_row(gws, lws, &config).1)).collect();
+
+        // Probe a 4-point subset and predict the whole grid.
+        let probes: Vec<ProbedRow> =
+            [1u32, 8, 64, 1024].iter().map(|&lws| synthetic_row(gws, lws, &config).0).collect();
+        let model = CostModel::fit(gws, &config, &probes);
+
+        let mut predicted: Vec<(u32, f64)> =
+            candidates.iter().map(|&lws| (lws, model.predict(lws))).collect();
+        predicted.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let mut expected = truth.clone();
+        expected.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        let predicted_order: Vec<u32> = predicted.iter().map(|(lws, _)| *lws).collect();
+        let expected_order: Vec<u32> = expected.iter().map(|(lws, _)| *lws).collect();
+        assert_eq!(predicted_order, expected_order, "fit must reproduce the exact cost ordering");
+
+        // The synthetic law is inside the model family, so the fit is
+        // exact (up to float round-off) — not just order-preserving.
+        for (lws, cycles) in &truth {
+            let rel = (model.predict(*lws) - *cycles as f64).abs() / *cycles as f64;
+            assert!(rel < 1e-6, "lws={lws}: predicted {} vs true {cycles}", model.predict(*lws));
+        }
+    }
+
+    #[test]
+    fn stage1_recovers_the_instruction_law() {
+        let config = DeviceConfig::with_topology(1, 2, 4);
+        let gws = 512;
+        let probes: Vec<ProbedRow> =
+            [2u32, 16, 128].iter().map(|&lws| synthetic_row(gws, lws, &config).0).collect();
+        let model = CostModel::fit(gws, &config, &probes);
+        assert!((model.instr_per_task() - 6.0).abs() < 1e-5);
+        assert!((model.instr_per_item() - 3.0).abs() < 1e-5);
+        assert!((model.cycles_per_issue() - 2.0).abs() < 1e-4);
+        assert!((model.round_cost() - 40.0).abs() < 1e-1);
+        assert!((model.fixed_cost() - 500.0).abs() < 1.0);
+        // The instruction sub-model predicts unprobed issue counts too.
+        let (unprobed, _) = synthetic_row(gws, 32, &config);
+        let rel = (model.predict_instructions(32) - unprobed.dispatch.instructions as f64).abs()
+            / unprobed.dispatch.instructions as f64;
+        assert!(rel < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_probe_counts_still_predict() {
+        let config = DeviceConfig::with_topology(1, 2, 2);
+        let gws = 256;
+        // One probe: ratio model. busiest_wg·lws is near-constant across
+        // the grid, so the curve may be flat — but predictions must stay
+        // finite, positive and reproduce the probe itself.
+        let (probe, cycles) = synthetic_row(gws, 4, &config);
+        let model = CostModel::fit(gws, &config, &[probe]);
+        for lws in [1u32, 4, 16, 64, 256] {
+            let p = model.predict(lws);
+            assert!(p.is_finite() && p >= 1.0, "lws={lws}: predicted {p}");
+        }
+        assert!((model.predict(4) - cycles as f64).abs() / (cycles as f64) < 1e-9);
+        // Two probes pin the occupancy slope: cost must fall from the
+        // serialisation extreme to the Eq. 1 point.
+        let probes: Vec<ProbedRow> =
+            [2u32, 32].iter().map(|&lws| synthetic_row(gws, lws, &config).0).collect();
+        let model = CostModel::fit(gws, &config, &probes);
+        assert!(model.predict(1) > model.predict(64));
+        assert!(model.predict(64) >= 1.0);
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let config = DeviceConfig::with_topology(4, 4, 8);
+        let gws = 4096;
+        let probes: Vec<ProbedRow> = [1u32, 4, 32, 128, 1024, 4096]
+            .iter()
+            .map(|&l| synthetic_row(gws, l, &config).0)
+            .collect();
+        let a = CostModel::fit(gws, &config, &probes);
+        let b = CostModel::fit(gws, &config, &probes);
+        assert_eq!(a, b);
+        assert_eq!(a.predict(512).to_bits(), b.predict(512).to_bits());
+    }
+}

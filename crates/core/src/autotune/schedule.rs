@@ -1,0 +1,187 @@
+//! Deterministic probe scheduling: which K of the candidate grid to
+//! actually simulate.
+//!
+//! The schedule is pure arithmetic over the candidate list — no
+//! randomness, no measured data — so the same `(gws, config, budget)`
+//! always probes the same configs and a warm campaign store replays a
+//! tuning run without simulating anything.
+
+use vortex_sim::DeviceConfig;
+
+use crate::autotune::candidates::{eq1_floor, lws_candidates};
+
+/// Picks the `budget` candidates to probe out of `candidates` (which
+/// must be sorted ascending and deduplicated, as
+/// [`lws_candidates`] returns them).
+///
+/// Selection order, deterministic:
+///
+/// 1. the Eq. 1 floor point (the paper's predicted optimum — the
+///    anchor the cost model must get right),
+/// 2. the smallest candidate (`lws = 1`, the serialisation extreme),
+/// 3. the largest candidate (`lws = gws`, the under-fill extreme),
+/// 4. then repeatedly the candidate that bisects the largest log₂ gap
+///    between already-selected neighbours (ties: the leftmost gap, the
+///    candidate closest to its geometric midpoint, then the smaller
+///    lws).
+///
+/// The three seeds bracket the occupancy curve; gap bisection spreads
+/// the remaining budget where the grid is least constrained. Returns
+/// the probes sorted ascending. If `budget >= candidates.len()` every
+/// candidate is probed (the tuner degenerates to the oracle).
+pub fn probe_schedule(
+    candidates: &[u32],
+    gws: u32,
+    config: &DeviceConfig,
+    budget: usize,
+) -> Vec<u32> {
+    debug_assert!(candidates.windows(2).all(|w| w[0] < w[1]), "candidates must be sorted+deduped");
+    if budget >= candidates.len() {
+        return candidates.to_vec();
+    }
+    let mut selected: Vec<u32> = Vec::with_capacity(budget);
+    let eq1 = eq1_floor(gws, config.hardware_parallelism());
+    // Seed with the Eq. 1 anchor (snapped to the nearest candidate) and
+    // the extremes, respecting the budget.
+    let anchor = nearest(candidates, eq1);
+    for lws in [anchor, candidates[0], *candidates.last().expect("non-empty grid")] {
+        if selected.len() < budget && !selected.contains(&lws) {
+            selected.push(lws);
+        }
+    }
+    selected.sort_unstable();
+    // Fill the rest by bisecting the widest log2 gap.
+    while selected.len() < budget {
+        let Some(pick) = widest_gap_midpoint(candidates, &selected) else { break };
+        let pos = selected.partition_point(|&s| s < pick);
+        selected.insert(pos, pick);
+    }
+    selected
+}
+
+/// Convenience: the probe schedule over the full candidate grid of a
+/// launch (`lws_candidates(gws, config)`).
+pub fn probe_schedule_for(gws: u32, config: &DeviceConfig, budget: usize) -> Vec<u32> {
+    probe_schedule(&lws_candidates(gws, config), gws, config, budget)
+}
+
+/// The candidate nearest to `target` in log₂ distance (ties: smaller).
+fn nearest(candidates: &[u32], target: u32) -> u32 {
+    *candidates
+        .iter()
+        .min_by(|&&a, &&b| log_dist(a, target).total_cmp(&log_dist(b, target)).then(a.cmp(&b)))
+        .expect("non-empty grid")
+}
+
+fn log_dist(a: u32, b: u32) -> f64 {
+    (f64::from(a.max(1)).log2() - f64::from(b.max(1)).log2()).abs()
+}
+
+/// The unselected candidate closest to the geometric midpoint of the
+/// widest log₂ gap between consecutive selected probes (including the
+/// gaps to the grid's ends). `None` when every candidate is selected.
+fn widest_gap_midpoint(candidates: &[u32], selected: &[u32]) -> Option<u32> {
+    let mut best: Option<(f64, u32)> = None; // (gap width, pick)
+    let mut consider = |lo: u32, hi: u32| {
+        if hi <= lo {
+            return;
+        }
+        let width = log_dist(lo, hi);
+        let mid = (f64::from(lo.max(1)).log2() + f64::from(hi.max(1)).log2()) / 2.0;
+        // Closest unselected candidate strictly inside the gap.
+        let pick = candidates
+            .iter()
+            .copied()
+            .filter(|c| *c > lo && *c < hi && !selected.contains(c))
+            .min_by(|&a, &b| {
+                let da = (f64::from(a).log2() - mid).abs();
+                let db = (f64::from(b).log2() - mid).abs();
+                da.total_cmp(&db).then(a.cmp(&b))
+            });
+        if let Some(pick) = pick {
+            let better = match best {
+                None => true,
+                // Strictly-wider wins; ties keep the leftmost gap.
+                Some((w, _)) => width > w + 1e-12,
+            };
+            if better {
+                best = Some((width, pick));
+            }
+        }
+    };
+    // Gaps between consecutive selected probes; selected always contains
+    // the grid extremes (seeded first), so interior gaps cover the grid.
+    for w in selected.windows(2) {
+        consider(w[0], w[1]);
+    }
+    // Defensive: if extremes were cut by a tiny budget, cover the ends.
+    if let (Some(&first), Some(&last)) = (selected.first(), selected.last()) {
+        if let Some(&lo) = candidates.first() {
+            consider(lo.min(first), first);
+        }
+        if let Some(&hi) = candidates.last() {
+            consider(last, hi.max(last));
+        }
+    }
+    best.map(|(_, pick)| pick)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_eq1_and_extremes() {
+        let cfg = DeviceConfig::with_topology(2, 2, 4); // hp = 16
+        let grid = lws_candidates(4096, &cfg); // eq1 = 256
+        let probes = probe_schedule(&grid, 4096, &cfg, 3);
+        assert_eq!(probes, vec![1, 256, 4096]);
+    }
+
+    #[test]
+    fn budget_six_bisects_the_gaps() {
+        let cfg = DeviceConfig::with_topology(2, 2, 4); // hp = 16
+        let grid = lws_candidates(4096, &cfg);
+        let probes = probe_schedule(&grid, 4096, &cfg, 6);
+        // Contains the three seeds plus three gap-bisectors.
+        assert_eq!(probes.len(), 6);
+        for seed in [1, 256, 4096] {
+            assert!(probes.contains(&seed), "missing seed {seed} in {probes:?}");
+        }
+        assert!(probes.windows(2).all(|w| w[0] < w[1]));
+        // Every probe is a grid member.
+        assert!(probes.iter().all(|p| grid.contains(p)));
+    }
+
+    #[test]
+    fn budget_at_least_grid_probes_everything() {
+        let cfg = DeviceConfig::with_topology(1, 2, 4);
+        let grid = lws_candidates(128, &cfg);
+        assert_eq!(probe_schedule(&grid, 128, &cfg, 64), grid);
+        assert_eq!(probe_schedule(&grid, 128, &cfg, grid.len()), grid);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_monotone_in_budget() {
+        let cfg = DeviceConfig::with_topology(4, 8, 8);
+        let grid = lws_candidates(8192, &cfg);
+        let a = probe_schedule(&grid, 8192, &cfg, 6);
+        let b = probe_schedule(&grid, 8192, &cfg, 6);
+        assert_eq!(a, b);
+        // A larger budget keeps all earlier probes (selection is greedy).
+        let k3 = probe_schedule(&grid, 8192, &cfg, 3);
+        let k12 = probe_schedule(&grid, 8192, &cfg, 12);
+        assert!(k3.iter().all(|p| k12.contains(p)), "{k3:?} not in {k12:?}");
+        assert_eq!(k12.len(), 12.min(grid.len()));
+    }
+
+    #[test]
+    fn tiny_grid_small_budget() {
+        let cfg = DeviceConfig::with_topology(1, 1, 1);
+        let grid = lws_candidates(1, &cfg); // [1]
+        assert_eq!(probe_schedule(&grid, 1, &cfg, 3), vec![1]);
+        let grid = lws_candidates(4, &cfg); // [1, 2, 4]
+        assert_eq!(probe_schedule(&grid, 4, &cfg, 1).len(), 1);
+        assert_eq!(probe_schedule(&grid, 4, &cfg, 2).len(), 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! The online tuning loop: probe K candidates, fit the cost model,
+//! predict the rest of the grid, pick a winner.
+
+use vortex_sim::DeviceConfig;
+
+use crate::autotune::candidates::lws_candidates;
+use crate::autotune::model::{CostModel, ProbedRow};
+use crate::autotune::schedule::probe_schedule;
+
+/// One entry of the tuner's final per-candidate ranking.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CandidateEstimate {
+    /// The candidate `lws`.
+    pub lws: u32,
+    /// Estimated cycles: the measurement itself for probed candidates,
+    /// the cost-model prediction for the rest.
+    pub cycles: f64,
+    /// Whether this candidate was actually probed (measured) rather
+    /// than predicted.
+    pub probed: bool,
+}
+
+/// The result of one tuning run over a launch's candidate grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuneOutcome {
+    /// The full candidate grid searched (sorted ascending).
+    pub candidates: Vec<u32>,
+    /// The probed subset, in grid order, with measured counters.
+    pub probes: Vec<ProbedRow>,
+    /// The cost model fit from the probes.
+    pub model: CostModel,
+    /// Every candidate with its measured-or-predicted cycles, sorted by
+    /// estimated cycles ascending (ties: smaller lws first).
+    pub ranking: Vec<CandidateEstimate>,
+    /// The chosen `lws` — the head of `ranking`.
+    pub chosen_lws: u32,
+    /// Estimated cycles of the chosen candidate (measured if it was
+    /// probed).
+    pub chosen_cycles: f64,
+}
+
+/// Runs the online autotuner for a launch of `gws` items on `config`
+/// with a probe budget of `budget` configs.
+///
+/// `measure` executes (or fetches from a result store) one probe and
+/// returns its measured cycles and counters; any error aborts the run
+/// and is returned verbatim. Candidates the budget does not cover are
+/// never measured — their cycles come from the [`CostModel`] fit on the
+/// probes. The winner is the candidate with the smallest estimate over
+/// the *union* of measured and predicted values, so a probed optimum is
+/// never lost to a model error, and ties break to the smaller `lws`
+/// (deterministic).
+///
+/// # Panics
+///
+/// Panics if `gws == 0` or `budget == 0`.
+pub fn tune_lws<E>(
+    gws: u32,
+    config: &DeviceConfig,
+    budget: usize,
+    mut measure: impl FnMut(u32) -> Result<ProbedRow, E>,
+) -> Result<TuneOutcome, E> {
+    assert!(gws > 0, "gws must be positive");
+    assert!(budget > 0, "probe budget must be positive");
+
+    let candidates = lws_candidates(gws, config);
+    let schedule = probe_schedule(&candidates, gws, config, budget);
+    let mut probes = Vec::with_capacity(schedule.len());
+    for &lws in &schedule {
+        let row = measure(lws)?;
+        debug_assert_eq!(row.lws, lws, "measure returned a row for the wrong lws");
+        probes.push(row);
+    }
+    let model = CostModel::fit(gws, config, &probes);
+
+    let mut ranking: Vec<CandidateEstimate> = candidates
+        .iter()
+        .map(|&lws| match probes.iter().find(|p| p.lws == lws) {
+            Some(p) => CandidateEstimate { lws, cycles: p.cycles as f64, probed: true },
+            None => CandidateEstimate { lws, cycles: model.predict(lws), probed: false },
+        })
+        .collect();
+    ranking.sort_by(|a, b| a.cycles.total_cmp(&b.cycles).then(a.lws.cmp(&b.lws)));
+    let chosen = ranking.first().expect("candidate grid is never empty").clone();
+
+    Ok(TuneOutcome {
+        candidates,
+        probes,
+        model,
+        ranking,
+        chosen_lws: chosen.lws,
+        chosen_cycles: chosen.cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autotune::model::OccupancyFeatures;
+    use crate::plan::DispatchStats;
+    use std::convert::Infallible;
+
+    /// A measure closure backed by a synthetic ground-truth law the
+    /// model family can represent exactly.
+    fn synthetic_measure(
+        gws: u32,
+        config: DeviceConfig,
+    ) -> impl FnMut(u32) -> Result<ProbedRow, Infallible> {
+        move |lws| {
+            let f = OccupancyFeatures::for_launch(gws, lws, &config);
+            let instructions =
+                (f.total_warp_groups * (5.0 + 2.0 * f64::from(f.lws))).round() as u64;
+            let issue = f.busiest_warp_groups * (5.0 + 2.0 * f64::from(f.lws));
+            let cycles = (3.0 * issue + 25.0 * f.rounds + 200.0).round() as u64;
+            let dispatch = DispatchStats { instructions, ..DispatchStats::default() };
+            Ok(ProbedRow { lws, cycles, dispatch })
+        }
+    }
+
+    #[test]
+    fn tuner_recovers_the_true_optimum_under_budget() {
+        let config = DeviceConfig::with_topology(2, 2, 4); // hp = 16
+        let gws = 1024;
+        // Ground truth over the full grid.
+        let mut measure = synthetic_measure(gws, config);
+        let grid = lws_candidates(gws, &config);
+        let best = grid
+            .iter()
+            .map(|&l| (l, measure(l).unwrap().cycles))
+            .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+            .unwrap();
+        // Budget 6 of a ~13-wide grid must still find it exactly (the
+        // synthetic law is inside the model family).
+        let outcome = tune_lws(gws, &config, 6, synthetic_measure(gws, config)).unwrap();
+        assert_eq!(outcome.probes.len(), 6);
+        assert_eq!(outcome.chosen_lws, best.0);
+    }
+
+    #[test]
+    fn budget_covering_the_grid_degenerates_to_the_oracle() {
+        let config = DeviceConfig::with_topology(1, 2, 4);
+        let gws = 256;
+        let outcome = tune_lws(gws, &config, 64, synthetic_measure(gws, config)).unwrap();
+        assert_eq!(outcome.probes.len(), outcome.candidates.len());
+        assert!(outcome.ranking.iter().all(|e| e.probed));
+        // Chosen value equals the measured minimum.
+        let min = outcome
+            .probes
+            .iter()
+            .map(|p| (p.lws, p.cycles))
+            .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+            .unwrap();
+        assert_eq!(outcome.chosen_lws, min.0);
+    }
+
+    #[test]
+    fn probed_minimum_beats_an_optimistic_prediction() {
+        // The winner comes from the union of measured and predicted
+        // values, so a measured optimum survives any model error.
+        let config = DeviceConfig::with_topology(1, 2, 4);
+        let outcome = tune_lws(512, &config, 3, synthetic_measure(512, config)).unwrap();
+        let best_probe =
+            outcome.probes.iter().map(|p| p.cycles as f64).fold(f64::INFINITY, f64::min);
+        assert!(outcome.chosen_cycles <= best_probe);
+    }
+
+    #[test]
+    fn measure_errors_abort_the_run() {
+        let config = DeviceConfig::with_topology(1, 2, 4);
+        let result = tune_lws(128, &config, 3, |_| Err::<ProbedRow, &str>("store offline"));
+        assert_eq!(result.unwrap_err(), "store offline");
+    }
+
+    #[test]
+    fn outcome_is_deterministic() {
+        let config = DeviceConfig::with_topology(4, 4, 8);
+        let a = tune_lws(4096, &config, 6, synthetic_measure(4096, config)).unwrap();
+        let b = tune_lws(4096, &config, 6, synthetic_measure(4096, config)).unwrap();
+        assert_eq!(a, b);
+    }
+}

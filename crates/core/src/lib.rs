@@ -40,8 +40,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod abi;
+pub mod autotune;
 pub mod digest;
 mod mapping;
 mod oracle;

@@ -135,6 +135,33 @@ impl WorkMapping {
             .unwrap_or(0)
     }
 
+    /// Warp activations on one core with `tasks` assigned: every full
+    /// round wakes all `warps` slots, the tail round only the warps its
+    /// remaining tasks fill (tasks pack threads-first).
+    fn core_warp_groups(&self, tasks: u32) -> u64 {
+        let full = u64::from(tasks / self.slots_per_core);
+        let rem = tasks % self.slots_per_core;
+        full * u64::from(self.slots_per_core / self.threads) + u64::from(rem.div_ceil(self.threads))
+    }
+
+    /// Warp activations on the busiest core, summed over its dispatch
+    /// rounds. Each activated warp executes one task per lane in
+    /// lockstep, so this is the launch's *serialised issue depth* in
+    /// units of per-task instruction streams — the occupancy feature the
+    /// autotuner's cost model is built on (see
+    /// [`autotune::OccupancyFeatures`](crate::autotune::OccupancyFeatures)).
+    pub fn busiest_warp_groups(&self) -> u64 {
+        self.ranges.iter().map(|r| self.core_warp_groups(r.len())).max().unwrap_or(0)
+    }
+
+    /// Warp activations summed over every participating core and round —
+    /// the device-wide count of per-task instruction streams executed.
+    /// Measured issue counts divide by this to give instructions per
+    /// warp-group, the quantity that is linear in `lws`.
+    pub fn total_warp_groups(&self) -> u64 {
+        self.ranges.iter().map(|r| self.core_warp_groups(r.len())).sum()
+    }
+
     /// The paper's mapping regime for this plan.
     pub fn scenario(&self) -> MappingScenario {
         MappingScenario::classify(self.gws, self.lws, self.hp)
@@ -226,6 +253,26 @@ mod tests {
         assert!(plan.verify_coverage());
         let total: u32 = plan.core_ranges().iter().map(|r| r.len()).sum();
         assert_eq!(total, 143);
+    }
+
+    #[test]
+    fn warp_groups_count_tail_rounds_exactly() {
+        let cfg = DeviceConfig::with_topology(1, 2, 4); // 8 slots, 2 warps
+                                                        // 20 tasks on one core: 2 full rounds (2 warps each) + a tail
+                                                        // round of 4 tasks (1 warp).
+        let plan = WorkMapping::plan(20, 1, &cfg);
+        assert_eq!(plan.rounds(), 3);
+        assert_eq!(plan.busiest_warp_groups(), 5);
+        assert_eq!(plan.total_warp_groups(), 5);
+        // Two cores, uneven split: 10 tasks/core -> 1 full round + 2-task
+        // tail (1 warp) each.
+        let cfg = DeviceConfig::with_topology(2, 2, 4);
+        let plan = WorkMapping::plan(20, 1, &cfg);
+        assert_eq!(plan.busiest_warp_groups(), 3);
+        assert_eq!(plan.total_warp_groups(), 6);
+        // Exact fit: one round, all warps.
+        let plan = WorkMapping::plan(128, 16, &DeviceConfig::with_topology(1, 2, 4));
+        assert_eq!(plan.busiest_warp_groups(), 2);
     }
 
     #[test]

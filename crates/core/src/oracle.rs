@@ -10,7 +10,9 @@ use vortex_sim::DeviceConfig;
 
 /// The candidate lws values an exhaustive search should try for a launch
 /// of `gws` items: 1, all powers of two up to `gws`, `gws` itself, and
-/// the two Eq. 1 variants — deduplicated and sorted.
+/// the two Eq. 1 variants — deduplicated and sorted. Since PR 8 this is
+/// an alias of [`autotune::lws_candidates`](crate::autotune::lws_candidates),
+/// so the oracle and the online autotuner search exactly the same grid.
 ///
 /// # Examples
 ///
@@ -24,19 +26,7 @@ use vortex_sim::DeviceConfig;
 /// assert!(c.windows(2).all(|w| w[0] < w[1]), "sorted, deduplicated");
 /// ```
 pub fn oracle_candidates(gws: u32, config: &DeviceConfig) -> Vec<u32> {
-    let mut candidates = vec![1u32];
-    let mut p = 2u32;
-    while p < gws {
-        candidates.push(p);
-        p = p.saturating_mul(2);
-    }
-    candidates.push(gws.max(1));
-    let hp = config.hardware_parallelism();
-    candidates.push(crate::tuner::optimal_lws(gws, hp));
-    candidates.push((u64::from(gws).div_ceil(hp.max(1)).max(1) as u32).min(gws.max(1)));
-    candidates.sort_unstable();
-    candidates.dedup();
-    candidates
+    crate::autotune::lws_candidates(gws, config)
 }
 
 /// Result of an exhaustive lws search.

@@ -154,22 +154,41 @@ impl LaunchPlan {
 /// All fields are plain sums, so shard merges reconstruct full-grid
 /// values exactly (the same backward-compatible scheme as the memory
 /// counters: derived rates are computed at display time only).
+///
+/// These are the counters the paper argues should drive the mapping
+/// choice, and since PR 8 they literally do: the online autotuner
+/// ([`autotune`](crate::autotune)) fits its cost model from the probes'
+/// `instructions` against analytic warp-group counts. The full glossary
+/// — what each counter means micro-architecturally and how the cost
+/// model consumes it — is in `docs/TUNING.md`.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct DispatchStats {
-    /// Kernel launches executed (one per phase per run).
+    /// Kernel launches executed (one per phase per run). Single-phase
+    /// kernels contribute 1 per run; `gcn_layer` contributes 2.
     pub launches: u64,
-    /// In-kernel dispatch rounds, summed over launches and cores.
+    /// In-kernel dispatch rounds, summed over launches and cores (each
+    /// core's warp 0 runs its own spawn → work → barrier round loop).
+    /// `rounds / launches` ≫ 1 marks the paper's multi-call regime; the
+    /// cost model's per-round overhead term β prices exactly these.
     pub rounds: u64,
     /// Tasks dispatched, summed over launches. Every task occupies one
     /// hardware lane slot in exactly one round, so `round_tasks / rounds`
-    /// is the mean number of busy lane slots per dispatch round.
+    /// is the mean number of busy lane slots per dispatch round — the
+    /// occupancy marker (low values flag under-filled launches).
     pub round_tasks: u64,
-    /// Instructions issued, summed over launches.
+    /// Instructions issued, summed over launches and cores. Divided by
+    /// the analytic total warp-group count of the mapping
+    /// ([`WorkMapping::total_warp_groups`](crate::WorkMapping::total_warp_groups)),
+    /// this yields instructions per warp group — the affine-in-lws
+    /// quantity the autotuner's stage-1 sub-model regresses.
     pub instructions: u64,
     /// Instructions issued through the fused basic-block path (a subset
-    /// of [`instructions`](DispatchStats::instructions)).
+    /// of [`instructions`](DispatchStats::instructions)); the fused
+    /// share tracks how much of the stream the PR 6 superinstruction
+    /// engine covers.
     pub fused_instructions: u64,
-    /// Fused block dispatches, summed over launches.
+    /// Fused block dispatches, summed over launches
+    /// (`fused_instructions / fused_blocks` = mean fused block length).
     pub fused_blocks: u64,
 }
 

@@ -12,7 +12,9 @@ use vortex_sim::DeviceConfig;
 ///
 /// Integer division, clamped to at least 1 — which makes the policy
 /// resolve to `lws = 1` whenever the hardware parallelism exceeds the
-/// global work size, exactly as §3 of the paper observes.
+/// global work size, exactly as §3 of the paper observes. Delegates to
+/// [`autotune::eq1_floor`](crate::autotune::eq1_floor), the single
+/// source of the Eq. 1 arithmetic since PR 8.
 ///
 /// # Examples
 ///
@@ -22,8 +24,7 @@ use vortex_sim::DeviceConfig;
 /// assert_eq!(optimal_lws(128, 65536), 1); // hp > gws ⇒ naive mapping
 /// ```
 pub fn optimal_lws(gws: u32, hp: u64) -> u32 {
-    debug_assert!(gws > 0, "gws must be positive");
-    ((u64::from(gws) / hp.max(1)).max(1)) as u32
+    crate::autotune::eq1_floor(gws, hp)
 }
 
 /// How the host chooses `local_work_size` for a launch.
@@ -54,8 +55,8 @@ impl LwsPolicy {
         let raw = match self {
             LwsPolicy::Naive1 => 1,
             LwsPolicy::Fixed32 => 32,
-            LwsPolicy::Auto => optimal_lws(gws, hp),
-            LwsPolicy::AutoCeil => (u64::from(gws).div_ceil(hp.max(1)).max(1)) as u32,
+            LwsPolicy::Auto => crate::autotune::eq1_floor(gws, hp),
+            LwsPolicy::AutoCeil => crate::autotune::eq1_ceil(gws, hp),
             LwsPolicy::Explicit(n) => n.max(1),
         };
         raw.min(gws.max(1))
