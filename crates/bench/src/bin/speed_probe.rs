@@ -23,7 +23,16 @@
 //! launch pipeline. Since PR 6 each row also records the block-fusion
 //! counters (`instructions`, `fused_instructions`, `fused_blocks` — raw
 //! sums again), so the fused share of the instruction stream is
-//! attributable per kernel.
+//! attributable per kernel. Since PR 9 each row records the SIMT
+//! memory-port contention counters (`port_accesses`,
+//! `port_stall_slots` — raw sums) and a derived `host_ns_per_instr`
+//! field (host seconds per simulated instruction, the metric the
+//! big-topology scaling gate tracks — recomputed from the raw sums on
+//! merge, and blanked by the stripped-comparison gates like every other
+//! wall-clock-derived field). `--topos 16c16w16t,256c4w8tx16` replaces
+//! the subsampled sweep grid with an explicit topology list, which is
+//! how the committed 16-core vs 256-core scaling baselines pin their
+//! configurations.
 //!
 //! ## Campaign cache
 //!
@@ -67,6 +76,7 @@ use vortex_bench::{
     atomic_write, kernel_factories, paper_sweep, parse_shard, run_campaign_cached, CampaignCache,
     Scale,
 };
+use vortex_sim::DeviceConfig;
 
 fn main() {
     let flags = Flags::from_env();
@@ -94,7 +104,21 @@ fn main() {
 
     let jobs = flags.get_usize("jobs", default_jobs());
     let n = flags.get_usize("configs", 450);
-    let mut configs = vortex_bench::subsample(&paper_sweep(), n);
+    let mut configs = match flags.get_list("topos") {
+        // Explicit topology list: probe exactly these configurations
+        // (the big-topology scaling comparisons pin the grid this way).
+        Some(topos) => topos
+            .iter()
+            .map(|t| match t.parse::<DeviceConfig>() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("invalid --topos entry `{t}`: {e}");
+                    std::process::exit(2);
+                }
+            })
+            .collect(),
+        None => vortex_bench::subsample(&paper_sweep(), n),
+    };
     let shard = flags.get_str("shard").map(|s| match parse_shard(s) {
         Some(km) => km,
         None => {
@@ -146,32 +170,40 @@ fn main() {
         };
         let mem = result.total_mem();
         let dispatch = result.total_dispatch();
-        println!(
-            "{:<13} {:>4} configs x3 policies: {:>8.2?}  (dram util {:.2}, L1 {:>5.1}%, \
-             L2 {:>5.1}%, {} DRAM reqs, {:.1} rnds/launch, {:.1} lanes/rnd, \
-             fused {:>4.1}%, {:.1} instr/blk, cache {hits}h/{misses}m)",
-            factory.name,
-            result.rows.len(),
-            dt,
-            result.mean_dram_utilization(),
-            mem.l1.hit_rate() * 100.0,
-            mem.l2.hit_rate() * 100.0,
-            mem.dram_requests,
-            dispatch.rounds_per_launch(),
-            dispatch.mean_lanes_per_round(),
-            dispatch.fused_share() * 100.0,
-            dispatch.mean_fused_block_len(),
-        );
-        rows.push(KernelRow {
+        let (port_accesses, port_stall_slots) = result.total_ports();
+        let row = KernelRow {
             name: factory.name.to_owned(),
             configs: result.rows.len(),
             seconds: dt.as_secs_f64(),
             util: result.mean_dram_utilization(),
             mem,
             dispatch,
+            instructions: result.total_instructions(),
             cache_hits: hits,
             cache_misses: misses,
-        });
+            port_accesses,
+            port_stall_slots,
+        };
+        println!(
+            "{:<13} {:>4} configs x3 policies: {:>8.2?}  (dram util {:.2}, L1 {:>5.1}%, \
+             L2 {:>5.1}%, {} DRAM reqs, {:.1} rnds/launch, {:.1} lanes/rnd, \
+             fused {:>4.1}%, {:.1} instr/blk, {:.1} stall/acc, {:.0} ns/instr, \
+             cache {hits}h/{misses}m)",
+            factory.name,
+            result.rows.len(),
+            dt,
+            result.mean_dram_utilization(),
+            row.mem.l1.hit_rate() * 100.0,
+            row.mem.l2.hit_rate() * 100.0,
+            row.mem.dram_requests,
+            row.dispatch.rounds_per_launch(),
+            row.dispatch.mean_lanes_per_round(),
+            row.dispatch.fused_share() * 100.0,
+            row.dispatch.mean_fused_block_len(),
+            if port_accesses == 0 { 0.0 } else { port_stall_slots as f64 / port_accesses as f64 },
+            row.host_ns_per_instr(),
+        );
+        rows.push(row);
     }
     let total = wall.elapsed().as_secs_f64();
     println!("{:<13} total: {total:.2}s", "");

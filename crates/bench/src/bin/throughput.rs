@@ -18,7 +18,11 @@
 //! Block-fusion columns (fused share of the instruction stream and mean
 //! fused-block length) show how much of a kernel's issue traffic the
 //! basic-block engine absorbs — a kernel stuck near 0% fused spends its
-//! cycles in the per-instruction fallback path.
+//! cycles in the per-instruction fallback path. Port-contention columns
+//! (memory-port accesses and mean stall slots per access, from the
+//! PR 9 port counters) mark kernels serialising uncoalesced lines
+//! through the L1 ports; on a clustered topology (`--topo …xN`) a
+//! per-kernel footer breaks the same raw sums down by cluster.
 //!
 //! With `--cache DIR` the run opens the campaign result store first and
 //! prints its inventory — resident rows per kernel, store bytes, and
@@ -78,7 +82,7 @@ fn main() {
 
     println!(
         "{:<13} {:>7} {:>12} {:>14} {:>10} {:>9} {:>9} {:>6} {:>6} {:>10} {:>8} {:>8} {:>7} \
-         {:>8}",
+         {:>8} {:>9} {:>8}",
         "kernel",
         "policy",
         "instructions",
@@ -92,7 +96,9 @@ fn main() {
         "rnds/ln",
         "lane/rnd",
         "fused%",
-        "instr/bk"
+        "instr/bk",
+        "port acc",
+        "stl/acc"
     );
     for factory in kernel_factories(scale) {
         if let Some(ws) = &wanted {
@@ -109,12 +115,15 @@ fn main() {
         let mut kernel_secs = 0.0f64;
         let mut kernel_mem = MemStats::default();
         let mut kernel_dispatch = DispatchStats::default();
+        let mut kernel_ports = (0u64, 0u64);
+        let mut kernel_cluster_ports = vec![(0u64, 0u64); config.num_clusters()];
         for policy in [LwsPolicy::Naive1, LwsPolicy::Fixed32, LwsPolicy::Auto] {
             let start = Instant::now();
             let mut instructions = 0u64;
             let mut lanes = 0u64;
             let mut mem = MemStats::default();
             let mut dispatch = DispatchStats::default();
+            let mut ports = (0u64, 0u64);
             for _ in 0..reps {
                 // Count what the device actually issued: counter deltas
                 // around the run (the runtime resets counters per run, so
@@ -129,11 +138,17 @@ fn main() {
                 lanes += counters.lane_instructions;
                 mem.accumulate(&rt.device().mem_stats());
                 dispatch.accumulate(&outcome.dispatch);
+                ports.0 += outcome.port_accesses;
+                ports.1 += outcome.port_stall_slots;
+                for (k, (acc, stl)) in rt.device().cluster_port_counters().iter().enumerate() {
+                    kernel_cluster_ports[k].0 += acc;
+                    kernel_cluster_ports[k].1 += stl;
+                }
             }
             let dt = start.elapsed().as_secs_f64();
             println!(
                 "{:<13} {:>7} {:>12} {:>14} {:>10.1} {:>9.2} {:>9.2} {:>6.1} {:>6.1} {:>10} \
-                 {:>8.1} {:>8.1} {:>7.1} {:>8.1}",
+                 {:>8.1} {:>8.1} {:>7.1} {:>8.1} {:>9} {:>8.2}",
                 factory.name,
                 policy.label(),
                 instructions / reps as u64,
@@ -148,16 +163,20 @@ fn main() {
                 dispatch.mean_lanes_per_round(),
                 dispatch.fused_share() * 100.0,
                 dispatch.mean_fused_block_len(),
+                ports.0 / reps as u64,
+                if ports.0 == 0 { 0.0 } else { ports.1 as f64 / ports.0 as f64 },
             );
             kernel_instr += instructions;
             kernel_lanes += lanes;
             kernel_secs += dt;
             kernel_mem.accumulate(&mem);
             kernel_dispatch.accumulate(&dispatch);
+            kernel_ports.0 += ports.0;
+            kernel_ports.1 += ports.1;
         }
         println!(
             "{:<13} {:>7} {:>12} {:>14} {:>10.1} {:>9.2} {:>9.2} {:>6.1} {:>6.1} {:>10} \
-             {:>8.1} {:>8.1} {:>7.1} {:>8.1}",
+             {:>8.1} {:>8.1} {:>7.1} {:>8.1} {:>9} {:>8.2}",
             factory.name,
             "total",
             kernel_instr / reps as u64,
@@ -172,6 +191,21 @@ fn main() {
             kernel_dispatch.mean_lanes_per_round(),
             kernel_dispatch.fused_share() * 100.0,
             kernel_dispatch.mean_fused_block_len(),
+            kernel_ports.0 / reps as u64,
+            if kernel_ports.0 == 0 { 0.0 } else { kernel_ports.1 as f64 / kernel_ports.0 as f64 },
         );
+        // On a clustered topology the per-cluster port sums show where
+        // the memory-side contention concentrates (raw sums over all
+        // policies and reps; a flat topology's "clusters" are single
+        // cores, where the per-row totals already tell the story).
+        if config.cores_per_cluster > 1 {
+            let lines: Vec<String> = kernel_cluster_ports
+                .iter()
+                .enumerate()
+                .filter(|(_, (acc, _))| *acc > 0)
+                .map(|(k, (acc, stl))| format!("c{k}:{acc}a/{stl}s"))
+                .collect();
+            println!("{:<13} {:>7} ports by cluster: {}", factory.name, "", lines.join(" "));
+        }
     }
 }

@@ -286,6 +286,45 @@ impl CampaignCache {
         }
     }
 
+    /// Absorbs every row of the store at `dir` into this handle — the
+    /// multi-process campaign merge: each worker process writes a
+    /// private store, and the parent absorbs them so the final sweep
+    /// assembles entirely from residency. Rows already present win on
+    /// key collision (same key ⇒ same content by construction, so the
+    /// choice is immaterial); foreign-semver and truncated lines are
+    /// skipped exactly as in [`open`](CampaignCache::open). Returns the
+    /// number of rows newly added.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory- and file-read errors on `dir`.
+    pub fn absorb_dir(&self, dir: &Path) -> io::Result<usize> {
+        if !self.enabled {
+            return Ok(0);
+        }
+        let mut added = 0;
+        let mut inner = self.inner.lock().expect("cache lock");
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let Some(name) = shard_kernel_name(&path) else { continue };
+            let text = std::fs::read_to_string(&path)?;
+            inner.bytes_read += text.len() as u64;
+            let shard = inner.shards.entry(name).or_default();
+            for line in text.lines() {
+                if let Some((key, row)) = StoredRow::parse_line(line) {
+                    if let std::collections::btree_map::Entry::Vacant(slot) = shard.rows.entry(key)
+                    {
+                        slot.insert(row);
+                        shard.dirty = true;
+                        added += 1;
+                    }
+                }
+            }
+        }
+        inner.insertions += added as u64;
+        Ok(added)
+    }
+
     /// Resident row count per kernel, sorted by kernel name (store
     /// inspection — the `throughput --cache` summary).
     pub fn entries_by_kernel(&self) -> Vec<(String, usize)> {
@@ -334,6 +373,9 @@ struct StoredRow {
     dram_utilization: f64,
     mem: MemStats,
     dispatch: DispatchStats,
+    instructions: u64,
+    port_accesses: u64,
+    port_stall_slots: u64,
 }
 
 impl StoredRow {
@@ -347,6 +389,9 @@ impl StoredRow {
             dram_utilization: row.dram_utilization,
             mem: row.mem,
             dispatch: row.dispatch,
+            instructions: row.instructions,
+            port_accesses: row.port_accesses,
+            port_stall_slots: row.port_stall_slots,
         }
     }
 
@@ -360,6 +405,9 @@ impl StoredRow {
             dram_utilization: self.dram_utilization,
             mem: self.mem,
             dispatch: self.dispatch,
+            instructions: self.instructions,
+            port_accesses: self.port_accesses,
+            port_stall_slots: self.port_stall_slots,
         }
     }
 
@@ -380,7 +428,9 @@ impl StoredRow {
              \"l2_hits\": {}, \"l2_misses\": {}, \"l2_evictions\": {}, \
              \"dram_requests\": {}, \
              \"launches\": {}, \"dispatch_rounds\": {}, \"round_tasks\": {}, \
-             \"instructions\": {}, \"fused_instructions\": {}, \"fused_blocks\": {}}}",
+             \"instructions\": {}, \"fused_instructions\": {}, \"fused_blocks\": {}, \
+             \"issued_instructions\": {}, \
+             \"port_accesses\": {}, \"port_stall_slots\": {}}}",
             self.topo,
             self.cycles_naive,
             self.cycles_fixed,
@@ -402,6 +452,9 @@ impl StoredRow {
             d.instructions,
             d.fused_instructions,
             d.fused_blocks,
+            self.instructions,
+            self.port_accesses,
+            self.port_stall_slots,
         )
         .expect("writing to String cannot fail");
     }
@@ -460,6 +513,13 @@ impl StoredRow {
                 dram_utilization: field(line, "dram_utilization")?,
                 mem,
                 dispatch,
+                // Issued-instruction and port counters post-date the
+                // store format; rows written before they existed parse
+                // as zero (the counters were zero-reported then, so
+                // merges stay exact).
+                instructions: field(line, "issued_instructions").unwrap_or(0),
+                port_accesses: field(line, "port_accesses").unwrap_or(0),
+                port_stall_slots: field(line, "port_stall_slots").unwrap_or(0),
             },
         ))
     }
@@ -494,6 +554,9 @@ mod tests {
                 fused_instructions: 40 * scale,
                 fused_blocks: 8 * scale,
             },
+            instructions: 3500 * scale,
+            port_accesses: 60 * scale,
+            port_stall_slots: 7 * scale,
         }
     }
 

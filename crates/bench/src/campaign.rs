@@ -113,6 +113,20 @@ pub struct ConfigRow {
     /// Dispatch-round and occupancy counters of the auto run (launches,
     /// rounds, tasks — raw sums, so shard merges stay exact).
     pub dispatch: DispatchStats,
+    /// Instructions the device actually issued across the policy runs
+    /// executed for this row (policies deduplicated into a shared run are
+    /// counted once, matching the host seconds actually spent). The raw
+    /// denominator of host-ns-per-simulated-instruction: unlike the
+    /// launch-attributed [`dispatch`](ConfigRow::dispatch) count it
+    /// includes dispatch prologues and autotune probe launches — work the
+    /// host genuinely simulates. Exact to merge.
+    pub instructions: u64,
+    /// SIMT memory-port accesses of the auto run (batched accesses that
+    /// carried ≥ 1 line) — raw sum, exact to merge.
+    pub port_accesses: u64,
+    /// Extra L1 port slots beyond the first per access of the auto run
+    /// (port serialisation under uncoalesced access) — raw sum.
+    pub port_stall_slots: u64,
 }
 
 impl ConfigRow {
@@ -174,6 +188,24 @@ impl CampaignResult {
             total.accumulate(&row.dispatch);
         }
         total
+    }
+
+    /// Issued instructions summed over all configurations' executed runs
+    /// (see [`ConfigRow::instructions`]).
+    pub fn total_instructions(&self) -> u64 {
+        self.rows.iter().map(|r| r.instructions).sum()
+    }
+
+    /// SIMT memory-port counters `(accesses, stall_slots)` summed over
+    /// all configurations' auto runs (see [`ConfigRow::port_accesses`]).
+    pub fn total_ports(&self) -> (u64, u64) {
+        let mut accesses = 0;
+        let mut stalls = 0;
+        for row in &self.rows {
+            accesses += row.port_accesses;
+            stalls += row.port_stall_slots;
+        }
+        (accesses, stalls)
     }
 }
 
@@ -329,17 +361,22 @@ fn measure_config(
     let sig_auto = resolve(LwsPolicy::Auto);
 
     let naive = run_kernel_prepared(kernel, program, rt, LwsPolicy::Naive1)?;
+    let mut instructions = naive.instructions;
     let fixed = if sig_fixed == sig_naive {
         naive.clone()
     } else {
-        run_kernel_prepared(kernel, program, rt, LwsPolicy::Fixed32)?
+        let run = run_kernel_prepared(kernel, program, rt, LwsPolicy::Fixed32)?;
+        instructions += run.instructions;
+        run
     };
     let auto = if sig_auto == sig_naive {
         naive.clone()
     } else if sig_auto == sig_fixed {
         fixed.clone()
     } else {
-        run_kernel_prepared(kernel, program, rt, LwsPolicy::Auto)?
+        let run = run_kernel_prepared(kernel, program, rt, LwsPolicy::Auto)?;
+        instructions += run.instructions;
+        run
     };
     Ok(ConfigRow {
         config: *config,
@@ -350,6 +387,9 @@ fn measure_config(
         dram_utilization: auto.dram_utilization,
         mem: auto.mem,
         dispatch: auto.dispatch,
+        instructions,
+        port_accesses: auto.port_accesses,
+        port_stall_slots: auto.port_stall_slots,
     })
 }
 

@@ -286,6 +286,7 @@ pub fn run_queue(spec: &QueueSpec) -> Result<QueueOutcome, DriverError> {
                 disabled_results[fi].take().map(|r| r.rows).unwrap_or_default()
             };
             let result = CampaignResult { kernel: factory.name, rows: kernel_rows };
+            let (port_accesses, port_stall_slots) = result.total_ports();
             rows.push(KernelRow {
                 name: factory.name.to_owned(),
                 configs: result.rows.len(),
@@ -293,8 +294,11 @@ pub fn run_queue(spec: &QueueSpec) -> Result<QueueOutcome, DriverError> {
                 util: result.mean_dram_utilization(),
                 mem: result.total_mem(),
                 dispatch: result.total_dispatch(),
+                instructions: result.total_instructions(),
                 cache_hits: (configs.len() - kernel_simulated[fi]) as u64,
                 cache_misses: kernel_simulated[fi] as u64,
+                port_accesses,
+                port_stall_slots,
             });
         }
         let file = ProbeFile {

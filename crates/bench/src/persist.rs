@@ -59,6 +59,9 @@ pub fn strip_run_metadata(json: &str) -> String {
         "probes_cached",
         "gt_simulated",
         "gt_cached",
+        // Derived from wall-clock seconds at render time, so it differs
+        // between cold and warm runs exactly as `seconds` does.
+        "host_ns_per_instr",
     ] {
         out = blank_numeric_field(&out, key);
     }
@@ -110,14 +113,17 @@ mod tests {
         let json = "{\n  \"total_seconds\": 12.375,\n  \"cache_bytes_read\": 123,\n  \
                     \"kernels\": [\n    {\"name\": \"vecadd\", \"configs\": 10, \
                     \"seconds\": 1.500, \"cache_hits\": 4, \"cache_misses\": 6, \
-                    \"l1_hits\": 77}\n  ]\n}\n";
+                    \"l1_hits\": 77, \"port_accesses\": 31, \
+                    \"host_ns_per_instr\": 52.125}\n  ]\n}\n";
         let stripped = strip_run_metadata(json);
         assert!(stripped.contains("\"total_seconds\": 0,"));
         assert!(stripped.contains("\"seconds\": 0,"));
         assert!(stripped.contains("\"cache_hits\": 0,"));
         assert!(stripped.contains("\"cache_misses\": 0,"));
         assert!(stripped.contains("\"cache_bytes_read\": 0,"));
+        assert!(stripped.contains("\"host_ns_per_instr\": 0"));
         assert!(stripped.contains("\"l1_hits\": 77"), "simulation counters must survive");
+        assert!(stripped.contains("\"port_accesses\": 31"), "port counters must survive");
         assert!(stripped.contains("\"configs\": 10"), "config counts must survive");
     }
 }

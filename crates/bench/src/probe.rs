@@ -38,11 +38,43 @@ pub struct KernelRow {
     /// Auto-run dispatch-round counters summed over the measured
     /// configurations (launches, rounds, tasks — raw sums).
     pub dispatch: DispatchStats,
+    /// Instructions the device actually issued across the executed
+    /// policy runs of the measured configurations (dispatch prologues
+    /// and autotune probe launches included — everything the host paid
+    /// to simulate; raw sum, exact to merge). Distinct from the
+    /// launch-attributed `dispatch.instructions`. Zero in pre-PR9 files.
+    pub instructions: u64,
     /// Configurations answered from the campaign result store.
     pub cache_hits: u64,
     /// Configurations actually simulated (store misses; the whole count
     /// when no cache is attached).
     pub cache_misses: u64,
+    /// SIMT memory-port accesses of the auto runs (batched accesses that
+    /// carried at least one line — raw sum, exact to merge).
+    pub port_accesses: u64,
+    /// Extra L1 port slots beyond the first each access occupied (the
+    /// cycles memory ports stayed blocked serialising uncoalesced lines
+    /// — raw sum, exact to merge).
+    pub port_stall_slots: u64,
+}
+
+impl KernelRow {
+    /// Host nanoseconds spent per simulated instruction — the simulator
+    /// cost metric the big-topology scaling work tracks. Derived from the
+    /// raw `seconds` and instruction counters at display/render time, so
+    /// merged shard files recompute it from the exact sums. The
+    /// denominator is [`instructions`](KernelRow::instructions) (every
+    /// instruction the host simulated during the timed interval); rows
+    /// parsed from pre-PR9 files fall back to the launch-attributed
+    /// dispatch count, the closest raw counter those files carry.
+    pub fn host_ns_per_instr(&self) -> f64 {
+        let instrs =
+            if self.instructions != 0 { self.instructions } else { self.dispatch.instructions };
+        if instrs == 0 {
+            return 0.0;
+        }
+        self.seconds * 1e9 / instrs as f64
+    }
 }
 
 /// A parsed (or to-be-rendered) probe file.
@@ -97,7 +129,10 @@ pub fn render_json(file: &ProbeFile) -> String {
              \"l2_hits\": {}, \"l2_misses\": {}, \"dram_requests\": {}, \
              \"launches\": {}, \"dispatch_rounds\": {}, \"round_tasks\": {}, \
              \"instructions\": {}, \"fused_instructions\": {}, \"fused_blocks\": {}, \
-             \"cache_hits\": {}, \"cache_misses\": {}}}{comma}\n",
+             \"issued_instructions\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"port_accesses\": {}, \"port_stall_slots\": {}, \
+             \"host_ns_per_instr\": {:.3}}}{comma}\n",
             row.name,
             row.configs,
             row.seconds,
@@ -113,8 +148,12 @@ pub fn render_json(file: &ProbeFile) -> String {
             d.instructions,
             d.fused_instructions,
             d.fused_blocks,
+            row.instructions,
             row.cache_hits,
             row.cache_misses,
+            row.port_accesses,
+            row.port_stall_slots,
+            row.host_ns_per_instr(),
         ));
     }
     out.push_str("  ]\n}\n");
@@ -123,8 +162,8 @@ pub fn render_json(file: &ProbeFile) -> String {
 
 /// Parses the exact JSON [`render_json`] writes. Counters absent from
 /// older file generations (pre-PR4 memory, pre-PR5 dispatch, pre-PR6
-/// fusion, pre-PR7 cache) default to zero, so every committed baseline
-/// still parses and merges.
+/// fusion, pre-PR7 cache, pre-PR9 port) default to zero, so every
+/// committed baseline still parses and merges.
 ///
 /// # Errors
 ///
@@ -182,8 +221,13 @@ pub fn parse_probe_json(text: &str) -> Result<ProbeFile, String> {
             util: field(obj, "mean_dram_utilization")?,
             mem,
             dispatch,
+            instructions: counter(obj, "issued_instructions"),
             cache_hits: counter(obj, "cache_hits"),
             cache_misses: counter(obj, "cache_misses"),
+            // `host_ns_per_instr` is derived, not parsed: the renderer
+            // recomputes it from the summed raw counters.
+            port_accesses: counter(obj, "port_accesses"),
+            port_stall_slots: counter(obj, "port_stall_slots"),
         });
     }
     Ok(file)
@@ -215,6 +259,7 @@ pub fn merge_probe_files(paths: &[String]) -> Result<String, String> {
             ("\"dispatch_rounds\"", "dispatch counters (pre-PR5 format); merged launch/round/task"),
             ("\"fused_instructions\"", "fusion counters (pre-PR6 format); merged instr/fused"),
             ("\"cache_hits\"", "cache counters (pre-PR7 format); merged hit/miss/bytes"),
+            ("\"port_accesses\"", "port counters (pre-PR9 format); merged access/stall"),
         ] {
             if !text.contains(marker) {
                 eprintln!("note: {path} has no {what} counters cover only the newer shards");
@@ -234,8 +279,11 @@ pub fn merge_probe_files(paths: &[String]) -> Result<String, String> {
                     m.seconds += row.seconds;
                     m.mem.accumulate(&row.mem);
                     m.dispatch.accumulate(&row.dispatch);
+                    m.instructions += row.instructions;
                     m.cache_hits += row.cache_hits;
                     m.cache_misses += row.cache_misses;
+                    m.port_accesses += row.port_accesses;
+                    m.port_stall_slots += row.port_stall_slots;
                 }
                 None => rows.push(row),
             }
@@ -272,8 +320,11 @@ mod tests {
             util,
             mem,
             dispatch,
+            instructions: 5000 * scale,
             cache_hits: 2 * scale,
             cache_misses: 7 * scale,
+            port_accesses: 60 * scale,
+            port_stall_slots: 9 * scale,
         }
     }
 
@@ -312,6 +363,25 @@ mod tests {
         assert_eq!(parsed.rows[1].dispatch.fused_blocks, 160);
         assert_eq!((parsed.rows[0].cache_hits, parsed.rows[0].cache_misses), (2, 7));
         assert_eq!((parsed.rows[1].cache_hits, parsed.rows[1].cache_misses), (4, 14));
+        assert_eq!((parsed.rows[0].port_accesses, parsed.rows[0].port_stall_slots), (60, 9));
+        assert_eq!((parsed.rows[1].port_accesses, parsed.rows[1].port_stall_slots), (120, 18));
+        assert_eq!(parsed.rows[0].instructions, 5000);
+        assert_eq!(parsed.rows[1].instructions, 10000);
+    }
+
+    #[test]
+    fn host_ns_per_instr_derives_from_raw_counters() {
+        let r = row("vecadd", 10, 2.0, 0.25, 1); // 5000 issued instructions in 2 s
+        assert!((r.host_ns_per_instr() - 4e5).abs() < 1e-3);
+        assert_eq!(KernelRow::default().host_ns_per_instr(), 0.0);
+        // Pre-PR9 rows carry no issued count; the launch-attributed
+        // dispatch count is the fallback denominator.
+        let mut old = row("vecadd", 10, 2.0, 0.25, 1);
+        old.instructions = 0; // 1000 dispatch instructions in 2 s
+        assert!((old.host_ns_per_instr() - 2e6).abs() < 1e-3);
+        let json = render_json(&file(vec![r], 10, 2.0, (1, 1)));
+        assert!(json.contains("\"host_ns_per_instr\": 400000.000"));
+        assert!(json.contains("\"issued_instructions\": 5000"));
     }
 
     #[test]
@@ -328,6 +398,7 @@ mod tests {
         assert_eq!(parsed.rows[0].dispatch, DispatchStats::default());
         assert_eq!((parsed.rows[0].cache_hits, parsed.rows[0].cache_misses), (0, 0));
         assert_eq!((parsed.cache_bytes_read, parsed.cache_bytes_written), (0, 0));
+        assert_eq!((parsed.rows[0].port_accesses, parsed.rows[0].port_stall_slots), (0, 0));
     }
 
     #[test]
@@ -368,5 +439,9 @@ mod tests {
         assert_eq!((m.cache_hits, m.cache_misses), (8, 28));
         assert_eq!(parsed.cache_bytes_read, 128);
         assert_eq!(parsed.cache_bytes_written, 256);
+        // And the port-contention counters: scales 1 + 3 = 4.
+        assert_eq!((m.port_accesses, m.port_stall_slots), (240, 36));
+        // And the issued-instruction denominator.
+        assert_eq!(m.instructions, 20000);
     }
 }

@@ -249,6 +249,9 @@ pub fn evaluate_tune(
                 dram_utilization: outcome.dram_utilization,
                 mem: outcome.mem,
                 dispatch: outcome.dispatch,
+                instructions: outcome.instructions,
+                port_accesses: outcome.port_accesses,
+                port_stall_slots: outcome.port_stall_slots,
             };
             cache.insert(factory.name, key, &row);
         }

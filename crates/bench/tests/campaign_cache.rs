@@ -29,6 +29,7 @@ fn tmp(tag: &str) -> std::path::PathBuf {
 /// Renders a campaign result the way `speed_probe --json` does, with the
 /// run-specific fields already zeroed (what the CI gate diffs).
 fn probe_json(factory: &KernelFactory, result: &CampaignResult, hits: u64, misses: u64) -> String {
+    let (port_accesses, port_stall_slots) = result.total_ports();
     let file = ProbeFile {
         configs: result.rows.len(),
         jobs: 2,
@@ -43,8 +44,11 @@ fn probe_json(factory: &KernelFactory, result: &CampaignResult, hits: u64, misse
             util: result.mean_dram_utilization(),
             mem: result.total_mem(),
             dispatch: result.total_dispatch(),
+            instructions: result.total_instructions(),
             cache_hits: hits,
             cache_misses: misses,
+            port_accesses,
+            port_stall_slots,
         }],
     };
     strip_run_metadata(&render_json(&file))
@@ -146,5 +150,73 @@ fn budget_kill_then_resume_reassembles_the_cold_report() {
     let parsed = parse_probe_json(&cold_json).unwrap();
     assert_eq!(parsed.rows.len(), 2);
     assert_eq!(parsed.rows.iter().map(|r| r.configs).sum::<usize>(), 6);
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn absorb_dir_merges_disjoint_worker_stores_exactly() {
+    let dir = tmp("absorb");
+    let grid = tiny_grid();
+    let factories = kernel_factories(Scale::Sweep);
+    let vecadd = &factories[0];
+
+    // Two "workers" fill private stores with disjoint grid shares.
+    let w1 = CampaignCache::open(dir.join("w1")).unwrap();
+    run_campaign_cached(vecadd, &grid[..1], 1, Some(&w1)).unwrap();
+    w1.flush().unwrap();
+    let w2 = CampaignCache::open(dir.join("w2")).unwrap();
+    run_campaign_cached(vecadd, &grid[1..], 1, Some(&w2)).unwrap();
+    w2.flush().unwrap();
+
+    // The parent absorbs both; a fresh handle then answers the full grid
+    // from disk without simulating anything.
+    let parent = CampaignCache::open(dir.join("parent")).unwrap();
+    assert_eq!(parent.absorb_dir(&dir.join("w1")).unwrap(), 1);
+    assert_eq!(parent.absorb_dir(&dir.join("w2")).unwrap(), 2);
+    parent.flush().unwrap();
+
+    let reopened = CampaignCache::open(dir.join("parent")).unwrap();
+    let warm = run_campaign_cached(vecadd, &grid, 1, Some(&reopened)).unwrap();
+    let c = reopened.counters();
+    assert_eq!((c.hits, c.misses), (3, 0), "absorbed rows answer the whole grid");
+    let plain = run_campaign(vecadd, &grid, 1).unwrap();
+    assert_eq!(plain.rows, warm.rows, "absorbed rows are the simulated rows");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn multi_process_workers_match_single_process_run() {
+    let base = tmp("workers");
+    let exe = env!("CARGO_BIN_EXE_campaign");
+    let run = |queue: &std::path::Path, extra: &[&str]| {
+        let json = queue.join("out.json");
+        let out = std::process::Command::new(exe)
+            .arg("--dir")
+            .arg(queue)
+            .args(["--topos", "1c2w2t,1c2w4t,2c2w2t", "--kernels", "vecadd,relu", "--jobs", "1"])
+            .arg("--json")
+            .arg(&json)
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "campaign exited with {}: {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(&json).unwrap()
+    };
+
+    let single = run(&base.join("single"), &[]);
+    let multi = run(&base.join("multi"), &["--workers", "2"]);
+    assert_eq!(
+        strip_run_metadata(&multi),
+        strip_run_metadata(&single),
+        "worker-merged report must be byte-identical to the single-process run"
+    );
+    // The shards really ran out-of-process: both worker stores exist.
+    assert!(base.join("multi/workers/1/store").is_dir());
+    assert!(base.join("multi/workers/2/store").is_dir());
     std::fs::remove_dir_all(&base).unwrap();
 }

@@ -131,7 +131,8 @@ pub fn digest_program(program: &Program) -> u64 {
 /// until it is folded in below — a semantics-affecting knob can never be
 /// silently omitted from the cache key.
 pub fn digest_device_config(config: &DeviceConfig) -> u64 {
-    let DeviceConfig { cores, warps, threads, timing, mem, ipdom_depth } = config;
+    let DeviceConfig { cores, warps, threads, timing, mem, ipdom_depth, cores_per_cluster } =
+        config;
     let TimingConfig { alu, mul, div, fpu, fdiv, fsqrt, branch_bubble, simt, wspawn, barrier } =
         timing;
     let MemConfig {
@@ -173,6 +174,17 @@ pub fn digest_device_config(config: &DeviceConfig) -> u64 {
     h.write_u64(*dram_interval);
     h.write_u32(*channels);
     h.write_bool(*l1_line_memo);
+    // Clustering (PR 9). The knob is timing-transparent by construction
+    // (clustered == flat is gated bit-identical in CI), so the flat
+    // default is *consciously excluded* to keep every key written before
+    // the field existed valid — all historical rows were flat. Clustered
+    // layouts fold the knob in: their `topology_name()` differs, and a
+    // key shared with the flat row would be rejected by the store's topo
+    // cross-check as a collision. All non-cluster fields are fixed-width,
+    // so the conditional tail cannot alias two distinct configurations.
+    if *cores_per_cluster != 1 {
+        h.write_usize(*cores_per_cluster);
+    }
     h.finish()
 }
 
@@ -317,6 +329,9 @@ mod tests {
         let mut v = base;
         v.mem.l1_line_memo = true;
         variants.push(("l1_line_memo", v));
+        let mut v = base;
+        v.cores_per_cluster = 2;
+        variants.push(("cores_per_cluster", v));
 
         let mut seen = vec![d0];
         for (field, variant) in &variants {

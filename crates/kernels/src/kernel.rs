@@ -82,6 +82,13 @@ pub struct RunOutcome {
     /// launches (rounds per launch, busy lanes per round — the paper's
     /// low-occupancy marker).
     pub dispatch: DispatchStats,
+    /// SIMT memory-port accesses over the run: batched accesses that
+    /// carried at least one line. Raw sum — exact to merge.
+    pub port_accesses: u64,
+    /// Extra L1 port slots beyond the first each access occupied (the
+    /// cycles memory ports stayed blocked serialising uncoalesced
+    /// lines). Raw sum — exact to merge.
+    pub port_stall_slots: u64,
 }
 
 /// Builds, uploads, launches (all phases) and verifies `kernel` on a fresh
@@ -178,6 +185,7 @@ fn run_phases<S: TraceSink + ?Sized>(
     }
     kernel.verify(rt)?;
 
+    let (port_accesses, port_stall_slots) = rt.device().port_totals();
     Ok(RunOutcome {
         cycles,
         reports,
@@ -185,5 +193,7 @@ fn run_phases<S: TraceSink + ?Sized>(
         dram_utilization: rt.device().dram_utilization(),
         instructions: rt.device().counters().instructions,
         dispatch,
+        port_accesses,
+        port_stall_slots,
     })
 }

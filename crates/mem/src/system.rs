@@ -150,6 +150,22 @@ pub struct MemSystem {
     /// Per-core direct-mapped memo tables, `MEMO_WAYS` entries per core;
     /// empty when `l1_line_memo` is off.
     memo: Vec<MemoEntry>,
+    /// Core ids that served at least one line since the last reset, in
+    /// first-touch order: reset sweeps and stat aggregation walk this
+    /// list instead of the topology, so an idle core's L1 costs zero
+    /// bytes touched.
+    touched: Vec<usize>,
+    /// Per-core membership flag for `touched` (O(1) hot-path check).
+    l1_touched: Vec<bool>,
+    /// Per-core count of batched SIMT accesses that carried ≥ 1 line
+    /// (one per memory instruction reaching the port). Raw sums — exact
+    /// to merge across shards and workers.
+    port_accesses: Vec<u64>,
+    /// Per-core total of *extra* L1 port slots beyond the first each
+    /// access occupied — the cycles the core's memory port stayed blocked
+    /// by serialisation of uncoalesced lines. Zero under perfect
+    /// coalescing; raw sums.
+    port_stalls: Vec<u64>,
 }
 
 /// The downstream (L2 + DRAM) leg of the walk, borrowed disjointly from
@@ -242,6 +258,19 @@ impl MemSystem {
             } else {
                 Vec::new()
             },
+            touched: Vec::new(),
+            l1_touched: vec![false; num_cores],
+            port_accesses: vec![0; num_cores],
+            port_stalls: vec![0; num_cores],
+        }
+    }
+
+    /// Marks `core` as having served traffic since the last reset.
+    #[inline]
+    fn mark_touched(&mut self, core: usize) {
+        if !self.l1_touched[core] {
+            self.l1_touched[core] = true;
+            self.touched.push(core);
         }
     }
 
@@ -274,6 +303,7 @@ impl MemSystem {
     /// level fills from below; a displaced dirty victim is written back
     /// downstream (consuming bandwidth but not blocking the requester).
     fn access(&mut self, core: usize, addr: u32, now: Cycle, is_store: bool) -> Cycle {
+        self.mark_touched(core);
         let l1_done = now + self.config.l1_latency;
         match self.l1s[core].access(addr, is_store) {
             Lookup::Hit => l1_done,
@@ -396,6 +426,13 @@ impl MemSystem {
         mut completions: Option<&mut Vec<Cycle>>,
     ) -> BatchOutcome {
         let nlines = lines.len() as u64;
+        if nlines == 0 {
+            // Same outcome the general tail produces for an empty batch;
+            // returning here keeps empty accesses from marking the L1
+            // touched or consuming port counters.
+            return BatchOutcome { completion: now, port_slots: 1 };
+        }
+        self.mark_touched(core);
         if is_store {
             self.stores += nlines;
         } else {
@@ -475,14 +512,18 @@ impl MemSystem {
         }
         // Port slots consumed: ceil(lines / banks), at least one.
         let port_slots = (at - now + Cycle::from(in_group > 0)).max(1);
+        self.port_accesses[core] += 1;
+        self.port_stalls[core] += port_slots - 1;
         BatchOutcome { completion, port_slots }
     }
 
-    /// Aggregate statistics.
+    /// Aggregate statistics. Walks only L1s that served traffic since
+    /// the last reset (the rest are zero by construction), so the sweep
+    /// is O(touched cores), not O(topology).
     pub fn stats(&self) -> MemStats {
         let mut l1 = CacheStats::default();
-        for c in &self.l1s {
-            l1.accumulate(&c.stats());
+        for &core in &self.touched {
+            l1.accumulate(&self.l1s[core].stats());
         }
         MemStats {
             loads: self.loads,
@@ -498,6 +539,33 @@ impl MemSystem {
         self.l1s[core].stats()
     }
 
+    /// Core ids that served at least one line since the last reset, in
+    /// first-touch order (per-cluster aggregations walk this instead of
+    /// the topology).
+    pub fn touched_cores(&self) -> &[usize] {
+        &self.touched
+    }
+
+    /// One core's SIMT memory-port counters `(accesses, stall_slots)`:
+    /// batched accesses that reached the port, and the extra L1 port
+    /// slots beyond the first each occupied (see the field docs).
+    pub fn port_counters(&self, core: usize) -> (u64, u64) {
+        (self.port_accesses[core], self.port_stalls[core])
+    }
+
+    /// Port counters summed over every core that served traffic
+    /// (O(touched); untouched cores are zero by construction). Raw sums —
+    /// exact to merge across shards and workers.
+    pub fn port_totals(&self) -> (u64, u64) {
+        let mut accesses = 0;
+        let mut stalls = 0;
+        for &core in &self.touched {
+            accesses += self.port_accesses[core];
+            stalls += self.port_stalls[core];
+        }
+        (accesses, stalls)
+    }
+
     /// DRAM service-slot utilisation up to `horizon` (see
     /// [`DramChannel::utilization`]).
     pub fn dram_utilization(&self, horizon: Cycle) -> f64 {
@@ -510,12 +578,18 @@ impl MemSystem {
     /// swept, so a low-occupancy launch's reset stays proportional to
     /// the cores it touched rather than the topology.
     pub fn reset(&mut self) -> usize {
-        let mut swept = 0;
-        for c in &mut self.l1s {
-            if c.reset() {
-                swept += 1;
-            }
+        // Walk the first-touch list, not the topology: every listed L1
+        // served at least one access, so its sweep always does work.
+        let swept = self.touched.len();
+        for i in 0..swept {
+            let core = self.touched[i];
+            let did = self.l1s[core].reset();
+            debug_assert!(did, "a touched L1 always has state to sweep");
+            self.l1_touched[core] = false;
+            self.port_accesses[core] = 0;
+            self.port_stalls[core] = 0;
         }
+        self.touched.clear();
         self.l2.reset();
         self.l2_next_slot.fill(0);
         self.dram.reset();
@@ -872,5 +946,49 @@ mod tests {
         // claimed an L1-hit latency.
         s.access_batch_into(0, &[0x4000], 4, false, &mut c);
         assert!(c[0] > 4 + s.config().l1_latency);
+    }
+
+    // ------------------------------------------------------------------
+    // O(activity) bookkeeping: touched-core lists and port counters.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn reset_sweeps_only_touched_l1s() {
+        let mut s = sys(256);
+        s.load(3, 0x4000, 0); // scalar path marks too
+        s.access_batch(200, &[0x8000, 0x8040], 0, false);
+        s.access_batch(200, &[0x8000], 10, false); // dedup: still one entry
+        s.access_batch(7, &[], 0, false); // empty batch must not mark
+        assert_eq!(s.touched_cores(), &[3, 200]);
+        assert_eq!(s.reset(), 2);
+        assert!(s.touched_cores().is_empty());
+        assert_eq!(s.reset(), 0);
+        // Stats aggregate over the touched list only; a swept system is
+        // indistinguishable from a fresh one.
+        assert_eq!(s.stats(), MemSystem::new(256, MemConfig::default()).stats());
+    }
+
+    #[test]
+    fn port_counters_count_accesses_and_stall_slots() {
+        let mut s = sys(4);
+        let banks = s.config().l1_banks;
+        // One fully-coalesced batch: 1 access, bank group fits → 0 stalls.
+        let coalesced: Vec<u32> = (0..banks).map(|i| 0x10_0000 + i * 64).collect();
+        s.access_batch(1, &coalesced, 0, false);
+        assert_eq!(s.port_counters(1), (1, 0));
+        // A batch of 2.5 bank groups serialises into 3 port slots → 2 stalls.
+        let wide: Vec<u32> = (0..banks * 5 / 2).map(|i| 0x20_0000 + i * 64).collect();
+        s.access_batch(1, &wide, 100, false);
+        assert_eq!(s.port_counters(1), (2, 2));
+        // Empty batches consume no counters; other cores stay zero.
+        s.access_batch(1, &[], 200, false);
+        assert_eq!(s.port_counters(1), (2, 2));
+        assert_eq!(s.port_counters(0), (0, 0));
+        // Totals sum over the touched list; reset clears per-core state.
+        s.access_batch(2, &wide, 0, false);
+        assert_eq!(s.port_totals(), (3, 4));
+        s.reset();
+        assert_eq!(s.port_totals(), (0, 0));
+        assert_eq!(s.port_counters(1), (0, 0));
     }
 }

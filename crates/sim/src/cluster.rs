@@ -1,0 +1,329 @@
+//! Cluster grouping of cores and the device's O(activity) scheduler state.
+//!
+//! Cores are grouped into clusters of [`cores_per_cluster`] contiguous
+//! ids: cluster `k` owns cores `k*cpc .. (k+1)*cpc` (the last cluster may
+//! be partially filled). The scheduler keeps a **compact** list of
+//! scheduled (live) cores in ascending id order with a parallel
+//! next-event array. Because cluster id ranges are contiguous and the
+//! list is ascending, each cluster's active-core list is a contiguous
+//! *segment* of the compact arrays: walking the arrays front to back is
+//! exactly walking the non-empty clusters in ascending order, each
+//! contributing its own contiguous span. The per-cluster active lists and
+//! the global next-event min scan are therefore the *same* data
+//! structure — the clustered layout adds zero indirection to the hot
+//! path, visits only clusters containing live cores (empty clusters
+//! occupy no bytes of the scan), and is timing-transparent by
+//! construction: the scan order (ascending core id, ascending-id
+//! tie-break) is identical for every `cores_per_cluster`, which is what
+//! the clustered-vs-flat cycle_dump gate in CI pins.
+//!
+//! On top of the segments sits a **cached per-segment minimum**
+//! ([`seg_min`](Clusters::seg_min)): the device run loop first scans one
+//! cached min per live cluster, then descends into only the segments that
+//! can hold the earliest event. On a desynchronised 256-core device
+//! clustered 16-per-cluster a scheduling round touches ~16 cluster mins
+//! plus one 16-entry segment instead of 256 event entries — the same
+//! earliest `(cycle, core)` choice, found hierarchically. A flat device
+//! (`cpc = 1`) degenerates to one single-entry segment per core, where
+//! the cached-min layer *is* the old flat scan.
+//!
+//! The structure is **persistent** across runs, which is the second half
+//! of the O(activity) contract: `Device::start_warp*` inserts a core when
+//! the host activates it and the run loop removes it when it drains, so
+//! entering a run costs O(live cores) — the per-entry full-topology
+//! `any_active` rebuild scan (O(cores × warps)) is gone. Membership
+//! invariant: outside [`Device::run_with`], the scheduled set equals the
+//! set of cores with at least one active warp (a core becomes active only
+//! through `start_warp`, which schedules it; mid-run warp spawns are
+//! core-local and cannot activate an unscheduled core).
+//!
+//! [`cores_per_cluster`]: crate::DeviceConfig::cores_per_cluster
+//! [`Device::run_with`]: crate::Device::run_with
+
+use vortex_mem::Cycle;
+
+use crate::warp::NEVER;
+
+/// Per-cluster active-core bookkeeping plus the compact scheduled-core
+/// event arrays the device run loop scans. See the module docs for the
+/// segment equivalence that makes the two views one structure.
+#[derive(Debug)]
+pub(crate) struct Clusters {
+    /// Cores per cluster (≥ 1); cluster `k` owns ids `k*cpc..(k+1)*cpc`.
+    cores_per_cluster: usize,
+    /// Scheduled core ids, ascending (compact: only live cores).
+    order: Vec<usize>,
+    /// Next pending event per scheduled core, parallel to `order`.
+    due: Vec<Cycle>,
+    /// Per-core membership flag (O(1) duplicate-schedule check).
+    member: Vec<bool>,
+    /// Cluster id of each live segment, ascending (compact: one entry
+    /// per cluster containing at least one scheduled core).
+    seg_cluster: Vec<usize>,
+    /// Start of each live segment in `order`/`due`, parallel to
+    /// `seg_cluster`; segment `s` spans `seg_start[s]..seg_end(s)`.
+    seg_start: Vec<usize>,
+    /// Cached `due` minimum of each live segment, parallel to
+    /// `seg_cluster` — the first level of the hierarchical event scan.
+    seg_min: Vec<Cycle>,
+}
+
+impl Clusters {
+    /// An empty scheduler over `num_cores` cores grouped `cpc` per
+    /// cluster.
+    pub(crate) fn new(num_cores: usize, cores_per_cluster: usize) -> Self {
+        assert!(cores_per_cluster > 0, "cluster needs at least one core");
+        Clusters {
+            cores_per_cluster,
+            order: Vec::new(),
+            due: Vec::new(),
+            member: vec![false; num_cores],
+            seg_cluster: Vec::new(),
+            seg_start: Vec::new(),
+            seg_min: Vec::new(),
+        }
+    }
+
+    /// Cluster owning `core`.
+    fn cluster_of(&self, core: usize) -> usize {
+        core / self.cores_per_cluster
+    }
+
+    /// Number of clusters currently containing at least one live core
+    /// (== the number of live segments).
+    pub(crate) fn live_clusters(&self) -> usize {
+        self.seg_cluster.len()
+    }
+
+    /// The scheduled core ids, ascending.
+    pub(crate) fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The pending-event array, parallel to [`order`](Clusters::order).
+    pub(crate) fn due(&self) -> &[Cycle] {
+        &self.due
+    }
+
+    /// The cached per-segment minima, parallel to the live segments in
+    /// ascending cluster order — the array the run loop's first-level
+    /// scan walks.
+    pub(crate) fn seg_min(&self) -> &[Cycle] {
+        &self.seg_min
+    }
+
+    /// The span of segment `s` in `order`/`due`.
+    pub(crate) fn seg_bounds(&self, s: usize) -> (usize, usize) {
+        let lo = self.seg_start[s];
+        let hi = self.seg_start.get(s + 1).copied().unwrap_or(self.order.len());
+        (lo, hi)
+    }
+
+    /// The cluster id of segment `s`.
+    pub(crate) fn seg_cluster_id(&self, s: usize) -> usize {
+        self.seg_cluster[s]
+    }
+
+    /// Recomputes segment `s`'s cached minimum from its `due` span (after
+    /// the run loop rewrote entries with [`set_due`](Clusters::set_due)).
+    pub(crate) fn refresh_seg(&mut self, s: usize) {
+        let (lo, hi) = self.seg_bounds(s);
+        self.seg_min[s] = self.due[lo..hi].iter().copied().min().unwrap_or(NEVER);
+    }
+
+    /// Rewrites the pending event of the scheduled core at `pos`. The
+    /// segment's cached minimum is **not** updated — callers batch their
+    /// rewrites and call [`refresh_seg`](Clusters::refresh_seg) once per
+    /// touched segment.
+    pub(crate) fn set_due(&mut self, pos: usize, at: Cycle) {
+        self.due[pos] = at;
+    }
+
+    /// Rewrites the pending event of the core at `pos` in segment `s`
+    /// and updates the segment's cached minimum in O(1), given
+    /// `others_min`, the minimum of the segment's *other* entries (the
+    /// in-segment runner-up the run loop's solo path already computed).
+    pub(crate) fn set_due_with_min(&mut self, s: usize, pos: usize, at: Cycle, others_min: Cycle) {
+        self.due[pos] = at;
+        self.seg_min[s] = at.min(others_min);
+    }
+
+    /// Schedules `core`, keeping `order` ascending. Returns `false` (and
+    /// does nothing) when the core is already scheduled.
+    pub(crate) fn schedule(&mut self, core: usize) -> bool {
+        if self.member[core] {
+            return false;
+        }
+        self.member[core] = true;
+        let pos = self.order.partition_point(|&c| c < core);
+        self.order.insert(pos, core);
+        // A newly scheduled core has no pending event until the next run
+        // marks it due, so the segment minimum is unaffected.
+        self.due.insert(pos, NEVER);
+        let k = self.cluster_of(core);
+        let s = self.seg_cluster.partition_point(|&c| c < k);
+        if self.seg_cluster.get(s) != Some(&k) {
+            self.seg_cluster.insert(s, k);
+            self.seg_start.insert(s, pos);
+            self.seg_min.insert(s, NEVER);
+        }
+        for start in &mut self.seg_start[s + 1..] {
+            *start += 1;
+        }
+        true
+    }
+
+    /// Removes the scheduled core at `pos` (it drained to idle) and
+    /// refreshes its segment's cached minimum (dropping the segment when
+    /// it empties).
+    pub(crate) fn remove_at(&mut self, pos: usize) {
+        let core = self.order.remove(pos);
+        self.due.remove(pos);
+        self.member[core] = false;
+        let s = self.seg_start.partition_point(|&start| start <= pos) - 1;
+        for start in &mut self.seg_start[s + 1..] {
+            *start -= 1;
+        }
+        let (lo, hi) = self.seg_bounds(s);
+        if lo == hi {
+            self.seg_cluster.remove(s);
+            self.seg_start.remove(s);
+            self.seg_min.remove(s);
+        } else {
+            self.seg_min[s] = self.due[lo..hi].iter().copied().min().unwrap_or(NEVER);
+        }
+    }
+
+    /// Marks every scheduled core due at `now` — the O(live) run-entry
+    /// step that replaced the full-topology rebuild scan.
+    pub(crate) fn begin_run(&mut self, now: Cycle) {
+        for d in &mut self.due {
+            *d = now;
+        }
+        for m in &mut self.seg_min {
+            *m = now;
+        }
+    }
+
+    /// Unschedules everything (device reset), touching only live state.
+    pub(crate) fn clear(&mut self) {
+        for &core in &self.order {
+            self.member[core] = false;
+        }
+        self.order.clear();
+        self.due.clear();
+        self.seg_cluster.clear();
+        self.seg_start.clear();
+        self.seg_min.clear();
+    }
+
+    /// Cluster `k`'s active-core list: the contiguous segment of the
+    /// compact arrays holding its scheduled cores (ascending ids).
+    pub(crate) fn active_in(&self, cluster: usize) -> &[usize] {
+        let s = self.seg_cluster.partition_point(|&c| c < cluster);
+        if self.seg_cluster.get(s) != Some(&cluster) {
+            return &[];
+        }
+        let (lo, hi) = self.seg_bounds(s);
+        &self.order[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_keeps_order_ascending_and_dedups() {
+        let mut cl = Clusters::new(8, 4);
+        assert!(cl.schedule(5));
+        assert!(cl.schedule(1));
+        assert!(cl.schedule(3));
+        assert!(!cl.schedule(5), "duplicate schedule must be a no-op");
+        assert_eq!(cl.order(), &[1, 3, 5]);
+        assert_eq!(cl.order().len(), 3);
+    }
+
+    #[test]
+    fn live_cluster_count_tracks_segments() {
+        let mut cl = Clusters::new(8, 4);
+        assert_eq!(cl.live_clusters(), 0);
+        cl.schedule(1);
+        cl.schedule(2);
+        assert_eq!(cl.live_clusters(), 1, "both cores share cluster 0");
+        cl.schedule(6);
+        assert_eq!(cl.live_clusters(), 2);
+        // Remove core 6 (position 2 in [1, 2, 6]) — cluster 1 empties.
+        cl.remove_at(2);
+        assert_eq!(cl.live_clusters(), 1);
+        cl.remove_at(0);
+        cl.remove_at(0);
+        assert_eq!(cl.live_clusters(), 0);
+        assert_eq!(cl.order().len(), 0);
+    }
+
+    #[test]
+    fn per_cluster_active_lists_are_segments() {
+        let mut cl = Clusters::new(12, 4);
+        for core in [0, 2, 3, 5, 9, 11] {
+            cl.schedule(core);
+        }
+        assert_eq!(cl.active_in(0), &[0, 2, 3]);
+        assert_eq!(cl.active_in(1), &[5]);
+        assert_eq!(cl.active_in(2), &[9, 11]);
+        // Segments concatenate to the full scan order.
+        let concat: Vec<usize> = (0..3).flat_map(|k| cl.active_in(k).iter().copied()).collect();
+        assert_eq!(concat, cl.order());
+        // Segment bookkeeping agrees with the membership view.
+        assert_eq!(cl.live_clusters(), 3);
+        assert_eq!(cl.seg_bounds(0), (0, 3));
+        assert_eq!(cl.seg_bounds(1), (3, 4));
+        assert_eq!(cl.seg_bounds(2), (4, 6));
+        assert_eq!(cl.seg_cluster_id(2), 2);
+    }
+
+    #[test]
+    fn begin_run_and_clear_touch_only_live_state() {
+        let mut cl = Clusters::new(256, 16);
+        cl.schedule(7);
+        cl.schedule(200);
+        cl.begin_run(42);
+        assert_eq!(cl.due(), &[42, 42]);
+        cl.set_due(0, 50);
+        assert_eq!(cl.due(), &[50, 42]);
+        cl.clear();
+        assert_eq!(cl.order().len(), 0);
+        assert_eq!(cl.live_clusters(), 0);
+        // Re-scheduling after clear works (membership flags were reset).
+        assert!(cl.schedule(7));
+        assert_eq!(cl.order(), &[7]);
+    }
+
+    #[test]
+    fn segment_minima_track_due_rewrites_and_removals() {
+        let mut cl = Clusters::new(32, 4);
+        for core in [0, 1, 4, 5, 9] {
+            cl.schedule(core);
+        }
+        cl.begin_run(10);
+        assert_eq!(cl.seg_min(), &[10, 10, 10]);
+
+        // set_due defers the min; refresh_seg recomputes it.
+        cl.set_due(0, 25);
+        cl.set_due(1, 17);
+        cl.refresh_seg(0);
+        assert_eq!(cl.seg_min(), &[17, 10, 10]);
+
+        // Removing a segment's earliest core re-derives the min from the
+        // survivors; removing the last core drops the segment.
+        cl.set_due(2, 12);
+        cl.set_due(3, 30);
+        cl.remove_at(2); // cluster 1 keeps core 5 @ 30
+        assert_eq!(cl.seg_min(), &[17, 30, 10]);
+        cl.remove_at(2); // cluster 1 empties
+        assert_eq!(cl.seg_min(), &[17, 10]);
+        assert_eq!(cl.live_clusters(), 2);
+        assert_eq!(cl.active_in(1), &[] as &[usize]);
+        assert_eq!(cl.active_in(2), &[9]);
+    }
+}

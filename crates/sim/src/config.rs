@@ -78,6 +78,15 @@ pub struct DeviceConfig {
     pub mem: MemConfig,
     /// Maximum nesting depth of `vx_split` per warp.
     pub ipdom_depth: usize,
+    /// Cores grouped per cluster (contiguous core-id ranges): cluster `k`
+    /// owns cores `k*cpc .. (k+1)*cpc`. Clustering is a *host-side*
+    /// scheduling and accounting structure — per-cluster active-core
+    /// lists and per-cluster memory-port counters — and is
+    /// timing-transparent by construction: simulated cycles and counters
+    /// are bit-identical for every value of this knob (gated by the
+    /// clustered-vs-flat cycle_dump diff in CI). `1` reproduces the flat
+    /// per-core layout exactly.
+    pub cores_per_cluster: usize,
 }
 
 impl DeviceConfig {
@@ -94,9 +103,32 @@ impl DeviceConfig {
             timing: TimingConfig::default(),
             mem: MemConfig::default(),
             ipdom_depth: 32,
+            cores_per_cluster: 1,
         };
         cfg.validate();
         cfg
+    }
+
+    /// Returns a copy with `cores_per_cluster` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores_per_cluster` is zero.
+    pub fn with_clustering(mut self, cores_per_cluster: usize) -> Self {
+        self.cores_per_cluster = cores_per_cluster;
+        self.validate();
+        self
+    }
+
+    /// Number of clusters (`ceil(cores / cores_per_cluster)`); the last
+    /// cluster may be partially filled.
+    pub fn num_clusters(&self) -> usize {
+        self.cores.div_ceil(self.cores_per_cluster)
+    }
+
+    /// Cluster owning `core`.
+    pub fn cluster_of(&self, core: usize) -> usize {
+        core / self.cores_per_cluster
     }
 
     /// Checks invariants (non-zero dimensions, mask-width limits).
@@ -109,6 +141,7 @@ impl DeviceConfig {
         assert!((1..=32).contains(&self.warps), "warps per core must be in 1..=32");
         assert!((1..=32).contains(&self.threads), "threads per warp must be in 1..=32");
         assert!(self.ipdom_depth > 0, "IPDOM stack needs at least one entry");
+        assert!(self.cores_per_cluster > 0, "cluster needs at least one core");
     }
 
     /// Total hardware parallelism `hp = cores × warps × threads` (Eq. 1 of
@@ -117,9 +150,17 @@ impl DeviceConfig {
         (self.cores * self.warps * self.threads) as u64
     }
 
-    /// The paper's compact topology notation, e.g. `"64c32w32t"`.
+    /// The paper's compact topology notation, e.g. `"64c32w32t"`. When
+    /// clustering is enabled an `x<cores_per_cluster>` suffix is appended
+    /// (e.g. `"64c32w32tx4"`); flat devices keep the historical name so
+    /// store keys and manifests written before clustering existed remain
+    /// valid.
     pub fn topology_name(&self) -> String {
-        format!("{}c{}w{}t", self.cores, self.warps, self.threads)
+        if self.cores_per_cluster == 1 {
+            format!("{}c{}w{}t", self.cores, self.warps, self.threads)
+        } else {
+            format!("{}c{}w{}tx{}", self.cores, self.warps, self.threads, self.cores_per_cluster)
+        }
     }
 }
 
@@ -140,17 +181,27 @@ impl FromStr for DeviceConfig {
     type Err = ParseTopologyError;
 
     /// Parses the `"<cores>c<warps>w<threads>t"` notation used throughout
-    /// the paper, with default timing and memory parameters.
+    /// the paper, with default timing and memory parameters. An optional
+    /// `x<cores_per_cluster>` suffix selects a clustered layout, e.g.
+    /// `"256c4w8tx16"`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || ParseTopologyError { input: s.to_owned() };
-        let rest = s.strip_suffix('t').ok_or_else(err)?;
+        let (base, cores_per_cluster) = match s.rsplit_once('x') {
+            Some((head, tail)) if head.ends_with('t') => (head, tail.parse().map_err(|_| err())?),
+            _ => (s, 1),
+        };
+        let rest = base.strip_suffix('t').ok_or_else(err)?;
         let (rest, threads) = split_num_suffix(rest, 'w').ok_or_else(err)?;
         let (rest, warps) = split_num_suffix(rest, 'c').ok_or_else(err)?;
         let cores: usize = rest.parse().map_err(|_| err())?;
-        if cores == 0 || !(1..=32).contains(&warps) || !(1..=32).contains(&threads) {
+        if cores == 0
+            || cores_per_cluster == 0
+            || !(1..=32).contains(&warps)
+            || !(1..=32).contains(&threads)
+        {
             return Err(err());
         }
-        Ok(DeviceConfig::with_topology(cores, warps, threads))
+        Ok(DeviceConfig::with_topology(cores, warps, threads).with_clustering(cores_per_cluster))
     }
 }
 
@@ -181,7 +232,7 @@ mod tests {
 
     #[test]
     fn topology_roundtrip() {
-        for name in ["1c2w2t", "64c32w32t", "3c5w7t"] {
+        for name in ["1c2w2t", "64c32w32t", "3c5w7t", "256c4w8tx16", "16c16w16tx4"] {
             let cfg: DeviceConfig = name.parse().unwrap();
             assert_eq!(cfg.topology_name(), name);
         }
@@ -189,9 +240,32 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed() {
-        for bad in ["", "1c2w", "c2w2t", "1x2w2t", "0c2w2t", "1c33w2t", "1c2w0t"] {
+        for bad in
+            ["", "1c2w", "c2w2t", "1x2w2t", "0c2w2t", "1c33w2t", "1c2w0t", "4c2w2tx0", "4c2w2tx"]
+        {
             assert!(bad.parse::<DeviceConfig>().is_err(), "{bad} should fail");
         }
+    }
+
+    #[test]
+    fn clustering_defaults_to_flat() {
+        let cfg = DeviceConfig::with_topology(4, 8, 16);
+        assert_eq!(cfg.cores_per_cluster, 1);
+        assert_eq!(cfg.num_clusters(), 4);
+        assert_eq!(cfg.topology_name(), "4c8w16t");
+    }
+
+    #[test]
+    fn cluster_partitioning_covers_partial_tail() {
+        let cfg = DeviceConfig::with_topology(10, 2, 2).with_clustering(4);
+        assert_eq!(cfg.num_clusters(), 3);
+        assert_eq!(cfg.cluster_of(0), 0);
+        assert_eq!(cfg.cluster_of(3), 0);
+        assert_eq!(cfg.cluster_of(4), 1);
+        assert_eq!(cfg.cluster_of(9), 2);
+        // Oversized clustering degenerates to a single cluster.
+        let one = DeviceConfig::with_topology(4, 2, 2).with_clustering(64);
+        assert_eq!(one.num_clusters(), 1);
     }
 
     #[test]

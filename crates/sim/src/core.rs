@@ -169,6 +169,12 @@ impl Core {
         self.warps.iter().any(|w| w.active)
     }
 
+    /// Whether any warp was ever started since the last reset — the flag
+    /// the device's O(touched) start/reset bookkeeping rides.
+    pub fn is_touched(&self) -> bool {
+        self.touched
+    }
+
     /// Bit mask of active warps (CSR `active_warps`).
     fn active_warp_mask(&self) -> u32 {
         let mut m = 0;

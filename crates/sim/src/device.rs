@@ -3,6 +3,7 @@
 use vortex_asm::Program;
 use vortex_mem::{Cycle, MainMemory, MemStats, MemSystem};
 
+use crate::cluster::Clusters;
 use crate::config::DeviceConfig;
 use crate::core::{Core, CoreCtx, CoreOutcome};
 use crate::counters::DeviceCounters;
@@ -68,19 +69,20 @@ pub struct Device {
     cycle: Cycle,
     horizon: Cycle,
     counters: DeviceCounters,
-    /// Resident next-event buffer of the cores the current run actually
-    /// schedules — **compact**, parallel to [`run_order`](Device::run_order),
-    /// so the per-round min scan stays a contiguous (vectorisable) pass
-    /// while still being proportional to the launch, not the topology.
-    /// Lives on the device so back-to-back launches (the multi-phase
-    /// kernels' dispatch rounds) re-enter [`run_with`](Device::run_with)
-    /// without reallocating the event state.
-    next_due: Vec<Cycle>,
-    /// Resident list of the scheduled cores' ids (ascending), parallel
-    /// to [`next_due`](Device::next_due). Low-occupancy launches touch a
-    /// handful of cores, and a core that drains is removed from both
-    /// arrays in place.
-    run_order: Vec<usize>,
+    /// The cluster-grouped scheduler state: compact ascending
+    /// scheduled-core / next-event arrays plus a cached per-cluster
+    /// minimum, so a scheduling round scans one entry per live cluster
+    /// and descends into only the segments holding the earliest event. The
+    /// structure is *persistent*: [`start_warp`](Device::start_warp) and
+    /// friends insert cores as the host activates them and the run loop
+    /// removes cores as they drain, so entering a run is O(live cores) —
+    /// an idle core costs zero bytes touched, whatever the topology. See
+    /// [`cluster`](crate::cluster) for the layout and invariants.
+    clusters: Clusters,
+    /// Cores started (touched) since the last [`reset`](Device::reset),
+    /// in first-touch order — the O(touched) reset walks exactly this
+    /// list instead of scanning the topology for `touched` flags.
+    started: Vec<usize>,
 }
 
 impl Device {
@@ -108,10 +110,20 @@ impl Device {
             cycle: 0,
             horizon: 0,
             counters: DeviceCounters::default(),
-            next_due: Vec::with_capacity(config.cores),
-            run_order: Vec::with_capacity(config.cores),
+            clusters: Clusters::new(config.cores, config.cores_per_cluster),
+            started: Vec::new(),
             config,
         }
+    }
+
+    /// Registers a host-side activation of `core`: first-touch cores join
+    /// the O(touched) reset list, and the core joins its cluster's
+    /// active-core list (idempotent for already-scheduled cores).
+    fn note_activation(&mut self, core: usize) {
+        if !self.cores[core].is_touched() {
+            self.started.push(core);
+        }
+        self.clusters.schedule(core);
     }
 
     /// The device configuration.
@@ -175,6 +187,7 @@ impl Device {
     /// Panics if `core` is out of range.
     pub fn start_warp(&mut self, core: usize, pc: u32) {
         let now = self.cycle;
+        self.note_activation(core);
         self.cores[core].start_warp(0, pc, now);
     }
 
@@ -188,6 +201,7 @@ impl Device {
     pub fn start_warps(&mut self, cores: &[usize], pc: u32) {
         let now = self.cycle;
         for &core in cores {
+            self.note_activation(core);
             self.cores[core].start_warp(0, pc, now);
         }
     }
@@ -199,12 +213,28 @@ impl Device {
     /// Panics if `core` or `warp` is out of range.
     pub fn start_warp_at(&mut self, core: usize, warp: usize, pc: u32) {
         let now = self.cycle;
+        self.note_activation(core);
         self.cores[core].start_warp(warp, pc, now);
     }
 
-    /// Whether every warp of every core has halted.
+    /// Whether every warp of every core has halted. O(live cores): a
+    /// core outside the scheduler's active set cannot have an active warp
+    /// (activation always passes through [`start_warp`](Device::start_warp)).
     pub fn all_idle(&self) -> bool {
-        self.cores.iter().all(|c| !c.any_active())
+        self.clusters.order().iter().all(|&c| !self.cores[c].any_active())
+    }
+
+    /// Number of clusters currently containing at least one live core
+    /// (the activity measure the run loop's cost is proportional to).
+    pub fn live_clusters(&self) -> usize {
+        self.clusters.live_clusters()
+    }
+
+    /// Core ids in `cluster` currently holding live warps, ascending.
+    /// Because the scheduled set is kept sorted, each cluster's members
+    /// form a contiguous segment of it — this is a sub-slice, not a copy.
+    pub fn cluster_active_cores(&self, cluster: usize) -> &[usize] {
+        self.clusters.active_in(cluster)
     }
 
     /// Runs until all warps halt, the cycle budget is exhausted, or a
@@ -267,38 +297,32 @@ impl Device {
             cycle,
             horizon,
             counters,
-            next_due,
-            run_order,
+            clusters,
+            started: _,
         } = self;
 
-        // One pending event per core, in a flat per-core array scanned
-        // with a vectorisable min pass instead of a binary heap. The heap
-        // survived two calendar-queue prototypes (ROADMAP item c, see
-        // README "PR2 results"), but it charged every *core-cycle* of a
-        // lockstep many-core run one pop+push sift pair; with n ≤ 64 a
+        // One pending event per scheduled core, in a compact array
+        // scanned with a vectorisable min pass instead of a binary heap.
+        // The heap survived two calendar-queue prototypes (ROADMAP item
+        // c, see README "PR2 results"), but it charged every *core-cycle*
+        // of a lockstep many-core run one pop+push sift pair; a
         // contiguous `u64` min scan per scheduling round costs less than
         // one sift, and the round still hands each due core a
         // conservative-lookahead window (see [`Core::run_until`]). Unlike
         // the PR 2 wake-slot table, the scan is per *round* (window), not
         // per simulated cycle, so desynchronised runs do not degrade.
         //
-        // Both buffers are device-resident (no per-launch allocation)
-        // and **compact**: `next_due[pos]` is the pending event of core
-        // `run_order[pos]`, covering only the cores this launch started,
-        // in ascending id order — a 2-core launch on a 64-core topology
-        // pays for 2 entries per round, not 64, and the min pass stays a
-        // contiguous scan. Cores cannot *become* active mid-run (wspawn
-        // is core-local), and a core that drains to idle is removed from
-        // both arrays in place, so rounds of a shrinking launch keep
-        // getting cheaper.
-        run_order.clear();
-        next_due.clear();
-        for (cid, core) in cores.iter().enumerate() {
-            if core.any_active() {
-                run_order.push(cid);
-                next_due.push(*cycle);
-            }
-        }
+        // The scheduled set is maintained *incrementally* by the
+        // `start_warp*` entry points and the drain removals below (see
+        // [`Clusters`]): entering a run marks the already-known live
+        // cores due now in O(live), with no per-entry topology scan — a
+        // 2-core launch on a 256-core device pays for 2 entries, and an
+        // idle core costs zero bytes touched. The arrays stay ascending
+        // by core id, so per-cluster active lists are contiguous segments
+        // of the same scan. Cores cannot *become* active mid-run (wspawn
+        // is core-local), and a core that drains to idle is removed in
+        // place, so rounds of a shrinking launch keep getting cheaper.
+        clusters.begin_run(*cycle);
 
         // One context for the whole run: it borrows device state disjoint
         // from `cores`, so it does not need rebuilding per step.
@@ -329,27 +353,36 @@ impl Device {
         // (always the case on single-core devices, and the common case
         // once many-core runs desynchronise) gets the full window to the
         // runner-up event; same-cycle peers each get one cycle.
+        //
+        // The scan is *hierarchical*: a first pass walks one cached
+        // minimum per live cluster segment, and only the segments that
+        // can hold the earliest event are descended into. Desynchronised
+        // rounds of a 256-core device clustered 16-per-cluster touch ~16
+        // segment minima plus one 16-entry segment instead of 256 event
+        // entries; on a flat device (one core per segment) the first
+        // pass *is* the old flat scan. Segments sit back to back in
+        // ascending core-id order, so the hierarchical walk visits cores
+        // in exactly the flat scan's order — ties still resolve
+        // ascending by core id for every `cores_per_cluster`, which the
+        // clustered-vs-flat cycle_dump gate in CI pins.
         loop {
-            // One pass over the scheduled cores: earliest event, its
-            // owner's position, how many cores share it, and the
-            // runner-up time (the solo core's horizon). `run_order` is
-            // ascending, so ties resolve in ascending core-id order,
-            // exactly as the full-array scan (and the heap before it)
-            // did.
+            // Pass 1 over the cached segment minima: earliest event, its
+            // segment, how many segments share it, and the best other
+            // segment's minimum (the cross-segment runner-up).
             let mut t = crate::warp::NEVER;
-            let mut first = 0usize;
-            let mut due = 0usize;
-            let mut second = crate::warp::NEVER;
-            for (pos, &at) in next_due.iter().enumerate() {
-                if at < t {
-                    second = t;
-                    t = at;
-                    first = pos;
-                    due = 1;
-                } else if at == t && at != crate::warp::NEVER {
-                    due += 1;
-                } else if at < second {
-                    second = at;
+            let mut first_seg = 0usize;
+            let mut segs_due = 0usize;
+            let mut seg_second = crate::warp::NEVER;
+            for (s, &m) in clusters.seg_min().iter().enumerate() {
+                if m < t {
+                    seg_second = t;
+                    t = m;
+                    first_seg = s;
+                    segs_due = 1;
+                } else if m == t && m != crate::warp::NEVER {
+                    segs_due += 1;
+                } else if m < seg_second {
+                    seg_second = m;
                 }
             }
             if t == crate::warp::NEVER {
@@ -358,33 +391,102 @@ impl Device {
             if t > limit {
                 return Err(SimError::CycleLimit { limit });
             }
-            if due == 1 {
-                let cid = run_order[first];
-                let window = second.min(limit.saturating_add(1));
-                match cores[cid].run_until(t, window, cycle, &mut ctx)? {
-                    CoreOutcome::Next(next) => next_due[first] = next,
-                    CoreOutcome::Idle => {
-                        run_order.remove(first);
-                        next_due.remove(first);
+            if segs_due == 1 {
+                // Pass 2 over the single candidate segment: position of
+                // its first due core, how many are due, and the best
+                // other in-segment time (the in-segment runner-up).
+                let (lo, hi) = clusters.seg_bounds(first_seg);
+                let mut first = lo;
+                let mut due = 0usize;
+                let mut runner = crate::warp::NEVER;
+                for pos in lo..hi {
+                    let at = clusters.due()[pos];
+                    if at == t {
+                        if due == 0 {
+                            first = pos;
+                        }
+                        due += 1;
+                    } else if at < runner {
+                        runner = at;
+                    }
+                }
+                if due == 1 {
+                    // Solo core device-wide: its window runs to the
+                    // global runner-up = min(in-segment runner-up, best
+                    // other segment). The segment minimum updates in
+                    // O(1): every other in-segment entry is ≥ `runner`.
+                    let cid = clusters.order()[first];
+                    let window = runner.min(seg_second).min(limit.saturating_add(1));
+                    match cores[cid].run_until(t, window, cycle, &mut ctx)? {
+                        CoreOutcome::Next(next) => {
+                            clusters.set_due_with_min(first_seg, first, next, runner)
+                        }
+                        CoreOutcome::Idle => clusters.remove_at(first),
+                    }
+                } else {
+                    // Lockstep within one segment: each due core gets one
+                    // cycle, ascending by position; the segment minimum
+                    // is recomputed once after the pass.
+                    let owner = clusters.seg_cluster_id(first_seg);
+                    let mut pos = first;
+                    while first_seg < clusters.live_clusters()
+                        && clusters.seg_cluster_id(first_seg) == owner
+                        && pos < clusters.seg_bounds(first_seg).1
+                    {
+                        if clusters.due()[pos] != t {
+                            pos += 1;
+                            continue;
+                        }
+                        let cid = clusters.order()[pos];
+                        match cores[cid].run_until(t, t + 1, cycle, &mut ctx)? {
+                            CoreOutcome::Next(next) => {
+                                clusters.set_due(pos, next);
+                                pos += 1;
+                            }
+                            CoreOutcome::Idle => clusters.remove_at(pos),
+                        }
+                    }
+                    if first_seg < clusters.live_clusters()
+                        && clusters.seg_cluster_id(first_seg) == owner
+                    {
+                        clusters.refresh_seg(first_seg);
                     }
                 }
             } else {
-                let mut pos = first;
-                while pos < next_due.len() {
-                    if next_due[pos] != t {
-                        pos += 1;
+                // Several segments share the minimum: walk them in
+                // ascending cluster order, and within each the due cores
+                // in ascending position — the flat scan's exact order.
+                // Draining a segment empty removes it and shifts later
+                // segments down, so the index only advances when the
+                // segment under it survives.
+                let mut s = 0usize;
+                while s < clusters.live_clusters() {
+                    if clusters.seg_min()[s] != t {
+                        s += 1;
                         continue;
                     }
-                    let cid = run_order[pos];
-                    match cores[cid].run_until(t, t + 1, cycle, &mut ctx)? {
-                        CoreOutcome::Next(next) => {
-                            next_due[pos] = next;
+                    let owner = clusters.seg_cluster_id(s);
+                    let mut pos = clusters.seg_bounds(s).0;
+                    while s < clusters.live_clusters()
+                        && clusters.seg_cluster_id(s) == owner
+                        && pos < clusters.seg_bounds(s).1
+                    {
+                        if clusters.due()[pos] != t {
                             pos += 1;
+                            continue;
                         }
-                        CoreOutcome::Idle => {
-                            run_order.remove(pos);
-                            next_due.remove(pos);
+                        let cid = clusters.order()[pos];
+                        match cores[cid].run_until(t, t + 1, cycle, &mut ctx)? {
+                            CoreOutcome::Next(next) => {
+                                clusters.set_due(pos, next);
+                                pos += 1;
+                            }
+                            CoreOutcome::Idle => clusters.remove_at(pos),
                         }
+                    }
+                    if s < clusters.live_clusters() && clusters.seg_cluster_id(s) == owner {
+                        clusters.refresh_seg(s);
+                        s += 1;
                     }
                 }
             }
@@ -408,6 +510,26 @@ impl Device {
         self.memsys.stats()
     }
 
+    /// Device-wide SIMT memory-port counters `(accesses, stall_slots)`
+    /// since the last reset — raw sums, exact to merge across shards.
+    pub fn port_totals(&self) -> (u64, u64) {
+        self.memsys.port_totals()
+    }
+
+    /// Per-cluster memory-port counters `(accesses, stall_slots)`,
+    /// indexed by cluster id. Aggregated by walking only the cores that
+    /// served traffic, so the cost is O(touched), not O(topology).
+    pub fn cluster_port_counters(&self) -> Vec<(u64, u64)> {
+        let mut out = vec![(0u64, 0u64); self.config.num_clusters()];
+        for &core in self.memsys.touched_cores() {
+            let (accesses, stalls) = self.memsys.port_counters(core);
+            let k = self.config.cluster_of(core);
+            out[k].0 += accesses;
+            out[k].1 += stalls;
+        }
+        out
+    }
+
     /// DRAM bandwidth utilisation over the elapsed simulation time.
     pub fn dram_utilization(&self) -> f64 {
         self.memsys.dram_utilization(self.cycle)
@@ -420,19 +542,21 @@ impl Device {
     /// reused device as cheap as the run it hosts.
     pub fn reset(&mut self) {
         let mut work = ResetWork::default();
-        for core in &mut self.cores {
-            if core.reset() {
+        // Walk the first-touch list, not the topology: cores never
+        // started since the previous reset are not visited at all.
+        for &cid in &self.started {
+            if self.cores[cid].reset() {
                 work.cores += 1;
             }
         }
+        self.started.clear();
+        self.clusters.clear();
         self.mem.clear();
         work.l1_caches = self.memsys.reset();
         self.last_reset_work = work;
         self.cycle = 0;
         self.horizon = 0;
         self.counters = DeviceCounters::default();
-        // `next_due`/`run_order` need no reset: `run_with` owns their
-        // lifecycle and rebuilds both on every entry.
         self.mem.write_u32_slice(self.code_base, &self.code_words);
     }
 

@@ -48,6 +48,7 @@
 
 #![forbid(unsafe_code)]
 
+mod cluster;
 mod config;
 mod core;
 mod counters;

@@ -31,8 +31,20 @@ pub(crate) const REGS_PER_WARP: usize = 64;
 pub(crate) const FP_BASE: usize = 32;
 
 /// Lane-major register rows and scoreboard for every warp of one core.
+///
+/// Storage is **lazily allocated**: a fresh `RegFile` owns no backing
+/// memory until the first warp (re)start calls
+/// [`clear_warp`](RegFile::clear_warp), at which point the whole file is
+/// allocated zeroed in one shot. Every architectural access happens on an
+/// active warp, and a warp only becomes active through a start that
+/// clears it, so the read/write paths never see the unallocated state —
+/// and a core that never launches costs zero register bytes, whatever the
+/// configured topology (256 cores × 16w16t would otherwise eagerly zero
+/// ~16 MiB per device construction).
 #[derive(Clone, Debug)]
 pub(crate) struct RegFile {
+    /// Hardware warps (row-group count once allocated).
+    warps: usize,
     /// Lanes per warp (row length).
     threads: usize,
     /// Register rows, lane-major (see module docs).
@@ -50,13 +62,19 @@ pub(crate) struct RegFile {
 }
 
 impl RegFile {
-    /// A zeroed register file for `warps × threads` lanes.
+    /// A register file for `warps × threads` lanes. No backing memory is
+    /// allocated until the first [`clear_warp`](RegFile::clear_warp).
     pub fn new(warps: usize, threads: usize) -> Self {
-        RegFile {
-            threads,
-            words: vec![0; warps * REGS_PER_WARP * threads],
-            busy: vec![0; warps * REGS_PER_WARP],
-            watermark: vec![0; warps],
+        RegFile { warps, threads, words: Vec::new(), busy: Vec::new(), watermark: Vec::new() }
+    }
+
+    /// Allocates the zeroed backing storage on first touch (idempotent).
+    #[inline]
+    fn ensure_allocated(&mut self) {
+        if self.words.is_empty() {
+            self.words = vec![0; self.warps * REGS_PER_WARP * self.threads];
+            self.busy = vec![0; self.warps * REGS_PER_WARP];
+            self.watermark = vec![0; self.warps];
         }
     }
 
@@ -219,6 +237,7 @@ impl RegFile {
     /// device-level reset relies on this staying cheap; see
     /// `WarpState::deactivate`).
     pub fn clear_warp(&mut self, warp: usize) {
+        self.ensure_allocated();
         let base = self.base(warp, 0);
         self.words[base..base + REGS_PER_WARP * self.threads].fill(0);
         self.busy[warp * REGS_PER_WARP..(warp + 1) * REGS_PER_WARP].fill(0);
@@ -233,6 +252,7 @@ mod tests {
     #[test]
     fn rows_are_contiguous_per_register() {
         let mut rf = RegFile::new(2, 4);
+        rf.clear_warp(1);
         for lane in 0..4 {
             rf.row_mut(1, 5)[lane] = 100 + lane as u32;
         }
@@ -247,6 +267,7 @@ mod tests {
     #[test]
     fn copy_row_snapshots_sources() {
         let mut rf = RegFile::new(1, 3);
+        rf.clear_warp(0);
         rf.row_mut(0, 7).copy_from_slice(&[1, 2, 3]);
         let mut buf = [0u32; 32];
         let src = rf.copy_row(0, 7, &mut buf);
@@ -255,14 +276,25 @@ mod tests {
 
     #[test]
     fn zero_register_row_reads_zero() {
-        let rf = RegFile::new(1, 8);
+        let mut rf = RegFile::new(1, 8);
+        rf.clear_warp(0);
         assert_eq!(rf.row(0, 0), &[0; 8]);
         assert_eq!(rf.busy_until(0, 0), 0);
     }
 
     #[test]
+    fn storage_is_lazy_until_first_warp_clear() {
+        let mut rf = RegFile::new(32, 32);
+        assert_eq!(rf.words.len(), 0, "a never-started core owns no register bytes");
+        rf.clear_warp(3);
+        assert_eq!(rf.words.len(), 32 * REGS_PER_WARP * 32);
+        assert_eq!(rf.row(3, 1), &[0; 32]);
+    }
+
+    #[test]
     fn clear_warp_is_warp_local() {
         let mut rf = RegFile::new(2, 2);
+        rf.clear_warp(0);
         rf.row_mut(0, 3)[0] = 9;
         rf.row_mut(1, 3)[0] = 9;
         rf.set_busy(0, 3, 42);
@@ -277,6 +309,7 @@ mod tests {
     #[test]
     fn copy_free_accessors_split_disjoint_rows() {
         let mut rf = RegFile::new(1, 4);
+        rf.clear_warp(0);
         rf.row_mut(0, 5).copy_from_slice(&[1, 2, 3, 4]);
         rf.row_mut(0, 6).copy_from_slice(&[10, 20, 30, 40]);
         let (dst, a, b) = rf.dst_src2(0, 7, 5, 6).expect("disjoint");
@@ -298,6 +331,7 @@ mod tests {
     #[test]
     fn fp_rows_live_above_the_integer_file() {
         let mut rf = RegFile::new(1, 2);
+        rf.clear_warp(0);
         rf.row_mut(0, FP_BASE + 1)[0] = 7;
         assert_eq!(rf.read(0, FP_BASE + 1, 0), 7);
         assert_eq!(rf.read(0, 1, 0), 0);

@@ -7,12 +7,25 @@
 //! ```
 //!
 //! The default grid (10 kernels × 6 topologies × 3 policies = 180 rows)
-//! is frozen so dumps diff cleanly across PRs. `cycle_dump extended`
-//! appends a **cache-thrashing** section on top: the same policies over
-//! a deliberately under-sized memory hierarchy (1 KiB direct-mapped L1,
-//! 8 KiB L2, 2 L1 banks), which keeps the miss/writeback/bank-contention
-//! legs of the batched memory walk hot — paths the default geometry
-//! rarely exercises. CI's determinism gate runs the extended grid.
+//! is frozen so dumps diff cleanly across PRs. Flags (any order, any
+//! combination):
+//!
+//! * `extended` appends a **cache-thrashing** section: the same policies
+//!   over a deliberately under-sized memory hierarchy (1 KiB
+//!   direct-mapped L1, 8 KiB L2, 2 L1 banks), which keeps the
+//!   miss/writeback/bank-contention legs of the batched memory walk
+//!   hot — paths the default geometry rarely exercises. CI's
+//!   determinism gate runs the extended grid.
+//! * `bigtopo` appends a **big-topology** section (256-core flat and
+//!   clustered rows, plus a 16-core 4×4 clustered row) exercising the
+//!   O(activity) scheduler at scale. Behind its own flag so the
+//!   base+extended prefix stays diffable against dumps from before the
+//!   section existed.
+//! * `clustered` reruns whatever grid the other flags select with
+//!   cores-per-cluster 4 under the **flat labels**: clustering is
+//!   timing-transparent by construction, so
+//!   `diff <(cycle_dump extended) <(cycle_dump extended clustered)`
+//!   must be empty — CI pins exactly that.
 
 use vortex_gpgpu::prelude::*;
 use vortex_gpgpu::sim::{CacheConfig, MemConfig};
@@ -66,7 +79,20 @@ fn dump(label: &str, kernel: &mut dyn Kernel, config: &DeviceConfig, policy: Lws
 }
 
 fn main() {
-    let extended = std::env::args().nth(1).as_deref() == Some("extended");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let extended = args.iter().any(|a| a == "extended");
+    let bigtopo = args.iter().any(|a| a == "bigtopo");
+    let clustered = args.iter().any(|a| a == "clustered");
+    // Under `clustered`, regroup every still-flat config into clusters of
+    // 4 while keeping the label the caller printed — the dump must not
+    // change by a single byte.
+    let cluster = |c: DeviceConfig| {
+        if clustered && c.cores_per_cluster == 1 {
+            c.with_clustering(4)
+        } else {
+            c
+        }
+    };
     let configs: Vec<DeviceConfig> =
         ["1c2w4t", "1c4w8t", "2c2w2t", "4c8w16t", "3c5w7t", "16c16w16t"]
             .iter()
@@ -74,8 +100,9 @@ fn main() {
             .collect();
     for mut kernel in kernels() {
         for config in &configs {
+            let run_config = cluster(*config);
             for policy in [LwsPolicy::Naive1, LwsPolicy::Fixed32, LwsPolicy::Auto] {
-                dump(&config.topology_name(), kernel.as_mut(), config, policy);
+                dump(&config.topology_name(), kernel.as_mut(), &run_config, policy);
             }
         }
     }
@@ -86,8 +113,26 @@ fn main() {
             for topo in ["1c2w4t", "2c4w8t"] {
                 let mut config: DeviceConfig = topo.parse().expect("valid topology");
                 config.mem = thrash_mem();
+                let config = cluster(config);
                 for policy in [LwsPolicy::Naive1, LwsPolicy::Fixed32, LwsPolicy::Auto] {
                     dump(&format!("thrash-{topo}"), kernel.as_mut(), &config, policy);
+                }
+            }
+        }
+    }
+    if bigtopo {
+        // Big-topology section: 256 cores flat, the same 256 cores in
+        // 16-core clusters, and the default sweep's largest topology in
+        // 4-core clusters. The x-suffix rows carry their own labels, so
+        // within one dump a clustered row must match its flat twin on
+        // every column after the label — and the whole section must be
+        // identical with and without the global `clustered` flag.
+        for mut kernel in kernels() {
+            for topo in ["256c4w8t", "256c4w8tx16", "16c16w16tx4"] {
+                let config: DeviceConfig = topo.parse().expect("valid topology");
+                let config = cluster(config);
+                for policy in [LwsPolicy::Naive1, LwsPolicy::Fixed32, LwsPolicy::Auto] {
+                    dump(&format!("big-{topo}"), kernel.as_mut(), &config, policy);
                 }
             }
         }

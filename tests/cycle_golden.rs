@@ -795,6 +795,63 @@ mod blocks {
     const GOLDEN_DST_SRC_CHAIN: u64 = 132;
 }
 
+// ---------------------------------------------------------------------
+// Clustered O(activity) device (PR 9).
+//
+// Core clustering is a host-side scheduling/accounting structure: the
+// scan order of the device run loop (ascending core id, ascending-id
+// tie-break) is identical for every `cores_per_cluster`, so regrouping
+// the same cores must not move a cycle or a counter.
+// ---------------------------------------------------------------------
+
+/// Every paper kernel, run flat and under clusterings that exercise an
+/// even split, a partial tail cluster, and one oversized cluster — the
+/// full cycle/counter/memory fingerprints must be identical.
+#[test]
+fn clustered_layouts_are_bit_identical_to_flat() {
+    let grid: &[(&str, &[usize])] = &[("8c8w8t", &[2, 3, 64]), ("3c5w7t", &[2])];
+    for &(topo, cpcs) in grid {
+        let flat: DeviceConfig = topo.parse().unwrap();
+        for mut kernel in kernels() {
+            let reference = run_kernel(kernel.as_mut(), &flat, LwsPolicy::Auto)
+                .unwrap_or_else(|e| panic!("{} {topo}: {e}", kernel.name()));
+            let reference = fingerprint(&reference);
+            for &cpc in cpcs {
+                let clustered = flat.with_clustering(cpc);
+                let outcome = run_kernel(kernel.as_mut(), &clustered, LwsPolicy::Auto)
+                    .unwrap_or_else(|e| panic!("{} {topo} cpc={cpc}: {e}", kernel.name()));
+                assert_eq!(
+                    fingerprint(&outcome),
+                    reference,
+                    "{} on {topo}: clustering {cpc} cores per cluster moved timing",
+                    kernel.name()
+                );
+            }
+        }
+    }
+}
+
+/// The big-topology path is pinned absolutely: a 256-core run finishes at
+/// the same golden cycle flat and clustered, so drift in the O(activity)
+/// scheduler at scale fails loudly even if both layouts drift together.
+#[test]
+fn big_topology_256_core_golden() {
+    let mut fingerprints = Vec::new();
+    for topo in ["256c4w8t", "256c4w8tx16"] {
+        let config: DeviceConfig = topo.parse().unwrap();
+        let mut kernel = VecAdd::new(4096);
+        let outcome = run_kernel(&mut kernel, &config, LwsPolicy::Fixed32)
+            .unwrap_or_else(|e| panic!("{topo}: {e}"));
+        assert_eq!(outcome.cycles, GOLDEN_256C_VECADD, "{topo}: big-topology golden cycle drift");
+        fingerprints.push(fingerprint(&outcome));
+    }
+    assert_eq!(fingerprints[0], fingerprints[1], "flat vs clustered 256-core drift");
+}
+
+// Captured from the PR 9 engine after it was verified bit-identical to
+// the PR 8 binary over the extended 240-run cycle_dump grid.
+const GOLDEN_256C_VECADD: u64 = 1391;
+
 /// Absolute golden finish cycles for representative runs. These values
 /// were captured from the seed simulator (pre-optimisation) and verified
 /// bit-identical against the optimised engine; any future change that

@@ -145,6 +145,20 @@ fn reset_work_scales_with_touched_state_not_topology() {
     // The sweep left the device clean: a second reset finds nothing.
     rt.reset();
     assert_eq!(rt.device().last_reset_work(), ResetWork::default());
+
+    // The same discipline at big-topology scale: one task on a 256-core
+    // device (16-core clusters) still sweeps exactly one core and one
+    // L1 — the other 255 cores cost zero bytes touched.
+    let config: DeviceConfig = "256c4w8tx16".parse().unwrap();
+    let mut rt = Runtime::new(config);
+    rt.load_program(&program);
+    let outcome = run_kernel_prepared(&mut kernel, &program, &mut rt, LwsPolicy::Fixed32).unwrap();
+    assert_eq!(outcome.reports[0].active_cores, 1);
+    assert_eq!(rt.device().live_clusters(), 0, "all work drained after the run");
+    rt.reset();
+    assert_eq!(rt.device().last_reset_work(), ResetWork { cores: 1, l1_caches: 1 });
+    rt.reset();
+    assert_eq!(rt.device().last_reset_work(), ResetWork::default());
 }
 
 // Golden finish cycles, captured from the engine after it was verified
