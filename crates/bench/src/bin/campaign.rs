@@ -82,7 +82,7 @@ fn fan_out_workers(flags: &Flags, dir: &Path, cache_dir: &Path, workers: usize) 
             .arg(wdir.join("store"))
             .arg("--shard")
             .arg(format!("{k}/{workers}"));
-        for key in ["configs", "topos", "kernels", "jobs"] {
+        for key in ["configs", "topos", "kernels", "jobs", "trace-dir"] {
             if let Some(value) = flags.get_str(key) {
                 cmd.arg(format!("--{key}")).arg(value);
             }
@@ -131,7 +131,7 @@ fn main() {
         eprintln!(
             "usage: campaign --dir QUEUE [--cache DIR] [--configs N | --topos 1c2w2t,…] \
              [--kernels a,b] [--shard K/M | --workers N] [--jobs N] [--budget N] [--resume] \
-             [--paper-scale] [--json OUT]"
+             [--paper-scale] [--trace-dir DIR] [--json OUT]"
         );
         std::process::exit(2);
     };
@@ -195,6 +195,7 @@ fn main() {
                 std::process::exit(2);
             }
         }),
+        trace_dir: flags.get_str("trace-dir").map(PathBuf::from),
         resume: flags.has("resume"),
     };
 

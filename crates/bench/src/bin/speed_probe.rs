@@ -34,6 +34,22 @@
 //! how the committed 16-core vs 256-core scaling baselines pin their
 //! configurations.
 //!
+//! ## Trace record/replay (PR 10)
+//!
+//! `--trace-dir DIR` attaches the keyed trace store (docs/TRACE.md): the
+//! first policy run of a (kernel, mapping, topology) executes normally
+//! and records its architectural event streams; every later
+//! configuration sharing that key — the same topology under a different
+//! timing or memory model — replays the stored trace, skipping
+//! decode-execute while producing bit-identical rows. `--uarch M`
+//! expands every grid topology into `M` deterministic micro-architecture
+//! variants (variant 0 is the unmodified base; the others perturb
+//! functional-unit latencies, cache geometry and DRAM parameters but
+//! never the topology), which is the sweep shape replay accelerates:
+//! one record serves `M - 1` replays. Since PR 10 each row records
+//! `trace_records`/`trace_replays` (raw sums, exact on shard merge;
+//! zero without `--trace-dir`).
+//!
 //! ## Campaign cache
 //!
 //! `--cache DIR` attaches the persistent content-addressed result store
@@ -70,13 +86,44 @@
 use std::path::Path;
 use std::time::Instant;
 
+use vortex_bench::campaign::run_campaign_cached_traced;
 use vortex_bench::cli::{default_jobs, Flags};
 use vortex_bench::probe::{merge_probe_files, render_json, KernelRow, ProbeFile};
 use vortex_bench::{
-    atomic_write, kernel_factories, paper_sweep, parse_shard, run_campaign_cached, CampaignCache,
-    Scale,
+    atomic_write, kernel_factories, paper_sweep, parse_shard, CampaignCache, Scale, TraceStore,
 };
 use vortex_sim::DeviceConfig;
+
+/// Deterministic micro-architecture variant `v` of `base`: perturbs
+/// pipeline latencies, cache geometry and DRAM parameters — everything
+/// replay re-times — while leaving the topology (and therefore the
+/// trace key) untouched. Variant 0 is `base` itself.
+fn uarch_variant(base: &DeviceConfig, v: usize) -> DeviceConfig {
+    let mut c = *base;
+    if v == 0 {
+        return c;
+    }
+    let k = v as u64;
+    c.timing.alu = 1 + (k & 1);
+    c.timing.mul = 2 + k % 5;
+    c.timing.div = 12 + 2 * (k % 4);
+    c.timing.fpu = 3 + k % 4;
+    c.timing.fdiv = 12 + 3 * (k % 3);
+    c.timing.fsqrt = 16 + 4 * (k % 3);
+    c.timing.branch_bubble = 1 + k % 3;
+    c.timing.wspawn = 8 + 4 * (k % 4);
+    c.timing.barrier = 2 + k % 4;
+    c.mem.l1_latency = 1 + k % 3;
+    c.mem.l2_latency = 12 + 6 * (k % 4);
+    c.mem.l2_interval = 1 + k % 2;
+    c.mem.l1.size_bytes = (8 * 1024) << (k % 3);
+    c.mem.l1.ways = 2 << (k % 3);
+    c.mem.l2.size_bytes = (128 * 1024) << (k % 3);
+    c.mem.dram.latency = 60 + 30 * (k % 4);
+    c.mem.dram.interval = 1 + k % 3;
+    c.mem.dram.channels = 2 << (k % 3);
+    c
+}
 
 fn main() {
     let flags = Flags::from_env();
@@ -137,11 +184,25 @@ fn main() {
             .map(|(_, c)| c)
             .collect();
     }
+    let uarch = flags.get_usize("uarch", 1).max(1);
+    if uarch > 1 {
+        // Expand after sharding so every shard holds each of its
+        // topologies' full variant families — a shard's records serve
+        // its own replays and the merged counters sum exactly.
+        configs = configs.iter().flat_map(|c| (0..uarch).map(|v| uarch_variant(c, v))).collect();
+    }
     let scale = if flags.has("paper-scale") { Scale::Paper } else { Scale::Sweep };
     let cache = flags.get_str("cache").map(|dir| match CampaignCache::open(dir) {
         Ok(cache) => cache,
         Err(e) => {
             eprintln!("opening campaign cache {dir}: {e}");
+            std::process::exit(1);
+        }
+    });
+    let traces = flags.get_str("trace-dir").map(|dir| match TraceStore::open(Path::new(dir)) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("opening trace store {dir}: {e}");
             std::process::exit(1);
         }
     });
@@ -157,10 +218,11 @@ fn main() {
         let before = cache.as_ref().map(|c| c.counters()).unwrap_or_default();
         let start = Instant::now();
         let result =
-            run_campaign_cached(&factory, &configs, jobs, cache.as_ref()).unwrap_or_else(|e| {
-                eprintln!("{}: {e}", factory.name);
-                std::process::exit(1);
-            });
+            run_campaign_cached_traced(&factory, &configs, jobs, cache.as_ref(), traces.as_ref())
+                .unwrap_or_else(|e| {
+                    eprintln!("{}: {e}", factory.name);
+                    std::process::exit(1);
+                });
         let dt = start.elapsed();
         let after = cache.as_ref().map(|c| c.counters()).unwrap_or_default();
         let (hits, misses) = match cache {
@@ -183,12 +245,14 @@ fn main() {
             cache_misses: misses,
             port_accesses,
             port_stall_slots,
+            trace_records: result.trace_records,
+            trace_replays: result.trace_replays,
         };
         println!(
             "{:<13} {:>4} configs x3 policies: {:>8.2?}  (dram util {:.2}, L1 {:>5.1}%, \
              L2 {:>5.1}%, {} DRAM reqs, {:.1} rnds/launch, {:.1} lanes/rnd, \
              fused {:>4.1}%, {:.1} instr/blk, {:.1} stall/acc, {:.0} ns/instr, \
-             cache {hits}h/{misses}m)",
+             cache {hits}h/{misses}m, trace {}rec/{}rep)",
             factory.name,
             result.rows.len(),
             dt,
@@ -202,6 +266,8 @@ fn main() {
             row.dispatch.mean_fused_block_len(),
             if port_accesses == 0 { 0.0 } else { port_stall_slots as f64 / port_accesses as f64 },
             row.host_ns_per_instr(),
+            result.trace_records,
+            result.trace_replays,
         );
         rows.push(row);
     }
@@ -229,6 +295,11 @@ fn main() {
             "campaign cache{state}: {} hits, {} misses, {} rows resident, {}B read, {}B written",
             c.hits, c.misses, c.entries, c.bytes_read, c.bytes_written
         );
+    }
+
+    if let Some(store) = &traces {
+        let (rec, rep) = store.counters();
+        println!("trace store: {rec} runs recorded, {rep} replayed ({})", store.dir().display());
     }
 
     if let Some(path) = flags.get_str("json") {

@@ -5,10 +5,12 @@ use std::sync::Mutex;
 
 use vortex_core::{DispatchStats, LwsPolicy, Runtime};
 use vortex_kernels::{
-    run_kernel_prepared, Gauss, GcnAggr, GcnLayer, Kernel, KernelError, Knn, Relu, ResnetLayer,
-    Saxpy, Sgemm, VecAdd,
+    record_kernel_prepared, replay_kernel_prepared, run_kernel_prepared, Gauss, GcnAggr, GcnLayer,
+    Kernel, KernelError, Knn, Reduce, Relu, ResnetLayer, RunOutcome, Saxpy, Sgemm, VecAdd,
 };
-use vortex_sim::{DeviceConfig, MemStats};
+use vortex_sim::{DeviceConfig, MemStats, RecordedTrace};
+
+use crate::tracestore::{trace_key, TraceStore};
 
 /// Workload sizing: the paper's exact sizes or the reduced sweep sizes.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -50,7 +52,7 @@ impl KernelFactory {
     }
 }
 
-/// The nine paper kernels at the chosen scale.
+/// The ten workload kernels at the chosen scale.
 pub fn kernel_factories(scale: Scale) -> Vec<KernelFactory> {
     fn f(
         name: &'static str,
@@ -70,6 +72,7 @@ pub fn kernel_factories(scale: Scale) -> Vec<KernelFactory> {
             f("gcn_aggr", || Box::new(GcnAggr::paper())),
             f("gcn_layer", || Box::new(GcnLayer::paper())),
             f("resnet_layer", || Box::new(ResnetLayer::paper())),
+            f("reduce", || Box::new(Reduce::paper())),
         ],
         Scale::Sweep => vec![
             f("vecadd", || Box::new(VecAdd::paper())),
@@ -81,6 +84,7 @@ pub fn kernel_factories(scale: Scale) -> Vec<KernelFactory> {
             f("gcn_aggr", || Box::new(GcnAggr::sweep())),
             f("gcn_layer", || Box::new(GcnLayer::sweep())),
             f("resnet_layer", || Box::new(ResnetLayer::sweep())),
+            f("reduce", || Box::new(Reduce::paper())), // already small enough
         ],
     };
     for factory in &mut factories {
@@ -148,6 +152,12 @@ pub struct CampaignResult {
     pub kernel: &'static str,
     /// One row per configuration, in sweep order.
     pub rows: Vec<ConfigRow>,
+    /// Policy runs measured by executing (and, with a trace store,
+    /// recording) — a transport counter like the cache hit counts, not
+    /// simulation content, so shard merges sum it.
+    pub trace_records: u64,
+    /// Policy runs measured by replaying a stored trace.
+    pub trace_replays: u64,
 }
 
 impl CampaignResult {
@@ -251,22 +261,60 @@ pub fn run_campaign_cached(
     jobs: usize,
     cache: Option<&crate::cache::CampaignCache>,
 ) -> Result<CampaignResult, KernelError> {
+    run_campaign_cached_traced(factory, configs, jobs, cache, None)
+}
+
+/// [`run_campaign_cached`] with semantics-free trace record/replay: with
+/// a [`TraceStore`], the first execution of a (kernel, per-phase mapping,
+/// topology) records its architectural event streams, and every later
+/// configuration sharing that [`trace_key`] — same topology under a
+/// different timing or memory-hierarchy model — is *replayed*: the full
+/// scheduling and memory-timing walk runs, but decode-execute of row
+/// kernels is skipped, producing bit-identical rows faster. Replay rows
+/// skip host-side result verification (a replay computes no values);
+/// every recorded row is verified as usual.
+///
+/// The returned [`CampaignResult::trace_records`]/`trace_replays` count
+/// this campaign's policy runs by how they were measured (deduplicated
+/// policies count once, cache hits count zero times).
+///
+/// # Errors
+///
+/// Propagates the first kernel failure (assembly, launch, wrong results).
+pub fn run_campaign_cached_traced(
+    factory: &KernelFactory,
+    configs: &[DeviceConfig],
+    jobs: usize,
+    cache: Option<&crate::cache::CampaignCache>,
+    traces: Option<&TraceStore>,
+) -> Result<CampaignResult, KernelError> {
     let jobs = jobs.max(1);
     // One assembly on the caller thread pins the program digest for key
     // derivation; workers still assemble their own copy for simulation.
-    let keys: Vec<u64> = match cache {
-        Some(_) => {
-            let program = factory.make_kernel().build()?;
-            let pdig = vortex_core::digest_program(&program);
-            configs
-                .iter()
-                .map(|c| {
-                    crate::cache::campaign_key_from_digest(factory.name, factory.scale, pdig, c)
-                })
-                .collect()
-        }
-        None => Vec::new(),
+    let pdig: Option<u64> = if cache.is_some() || traces.is_some() {
+        let program = factory.make_kernel().build()?;
+        Some(vortex_core::digest_program(&program))
+    } else {
+        None
     };
+    let keys: Vec<u64> = match (cache, pdig) {
+        (Some(_), Some(pdig)) => configs
+            .iter()
+            .map(|c| crate::cache::campaign_key_from_digest(factory.name, factory.scale, pdig, c))
+            .collect(),
+        _ => Vec::new(),
+    };
+    let trace_ctx: Option<TraceCtx> = match (traces, pdig) {
+        (Some(store), Some(pdig)) => Some(TraceCtx {
+            store,
+            kernel: factory.name,
+            scale: factory.scale,
+            program_digest: pdig,
+        }),
+        _ => None,
+    };
+    let records = std::sync::atomic::AtomicU64::new(0);
+    let replays = std::sync::atomic::AtomicU64::new(0);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let rows: Mutex<Vec<Option<ConfigRow>>> = Mutex::new(vec![None; configs.len()]);
     let failure: Mutex<Option<KernelError>> = Mutex::new(None);
@@ -283,6 +331,7 @@ pub fn run_campaign_cached(
                     }
                 };
                 let mut rt: Option<Runtime> = None;
+                let mut memo = TraceMemo::default();
                 loop {
                     if failure.lock().expect("failure lock").is_some() {
                         return;
@@ -308,7 +357,16 @@ pub fn run_campaign_cached(
                             rt.insert(fresh)
                         }
                     };
-                    match measure_config(kernel.as_mut(), &program, rt, config) {
+                    let measured = measure_config(
+                        kernel.as_mut(),
+                        &program,
+                        rt,
+                        config,
+                        trace_ctx.as_ref(),
+                        &mut memo,
+                        (&records, &replays),
+                    );
+                    match measured {
                         Ok(row) => {
                             if let Some(cache) = cache {
                                 cache.insert(factory.name, keys[idx], &row);
@@ -334,7 +392,50 @@ pub fn run_campaign_cached(
         .into_iter()
         .map(|r| r.expect("all configs measured"))
         .collect();
-    Ok(CampaignResult { kernel: factory.name, rows })
+    Ok(CampaignResult {
+        kernel: factory.name,
+        rows,
+        trace_records: records.into_inner(),
+        trace_replays: replays.into_inner(),
+    })
+}
+
+/// Everything a worker needs to derive [`trace_key`]s and talk to the
+/// shared [`TraceStore`].
+struct TraceCtx<'a> {
+    store: &'a TraceStore,
+    kernel: &'static str,
+    scale: Scale,
+    program_digest: u64,
+}
+
+/// A worker's small cache of decoded traces. Micro-architecture sweeps
+/// (`--uarch`) visit every timing/geometry variant of one topology
+/// back-to-back, and all variants share the topology's trace keys — so
+/// without this, each variant re-reads and re-decodes the same
+/// multi-megabyte files. Capacity 4 covers the three policy signatures
+/// of the current topology plus one straggler; a freshly *recorded*
+/// trace is memoised too, so the variants following a cold record
+/// replay from memory without touching the store at all.
+#[derive(Default)]
+struct TraceMemo {
+    entries: Vec<(u64, RecordedTrace)>,
+}
+
+impl TraceMemo {
+    const CAP: usize = 4;
+
+    fn get(&self, key: u64) -> Option<&RecordedTrace> {
+        self.entries.iter().find(|(k, _)| *k == key).map(|(_, t)| t)
+    }
+
+    fn insert(&mut self, key: u64, trace: RecordedTrace) {
+        self.entries.retain(|(k, _)| *k != key);
+        if self.entries.len() >= Self::CAP {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, trace));
+    }
 }
 
 /// Measures one kernel on one configuration under all three policies,
@@ -351,6 +452,9 @@ fn measure_config(
     program: &vortex_asm::Program,
     rt: &mut Runtime,
     config: &DeviceConfig,
+    traces: Option<&TraceCtx<'_>>,
+    memo: &mut TraceMemo,
+    counters: (&std::sync::atomic::AtomicU64, &std::sync::atomic::AtomicU64),
 ) -> Result<ConfigRow, KernelError> {
     let phases = kernel.phases();
     let resolve = |policy: LwsPolicy| -> Vec<u32> {
@@ -360,12 +464,47 @@ fn measure_config(
     let sig_fixed = resolve(LwsPolicy::Fixed32);
     let sig_auto = resolve(LwsPolicy::Auto);
 
-    let naive = run_kernel_prepared(kernel, program, rt, LwsPolicy::Naive1)?;
+    // One policy run, measured by replay when the store holds a matching
+    // trace, by execute-and-record otherwise. The (records, replays)
+    // counters tick per run actually performed.
+    let mut run = |policy: LwsPolicy, sig: &[u32]| -> Result<RunOutcome, KernelError> {
+        let Some(t) = traces else {
+            return run_kernel_prepared(kernel, program, rt, policy);
+        };
+        let phase_lws: Vec<(u32, u32)> =
+            phases.iter().zip(sig).map(|(p, &lws)| (p.gws, lws)).collect();
+        let key = trace_key(t.kernel, t.scale, t.program_digest, config, &phase_lws);
+        if memo.get(key).is_none() {
+            if let Some(rec) = t.store.load(key) {
+                memo.insert(key, rec);
+            }
+        }
+        if let Some(rec) = memo.get(key) {
+            // A structurally divergent stored trace (which keying should
+            // make impossible) degrades to re-recording, never to a
+            // wrong row.
+            if let Ok(out) = replay_kernel_prepared(kernel, program, rt, policy, rec) {
+                counters.1.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                t.store.note_replay();
+                return Ok(out);
+            }
+        }
+        let (out, rec) = record_kernel_prepared(kernel, program, rt, policy)?;
+        // Persisting is best-effort: an unwritable store costs later
+        // replays, not correctness.
+        let _ = t.store.save(key, &rec);
+        memo.insert(key, rec);
+        counters.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        t.store.note_record();
+        Ok(out)
+    };
+
+    let naive = run(LwsPolicy::Naive1, &sig_naive)?;
     let mut instructions = naive.instructions;
     let fixed = if sig_fixed == sig_naive {
         naive.clone()
     } else {
-        let run = run_kernel_prepared(kernel, program, rt, LwsPolicy::Fixed32)?;
+        let run = run(LwsPolicy::Fixed32, &sig_fixed)?;
         instructions += run.instructions;
         run
     };
@@ -374,7 +513,7 @@ fn measure_config(
     } else if sig_auto == sig_fixed {
         fixed.clone()
     } else {
-        let run = run_kernel_prepared(kernel, program, rt, LwsPolicy::Auto)?;
+        let run = run(LwsPolicy::Auto, &sig_auto)?;
         instructions += run.instructions;
         run
     };
@@ -441,6 +580,38 @@ mod tests {
         for other in [&cold, &warm, &persisted] {
             assert_eq!(plain.rows, other.rows, "cache must be result-transparent");
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn traced_campaign_replays_bit_identically() {
+        // Two timing variants of one topology: the first records, the
+        // second replays, and every row equals the plain execute run.
+        let base = DeviceConfig::with_topology(2, 2, 4);
+        let mut slow = base;
+        slow.timing.mul = 9;
+        slow.timing.fpu = 11;
+        slow.mem.l2_latency += 5;
+        let configs = vec![base, slow];
+        let factories = kernel_factories(Scale::Sweep);
+        let saxpy = factories.iter().find(|f| f.name == "saxpy").unwrap();
+        let dir =
+            std::env::temp_dir().join(format!("vortex_campaign_trace_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = crate::tracestore::TraceStore::open(&dir).unwrap();
+
+        let plain = run_campaign(saxpy, &configs, 1).unwrap();
+        assert_eq!((plain.trace_records, plain.trace_replays), (0, 0));
+        let traced = run_campaign_cached_traced(saxpy, &configs, 1, None, Some(&store)).unwrap();
+        assert_eq!(plain.rows, traced.rows, "replayed rows must be bit-identical");
+        assert!(traced.trace_records > 0, "first topology visit must record");
+        assert!(traced.trace_replays > 0, "the re-timed variant must replay");
+
+        // A second pass over the same sweep replays everything.
+        let rerun = run_campaign_cached_traced(saxpy, &configs, 1, None, Some(&store)).unwrap();
+        assert_eq!(plain.rows, rerun.rows);
+        assert_eq!(rerun.trace_records, 0, "warm store must not re-record");
+        assert_eq!(store.counters().0, traced.trace_records, "store sums handle lifetime");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

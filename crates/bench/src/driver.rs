@@ -33,9 +33,10 @@ use vortex_kernels::KernelError;
 use vortex_sim::DeviceConfig;
 
 use crate::cache::{campaign_key_from_digest, CacheCounters, CampaignCache};
-use crate::campaign::{kernel_factories, run_campaign_cached, CampaignResult, Scale};
+use crate::campaign::{kernel_factories, run_campaign_cached_traced, CampaignResult, Scale};
 use crate::persist::atomic_write;
 use crate::probe::{render_json, KernelRow, ProbeFile};
+use crate::tracestore::TraceStore;
 
 /// What to sweep: the full description of a work queue. Two invocations
 /// with the same spec (and the same engine semantics) describe the same
@@ -61,6 +62,11 @@ pub struct QueueSpec {
     /// Stop after simulating this many configurations (across kernels).
     /// `None` = run the whole remainder.
     pub budget: Option<usize>,
+    /// Optional trace-store directory for record/replay (docs/TRACE.md).
+    /// An execution parameter like `jobs`: it changes how rows are
+    /// produced, never what they contain, so it stays out of the queue's
+    /// spec digest.
+    pub trace_dir: Option<PathBuf>,
     /// Require an existing manifest with a matching spec digest instead
     /// of starting (or restarting) the queue from scratch.
     pub resume: bool,
@@ -186,6 +192,7 @@ pub fn run_queue(spec: &QueueSpec) -> Result<QueueOutcome, DriverError> {
     if spec.resume && !cache.is_enabled() {
         return Err(DriverError::CacheDisabled);
     }
+    let traces = spec.trace_dir.as_deref().map(TraceStore::open).transpose()?;
 
     let factories: Vec<_> = kernel_factories(spec.scale)
         .into_iter()
@@ -245,7 +252,8 @@ pub fn run_queue(spec: &QueueSpec) -> Result<QueueOutcome, DriverError> {
             continue;
         }
         let start = Instant::now();
-        let result = run_campaign_cached(factory, &batch, spec.jobs, Some(&cache))?;
+        let result =
+            run_campaign_cached_traced(factory, &batch, spec.jobs, Some(&cache), traces.as_ref())?;
         kernel_seconds[fi] = start.elapsed().as_secs_f64();
         kernel_simulated[fi] = batch.len();
         simulated += batch.len();
@@ -285,7 +293,12 @@ pub fn run_queue(spec: &QueueSpec) -> Result<QueueOutcome, DriverError> {
             } else {
                 disabled_results[fi].take().map(|r| r.rows).unwrap_or_default()
             };
-            let result = CampaignResult { kernel: factory.name, rows: kernel_rows };
+            let result = CampaignResult {
+                kernel: factory.name,
+                rows: kernel_rows,
+                trace_records: 0,
+                trace_replays: 0,
+            };
             let (port_accesses, port_stall_slots) = result.total_ports();
             rows.push(KernelRow {
                 name: factory.name.to_owned(),
@@ -299,6 +312,8 @@ pub fn run_queue(spec: &QueueSpec) -> Result<QueueOutcome, DriverError> {
                 cache_misses: kernel_simulated[fi] as u64,
                 port_accesses,
                 port_stall_slots,
+                trace_records: result.trace_records,
+                trace_replays: result.trace_replays,
             });
         }
         let file = ProbeFile {
@@ -418,6 +433,7 @@ mod tests {
             shard: None,
             jobs: 2,
             budget: None,
+            trace_dir: None,
             resume: false,
         }
     }

@@ -21,6 +21,7 @@ pub mod driver;
 pub mod persist;
 pub mod probe;
 pub mod sweep;
+pub mod tracestore;
 pub mod tune;
 
 pub use cache::{cache_enabled_by_env, campaign_key, CacheCounters, CampaignCache};
@@ -31,6 +32,7 @@ pub use campaign::{
 pub use persist::{atomic_write, strip_run_metadata};
 pub use probe::{merge_probe_files, parse_probe_json, render_json, KernelRow, ProbeFile};
 pub use sweep::{paper_sweep, subsample};
+pub use tracestore::{trace_key, TraceStore};
 pub use tune::{
     evaluate_tune, merge_tune_files, parse_tune_json, render_tune_json, run_tune_evaluation,
     tune_key, TuneFile, TuneRow,

@@ -38,6 +38,27 @@ pub fn atomic_write(path: &Path, content: &str) -> io::Result<()> {
     result
 }
 
+/// [`atomic_write`] for binary artefacts (trace files): same unique
+/// sibling staging file, same rename, same cleanup on failure.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn atomic_write_bytes(path: &Path, content: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".{}.tmp", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = std::fs::write(&tmp, content).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
 /// Blanks the run-specific transport fields of a probe or tune JSON —
 /// wall-clock seconds and store hit/miss/byte counters — leaving only
 /// the simulation-derived content. Two runs of the same campaign must
@@ -59,6 +80,8 @@ pub fn strip_run_metadata(json: &str) -> String {
         "probes_cached",
         "gt_simulated",
         "gt_cached",
+        "trace_records",
+        "trace_replays",
         // Derived from wall-clock seconds at render time, so it differs
         // between cold and warm runs exactly as `seconds` does.
         "host_ns_per_instr",

@@ -56,6 +56,12 @@ pub struct KernelRow {
     /// cycles memory ports stayed blocked serialising uncoalesced lines
     /// — raw sum, exact to merge).
     pub port_stall_slots: u64,
+    /// Policy runs measured by executing and recording a trace (zero
+    /// without a trace store attached, and in pre-PR10 files — a
+    /// transport counter, exact to merge).
+    pub trace_records: u64,
+    /// Policy runs measured by replaying a stored trace.
+    pub trace_replays: u64,
 }
 
 impl KernelRow {
@@ -132,6 +138,7 @@ pub fn render_json(file: &ProbeFile) -> String {
              \"issued_instructions\": {}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \
              \"port_accesses\": {}, \"port_stall_slots\": {}, \
+             \"trace_records\": {}, \"trace_replays\": {}, \
              \"host_ns_per_instr\": {:.3}}}{comma}\n",
             row.name,
             row.configs,
@@ -153,6 +160,8 @@ pub fn render_json(file: &ProbeFile) -> String {
             row.cache_misses,
             row.port_accesses,
             row.port_stall_slots,
+            row.trace_records,
+            row.trace_replays,
             row.host_ns_per_instr(),
         ));
     }
@@ -228,6 +237,8 @@ pub fn parse_probe_json(text: &str) -> Result<ProbeFile, String> {
             // recomputes it from the summed raw counters.
             port_accesses: counter(obj, "port_accesses"),
             port_stall_slots: counter(obj, "port_stall_slots"),
+            trace_records: counter(obj, "trace_records"),
+            trace_replays: counter(obj, "trace_replays"),
         });
     }
     Ok(file)
@@ -260,6 +271,7 @@ pub fn merge_probe_files(paths: &[String]) -> Result<String, String> {
             ("\"fused_instructions\"", "fusion counters (pre-PR6 format); merged instr/fused"),
             ("\"cache_hits\"", "cache counters (pre-PR7 format); merged hit/miss/bytes"),
             ("\"port_accesses\"", "port counters (pre-PR9 format); merged access/stall"),
+            ("\"trace_records\"", "trace counters (pre-PR10 format); merged record/replay"),
         ] {
             if !text.contains(marker) {
                 eprintln!("note: {path} has no {what} counters cover only the newer shards");
@@ -284,6 +296,8 @@ pub fn merge_probe_files(paths: &[String]) -> Result<String, String> {
                     m.cache_misses += row.cache_misses;
                     m.port_accesses += row.port_accesses;
                     m.port_stall_slots += row.port_stall_slots;
+                    m.trace_records += row.trace_records;
+                    m.trace_replays += row.trace_replays;
                 }
                 None => rows.push(row),
             }
@@ -325,6 +339,8 @@ mod tests {
             cache_misses: 7 * scale,
             port_accesses: 60 * scale,
             port_stall_slots: 9 * scale,
+            trace_records: 4 * scale,
+            trace_replays: 11 * scale,
         }
     }
 
@@ -367,6 +383,8 @@ mod tests {
         assert_eq!((parsed.rows[1].port_accesses, parsed.rows[1].port_stall_slots), (120, 18));
         assert_eq!(parsed.rows[0].instructions, 5000);
         assert_eq!(parsed.rows[1].instructions, 10000);
+        assert_eq!((parsed.rows[0].trace_records, parsed.rows[0].trace_replays), (4, 11));
+        assert_eq!((parsed.rows[1].trace_records, parsed.rows[1].trace_replays), (8, 22));
     }
 
     #[test]
@@ -399,6 +417,38 @@ mod tests {
         assert_eq!((parsed.rows[0].cache_hits, parsed.rows[0].cache_misses), (0, 0));
         assert_eq!((parsed.cache_bytes_read, parsed.cache_bytes_written), (0, 0));
         assert_eq!((parsed.rows[0].port_accesses, parsed.rows[0].port_stall_slots), (0, 0));
+        assert_eq!((parsed.rows[0].trace_records, parsed.rows[0].trace_replays), (0, 0));
+    }
+
+    #[test]
+    fn pre_pr10_files_parse_and_merge_with_zero_trace_counters() {
+        // A PR9-era shard (every counter generation except the trace
+        // pair) must parse with zero trace counters and merge them as
+        // zeros against a PR10 shard.
+        let mut old = row("vecadd", 6, 1.0, 0.2, 1);
+        old.trace_records = 0;
+        old.trace_replays = 0;
+        let old_json = render_json(&file(vec![old], 6, 1.0, (1, 2)))
+            .replace("\"trace_records\": 0, \"trace_replays\": 0, ", "");
+        assert!(!old_json.contains("trace_records"), "synthesised pre-PR10 shape");
+        let parsed = parse_probe_json(&old_json).unwrap();
+        assert_eq!((parsed.rows[0].trace_records, parsed.rows[0].trace_replays), (0, 0));
+
+        let new_json = render_json(&file(vec![row("vecadd", 4, 3.0, 0.4, 3)], 4, 3.0, (2, 2)));
+        let dir = std::env::temp_dir().join("speed_probe_prepr10_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (pa, pb) = (dir.join("old.json"), dir.join("new.json"));
+        std::fs::write(&pa, old_json).unwrap();
+        std::fs::write(&pb, new_json).unwrap();
+        let merged = merge_probe_files(&[
+            pa.to_string_lossy().into_owned(),
+            pb.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        let m = &parse_probe_json(&merged).unwrap().rows[0];
+        assert_eq!((m.trace_records, m.trace_replays), (12, 33), "old shard contributes zeros");
+        assert_eq!(m.mem.l1.hits, 400, "other counters still sum across generations");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -443,5 +493,7 @@ mod tests {
         assert_eq!((m.port_accesses, m.port_stall_slots), (240, 36));
         // And the issued-instruction denominator.
         assert_eq!(m.instructions, 20000);
+        // And the trace record/replay counters: scales 1 + 3 = 4.
+        assert_eq!((m.trace_records, m.trace_replays), (16, 44));
     }
 }

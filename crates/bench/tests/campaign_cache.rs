@@ -49,6 +49,8 @@ fn probe_json(factory: &KernelFactory, result: &CampaignResult, hits: u64, misse
             cache_misses: misses,
             port_accesses,
             port_stall_slots,
+            trace_records: result.trace_records,
+            trace_replays: result.trace_replays,
         }],
     };
     strip_run_metadata(&render_json(&file))
@@ -123,6 +125,7 @@ fn budget_kill_then_resume_reassembles_the_cold_report() {
         shard: None,
         jobs: 2,
         budget,
+        trace_dir: None,
         resume,
     };
 

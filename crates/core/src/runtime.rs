@@ -7,7 +7,7 @@ use std::fmt;
 
 use vortex_asm::Program;
 use vortex_mem::Cycle;
-use vortex_sim::{Device, DeviceConfig, NullSink, SimError, TraceSink};
+use vortex_sim::{Device, DeviceConfig, LaunchRecord, NullSink, ReplayCursor, SimError, TraceSink};
 
 use crate::abi;
 use crate::digest;
@@ -408,6 +408,79 @@ impl Runtime {
         device.start_warps(plan.starts(), entry);
         let limit = start_cycle + params.max_cycles;
         device.run_with(limit, trace)?;
+
+        let end = device.counters();
+        Ok(plan.report(
+            device.now() - start_cycle,
+            end.instructions - start.instructions,
+            end.fused_instructions - start.fused_instructions,
+            end.fused_blocks - start.fused_blocks,
+        ))
+    }
+
+    /// [`launch`](Runtime::launch) in **replay** mode: the launch's
+    /// value-dependent outcomes are consumed from `rec` (recorded over
+    /// the same program, data and `(gws, lws)` by a
+    /// [`TraceRecorder`](vortex_sim::TraceRecorder)) instead of executed.
+    /// Plan resolution, dispatch overhead and warp start run exactly as
+    /// in execute mode, so the report is bit-identical; the dispatch
+    /// blocks are *not* written to device memory — replay never reads
+    /// memory, the in-kernel dispatch loads were recorded like any other
+    /// access.
+    ///
+    /// `cursor` must come from [`LaunchRecord::cursor`] on `rec`; the
+    /// launch fails with [`SimError::ReplayIncomplete`] if it halts
+    /// without consuming the whole record.
+    ///
+    /// # Errors
+    ///
+    /// As for [`launch`](Runtime::launch), plus
+    /// [`SimError::ReplayDiverged`] / [`SimError::ReplayIncomplete`]
+    /// (via [`LaunchError::Sim`]) when the trace does not match the run.
+    pub fn launch_replay<S: TraceSink + ?Sized>(
+        &mut self,
+        params: &LaunchParams,
+        trace: Option<&mut S>,
+        rec: &LaunchRecord,
+        cursor: &mut ReplayCursor,
+    ) -> Result<LaunchReport, LaunchError> {
+        let entry = match params.entry {
+            Some(addr) => {
+                if self.entry.is_none() {
+                    return Err(LaunchError::NoProgram);
+                }
+                addr
+            }
+            None => self.entry.ok_or(LaunchError::NoProgram)?,
+        };
+        if params.gws == 0 {
+            return Err(LaunchError::InvalidParams { reason: "gws must be positive".into() });
+        }
+        let config = *self.device.config();
+        let lws = params.policy.lws_for(params.gws, &config);
+        let plan = match self.plans.entry((params.gws, lws)) {
+            Entry::Occupied(e) => {
+                self.plan_hits += 1;
+                e.into_mut()
+            }
+            Entry::Vacant(v) => {
+                self.plan_misses += 1;
+                v.insert(LaunchPlan::compile(params.gws, lws, &config))
+            }
+        };
+        let device = &mut self.device;
+
+        let start_cycle = device.now();
+        let start = *device.counters();
+
+        device.advance_time(self.dispatch_overhead);
+        device.start_warps(plan.starts(), entry);
+        let limit = start_cycle + params.max_cycles;
+        device.run_replay(limit, trace, rec, cursor)?;
+        let leftover = rec.leftover(cursor);
+        if leftover != 0 {
+            return Err(LaunchError::Sim(SimError::ReplayIncomplete { leftover }));
+        }
 
         let end = device.counters();
         Ok(plan.report(

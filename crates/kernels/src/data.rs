@@ -125,6 +125,8 @@ pub mod seeds {
     pub const GCN: u64 = 0x70;
     /// ResNet activations + weights.
     pub const RESNET: u64 = 0x80;
+    /// Tree-reduction input.
+    pub const REDUCE: u64 = 0x90;
 }
 
 #[cfg(test)]

@@ -82,6 +82,12 @@ pub enum KernelError {
         /// The missing symbol.
         symbol: String,
     },
+    /// A recorded trace does not fit the run asked to replay it
+    /// (different topology or launch-phase count).
+    TraceMismatch {
+        /// Explanation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -93,6 +99,9 @@ impl fmt::Display for KernelError {
             KernelError::MissingSymbol { symbol } => {
                 write!(f, "program defines no `{symbol}` symbol")
             }
+            KernelError::TraceMismatch { reason } => {
+                write!(f, "recorded trace does not fit this run: {reason}")
+            }
         }
     }
 }
@@ -103,7 +112,7 @@ impl Error for KernelError {
             KernelError::Asm(e) => Some(e),
             KernelError::Launch(e) => Some(e),
             KernelError::Verify(e) => Some(e),
-            KernelError::MissingSymbol { .. } => None,
+            KernelError::MissingSymbol { .. } | KernelError::TraceMismatch { .. } => None,
         }
     }
 }

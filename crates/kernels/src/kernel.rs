@@ -3,7 +3,7 @@
 use vortex_asm::Program;
 use vortex_core::{DispatchStats, LaunchParams, LaunchReport, LwsPolicy, Runtime};
 use vortex_sim::Cycle;
-use vortex_sim::{DeviceConfig, MemStats, NullSink, TraceSink};
+use vortex_sim::{DeviceConfig, MemStats, NullSink, RecordedTrace, TraceRecorder, TraceSink};
 
 use crate::error::{KernelError, VerifyError};
 
@@ -149,6 +149,142 @@ pub fn run_kernel_prepared(
     policy: LwsPolicy,
 ) -> Result<RunOutcome, KernelError> {
     run_phases::<NullSink>(kernel, program, rt, policy, None)
+}
+
+/// [`run_kernel_prepared`] with a [`TraceRecorder`] attached: executes
+/// the kernel normally (setup, all phases, verification) and returns the
+/// recorded per-warp event trace alongside the outcome. The trace holds
+/// one [`LaunchRecord`](vortex_sim::LaunchRecord) per phase and carries a
+/// `tainted` flag when the run read a timing CSR (such traces must never
+/// be replayed under a different timing or memory configuration — see
+/// `docs/TRACE.md`).
+///
+/// # Errors
+///
+/// Any launch or verification failure.
+pub fn record_kernel_prepared(
+    kernel: &mut dyn Kernel,
+    program: &Program,
+    rt: &mut Runtime,
+    policy: LwsPolicy,
+) -> Result<(RunOutcome, RecordedTrace), KernelError> {
+    let config = *rt.device().config();
+    let mut rec = TraceRecorder::new(config.cores, config.warps);
+    let outcome = run_phases(kernel, program, rt, policy, Some(&mut rec))?;
+    Ok((outcome, rec.finish()))
+}
+
+/// Replays a previously recorded trace of `kernel` on an
+/// already-prepared runtime: the phase loop runs with dispatch, hazard
+/// scheduling and memory-system timing unchanged, but every
+/// value-dependent outcome comes from `rec` — no input upload, no row
+/// kernels, no functional memory traffic and no verification (the
+/// recording run already verified). The [`RunOutcome`] is bit-identical
+/// to execute mode.
+///
+/// # Errors
+///
+/// [`KernelError::TraceMismatch`] when `rec` was recorded on a different
+/// topology or phase structure; [`KernelError::Launch`] wrapping
+/// [`SimError::ReplayDiverged`](vortex_sim::SimError) when the streams
+/// do not match the launched code.
+pub fn replay_kernel_prepared(
+    kernel: &mut dyn Kernel,
+    program: &Program,
+    rt: &mut Runtime,
+    policy: LwsPolicy,
+    rec: &RecordedTrace,
+) -> Result<RunOutcome, KernelError> {
+    replay_phases::<NullSink>(kernel, program, rt, policy, rec, None)
+}
+
+/// [`replay_kernel_prepared`] with a trace sink attached — the hook the
+/// record→replay→re-record idempotence gate uses: replaying under a
+/// fresh [`TraceRecorder`] must reproduce `rec` exactly.
+///
+/// # Errors
+///
+/// As for [`replay_kernel_prepared`].
+pub fn replay_kernel_traced(
+    kernel: &mut dyn Kernel,
+    program: &Program,
+    rt: &mut Runtime,
+    policy: LwsPolicy,
+    rec: &RecordedTrace,
+    trace: Option<&mut dyn TraceSink>,
+) -> Result<RunOutcome, KernelError> {
+    match trace {
+        Some(sink) => replay_phases(kernel, program, rt, policy, rec, Some(sink)),
+        None => replay_phases::<NullSink>(kernel, program, rt, policy, rec, None),
+    }
+}
+
+/// The replay twin of [`run_phases`]: validates the trace against the
+/// device and phase structure, then drives each phase through
+/// [`Runtime::launch_replay`] with its own [`LaunchRecord`] and cursor.
+fn replay_phases<S: TraceSink + ?Sized>(
+    kernel: &mut dyn Kernel,
+    program: &Program,
+    rt: &mut Runtime,
+    policy: LwsPolicy,
+    rec: &RecordedTrace,
+    mut trace: Option<&mut S>,
+) -> Result<RunOutcome, KernelError> {
+    let config = *rt.device().config();
+    let phases = kernel.phases();
+    if rec.cores != config.cores || rec.warps != config.warps {
+        return Err(KernelError::TraceMismatch {
+            reason: format!(
+                "trace recorded on {}x{} (cores x warps), device is {}x{}",
+                rec.cores, rec.warps, config.cores, config.warps
+            ),
+        });
+    }
+    if rec.launches.len() != phases.len() {
+        return Err(KernelError::TraceMismatch {
+            reason: format!(
+                "trace holds {} launch records, kernel has {} phases",
+                rec.launches.len(),
+                phases.len()
+            ),
+        });
+    }
+    rt.reset();
+
+    let mut reports = Vec::new();
+    let mut cycles = 0;
+    let mut dispatch = DispatchStats::default();
+    for (phase, launch) in phases.iter().zip(&rec.launches) {
+        let entry = program
+            .symbol(&phase.symbol)
+            .ok_or_else(|| KernelError::MissingSymbol { symbol: phase.symbol.clone() })?;
+        let params = LaunchParams::new(phase.gws).policy(policy).entry(entry);
+        let mut cursor = launch.cursor();
+        let report = rt.launch_replay(
+            &params,
+            match trace {
+                Some(ref mut sink) => Some(&mut **sink),
+                None => None,
+            },
+            launch,
+            &mut cursor,
+        )?;
+        cycles += report.cycles;
+        dispatch.accumulate(&DispatchStats::of_launch(&report));
+        reports.push(report);
+    }
+
+    let (port_accesses, port_stall_slots) = rt.device().port_totals();
+    Ok(RunOutcome {
+        cycles,
+        reports,
+        mem: rt.device().mem_stats(),
+        dram_utilization: rt.device().dram_utilization(),
+        instructions: rt.device().counters().instructions,
+        dispatch,
+        port_accesses,
+        port_stall_slots,
+    })
 }
 
 /// The shared phase loop, generic over the sink so untraced runs are

@@ -1,4 +1,5 @@
-//! The paper's nine OpenCL workloads as Vortex assembly kernels, with
+//! The paper's nine OpenCL workloads (plus a tree-reduction stressing
+//! the shrinking-launch regime) as Vortex assembly kernels, with
 //! host-side reference implementations and seeded synthetic datasets.
 //!
 //! Every kernel implements the [`Kernel`] trait:
@@ -23,6 +24,7 @@
 //! | [`GcnAggr`] | cora-like, hs 16 | memory bound |
 //! | [`GcnLayer`] | cora-like, hs 16 | mixed (2 phases) |
 //! | [`ResnetLayer`] | 16 ch, 32×32 | compute bound |
+//! | [`Reduce`] | len 4096 | log-depth tree (12 phases) |
 //!
 //! Datasets the paper takes from Rodinia/cora/CIFAR-10 are substituted by
 //! seeded synthetic equivalents of the same shape (see [`data`] and
@@ -55,6 +57,7 @@ mod gcn;
 pub mod harness;
 mod kernel;
 mod knn;
+mod reduce;
 mod relu;
 mod resnet;
 mod saxpy;
@@ -65,9 +68,11 @@ pub use error::{KernelError, VerifyError};
 pub use gauss::Gauss;
 pub use gcn::{GcnAggr, GcnLayer};
 pub use kernel::{
-    run_kernel, run_kernel_prepared, run_kernel_traced, Kernel, PhaseSpec, RunOutcome,
+    record_kernel_prepared, replay_kernel_prepared, replay_kernel_traced, run_kernel,
+    run_kernel_prepared, run_kernel_traced, Kernel, PhaseSpec, RunOutcome,
 };
 pub use knn::Knn;
+pub use reduce::Reduce;
 pub use relu::Relu;
 pub use resnet::ResnetLayer;
 pub use saxpy::Saxpy;
@@ -86,10 +91,11 @@ pub fn paper_kernels() -> Vec<Box<dyn Kernel>> {
         Box::new(GcnAggr::paper()),
         Box::new(GcnLayer::paper()),
         Box::new(ResnetLayer::paper()),
+        Box::new(Reduce::paper()),
     ]
 }
 
-/// All nine kernels at **sweep scale**: reduced sizes that keep the
+/// All ten kernels at **sweep scale**: reduced sizes that keep the
 /// 450-configuration campaign tractable while preserving each kernel's
 /// compute/memory character (documented in EXPERIMENTS.md).
 pub fn sweep_kernels() -> Vec<Box<dyn Kernel>> {
@@ -103,5 +109,6 @@ pub fn sweep_kernels() -> Vec<Box<dyn Kernel>> {
         Box::new(GcnAggr::sweep()),
         Box::new(GcnLayer::sweep()),
         Box::new(ResnetLayer::sweep()),
+        Box::new(Reduce::paper()), // already small enough
     ]
 }

@@ -27,7 +27,7 @@ use crate::exec::tables;
 use crate::exec::{BinKernel, FmaKernel, ImmKernel, UnKernel};
 use crate::ipdom::IpdomEntry;
 use crate::regfile::{RegFile, FP_BASE};
-use crate::trace_api::{IssueEvent, TraceSink};
+use crate::trace_api::{IssueEvent, ReplayCtx, TraceSink, WarpEvent};
 use crate::warp::{WarpState, NEVER};
 
 /// Everything a core needs from the device while stepping.
@@ -56,6 +56,11 @@ pub(crate) struct CoreCtx<'a, S: TraceSink + ?Sized> {
     /// Whether the fused block dispatch path is enabled (A/B switch for
     /// the bit-identity gate; cycle results are identical either way).
     pub fuse: bool,
+    /// When set, the run is a *replay*: [`Core::issue`] consumes recorded
+    /// [`WarpEvent`]s instead of executing row kernels — scheduling,
+    /// hazards and memory-system timing run unchanged off trace-visible
+    /// data, so cycles and counters are bit-identical to execute mode.
+    pub replay: Option<ReplayCtx<'a>>,
 }
 
 #[derive(Debug, Default)]
@@ -420,6 +425,11 @@ impl Core {
         now: Cycle,
         ctx: &mut CoreCtx<'_, S>,
     ) -> Result<(), SimError> {
+        // A replay run consumes recorded outcomes instead of executing
+        // row kernels; the twin issues with identical timing.
+        if ctx.replay.is_some() {
+            return self.issue_replay(w, instr, meta, now, ctx);
+        }
         let pc = self.warps[w].pc;
         let tmask = self.warps[w].tmask;
         // Whether every lane participates: selects the branch-free
@@ -470,16 +480,16 @@ impl Core {
         // `broadcast_k`, `run_bin_k`, … — because the fused block walk
         // ([`Core::exec_step`]) dispatches to exactly the same code.
         macro_rules! wb_int {
-            ($rd:expr, $lat:expr) => {
+            ($rd:expr, $lat:expr) => {{
                 if !$rd.is_zero() {
                     self.rf.set_busy(w, $rd.num() as usize, now + $lat);
                 }
-            };
+            }};
         }
         macro_rules! wb_fp {
-            ($rd:expr, $lat:expr) => {
+            ($rd:expr, $lat:expr) => {{
                 self.rf.set_busy(w, FP_BASE + $rd.num() as usize, now + $lat);
-            };
+            }};
         }
 
         match instr {
@@ -675,6 +685,20 @@ impl Core {
             Instr::Csr { op: _, rd, src, csr } => {
                 // All architectural CSRs are read-only; writes are ignored.
                 let _ = src;
+                // Timing-dependent CSR values poison cross-configuration
+                // replay; a recording sink taints the trace.
+                if csr == csrs::MCYCLE
+                    || csr == csrs::MCYCLE_H
+                    || csr == csrs::MINSTRET
+                    || csr == csrs::MINSTRET_H
+                    || csr == csrs::ACTIVE_WARPS
+                {
+                    if let Some(sink) = ctx.trace.as_mut() {
+                        if sink.wants_warp_events() {
+                            sink.on_timing_csr_read();
+                        }
+                    }
+                }
                 if csr == csrs::THREAD_ID {
                     if !rd.is_zero() {
                         write_row!(rd.num() as usize, |l| l as u32);
@@ -884,6 +908,11 @@ impl Core {
                         available: self.warps.len(),
                     });
                 }
+                if let Some(sink) = ctx.trace.as_mut() {
+                    if sink.wants_warp_events() {
+                        sink.on_warp_event(self.id, w, &WarpEvent::Wspawn { count, target });
+                    }
+                }
                 self.activate_round(w, count as usize, target, now + timing.wspawn);
             }
             Instr::Split { rs1, offset } => {
@@ -923,7 +952,13 @@ impl Core {
             },
             Instr::Bar { rs1, rs2 } => {
                 let id = self.uniform(w, rs1, pc)?;
-                let count = self.uniform(w, rs2, pc)? as usize;
+                let count = self.uniform(w, rs2, pc)?;
+                if let Some(sink) = ctx.trace.as_mut() {
+                    if sink.wants_warp_events() {
+                        sink.on_warp_event(self.id, w, &WarpEvent::Bar { id, count });
+                    }
+                }
+                let count = count as usize;
                 let state = self.barriers.entry(id).or_default();
                 state.arrived.push(w);
                 if state.arrived.len() >= count {
@@ -961,6 +996,32 @@ impl Core {
             }
         }
 
+        // Value-dependent control outcomes, recorded *after* the arm so
+        // the post-instruction PC and mask are final. (`Bar` returned
+        // above and records in its arm; `Jal` is static and needs none.)
+        if let Some(sink) = ctx.trace.as_mut() {
+            if sink.wants_warp_events() {
+                match instr {
+                    Instr::Branch { .. }
+                    | Instr::Jalr { .. }
+                    | Instr::Split { .. }
+                    | Instr::Join => {
+                        let tmask = self.warps[w].tmask;
+                        sink.on_warp_event(self.id, w, &WarpEvent::Ctl { next_pc, tmask });
+                    }
+                    Instr::Tmc { .. } => {
+                        let ev = if halted {
+                            WarpEvent::Halt
+                        } else {
+                            WarpEvent::Ctl { next_pc, tmask: self.warps[w].tmask }
+                        };
+                        sink.on_warp_event(self.id, w, &ev);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
         if !halted {
             let taken = next_pc != pc.wrapping_add(4);
             let gap = if taken && meta.is_control { 1 + timing.branch_bubble } else { 1 };
@@ -971,6 +1032,246 @@ impl Core {
             self.warp_next[w] = now + gap;
         }
         Ok(())
+    }
+
+    /// The replay twin of [`Core::issue`]: consumes recorded
+    /// [`WarpEvent`]s for every value-dependent outcome and skips all row
+    /// kernels and functional memory traffic, while issuing with exactly
+    /// the same write-back registers, latencies, control gaps, barrier
+    /// bookkeeping and memory-system timing calls as execute mode —
+    /// cycles and counters are bit-identical by construction (CI gates
+    /// the identity over the extended cycle_dump grid). Register *values*
+    /// are not maintained: value-shaped work (CSR reads, votes, loads)
+    /// only touches the scoreboard, and uniformity/divergence checks are
+    /// skipped — the recorded run already passed them.
+    fn issue_replay<S: TraceSink + ?Sized>(
+        &mut self,
+        w: usize,
+        instr: Instr,
+        meta: &InstrMeta,
+        now: Cycle,
+        ctx: &mut CoreCtx<'_, S>,
+    ) -> Result<(), SimError> {
+        let pc = self.warps[w].pc;
+        let tmask = self.warps[w].tmask;
+
+        ctx.counters.instructions += 1;
+        ctx.counters.lane_instructions += u64::from(tmask.count_ones());
+        ctx.counters.classes.record(meta.class);
+        if let Some(sink) = ctx.trace.as_mut() {
+            sink.on_issue(&IssueEvent { cycle: now, core: self.id, warp: w, pc, tmask, instr });
+        }
+
+        let timing = ctx.timing;
+        let mut next_pc = pc.wrapping_add(4);
+        let mut halted = false;
+
+        macro_rules! wb_int {
+            ($rd:expr, $lat:expr) => {{
+                if !$rd.is_zero() {
+                    self.rf.set_busy(w, $rd.num() as usize, now + $lat);
+                }
+            }};
+        }
+        macro_rules! wb_fp {
+            ($rd:expr, $lat:expr) => {{
+                self.rf.set_busy(w, FP_BASE + $rd.num() as usize, now + $lat);
+            }};
+        }
+
+        // Write-back register and latency mirror `issue` arm by arm (on
+        // the *instruction*, not the exec class: `vote`/`csr` write at ALU
+        // latency despite their classes, FP compares/converts write
+        // integer registers at FPU latency — a class-based mapping would
+        // break bit-identity under non-default timing).
+        match instr {
+            Instr::Lui { rd, .. } | Instr::Auipc { rd, .. } => wb_int!(rd, timing.alu),
+            Instr::Jal { rd, offset } => {
+                wb_int!(rd, timing.alu);
+                next_pc = pc.wrapping_add(offset as u32);
+            }
+            Instr::Jalr { rd, .. } => {
+                wb_int!(rd, timing.alu);
+                let (npc, tm) = self.replay_ctl(w, pc, ctx)?;
+                self.warps[w].tmask = tm;
+                next_pc = npc;
+            }
+            Instr::Branch { .. } | Instr::Split { .. } | Instr::Join => {
+                let (npc, tm) = self.replay_ctl(w, pc, ctx)?;
+                self.warps[w].tmask = tm;
+                next_pc = npc;
+            }
+            Instr::Load { rd, .. } => {
+                let completion = self.replay_mem(w, pc, false, now, ctx)?;
+                if !rd.is_zero() {
+                    self.rf.set_busy(w, rd.num() as usize, completion);
+                }
+            }
+            Instr::Store { .. } => {
+                self.replay_mem(w, pc, true, now, ctx)?;
+            }
+            Instr::OpImm { rd, .. } => wb_int!(rd, timing.alu),
+            Instr::Op { rd, .. } => {
+                let lat = match meta.class {
+                    ExecClass::Mul => timing.mul,
+                    ExecClass::Div => timing.div,
+                    _ => timing.alu,
+                };
+                wb_int!(rd, lat);
+            }
+            Instr::Fence => {}
+            Instr::Ecall => return Err(SimError::Trap { pc, breakpoint: false }),
+            Instr::Ebreak => return Err(SimError::Trap { pc, breakpoint: true }),
+            Instr::Csr { rd, .. } => wb_int!(rd, timing.alu),
+            Instr::Flw { rd, .. } => {
+                let completion = self.replay_mem(w, pc, false, now, ctx)?;
+                self.rf.set_busy(w, FP_BASE + rd.num() as usize, completion);
+            }
+            Instr::Fsw { .. } => {
+                self.replay_mem(w, pc, true, now, ctx)?;
+            }
+            Instr::FpOp { op, rd, .. } => {
+                let lat = if matches!(op, FpBinOp::Div) { timing.fdiv } else { timing.fpu };
+                wb_fp!(rd, lat);
+            }
+            Instr::FpFma { rd, .. } => wb_fp!(rd, timing.fpu),
+            Instr::FpSqrt { rd, .. } => wb_fp!(rd, timing.fsqrt),
+            Instr::FpCmp { rd, .. }
+            | Instr::FpCvtToInt { rd, .. }
+            | Instr::FpMvToInt { rd, .. }
+            | Instr::FpClass { rd, .. } => wb_int!(rd, timing.fpu),
+            Instr::FpCvtFromInt { rd, .. } | Instr::FpMvFromInt { rd, .. } => {
+                wb_fp!(rd, timing.fpu);
+            }
+            Instr::Tmc { .. } => match self.replay_next(w, pc, ctx)? {
+                WarpEvent::Halt => {
+                    self.warps[w].halt();
+                    self.warp_next[w] = NEVER;
+                    halted = true;
+                }
+                &WarpEvent::Ctl { next_pc: npc, tmask: tm } => {
+                    self.warps[w].tmask = tm;
+                    next_pc = npc;
+                }
+                _ => return Err(SimError::ReplayDiverged { core: self.id, warp: w, pc }),
+            },
+            Instr::Wspawn { .. } => match self.replay_next(w, pc, ctx)? {
+                &WarpEvent::Wspawn { count, target } => {
+                    self.activate_round(w, count as usize, target, now + timing.wspawn);
+                }
+                _ => return Err(SimError::ReplayDiverged { core: self.id, warp: w, pc }),
+            },
+            Instr::Bar { .. } => match self.replay_next(w, pc, ctx)? {
+                &WarpEvent::Bar { id, count } => {
+                    let count = count as usize;
+                    let state = self.barriers.entry(id).or_default();
+                    state.arrived.push(w);
+                    if state.arrived.len() >= count {
+                        let released = self.barriers.remove(&id).expect("just inserted");
+                        for rw in released.arrived {
+                            self.warps[rw].at_barrier = None;
+                            self.warps[rw].ready_at = now + timing.barrier;
+                            self.warp_next[rw] = now + timing.barrier;
+                            self.next_issue[rw].valid = false;
+                        }
+                        // `self` (warp w) is among the released warps.
+                        self.warps[w].pc = next_pc;
+                        return Ok(());
+                    } else {
+                        self.warps[w].at_barrier = Some(id);
+                        self.warps[w].ready_at = NEVER;
+                        self.warp_next[w] = NEVER;
+                        self.warps[w].pc = next_pc;
+                        return Ok(());
+                    }
+                }
+                _ => return Err(SimError::ReplayDiverged { core: self.id, warp: w, pc }),
+            },
+            Instr::Vote { rd, .. } => wb_int!(rd, timing.alu),
+        }
+
+        if !halted {
+            let taken = next_pc != pc.wrapping_add(4);
+            let gap = if taken && meta.is_control { 1 + timing.branch_bubble } else { 1 };
+            self.warps[w].pc = next_pc;
+            self.warps[w].ready_at = now + gap;
+            self.warp_next[w] = now + gap;
+        }
+        Ok(())
+    }
+
+    /// The next recorded event of warp `w`, re-emitted to an attached
+    /// recording sink (so replay-under-record reproduces the trace
+    /// byte-for-byte — the idempotence half of the format tests).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ReplayDiverged`] when the stream is exhausted.
+    fn replay_next<'e, S: TraceSink + ?Sized>(
+        &mut self,
+        w: usize,
+        pc: u32,
+        ctx: &mut CoreCtx<'e, S>,
+    ) -> Result<&'e WarpEvent, SimError> {
+        let ev = ctx
+            .replay
+            .as_mut()
+            .expect("issue_replay runs only with a replay context")
+            .next(self.id, w)
+            .ok_or(SimError::ReplayDiverged { core: self.id, warp: w, pc })?;
+        if let Some(sink) = ctx.trace.as_mut() {
+            if sink.wants_warp_events() {
+                sink.on_warp_event(self.id, w, ev);
+            }
+        }
+        Ok(ev)
+    }
+
+    /// Consumes a [`WarpEvent::Ctl`] record, returning `(next_pc, tmask)`.
+    fn replay_ctl<S: TraceSink + ?Sized>(
+        &mut self,
+        w: usize,
+        pc: u32,
+        ctx: &mut CoreCtx<'_, S>,
+    ) -> Result<(u32, u32), SimError> {
+        match self.replay_next(w, pc, ctx)? {
+            &WarpEvent::Ctl { next_pc, tmask } => Ok((next_pc, tmask)),
+            _ => Err(SimError::ReplayDiverged { core: self.id, warp: w, pc }),
+        }
+    }
+
+    /// Consumes a memory record and re-times it against the *current*
+    /// hierarchy: spans via the arithmetic span walk, lane sets by
+    /// re-coalescing the recorded pre-coalescing addresses against this
+    /// run's line size — so a trace recorded under one cache geometry
+    /// replays correctly under another. The memory-system call shape
+    /// (span vs batch) is preserved exactly as recorded.
+    fn replay_mem<S: TraceSink + ?Sized>(
+        &mut self,
+        w: usize,
+        pc: u32,
+        is_store: bool,
+        now: Cycle,
+        ctx: &mut CoreCtx<'_, S>,
+    ) -> Result<Cycle, SimError> {
+        match self.replay_next(w, pc, ctx)? {
+            &WarpEvent::MemSpan { addr0, last, store } if store == is_store => {
+                let out = ctx.memsys.access_span(self.id, addr0, last, now, is_store);
+                self.mem_port_free = now + out.port_slots;
+                *ctx.horizon = (*ctx.horizon).max(out.completion);
+                Ok(out.completion)
+            }
+            WarpEvent::MemLanes { addrs, store } if *store == is_store => {
+                let lines = coalesce_lines(addrs.iter().copied(), ctx.line_bytes);
+                let out = ctx.memsys.access_batch(self.id, lines.as_slice(), now, is_store);
+                self.mem_port_free = now + out.port_slots;
+                if !lines.is_empty() {
+                    *ctx.horizon = (*ctx.horizon).max(out.completion);
+                }
+                Ok(out.completion)
+            }
+            _ => Err(SimError::ReplayDiverged { core: self.id, warp: w, pc }),
+        }
     }
 
     /// Attempts to dispatch warp `w`'s next instructions as one fused
@@ -1059,7 +1360,12 @@ impl Core {
                     instr: ctx.code[idx + i].instr,
                 });
             }
-            self.exec_step(w, full, tmask, step);
+            // Fused blocks hold only straight-line register arithmetic
+            // (no memory, control or value-dependent outcomes), so replay
+            // keeps the fused timing walk and skips only the row kernels.
+            if ctx.replay.is_none() {
+                self.exec_step(w, full, tmask, step);
+            }
             if !whole && step.wb != 0 {
                 // Prefix path: per-step releases, so the continuation
                 // sees the exact mid-block scoreboard.
@@ -1364,13 +1670,32 @@ impl Core {
     /// Returns the completion cycle of the last line.
     fn memory_access<S: TraceSink + ?Sized>(
         &mut self,
-        _w: usize,
+        w: usize,
         addrs: &[u32; 32],
         tmask: u32,
         is_store: bool,
         now: Cycle,
         ctx: &mut CoreCtx<'_, S>,
     ) -> Cycle {
+        if let Some(sink) = ctx.trace.as_mut() {
+            if sink.wants_warp_events() {
+                // Record the *pre-coalescing* lane addresses (in lane
+                // order): replay re-coalesces against its own line size,
+                // so the trace stays valid across cache geometries.
+                let mut m = tmask;
+                let mut lanes = Vec::with_capacity(m.count_ones() as usize);
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    lanes.push(addrs[l]);
+                }
+                sink.on_warp_event(
+                    self.id,
+                    w,
+                    &WarpEvent::MemLanes { addrs: lanes, store: is_store },
+                );
+            }
+        }
         // Iterate set bits directly: cost scales with active lanes, not
         // with the 32-lane SIMT width.
         let mut mask = tmask;
@@ -1400,12 +1725,22 @@ impl Core {
     /// the dedup buffer.
     fn memory_access_span<S: TraceSink + ?Sized>(
         &mut self,
+        w: usize,
         addr0: u32,
         addr_last: u32,
         is_store: bool,
         now: Cycle,
         ctx: &mut CoreCtx<'_, S>,
     ) -> Cycle {
+        if let Some(sink) = ctx.trace.as_mut() {
+            if sink.wants_warp_events() {
+                sink.on_warp_event(
+                    self.id,
+                    w,
+                    &WarpEvent::MemSpan { addr0, last: addr_last, store: is_store },
+                );
+            }
+        }
         let out = ctx.memsys.access_span(self.id, addr0, addr_last, now, is_store);
         self.mem_port_free = now + out.port_slots;
         *ctx.horizon = (*ctx.horizon).max(out.completion);
@@ -1441,14 +1776,14 @@ impl Core {
                 }
                 let v = ctx.mem.read_u32(addr0);
                 self.rf.row_mut(w, dense).fill(v);
-                let completion = self.memory_access_span(addr0, addr0, false, now, ctx);
+                let completion = self.memory_access_span(w, addr0, addr0, false, now, ctx);
                 self.rf.set_busy(w, dense, completion);
                 Ok(true)
             }
             Span::UnitStride { addr0, last } => {
                 let dst = self.rf.row_mut(w, dense);
                 ctx.mem.read_u32_into(addr0, dst);
-                let completion = self.memory_access_span(addr0, last, false, now, ctx);
+                let completion = self.memory_access_span(w, addr0, last, false, now, ctx);
                 self.rf.set_busy(w, dense, completion);
                 Ok(true)
             }
@@ -1477,7 +1812,7 @@ impl Core {
         };
         let vals = self.rf.row(w, vals_dense);
         ctx.mem.write_u32_from(addr0, vals);
-        self.memory_access_span(addr0, last, true, now, ctx);
+        self.memory_access_span(w, addr0, last, true, now, ctx);
         true
     }
 

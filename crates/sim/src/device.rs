@@ -10,7 +10,7 @@ use crate::counters::DeviceCounters;
 use crate::decoded::DecodedInstr;
 use crate::error::SimError;
 use crate::exec::block::BlockPlan;
-use crate::trace_api::{NullSink, TraceSink};
+use crate::trace_api::{LaunchRecord, NullSink, ReplayCtx, ReplayCursor, TraceSink};
 
 /// How much state the last [`Device::reset`] actually swept — the
 /// observable half of the O(touched-state) reset contract: a reset after
@@ -283,6 +283,51 @@ impl Device {
         limit: Cycle,
         trace: Option<&mut S>,
     ) -> Result<Cycle, SimError> {
+        self.run_inner(limit, trace, None)
+    }
+
+    /// [`run`](Device::run) in **replay** mode: every value-dependent
+    /// outcome (control transfers, barrier operands, memory address sets)
+    /// is consumed from `rec` — recorded by a [`TraceRecorder`] over the
+    /// same launch — instead of executed, while scheduling, hazards and
+    /// memory-system timing run unchanged, so cycles and counters are
+    /// bit-identical to execute mode. Register and memory *values* are
+    /// not maintained; only timing-visible state is.
+    ///
+    /// `cursor` tracks per-warp stream positions across the run and is
+    /// owned by the caller so a multi-phase kernel can validate full
+    /// consumption (see [`LaunchRecord::leftover`]).
+    ///
+    /// [`TraceRecorder`]: crate::TraceRecorder
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Device::run), plus [`SimError::ReplayDiverged`]
+    /// when the run needs a record the trace does not hold.
+    pub fn run_replay<S: TraceSink + ?Sized>(
+        &mut self,
+        limit: Cycle,
+        trace: Option<&mut S>,
+        rec: &LaunchRecord,
+        cursor: &mut ReplayCursor,
+    ) -> Result<Cycle, SimError> {
+        let replay = ReplayCtx::new(rec, cursor);
+        self.run_inner(limit, trace, Some(replay))
+    }
+
+    fn run_inner<S: TraceSink + ?Sized>(
+        &mut self,
+        limit: Cycle,
+        mut trace: Option<&mut S>,
+        replay: Option<ReplayCtx<'_>>,
+    ) -> Result<Cycle, SimError> {
+        // A recording sink opens one launch record per device run (the
+        // runtime calls `run` exactly once per launch).
+        if let Some(sink) = trace.as_mut() {
+            if sink.wants_warp_events() {
+                sink.on_launch_begin();
+            }
+        }
         let Device {
             config,
             cores,
@@ -341,6 +386,7 @@ impl Device {
             line_bytes,
             blocks,
             fuse: *block_fusion,
+            replay,
         };
 
         // Conservative-lookahead event loop: find the earliest-due cores

@@ -84,6 +84,24 @@ pub enum SimError {
         /// Hardware warps available.
         available: usize,
     },
+    /// A replayed run needed a recorded outcome the trace does not hold
+    /// (stream exhausted, or the next record's kind does not match the
+    /// instruction): the trace was recorded for different code, data or
+    /// mapping than the run consuming it.
+    ReplayDiverged {
+        /// Core whose warp diverged.
+        core: usize,
+        /// Warp whose stream mismatched.
+        warp: usize,
+        /// PC of the instruction that needed the record.
+        pc: u32,
+    },
+    /// A replayed run completed without consuming the whole trace: the
+    /// recorded run executed more than the replayed one.
+    ReplayIncomplete {
+        /// Recorded events left unconsumed.
+        leftover: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -124,6 +142,14 @@ impl fmt::Display for SimError {
             }
             SimError::WspawnTooManyWarps { requested, available } => {
                 write!(f, "vx_wspawn requested {requested} warps, core has {available}")
+            }
+            SimError::ReplayDiverged { core, warp, pc } => write!(
+                f,
+                "replay diverged from recorded trace at {pc:#010x} (core {core}, warp {warp}); \
+                 the trace was recorded for different code, data or mapping"
+            ),
+            SimError::ReplayIncomplete { leftover } => {
+                write!(f, "replay finished with {leftover} recorded events unconsumed")
             }
         }
     }

@@ -66,6 +66,9 @@ pub use counters::{ClassCounts, DeviceCounters};
 pub use device::{Device, ResetWork};
 pub use error::SimError;
 pub use ipdom::IpdomEntry;
-pub use trace_api::{IssueEvent, NullSink, TraceSink, VecTraceSink};
+pub use trace_api::{
+    IssueEvent, LaunchRecord, NullSink, RecordedTrace, ReplayCursor, TraceRecorder, TraceSink,
+    VecTraceSink, WarpEvent,
+};
 pub use vortex_mem::{CacheConfig, CacheStats, Cycle, MemConfig, MemStats};
 pub use warp::WarpState;

@@ -24,11 +24,13 @@
 
 #![forbid(unsafe_code)]
 
+mod format;
 mod render;
 mod sections;
 mod stats;
 mod trace;
 
+pub use format::{decode_trace, encode_trace, TraceDecodeError, TRACE_FORMAT_VERSION};
 pub use render::{render_timeline, Timeline, TimelineOptions};
 pub use sections::{section_letter, SectionLegend};
 pub use stats::TraceStats;

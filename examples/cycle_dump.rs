@@ -6,9 +6,10 @@
 //! cargo run --release --example cycle_dump > cycles.txt
 //! ```
 //!
-//! The default grid (10 kernels × 6 topologies × 3 policies = 180 rows)
-//! is frozen so dumps diff cleanly across PRs. Flags (any order, any
-//! combination):
+//! The default grid (11 kernels × 6 topologies × 3 policies = 198 rows;
+//! the reduction rides at the end so the first 180 rows stay diffable
+//! against pre-PR10 dumps) is frozen so dumps diff cleanly across PRs.
+//! Flags (any order, any combination):
 //!
 //! * `extended` appends a **cache-thrashing** section: the same policies
 //!   over a deliberately under-sized memory hierarchy (1 KiB
@@ -26,10 +27,20 @@
 //!   timing-transparent by construction, so
 //!   `diff <(cycle_dump extended) <(cycle_dump extended clustered)`
 //!   must be empty — CI pins exactly that.
+//! * `replay` reruns whatever grid the other flags select through the
+//!   record/replay engine: every row is executed once under a trace
+//!   recorder, the trace round-trips through the on-disk codec, and the
+//!   **replayed** outcome is printed under the same format — so
+//!   `diff <(cycle_dump extended) <(cycle_dump extended replay)` must
+//!   be empty, or replay has drifted from execute semantics. CI pins
+//!   exactly that, with block fusion on and off.
 
 use vortex_gpgpu::prelude::*;
 use vortex_gpgpu::sim::{CacheConfig, MemConfig};
-use vortex_kernels::{Kernel, KernelError, RunOutcome};
+use vortex_gpgpu::trace::{decode_trace, encode_trace};
+use vortex_kernels::{
+    record_kernel_prepared, replay_kernel_prepared, Kernel, KernelError, Reduce, RunOutcome,
+};
 
 fn kernels() -> Vec<Box<dyn Kernel>> {
     vec![
@@ -43,6 +54,7 @@ fn kernels() -> Vec<Box<dyn Kernel>> {
         Box::new(GcnAggr::new(64, 256, 8)),
         Box::new(GcnLayer::new(64, 256, 8)),
         Box::new(ResnetLayer::new(6, 4, 8, 2)),
+        Box::new(Reduce::new(1000)),
     ]
 }
 
@@ -57,8 +69,45 @@ fn thrash_mem() -> MemConfig {
     }
 }
 
+/// Record the row once, round-trip the trace through the on-disk codec,
+/// then replay it on a fresh runtime. Returns the **replayed** outcome,
+/// after asserting it is bit-identical to the executed one — so a dump
+/// in replay mode both self-checks and diffs clean against execute mode.
+fn run_row_replayed(
+    kernel: &mut dyn Kernel,
+    config: &DeviceConfig,
+    policy: LwsPolicy,
+) -> Result<RunOutcome, KernelError> {
+    let program = kernel.build()?;
+    let mut rt = Runtime::new(*config);
+    rt.load_program(&program);
+    let (executed, rec) = record_kernel_prepared(kernel, &program, &mut rt, policy)?;
+    let bytes = encode_trace(0, &rec);
+    let (_, decoded) = decode_trace(&bytes).expect("recorded trace must survive its own codec");
+    assert_eq!(decoded, rec, "codec round-trip must be lossless");
+    let mut rt = Runtime::new(*config);
+    rt.load_program(&program);
+    let replayed = replay_kernel_prepared(kernel, &program, &mut rt, policy, &decoded)?;
+    assert_eq!(
+        format!("{executed:?}"),
+        format!("{replayed:?}"),
+        "replay diverged from execute for {} under {policy}",
+        kernel.name()
+    );
+    Ok(replayed)
+}
+
+fn replay_mode() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().skip(1).any(|a| a == "replay"))
+}
+
 fn dump(label: &str, kernel: &mut dyn Kernel, config: &DeviceConfig, policy: LwsPolicy) {
-    let out: Result<RunOutcome, KernelError> = run_kernel(kernel, config, policy);
+    let out: Result<RunOutcome, KernelError> = if replay_mode() {
+        run_row_replayed(kernel, config, policy)
+    } else {
+        run_kernel(kernel, config, policy)
+    };
     match out {
         Ok(o) => {
             let c = o.reports.iter().map(|r| r.cycles).collect::<Vec<_>>();

@@ -61,8 +61,8 @@ pub mod prelude {
         MappingScenario, OracleResult, Runtime, WorkMapping,
     };
     pub use vortex_kernels::{
-        run_kernel, run_kernel_traced, Gauss, GcnAggr, GcnLayer, Kernel, Knn, Relu, ResnetLayer,
-        Saxpy, Sgemm, VecAdd,
+        run_kernel, run_kernel_traced, Gauss, GcnAggr, GcnLayer, Kernel, Knn, Reduce, Relu,
+        ResnetLayer, Saxpy, Sgemm, VecAdd,
     };
     pub use vortex_sim::{Device, DeviceConfig, VecTraceSink};
     pub use vortex_stats::{RatioSummary, Table};

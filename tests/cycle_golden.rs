@@ -42,6 +42,7 @@ fn kernels() -> Vec<Box<dyn Kernel>> {
         Box::new(GcnAggr::new(48, 160, 4)),
         Box::new(GcnLayer::new(32, 128, 4)),
         Box::new(ResnetLayer::new(6, 4, 4, 2)),
+        Box::new(Reduce::new(300)),
     ]
 }
 
